@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy analyses are computed once per session and reused across benches;
+the benchmark timers re-run only the code under measurement.
+"""
+
+import pytest
+
+from repro import analyze_app
+from repro.corpus.loader import load_corpus
+
+
+@pytest.fixture(scope="session")
+def official_corpus():
+    return load_corpus("official")
+
+
+@pytest.fixture(scope="session")
+def thirdparty_corpus():
+    return load_corpus("thirdparty")
+
+
+@pytest.fixture(scope="session")
+def maliot_corpus():
+    return load_corpus("maliot")
+
+
+@pytest.fixture(scope="session")
+def official_analyses(official_corpus):
+    return {app_id: analyze_app(app) for app_id, app in official_corpus.items()}
+
+
+@pytest.fixture(scope="session")
+def thirdparty_analyses(thirdparty_corpus):
+    return {app_id: analyze_app(app) for app_id, app in thirdparty_corpus.items()}
+
+
+@pytest.fixture(scope="session")
+def maliot_analyses(maliot_corpus):
+    return {app_id: analyze_app(app) for app_id, app in maliot_corpus.items()}

@@ -1,0 +1,77 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not a paper artifact — these quantify the paper's three anti-explosion
+measures on this reproduction: ESP path merging (Sec. 4.2.2), infeasible-
+path pruning (Sec. 4.2.1), and property abstraction (Sec. 4.2.1).
+"""
+
+from repro.analysis.symexec import SymbolicExecutor
+from repro.ir import build_ir
+from repro.model import extract_model
+from repro.model.extractor import ModelExtractor
+from repro.platform.smartapp import SmartApp
+
+BRANCHY = '''
+definition(name: "Branchy")
+preferences { section("s") {
+    input "pm", "capability.powerMeter"
+    input "sw", "capability.switch"
+} }
+def installed() { subscribe(pm, "power", h) }
+def h(evt) {
+    def v = pm.currentValue("power")
+    if (v > 10) { log.debug "a" } else { log.debug "b" }
+    if (v > 20) { log.debug "c" } else { log.debug "d" }
+    if (v > 30) { log.debug "e" } else { log.debug "f" }
+    if (v > 40) { log.debug "g" } else { log.debug "h" }
+    if (v > 50) { sw.off() }
+    if (v < 5) { sw.on() }
+}
+'''
+
+
+def _paths(merge: bool, prune: bool) -> int:
+    ir = build_ir(SmartApp.from_source(BRANCHY))
+    executor = SymbolicExecutor(ir, merge_paths=merge, prune_infeasible=prune)
+    rules = executor.run_all()
+    return sum(len(s) for s in rules.values())
+
+
+def test_ablation_esp_merging(benchmark):
+    merged = benchmark.pedantic(_paths, args=(True, True), rounds=3, iterations=1)
+    unmerged = _paths(False, True)
+    print(f"\npaths with ESP merging: {merged}; without: {unmerged}")
+    assert merged < unmerged  # merging collapses the log-only diamonds
+
+
+def test_ablation_infeasible_pruning(benchmark):
+    pruned = benchmark.pedantic(_paths, args=(True, True), rounds=3, iterations=1)
+    unpruned = _paths(True, False)
+    print(f"\npaths with pruning: {pruned}; without: {unpruned}")
+    assert pruned <= unpruned  # v>50 && v<5 combinations disappear
+
+
+BATTERY_APP = '''
+definition(name: "BatteryGuard")
+preferences { section("s") {
+    input "bat", "capability.battery"
+    input "sw", "capability.switch"
+} }
+def installed() { subscribe(bat, "battery", h) }
+def h(evt) {
+    if (bat.currentValue("battery") < 15) { sw.on() }
+}
+'''
+
+
+def test_ablation_property_abstraction(benchmark):
+    # A battery-scale domain (0..100): concrete enough to enumerate raw.
+    ir = build_ir(SmartApp.from_source(BATTERY_APP))
+
+    def run():
+        return extract_model(ir, abstract_numeric=True).size()
+
+    reduced = benchmark.pedantic(run, rounds=3, iterations=1)
+    raw = ModelExtractor(ir, abstract_numeric=False).extract().size()
+    print(f"\nstates with abstraction: {reduced}; without: {raw}")
+    assert raw / reduced > 10

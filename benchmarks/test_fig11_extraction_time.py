@@ -1,0 +1,67 @@
+"""Fig. 11 (bottom) — state-model extraction overhead vs model size.
+
+Paper: extraction time grows with the number of states (avg 17.3 s at 180
+states on the authors' 2-core laptop + JVM; our substrate is pure Python on
+different hardware, so only the *shape* — monotone growth, seconds at the
+high end at most — is expected to match).  The measured time covers IR
+extraction, state-model generation, the DOT rendering, and the SMV text,
+matching the paper's accounting.
+"""
+
+import time
+
+from repro.ir import build_ir
+from repro.model import extract_model
+from repro.platform.smartapp import SmartApp
+from repro.reporting import to_dot, to_smv
+
+
+def _full_extraction(app: SmartApp):
+    ir = build_ir(app)
+    model = extract_model(ir)
+    to_dot(model)
+    to_smv(model)
+    return model
+
+
+def test_fig11_bottom_time_vs_states(benchmark, official_corpus, thirdparty_corpus):
+    corpus = {**official_corpus, **thirdparty_corpus}
+
+    def run():
+        series = []
+        for app_id, app in corpus.items():
+            start = time.perf_counter()
+            model = _full_extraction(app)
+            elapsed = time.perf_counter() - start
+            series.append((model.size(), elapsed, app_id))
+        series.sort()
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nFig. 11 (bottom) — avg extraction time per state-count bucket:")
+    buckets: dict[int, list[float]] = {}
+    for states, elapsed, _app in series:
+        bucket = 1
+        while bucket < states:
+            bucket *= 2
+        buckets.setdefault(bucket, []).append(elapsed)
+    for bucket in sorted(buckets):
+        times = buckets[bucket]
+        print(f"  <= {bucket:4d} states: {sum(times) / len(times) * 1000:8.1f} ms "
+              f"({len(times)} apps)")
+
+    largest = series[-1]
+    smallest = series[0]
+    print(f"  largest model: {largest[2]} ({largest[0]} states) "
+          f"in {largest[1] * 1000:.1f} ms")
+    # Shape: the biggest model must not be faster than the smallest, and
+    # even the 180-state model stays within seconds (paper: 17.3 s avg).
+    assert largest[1] >= smallest[1]
+    assert largest[1] < 30.0
+
+
+def test_extraction_time_for_max_model(benchmark, official_corpus):
+    app = official_corpus["O35"]  # 180 states — the paper's largest
+    model = benchmark(_full_extraction, app)
+    assert model.size() == 180

@@ -1,0 +1,62 @@
+"""Fig. 11 (top) — state-reduction efficacy of property abstraction.
+
+Paper: for the apps with numeric-valued device attributes (10 such devices,
+14 apps granting access to them), abstraction "often results in order of
+magnitude less number of states" (log-scale bars, before vs after).
+"""
+
+from repro.ir import build_ir
+from repro.model import extract_model
+
+
+def _numeric_apps(corpora):
+    found = []
+    for corpus in corpora:
+        for app_id, app in corpus.items():
+            ir = build_ir(app)
+            model = extract_model(ir)
+            if model.numeric_domains:
+                found.append((app_id, model))
+    return found
+
+
+def test_fig11_top_state_reduction(benchmark, official_corpus, thirdparty_corpus):
+    apps = benchmark.pedantic(
+        _numeric_apps, args=([official_corpus, thirdparty_corpus],),
+        rounds=1, iterations=1,
+    )
+    print("\nFig. 11 (top) — states before/after property abstraction:")
+    print(f"  apps with numeric attributes: {len(apps)} (paper: 14)")
+    reductions = []
+    for app_id, model in apps:
+        before = model.raw_state_count
+        after = model.size()
+        reductions.append(before / max(1, after))
+        print(f"  {app_id:6s} before={before:>10d}  after={after:>4d}  "
+              f"reduction={before / max(1, after):8.1f}x")
+
+    assert len(apps) >= 10
+    # "often results in order of magnitude less": the median reduction
+    # must exceed 10x and every app must reduce.
+    reductions.sort()
+    median = reductions[len(reductions) // 2]
+    print(f"  median reduction: {median:.0f}x")
+    assert median >= 10
+    assert all(r >= 1 for r in reductions)
+
+
+def test_fig11_top_no_reduction_without_abstraction(benchmark, thirdparty_corpus):
+    """Ablation: disabling abstraction keeps the raw numeric domains."""
+    app = thirdparty_corpus["TP29"]  # battery watchdog: 0..100 battery
+
+    def run():
+        ir = build_ir(app)
+        return (
+            extract_model(ir, abstract_numeric=False).size(),
+            extract_model(ir, abstract_numeric=True).size(),
+        )
+
+    raw, reduced = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nTP29 without abstraction: {raw} states; with: {reduced}")
+    assert raw == 101
+    assert reduced == 2

@@ -1,0 +1,48 @@
+"""Table 3 — Soteria's results on individual apps.
+
+Paper: nine third-party apps violate ten properties (TP1 P.13, TP2 P.12,
+TP3 S.4, TP4 P.29, TP5 P.28, TP6 P.13+S.1, TP7 S.1, TP8 P.1, TP9 S.2);
+none of the 35 official apps are flagged.
+"""
+
+from repro import analyze_app
+from repro.corpus import groundtruth
+
+
+def test_table3_thirdparty_rows(benchmark, thirdparty_corpus):
+    def run():
+        return {
+            app_id: analyze_app(app).violated_ids()
+            for app_id, app in thirdparty_corpus.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nTable 3 — individual third-party apps (got vs paper):")
+    for app_id, expected in sorted(
+        groundtruth.TABLE3_INDIVIDUAL.items(), key=lambda kv: int(kv[0][2:])
+    ):
+        got = results[app_id]
+        print(f"  {app_id:5s} got={sorted(got)}  paper={sorted(expected)}")
+        assert got == expected, app_id
+
+    flagged = {app_id for app_id, ids in results.items() if ids}
+    assert flagged == set(groundtruth.TABLE3_INDIVIDUAL)
+    pairs = sum(len(results[a]) for a in flagged)
+    print(f"  => {len(flagged)} apps violating {pairs} properties "
+          "(paper: 9 apps, 10 properties)")
+    assert len(flagged) == 9
+    assert pairs == 10
+
+
+def test_table3_officials_unflagged(benchmark, official_corpus):
+    def run():
+        return {
+            app_id: analyze_app(app).violated_ids()
+            for app_id, app in official_corpus.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    flagged = {app_id for app_id, ids in results.items() if ids}
+    print(f"\nOfficial apps flagged: {sorted(flagged)} (paper: none)")
+    assert not flagged

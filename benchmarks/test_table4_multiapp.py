@@ -1,0 +1,70 @@
+"""Table 4 — Soteria's results in multi-app environments.
+
+Paper: three groups of apps working in concert violate 11 properties:
+G.1 = {O3, O4, O8, TP12}            -> S.1, S.2, S.3
+G.2 = {O14, O9, O16, TP3, TP2}      -> S.2, S.4
+G.3 = {O7, TP3, O30, TP21, O31,
+       TP22, O12, TP19}             -> P.12, P.13, P.14, P.17, S.1, S.2
+"""
+
+import pytest
+
+from repro import analyze_environment
+from repro.corpus import groundtruth
+from repro.corpus.loader import load_environment_sources
+
+
+def _environment_only_ids(env):
+    individual = set()
+    for analysis in env.analyses:
+        individual |= analysis.violated_ids()
+    return {
+        v.property_id
+        for v in env.violations
+        if len(v.apps) > 1 or v.property_id not in individual
+    }
+
+
+@pytest.mark.parametrize(
+    "group", groundtruth.TABLE4_GROUPS, ids=lambda g: g.group_id
+)
+def test_table4_group(benchmark, group):
+    def run():
+        env = analyze_environment(load_environment_sources(list(group.apps)))
+        return env, _environment_only_ids(env)
+
+    env, got = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nTable 4 {group.group_id} ({', '.join(group.apps)}): "
+        f"union={env.union_model.size()} states; "
+        f"got={sorted(got)} paper={sorted(group.violated)}"
+    )
+    missing = set(group.violated) - got
+    assert not missing, f"{group.group_id} missing {missing}"
+    extra = got - set(group.violated)
+    if extra:
+        print(f"  note: extra findings {sorted(extra)} "
+              "(see EXPERIMENTS.md — sound over-approximation)")
+
+
+def test_table4_headline_totals(benchmark):
+    def run():
+        per_group = {}
+        for group in groundtruth.TABLE4_GROUPS:
+            env = analyze_environment(load_environment_sources(list(group.apps)))
+            per_group[group.group_id] = _environment_only_ids(env) & set(
+                group.violated
+            )
+        return per_group
+
+    per_group = benchmark.pedantic(run, rounds=1, iterations=1)
+    apps = sum(len(g.apps) for g in groundtruth.TABLE4_GROUPS)
+    properties = sum(len(ids) for ids in per_group.values())
+    print(
+        f"\nTable 4 totals: {len(per_group)} groups, {apps} apps, "
+        f"{properties} paper properties confirmed "
+        "(paper: 3 groups, 17 apps, 11 properties)"
+    )
+    assert len(per_group) == 3
+    assert apps == 17
+    assert properties == 11

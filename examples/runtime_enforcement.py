@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Dynamic policy enforcement: simulate an event trace with a monitor.
+
+Soteria's static analysis flags the "night motion lights" app for P.2
+(it switches the hallway light *off* when motion is detected).  This
+example goes one step further — the paper's future-work direction that
+became IoTGuard: replay a concrete evening of events against the extracted
+state model with a runtime monitor that *blocks* the unsafe handler action
+while letting everything else through.
+
+Run:  python examples/runtime_enforcement.py
+"""
+
+from repro import analyze_app
+from repro.platform.events import Event, EventKind
+from repro.runtime import RuntimeMonitor, Simulator
+
+NIGHT_LIGHT = """
+definition(name: "Night Motion Lights", description: "Lights out on motion at night.")
+preferences {
+    section("Devices") {
+        input "the_motion", "capability.motionSensor", required: true
+        input "hall_light", "capability.switch", required: true
+    }
+}
+def installed() {
+    subscribe(the_motion, "motion.active", motionHandler)
+    subscribe(the_motion, "motion.inactive", quietHandler)
+}
+def motionHandler(evt) {
+    hall_light.off()
+}
+def quietHandler(evt) {
+    hall_light.on()
+}
+"""
+
+
+def motion(value: str) -> Event:
+    return Event(EventKind.DEVICE, "the_motion", "motion", value)
+
+
+def main() -> None:
+    analysis = analyze_app(NIGHT_LIGHT)
+    print("Static analysis verdict:")
+    for violation in analysis.violations:
+        print(f"  {violation.short()}")
+
+    trace = [
+        motion("active"),     # someone walks in — the app would kill the light
+        motion("inactive"),
+        motion("active"),
+        motion("inactive"),
+    ]
+
+    print("\n--- Unmonitored replay (the app misbehaves) ---")
+    simulator = Simulator(analysis.model)
+    for event in trace:
+        step = simulator.fire(event)
+        light = analysis.model.value_in(step.target, "hall_light", "switch")
+        print(f"  {event.label():24s} -> light is {light}")
+
+    print("\n--- Monitored replay (unsafe actions blocked) ---")
+    monitor = RuntimeMonitor.from_analysis(analysis)
+    for event in trace:
+        decision = monitor.feed(event)
+        light = analysis.model.value_in(decision.state, "hall_light", "switch")
+        note = ""
+        if decision.intervened:
+            ids = ", ".join(pid for _t, pid in decision.blocked)
+            note = f"   [BLOCKED handler action — would violate {ids}]"
+        print(f"  {event.label():24s} -> light is {light}{note}")
+
+    print(f"\ninterventions: {len(monitor.interventions())} "
+          f"(policies enforced: {len(monitor.policies)}, "
+          f"left to static checking: {len(monitor.skipped)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Multi-app environment audit: the paper's Sec. 4.4 interaction chain.
+
+Three apps, each individually safe, are installed together:
+
+* Smoke-Lights  — turns the light switch on when smoke is detected,
+* Switch-Mode   — marks the house "home" when that switch turns on,
+* Home-Lock     — locks the front door whenever the mode becomes "home".
+
+Together they violate P.3 ("when there is smoke, the door must be
+unlocked"): smoke -> switch on -> home mode -> door locked, trapping the
+occupants.  Soteria finds the chain by model checking the Algorithm-2
+union model.
+
+Run:  python examples/smart_home_audit.py
+"""
+
+from repro import analyze_app, analyze_environment
+from repro.reporting import render_report
+
+SMOKE_LIGHTS = """
+definition(name: "Smoke Lights", description: "Lights on when smoke is detected.")
+preferences {
+    section("Devices") {
+        input "smoke_detector", "capability.smokeDetector", required: true
+        input "the_switch", "capability.switch", required: true
+    }
+}
+def installed() { subscribe(smoke_detector, "smoke.detected", smokeHandler) }
+def smokeHandler(evt) { the_switch.on() }
+"""
+
+SWITCH_MODE = """
+definition(name: "Switch Mode", description: "Switch on means someone is home.")
+preferences {
+    section("Devices") {
+        input "the_switch", "capability.switch", required: true
+    }
+}
+def installed() { subscribe(the_switch, "switch.on", onHandler) }
+def onHandler(evt) { setLocationMode("home") }
+"""
+
+HOME_LOCK = """
+definition(name: "Home Lock", description: "Lock up once everyone is home.")
+preferences {
+    section("Devices") {
+        input "front_door", "capability.lock", required: true
+    }
+}
+def installed() { subscribe(location, "mode.home", homeHandler) }
+def homeHandler(evt) { front_door.lock() }
+"""
+
+
+def main() -> None:
+    sources = [SMOKE_LIGHTS, SWITCH_MODE, HOME_LOCK]
+
+    print("=" * 72)
+    print("Individually, each app is clean:")
+    print("=" * 72)
+    for source in sources:
+        analysis = analyze_app(source)
+        verdict = "clean" if not analysis.violations else "VIOLATIONS"
+        print(f"  {analysis.app.name:15s} {analysis.model.size():3d} states  {verdict}")
+
+    print()
+    print("=" * 72)
+    print("Installed together (union state model, Algorithm 2):")
+    print("=" * 72)
+    environment = analyze_environment(sources)
+    print(render_report(environment))
+
+    print()
+    print("The interaction chain behind each violation:")
+    for violation in environment.violations:
+        print(f"  [{violation.property_id}] apps involved: {', '.join(violation.apps)}")
+        for step in violation.counterexample:
+            print(f"      {step}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Static analyses behind state-model extraction (Soteria Sec. 4.2).
+
+* :mod:`.values` — the symbolic value domain (constants, user inputs, device
+  reads, state variables, event values) with source labels,
+* :mod:`.predicates` — path-condition atoms and conditions,
+* :mod:`.feasibility` — the paper's "simple custom checker" for path
+  conditions (comparisons between variables and constants; no SMT solver),
+* :mod:`.dependence` — Algorithm 1: worklist backward dependence on the ICFG,
+* :mod:`.abstraction` — property abstraction of numeric attributes,
+* :mod:`.symexec` — forward path-sensitive symbolic execution with ESP-style
+  path merging, producing transition rules.
+"""
+
+from repro.analysis.values import (
+    Arith,
+    Const,
+    DeviceRead,
+    EventAttr,
+    EventValue,
+    StateVar,
+    SymValue,
+    Unknown,
+    UserInput,
+    source_label,
+)
+from repro.analysis.predicates import Atom, PathCondition, negate_atom
+from repro.analysis.feasibility import is_feasible
+from repro.analysis.dependence import DependenceAnalysis, DependenceResult
+from repro.analysis.abstraction import (
+    AbstractDomain,
+    AbstractRegion,
+    build_numeric_domain,
+)
+from repro.analysis.symexec import Action, PathSummary, SymbolicExecutor
+
+__all__ = [
+    "Arith",
+    "Const",
+    "DeviceRead",
+    "EventAttr",
+    "EventValue",
+    "StateVar",
+    "SymValue",
+    "Unknown",
+    "UserInput",
+    "source_label",
+    "Atom",
+    "PathCondition",
+    "negate_atom",
+    "is_feasible",
+    "DependenceAnalysis",
+    "DependenceResult",
+    "AbstractDomain",
+    "AbstractRegion",
+    "build_numeric_domain",
+    "Action",
+    "PathSummary",
+    "SymbolicExecutor",
+]

@@ -1,0 +1,279 @@
+"""Property abstraction of numeric attributes (Soteria Sec. 4.2.1).
+
+A thermostat with 45 temperature values and a power meter with 100 energy
+levels would yield ~4.5K raw states.  Soteria collapses numeric domains to
+the *sources* that can actually flow into the attribute (Algorithm 1) plus
+one region for "everything else", and — for attributes only *read* in
+predicates — to the interval partition induced by the comparison constants.
+
+The abstract domain built here is what the state-model extractor enumerates,
+and the before/after counts feed Fig. 11 (top).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.predicates import Atom
+from repro.analysis.values import Const, DeviceRead, SymValue, UserInput
+from repro.platform.capabilities import Attribute
+
+
+@dataclass(frozen=True)
+class AbstractRegion:
+    """One abstract value of a numeric attribute.
+
+    Three shapes:
+
+    * point       — exactly one concrete value (a written constant),
+    * interval    — ``(lo, hi)`` with open/closed endpoints,
+    * symbolic    — position relative to a user input (``below:thrshld``).
+    """
+
+    label: str
+    kind: str                  # "point" | "interval" | "symbolic" | "any"
+    point: float | None = None
+    lo: float = -math.inf
+    hi: float = math.inf
+    lo_open: bool = True
+    hi_open: bool = True
+    user_handle: str | None = None
+    user_side: str | None = None   # "below" | "at-or-above"
+
+    # ------------------------------------------------------------------
+    def decide(self, op: str, rhs: SymValue) -> bool | None:
+        """Does ``value op rhs`` hold for every concrete value in this
+        region?  True / False when decidable, None when mixed or unknown."""
+        if isinstance(rhs, Const) and isinstance(rhs.value, (int, float)):
+            return self._decide_const(op, float(rhs.value))
+        if isinstance(rhs, UserInput) and self.kind == "symbolic":
+            if rhs.handle != self.user_handle:
+                return None
+            if self.user_side == "below":
+                return {"<": True, ">=": False, ">": False, "<=": True,
+                        "==": False, "!=": True}.get(op)
+            if self.user_side == "at-or-above":
+                return {"<": False, ">=": True, "==": None, "!=": None,
+                        ">": None, "<=": None}.get(op)
+            if self.user_side == "equal":
+                return {"==": True, "!=": False, "<": False, ">": False,
+                        "<=": True, ">=": True}.get(op)
+            if self.user_side == "not-equal":
+                return {"==": False, "!=": True}.get(op)
+        return None
+
+    def _decide_const(self, op: str, value: float) -> bool | None:
+        if self.kind == "point":
+            assert self.point is not None
+            return _compare(self.point, op, value)
+        if self.kind == "interval":
+            return self._decide_interval(op, value)
+        return None
+
+    def _decide_interval(self, op: str, value: float) -> bool | None:
+        """Exact endpoint arithmetic: does ``x op value`` hold for every
+        (True) / no (False) member x of the interval, else None."""
+        lo, hi = self.lo, self.hi
+        lo_open, hi_open = self.lo_open, self.hi_open
+        if lo == hi and not lo_open and not hi_open:
+            return _compare(lo, op, value)  # degenerate single point
+        contains = (value > lo or (value == lo and not lo_open)) and (
+            value < hi or (value == hi and not hi_open)
+        )
+        if op == "<":
+            if hi < value or (hi == value and hi_open):
+                return True
+            if lo >= value:
+                return False
+            return None
+        if op == "<=":
+            if hi <= value:
+                return True
+            if lo > value or (lo == value and lo_open):
+                return False
+            return None
+        if op == ">":
+            if lo > value or (lo == value and lo_open):
+                return True
+            if hi <= value:
+                return False
+            return None
+        if op == ">=":
+            if lo >= value:
+                return True
+            if hi < value or (hi == value and hi_open):
+                return False
+            return None
+        if op == "==":
+            if not contains:
+                return False
+            return None  # a non-degenerate interval is never all-equal
+        if op == "!=":
+            if not contains:
+                return True
+            return None
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.label
+
+
+@dataclass(frozen=True)
+class AbstractDomain:
+    """The abstract value set of one numeric device attribute."""
+
+    device: str
+    attribute: str
+    regions: tuple[AbstractRegion, ...]
+    raw_size: int          # pre-reduction state count (Fig. 11 top)
+
+    def size(self) -> int:
+        return len(self.regions)
+
+    def labels(self) -> list[str]:
+        return [region.label for region in self.regions]
+
+    def region(self, label: str) -> AbstractRegion:
+        for item in self.regions:
+            if item.label == label:
+                return item
+        raise KeyError(label)
+
+
+def _compare(lhs: float, op: str, rhs: float) -> bool:
+    if op == "==":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise ValueError(f"unsupported comparison {op!r}")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def build_numeric_domain(
+    device: str,
+    attribute: Attribute,
+    written_constants: set[float],
+    read_constants: set[float],
+    user_handles: set[str],
+    written_user_inputs: set[str] = frozenset(),
+) -> AbstractDomain:
+    """Construct the abstract domain for one numeric attribute.
+
+    * ``written_constants`` — constants flowing into action calls
+      (Algorithm 1 sources), each becoming a *point* region;
+    * ``read_constants`` — comparison constants from predicates, acting as
+      interval boundaries;
+    * ``user_handles`` — user inputs compared against the attribute; when
+      they are the only cut points the domain is the two symbolic regions;
+    * ``written_user_inputs`` — user inputs written into the attribute
+      (``setLevel(userLevel)``), each a symbolic point.
+    """
+    raw = attribute.domain_size()
+    name = attribute.name
+
+    boundaries = sorted(set(written_constants) | set(read_constants))
+    regions: list[AbstractRegion] = []
+
+    if not boundaries and not user_handles and not written_user_inputs:
+        region = AbstractRegion(label=f"{name}:any", kind="any")
+        return AbstractDomain(device, name, (region,), raw)
+
+    if not boundaries and user_handles:
+        # Threshold comparisons against a user input: two symbolic regions
+        # (the paper's P.22-style "battery below threshold" states).
+        handle = sorted(user_handles)[0]
+        below = AbstractRegion(
+            label=f"{name}<{handle}",
+            kind="symbolic",
+            user_handle=handle,
+            user_side="below",
+        )
+        above = AbstractRegion(
+            label=f"{name}>={handle}",
+            kind="symbolic",
+            user_handle=handle,
+            user_side="at-or-above",
+        )
+        return AbstractDomain(device, name, (below, above), raw)
+
+    if not boundaries and written_user_inputs:
+        # The attribute is *written* with a user input (thermostat setpoint
+        # from preferences): states "equal to the setting" / "anything else",
+        # mirroring the paper's =68 / !=68 example with a symbolic constant.
+        handle = sorted(written_user_inputs)[0]
+        equal = AbstractRegion(
+            label=f"{name}={handle}",
+            kind="symbolic",
+            user_handle=handle,
+            user_side="equal",
+        )
+        other = AbstractRegion(
+            label=f"{name}!={handle}",
+            kind="symbolic",
+            user_handle=handle,
+            user_side="not-equal",
+        )
+        return AbstractDomain(device, name, (equal, other), raw)
+
+    # Interval partition with point regions at every boundary:
+    #   (-inf, b0), [b0], (b0, b1), [b1], ..., (bk, +inf)
+    previous = -math.inf
+    for boundary in boundaries:
+        regions.append(
+            AbstractRegion(
+                label=f"{_fmt(previous)}<{name}<{_fmt(boundary)}"
+                if not math.isinf(previous)
+                else f"{name}<{_fmt(boundary)}",
+                kind="interval",
+                lo=previous,
+                hi=boundary,
+            )
+        )
+        regions.append(
+            AbstractRegion(
+                label=f"{name}={_fmt(boundary)}", kind="point", point=boundary
+            )
+        )
+        previous = boundary
+    regions.append(
+        AbstractRegion(
+            label=f"{name}>{_fmt(previous)}", kind="interval", lo=previous
+        )
+    )
+    return AbstractDomain(device, name, tuple(regions), raw)
+
+
+def collect_read_cutpoints(
+    atoms: list[Atom], device: str, attribute: str
+) -> tuple[set[float], set[str]]:
+    """Comparison constants / user handles guarding ``device.attribute``."""
+    constants: set[float] = set()
+    users: set[str] = set()
+    for atom in atoms:
+        lhs, rhs = atom.lhs, atom.rhs
+        if isinstance(rhs, DeviceRead) and not isinstance(lhs, DeviceRead):
+            lhs, rhs = rhs, lhs
+        if not isinstance(lhs, DeviceRead):
+            continue
+        if lhs.device != device or lhs.attribute != attribute:
+            continue
+        if isinstance(rhs, Const) and isinstance(rhs.value, (int, float)):
+            if not isinstance(rhs.value, bool):
+                constants.add(float(rhs.value))
+        elif isinstance(rhs, UserInput):
+            users.add(rhs.handle)
+    return constants, users

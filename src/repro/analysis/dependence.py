@@ -1,0 +1,301 @@
+"""Algorithm 1: backward dependence for property abstraction.
+
+Faithful implementation of the paper's worklist algorithm (Sec. 4.2.1):
+
+    Input:  ICFG, a numerical-valued attribute
+    Output: dependence relation ``dep``
+
+    worklist <- {(n: id) | id is used in a device-action call that sets
+                 the attribute at node n}
+    while worklist not empty:
+        (n: id) <- pop
+        for each def of (n: id) at node n' of form  id = e  where e has a
+        single identifier id':
+            worklist += (n': id');  dep += ((n: id), (n': id'))
+
+Definitions are found with reaching definitions on the ICFG; parameter
+passing is treated as inter-procedural definitions (a call node defines the
+callee's parameters).  The analysis is "a form of backward taint analysis"
+producing the *sources* that can flow into a numeric attribute: developer
+constants, user inputs, and device reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.ir.cfg import ICFG, ReachingDefinitions
+from repro.platform.capabilities import PARAM, CapabilityDatabase, default_database
+from repro.ir.ir import AppIR
+
+
+@dataclass(frozen=True)
+class Source:
+    """A terminal source flowing into a numeric attribute write."""
+
+    kind: str          # "constant" | "user-input" | "device-read" | "unknown"
+    value: object      # the constant, input handle, or (device, attribute)
+    node_id: int
+    line: int
+
+
+@dataclass
+class DependenceResult:
+    """Output of Algorithm 1 for one (device, attribute) pair."""
+
+    device: str
+    attribute: str
+    #: dep relation: ((use_node, id) -> (def_node, id')) edges
+    dep: list[tuple[tuple[int, str], tuple[int, str]]] = field(default_factory=list)
+    sources: list[Source] = field(default_factory=list)
+
+    def constant_values(self) -> set[object]:
+        return {s.value for s in self.sources if s.kind == "constant"}
+
+    def user_inputs(self) -> set[str]:
+        return {str(s.value) for s in self.sources if s.kind == "user-input"}
+
+    def paths_to_sources(self) -> list[list[int]]:
+        """Def-use chains from initialisation points to the action call
+        (the paper's example path 3 -> 2 -> 1 in Fig. 6), as node-id lists
+        from source to sink."""
+        children: dict[tuple[int, str], list[tuple[int, str]]] = {}
+        for use, definition in self.dep:
+            children.setdefault(definition, []).append(use)
+        roots = {(s.node_id, "") for s in self.sources}
+        paths: list[list[int]] = []
+        source_nodes = {s.node_id for s in self.sources}
+        sinks = {use for use, _d in self.dep}
+        sinks -= {d for _u, d in self.dep}
+        # Walk from each definition that is a source toward the sinks.
+        def_nodes = {d for _u, d in self.dep}
+        for definition in def_nodes:
+            if definition[0] not in source_nodes:
+                continue
+            stack = [[definition]]
+            while stack:
+                path = stack.pop()
+                nexts = children.get(path[-1], [])
+                if not nexts:
+                    paths.append([step[0] for step in path])
+                    continue
+                for nxt in nexts:
+                    if nxt in path:
+                        continue
+                    stack.append(path + [nxt])
+        del roots, sinks
+        return paths
+
+
+class DependenceAnalysis:
+    """Runs Algorithm 1 over an app for every written numeric attribute."""
+
+    def __init__(
+        self,
+        ir: AppIR,
+        icfg: ICFG | None = None,
+        db: CapabilityDatabase | None = None,
+    ) -> None:
+        self.ir = ir
+        self.db = db or default_database()
+        self.icfg = icfg or ICFG(ir.methods())
+        self.rd = ReachingDefinitions(self.icfg)
+
+    # ------------------------------------------------------------------
+    def numeric_action_calls(self) -> list[tuple[int, str, str, ast.Expr]]:
+        """(node, device-handle, attribute, arg-expr) for every device action
+        call whose command writes a numeric attribute (``setLevel(x)``...)."""
+        found: list[tuple[int, str, str, ast.Expr]] = []
+        for node in self.icfg.nodes.values():
+            root: ast.Node | None = node.stmt if node.stmt is not None else node.cond
+            if root is None:
+                continue
+            for call in ast.find_calls(root):
+                if not isinstance(call.receiver, ast.Name):
+                    continue
+                if not isinstance(call.name, str) or not call.args:
+                    continue
+                perm = self.ir.device(call.receiver.id)
+                if perm is None:
+                    continue
+                command = self.db.command(perm.capability, call.name)
+                if command is None:
+                    continue
+                for attr_name, effect in command.sets:
+                    if effect is PARAM:
+                        found.append((node.id, perm.handle, attr_name, call.args[0]))
+        return found
+
+    # ------------------------------------------------------------------
+    def analyze(self, device: str, attribute: str) -> DependenceResult:
+        """Run the worklist for one numeric attribute of one device."""
+        result = DependenceResult(device=device, attribute=attribute)
+        worklist: list[tuple[int, str]] = []
+        done: set[tuple[int, str]] = set()
+
+        for node_id, handle, attr_name, arg in self.numeric_action_calls():
+            if handle != device or attr_name != attribute:
+                continue
+            identifiers = _identifiers(arg)
+            if not identifiers:
+                self._record_terminal(result, node_id, arg)
+            for ident in identifiers:
+                worklist.append((node_id, ident))
+
+        while worklist:
+            entry = worklist.pop()
+            if entry in done:
+                continue
+            done.add(entry)
+            node_id, ident = entry
+            for def_node, rhs in self.rd.reaching(node_id, ident):
+                if rhs is None:
+                    continue
+                rhs_resolved = self._resolve_call_rhs(rhs)
+                identifiers = _identifiers(rhs_resolved)
+                if len(identifiers) == 1:
+                    ident2 = identifiers[0]
+                    dep_edge = ((node_id, ident), (def_node, ident2))
+                    if dep_edge not in result.dep:
+                        result.dep.append(dep_edge)
+                    if (def_node, ident2) not in done:
+                        worklist.append((def_node, ident2))
+                    # The identifier may itself be terminal (a user input).
+                    self._maybe_identifier_source(result, def_node, ident2)
+                elif not identifiers:
+                    dep_edge = ((node_id, ident), (def_node, ident))
+                    if dep_edge not in result.dep:
+                        result.dep.append(dep_edge)
+                    self._record_terminal(result, def_node, rhs_resolved)
+                else:
+                    # e = f(id1, id2, ...) — the paper notes IoT apps do not
+                    # combine two tracked identifiers; follow all, soundly.
+                    for ident2 in identifiers:
+                        dep_edge = ((node_id, ident), (def_node, ident2))
+                        if dep_edge not in result.dep:
+                            result.dep.append(dep_edge)
+                        if (def_node, ident2) not in done:
+                            worklist.append((def_node, ident2))
+                        self._maybe_identifier_source(result, def_node, ident2)
+            # Identifiers with no reaching definition: user inputs / reads.
+            if not self.rd.reaching(node_id, ident):
+                self._maybe_identifier_source(result, node_id, ident, force=True)
+        return result
+
+    # ------------------------------------------------------------------
+    def _resolve_call_rhs(self, rhs: ast.Expr) -> ast.Expr:
+        """``x = p()`` — substitute the callee's return expression."""
+        if (
+            isinstance(rhs, ast.MethodCall)
+            and rhs.receiver is None
+            and isinstance(rhs.name, str)
+            and rhs.name in self.icfg.methods
+        ):
+            decl = self.icfg.methods[rhs.name]
+            if decl.body is None:
+                return rhs
+            returns = [
+                stmt.value
+                for stmt in ast.walk(decl.body)
+                if isinstance(stmt, ast.ReturnStmt) and stmt.value is not None
+            ]
+            if len(returns) == 1:
+                return returns[0]
+        return rhs
+
+    def _maybe_identifier_source(
+        self, result: DependenceResult, node_id: int, ident: str, force: bool = False
+    ) -> None:
+        perm = self.ir.user_input(ident)
+        if perm is not None:
+            source = Source("user-input", perm.handle, node_id, 0)
+            if source not in result.sources:
+                result.sources.append(source)
+            return
+        if force and self.ir.device(ident) is None:
+            source = Source("unknown", ident, node_id, 0)
+            if source not in result.sources:
+                result.sources.append(source)
+
+    def _record_terminal(
+        self, result: DependenceResult, node_id: int, expr: ast.Expr
+    ) -> None:
+        line = getattr(expr, "line", 0)
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, (int, float)):
+            source = Source("constant", expr.value, node_id, line)
+        elif isinstance(expr, ast.MethodCall) and isinstance(
+            expr.receiver, ast.Name
+        ):
+            read = _device_read(expr)
+            if read is not None:
+                source = Source("device-read", read, node_id, line)
+            else:
+                source = Source("unknown", None, node_id, line)
+        else:
+            source = Source("unknown", None, node_id, line)
+        if source not in result.sources:
+            result.sources.append(source)
+
+    # ------------------------------------------------------------------
+    def analyze_all(self) -> dict[tuple[str, str], DependenceResult]:
+        """Algorithm 1 for every numeric attribute the app writes."""
+        targets = {
+            (handle, attr) for _n, handle, attr, _a in self.numeric_action_calls()
+        }
+        return {
+            (handle, attr): self.analyze(handle, attr) for handle, attr in targets
+        }
+
+
+def _identifiers(expr: ast.Expr | None) -> list[str]:
+    """Free identifiers of an expression (paper: "e has only a single
+    identifier id'").
+
+    Call receivers (device handles), event metadata (``evt.value``), and
+    platform calls are *not* identifiers — they are terminal sources handled
+    separately.  ``state.f``/``atomicState.f`` count as field-sensitive
+    pseudo-identifiers.
+    """
+    if expr is None:
+        return []
+    names: list[str] = []
+
+    def visit(node: ast.Node) -> None:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+            return
+        if isinstance(node, ast.PropertyAccess):
+            if isinstance(node.obj, ast.Name):
+                if node.obj.id in ("state", "atomicState"):
+                    names.append(f"{node.obj.id}.{node.name}")
+                # evt.value / device.property: not plain identifiers.
+                return
+            if node.obj is not None:
+                visit(node.obj)
+            return
+        if isinstance(node, ast.MethodCall):
+            for arg in node.args:
+                visit(arg)
+            for value in node.named_args.values():
+                visit(value)
+            return
+        for child in ast.children(node):
+            visit(child)
+
+    visit(expr)
+    seen: list[str] = []
+    for name in names:
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def _device_read(call: ast.MethodCall) -> tuple[str, str] | None:
+    if not isinstance(call.receiver, ast.Name) or not isinstance(call.name, str):
+        return None
+    if call.name in ("currentValue", "latestValue", "currentState") and call.args:
+        arg = call.args[0]
+        if isinstance(arg, ast.Literal) and isinstance(arg.value, str):
+            return (call.receiver.id, arg.value)
+    return None

@@ -1,0 +1,183 @@
+"""Path-condition feasibility: the paper's "simple custom checker".
+
+Soteria Sec. 4.2.1: *"Soteria does not use a general SMT solver to check
+path conditions.  We found that the predicates used in IoT apps are
+extremely simple in the form of comparisons between variables and constants
+(such as x = c and x > c); thus, Soteria implemented its simple custom
+checker for path conditions."*
+
+The checker groups atoms by their left-hand side, intersects the numeric
+interval / allowed-value constraints per group, and reports infeasibility
+when any group's constraint set is empty.  Atoms whose right-hand side is
+not a constant are treated conservatively as satisfiable, except for
+direct contradictions on identical symbolic operands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.predicates import Atom, PathCondition, normalize_atom
+from repro.analysis.values import Const, SymValue
+
+
+@dataclass
+class _GroupConstraints:
+    """Accumulated constraints on one symbolic expression."""
+
+    lo: float = -math.inf
+    hi: float = math.inf
+    lo_strict: bool = False
+    hi_strict: bool = False
+    required: object | None = None       # == c
+    has_required: bool = False
+    excluded: set[object] = field(default_factory=set)   # != c
+    must_truthy: bool = False
+    must_falsy: bool = False
+
+    def add_eq(self, value: object) -> bool:
+        if self.has_required and self.required != value:
+            return False
+        if value in self.excluded:
+            return False
+        self.required = value
+        self.has_required = True
+        return self._check_required_in_range()
+
+    def add_neq(self, value: object) -> bool:
+        if self.has_required and self.required == value:
+            return False
+        self.excluded.add(value)
+        return self._check_pinch()
+
+    def add_bound(self, op: str, value: float) -> bool:
+        if op == "<":
+            if value < self.hi or (value == self.hi and not self.hi_strict):
+                self.hi, self.hi_strict = value, True
+        elif op == "<=":
+            if value < self.hi:
+                self.hi, self.hi_strict = value, False
+        elif op == ">":
+            if value > self.lo or (value == self.lo and not self.lo_strict):
+                self.lo, self.lo_strict = value, True
+        elif op == ">=":
+            if value > self.lo:
+                self.lo, self.lo_strict = value, False
+        if self.lo > self.hi:
+            return False
+        if self.lo == self.hi and (self.lo_strict or self.hi_strict):
+            return False
+        if not self._check_pinch():
+            return False
+        return self._check_required_in_range()
+
+    def _check_pinch(self) -> bool:
+        """An interval pinched to one value conflicts with excluding it."""
+        if self.lo == self.hi and not self.lo_strict and not self.hi_strict:
+            if any(
+                isinstance(x, (int, float)) and float(x) == self.lo
+                for x in self.excluded
+            ):
+                return False
+        return True
+
+    def _check_required_in_range(self) -> bool:
+        if not self.has_required or not isinstance(self.required, (int, float)):
+            return True
+        value = float(self.required)
+        if value < self.lo or (value == self.lo and self.lo_strict):
+            return False
+        if value > self.hi or (value == self.hi and self.hi_strict):
+            return False
+        return True
+
+    def add_truthy(self) -> bool:
+        self.must_truthy = True
+        if self.has_required and not self.required:
+            return False
+        return not self.must_falsy
+
+    def add_falsy(self) -> bool:
+        self.must_falsy = True
+        if self.has_required and self.required:
+            return False
+        return not self.must_truthy
+
+
+def is_feasible(condition: PathCondition) -> bool:
+    """Can all atoms of ``condition`` hold simultaneously?
+
+    Sound for the constant-comparison fragment; conservative (returns True)
+    for anything richer.
+    """
+    groups: dict[str, _GroupConstraints] = {}
+    symbolic_eq: dict[tuple[str, str], str] = {}  # (lhs, rhs) -> op seen
+
+    for raw in condition:
+        atom = normalize_atom(raw)
+        key = atom.lhs.key()
+        group = groups.setdefault(key, _GroupConstraints())
+
+        if atom.op == "truthy":
+            if not group.add_truthy():
+                return False
+            continue
+        if atom.op == "falsy":
+            if not group.add_falsy():
+                return False
+            continue
+
+        if isinstance(atom.rhs, Const):
+            value = atom.rhs.value
+            if atom.op == "==":
+                if not group.add_eq(value):
+                    return False
+            elif atom.op == "!=":
+                if not group.add_neq(value):
+                    return False
+            elif isinstance(value, (int, float)) and not isinstance(value, bool):
+                if not group.add_bound(atom.op, float(value)):
+                    return False
+            # Ordered comparisons against non-numeric constants: conservative.
+            continue
+
+        # Symbolic rhs: detect direct contradictions on the same pair.
+        # Canonicalise operand order so "a < b" and "b > a" agree.
+        left_key, right_key = atom.lhs.key(), atom.rhs.key()
+        op = atom.op
+        if left_key > right_key:
+            left_key, right_key = right_key, left_key
+            op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+        if left_key == right_key:
+            # x op x: reflexive contradiction for <, >, !=
+            if op in ("<", ">", "!="):
+                return False
+            continue
+        pair = (left_key, right_key)
+        seen = symbolic_eq.get(pair)
+        if seen is not None and _contradicts(seen, op):
+            return False
+        symbolic_eq[pair] = op
+
+    return True
+
+
+_CONTRADICTORY = {
+    ("==", "!="),
+    ("!=", "=="),
+    ("<", ">"),
+    (">", "<"),
+    ("<", ">="),
+    (">=", "<"),
+    ("<=", ">"),
+    (">", "<="),
+    ("<", "=="),
+    ("==", "<"),
+    (">", "=="),
+    ("==", ">"),
+}
+
+
+def _contradicts(op_a: str, op_b: str) -> bool:
+    return (op_a, op_b) in _CONTRADICTORY

@@ -1,0 +1,87 @@
+"""Path-condition atoms (Soteria Sec. 4.2.2).
+
+A transition guard is a conjunction of :class:`Atom` comparisons.  The paper
+found IoT predicates to be "extremely simple in the form of comparisons
+between variables and constants (such as x = c and x > c)"; atoms mirror
+that: a symbolic left-hand side, a comparison operator, and a right-hand
+side that is usually a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.values import Const, SymValue, source_label
+
+#: Comparison operators and their negations.
+NEGATIONS = {
+    "==": "!=",
+    "!=": "==",
+    "<": ">=",
+    ">=": "<",
+    ">": "<=",
+    "<=": ">",
+    "truthy": "falsy",
+    "falsy": "truthy",
+}
+
+#: Operator with swapped operand order (for normalising const-on-left atoms).
+SWAPPED = {"==": "==", "!=": "!=", "<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One comparison: ``lhs op rhs`` (or ``truthy(lhs)``/``falsy(lhs)``)."""
+
+    lhs: SymValue
+    op: str
+    rhs: SymValue = Const(True)
+
+    def __post_init__(self) -> None:
+        if self.op not in NEGATIONS:
+            raise ValueError(f"unsupported atom operator {self.op!r}")
+
+    def render(self) -> str:
+        if self.op in ("truthy", "falsy"):
+            text = self.lhs.key()
+            return text if self.op == "truthy" else f"!{text}"
+        return f"{self.lhs.key()} {self.op} {self.rhs.key()}"
+
+    def sources(self) -> set[str]:
+        """Predicate-source labels of both operands (Sec. 4.2.2)."""
+        labels = {source_label(self.lhs)}
+        if self.op not in ("truthy", "falsy"):
+            labels.add(source_label(self.rhs))
+        return labels
+
+
+#: A path condition: a conjunction of atoms (empty = true).
+PathCondition = tuple[Atom, ...]
+
+
+def negate_atom(atom: Atom) -> Atom:
+    """``!(lhs op rhs)`` as an atom."""
+    return Atom(lhs=atom.lhs, op=NEGATIONS[atom.op], rhs=atom.rhs)
+
+
+def normalize_atom(atom: Atom) -> Atom:
+    """Put the constant on the right-hand side when possible."""
+    if isinstance(atom.lhs, Const) and not isinstance(atom.rhs, Const):
+        swapped = SWAPPED.get(atom.op)
+        if swapped is not None:
+            return Atom(lhs=atom.rhs, op=swapped, rhs=atom.lhs)
+    return atom
+
+
+def render_condition(condition: PathCondition) -> str:
+    """Human-readable guard text, e.g. for DOT edge labels."""
+    if not condition:
+        return ""
+    return " && ".join(atom.render() for atom in condition)
+
+
+def condition_sources(condition: PathCondition) -> set[str]:
+    labels: set[str] = set()
+    for atom in condition:
+        labels |= atom.sources()
+    return labels

@@ -1,0 +1,970 @@
+"""Forward path-sensitive symbolic execution (Soteria Sec. 4.2.2).
+
+For each entry point, the executor explores all paths through the handler's
+call graph, accumulating path conditions at branches, recording device
+actions, and merging paths ESP-style (paths whose symbolic end states are
+identical are merged, dropping the distinguishing branch condition — the
+paper's anti-path-explosion measure).  Infeasible paths are pruned with the
+custom path-condition checker, and calls by reflection fork to every app
+method (safe over-approximation, Sec. 4.2.3).
+
+The output is a set of :class:`PathSummary` *transition rules*: (event,
+path condition, ordered device actions).  The state-model extractor expands
+them into concrete labelled transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.lang import ast
+from repro.analysis.feasibility import is_feasible
+from repro.analysis.predicates import Atom, PathCondition, negate_atom
+from repro.analysis.values import (
+    Arith,
+    Const,
+    DeviceRead,
+    EventAttr,
+    EventValue,
+    StateVar,
+    SymValue,
+    Unknown,
+    UserInput,
+    fold_arith,
+)
+from repro.ir.ir import AppIR, EntryPoint
+from repro.platform.capabilities import PARAM, CapabilityDatabase, default_database
+
+#: Platform calls that are pure logging / notification noise for the model.
+_NOOP_CALLS = {
+    "log",
+    "unsubscribe",
+    "unschedule",
+    "pause",
+    "now",
+    "getSunriseAndSunset",
+    "timeToday",
+    "timeOfDayIsBetween",
+}
+
+_SEND_CALLS = {
+    "sendSms",
+    "sendSmsMessage",
+    "sendPush",
+    "sendPushMessage",
+    "sendNotification",
+    "sendNotificationToContacts",
+    "sendNotificationEvent",
+    "httpPost",
+    "httpPostJson",
+}
+
+#: Methods reflective calls never target (platform lifecycle).
+_LIFECYCLE = {"installed", "updated", "initialize", "uninstalled"}
+
+#: evt.* properties that carry the event value (possibly converted).
+_EVENT_VALUE_PROPS = {
+    "value",
+    "doubleValue",
+    "floatValue",
+    "integerValue",
+    "longValue",
+    "numberValue",
+    "numericValue",
+    "stringValue",
+}
+
+#: Pass-through conversions: ``x.integerValue``, ``x.toInteger()`` ...
+_CONVERSIONS = {
+    "toInteger",
+    "toDouble",
+    "toFloat",
+    "toString",
+    "integerValue",
+    "doubleValue",
+    "floatValue",
+    "value",
+    "trim",
+    "toLowerCase",
+    "toUpperCase",
+}
+
+
+@dataclass(frozen=True)
+class Action:
+    """One attribute effect of a device action call on some path."""
+
+    device: str
+    command: str
+    attribute: str | None      # None for effect-free commands (take(), beep())
+    value: object              # enum value str, or SymValue for numeric writes
+    line: int = 0
+    via_reflection: bool = False
+
+    def render(self) -> str:
+        if self.attribute is None:
+            return f"{self.device}.{self.command}()"
+        value = self.value.key() if isinstance(self.value, SymValue) else self.value
+        return f"{self.device}.{self.attribute}={value}"
+
+
+@dataclass(frozen=True)
+class PathSummary:
+    """A transition rule: when ``entry.event`` fires and ``condition``
+    holds, the handler performs ``actions`` in order."""
+
+    entry: EntryPoint
+    condition: PathCondition
+    actions: tuple[Action, ...]
+    state_writes: tuple[tuple[str, str], ...] = ()
+    sends: tuple[str, ...] = ()
+    uses_reflection: bool = False
+
+    def writes(self) -> list[Action]:
+        return [a for a in self.actions if a.attribute is not None]
+
+
+@dataclass
+class _Ctx:
+    """Mutable execution context for one explored path."""
+
+    env: dict[str, SymValue] = field(default_factory=dict)
+    condition: list[Atom] = field(default_factory=list)
+    actions: list[Action] = field(default_factory=list)
+    state_writes: dict[str, SymValue] = field(default_factory=dict)
+    sends: list[str] = field(default_factory=list)
+    returned: bool = False
+    return_value: SymValue = field(default_factory=lambda: Const(None))
+    reflection_depth: int = 0
+    uses_reflection: bool = False
+
+    def clone(self) -> "_Ctx":
+        twin = _Ctx(
+            env=dict(self.env),
+            condition=list(self.condition),
+            actions=list(self.actions),
+            state_writes=dict(self.state_writes),
+            sends=list(self.sends),
+            returned=self.returned,
+            return_value=self.return_value,
+            reflection_depth=self.reflection_depth,
+            uses_reflection=self.uses_reflection,
+        )
+        return twin
+
+    def effect_key(self) -> tuple:
+        """Symbolic end state, used for ESP-style merging."""
+        return (
+            tuple(sorted((k, v.key()) for k, v in self.env.items())),
+            tuple(self.actions),
+            tuple(sorted((k, v.key()) for k, v in self.state_writes.items())),
+            self.returned,
+            self.return_value.key(),
+        )
+
+
+class SymbolicExecutor:
+    """Path-sensitive executor over one app's IR."""
+
+    def __init__(
+        self,
+        ir: AppIR,
+        db: CapabilityDatabase | None = None,
+        max_paths: int = 256,
+        call_depth: int = 4,
+        merge_paths: bool = True,
+        prune_infeasible: bool = True,
+        refine_reflection: bool = True,
+    ) -> None:
+        self.ir = ir
+        self.db = db or default_database()
+        self.max_paths = max_paths
+        self.call_depth = call_depth
+        self.merge_paths = merge_paths
+        self.prune_infeasible = prune_infeasible
+        #: Sec. 7 extension: resolve reflective call targets by string
+        #: analysis when the name is a path constant.
+        self.refine_reflection = refine_reflection
+        self.truncated = False
+        #: Every atom ever forked on, per entry point — kept even when ESP
+        #: merging later drops the branch condition, because property
+        #: abstraction still needs the comparison cut points (an app that
+        #: merely *logs* per threshold still partitions the domain).
+        self.observed_atoms: list[tuple[EntryPoint, Atom]] = []
+        self._current_entry: EntryPoint | None = None
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def run_entry(self, entry: EntryPoint) -> list[PathSummary]:
+        """Execute the handler of ``entry`` and return its transition rules."""
+        method = self.ir.method(entry.handler)
+        if method is None or method.body is None:
+            return []
+        self._current_entry = entry
+        ctx = _Ctx()
+        for param in method.params:
+            ctx.env[param.name] = EventAttr("event-object")
+        contexts = self._exec_block(method.body, [ctx], depth=0)
+        summaries: list[PathSummary] = []
+        seen: set[tuple] = set()
+        for done in contexts:
+            summary = PathSummary(
+                entry=entry,
+                condition=tuple(done.condition),
+                actions=tuple(done.actions),
+                state_writes=tuple(
+                    sorted((k, v.key()) for k, v in done.state_writes.items())
+                ),
+                sends=tuple(done.sends),
+                uses_reflection=done.uses_reflection,
+            )
+            key = (summary.condition, summary.actions, summary.state_writes)
+            if key not in seen:
+                seen.add(key)
+                summaries.append(summary)
+        return summaries
+
+    def run_all(self) -> dict[EntryPoint, list[PathSummary]]:
+        return {entry: self.run_entry(entry) for entry in self.ir.entry_points}
+
+    # ==================================================================
+    # Statements
+    # ==================================================================
+    def _exec_block(
+        self, block: ast.Block | None, contexts: list[_Ctx], depth: int
+    ) -> list[_Ctx]:
+        if block is None:
+            return contexts
+        for stmt in block.statements:
+            next_contexts: list[_Ctx] = []
+            for ctx in contexts:
+                if ctx.returned:
+                    next_contexts.append(ctx)
+                else:
+                    next_contexts.extend(self._exec_stmt(stmt, ctx, depth))
+            contexts = self._merge(next_contexts)
+            if len(contexts) > self.max_paths:
+                contexts = contexts[: self.max_paths]
+                self.truncated = True
+        return contexts
+
+    def _exec_stmt(self, stmt: ast.Stmt, ctx: _Ctx, depth: int) -> list[_Ctx]:
+        if isinstance(stmt, ast.Assign):
+            return self._exec_assign(stmt, ctx, depth)
+        if isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is None:
+                return [ctx]
+            return [c for _v, c in self._eval(stmt.expr, ctx, depth)]
+        if isinstance(stmt, ast.IfStmt):
+            return self._exec_if(stmt, ctx, depth)
+        if isinstance(stmt, ast.WhileStmt):
+            true_ctxs, false_ctxs = self._branch(stmt.cond, ctx, depth)
+            results = list(false_ctxs)
+            for body_ctx in true_ctxs:
+                results.extend(self._exec_block(stmt.body, [body_ctx], depth))
+            return results
+        if isinstance(stmt, ast.ForInStmt):
+            skip = ctx.clone()
+            once = ctx
+            once.env[stmt.var] = Unknown("loop-item")
+            results = [skip]
+            results.extend(self._exec_block(stmt.body, [once], depth))
+            return results
+        if isinstance(stmt, ast.ReturnStmt):
+            if stmt.value is None:
+                ctx.returned = True
+                return [ctx]
+            results = []
+            for value, out in self._eval(stmt.value, ctx, depth):
+                out.return_value = value
+                out.returned = True
+                results.append(out)
+            return results
+        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            ctx.returned = False
+            return [ctx]
+        return [ctx]
+
+    def _exec_assign(self, stmt: ast.Assign, ctx: _Ctx, depth: int) -> list[_Ctx]:
+        results: list[_Ctx] = []
+        value_expr = stmt.value
+        if value_expr is None:
+            evaluated = [(Const(None), ctx)]
+        else:
+            evaluated = self._eval(value_expr, ctx, depth)
+        for value, out in evaluated:
+            target = stmt.target
+            if stmt.op in ("+=", "-="):
+                current = self._read_target(target, out)
+                value = fold_arith(stmt.op[0], current, value)
+            if isinstance(target, ast.Name):
+                out.env[target.id] = value
+            elif isinstance(target, ast.PropertyAccess) and isinstance(
+                target.obj, ast.Name
+            ):
+                owner = target.obj.id
+                if owner in ("state", "atomicState"):
+                    key = f"{owner}.{target.name}"
+                    out.env[key] = value
+                    out.state_writes[key] = value
+                elif owner == "location" and target.name == "mode":
+                    out.actions.append(
+                        Action(
+                            device="location",
+                            command="setMode",
+                            attribute="mode",
+                            value=_value_or_sym(value),
+                            line=stmt.line,
+                            via_reflection=out.reflection_depth > 0,
+                        )
+                    )
+                    if out.reflection_depth > 0:
+                        out.uses_reflection = True
+            results.append(out)
+        return results
+
+    def _read_target(self, target: ast.Expr | None, ctx: _Ctx) -> SymValue:
+        if isinstance(target, ast.Name):
+            return ctx.env.get(target.id, Unknown(target.id))
+        if isinstance(target, ast.PropertyAccess) and isinstance(
+            target.obj, ast.Name
+        ):
+            if target.obj.id in ("state", "atomicState"):
+                key = f"{target.obj.id}.{target.name}"
+                return ctx.env.get(key, StateVar(key))
+        return Unknown("target")
+
+    def _exec_if(self, stmt: ast.IfStmt, ctx: _Ctx, depth: int) -> list[_Ctx]:
+        true_ctxs, false_ctxs = self._branch(stmt.cond, ctx, depth)
+        results: list[_Ctx] = []
+        for true_ctx in true_ctxs:
+            results.extend(self._exec_block(stmt.then, [true_ctx], depth))
+        for false_ctx in false_ctxs:
+            if stmt.otherwise is None:
+                results.append(false_ctx)
+            elif isinstance(stmt.otherwise, ast.IfStmt):
+                results.extend(self._exec_stmt(stmt.otherwise, false_ctx, depth))
+            else:
+                results.extend(self._exec_block(stmt.otherwise, [false_ctx], depth))
+        return self._merge(results)
+
+    # ==================================================================
+    # ESP-style merging
+    # ==================================================================
+    def _merge(self, contexts: list[_Ctx]) -> list[_Ctx]:
+        """Merge contexts with identical symbolic end states (ESP).
+
+        The merged path keeps only the atoms common to all merged paths —
+        the distinguishing branch conditions vanish, exactly as in the
+        paper: "if the end states for the true and false branches are the
+        same, then the two paths are merged."
+        """
+        if not self.merge_paths or len(contexts) <= 1:
+            return contexts
+        grouped: dict[tuple, _Ctx] = {}
+        order: list[tuple] = []
+        for ctx in contexts:
+            key = ctx.effect_key()
+            if key in grouped:
+                kept = grouped[key]
+                common = [a for a in kept.condition if a in ctx.condition]
+                kept.condition = common
+                kept.uses_reflection = kept.uses_reflection or ctx.uses_reflection
+            else:
+                grouped[key] = ctx
+                order.append(key)
+        return [grouped[key] for key in order]
+
+    # ==================================================================
+    # Branch conditions
+    # ==================================================================
+    def _branch(
+        self, cond: ast.Expr | None, ctx: _Ctx, depth: int
+    ) -> tuple[list[_Ctx], list[_Ctx]]:
+        """Split ``ctx`` into true-contexts and false-contexts for ``cond``."""
+        if cond is None:
+            return [ctx], []
+        if isinstance(cond, ast.UnaryOp) and cond.op == "!":
+            false_side, true_side = self._branch(cond.operand, ctx, depth)
+            return true_side, false_side
+        if isinstance(cond, ast.BinaryOp) and cond.op == "&&":
+            left_true, left_false = self._branch(cond.left, ctx, depth)
+            true_out: list[_Ctx] = []
+            false_out = left_false
+            for sub in left_true:
+                sub_true, sub_false = self._branch(cond.right, sub, depth)
+                true_out.extend(sub_true)
+                false_out.extend(sub_false)
+            return true_out, false_out
+        if isinstance(cond, ast.BinaryOp) and cond.op == "||":
+            left_true, left_false = self._branch(cond.left, ctx, depth)
+            true_out = left_true
+            false_out: list[_Ctx] = []
+            for sub in left_false:
+                sub_true, sub_false = self._branch(cond.right, sub, depth)
+                true_out.extend(sub_true)
+                false_out.extend(sub_false)
+            return true_out, false_out
+        if isinstance(cond, ast.BinaryOp) and cond.op in (
+            "==",
+            "!=",
+            "<",
+            ">",
+            "<=",
+            ">=",
+        ):
+            true_out, false_out = [], []
+            for lhs, ctx1 in self._eval(cond.left, ctx, depth):
+                for rhs, ctx2 in self._eval(cond.right, ctx1, depth):
+                    self._apply_comparison(
+                        lhs, cond.op, rhs, ctx2, true_out, false_out
+                    )
+            return true_out, false_out
+        # Generic truthiness.
+        true_out, false_out = [], []
+        for value, out in self._eval(cond, ctx, depth):
+            if isinstance(value, Const):
+                (true_out if value.value else false_out).append(out)
+                continue
+            self._fork_atom(
+                out, Atom(lhs=value, op="truthy"), true_out, false_out
+            )
+        return true_out, false_out
+
+    def _apply_comparison(
+        self,
+        lhs: SymValue,
+        op: str,
+        rhs: SymValue,
+        ctx: _Ctx,
+        true_out: list[_Ctx],
+        false_out: list[_Ctx],
+    ) -> None:
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            outcome = _compare_consts(lhs.value, op, rhs.value)
+            if outcome is not None:
+                (true_out if outcome else false_out).append(ctx)
+                return
+        self._fork_atom(ctx, Atom(lhs=lhs, op=op, rhs=rhs), true_out, false_out)
+
+    def _fork_atom(
+        self, ctx: _Ctx, atom: Atom, true_out: list[_Ctx], false_out: list[_Ctx]
+    ) -> None:
+        if self._current_entry is not None:
+            self.observed_atoms.append((self._current_entry, atom))
+        false_ctx = ctx.clone()
+        ctx.condition.append(atom)
+        false_ctx.condition.append(negate_atom(atom))
+        if not self.prune_infeasible or is_feasible(tuple(ctx.condition)):
+            true_out.append(ctx)
+        if not self.prune_infeasible or is_feasible(tuple(false_ctx.condition)):
+            false_out.append(false_ctx)
+
+    # ==================================================================
+    # Expressions
+    # ==================================================================
+    def _eval(
+        self, expr: ast.Expr | None, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        if expr is None:
+            return [(Const(None), ctx)]
+        if isinstance(expr, ast.Literal):
+            return [(Const(expr.value), ctx)]
+        if isinstance(expr, ast.Name):
+            return [(self._eval_name(expr.id, ctx), ctx)]
+        if isinstance(expr, ast.GString):
+            return self._eval_gstring(expr, ctx, depth)
+        if isinstance(expr, ast.PropertyAccess):
+            return self._eval_property(expr, ctx, depth)
+        if isinstance(expr, ast.MethodCall):
+            return self._eval_call(expr, ctx, depth)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr, ctx, depth)
+        if isinstance(expr, ast.UnaryOp):
+            results = []
+            for value, out in self._eval(expr.operand, ctx, depth):
+                if expr.op == "!" and isinstance(value, Const):
+                    results.append((Const(not value.value), out))
+                elif (
+                    expr.op == "-"
+                    and isinstance(value, Const)
+                    and isinstance(value.value, (int, float))
+                ):
+                    results.append((Const(-value.value), out))
+                else:
+                    results.append((Unknown(f"unary{expr.op}"), out))
+            return results
+        if isinstance(expr, ast.Ternary):
+            true_ctxs, false_ctxs = self._branch(expr.cond, ctx, depth)
+            results = []
+            for out in true_ctxs:
+                results.extend(self._eval(expr.then, out, depth))
+            for out in false_ctxs:
+                results.extend(self._eval(expr.otherwise, out, depth))
+            return results
+        if isinstance(expr, ast.Elvis):
+            results = []
+            for value, out in self._eval(expr.value, ctx, depth):
+                if isinstance(value, Const) and not value.value:
+                    results.extend(self._eval(expr.default, out, depth))
+                else:
+                    results.append((value, out))
+            return results
+        if isinstance(expr, ast.CastExpr):
+            return self._eval(expr.value, ctx, depth)
+        if isinstance(expr, ast.Index):
+            return [(Unknown("index"), ctx)]
+        if isinstance(expr, (ast.ListLiteral, ast.MapLiteral, ast.RangeLiteral)):
+            return [(Unknown("collection"), ctx)]
+        if isinstance(expr, ast.NewExpr):
+            return [(Unknown(f"new-{expr.type_name}"), ctx)]
+        if isinstance(expr, ast.ClosureExpr):
+            return [(Unknown("closure"), ctx)]
+        return [(Unknown(type(expr).__name__), ctx)]
+
+    def _eval_name(self, name: str, ctx: _Ctx) -> SymValue:
+        if name in ctx.env:
+            return ctx.env[name]
+        if self.ir.user_input(name) is not None:
+            return UserInput(name)
+        if self.ir.device(name) is not None:
+            return Unknown(f"device:{name}")
+        if name == "location":
+            return Unknown("location")
+        return Unknown(name)
+
+    def _eval_gstring(
+        self, expr: ast.GString, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        static = expr.static_text()
+        if static is not None:
+            return [(Const(static), ctx)]
+        # Single-hole GStrings of a known constant fold to that text.
+        contexts = [(ctx, [])]  # (ctx, parts)
+        for part in expr.parts:
+            next_contexts = []
+            if isinstance(part, str):
+                for out, parts in contexts:
+                    next_contexts.append((out, parts + [Const(part)]))
+            else:
+                for out, parts in contexts:
+                    for value, out2 in self._eval(part, out, depth):
+                        next_contexts.append((out2, parts + [value]))
+            contexts = next_contexts
+        results: list[tuple[SymValue, _Ctx]] = []
+        for out, parts in contexts:
+            if all(isinstance(p, Const) for p in parts):
+                text = "".join(str(p.value) for p in parts)  # type: ignore[union-attr]
+                results.append((Const(text), out))
+            else:
+                results.append((Unknown("gstring"), out))
+        return results
+
+    def _eval_property(
+        self, expr: ast.PropertyAccess, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        obj = expr.obj
+        name = expr.name
+        if isinstance(obj, ast.Name):
+            owner = obj.id
+            if ctx.env.get(owner) is not None and isinstance(
+                ctx.env[owner], EventAttr
+            ):
+                # Handler parameter: the event object.
+                if name in _EVENT_VALUE_PROPS:
+                    return [(EventValue(), ctx)]
+                return [(EventAttr(name), ctx)]
+            if owner == "evt":
+                if name in _EVENT_VALUE_PROPS:
+                    return [(EventValue(), ctx)]
+                return [(EventAttr(name), ctx)]
+            if owner in ("state", "atomicState"):
+                key = f"{owner}.{name}"
+                return [(ctx.env.get(key, StateVar(key)), ctx)]
+            if owner == "location":
+                if name in ("mode", "currentMode"):
+                    return [(DeviceRead("location", "mode"), ctx)]
+                return [(Unknown(f"location.{name}"), ctx)]
+            if owner == "settings":
+                if self.ir.user_input(name) is not None:
+                    return [(UserInput(name), ctx)]
+                return [(Unknown(f"settings.{name}"), ctx)]
+            perm = self.ir.device(owner)
+            if perm is not None:
+                attribute = self._current_attribute(perm.capability, name)
+                if attribute is not None:
+                    return [(DeviceRead(owner, attribute), ctx)]
+                return [(Unknown(f"{owner}.{name}"), ctx)]
+        # Conversion properties pass the underlying value through.
+        results: list[tuple[SymValue, _Ctx]] = []
+        if obj is not None:
+            for value, out in self._eval(obj, ctx, depth):
+                if name in _CONVERSIONS:
+                    results.append((value, out))
+                elif isinstance(value, (EventValue, EventAttr)):
+                    if name in _EVENT_VALUE_PROPS:
+                        results.append((EventValue(), out))
+                    else:
+                        results.append((EventAttr(name), out))
+                else:
+                    results.append((Unknown(f".{name}"), out))
+            return results
+        return [(Unknown(name), ctx)]
+
+    def _current_attribute(self, capability: str, prop: str) -> str | None:
+        """``currentTemperature`` -> ``temperature`` etc."""
+        if prop.startswith("current") and len(prop) > len("current"):
+            attr = prop[len("current") :]
+            attr = attr[0].lower() + attr[1:]
+            cap = self.db.get(capability)
+            if cap is not None and attr in cap.attributes:
+                return attr
+            if self.db.attribute_anywhere(attr) is not None:
+                return attr
+        if prop.startswith("latest") and len(prop) > len("latest"):
+            attr = prop[len("latest") :]
+            attr = attr[0].lower() + attr[1:]
+            if self.db.attribute_anywhere(attr) is not None:
+                return attr
+        cap = self.db.get(capability)
+        if cap is not None and prop in cap.attributes:
+            return prop
+        return None
+
+    def _eval_binary(
+        self, expr: ast.BinaryOp, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        if expr.op in ("&&", "||"):
+            true_ctxs, false_ctxs = self._branch(expr, ctx, depth)
+            results: list[tuple[SymValue, _Ctx]] = []
+            results.extend((Const(True), out) for out in true_ctxs)
+            results.extend((Const(False), out) for out in false_ctxs)
+            return results
+        results = []
+        for lhs, ctx1 in self._eval(expr.left, ctx, depth):
+            for rhs, ctx2 in self._eval(expr.right, ctx1, depth):
+                if expr.op in ("+", "-", "*", "/", "%", "**"):
+                    results.append((fold_arith(expr.op, lhs, rhs), ctx2))
+                elif expr.op in ("==", "!=", "<", ">", "<=", ">="):
+                    if isinstance(lhs, Const) and isinstance(rhs, Const):
+                        outcome = _compare_consts(lhs.value, expr.op, rhs.value)
+                        if outcome is not None:
+                            results.append((Const(outcome), ctx2))
+                            continue
+                    results.append((Unknown("comparison"), ctx2))
+                else:
+                    results.append((Unknown(expr.op), ctx2))
+        return results
+
+    # ==================================================================
+    # Calls
+    # ==================================================================
+    def _eval_call(
+        self, call: ast.MethodCall, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        # Reflective call: "$name"(...)
+        if call.is_reflective():
+            return self._eval_reflective(call, ctx, depth)
+
+        name = call.name
+        assert isinstance(name, str)
+
+        if call.receiver is None:
+            return self._eval_bare_call(call, name, ctx, depth)
+
+        # Receiver calls -------------------------------------------------
+        if isinstance(call.receiver, ast.Name):
+            owner = call.receiver.id
+            perm = self.ir.device(owner)
+            if perm is not None:
+                return self._eval_device_call(call, owner, perm.capability, ctx, depth)
+            if owner == "location":
+                if name in ("setMode", "mode"):
+                    return self._record_mode_set(call, ctx, depth)
+                return [(Unknown(f"location.{name}"), ctx)]
+            if owner == "log":
+                # Evaluate args for side effects in GStrings only; ignore.
+                return [(Const(None), ctx)]
+        # Conversions / unknown receiver methods.
+        results: list[tuple[SymValue, _Ctx]] = []
+        receiver_vals = (
+            self._eval(call.receiver, ctx, depth)
+            if call.receiver is not None
+            else [(Unknown("none"), ctx)]
+        )
+        for value, out in receiver_vals:
+            if name in _CONVERSIONS:
+                results.append((value, out))
+            else:
+                out2_list = [(Unknown(f".{name}()"), out)]
+                # Execute trailing closures (Groovy iteration helpers).
+                if call.closure is not None:
+                    out2_list = self._exec_closure(call.closure, out, depth)
+                results.extend(out2_list)
+        return results
+
+    def _eval_bare_call(
+        self, call: ast.MethodCall, name: str, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        # App-defined method: inline.
+        if name in self.ir.methods():
+            if depth >= self.call_depth:
+                return [(Unknown(f"deep-call:{name}"), ctx)]
+            return self._inline_call(call, name, ctx, depth)
+        if name == "setLocationMode" or name == "sendLocationEvent":
+            return self._record_mode_set(call, ctx, depth)
+        if name in _SEND_CALLS:
+            ctx.sends.append(name)
+            return [(Const(None), ctx)]
+        if name in _NOOP_CALLS:
+            return [(Unknown(name), ctx)]
+        if name in ("runIn", "runOnce", "schedule") or name.startswith("runEvery"):
+            # Scheduling from a handler: the timer entry point is recorded
+            # by the IR builder; the call itself has no immediate effect.
+            return [(Const(None), ctx)]
+        if call.closure is not None:
+            # httpGet("...") { resp -> ... } and friends: run the closure
+            # with opaque parameters (the response is runtime data).
+            contexts = self._exec_closure(call.closure, ctx, depth)
+            return contexts
+        return [(Unknown(name), ctx)]
+
+    def _exec_closure(
+        self, closure: ast.ClosureExpr, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        for param in closure.params or ["it"]:
+            ctx.env[param] = Unknown(f"closure:{param}")
+        outs = self._exec_block(closure.body, [ctx], depth)
+        for out in outs:
+            out.returned = False
+        return [(Unknown("closure-result"), out) for out in outs]
+
+    def _inline_call(
+        self, call: ast.MethodCall, name: str, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        decl = self.ir.methods()[name]
+        # Evaluate arguments in the caller's scope.
+        arg_sets: list[tuple[list[SymValue], _Ctx]] = [([], ctx)]
+        for arg in call.args:
+            next_sets = []
+            for values, out in arg_sets:
+                for value, out2 in self._eval(arg, out, depth):
+                    next_sets.append((values + [value], out2))
+            arg_sets = next_sets
+        results: list[tuple[SymValue, _Ctx]] = []
+        for values, out in arg_sets:
+            caller_env = dict(out.env)
+            callee_env: dict[str, SymValue] = {
+                key: value
+                for key, value in out.env.items()
+                if key.startswith("state.") or key.startswith("atomicState.")
+            }
+            for index, param in enumerate(decl.params):
+                if index < len(values):
+                    callee_env[param.name] = values[index]
+                elif param.default is not None:
+                    default_vals = self._eval(param.default, out, depth)
+                    callee_env[param.name] = default_vals[0][0]
+                else:
+                    callee_env[param.name] = Const(None)
+            out.env = callee_env
+            finished = self._exec_block(decl.body, [out], depth + 1)
+            for done in finished:
+                retval = done.return_value if done.returned else Const(None)
+                restored = dict(caller_env)
+                for key, value in done.env.items():
+                    if key.startswith("state.") or key.startswith("atomicState."):
+                        restored[key] = value
+                done.env = restored
+                done.returned = False
+                done.return_value = Const(None)
+                results.append((retval, done))
+        return results
+
+    def _eval_reflective(
+        self, call: ast.MethodCall, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        """``"$name"()``: resolve the name by string analysis when possible,
+        otherwise over-approximate to every app method.
+
+        String refinement is the paper's Sec. 7 future work: when the
+        GString's holes evaluate to compile-time constants on this path
+        (``def m = "foo"; "$m"()``), the call targets exactly that method —
+        no over-approximation, no false-positive risk.  Values from state
+        objects or HTTP responses stay unknown and fall back to the safe
+        fan-out (which is what produces MalIoT App5's false positive).
+        """
+        if depth >= self.call_depth:
+            ctx.uses_reflection = True
+            return [(Unknown("deep-reflective"), ctx)]
+        results: list[tuple[SymValue, _Ctx]] = []
+        name_expr = call.name
+        resolved: list[tuple[str | None, _Ctx]] = []
+        if self.refine_reflection and isinstance(name_expr, ast.GString):
+            for value, out in self._eval(name_expr, ctx, depth):
+                if isinstance(value, Const) and isinstance(value.value, str):
+                    resolved.append((value.value, out))
+                else:
+                    resolved.append((None, out))
+        else:
+            resolved.append((None, ctx))
+
+        for name, out in resolved:
+            if name is not None and name in self.ir.methods():
+                # Statically-known target: a plain direct call.
+                direct = ast.MethodCall(
+                    receiver=None, name=name, args=call.args, line=call.line
+                )
+                results.extend(self._inline_call(direct, name, out, depth))
+                continue
+            if name is not None:
+                # Known name, but no such method: the call fails at runtime.
+                results.append((Unknown(f"no-such-method:{name}"), out))
+                continue
+            results.extend(self._fan_out_reflective(call, out, depth))
+        return results
+
+    def _fan_out_reflective(
+        self, call: ast.MethodCall, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        """Safe over-approximation: every non-lifecycle method is a target."""
+        ctx.uses_reflection = True
+        results: list[tuple[SymValue, _Ctx]] = []
+        targets = [name for name in self.ir.methods() if name not in _LIFECYCLE]
+        if not targets:
+            return [(Unknown("reflective"), ctx)]
+        for target in targets:
+            branch_ctx = ctx.clone()
+            branch_ctx.reflection_depth += 1
+            fake_call = ast.MethodCall(
+                receiver=None, name=target, args=call.args, line=call.line
+            )
+            for value, out in self._inline_call(fake_call, target, branch_ctx, depth):
+                out.reflection_depth -= 1
+                results.append((value, out))
+        return results
+
+    def _record_mode_set(
+        self, call: ast.MethodCall, ctx: _Ctx, depth: int
+    ) -> list[tuple[SymValue, _Ctx]]:
+        results: list[tuple[SymValue, _Ctx]] = []
+        arg = call.args[0] if call.args else None
+        evaluated = (
+            self._eval(arg, ctx, depth) if arg is not None else [(Unknown("mode"), ctx)]
+        )
+        for value, out in evaluated:
+            out.actions.append(
+                Action(
+                    device="location",
+                    command="setMode",
+                    attribute="mode",
+                    value=_value_or_sym(value),
+                    line=call.line,
+                    via_reflection=out.reflection_depth > 0,
+                )
+            )
+            if out.reflection_depth > 0:
+                out.uses_reflection = True
+            results.append((Const(None), out))
+        return results
+
+    def _eval_device_call(
+        self,
+        call: ast.MethodCall,
+        device: str,
+        capability: str,
+        ctx: _Ctx,
+        depth: int,
+    ) -> list[tuple[SymValue, _Ctx]]:
+        name = call.name
+        assert isinstance(name, str)
+        # Attribute reads.
+        if name in ("currentValue", "latestValue", "currentState", "latestState"):
+            if call.args:
+                results = []
+                for value, out in self._eval(call.args[0], ctx, depth):
+                    if isinstance(value, Const) and isinstance(value.value, str):
+                        results.append((DeviceRead(device, value.value), out))
+                    else:
+                        results.append((Unknown("dynamic-read"), out))
+                return results
+            return [(Unknown("read"), ctx)]
+        # Commands from the capability reference.
+        command = self.db.command(capability, name)
+        if command is not None:
+            return self._record_command(call, device, command, ctx, depth)
+        # Unknown device method (eventsSince etc.).
+        return [(Unknown(f"{device}.{name}()"), ctx)]
+
+    def _record_command(self, call, device, command, ctx: _Ctx, depth: int):
+        contexts: list[tuple[SymValue | None, _Ctx]] = [(None, ctx)]
+        if any(effect is PARAM for _a, effect in command.sets) and call.args:
+            contexts = [
+                (value, out) for value, out in self._eval(call.args[0], ctx, depth)
+            ]
+        results: list[tuple[SymValue, _Ctx]] = []
+        for arg_value, out in contexts:
+            reflective = out.reflection_depth > 0
+            if reflective:
+                out.uses_reflection = True
+            if not command.sets:
+                out.actions.append(
+                    Action(
+                        device=device,
+                        command=command.name,
+                        attribute=None,
+                        value=None,
+                        line=call.line,
+                        via_reflection=reflective,
+                    )
+                )
+            for attribute, effect in command.sets:
+                if effect is PARAM:
+                    value: object = (
+                        _value_or_sym(arg_value)
+                        if arg_value is not None
+                        else Unknown("arg")
+                    )
+                else:
+                    value = effect
+                out.actions.append(
+                    Action(
+                        device=device,
+                        command=command.name,
+                        attribute=attribute,
+                        value=value,
+                        line=call.line,
+                        via_reflection=reflective,
+                    )
+                )
+            results.append((Const(None), out))
+        return results
+
+
+def _value_or_sym(value: SymValue) -> object:
+    """Concrete string for constant writes, the SymValue otherwise."""
+    if isinstance(value, Const) and isinstance(value.value, str):
+        return value.value
+    return value
+
+
+def _compare_consts(lhs: object, op: str, rhs: object) -> bool | None:
+    try:
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if not isinstance(lhs, (int, float)) or not isinstance(rhs, (int, float)):
+            return None
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+    except TypeError:
+        return None
+    return None

@@ -1,0 +1,154 @@
+"""Symbolic value domain for Soteria's analyses.
+
+Every expression in a handler body evaluates to one of these values.  The
+paper labels predicate components with their *source* — "device-state",
+"developer-defined", "user-defined", or "state-variable" (Sec. 4.2.2); here
+the source falls out of the value's type via :func:`source_label`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SymValue:
+    """Base class for symbolic values."""
+
+    def key(self) -> str:
+        """Stable canonical text, used to group atoms in the feasibility
+        checker and to render transition-guard labels."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(SymValue):
+    """A compile-time constant (developer-defined)."""
+
+    value: object
+
+    def key(self) -> str:
+        return f"const:{self.value!r}"
+
+
+@dataclass(frozen=True)
+class UserInput(SymValue):
+    """The value of an install-time user input (``input "thrshld", "number"``)."""
+
+    handle: str
+
+    def key(self) -> str:
+        return f"user:{self.handle}"
+
+
+@dataclass(frozen=True)
+class DeviceRead(SymValue):
+    """A device attribute read: ``dev.currentValue("power")`` and friends."""
+
+    device: str
+    attribute: str
+
+    def key(self) -> str:
+        return f"device:{self.device}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class StateVar(SymValue):
+    """A persistent state-object field: ``state.counter`` (field-sensitive)."""
+
+    name: str  # e.g. "state.counter" / "atomicState.mode"
+
+    def key(self) -> str:
+        return f"state:{self.name}"
+
+
+@dataclass(frozen=True)
+class EventValue(SymValue):
+    """``evt.value`` — the value carried by the triggering event."""
+
+    def key(self) -> str:
+        return "event:value"
+
+
+@dataclass(frozen=True)
+class EventAttr(SymValue):
+    """Opaque event metadata: ``evt.displayName``, ``evt.date``, ..."""
+
+    name: str
+
+    def key(self) -> str:
+        return f"event:{self.name}"
+
+
+@dataclass(frozen=True)
+class Arith(SymValue):
+    """Arithmetic over symbolic values (``y + 10``)."""
+
+    op: str
+    left: SymValue
+    right: SymValue
+
+    def key(self) -> str:
+        return f"({self.left.key()} {self.op} {self.right.key()})"
+
+
+@dataclass(frozen=True)
+class Unknown(SymValue):
+    """A value the analysis cannot track (platform call, missing var...)."""
+
+    tag: str = ""
+
+    def key(self) -> str:
+        return f"unknown:{self.tag}"
+
+
+def source_label(value: SymValue) -> str:
+    """The paper's predicate-source label for a symbolic value."""
+    if isinstance(value, Const):
+        return "developer-defined"
+    if isinstance(value, UserInput):
+        return "user-defined"
+    if isinstance(value, DeviceRead):
+        return "device-state"
+    if isinstance(value, StateVar):
+        return "state-variable"
+    if isinstance(value, (EventValue, EventAttr)):
+        return "event"
+    if isinstance(value, Arith):
+        left = source_label(value.left)
+        right = source_label(value.right)
+        if left == right:
+            return left
+        non_dev = [s for s in (left, right) if s != "developer-defined"]
+        return non_dev[0] if non_dev else "developer-defined"
+    return "unknown"
+
+
+def fold_arith(op: str, left: SymValue, right: SymValue) -> SymValue:
+    """Constant-fold arithmetic when both sides are numeric constants."""
+    if (
+        isinstance(left, Const)
+        and isinstance(right, Const)
+        and isinstance(left.value, (int, float))
+        and isinstance(right.value, (int, float))
+    ):
+        lhs, rhs = left.value, right.value
+        try:
+            if op == "+":
+                return Const(lhs + rhs)
+            if op == "-":
+                return Const(lhs - rhs)
+            if op == "*":
+                return Const(lhs * rhs)
+            if op == "/":
+                return Const(lhs / rhs) if rhs != 0 else Unknown("div0")
+            if op == "%":
+                return Const(lhs % rhs) if rhs != 0 else Unknown("mod0")
+            if op == "**":
+                return Const(lhs**rhs)
+        except (OverflowError, ValueError):
+            return Unknown("overflow")
+    if isinstance(left, Const) and isinstance(right, Const):
+        if op == "+" and isinstance(left.value, str):
+            return Const(f"{left.value}{right.value}")
+    return Arith(op=op, left=left, right=right)

@@ -1,0 +1,121 @@
+"""Command-line front end: ``soteria`` / ``python -m repro``.
+
+Subcommands::
+
+    soteria analyze app.groovy [--dot out.dot] [--smv out.smv]
+    soteria env app1.groovy app2.groovy ...
+    soteria corpus [official|thirdparty|maliot|all]
+    soteria list-properties
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.reporting.dot import to_dot
+from repro.reporting.report import render_report
+from repro.reporting.smv import to_smv
+from repro.soteria import analyze_app, analyze_environment
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    with open(args.app, encoding="utf-8") as handle:
+        source = handle.read()
+    analysis = analyze_app(source)
+    print(render_report(analysis))
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as out:
+            out.write(to_dot(analysis.model))
+        print(f"\nstate model written to {args.dot}")
+    if args.smv:
+        with open(args.smv, "w", encoding="utf-8") as out:
+            out.write(to_smv(analysis.model))
+        print(f"SMV module written to {args.smv}")
+    return 1 if analysis.violations else 0
+
+
+def _cmd_env(args: argparse.Namespace) -> int:
+    sources = []
+    for path in args.apps:
+        with open(path, encoding="utf-8") as handle:
+            sources.append(handle.read())
+    environment = analyze_environment(sources)
+    print(render_report(environment))
+    return 1 if environment.violations else 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus.loader import load_corpus
+
+    datasets = (
+        ["official", "thirdparty", "maliot"] if args.dataset == "all" else [args.dataset]
+    )
+    failures = 0
+    for dataset in datasets:
+        print(f"== dataset: {dataset}")
+        for name, app in load_corpus(dataset).items():
+            analysis = analyze_app(app)
+            ids = sorted(analysis.violated_ids())
+            status = "VIOLATIONS " + ", ".join(ids) if ids else "clean"
+            print(f"  {name:12s} {analysis.model.size():4d} states  {status}")
+            failures += bool(ids)
+    print(f"\n{failures} app(s) with violations")
+    return 0
+
+
+def _cmd_list_properties(_args: argparse.Namespace) -> int:
+    from repro.properties.appspecific import APP_SPECIFIC_PROPERTIES
+
+    print("General properties (checked at model construction):")
+    for pid, text in (
+        ("S.1", "no conflicting attribute values on one path"),
+        ("S.2", "no repeated identical attribute writes on one path"),
+        ("S.3", "complement events must not produce the same value"),
+        ("S.4", "non-complement events must not race to conflicting values"),
+        ("S.5", "handled events must be subscribed"),
+        ("DET", "the extracted state model must be deterministic"),
+    ):
+        print(f"  {pid:5s} {text}")
+    print("\nApp-specific properties (CTL, checked when devices present):")
+    for spec in APP_SPECIFIC_PROPERTIES:
+        print(f"  {spec.id:5s} {spec.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="soteria",
+        description="Soteria: automated IoT safety and security analysis "
+        "(USENIX ATC 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a single app")
+    p_analyze.add_argument("app", help="path to a SmartThings .groovy file")
+    p_analyze.add_argument("--dot", help="write the state model as GraphViz DOT")
+    p_analyze.add_argument("--smv", help="write the state model as NuSMV input")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_env = sub.add_parser("env", help="analyze apps installed together")
+    p_env.add_argument("apps", nargs="+", help="paths to .groovy files")
+    p_env.set_defaults(func=_cmd_env)
+
+    p_corpus = sub.add_parser("corpus", help="run over the bundled corpus")
+    p_corpus.add_argument(
+        "dataset",
+        nargs="?",
+        default="all",
+        choices=["official", "thirdparty", "maliot", "all"],
+    )
+    p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_list = sub.add_parser("list-properties", help="show the property catalog")
+    p_list.set_defaults(func=_cmd_list_properties)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Corpus loading: map app ids (O1, TP12, App5) to parsed SmartApps."""
+
+from __future__ import annotations
+
+import functools
+import re
+from importlib import resources
+
+from repro.platform.smartapp import SmartApp
+
+_DATASETS = {"official": "O", "thirdparty": "TP", "maliot": "App"}
+
+
+def _apps_dir(dataset: str):
+    if dataset not in _DATASETS:
+        raise KeyError(f"unknown dataset {dataset!r}; pick from {sorted(_DATASETS)}")
+    return resources.files("repro.corpus") / "apps" / dataset
+
+
+def _id_from_filename(dataset: str, filename: str) -> str:
+    """``O01_light_follows_me.groovy`` -> ``O1``; ``App05_x.groovy`` -> ``App5``."""
+    stem = filename.rsplit(".", 1)[0]
+    prefix = stem.split("_", 1)[0]
+    match = re.match(r"([A-Za-z]+)0*(\d+)$", prefix)
+    if not match:
+        return prefix
+    return f"{match.group(1)}{match.group(2)}"
+
+
+@functools.lru_cache(maxsize=None)
+def _sources(dataset: str) -> dict[str, str]:
+    found: dict[str, str] = {}
+    for entry in sorted(_apps_dir(dataset).iterdir(), key=lambda e: e.name):
+        if not entry.name.endswith(".groovy"):
+            continue
+        found[_id_from_filename(dataset, entry.name)] = entry.read_text(
+            encoding="utf-8"
+        )
+    return found
+
+
+def app_ids(dataset: str) -> list[str]:
+    """All app ids in a dataset, in numeric order."""
+    ids = list(_sources(dataset))
+    return sorted(ids, key=lambda i: int(re.sub(r"\D", "", i)))
+
+
+def load_source(app_id: str) -> str:
+    """Raw Groovy source of one corpus app."""
+    for dataset, prefix in _DATASETS.items():
+        if app_id.startswith("App" if prefix == "App" else prefix) and (
+            prefix != "O" or not app_id.startswith("App")
+        ):
+            sources = _sources(dataset)
+            if app_id in sources:
+                return sources[app_id]
+    raise KeyError(f"unknown corpus app {app_id!r}")
+
+
+def load_app(app_id: str) -> SmartApp:
+    """Parse one corpus app; the SmartApp name is the corpus id."""
+    return SmartApp.from_source(load_source(app_id), name=app_id)
+
+
+def load_corpus(dataset: str) -> dict[str, SmartApp]:
+    """All apps of one dataset as {id: SmartApp}."""
+    return {app_id: load_app(app_id) for app_id in app_ids(dataset)}
+
+
+def load_environment_sources(app_ids_list: list[str]) -> list[SmartApp]:
+    """Parsed apps for a multi-app environment (Table 4 groups etc.)."""
+    return [load_app(app_id) for app_id in app_ids_list]

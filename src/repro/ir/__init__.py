@@ -1,0 +1,39 @@
+"""Intermediate representation of IoT apps (Soteria Sec. 4.1).
+
+The IR is built from a framework-agnostic component model with three parts:
+
+* **Permissions** — the devices and user inputs an app is granted
+  (:class:`repro.ir.ir.Permission`),
+* **Events/Actions** — subscriptions binding device or abstract events to
+  event-handler methods (:class:`repro.ir.ir.Subscription`),
+* **Call graphs** — one per entry point, with calls by reflection
+  over-approximated to all app methods (:mod:`repro.ir.callgraph`).
+"""
+
+from repro.ir.ir import (
+    AppIR,
+    EntryPoint,
+    Permission,
+    PermissionKind,
+    Subscription,
+)
+from repro.ir.builder import IRBuilder, build_ir
+from repro.ir.cfg import CFG, CFGNode, ICFG, NodeKind, ReachingDefinitions
+from repro.ir.callgraph import CallGraph, build_call_graph
+
+__all__ = [
+    "AppIR",
+    "EntryPoint",
+    "Permission",
+    "PermissionKind",
+    "Subscription",
+    "IRBuilder",
+    "build_ir",
+    "CFG",
+    "CFGNode",
+    "ICFG",
+    "NodeKind",
+    "ReachingDefinitions",
+    "CallGraph",
+    "build_call_graph",
+]

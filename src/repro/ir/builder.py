@@ -1,0 +1,332 @@
+"""AST -> IR construction (Soteria Sec. 4.1).
+
+Visits the ``preferences`` block to recover permissions, then interprets the
+app's lifecycle methods (``installed``/``updated``/``initialize``) to find
+event subscriptions and schedules, creating one entry point per subscribed
+event — the paper's "dummy main method for each entry point".
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.platform.capabilities import CapabilityDatabase, default_database
+from repro.platform.events import Event, EventKind
+from repro.platform.smartapp import SmartApp
+from repro.ir.ir import AppIR, EntryPoint, Permission, PermissionKind, Subscription
+
+#: ``input`` types that denote user-entered values rather than devices.
+_USER_INPUT_TYPES = {
+    "number",
+    "decimal",
+    "text",
+    "string",
+    "time",
+    "enum",
+    "bool",
+    "boolean",
+    "password",
+    "phone",
+    "contact",
+    "email",
+    "mode",
+    "hub",
+    "icon",
+}
+
+#: Calls that transmit data off the hub (used for scope reporting only).
+_SINK_CALLS = {
+    "sendSms",
+    "sendSmsMessage",
+    "sendNotificationToContacts",
+    "sendPush",
+    "sendPushMessage",
+    "sendNotification",
+    "httpPost",
+    "httpPostJson",
+    "httpPut",
+}
+
+#: ``runEvery*`` periodic scheduling interfaces.
+_RUN_EVERY = {
+    "runEvery1Minute",
+    "runEvery5Minutes",
+    "runEvery10Minutes",
+    "runEvery15Minutes",
+    "runEvery30Minutes",
+    "runEvery1Hour",
+    "runEvery3Hours",
+}
+
+#: Location (solar/position) pseudo-events.
+_SOLAR_EVENTS = {"sunrise", "sunset", "sunriseTime", "sunsetTime"}
+
+
+class IRBuilder:
+    """Builds an :class:`AppIR` from a parsed :class:`SmartApp`."""
+
+    def __init__(self, app: SmartApp, db: CapabilityDatabase | None = None) -> None:
+        self.app = app
+        self.db = db or default_database()
+        self.ir = AppIR(app=app)
+
+    # ------------------------------------------------------------------
+    def build(self) -> AppIR:
+        self._collect_permissions()
+        self._collect_subscriptions()
+        self._collect_sinks()
+        return self.ir
+
+    # ------------------------------------------------------------------
+    # Permissions
+    # ------------------------------------------------------------------
+    def _collect_permissions(self) -> None:
+        for stmt in self.app.module.statements:
+            call = _top_call(stmt)
+            if call is None:
+                continue
+            if call.name == "preferences" and call.closure is not None:
+                self._walk_preferences(call.closure.body)
+
+    def _walk_preferences(self, block: ast.Block | None) -> None:
+        if block is None:
+            return
+        for stmt in block.statements:
+            call = _top_call(stmt)
+            if call is None:
+                continue
+            if call.name in ("section", "page"):
+                self._walk_preferences(call.closure.body if call.closure else None)
+            elif call.name in ("dynamicPage", "href"):
+                self.ir.has_dynamic_preferences = True
+                self._walk_preferences(call.closure.body if call.closure else None)
+            elif call.name == "input":
+                self._record_input(call)
+                # Nested fallback inputs: input("recipients", "contact") {...}
+                if call.closure is not None:
+                    self._walk_preferences(call.closure.body)
+
+    def _record_input(self, call: ast.MethodCall) -> None:
+        handle = _string_arg(call, 0) or _named_string(call, "name")
+        type_name = _string_arg(call, 1) or _named_string(call, "type")
+        if handle is None or type_name is None:
+            return
+        if type_name.startswith("capability."):
+            capability = type_name[len("capability.") :]
+            kind = PermissionKind.DEVICE
+        elif type_name in _USER_INPUT_TYPES or type_name.startswith("device."):
+            capability = type_name
+            kind = PermissionKind.USER_DEFINED
+            if type_name.startswith("device."):
+                capability = type_name[len("device.") :]
+                kind = PermissionKind.DEVICE
+        else:
+            capability = type_name
+            kind = PermissionKind.USER_DEFINED
+        title = _named_string(call, "title") or ""
+        required = _named_bool(call, "required")
+        multiple = _named_bool(call, "multiple")
+        self.ir.permissions.append(
+            Permission(
+                handle=handle,
+                capability=capability,
+                kind=kind,
+                title=title,
+                required=required,
+                multiple=multiple,
+                line=call.line,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Subscriptions / schedules
+    # ------------------------------------------------------------------
+    def _lifecycle_roots(self) -> list[str]:
+        roots = [
+            name
+            for name in ("installed", "updated", "initialize")
+            if name in self.app.module.methods
+        ]
+        return roots or list(self.app.module.methods)
+
+    def _reachable_methods(self, roots: list[str]) -> list[str]:
+        """Methods transitively called from the lifecycle roots."""
+        seen: list[str] = []
+        stack = list(roots)
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.append(name)
+            method = self.app.module.methods.get(name)
+            if method is None or method.body is None:
+                continue
+            for call in ast.find_calls(method.body):
+                if (
+                    isinstance(call.name, str)
+                    and call.receiver is None
+                    and call.name in self.app.module.methods
+                ):
+                    stack.append(call.name)
+        return seen
+
+    def _collect_subscriptions(self) -> None:
+        lifecycle = set(self._reachable_methods(self._lifecycle_roots()))
+        # ``subscribe`` only takes effect from the lifecycle methods;
+        # scheduling calls (runIn/schedule) also register entry points when
+        # invoked from handlers, so those are collected from every method.
+        for name, method in self.app.module.methods.items():
+            if method.body is None:
+                continue
+            for call in ast.find_calls(method.body):
+                if not isinstance(call.name, str) or call.receiver is not None:
+                    continue
+                if call.name == "subscribe" and name in lifecycle:
+                    self._record_subscribe(call)
+                elif call.name in ("schedule", "runIn", "runOnce"):
+                    self._record_schedule(call)
+                elif call.name in _RUN_EVERY:
+                    self._record_run_every(call)
+        for sub in self.ir.subscriptions:
+            entry = EntryPoint(event=sub.event, handler=sub.handler)
+            if entry not in self.ir.entry_points:
+                self.ir.entry_points.append(entry)
+
+    def _record_subscribe(self, call: ast.MethodCall) -> None:
+        if len(call.args) < 3:
+            return
+        target = call.args[0]
+        event_name = _expr_string(call.args[1])
+        handler = _handler_name(call.args[2])
+        if handler is None:
+            return
+        if isinstance(target, ast.Name) and target.id == "location":
+            if event_name is None:
+                return
+            if event_name in _SOLAR_EVENTS:
+                event = Event(EventKind.SOLAR, "location", event_name)
+            elif event_name.startswith("mode"):
+                value = event_name.split(".", 1)[1] if "." in event_name else None
+                event = Event(EventKind.MODE, "location", "mode", value)
+            elif event_name == "position":
+                event = Event(EventKind.DEVICE, "location", "position")
+            else:
+                # subscribe(location, "home") — a specific mode name.
+                event = Event(EventKind.MODE, "location", "mode", event_name)
+        elif isinstance(target, ast.Name) and target.id == "app":
+            event = Event(EventKind.APP_TOUCH, "app", "appTouch")
+        elif isinstance(target, ast.Name):
+            if event_name is None:
+                return
+            attribute, value = self.ir.resolve_event_attribute(
+                target.id, event_name, self.db
+            )
+            event = Event(EventKind.DEVICE, target.id, attribute, value)
+        else:
+            return
+        self._add_subscription(Subscription(event=event, handler=handler, line=call.line))
+
+    def _add_subscription(self, subscription: Subscription) -> None:
+        """Record a subscription once (installed() and updated() typically
+        both subscribe the same events)."""
+        for existing in self.ir.subscriptions:
+            if (existing.event, existing.handler) == (
+                subscription.event,
+                subscription.handler,
+            ):
+                return
+        self.ir.subscriptions.append(subscription)
+
+    def _record_schedule(self, call: ast.MethodCall) -> None:
+        if len(call.args) < 2:
+            return
+        handler = _handler_name(call.args[1])
+        if handler is None:
+            return
+        spec = _expr_string(call.args[0])
+        label = spec if spec is not None else f"line{call.line}"
+        # A user-entered time (schedule(startTime, handler)) is a TIME event;
+        # constant cron strings and runIn delays are TIMER events.
+        if call.name == "schedule" and isinstance(call.args[0], ast.Name):
+            event = Event(EventKind.TIME, "timer", call.args[0].id)
+        else:
+            event = Event(EventKind.TIMER, "timer", label)
+        self._add_subscription(Subscription(event=event, handler=handler, line=call.line))
+
+    def _record_run_every(self, call: ast.MethodCall) -> None:
+        if not call.args:
+            return
+        handler = _handler_name(call.args[0])
+        if handler is None:
+            return
+        event = Event(EventKind.TIMER, "timer", call.name)
+        self._add_subscription(Subscription(event=event, handler=handler, line=call.line))
+
+    # ------------------------------------------------------------------
+    # Sinks (scope reporting)
+    # ------------------------------------------------------------------
+    def _collect_sinks(self) -> None:
+        for name, method in self.app.module.methods.items():
+            if method.body is None:
+                continue
+            for call in ast.find_calls(method.body):
+                if isinstance(call.name, str) and call.name in _SINK_CALLS:
+                    self.ir.sink_calls.append((call.name, call.line))
+
+
+# ----------------------------------------------------------------------
+# Small AST helpers
+# ----------------------------------------------------------------------
+def _top_call(stmt: ast.Stmt) -> ast.MethodCall | None:
+    if isinstance(stmt, ast.ExprStmt) and isinstance(stmt.expr, ast.MethodCall):
+        call = stmt.expr
+        if isinstance(call.name, str):
+            return call
+    return None
+
+
+def _expr_string(expr: ast.Expr) -> str | None:
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.GString):
+        return expr.static_text()
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.PropertyAccess):
+        # e.g. subscribe(dev, switch.on, handler) written without quotes
+        base = _expr_string(expr.obj) if expr.obj is not None else None
+        if base is not None:
+            return f"{base}.{expr.name}"
+    return None
+
+
+def _handler_name(expr: ast.Expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+def _string_arg(call: ast.MethodCall, index: int) -> str | None:
+    if index < len(call.args):
+        arg = call.args[index]
+        if isinstance(arg, ast.Literal) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+def _named_string(call: ast.MethodCall, key: str) -> str | None:
+    value = call.named_args.get(key)
+    if isinstance(value, ast.Literal) and isinstance(value.value, str):
+        return value.value
+    return None
+
+
+def _named_bool(call: ast.MethodCall, key: str) -> bool:
+    value = call.named_args.get(key)
+    return isinstance(value, ast.Literal) and value.value is True
+
+
+def build_ir(app: SmartApp, db: CapabilityDatabase | None = None) -> AppIR:
+    """Build the IR of ``app`` (Fig. 5 of the paper)."""
+    return IRBuilder(app, db).build()

@@ -1,0 +1,89 @@
+"""Per-entry-point call graphs with reflection over-approximation.
+
+The paper (Sec. 4.1): *"We create a call graph for each entry point that
+defines an event handler method."*  And (Sec. 4.2.3): *"To handle calls by
+reflection, Soteria's call graph construction adds all methods in an app as
+possible call targets, as a safe over-approximation."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+
+
+@dataclass
+class CallEdge:
+    caller: str
+    callee: str
+    line: int
+    #: True when the edge exists only because of a reflective call
+    #: (``"$name"()``) — downstream analyses use this to flag potential
+    #: false positives (MalIoT App5).
+    reflective: bool = False
+
+
+@dataclass
+class CallGraph:
+    """Call graph rooted at one entry-point handler."""
+
+    root: str
+    nodes: set[str] = field(default_factory=set)
+    edges: list[CallEdge] = field(default_factory=list)
+    uses_reflection: bool = False
+
+    def callees(self, name: str) -> list[CallEdge]:
+        return [e for e in self.edges if e.caller == name]
+
+    def reachable(self) -> set[str]:
+        return set(self.nodes)
+
+
+#: Lifecycle methods never treated as reflective-call targets: calling
+#: ``installed()`` reflectively would re-run setup, which the platform
+#: forbids.  Everything else is a candidate (safe over-approximation).
+_LIFECYCLE = {"installed", "updated", "initialize", "uninstalled"}
+
+
+def build_call_graph(
+    methods: dict[str, ast.MethodDecl], root: str
+) -> CallGraph:
+    """DFS from ``root`` following direct calls; reflective calls fan out."""
+    graph = CallGraph(root=root)
+    if root not in methods:
+        return graph
+    stack = [root]
+    while stack:
+        name = stack.pop()
+        if name in graph.nodes:
+            continue
+        graph.nodes.add(name)
+        decl = methods.get(name)
+        if decl is None or decl.body is None:
+            continue
+        for call in ast.find_calls(decl.body):
+            if call.receiver is not None:
+                continue
+            if isinstance(call.name, str):
+                if call.name in methods:
+                    graph.edges.append(
+                        CallEdge(caller=name, callee=call.name, line=call.line)
+                    )
+                    stack.append(call.name)
+            else:
+                # Reflection: "$m"() — add every method as a possible target.
+                graph.uses_reflection = True
+                for target in methods:
+                    if target in _LIFECYCLE or target == name:
+                        continue
+                    graph.edges.append(
+                        CallEdge(
+                            caller=name,
+                            callee=target,
+                            line=call.line,
+                            reflective=True,
+                        )
+                    )
+                    stack.append(target)
+    return graph

@@ -1,0 +1,412 @@
+"""Control-flow graphs and reaching definitions.
+
+Statement-level CFGs per method, an inter-procedural CFG (ICFG) that splices
+callee graphs in at call sites (with call-site identifiers for the depth-one
+call-site sensitivity of Sharir-Pnueli that the paper uses), and a classic
+forward may reaching-definitions analysis.  Algorithm 1 (backward dependence
+for property abstraction, :mod:`repro.analysis.dependence`) runs on top of
+these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+
+
+class NodeKind(enum.Enum):
+    ENTRY = "entry"
+    EXIT = "exit"
+    STMT = "stmt"
+    BRANCH = "branch"
+    JOIN = "join"
+    RETURN_SITE = "return-site"
+
+
+@dataclass
+class CFGNode:
+    """One CFG node.  ``stmt`` is None for ENTRY/EXIT/JOIN nodes."""
+
+    id: int
+    kind: NodeKind
+    method: str
+    stmt: ast.Stmt | None = None
+    cond: ast.Expr | None = None
+    line: int = 0
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of a single method."""
+
+    method: str
+    nodes: dict[int, CFGNode] = field(default_factory=dict)
+    succ: dict[int, list[tuple[int, str | None]]] = field(default_factory=dict)
+    pred: dict[int, list[int]] = field(default_factory=dict)
+    entry: int = -1
+    exit: int = -1
+
+    def add_node(
+        self,
+        kind: NodeKind,
+        next_id: list[int],
+        stmt: ast.Stmt | None = None,
+        cond: ast.Expr | None = None,
+        line: int = 0,
+    ) -> int:
+        node_id = next_id[0]
+        next_id[0] += 1
+        self.nodes[node_id] = CFGNode(
+            id=node_id, kind=kind, method=self.method, stmt=stmt, cond=cond, line=line
+        )
+        self.succ[node_id] = []
+        self.pred[node_id] = []
+        return node_id
+
+    def add_edge(self, src: int, dst: int, label: str | None = None) -> None:
+        if (dst, label) not in self.succ[src]:
+            self.succ[src].append((dst, label))
+            self.pred[dst].append(src)
+
+    def statements(self) -> list[CFGNode]:
+        return [n for n in self.nodes.values() if n.kind is NodeKind.STMT]
+
+
+class _CFGBuilder:
+    """Builds a CFG for one method body."""
+
+    def __init__(self, method: str, counter: list[int]) -> None:
+        self.cfg = CFG(method=method)
+        self.counter = counter
+        self._loop_stack: list[tuple[int, int]] = []  # (header, after)
+        self._breaks: dict[tuple[int, int], list[int]] = {}
+
+    def build(self, body: ast.Block | None) -> CFG:
+        self.cfg.entry = self.cfg.add_node(NodeKind.ENTRY, self.counter)
+        self.cfg.exit = self.cfg.add_node(NodeKind.EXIT, self.counter)
+        tails = self._block(body, [self.cfg.entry])
+        self._link(tails, self.cfg.exit)
+        return self.cfg
+
+    # ``current`` is the set of dangling predecessors awaiting the next node.
+    def _block(self, block: ast.Block | None, current: list[int]) -> list[int]:
+        if block is None:
+            return current
+        for stmt in block.statements:
+            current = self._statement(stmt, current)
+            if not current:
+                break  # unreachable code after return/break
+        return current
+
+    def _statement(self, stmt: ast.Stmt, current: list[int]) -> list[int]:
+        if isinstance(stmt, ast.IfStmt):
+            return self._if(stmt, current)
+        if isinstance(stmt, ast.WhileStmt):
+            return self._while(stmt, current)
+        if isinstance(stmt, ast.ForInStmt):
+            return self._for(stmt, current)
+        if isinstance(stmt, ast.ReturnStmt):
+            node = self.cfg.add_node(
+                NodeKind.STMT, self.counter, stmt=stmt, line=stmt.line
+            )
+            self._link(current, node)
+            self.cfg.add_edge(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.BreakStmt):
+            node = self.cfg.add_node(
+                NodeKind.STMT, self.counter, stmt=stmt, line=stmt.line
+            )
+            self._link(current, node)
+            if self._loop_stack:
+                # Edge added lazily by the loop construct via a sentinel.
+                self._breaks.setdefault(self._loop_stack[-1], []).append(node)
+            return []
+        if isinstance(stmt, ast.ContinueStmt):
+            node = self.cfg.add_node(
+                NodeKind.STMT, self.counter, stmt=stmt, line=stmt.line
+            )
+            self._link(current, node)
+            if self._loop_stack:
+                header = self._loop_stack[-1][0]
+                self.cfg.add_edge(node, header)
+            return []
+        node = self.cfg.add_node(NodeKind.STMT, self.counter, stmt=stmt, line=stmt.line)
+        self._link(current, node)
+        return [node]
+
+    def _if(self, stmt: ast.IfStmt, current: list[int]) -> list[int]:
+        branch = self.cfg.add_node(
+            NodeKind.BRANCH, self.counter, stmt=stmt, cond=stmt.cond, line=stmt.line
+        )
+        self._link(current, branch)
+        then_tails = self._block(stmt.then, self._edge_from(branch, "true"))
+        if stmt.otherwise is None:
+            else_tails = self._edge_from(branch, "false")  # fall through
+        elif isinstance(stmt.otherwise, ast.IfStmt):
+            else_tails = self._statement(
+                stmt.otherwise, self._edge_from(branch, "false")
+            )
+        else:
+            else_tails = self._block(stmt.otherwise, self._edge_from(branch, "false"))
+        return then_tails + else_tails
+
+    def _edge_from(self, node: int, label: str) -> list[int]:
+        # Defer the edge: return a marker list; _link adds labelled edges.
+        return [-node - 1000000 if label == "false" else node]
+
+    def _link(self, current: list[int], dst: int) -> None:
+        for src in current:
+            if src <= -1000000:
+                self.cfg.add_edge(-src - 1000000, dst, "false")
+            else:
+                label = None
+                if self.cfg.nodes.get(src) and self.cfg.nodes[src].kind is NodeKind.BRANCH:
+                    label = "true"
+                self.cfg.add_edge(src, dst, label)
+
+    def _while(self, stmt: ast.WhileStmt, current: list[int]) -> list[int]:
+        header = self.cfg.add_node(
+            NodeKind.BRANCH, self.counter, stmt=stmt, cond=stmt.cond, line=stmt.line
+        )
+        self._link(current, header)
+        key = (header, header)
+        self._loop_stack.append(key)
+        body_tails = self._block(stmt.body, self._edge_from(header, "true"))
+        self._loop_stack.pop()
+        for tail in body_tails:
+            self._link([tail], header)
+        exits = [-header - 1000000]
+        for brk in self._breaks.pop(key, []):
+            exits.append(brk)
+        return exits
+
+    def _for(self, stmt: ast.ForInStmt, current: list[int]) -> list[int]:
+        # Model for-in as a loop whose variable is defined by the iterable.
+        header = self.cfg.add_node(
+            NodeKind.BRANCH, self.counter, stmt=stmt, cond=stmt.iterable, line=stmt.line
+        )
+        self._link(current, header)
+        key = (header, header)
+        self._loop_stack.append(key)
+        body_tails = self._block(stmt.body, self._edge_from(header, "true"))
+        self._loop_stack.pop()
+        for tail in body_tails:
+            self._link([tail], header)
+        exits = [-header - 1000000]
+        for brk in self._breaks.pop(key, []):
+            exits.append(brk)
+        return exits
+
+
+def build_cfg(method: ast.MethodDecl, counter: list[int] | None = None) -> CFG:
+    """Build a statement-level CFG for one method."""
+    builder = _CFGBuilder(method.name, counter if counter is not None else [0])
+    return builder.build(method.body)
+
+
+# ----------------------------------------------------------------------
+# Inter-procedural CFG
+# ----------------------------------------------------------------------
+@dataclass
+class CallSite:
+    """A call from ``caller`` node ``node_id`` to ``callee`` (site-id = node)."""
+
+    node_id: int
+    caller: str
+    callee: str
+    call: ast.MethodCall
+    line: int
+
+
+class ICFG:
+    """Inter-procedural CFG over all methods of an app.
+
+    Node ids are globally unique (a shared counter feeds every per-method
+    CFG).  Call edges connect a call-site node to the callee's ENTRY and the
+    callee's EXIT back to the call-site's RETURN-SITE successor.  The call
+    site id labels both edges so paths can be filtered with depth-one
+    call-site sensitivity (unmatched call/return paths are discarded).
+    """
+
+    def __init__(self, methods: dict[str, ast.MethodDecl]) -> None:
+        self.methods = methods
+        counter = [0]
+        self.cfgs: dict[str, CFG] = {
+            name: build_cfg(decl, counter) for name, decl in methods.items()
+        }
+        self.nodes: dict[int, CFGNode] = {}
+        for cfg in self.cfgs.values():
+            self.nodes.update(cfg.nodes)
+        self.call_sites: list[CallSite] = []
+        #: edges: node -> [(dst, kind, site)]; kind in {"intra","call","return"}
+        self.succ: dict[int, list[tuple[int, str, int | None]]] = {}
+        self.pred: dict[int, list[tuple[int, str, int | None]]] = {}
+        self._build_edges()
+
+    def _build_edges(self) -> None:
+        for cfg in self.cfgs.values():
+            for src, edges in cfg.succ.items():
+                for dst, _label in edges:
+                    self._add_edge(src, dst, "intra", None)
+        for cfg in self.cfgs.values():
+            for node in cfg.nodes.values():
+                if node.stmt is None and node.cond is None:
+                    continue
+                root: ast.Node | None = node.stmt if node.stmt is not None else node.cond
+                if isinstance(node.stmt, (ast.IfStmt, ast.WhileStmt)):
+                    root = node.cond  # body statements have their own nodes
+                if root is None:
+                    continue
+                for call in ast.find_calls(root):
+                    if (
+                        isinstance(call.name, str)
+                        and call.receiver is None
+                        and call.name in self.cfgs
+                    ):
+                        callee = self.cfgs[call.name]
+                        site = CallSite(
+                            node_id=node.id,
+                            caller=node.method,
+                            callee=call.name,
+                            call=call,
+                            line=node.line,
+                        )
+                        self.call_sites.append(site)
+                        self._add_edge(node.id, callee.entry, "call", node.id)
+                        self._add_edge(callee.exit, node.id, "return", node.id)
+
+    def _add_edge(self, src: int, dst: int, kind: str, site: int | None) -> None:
+        self.succ.setdefault(src, []).append((dst, kind, site))
+        self.pred.setdefault(dst, []).append((src, kind, site))
+
+    def successors(self, node_id: int) -> list[tuple[int, str, int | None]]:
+        return self.succ.get(node_id, [])
+
+    def predecessors(self, node_id: int) -> list[tuple[int, str, int | None]]:
+        return self.pred.get(node_id, [])
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Definition:
+    """A definition of ``var`` at ``node_id`` with right-hand side ``rhs``.
+
+    ``rhs`` is None for parameter bindings whose argument expression is
+    recorded in ``arg`` instead (inter-procedural definitions, as in the
+    paper's Algorithm 1 treatment of parameter passing).
+    """
+
+    node_id: int
+    var: str
+    rhs_repr: str  # stable identity for set membership
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Def({self.var}@{self.node_id})"
+
+
+class ReachingDefinitions:
+    """Forward may reaching-definitions over the ICFG.
+
+    Definitions are generated by assignments (including ``state.f = ...``
+    pseudo-variables, giving the field-sensitive analysis of Sec. 4.2.3) and
+    by parameter bindings at call sites.  The analysis iterates to a fixed
+    point with the standard gen/kill equations.
+    """
+
+    def __init__(self, icfg: ICFG) -> None:
+        self.icfg = icfg
+        self.defs: dict[int, list[tuple[str, ast.Expr | None]]] = {}
+        self._collect_defs()
+        self.in_sets: dict[int, set[Definition]] = {}
+        self.out_sets: dict[int, set[Definition]] = {}
+        self._solve()
+
+    # -- def collection -------------------------------------------------
+    def _collect_defs(self) -> None:
+        for node in self.icfg.nodes.values():
+            gen: list[tuple[str, ast.Expr | None]] = []
+            if isinstance(node.stmt, ast.Assign):
+                var = target_variable(node.stmt.target)
+                if var is not None:
+                    gen.append((var, node.stmt.value))
+            if isinstance(node.stmt, ast.ForInStmt):
+                gen.append((node.stmt.var, node.stmt.iterable))
+            self.defs[node.id] = gen
+        # Parameter bindings: at a call node, the callee's parameters are
+        # defined by the argument expressions.
+        for site in self.icfg.call_sites:
+            callee_decl = self.icfg.methods.get(site.callee)
+            if callee_decl is None:
+                continue
+            gen = self.defs.setdefault(site.node_id, [])
+            for index, param in enumerate(callee_decl.params):
+                arg: ast.Expr | None
+                if index < len(site.call.args):
+                    arg = site.call.args[index]
+                else:
+                    arg = param.default
+                gen.append((param.name, arg))
+
+    def definition_objects(self, node_id: int) -> set[Definition]:
+        return {
+            Definition(node_id, var, _expr_key(rhs))
+            for var, rhs in self.defs.get(node_id, [])
+        }
+
+    # -- fixed point -----------------------------------------------------
+    def _solve(self) -> None:
+        node_ids = list(self.icfg.nodes)
+        for node_id in node_ids:
+            self.in_sets[node_id] = set()
+            self.out_sets[node_id] = set()
+        worklist = list(node_ids)
+        while worklist:
+            node_id = worklist.pop()
+            incoming: set[Definition] = set()
+            for src, _kind, _site in self.icfg.predecessors(node_id):
+                incoming |= self.out_sets[src]
+            gen = self.definition_objects(node_id)
+            killed_vars = {d.var for d in gen}
+            outgoing = gen | {d for d in incoming if d.var not in killed_vars}
+            if incoming != self.in_sets[node_id] or outgoing != self.out_sets[node_id]:
+                self.in_sets[node_id] = incoming
+                self.out_sets[node_id] = outgoing
+                for dst, _kind, _site in self.icfg.successors(node_id):
+                    if dst not in worklist:
+                        worklist.append(dst)
+
+    # -- queries ----------------------------------------------------------
+    def reaching(self, node_id: int, var: str) -> list[tuple[int, ast.Expr | None]]:
+        """Definitions of ``var`` reaching ``node_id`` (paper: defs of (n: id))."""
+        results: list[tuple[int, ast.Expr | None]] = []
+        for definition in self.in_sets.get(node_id, set()):
+            if definition.var != var:
+                continue
+            for dvar, rhs in self.defs.get(definition.node_id, []):
+                if dvar == var:
+                    results.append((definition.node_id, rhs))
+        return results
+
+
+def target_variable(target: ast.Expr | None) -> str | None:
+    """Variable name defined by an assignment target.
+
+    ``state.counter`` and ``atomicState.counter`` become the pseudo-variables
+    ``state.counter`` / ``atomicState.counter`` (field sensitivity).
+    """
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.PropertyAccess) and isinstance(target.obj, ast.Name):
+        if target.obj.id in ("state", "atomicState"):
+            return f"{target.obj.id}.{target.name}"
+    return None
+
+
+def _expr_key(expr: ast.Expr | None) -> str:
+    if expr is None:
+        return "<none>"
+    return f"{type(expr).__name__}@{expr.line}:{id(expr) & 0xFFFF}"

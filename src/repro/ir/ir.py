@@ -1,0 +1,158 @@
+"""IR data structures (Soteria Sec. 4.1, Fig. 4 and Fig. 5)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.platform.capabilities import CapabilityDatabase
+from repro.platform.events import Event
+from repro.platform.smartapp import SmartApp
+
+
+class PermissionKind(enum.Enum):
+    DEVICE = "device"
+    USER_DEFINED = "user_defined"
+
+
+@dataclass(frozen=True)
+class Permission:
+    """One ``input`` triple from the permissions block.
+
+    For a device, ``handle`` is the app-local device identifier and
+    ``capability`` its platform capability name (``"switch"``).  For a user
+    input, ``capability`` holds the input type (``"number"``, ``"time"``,
+    ``"enum"``, ``"contact"``, ``"phone"``, ...).
+    """
+
+    handle: str
+    capability: str
+    kind: PermissionKind
+    title: str = ""
+    required: bool = False
+    multiple: bool = False
+    line: int = 0
+
+    def render(self) -> str:
+        """The IR text line, matching the paper's Fig. 5 format."""
+        return f"input ({self.handle}, {self.capability}, type:{self.kind.value})"
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One events/actions-block line: event -> handler method."""
+
+    event: Event
+    handler: str
+    line: int = 0
+
+    def render(self) -> str:
+        return f'subscribe({self.event.device}, "{self.event.label()}", {self.handler})'
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """A dummy-main entry: the handler invoked when ``event`` occurs."""
+
+    event: Event
+    handler: str
+
+
+@dataclass
+class AppIR:
+    """The complete IR of one app (permissions, events/actions, methods)."""
+
+    app: SmartApp
+    permissions: list[Permission] = field(default_factory=list)
+    subscriptions: list[Subscription] = field(default_factory=list)
+    entry_points: list[EntryPoint] = field(default_factory=list)
+    #: Apps using ``dynamicPage`` build permissions at run time — out of
+    #: Soteria's static scope (MalIoT App10).
+    has_dynamic_preferences: bool = False
+    #: Methods that transmit data off-hub (sendSms/httpPost...), recorded for
+    #: scope reporting (MalIoT App11 is out of the attacker model).
+    sink_calls: list[tuple[str, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def devices(self) -> list[Permission]:
+        return [p for p in self.permissions if p.kind is PermissionKind.DEVICE]
+
+    def user_inputs(self) -> list[Permission]:
+        return [p for p in self.permissions if p.kind is PermissionKind.USER_DEFINED]
+
+    def device(self, handle: str) -> Permission | None:
+        for perm in self.permissions:
+            if perm.handle == handle and perm.kind is PermissionKind.DEVICE:
+                return perm
+        return None
+
+    def user_input(self, handle: str) -> Permission | None:
+        for perm in self.permissions:
+            if perm.handle == handle and perm.kind is PermissionKind.USER_DEFINED:
+                return perm
+        return None
+
+    def capabilities_used(self) -> set[str]:
+        return {p.capability for p in self.devices()}
+
+    def method(self, name: str) -> ast.MethodDecl | None:
+        return self.app.module.methods.get(name)
+
+    def methods(self) -> dict[str, ast.MethodDecl]:
+        return self.app.module.methods
+
+    def handlers(self) -> list[str]:
+        seen: list[str] = []
+        for entry in self.entry_points:
+            if entry.handler not in seen:
+                seen.append(entry.handler)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Rendering (Fig. 5 style)
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Textual IR in the paper's Fig. 5 layout."""
+        lines = ["// Permissions block"]
+        lines.extend(p.render() for p in self.permissions)
+        lines.append("")
+        lines.append("// Events/Actions block")
+        lines.extend(s.render() for s in self.subscriptions)
+        lines.append("")
+        for entry in self.entry_points:
+            lines.append(f"// Entry point: {entry.event.label()} -> {entry.handler}()")
+        return "\n".join(lines)
+
+    def resolve_event_attribute(
+        self, handle: str, name: str, db: CapabilityDatabase
+    ) -> tuple[str, str | None]:
+        """Split a subscription string like ``"water.wet"`` into
+        (attribute, value), validating against the device's capability."""
+        perm = self.device(handle)
+        if "." in name:
+            attribute, value = name.split(".", 1)
+            # ``subscribe(dev, "handle.attr", h)`` appears in some apps;
+            # strip the redundant handle prefix.
+            if attribute == handle:
+                attribute, value = value, None
+                if "." in attribute:
+                    attribute, value = attribute.split(".", 1)
+        else:
+            attribute, value = name, None
+        if perm is not None:
+            cap = db.get(perm.capability)
+            if cap is not None and attribute not in cap.attributes:
+                primary = cap.primary_attribute
+                if primary is not None:
+                    if value is None and name in primary.values:
+                        # ``subscribe(dev, "on", h)`` — a bare value of the
+                        # primary attribute.
+                        return primary.name, name
+                    if attribute == perm.capability:
+                        # ``subscribe(dev, "powerMeter", h)`` — capability
+                        # name used for the primary attribute.
+                        return primary.name, value
+        return attribute, value

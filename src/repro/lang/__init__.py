@@ -1,0 +1,36 @@
+"""Groovy-subset language frontend for SmartThings apps.
+
+The original Soteria hooks into the Groovy compiler (``ASTTransformation`` /
+``GroovyClassVisitor``) to obtain an AST of a SmartThings app.  This package
+is the reproduction's substitute: a from-scratch lexer and recursive-descent
+parser for the SmartThings subset of Groovy, producing an AST (:mod:`.ast`)
+consumed by the IR builder (:mod:`repro.ir.builder`).
+
+The subset covers everything the SmartThings programming guide uses:
+
+* ``definition(...)`` metadata blocks with named arguments,
+* ``preferences { section("...") { input ... } }`` permission blocks,
+* ``def`` / ``private`` method declarations,
+* Groovy *command calls* (``input "x", "capability.switch", title: "T"``),
+* closures as trailing call arguments (``section("S") { ... }``),
+* GStrings with ``$name`` and ``${expr}`` interpolation,
+* reflective calls ``"$name"()``,
+* ``if``/``else``, ``while``, ``for``-in, ``return``, assignments,
+* elvis ``?:``, ternary, safe navigation ``?.``, lists, maps, ranges.
+"""
+
+from repro.lang.lexer import Lexer, LexError, tokenize
+from repro.lang.parser import ParseError, Parser, parse
+from repro.lang import ast
+from repro.lang.pretty import to_source
+
+__all__ = [
+    "Lexer",
+    "LexError",
+    "tokenize",
+    "Parser",
+    "ParseError",
+    "parse",
+    "ast",
+    "to_source",
+]

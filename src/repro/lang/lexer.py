@@ -1,0 +1,359 @@
+"""Hand-written lexer for the SmartThings Groovy subset.
+
+Handles line/block comments, single-quoted strings, double-quoted GStrings
+with ``$name`` / ``${expr}`` interpolation, triple-quoted strings, numbers,
+identifiers/keywords, and the full operator set used by SmartThings apps.
+
+Newlines are significant in Groovy (they terminate statements), so the lexer
+emits NEWLINE tokens; the parser collapses them where a statement obviously
+continues (e.g. inside parentheses — the lexer already suppresses newlines
+inside ``(`` ``)`` and ``[`` ``]`` nesting, mirroring the Groovy grammar).
+"""
+
+from __future__ import annotations
+
+from repro.lang.tokens import KEYWORDS, Interp, Token, TokenKind
+
+
+class LexError(Exception):
+    """Raised on malformed input, with position information."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+_TWO_CHAR_OPS = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NEQ,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+    "?:": TokenKind.ELVIS,
+    "?.": TokenKind.SAFE_DOT,
+    "..": TokenKind.RANGE,
+    "->": TokenKind.ARROW,
+    "+=": TokenKind.PLUS_ASSIGN,
+    "-=": TokenKind.MINUS_ASSIGN,
+    "**": TokenKind.POWER,
+    "++": TokenKind.INCREMENT,
+    "--": TokenKind.DECREMENT,
+}
+
+_ONE_CHAR_OPS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMI,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+    "?": TokenKind.QUESTION,
+}
+
+
+class Lexer:
+    """Converts SmartThings Groovy source text into a token stream."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.tokens: list[Token] = []
+        # Depth of ( and [ nesting: newlines inside are insignificant.
+        self._paren_depth = 0
+
+    # ------------------------------------------------------------------
+    # Character helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        """Character at ``pos + offset``, or NUL at end of input.
+
+        The NUL sentinel (rather than ``""``) keeps membership tests like
+        ``self._peek() in "_$"`` safe: the empty string is a substring of
+        everything, which would turn those loops into infinite loops at EOF.
+        """
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return "\x00"
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _emit(self, kind: TokenKind, value: object, line: int, col: int) -> None:
+        self.tokens.append(Token(kind, value, line, col))
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def tokenize(self) -> list[Token]:
+        """Lex the whole input and return the token list (ending in EOF)."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r":
+                self._advance()
+            elif ch == "\\" and self._peek(1) == "\n":
+                self._advance(2)  # explicit line continuation
+            elif ch == "\n":
+                line, col = self.line, self.col
+                self._advance()
+                if self._paren_depth == 0:
+                    self._emit(TokenKind.NEWLINE, "\n", line, col)
+            elif ch == "/" and self._peek(1) == "/":
+                self._skip_line_comment()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch.isdigit():
+                self._lex_number()
+            elif ch.isalpha() or ch == "_" or ch == "$":
+                self._lex_word()
+            elif ch == "'":
+                self._lex_single_quoted()
+            elif ch == '"':
+                self._lex_double_quoted()
+            else:
+                self._lex_operator()
+        self._emit(TokenKind.NEWLINE, "\n", self.line, self.col)
+        self._emit(TokenKind.EOF, None, self.line, self.col)
+        return self.tokens
+
+    # ------------------------------------------------------------------
+    # Comments
+    # ------------------------------------------------------------------
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self.line, self.col
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexError("unterminated block comment", start_line, start_col)
+
+    # ------------------------------------------------------------------
+    # Numbers, words
+    # ------------------------------------------------------------------
+    def _lex_number(self) -> None:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        # Careful: "1..5" is a range, not a float.
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        # Groovy numeric suffixes (L, G, F, D) — strip them.
+        if self._peek() in "LlGg":
+            self._advance()
+        elif self._peek() in "FfDd":
+            is_float = True
+            self._advance()
+        value: object = float(text) if is_float else int(text)
+        self._emit(TokenKind.NUMBER, value, line, col)
+
+    def _lex_word(self) -> None:
+        line, col = self.line, self.col
+        start = self.pos
+        while self._peek().isalnum() or self._peek() in "_$":
+            self._advance()
+        word = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+        self._emit(kind, word, line, col)
+
+    # ------------------------------------------------------------------
+    # Strings
+    # ------------------------------------------------------------------
+    _ESCAPES = {
+        "n": "\n",
+        "t": "\t",
+        "r": "\r",
+        "\\": "\\",
+        "'": "'",
+        '"': '"',
+        "$": "$",
+        "b": "\b",
+        "f": "\f",
+        "0": "\0",
+    }
+
+    def _read_escape(self) -> str:
+        self._advance()  # consume backslash
+        ch = self._peek()
+        if ch == "\x00":
+            raise self._error("unterminated escape sequence")
+        self._advance()
+        return self._ESCAPES.get(ch, ch)
+
+    def _lex_single_quoted(self) -> None:
+        line, col = self.line, self.col
+        triple = self.source.startswith("'''", self.pos)
+        quote = "'''" if triple else "'"
+        self._advance(len(quote))
+        chunks: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", line, col)
+            if self.source.startswith(quote, self.pos):
+                self._advance(len(quote))
+                break
+            if self._peek() == "\\":
+                chunks.append(self._read_escape())
+            else:
+                chunks.append(self._advance())
+        self._emit(TokenKind.STRING, "".join(chunks), line, col)
+
+    def _lex_double_quoted(self) -> None:
+        line, col = self.line, self.col
+        triple = self.source.startswith('"""', self.pos)
+        quote = '"""' if triple else '"'
+        self._advance(len(quote))
+        parts: list[object] = []
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                parts.append("".join(buffer))
+                buffer.clear()
+
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", line, col)
+            if self.source.startswith(quote, self.pos):
+                self._advance(len(quote))
+                break
+            ch = self._peek()
+            if ch == "\\":
+                buffer.append(self._read_escape())
+            elif ch == "$":
+                interp = self._lex_interpolation()
+                if interp is None:
+                    buffer.append(self._advance())
+                else:
+                    flush()
+                    parts.append(interp)
+            else:
+                buffer.append(self._advance())
+        flush()
+        if not parts:
+            parts.append("")
+        # A GString with no interpolation holes is just a string.
+        if len(parts) == 1 and isinstance(parts[0], str):
+            self._emit(TokenKind.STRING, parts[0], line, col)
+        else:
+            self._emit(TokenKind.GSTRING, tuple(parts), line, col)
+
+    def _lex_interpolation(self) -> Interp | None:
+        """Lex ``${expr}`` or ``$ident.path`` after a ``$``; None if bare $."""
+        if self._peek(1) == "{":
+            self._advance(2)  # consume "${"
+            depth = 1
+            start = self.pos
+            while self.pos < len(self.source):
+                ch = self._peek()
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    if depth == 0:
+                        source = self.source[start : self.pos]
+                        self._advance()
+                        return Interp(source)
+                self._advance()
+            raise self._error("unterminated ${...} interpolation")
+        nxt = self._peek(1)
+        if not (nxt.isalpha() or nxt == "_"):
+            return None
+        self._advance()  # consume "$"
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        # Dotted path: $evt.value
+        while (
+            self._peek() == "."
+            and (self._peek(1).isalpha() or self._peek(1) == "_")
+        ):
+            self._advance()
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+        return Interp(self.source[start : self.pos])
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def _lex_operator(self) -> None:
+        line, col = self.line, self.col
+        three = self.source[self.pos : self.pos + 3]
+        if three == "<=>":
+            self._advance(3)
+            self._emit(TokenKind.SPACESHIP, three, line, col)
+            return
+        two = self.source[self.pos : self.pos + 2]
+        if two in _TWO_CHAR_OPS:
+            self._advance(2)
+            kind = _TWO_CHAR_OPS[two]
+            self._track_nesting(two)
+            self._emit(kind, two, line, col)
+            return
+        one = self._peek()
+        if one in _ONE_CHAR_OPS:
+            self._advance()
+            self._track_nesting(one)
+            self._emit(_ONE_CHAR_OPS[one], one, line, col)
+            return
+        raise self._error(f"unexpected character {one!r}")
+
+    def _track_nesting(self, lexeme: str) -> None:
+        if lexeme in "([":
+            self._paren_depth += 1
+        elif lexeme in ")]":
+            self._paren_depth = max(0, self._paren_depth - 1)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

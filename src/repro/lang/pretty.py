@@ -1,0 +1,149 @@
+"""AST pretty-printer: regenerate Groovy-subset source from an AST.
+
+Used by tests to verify parse → print → parse round-trips and by reports to
+quote offending code.  Output is normalised (canonical spacing, explicit
+parentheses for calls) rather than byte-identical to the input.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_INDENT = "    "
+
+
+def to_source(node: ast.Node, indent: int = 0) -> str:
+    """Render any AST node back to source text."""
+    if isinstance(node, ast.Module):
+        chunks = [to_source(stmt, indent) for stmt in node.statements]
+        chunks.extend(to_source(m, indent) for m in node.methods.values())
+        return "\n".join(chunks) + "\n"
+    if isinstance(node, ast.MethodDecl):
+        prefix = "private " if node.is_private else "def "
+        params = ", ".join(
+            p.name + (f" = {expr(p.default)}" if p.default is not None else "")
+            for p in node.params
+        )
+        header = f"{_INDENT * indent}{prefix}{node.name}({params}) "
+        return header + _block(node.body, indent)
+    if isinstance(node, ast.Block):
+        return _block(node, indent)
+    if isinstance(node, ast.Stmt):
+        return _stmt(node, indent)
+    if isinstance(node, ast.Expr):
+        return expr(node)
+    raise TypeError(f"cannot print {type(node).__name__}")
+
+
+def _block(block: ast.Block | None, indent: int) -> str:
+    if block is None or not block.statements:
+        return "{\n" + _INDENT * indent + "}"
+    inner = "\n".join(_stmt(stmt, indent + 1) for stmt in block.statements)
+    return "{\n" + inner + "\n" + _INDENT * indent + "}"
+
+
+def _stmt(stmt: ast.Stmt, indent: int) -> str:
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.ExprStmt):
+        return pad + expr(stmt.expr)
+    if isinstance(stmt, ast.Assign):
+        prefix = "def " if stmt.is_decl else ""
+        if stmt.value is None:
+            return f"{pad}{prefix}{expr(stmt.target)}"
+        return f"{pad}{prefix}{expr(stmt.target)} {stmt.op} {expr(stmt.value)}"
+    if isinstance(stmt, ast.IfStmt):
+        text = f"{pad}if ({expr(stmt.cond)}) " + _block(stmt.then, indent)
+        if isinstance(stmt.otherwise, ast.IfStmt):
+            text += " else " + _stmt(stmt.otherwise, indent).lstrip()
+        elif isinstance(stmt.otherwise, ast.Block):
+            text += " else " + _block(stmt.otherwise, indent)
+        return text
+    if isinstance(stmt, ast.WhileStmt):
+        return f"{pad}while ({expr(stmt.cond)}) " + _block(stmt.body, indent)
+    if isinstance(stmt, ast.ForInStmt):
+        return (
+            f"{pad}for ({stmt.var} in {expr(stmt.iterable)}) "
+            + _block(stmt.body, indent)
+        )
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return pad + "return"
+        return f"{pad}return {expr(stmt.value)}"
+    if isinstance(stmt, ast.BreakStmt):
+        return pad + "break"
+    if isinstance(stmt, ast.ContinueStmt):
+        return pad + "continue"
+    raise TypeError(f"cannot print statement {type(stmt).__name__}")
+
+
+def _string(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return f'"{escaped}"'
+
+
+def expr(node: ast.Expr | None) -> str:
+    """Render an expression to source text."""
+    if node is None:
+        return "null"
+    if isinstance(node, ast.Literal):
+        if node.value is None:
+            return "null"
+        if isinstance(node.value, bool):
+            return "true" if node.value else "false"
+        if isinstance(node.value, str):
+            return _string(node.value)
+        return repr(node.value)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.GString):
+        chunks = []
+        for part in node.parts:
+            if isinstance(part, str):
+                chunks.append(part.replace("\\", "\\\\").replace('"', '\\"'))
+            else:
+                chunks.append("${" + expr(part) + "}")
+        return '"' + "".join(chunks) + '"'
+    if isinstance(node, ast.ListLiteral):
+        return "[" + ", ".join(expr(item) for item in node.items) + "]"
+    if isinstance(node, ast.MapLiteral):
+        if not node.entries:
+            return "[:]"
+        body = ", ".join(f"{key}: {expr(val)}" for key, val in node.entries)
+        return "[" + body + "]"
+    if isinstance(node, ast.RangeLiteral):
+        return f"[{expr(node.low)}..{expr(node.high)}]"
+    if isinstance(node, ast.PropertyAccess):
+        dot = "?." if node.safe else "."
+        return f"{expr(node.obj)}{dot}{node.name}"
+    if isinstance(node, ast.Index):
+        return f"{expr(node.obj)}[{expr(node.key)}]"
+    if isinstance(node, ast.MethodCall):
+        name = expr(node.name) if isinstance(node.name, ast.Expr) else str(node.name)
+        parts = [expr(a) for a in node.args]
+        parts.extend(f"{k}: {expr(v)}" for k, v in node.named_args.items())
+        call = f"{name}({', '.join(parts)})"
+        if node.receiver is not None:
+            dot = "?." if node.safe else "."
+            call = f"{expr(node.receiver)}{dot}{call}"
+        if node.closure is not None:
+            call += " " + expr(node.closure)
+        return call
+    if isinstance(node, ast.ClosureExpr):
+        header = ""
+        if node.params:
+            header = ", ".join(node.params) + " -> "
+        body = "; ".join(_stmt(stmt, 0) for stmt in (node.body.statements if node.body else []))
+        return "{ " + header + body + " }"
+    if isinstance(node, ast.BinaryOp):
+        return f"({expr(node.left)} {node.op} {expr(node.right)})"
+    if isinstance(node, ast.UnaryOp):
+        return f"{node.op}({expr(node.operand)})"
+    if isinstance(node, ast.Ternary):
+        return f"({expr(node.cond)} ? {expr(node.then)} : {expr(node.otherwise)})"
+    if isinstance(node, ast.Elvis):
+        return f"({expr(node.value)} ?: {expr(node.default)})"
+    if isinstance(node, ast.NewExpr):
+        return f"new {node.type_name}({', '.join(expr(a) for a in node.args)})"
+    if isinstance(node, ast.CastExpr):
+        return f"({expr(node.value)} as {node.type_name})"
+    raise TypeError(f"cannot print expression {type(node).__name__}")

@@ -1,0 +1,65 @@
+"""Model-checking substrate — the reproduction's NuSMV replacement.
+
+Three engines over the same :class:`repro.model.kripke.KripkeStructure`:
+
+* :mod:`.explicit` — explicit-state CTL labelling with counterexamples,
+* :mod:`.symbolic` — BDD-based symbolic CTL (on :mod:`.bdd`, a from-scratch
+  ROBDD package),
+* :mod:`.bmc` — SAT-based bounded model checking of invariants (on
+  :mod:`.sat`, a from-scratch DPLL solver),
+
+mirroring NuSMV's combined BDD/SAT modes that the paper relies on (Sec. 5).
+"""
+
+from repro.mc.ctl import (
+    AG,
+    AF,
+    AX,
+    AU,
+    EG,
+    EF,
+    EX,
+    EU,
+    And,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    FALSE,
+    TRUE,
+    parse_ctl,
+)
+from repro.mc.explicit import CheckResult, ExplicitChecker, check
+from repro.mc.bdd import BDD
+from repro.mc.symbolic import SymbolicChecker
+from repro.mc.sat import Solver, solve
+from repro.mc.bmc import BoundedChecker
+
+__all__ = [
+    "AG",
+    "AF",
+    "AX",
+    "AU",
+    "EG",
+    "EF",
+    "EX",
+    "EU",
+    "And",
+    "Formula",
+    "Implies",
+    "Not",
+    "Or",
+    "Prop",
+    "FALSE",
+    "TRUE",
+    "parse_ctl",
+    "CheckResult",
+    "ExplicitChecker",
+    "check",
+    "BDD",
+    "SymbolicChecker",
+    "Solver",
+    "solve",
+    "BoundedChecker",
+]

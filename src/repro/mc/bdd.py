@@ -1,0 +1,292 @@
+"""A from-scratch ROBDD (reduced ordered binary decision diagram) package.
+
+Implements the classic Bryant construction: a unique table guaranteeing
+canonicity, ``ite`` as the universal connective with memoisation,
+existential quantification, variable renaming, and satisfying-assignment
+counting.  This is the substrate for the symbolic CTL checker
+(:mod:`repro.mc.symbolic`) — the reproduction's analogue of NuSMV's
+BDD engine.
+
+Nodes are integers: 0 (false terminal), 1 (true terminal), and >= 2 for
+internal nodes stored as (level, low, high) triples.  Variable order is the
+order of :meth:`BDD.add_var` calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class _Node:
+    level: int
+    low: int
+    high: int
+
+
+class BDD:
+    """A BDD manager: all nodes live in one shared, reduced graph."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self) -> None:
+        self._nodes: list[_Node] = [
+            _Node(level=1 << 30, low=0, high=0),   # 0: false terminal
+            _Node(level=1 << 30, low=1, high=1),   # 1: true terminal
+        ]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._var_names: list[str] = []
+        self._var_ids: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> int:
+        """Register a variable (order = registration order); returns the
+        BDD node for the positive literal."""
+        if name in self._var_ids:
+            return self.var(name)
+        self._var_ids[name] = len(self._var_names)
+        self._var_names.append(name)
+        return self.var(name)
+
+    def var(self, name: str) -> int:
+        level = self._var_ids[name]
+        return self._mk(level, self.FALSE, self.TRUE)
+
+    def nvar(self, name: str) -> int:
+        level = self._var_ids[name]
+        return self._mk(level, self.TRUE, self.FALSE)
+
+    def var_count(self) -> int:
+        return len(self._var_names)
+
+    def level_of(self, name: str) -> int:
+        return self._var_ids[name]
+
+    def name_of(self, level: int) -> str:
+        return self._var_names[level]
+
+    # ------------------------------------------------------------------
+    # Core construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node_id = self._unique.get(key)
+        if node_id is None:
+            node_id = len(self._nodes)
+            self._nodes.append(_Node(level=level, low=low, high=high))
+            self._unique[key] = node_id
+        return node_id
+
+    def node(self, node_id: int) -> _Node:
+        return self._nodes[node_id]
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """if-then-else: f ? g : h — the universal boolean connective."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._nodes[f].level, self._nodes[g].level, self._nodes[h].level)
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node_id: int, level: int) -> tuple[int, int]:
+        node = self._nodes[node_id]
+        if node.level != level:
+            return node_id, node_id
+        return node.low, node.high
+
+    # ------------------------------------------------------------------
+    # Boolean connectives
+    # ------------------------------------------------------------------
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, self.TRUE, g)
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.TRUE)
+
+    def iff(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def conj(self, items: list[int]) -> int:
+        result = self.TRUE
+        for item in items:
+            result = self.and_(result, item)
+        return result
+
+    def disj(self, items: list[int]) -> int:
+        result = self.FALSE
+        for item in items:
+            result = self.or_(result, item)
+        return result
+
+    # ------------------------------------------------------------------
+    # Quantification and substitution
+    # ------------------------------------------------------------------
+    def exists(self, names: list[str], f: int) -> int:
+        levels = sorted(self._var_ids[name] for name in names)
+        return self._exists(frozenset(levels), f, {})
+
+    def _exists(self, levels: frozenset[int], f: int, cache: dict[int, int]) -> int:
+        if f in (self.TRUE, self.FALSE):
+            return f
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        node = self._nodes[f]
+        low = self._exists(levels, node.low, cache)
+        high = self._exists(levels, node.high, cache)
+        if node.level in levels:
+            result = self.or_(low, high)
+        else:
+            result = self._mk(node.level, low, high)
+        cache[f] = result
+        return result
+
+    def forall(self, names: list[str], f: int) -> int:
+        return self.not_(self.exists(names, self.not_(f)))
+
+    def rename(self, f: int, mapping: dict[str, str]) -> int:
+        """Substitute variables (e.g. next-state x' -> x).
+
+        Implemented by composition: safe for arbitrary mappings, including
+        non-order-preserving ones.
+        """
+        level_map = {
+            self._var_ids[old]: self._var_ids[new] for old, new in mapping.items()
+        }
+        return self._rename(f, level_map, {})
+
+    def _rename(self, f: int, level_map: dict[int, int], cache: dict[int, int]) -> int:
+        if f in (self.TRUE, self.FALSE):
+            return f
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        node = self._nodes[f]
+        low = self._rename(node.low, level_map, cache)
+        high = self._rename(node.high, level_map, cache)
+        target = level_map.get(node.level, node.level)
+        variable = self._mk(target, self.FALSE, self.TRUE)
+        result = self.ite(variable, high, low)
+        cache[f] = result
+        return result
+
+    def restrict(self, f: int, assignment: dict[str, bool]) -> int:
+        levels = {self._var_ids[n]: v for n, v in assignment.items()}
+        return self._restrict(f, levels, {})
+
+    def _restrict(
+        self, f: int, levels: dict[int, bool], cache: dict[int, int]
+    ) -> int:
+        if f in (self.TRUE, self.FALSE):
+            return f
+        cached = cache.get(f)
+        if cached is not None:
+            return cached
+        node = self._nodes[f]
+        if node.level in levels:
+            branch = node.high if levels[node.level] else node.low
+            result = self._restrict(branch, levels, cache)
+        else:
+            low = self._restrict(node.low, levels, cache)
+            high = self._restrict(node.high, levels, cache)
+            result = self._mk(node.level, low, high)
+        cache[f] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Evaluation / enumeration
+    # ------------------------------------------------------------------
+    def evaluate(self, f: int, assignment: dict[str, bool]) -> bool:
+        node_id = f
+        while node_id not in (self.TRUE, self.FALSE):
+            node = self._nodes[node_id]
+            name = self._var_names[node.level]
+            node_id = node.high if assignment.get(name, False) else node.low
+        return node_id == self.TRUE
+
+    def count_sat(self, f: int, nvars: int | None = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables."""
+        total_vars = nvars if nvars is not None else len(self._var_names)
+        cache: dict[int, int] = {}
+
+        def walk(node_id: int) -> tuple[int, int]:
+            """Returns (count, level) where count assumes the node's level."""
+            if node_id == self.FALSE:
+                return 0, total_vars
+            if node_id == self.TRUE:
+                return 1, total_vars
+            node = self._nodes[node_id]
+            if node_id in cache:
+                return cache[node_id], node.level
+            low_count, low_level = walk(node.low)
+            high_count, high_level = walk(node.high)
+            count = low_count * (1 << (low_level - node.level - 1)) + high_count * (
+                1 << (high_level - node.level - 1)
+            )
+            cache[node_id] = count
+            return count, node.level
+
+        count, level = walk(f)
+        return count * (1 << level)
+
+    def any_sat(self, f: int) -> dict[str, bool] | None:
+        """One satisfying assignment, or None."""
+        if f == self.FALSE:
+            return None
+        assignment: dict[str, bool] = {}
+        node_id = f
+        while node_id != self.TRUE:
+            node = self._nodes[node_id]
+            name = self._var_names[node.level]
+            if node.high != self.FALSE:
+                assignment[name] = True
+                node_id = node.high
+            else:
+                assignment[name] = False
+                node_id = node.low
+        return assignment
+
+    def size(self, f: int) -> int:
+        """Number of distinct nodes in the BDD rooted at ``f``."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen or node_id in (self.TRUE, self.FALSE):
+                continue
+            seen.add(node_id)
+            node = self._nodes[node_id]
+            stack.append(node.low)
+            stack.append(node.high)
+        return len(seen) + 2

@@ -1,0 +1,313 @@
+"""CTL formulas (Clarke-Emerson branching-time logic) and a parser.
+
+Soteria expresses properties "with temporal logic formulas" checked by
+NuSMV; this module is the formula layer of the reproduction's checker.
+Formulas are immutable dataclass trees; :func:`parse_ctl` accepts the usual
+textual syntax::
+
+    AG (attr:door.lock=locked | !"attr:presence=not present")
+    AG (ev:smoke.detected -> AF attr:alarm.alarm=siren)
+    E [ attr:valve.valve=open U attr:water.water=wet ]
+
+Propositions are bare tokens (no whitespace) or double-quoted strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Formula:
+    """Base class; subclasses are the CTL connectives."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def atoms(self) -> set[str]:
+        found: set[str] = set()
+        stack: list[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Prop):
+                found.add(node.name)
+            for child in _children(node):
+                stack.append(child)
+        return found
+
+
+@dataclass(frozen=True)
+class Bool(Formula):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = Bool(True)
+FALSE = Bool(False)
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    name: str
+
+    def __str__(self) -> str:
+        if any(ch.isspace() for ch in self.name):
+            return f'"{self.name}"'
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class EX(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"EX ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AX(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"AX ({self.operand})"
+
+
+@dataclass(frozen=True)
+class EF(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"EF ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AF(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"AF ({self.operand})"
+
+
+@dataclass(frozen=True)
+class EG(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"EG ({self.operand})"
+
+
+@dataclass(frozen=True)
+class AG(Formula):
+    operand: Formula
+
+    def __str__(self) -> str:
+        return f"AG ({self.operand})"
+
+
+@dataclass(frozen=True)
+class EU(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"E [{self.left} U {self.right}]"
+
+
+@dataclass(frozen=True)
+class AU(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"A [{self.left} U {self.right}]"
+
+
+def _children(node: Formula) -> list[Formula]:
+    if isinstance(node, (Not, EX, AX, EF, AF, EG, AG)):
+        return [node.operand]
+    if isinstance(node, (And, Or, Implies, EU, AU)):
+        return [node.left, node.right]
+    return []
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+class CTLParseError(Exception):
+    pass
+
+
+_UNARY_TEMPORAL = {"AG", "AF", "AX", "EG", "EF", "EX"}
+_STOP_CHARS = set("()[]!&|\"' \t\n")
+
+
+class _Lexer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.tokens: list[str] = []
+        self._run()
+
+    def _run(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+            elif ch in "()[]!":
+                self.tokens.append(ch)
+                self.pos += 1
+            elif ch == "&":
+                self.pos += 2 if text.startswith("&&", self.pos) else 1
+                self.tokens.append("&")
+            elif ch == "|":
+                self.pos += 2 if text.startswith("||", self.pos) else 1
+                self.tokens.append("|")
+            elif text.startswith("->", self.pos):
+                self.tokens.append("->")
+                self.pos += 2
+            elif ch == '"':
+                end = text.find('"', self.pos + 1)
+                if end < 0:
+                    raise CTLParseError("unterminated quoted proposition")
+                self.tokens.append("\0" + text[self.pos + 1 : end])
+                self.pos = end + 1
+            else:
+                start = self.pos
+                while self.pos < len(text) and text[self.pos] not in _STOP_CHARS:
+                    if text.startswith("->", self.pos):
+                        break
+                    self.pos += 1
+                self.tokens.append(text[start : self.pos])
+        self.tokens.append("<eof>")
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str:
+        return self.tokens[self.pos]
+
+    def advance(self) -> str:
+        token = self.tokens[self.pos]
+        if token != "<eof>":
+            self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        if self.peek() != token:
+            raise CTLParseError(f"expected {token!r}, found {self.peek()!r}")
+        self.advance()
+
+    def parse(self) -> Formula:
+        formula = self.implies()
+        if self.peek() != "<eof>":
+            raise CTLParseError(f"trailing input: {self.peek()!r}")
+        return formula
+
+    def implies(self) -> Formula:
+        left = self.disjunction()
+        if self.peek() == "->":
+            self.advance()
+            return Implies(left, self.implies())
+        return left
+
+    def disjunction(self) -> Formula:
+        left = self.conjunction()
+        while self.peek() == "|":
+            self.advance()
+            left = Or(left, self.conjunction())
+        return left
+
+    def conjunction(self) -> Formula:
+        left = self.unary()
+        while self.peek() == "&":
+            self.advance()
+            left = And(left, self.unary())
+        return left
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token == "!":
+            self.advance()
+            return Not(self.unary())
+        if token in _UNARY_TEMPORAL:
+            self.advance()
+            operand = self.unary()
+            return {"AG": AG, "AF": AF, "AX": AX, "EG": EG, "EF": EF, "EX": EX}[
+                token
+            ](operand)
+        if token in ("A", "E"):
+            self.advance()
+            self.expect("[")
+            left = self.implies()
+            self.expect("U")
+            right = self.implies()
+            self.expect("]")
+            return AU(left, right) if token == "A" else EU(left, right)
+        return self.atom()
+
+    def atom(self) -> Formula:
+        token = self.advance()
+        if token == "(":
+            inner = self.implies()
+            self.expect(")")
+            return inner
+        if token == "true":
+            return TRUE
+        if token == "false":
+            return FALSE
+        if token == "<eof>":
+            raise CTLParseError("unexpected end of formula")
+        if token.startswith("\0"):
+            return Prop(token[1:])
+        return Prop(token)
+
+
+def parse_ctl(text: str) -> Formula:
+    """Parse a textual CTL formula."""
+    return _Parser(_Lexer(text).tokens).parse()

@@ -1,0 +1,121 @@
+"""A from-scratch DPLL SAT solver (unit propagation + branching heuristic).
+
+Backs the bounded model checker (:mod:`repro.mc.bmc`), mirroring NuSMV's
+SAT-based engine the paper enables against state explosion (Sec. 5).
+
+CNF convention: variables are positive integers; literals are non-zero
+integers (negative = negated); a clause is a list of literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Solver:
+    """Incremental-ish DPLL solver: add clauses, then :meth:`solve`."""
+
+    clauses: list[list[int]] = field(default_factory=list)
+    nvars: int = 0
+
+    def new_var(self) -> int:
+        self.nvars += 1
+        return self.nvars
+
+    def add_clause(self, clause: list[int]) -> None:
+        for literal in clause:
+            self.nvars = max(self.nvars, abs(literal))
+        self.clauses.append(list(clause))
+
+    # ------------------------------------------------------------------
+    def solve(
+        self, assumptions: list[int] | None = None
+    ) -> dict[int, bool] | None:
+        """Return a satisfying assignment {var: bool} or None (UNSAT)."""
+        assignment: dict[int, bool] = {}
+        for literal in assumptions or []:
+            var, value = abs(literal), literal > 0
+            if assignment.get(var, value) != value:
+                return None
+            assignment[var] = value
+
+        def backtrack() -> bool:
+            """Flip the most recent un-flipped decision; False if exhausted."""
+            nonlocal assignment
+            while frames:
+                snapshot, decided, tried_false = frames.pop()
+                if not tried_false:
+                    assignment = dict(snapshot)
+                    assignment[decided] = False
+                    frames.append((snapshot, decided, True))
+                    return True
+            return False
+
+        # Iterative DPLL: snapshot the assignment before each decision.
+        frames: list[tuple[dict[int, bool], int, bool]] = []
+        while True:
+            while self._propagate(assignment):  # conflict
+                if not backtrack():
+                    return None
+            variable = self._pick_branch(assignment)
+            if variable is None:
+                return dict(assignment)
+            frames.append((dict(assignment), variable, False))
+            assignment[variable] = True
+
+    # ------------------------------------------------------------------
+    def _propagate(self, assignment: dict[int, bool]) -> bool:
+        """Unit propagation; True on conflict."""
+        changed = True
+        while changed:
+            changed = False
+            for clause in self.clauses:
+                unassigned: int | None = None
+                satisfied = False
+                count = 0
+                for literal in clause:
+                    var = abs(literal)
+                    if var in assignment:
+                        if assignment[var] == (literal > 0):
+                            satisfied = True
+                            break
+                    else:
+                        unassigned = literal
+                        count += 1
+                if satisfied:
+                    continue
+                if count == 0:
+                    return True  # conflict
+                if count == 1 and unassigned is not None:
+                    assignment[abs(unassigned)] = unassigned > 0
+                    changed = True
+        return False
+
+    def _pick_branch(self, assignment: dict[int, bool]) -> int | None:
+        # Branch on the variable appearing in the most unresolved clauses.
+        scores: dict[int, int] = {}
+        for clause in self.clauses:
+            if any(
+                abs(l) in assignment and assignment[abs(l)] == (l > 0)
+                for l in clause
+            ):
+                continue
+            for literal in clause:
+                var = abs(literal)
+                if var not in assignment:
+                    scores[var] = scores.get(var, 0) + 1
+        if scores:
+            return max(scores, key=lambda v: (scores[v], -v))
+        for var in range(1, self.nvars + 1):
+            if var not in assignment:
+                return var
+        return None
+
+
+def solve(clauses: list[list[int]]) -> dict[int, bool] | None:
+    """One-shot solve."""
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    return solver.solve()

@@ -1,0 +1,179 @@
+"""BDD-based symbolic CTL model checking.
+
+States of the Kripke structure are binary-encoded; the transition relation
+is one BDD over current (``x<i>``) and next (``y<i>``) variables in
+interleaved order; EX is the relational preimage
+``exists y . R(x, y) & f[y/x]``; EU/EG are the usual fixpoints computed
+entirely on BDDs.  Verified against the explicit checker in the test suite
+(they must agree on every formula/model pair).
+"""
+
+from __future__ import annotations
+
+from repro.mc import ctl
+from repro.mc.bdd import BDD
+from repro.model.kripke import KripkeState, KripkeStructure
+
+
+class SymbolicChecker:
+    """Symbolic CTL checker over an explicit Kripke structure."""
+
+    def __init__(self, kripke: KripkeStructure) -> None:
+        self.kripke = kripke
+        self.bdd = BDD()
+        self.index: dict[KripkeState, int] = {
+            state: i for i, state in enumerate(kripke.states)
+        }
+        self.nbits = max(1, (len(kripke.states) - 1).bit_length())
+        # Interleave current/next bits — the standard good ordering for
+        # transition relations.
+        for bit in range(self.nbits):
+            self.bdd.add_var(f"x{bit}")
+            self.bdd.add_var(f"y{bit}")
+        self._x = [f"x{bit}" for bit in range(self.nbits)]
+        self._y = [f"y{bit}" for bit in range(self.nbits)]
+        self._state_cubes: dict[KripkeState, int] = {}
+        self._valid = self._build_valid()
+        self._relation = self._build_relation()
+        self._cache: dict[ctl.Formula, int] = {}
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _cube(self, state: KripkeState, prime: bool = False) -> int:
+        if not prime and state in self._state_cubes:
+            return self._state_cubes[state]
+        code = self.index[state]
+        names = self._y if prime else self._x
+        terms = []
+        for bit in range(self.nbits):
+            literal = (
+                self.bdd.var(names[bit])
+                if (code >> bit) & 1
+                else self.bdd.nvar(names[bit])
+            )
+            terms.append(literal)
+        cube = self.bdd.conj(terms)
+        if not prime:
+            self._state_cubes[state] = cube
+        return cube
+
+    def _build_valid(self) -> int:
+        return self.bdd.disj([self._cube(s) for s in self.kripke.states])
+
+    def _build_relation(self) -> int:
+        edges = []
+        for src, dsts in self.kripke.succ.items():
+            src_cube = self._cube(src)
+            for dst in dsts:
+                edges.append(self.bdd.and_(src_cube, self._cube(dst, prime=True)))
+        return self.bdd.disj(edges)
+
+    def set_of(self, f: int) -> frozenset[KripkeState]:
+        """Decode a BDD over x-vars back into a set of Kripke states."""
+        found = []
+        for state in self.kripke.states:
+            code = self.index[state]
+            assignment = {
+                self._x[bit]: bool((code >> bit) & 1) for bit in range(self.nbits)
+            }
+            if self.bdd.evaluate(f, assignment):
+                found.append(state)
+        return frozenset(found)
+
+    # ------------------------------------------------------------------
+    # CTL semantics
+    # ------------------------------------------------------------------
+    def sat(self, formula: ctl.Formula) -> int:
+        cached = self._cache.get(formula)
+        if cached is not None:
+            return cached
+        result = self._sat(formula)
+        result = self.bdd.and_(result, self._valid)
+        self._cache[formula] = result
+        return result
+
+    def _prop(self, name: str) -> int:
+        members = [
+            self._cube(s) for s in self.kripke.states if name in self.kripke.labels[s]
+        ]
+        return self.bdd.disj(members)
+
+    def _preimage(self, f: int) -> int:
+        primed = self.bdd.rename(f, dict(zip(self._x, self._y)))
+        return self.bdd.exists(self._y, self.bdd.and_(self._relation, primed))
+
+    def _sat(self, f: ctl.Formula) -> int:
+        bdd = self.bdd
+        if isinstance(f, ctl.Bool):
+            return self._valid if f.value else bdd.FALSE
+        if isinstance(f, ctl.Prop):
+            return self._prop(f.name)
+        if isinstance(f, ctl.Not):
+            return bdd.and_(self._valid, bdd.not_(self.sat(f.operand)))
+        if isinstance(f, ctl.And):
+            return bdd.and_(self.sat(f.left), self.sat(f.right))
+        if isinstance(f, ctl.Or):
+            return bdd.or_(self.sat(f.left), self.sat(f.right))
+        if isinstance(f, ctl.Implies):
+            return bdd.and_(
+                self._valid, bdd.or_(bdd.not_(self.sat(f.left)), self.sat(f.right))
+            )
+        if isinstance(f, ctl.EX):
+            return bdd.and_(self._valid, self._preimage(self.sat(f.operand)))
+        if isinstance(f, ctl.AX):
+            inner = bdd.and_(self._valid, bdd.not_(self.sat(f.operand)))
+            return bdd.and_(self._valid, bdd.not_(self._preimage(inner)))
+        if isinstance(f, ctl.EF):
+            return self._lfp(self._valid, self.sat(f.operand))
+        if isinstance(f, ctl.EU):
+            return self._lfp(self.sat(f.left), self.sat(f.right))
+        if isinstance(f, ctl.EG):
+            return self._gfp(self.sat(f.operand))
+        if isinstance(f, ctl.AF):
+            inner = bdd.and_(self._valid, bdd.not_(self.sat(f.operand)))
+            return bdd.and_(self._valid, bdd.not_(self._gfp(inner)))
+        if isinstance(f, ctl.AG):
+            inner = bdd.and_(self._valid, bdd.not_(self.sat(f.operand)))
+            reach = self._lfp(self._valid, inner)
+            return bdd.and_(self._valid, bdd.not_(reach))
+        if isinstance(f, ctl.AU):
+            not_b = bdd.and_(self._valid, bdd.not_(self.sat(f.right)))
+            not_a_not_b = bdd.and_(not_b, bdd.not_(self.sat(f.left)))
+            bad = bdd.or_(self._lfp(not_b, not_a_not_b), self._gfp(not_b))
+            return bdd.and_(self._valid, bdd.not_(bad))
+        raise TypeError(f"unsupported formula {type(f).__name__}")
+
+    def _lfp(self, context: int, target: int) -> int:
+        """E[context U target] as a least fixpoint on BDDs."""
+        current = target
+        while True:
+            step = self.bdd.and_(context, self._preimage(current))
+            nxt = self.bdd.or_(current, step)
+            if nxt == current:
+                return current
+            current = nxt
+
+    def _gfp(self, context: int) -> int:
+        """EG context as a greatest fixpoint on BDDs."""
+        current = context
+        while True:
+            nxt = self.bdd.and_(current, self._preimage(current))
+            if nxt == current:
+                return current
+            current = nxt
+
+    # ------------------------------------------------------------------
+    def check(self, formula: ctl.Formula | str) -> bool:
+        """True when every initial state satisfies ``formula``."""
+        if isinstance(formula, str):
+            formula = ctl.parse_ctl(formula)
+        satisfied = self.sat(formula)
+        initial = self.bdd.disj([self._cube(s) for s in self.kripke.initial])
+        uncovered = self.bdd.and_(initial, self.bdd.not_(satisfied))
+        return uncovered == self.bdd.FALSE
+
+    def sat_states(self, formula: ctl.Formula | str) -> frozenset[KripkeState]:
+        if isinstance(formula, str):
+            formula = ctl.parse_ctl(formula)
+        return self.set_of(self.sat(formula))

@@ -1,0 +1,555 @@
+"""State-model extraction: IR + analyses -> (Q, Sigma, delta) (Sec. 4.2).
+
+The extractor
+
+1. runs the symbolic executor to obtain per-entry-point transition rules,
+2. determines the *referenced* device attributes (subscribed, read, or
+   written) that form the state-space dimensions,
+3. builds abstract domains for numeric attributes (property abstraction,
+   Sec. 4.2.1) from written constants, comparison cut points, and
+   user-input thresholds,
+4. expands each rule over the state space: the triggering event moves the
+   event attribute to its new value, guard atoms are decided against the
+   source/target state, handler actions update the target state, and any
+   undecidable atoms remain on the transition as residual predicate labels
+   (Sec. 4.2.2 "labeling transitions with predicates").
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.analysis.abstraction import (
+    AbstractDomain,
+    AbstractRegion,
+    build_numeric_domain,
+    collect_read_cutpoints,
+)
+from repro.analysis.predicates import Atom, SWAPPED
+from repro.analysis.symexec import Action, PathSummary, SymbolicExecutor
+from repro.analysis.values import (
+    Const,
+    DeviceRead,
+    EventValue,
+    SymValue,
+    Unknown,
+    UserInput,
+)
+from repro.ir.ir import AppIR, EntryPoint
+from repro.model.statemodel import State, StateAttribute, StateModel, Transition
+from repro.platform.capabilities import AttributeKind, CapabilityDatabase, default_database
+from repro.platform.events import Event, EventKind
+
+#: Default location modes; app-specific mode names are added on top.
+_DEFAULT_MODES = ("home", "away", "night")
+
+
+class StateExplosionError(Exception):
+    """Raised when the (abstracted) state space exceeds the budget."""
+
+
+class ModelExtractor:
+    """Extracts the state model of a single app."""
+
+    def __init__(
+        self,
+        ir: AppIR,
+        db: CapabilityDatabase | None = None,
+        max_states: int = 250_000,
+        abstract_numeric: bool = True,
+        executor: SymbolicExecutor | None = None,
+    ) -> None:
+        self.ir = ir
+        self.db = db or default_database()
+        self.max_states = max_states
+        self.abstract_numeric = abstract_numeric
+        self.executor = executor or SymbolicExecutor(ir, self.db)
+
+    # ==================================================================
+    def extract(self) -> StateModel:
+        rules = self.executor.run_all()
+        attributes, domains = self._state_attributes(rules)
+        raw = 1
+        for attr in attributes:
+            raw *= self._raw_size(attr)
+        states = self._enumerate_states(attributes)
+        model = StateModel(
+            name=self.ir.app.name,
+            attributes=attributes,
+            states=states,
+            rules=rules,
+            numeric_domains=domains,
+            raw_state_count=raw,
+            apps=[self.ir.app.name],
+        )
+        expand_rules_into(model, rules, self.ir.app.name, self.db)
+        return model
+
+    # ==================================================================
+    # Attribute discovery and domains
+    # ==================================================================
+    def _state_attributes(
+        self, rules: dict[EntryPoint, list[PathSummary]]
+    ) -> tuple[list[StateAttribute], dict[tuple[str, str], AbstractDomain]]:
+        referenced: list[tuple[str, str]] = []
+
+        def note(device: str, attribute: str) -> None:
+            key = (device, attribute)
+            if key not in referenced:
+                referenced.append(key)
+
+        for sub in self.ir.subscriptions:
+            event = sub.event
+            if event.kind is EventKind.DEVICE and event.device != "location":
+                note(event.device, event.attribute)
+            elif event.kind is EventKind.MODE:
+                note("location", "mode")
+        all_summaries = [s for group in rules.values() for s in group]
+        for summary in all_summaries:
+            for action in summary.actions:
+                if action.attribute is not None:
+                    note(action.device, action.attribute)
+            for atom in summary.condition:
+                for value in (atom.lhs, atom.rhs):
+                    if isinstance(value, DeviceRead):
+                        note(value.device, value.attribute)
+
+        attributes: list[StateAttribute] = []
+        domains: dict[tuple[str, str], AbstractDomain] = {}
+        for device, attr_name in referenced:
+            if device == "location" and attr_name == "mode":
+                domain = self._mode_domain(all_summaries)
+                attributes.append(
+                    StateAttribute(device="location", attribute="mode", domain=domain)
+                )
+                continue
+            spec = self._attribute_spec(device, attr_name)
+            if spec is None:
+                continue
+            if spec.kind is AttributeKind.ENUM:
+                attributes.append(
+                    StateAttribute(
+                        device=device, attribute=attr_name, domain=tuple(spec.values)
+                    )
+                )
+            elif spec.kind is AttributeKind.NUMERIC:
+                domain_obj = self._numeric_domain(device, spec, rules)
+                domains[(device, attr_name)] = domain_obj
+                attributes.append(
+                    StateAttribute(
+                        device=device,
+                        attribute=attr_name,
+                        domain=tuple(domain_obj.labels()),
+                        is_numeric=True,
+                    )
+                )
+            # STRING attributes (image blobs...) carry no state.
+        return attributes, domains
+
+    def _attribute_spec(self, device: str, attr_name: str):
+        perm = self.ir.device(device)
+        if perm is not None:
+            spec = self.db.attribute(perm.capability, attr_name)
+            if spec is not None:
+                return spec
+        return self.db.attribute_anywhere(attr_name)
+
+    def _mode_domain(self, summaries: list[PathSummary]) -> tuple[str, ...]:
+        modes: list[str] = list(_DEFAULT_MODES)
+
+        def add(name: object) -> None:
+            if isinstance(name, str) and name and name not in modes:
+                modes.append(name)
+
+        for sub in self.ir.subscriptions:
+            if sub.event.kind is EventKind.MODE:
+                add(sub.event.value)
+        for summary in summaries:
+            for action in summary.actions:
+                if action.device == "location" and action.attribute == "mode":
+                    add(action.value)
+            for atom in summary.condition:
+                values = [atom.lhs, atom.rhs]
+                involves_mode = any(
+                    isinstance(v, DeviceRead)
+                    and v.device == "location"
+                    and v.attribute == "mode"
+                    for v in values
+                ) or (
+                    summary.entry.event.kind is EventKind.MODE
+                    and any(isinstance(v, EventValue) for v in values)
+                )
+                if involves_mode:
+                    for value in values:
+                        if isinstance(value, Const):
+                            add(value.value)
+        return tuple(modes)
+
+    def _numeric_domain(
+        self,
+        device: str,
+        spec,
+        rules: dict[EntryPoint, list[PathSummary]],
+    ) -> AbstractDomain:
+        written_constants: set[float] = set()
+        written_users: set[str] = set()
+        atoms: list[Atom] = []
+        for entry, summaries in rules.items():
+            for summary in summaries:
+                for action in summary.actions:
+                    if action.device == device and action.attribute == spec.name:
+                        value = action.value
+                        if isinstance(value, Const) and isinstance(
+                            value.value, (int, float)
+                        ):
+                            written_constants.add(float(value.value))
+                        elif isinstance(value, UserInput):
+                            written_users.add(value.handle)
+                for atom in summary.condition:
+                    atoms.append(self._resolve_event_atom(atom, entry, device, spec))
+        # Atoms dropped by ESP path merging still partition the domain
+        # (Sec. 4.2.1: cut points come from the *code's* comparisons).
+        for entry, atom in self.executor.observed_atoms:
+            atoms.append(self._resolve_event_atom(atom, entry, device, spec))
+        read_constants, user_handles = collect_read_cutpoints(
+            atoms, device, spec.name
+        )
+        if not self.abstract_numeric:
+            # No reduction: every concrete value is a point region (bounded
+            # by the attribute's documented range).  Used by the ablation
+            # bench and the Fig. 11 "before" series.
+            regions = tuple(
+                AbstractRegion(label=f"{spec.name}={v}", kind="point", point=float(v))
+                for v in range(spec.low, spec.high + 1)
+            )
+            return AbstractDomain(device, spec.name, regions, spec.domain_size())
+        return build_numeric_domain(
+            device,
+            spec,
+            written_constants,
+            read_constants,
+            user_handles,
+            written_users,
+        )
+
+    def _resolve_event_atom(
+        self, atom: Atom, entry: EntryPoint, device: str, spec
+    ) -> Atom:
+        """Map ``evt.value`` atoms to the subscribed attribute so numeric
+        event comparisons contribute interval cut points."""
+        event = entry.event
+        if event.kind is not EventKind.DEVICE or event.device != device:
+            return atom
+        if event.attribute != spec.name:
+            return atom
+        lhs = DeviceRead(device, spec.name) if isinstance(atom.lhs, EventValue) else atom.lhs
+        rhs = DeviceRead(device, spec.name) if isinstance(atom.rhs, EventValue) else atom.rhs
+        return Atom(lhs=lhs, op=atom.op, rhs=rhs)
+
+    # ==================================================================
+    def _raw_size(self, attr: StateAttribute) -> int:
+        perm = self.ir.device(attr.device)
+        if perm is not None:
+            spec = self.db.attribute(perm.capability, attr.attribute)
+            if spec is not None:
+                return spec.domain_size()
+        if attr.device == "location":
+            return len(attr.domain)
+        spec = self.db.attribute_anywhere(attr.attribute)
+        if spec is not None:
+            return spec.domain_size()
+        return len(attr.domain)
+
+    def _enumerate_states(self, attributes: list[StateAttribute]) -> list[State]:
+        total = 1
+        for attr in attributes:
+            total *= max(1, len(attr.domain))
+        if total > self.max_states:
+            raise StateExplosionError(
+                f"{self.ir.app.name}: {total} states exceed budget {self.max_states}"
+            )
+        if not attributes:
+            return [()]
+        return [tuple(combo) for combo in itertools.product(*(a.domain for a in attributes))]
+
+
+# ======================================================================
+# Rule expansion (shared with the union builder)
+# ======================================================================
+def expand_rules_into(
+    model: StateModel,
+    rules: dict[EntryPoint, list[PathSummary]],
+    app_name: str,
+    db: CapabilityDatabase,
+    app_written: frozenset[tuple[str, str, str]] = frozenset(),
+) -> None:
+    """Expand symbolic transition rules into concrete transitions of
+    ``model``.  Used both for single-app models and for Algorithm 2's union
+    model (where ``model`` carries the union attribute set).
+
+    ``app_written`` lists (device, attribute, value) triples some app in the
+    environment actively writes.  Device events normally fire only on
+    attribute *changes*; but when an app writes a value, the platform raises
+    the corresponding event and co-installed subscribers run — so for
+    app-written values the rule also fires from states already holding the
+    value.  This is what makes the paper's multi-app chains observable
+    (Sec. 4.4: switch-on -> home-mode -> door-locked).
+    """
+    transitions: list[Transition] = []
+    seen: set[tuple] = set()
+    for entry, summaries in rules.items():
+        for summary in summaries:
+            for transition in _expand_summary(
+                model, entry, summary, app_name, db, app_written
+            ):
+                key = (
+                    transition.source,
+                    transition.target,
+                    transition.event,
+                    transition.condition,
+                    transition.app,
+                )
+                if key not in seen:
+                    seen.add(key)
+                    transitions.append(transition)
+    model.transitions.extend(transitions)
+
+
+def _expand_summary(
+    model: StateModel,
+    entry: EntryPoint,
+    summary: PathSummary,
+    app_name: str,
+    db: CapabilityDatabase,
+    app_written: frozenset[tuple[str, str, str]] = frozenset(),
+) -> list[Transition]:
+    event = entry.event
+    moved = _moved_attribute(model, event)
+    results: list[Transition] = []
+
+    if moved is None:
+        candidates: list[tuple[int | None, str | None]] = [(None, None)]
+    else:
+        index, attr = moved
+        if event.value is not None:
+            candidates = [(index, event.value)]
+        else:
+            candidates = [(index, value) for value in attr.domain]
+
+    for state in model.states:
+        for index, new_value in candidates:
+            if index is not None and new_value is not None:
+                attr = model.attributes[index]
+                if not attr.is_numeric and state[index] == new_value:
+                    # Device events fire on attribute *changes* — except
+                    # that app-written values re-stimulate co-installed
+                    # subscribers (multi-app cascades, Sec. 4.4).
+                    if (attr.device, attr.attribute, new_value) not in app_written:
+                        continue
+            concrete_event = (
+                Event(event.kind, event.device, event.attribute, new_value)
+                if index is not None
+                else event
+            )
+            decision = _decide_condition(
+                model, summary.condition, state, index, new_value, event, db
+            )
+            if decision is None:
+                continue
+            residual = decision
+            target, applied = _apply_actions(
+                model, state, index, new_value, summary.actions, residual
+            )
+            if target is None:
+                continue
+            target_state, extra_residual = target, applied
+            if index is None and target_state == state and not summary.actions:
+                continue  # no-op timer path
+            results.append(
+                Transition(
+                    source=state,
+                    target=target_state,
+                    event=concrete_event,
+                    condition=tuple(residual) + tuple(extra_residual),
+                    actions=summary.actions,
+                    app=app_name,
+                    via_reflection=summary.uses_reflection,
+                    sends=summary.sends,
+                )
+            )
+    return results
+
+
+def _moved_attribute(
+    model: StateModel, event: Event
+) -> tuple[int, StateAttribute] | None:
+    if event.kind is EventKind.DEVICE:
+        index = model.attribute_index(event.device, event.attribute)
+    elif event.kind is EventKind.MODE:
+        index = model.attribute_index("location", "mode")
+    else:
+        return None
+    if index is None:
+        return None
+    return index, model.attributes[index]
+
+
+def _decide_condition(
+    model: StateModel,
+    condition: tuple[Atom, ...],
+    state: State,
+    moved_index: int | None,
+    new_value: str | None,
+    event: Event,
+    db: CapabilityDatabase,
+) -> list[Atom] | None:
+    """Decide guard atoms against the (source, event) pair.
+
+    Returns the residual (undecidable) atoms, or None when some atom is
+    definitely false (the rule does not apply here).
+    """
+    residual: list[Atom] = []
+    for atom in condition:
+        lhs = _resolve_operand(model, atom.lhs, state, moved_index, new_value, event)
+        rhs = _resolve_operand(model, atom.rhs, state, moved_index, new_value, event)
+        verdict = _decide_atom(lhs, atom.op, rhs)
+        if verdict is False:
+            return None
+        if verdict is None:
+            residual.append(atom)
+    return residual
+
+
+def _resolve_operand(
+    model: StateModel,
+    value: SymValue,
+    state: State,
+    moved_index: int | None,
+    new_value: str | None,
+    event: Event,
+) -> object:
+    """Resolve a symbolic operand to a Const, an AbstractRegion, or itself."""
+    if isinstance(value, EventValue):
+        if moved_index is not None and new_value is not None:
+            return _state_value(model, moved_index, new_value)
+        return value
+    if isinstance(value, DeviceRead):
+        index = model.attribute_index(value.device, value.attribute)
+        if index is None:
+            return value
+        if index == moved_index and new_value is not None:
+            # Reads of the event device see the *new* value (the handler
+            # runs after the attribute changed).
+            return _state_value(model, index, new_value)
+        return _state_value(model, index, state[index])
+    return value
+
+
+def _state_value(model: StateModel, index: int, label: str) -> object:
+    attr = model.attributes[index]
+    if attr.is_numeric:
+        domain = model.numeric_domains.get((attr.device, attr.attribute))
+        if domain is not None:
+            try:
+                return domain.region(label)
+            except KeyError:
+                return Unknown(label)
+    return Const(label)
+
+
+def _decide_atom(lhs: object, op: str, rhs: object) -> bool | None:
+    if isinstance(lhs, AbstractRegion) and isinstance(rhs, SymValue):
+        return lhs.decide(op, rhs)
+    if isinstance(rhs, AbstractRegion) and isinstance(lhs, SymValue):
+        swapped = SWAPPED.get(op)
+        if swapped is None:
+            return None
+        return rhs.decide(swapped, lhs)
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        from repro.analysis.symexec import _compare_consts
+
+        return _compare_consts(lhs.value, op, rhs.value)
+    return None
+
+
+def _apply_actions(
+    model: StateModel,
+    state: State,
+    moved_index: int | None,
+    new_value: str | None,
+    actions: tuple[Action, ...],
+    residual: list[Atom],
+) -> tuple[State | None, list[Atom]]:
+    """Apply event movement + handler actions, producing the target state."""
+    values = list(state)
+    if moved_index is not None and new_value is not None:
+        values[moved_index] = new_value
+    extra: list[Atom] = []
+    for action in actions:
+        if action.attribute is None:
+            continue
+        index = model.attribute_index(action.device, action.attribute)
+        if index is None:
+            continue
+        attr = model.attributes[index]
+        if attr.is_numeric:
+            label = _numeric_write_label(model, attr, action.value)
+            if label is not None:
+                values[index] = label
+        else:
+            if isinstance(action.value, str):
+                if action.value in attr.domain:
+                    values[index] = action.value
+            # Unknown enum writes (mode from a variable): leave the
+            # attribute untouched; the action label still records it.
+    return tuple(values), extra
+
+
+def _numeric_write_label(
+    model: StateModel, attr: StateAttribute, value: object
+) -> str | None:
+    domain = model.numeric_domains.get((attr.device, attr.attribute))
+    if domain is None:
+        return None
+    if isinstance(value, Const) and isinstance(value.value, (int, float)):
+        target = float(value.value)
+        for region in domain.regions:
+            if region.kind == "point" and region.point == target:
+                return region.label
+        for region in domain.regions:
+            if region.kind == "interval":
+                above = target > region.lo or (
+                    target == region.lo and not region.lo_open
+                )
+                below = target < region.hi or (
+                    target == region.hi and not region.hi_open
+                )
+                if above and below:
+                    return region.label
+        for region in domain.regions:
+            if region.kind == "any":
+                return region.label
+    if isinstance(value, UserInput):
+        for region in domain.regions:
+            if (
+                region.kind == "symbolic"
+                and region.user_handle == value.handle
+                and region.user_side in ("equal", "at-or-above")
+            ):
+                return region.label
+    # Untrackable numeric write: stay (sound for our property set — the
+    # residual action label still shows the write happened).
+    return None
+
+
+def extract_model(
+    ir: AppIR,
+    db: CapabilityDatabase | None = None,
+    abstract_numeric: bool = True,
+    max_states: int = 250_000,
+) -> StateModel:
+    """Extract the state model of one app."""
+    extractor = ModelExtractor(
+        ir, db=db, abstract_numeric=abstract_numeric, max_states=max_states
+    )
+    return extractor.extract()

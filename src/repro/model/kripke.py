@@ -1,0 +1,178 @@
+"""State model -> Kripke structure (Soteria Sec. 5).
+
+*"We translate the state model of an IoT app into a Kripke structure — an
+equivalent temporal structure of a state model."*
+
+Kripke states are pairs (model state, incoming-transition info), so atomic
+propositions can speak about
+
+* attribute values      — ``attr:device.attribute=value``
+* the triggering event  — ``ev:<event label>`` (e.g. ``ev:smoke.detected``)
+* handler actions       — ``act:device.attribute=value`` (what the incoming
+  transition actively wrote; lets properties distinguish "the app drove the
+  system into this state" from "the environment happened to be there")
+* commands              — ``cmd:device.command`` (effect-free actions such
+  as ``take``)
+* app attribution       — ``app:<name>`` (for multi-app diagnosis)
+
+The transition relation is made total by adding self-loops to deadlocked
+states (CTL semantics require totality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.symexec import Action
+from repro.analysis.values import SymValue
+from repro.model.statemodel import State, StateModel, Transition
+
+
+@dataclass(frozen=True)
+class KripkeState:
+    """A Kripke node: model state + how we got here (None = initial)."""
+
+    state: State
+    incoming: tuple[str, ...]  # extra props from the incoming transition
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"K({self.state}, {sorted(self.incoming)})"
+
+
+@dataclass
+class KripkeStructure:
+    """Explicit Kripke structure: S, S0, R, and labelling L."""
+
+    states: list[KripkeState] = field(default_factory=list)
+    initial: list[KripkeState] = field(default_factory=list)
+    succ: dict[KripkeState, list[KripkeState]] = field(default_factory=dict)
+    labels: dict[KripkeState, frozenset[str]] = field(default_factory=dict)
+    #: Transition objects keyed by (src, dst) for counterexample rendering.
+    witness: dict[tuple[KripkeState, KripkeState], Transition] = field(
+        default_factory=dict
+    )
+
+    def atoms(self) -> set[str]:
+        found: set[str] = set()
+        for props in self.labels.values():
+            found |= props
+        return found
+
+    def predecessors(self) -> dict[KripkeState, list[KripkeState]]:
+        pred: dict[KripkeState, list[KripkeState]] = {s: [] for s in self.states}
+        for src, dsts in self.succ.items():
+            for dst in dsts:
+                pred[dst].append(src)
+        return pred
+
+    def size(self) -> tuple[int, int]:
+        edges = sum(len(d) for d in self.succ.values())
+        return len(self.states), edges
+
+
+def attr_prop(device: str, attribute: str, value: str) -> str:
+    return f"attr:{device}.{attribute}={value}"
+
+
+def event_prop(label: str) -> str:
+    return f"ev:{label}"
+
+
+def action_prop(action: Action) -> str | None:
+    if action.attribute is None:
+        return f"cmd:{action.device}.{action.command}"
+    value = action.value
+    if isinstance(value, SymValue):
+        value = value.key()
+    return f"act:{action.device}.{action.attribute}={value}"
+
+
+def build_kripke(model: StateModel) -> KripkeStructure:
+    """Build the Kripke structure of a state model."""
+    kripke = KripkeStructure()
+
+    def base_labels(state: State) -> set[str]:
+        props: set[str] = set()
+        for attr, value in zip(model.attributes, state):
+            props.add(attr_prop(attr.device, attr.attribute, value))
+        return props
+
+    def transition_props(transition: Transition) -> tuple[str, ...]:
+        props = [
+            event_prop(transition.event.label()),
+            f"evkind:{transition.event.kind.value}",
+        ]
+        for action in transition.actions:
+            prop = action_prop(action)
+            if prop is not None:
+                props.append(prop)
+            if action.attribute is not None:
+                value = action.value
+                source = "developer"
+                if isinstance(value, SymValue):
+                    from repro.analysis.values import source_label
+
+                    label = source_label(value)
+                    source = {
+                        "user-defined": "user",
+                        "device-state": "device",
+                        "state-variable": "state",
+                    }.get(label, "developer" if label == "developer-defined" else "unknown")
+                props.append(
+                    f"actsrc:{action.device}.{action.attribute}={source}"
+                )
+        if transition.sends:
+            props.append("sent-notification")
+        if transition.app:
+            props.append(f"app:{transition.app}")
+        if transition.via_reflection:
+            props.append("via-reflection")
+        for atom in transition.condition:
+            for source in atom.sources():
+                props.append(f"src:{source}")
+        return tuple(sorted(set(props)))
+
+    # Initial nodes: every model state with no incoming info.
+    node_index: dict[KripkeState, None] = {}
+
+    def add_node(node: KripkeState) -> KripkeState:
+        if node not in node_index:
+            node_index[node] = None
+            kripke.states.append(node)
+            kripke.succ[node] = []
+            kripke.labels[node] = frozenset(base_labels(node.state) | set(node.incoming))
+        return node
+
+    for state in model.states:
+        node = add_node(KripkeState(state=state, incoming=()))
+        kripke.initial.append(node)
+
+    by_source: dict[State, list[Transition]] = {}
+    for transition in model.transitions:
+        by_source.setdefault(transition.source, []).append(transition)
+
+    # Expand reachable event-labelled nodes.
+    worklist = list(kripke.initial)
+    visited: set[KripkeState] = set()
+    while worklist:
+        node = worklist.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        for transition in by_source.get(node.state, []):
+            dst = KripkeState(
+                state=transition.target, incoming=transition_props(transition)
+            )
+            existed = dst in node_index
+            dst = add_node(dst)
+            if dst not in kripke.succ[node]:
+                kripke.succ[node].append(dst)
+                kripke.witness[(node, dst)] = transition
+            if not existed:
+                worklist.append(dst)
+
+    # Totalise: deadlocked nodes self-loop.
+    for node in kripke.states:
+        if not kripke.succ[node]:
+            kripke.succ[node].append(node)
+    return kripke

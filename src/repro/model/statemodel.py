@@ -1,0 +1,147 @@
+"""State-model data structures (Soteria Sec. 4.2).
+
+A state model is a triple (Q, Sigma, delta): Q the set of states (tuples of
+attribute values), Sigma the transition labels (events + residual guards),
+and delta the labelled transition function.  Soteria restricts attention to
+deterministic models and reports nondeterminism as a safety violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.abstraction import AbstractDomain
+from repro.analysis.predicates import PathCondition, render_condition
+from repro.analysis.symexec import Action, PathSummary
+from repro.ir.ir import EntryPoint
+from repro.platform.events import Event
+
+#: A state: attribute values, positionally aligned with
+#: :attr:`StateModel.attributes`.
+State = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class StateAttribute:
+    """One dimension of the state space."""
+
+    device: str
+    attribute: str
+    domain: tuple[str, ...]
+    is_numeric: bool = False
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.device}.{self.attribute}"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One labelled transition of delta."""
+
+    source: State
+    target: State
+    event: Event
+    condition: PathCondition = ()
+    actions: tuple[Action, ...] = ()
+    app: str = ""
+    via_reflection: bool = False
+    sends: tuple[str, ...] = ()
+
+    def label(self) -> str:
+        text = self.event.label()
+        guard = render_condition(self.condition)
+        if guard:
+            text += f" [{guard}]"
+        return text
+
+
+@dataclass
+class StateModel:
+    """The extracted model of one app (or a union of apps)."""
+
+    name: str
+    attributes: list[StateAttribute]
+    states: list[State] = field(default_factory=list)
+    transitions: list[Transition] = field(default_factory=list)
+    #: The symbolic transition rules the model was expanded from; general
+    #: properties S.1-S.5 are checked on these.
+    rules: dict[EntryPoint, list[PathSummary]] = field(default_factory=dict)
+    numeric_domains: dict[tuple[str, str], AbstractDomain] = field(
+        default_factory=dict
+    )
+    #: Raw state count before property abstraction (Fig. 11 top).
+    raw_state_count: int = 0
+    apps: list[str] = field(default_factory=list)
+    #: (app, rule) pairs — app attribution survives the union (Algorithm 2),
+    #: which general multi-app property checks need.
+    rule_origins: list[tuple[str, PathSummary]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def attribute_index(self, device: str, attribute: str) -> int | None:
+        for index, attr in enumerate(self.attributes):
+            if attr.device == device and attr.attribute == attribute:
+                return index
+        return None
+
+    def value_in(self, state: State, device: str, attribute: str) -> str | None:
+        index = self.attribute_index(device, attribute)
+        if index is None:
+            return None
+        return state[index]
+
+    def state_label(self, state: State) -> str:
+        """Render a state the way the paper's Fig. 9 does:
+        ``[water.wet, valve.close]``."""
+        parts = []
+        for attr, value in zip(self.attributes, state):
+            parts.append(f"{attr.attribute}.{value}")
+        return "[" + ", ".join(parts) + "]"
+
+    def out_transitions(self, state: State) -> list[Transition]:
+        return [t for t in self.transitions if t.source == state]
+
+    def events(self) -> list[Event]:
+        seen: list[Event] = []
+        for transition in self.transitions:
+            if transition.event not in seen:
+                seen.append(transition.event)
+        return seen
+
+    def all_rules(self) -> list[PathSummary]:
+        flattened: list[PathSummary] = []
+        for summaries in self.rules.values():
+            flattened.extend(summaries)
+        return flattened
+
+    def size(self) -> int:
+        return len(self.states)
+
+    # ------------------------------------------------------------------
+    def nondeterministic_pairs(self) -> list[tuple[Transition, Transition]]:
+        """Transition pairs violating determinism: same source state, same
+        concrete event, compatible guards, different targets.
+
+        The paper: "after a state model is extracted, Soteria reports
+        nondeterministic state models as a safety violation."
+        """
+        from repro.analysis.feasibility import is_feasible
+
+        by_key: dict[tuple[State, str], list[Transition]] = {}
+        for transition in self.transitions:
+            key = (transition.source, transition.event.label())
+            by_key.setdefault(key, []).append(transition)
+        pairs: list[tuple[Transition, Transition]] = []
+        for group in by_key.values():
+            for i, first in enumerate(group):
+                for second in group[i + 1 :]:
+                    if first.target == second.target:
+                        continue
+                    if first.via_reflection or second.via_reflection:
+                        # Reflection over-approximates the call graph; the
+                        # induced branching is not real nondeterminism.
+                        continue
+                    combined = tuple(first.condition) + tuple(second.condition)
+                    if is_feasible(combined):
+                        pairs.append((first, second))
+        return pairs

@@ -1,0 +1,194 @@
+"""Algorithm 2: the union of apps' state models (Soteria Sec. 4.4).
+
+Apps installed together interact through shared devices and shared abstract
+events (location mode).  The union model G' has states that are the
+Cartesian product over the *deduplicated* attribute set (attributes of
+devices appearing in multiple apps are merged), and every app's transitions
+are lifted into G': a transition v -l-> u of app i becomes v' -l-> u' for
+every union state v' containing v and the corresponding u' (the edge is
+labelled with i).
+
+Device identity: two apps reference the same physical device when their
+permission *handles* match (the reproduction's stand-in for "the user
+authorized the same devices at install time"); an explicit
+``shared_devices`` mapping can override this.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.model.extractor import StateExplosionError, expand_rules_into
+from repro.model.statemodel import StateAttribute, StateModel
+from repro.platform.capabilities import CapabilityDatabase, default_database
+
+
+def build_union_model(
+    models: list[StateModel],
+    db: CapabilityDatabase | None = None,
+    max_states: int = 250_000,
+    shared_devices: dict[tuple[str, str], str] | None = None,
+) -> StateModel:
+    """Union the state models of apps running in concert (Algorithm 2).
+
+    ``shared_devices`` optionally maps (app-name, handle) -> global device
+    id; unmapped handles keep their own name (so equal handles are shared).
+    """
+    db = db or default_database()
+    mapping = shared_devices or {}
+
+    def global_id(app: str, handle: str) -> str:
+        return mapping.get((app, handle), handle)
+
+    # ------------------------------------------------------------------
+    # Line 1 of Algorithm 2: union states = product over deduplicated
+    # attribute tuples ("the Cartesian product should remove attributes of
+    # duplicate devices").
+    # ------------------------------------------------------------------
+    union_attrs: list[StateAttribute] = []
+    union_domains: dict[tuple[str, str], object] = {}
+    index_of: dict[tuple[str, str], int] = {}
+    raw = 1
+    for model in models:
+        app = model.apps[0] if model.apps else model.name
+        for attr in model.attributes:
+            gid = global_id(app, attr.device)
+            key = (gid, attr.attribute)
+            if key in index_of:
+                existing = union_attrs[index_of[key]]
+                merged_domain = _merge_domains(existing.domain, attr.domain)
+                union_attrs[index_of[key]] = StateAttribute(
+                    device=gid,
+                    attribute=attr.attribute,
+                    domain=merged_domain,
+                    is_numeric=existing.is_numeric or attr.is_numeric,
+                )
+                continue
+            index_of[key] = len(union_attrs)
+            union_attrs.append(
+                StateAttribute(
+                    device=gid,
+                    attribute=attr.attribute,
+                    domain=attr.domain,
+                    is_numeric=attr.is_numeric,
+                )
+            )
+            numeric = model.numeric_domains.get((attr.device, attr.attribute))
+            if numeric is not None:
+                union_domains[key] = numeric
+    for model in models:
+        raw *= max(1, model.raw_state_count)
+
+    total = 1
+    for attr in union_attrs:
+        total *= max(1, len(attr.domain))
+    if total > max_states:
+        raise StateExplosionError(
+            f"union of {[m.name for m in models]}: {total} states exceed budget"
+        )
+
+    union = StateModel(
+        name="+".join(model.name for model in models),
+        attributes=union_attrs,
+        states=[
+            tuple(combo)
+            for combo in itertools.product(*(a.domain for a in union_attrs))
+        ]
+        if union_attrs
+        else [()],
+        numeric_domains={k: v for k, v in union_domains.items()},  # type: ignore[misc]
+        raw_state_count=raw,
+        apps=[model.apps[0] if model.apps else model.name for model in models],
+    )
+
+    # ------------------------------------------------------------------
+    # Lines 2-12: lift every app's transitions into G', labelled with the
+    # originating app.  Expansion re-applies each app's symbolic rules in
+    # the union space, which yields exactly "add e' = v' -l-> u' for every
+    # v' containing v" (the rule fires from every union state whose
+    # projection matches, and updates only that app's attributes).
+    # ------------------------------------------------------------------
+    renamed_per_app: list[tuple[str, dict]] = []
+    for model in models:
+        app = model.apps[0] if model.apps else model.name
+        renamed_per_app.append((app, _rename_rules(model, app, global_id)))
+
+    # Values actively written by some app: events for these values
+    # re-stimulate subscribers in other apps (handler cascades).
+    written: set[tuple[str, str, str]] = set()
+    for _app, renamed in renamed_per_app:
+        for summaries in renamed.values():
+            for summary in summaries:
+                for action in summary.actions:
+                    if action.attribute is not None and isinstance(
+                        action.value, str
+                    ):
+                        written.add((action.device, action.attribute, action.value))
+
+    for app, renamed in renamed_per_app:
+        expand_rules_into(union, renamed, app, db, app_written=frozenset(written))
+        for entry, summaries in renamed.items():
+            union.rules.setdefault(entry, []).extend(summaries)
+            for summary in summaries:
+                union.rule_origins.append((app, summary))
+    return union
+
+
+def _merge_domains(first: tuple[str, ...], second: tuple[str, ...]) -> tuple[str, ...]:
+    merged = list(first)
+    for value in second:
+        if value not in merged:
+            merged.append(value)
+    return tuple(merged)
+
+
+def _rename_rules(model: StateModel, app: str, global_id):
+    """Rewrite device handles in a model's rules to global device ids."""
+    from dataclasses import replace
+
+    from repro.analysis.symexec import Action, PathSummary
+    from repro.analysis.values import DeviceRead
+    from repro.analysis.predicates import Atom
+    from repro.ir.ir import EntryPoint
+    from repro.platform.events import Event
+
+    def fix_value(value):
+        if isinstance(value, DeviceRead):
+            return DeviceRead(global_id(app, value.device), value.attribute)
+        return value
+
+    def fix_atom(atom: Atom) -> Atom:
+        return Atom(lhs=fix_value(atom.lhs), op=atom.op, rhs=fix_value(atom.rhs))
+
+    def fix_action(action: Action) -> Action:
+        return replace(
+            action,
+            device=global_id(app, action.device),
+            value=fix_value(action.value)
+            if not isinstance(action.value, str)
+            else action.value,
+        )
+
+    def fix_event(event: Event) -> Event:
+        if event.device in ("location", "app", "timer"):
+            return event
+        return Event(
+            event.kind, global_id(app, event.device), event.attribute, event.value
+        )
+
+    renamed: dict[EntryPoint, list[PathSummary]] = {}
+    for entry, summaries in model.rules.items():
+        new_entry = EntryPoint(event=fix_event(entry.event), handler=entry.handler)
+        bucket = renamed.setdefault(new_entry, [])
+        for summary in summaries:
+            bucket.append(
+                PathSummary(
+                    entry=new_entry,
+                    condition=tuple(fix_atom(a) for a in summary.condition),
+                    actions=tuple(fix_action(a) for a in summary.actions),
+                    state_writes=summary.state_writes,
+                    sends=summary.sends,
+                    uses_reflection=summary.uses_reflection,
+                )
+            )
+    return renamed

@@ -1,0 +1,42 @@
+"""SmartThings platform substrate.
+
+Models the parts of the SmartThings cloud platform that Soteria's analysis
+depends on: the device *capability reference* (Sec. 4.2.1 — the paper built
+it by crawling official device handlers; here it is hand-authored from the
+public capability documentation), device and abstract *events*, and the
+parsed SmartApp container.
+"""
+
+from repro.platform.capabilities import (
+    PARAM,
+    Attribute,
+    AttributeKind,
+    Capability,
+    CapabilityDatabase,
+    Command,
+    default_database,
+)
+from repro.platform.events import (
+    COMPLEMENT_VALUES,
+    Event,
+    EventKind,
+    complement_value,
+    are_complementary,
+)
+from repro.platform.smartapp import SmartApp
+
+__all__ = [
+    "PARAM",
+    "Attribute",
+    "AttributeKind",
+    "Capability",
+    "CapabilityDatabase",
+    "Command",
+    "default_database",
+    "COMPLEMENT_VALUES",
+    "Event",
+    "EventKind",
+    "complement_value",
+    "are_complementary",
+    "SmartApp",
+]

@@ -1,0 +1,393 @@
+"""Device capability reference (Soteria Sec. 4.2.1).
+
+The paper: *"We developed a crawler script, which visits the status (for
+attributes) and reply (for actions) code blocks of SmartThings device
+handlers found in its official GitHub repository and determines a complete
+set of attributes and actions for devices. We then created our own
+platform-specific device capability reference file."*
+
+This module is that reference file for the reproduction: a complete table of
+SmartThings capabilities, the attributes each exposes (with their full value
+domains), and the commands (actions) each accepts together with the attribute
+effects of every command.  Identifying the complete attribute set is what
+makes sound state-model extraction possible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class _Param:
+    """Sentinel: a command writes its *argument* into the attribute."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PARAM"
+
+
+#: Command effect placeholder — e.g. ``setHeatingSetpoint(t)`` sets
+#: ``heatingSetpoint`` to the call argument.
+PARAM = _Param()
+
+
+class AttributeKind(enum.Enum):
+    ENUM = "enum"
+    NUMERIC = "numeric"
+    STRING = "string"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One device attribute: a named state variable of a device.
+
+    ``values`` is the enumeration domain for ENUM attributes; ``low``/``high``
+    bound NUMERIC attributes (used by the property-abstraction stage to
+    report pre-reduction state counts, Fig. 11 top).
+    """
+
+    name: str
+    kind: AttributeKind
+    values: tuple[str, ...] = ()
+    low: int = 0
+    high: int = 100
+
+    def domain_size(self) -> int:
+        """Number of raw states this attribute contributes before abstraction."""
+        if self.kind is AttributeKind.ENUM:
+            return len(self.values)
+        if self.kind is AttributeKind.NUMERIC:
+            return max(1, self.high - self.low + 1)
+        return 1  # STRING attributes are abstracted to a single state
+
+
+@dataclass(frozen=True)
+class Command:
+    """A device action and its attribute effects.
+
+    ``sets`` maps attribute name -> value written, where the value is either
+    a concrete enum value or :data:`PARAM` (the first call argument).
+    Commands with no effects (``refresh()``, ``beep()``) have empty ``sets``.
+    """
+
+    name: str
+    sets: tuple[tuple[str, object], ...] = ()
+
+
+@dataclass(frozen=True)
+class Capability:
+    """A SmartThings capability: a bundle of attributes and commands."""
+
+    name: str
+    attributes: dict[str, Attribute] = field(default_factory=dict)
+    commands: dict[str, Command] = field(default_factory=dict)
+
+    @property
+    def is_actuator(self) -> bool:
+        return any(cmd.sets for cmd in self.commands.values())
+
+    @property
+    def primary_attribute(self) -> Attribute | None:
+        """The attribute sharing the capability's name, if any."""
+        if self.name in self.attributes:
+            return self.attributes[self.name]
+        if len(self.attributes) == 1:
+            return next(iter(self.attributes.values()))
+        return None
+
+
+def _enum(name: str, *values: str) -> Attribute:
+    return Attribute(name=name, kind=AttributeKind.ENUM, values=values)
+
+
+def _num(name: str, low: int = 0, high: int = 100) -> Attribute:
+    return Attribute(name=name, kind=AttributeKind.NUMERIC, low=low, high=high)
+
+
+def _cap(name: str, attributes: list[Attribute], commands: list[Command]) -> Capability:
+    return Capability(
+        name=name,
+        attributes={attr.name: attr for attr in attributes},
+        commands={cmd.name: cmd for cmd in commands},
+    )
+
+
+def _build_reference() -> dict[str, Capability]:
+    caps: list[Capability] = [
+        # ------------------------------------------------ actuators
+        _cap(
+            "switch",
+            [_enum("switch", "on", "off")],
+            [
+                Command("on", (("switch", "on"),)),
+                Command("off", (("switch", "off"),)),
+            ],
+        ),
+        _cap(
+            "switchLevel",
+            [_num("level", 0, 100)],
+            [Command("setLevel", (("level", PARAM),))],
+        ),
+        _cap(
+            "outlet",
+            [_enum("switch", "on", "off")],
+            [
+                Command("on", (("switch", "on"),)),
+                Command("off", (("switch", "off"),)),
+            ],
+        ),
+        _cap(
+            "alarm",
+            [_enum("alarm", "off", "siren", "strobe", "both")],
+            [
+                Command("off", (("alarm", "off"),)),
+                Command("siren", (("alarm", "siren"),)),
+                Command("strobe", (("alarm", "strobe"),)),
+                Command("both", (("alarm", "both"),)),
+            ],
+        ),
+        _cap(
+            "valve",
+            [_enum("valve", "open", "closed")],
+            [
+                Command("open", (("valve", "open"),)),
+                Command("close", (("valve", "closed"),)),
+            ],
+        ),
+        _cap(
+            "lock",
+            [_enum("lock", "locked", "unlocked")],
+            [
+                Command("lock", (("lock", "locked"),)),
+                Command("unlock", (("lock", "unlocked"),)),
+            ],
+        ),
+        _cap(
+            "doorControl",
+            [_enum("door", "open", "closed", "opening", "closing")],
+            [
+                Command("open", (("door", "open"),)),
+                Command("close", (("door", "closed"),)),
+            ],
+        ),
+        _cap(
+            "garageDoorControl",
+            [_enum("door", "open", "closed", "opening", "closing")],
+            [
+                Command("open", (("door", "open"),)),
+                Command("close", (("door", "closed"),)),
+            ],
+        ),
+        _cap(
+            "thermostat",
+            [
+                _num("temperature", 50, 95),
+                _num("heatingSetpoint", 50, 95),
+                _num("coolingSetpoint", 50, 95),
+                _enum(
+                    "thermostatMode", "auto", "cool", "heat", "emergency heat", "off"
+                ),
+                _enum("thermostatFanMode", "auto", "on", "circulate"),
+                _enum(
+                    "thermostatOperatingState",
+                    "heating",
+                    "cooling",
+                    "fan only",
+                    "idle",
+                ),
+            ],
+            [
+                Command("setHeatingSetpoint", (("heatingSetpoint", PARAM),)),
+                Command("setCoolingSetpoint", (("coolingSetpoint", PARAM),)),
+                Command("setThermostatMode", (("thermostatMode", PARAM),)),
+                Command("setThermostatFanMode", (("thermostatFanMode", PARAM),)),
+                Command("heat", (("thermostatMode", "heat"),)),
+                Command("cool", (("thermostatMode", "cool"),)),
+                Command("auto", (("thermostatMode", "auto"),)),
+                Command("off", (("thermostatMode", "off"),)),
+                Command("fanOn", (("thermostatFanMode", "on"),)),
+                Command("fanAuto", (("thermostatFanMode", "auto"),)),
+                Command("fanCirculate", (("thermostatFanMode", "circulate"),)),
+            ],
+        ),
+        _cap(
+            "thermostatHeatingSetpoint",
+            [_num("heatingSetpoint", 50, 95)],
+            [Command("setHeatingSetpoint", (("heatingSetpoint", PARAM),))],
+        ),
+        _cap(
+            "thermostatCoolingSetpoint",
+            [_num("coolingSetpoint", 50, 95)],
+            [Command("setCoolingSetpoint", (("coolingSetpoint", PARAM),))],
+        ),
+        _cap(
+            "musicPlayer",
+            [
+                _enum("status", "playing", "paused", "stopped"),
+                _num("level", 0, 100),
+                _enum("mute", "muted", "unmuted"),
+            ],
+            [
+                Command("play", (("status", "playing"),)),
+                Command("pause", (("status", "paused"),)),
+                Command("stop", (("status", "stopped"),)),
+                Command("mute", (("mute", "muted"),)),
+                Command("unmute", (("mute", "unmuted"),)),
+                Command("setLevel", (("level", PARAM),)),
+                Command("playText", (("status", "playing"),)),
+                Command("playTrack", (("status", "playing"),)),
+            ],
+        ),
+        _cap(
+            "windowShade",
+            [
+                _enum(
+                    "windowShade",
+                    "open",
+                    "closed",
+                    "opening",
+                    "closing",
+                    "partially open",
+                )
+            ],
+            [
+                Command("open", (("windowShade", "open"),)),
+                Command("close", (("windowShade", "closed"),)),
+                Command("presetPosition", (("windowShade", "partially open"),)),
+            ],
+        ),
+        _cap(
+            "colorControl",
+            [_num("hue", 0, 100), _num("saturation", 0, 100)],
+            [
+                Command("setHue", (("hue", PARAM),)),
+                Command("setSaturation", (("saturation", PARAM),)),
+                Command("setColor", ()),
+            ],
+        ),
+        _cap(
+            "securitySystem",
+            [
+                _enum(
+                    "securitySystemStatus", "armedAway", "armedStay", "disarmed"
+                )
+            ],
+            [
+                Command("armAway", (("securitySystemStatus", "armedAway"),)),
+                Command("armStay", (("securitySystemStatus", "armedStay"),)),
+                Command("disarm", (("securitySystemStatus", "disarmed"),)),
+            ],
+        ),
+        _cap(
+            "imageCapture",
+            [Attribute("image", AttributeKind.STRING)],
+            [Command("take", ())],
+        ),
+        _cap("tone", [], [Command("beep", ())]),
+        _cap("refresh", [], [Command("refresh", ())]),
+        _cap("polling", [], [Command("poll", ())]),
+        _cap(
+            "notification",
+            [],
+            [Command("deviceNotification", ())],
+        ),
+        _cap("speechSynthesis", [], [Command("speak", ())]),
+        # ------------------------------------------------ sensors
+        _cap("motionSensor", [_enum("motion", "active", "inactive")], []),
+        _cap("contactSensor", [_enum("contact", "open", "closed")], []),
+        _cap("presenceSensor", [_enum("presence", "present", "not present")], []),
+        _cap("accelerationSensor", [_enum("acceleration", "active", "inactive")], []),
+        _cap("waterSensor", [_enum("water", "dry", "wet")], []),
+        _cap("smokeDetector", [_enum("smoke", "clear", "detected", "tested")], []),
+        _cap(
+            "carbonMonoxideDetector",
+            [_enum("carbonMonoxide", "clear", "detected", "tested")],
+            [],
+        ),
+        _cap("soundSensor", [_enum("sound", "detected", "not detected")], []),
+        _cap("tamperAlert", [_enum("tamper", "clear", "detected")], []),
+        _cap("sleepSensor", [_enum("sleeping", "sleeping", "not sleeping")], []),
+        _cap("beacon", [_enum("presence", "present", "not present")], []),
+        _cap("button", [_enum("button", "pushed", "held")], []),
+        _cap("temperatureMeasurement", [_num("temperature", -20, 120)], []),
+        _cap("relativeHumidityMeasurement", [_num("humidity", 0, 100)], []),
+        _cap("illuminanceMeasurement", [_num("illuminance", 0, 10000)], []),
+        _cap("powerMeter", [_num("power", 0, 10000)], []),
+        _cap("energyMeter", [_num("energy", 0, 10000)], []),
+        _cap("voltageMeasurement", [_num("voltage", 0, 250)], []),
+        _cap("battery", [_num("battery", 0, 100)], []),
+        _cap("carbonDioxideMeasurement", [_num("carbonDioxide", 0, 5000)], []),
+        _cap("soilMoisture", [_num("soilMoisture", 0, 100)], []),
+        _cap("waterLevel", [_num("waterLevel", 0, 100)], []),
+        _cap("threeAxis", [Attribute("threeAxis", AttributeKind.STRING)], []),
+    ]
+    return {cap.name: cap for cap in caps}
+
+
+class CapabilityDatabase:
+    """Lookup service over the capability reference.
+
+    Besides capability lookup, it resolves *commands* and *attribute reads*
+    for the analyses: given a method call on a device handle, which attribute
+    values change; given an enum value (e.g. ``"active"``), which attributes
+    could have produced it (used by the S.5 missing-subscription check).
+    """
+
+    def __init__(self, capabilities: dict[str, Capability] | None = None) -> None:
+        self.capabilities = capabilities or _build_reference()
+        self._attr_index: dict[str, list[tuple[str, Attribute]]] = {}
+        self._value_index: dict[str, set[str]] = {}
+        for cap in self.capabilities.values():
+            for attr in cap.attributes.values():
+                self._attr_index.setdefault(attr.name, []).append((cap.name, attr))
+                for value in attr.values:
+                    self._value_index.setdefault(value, set()).add(attr.name)
+
+    def get(self, name: str) -> Capability | None:
+        """Look up by capability name, accepting ``capability.`` prefixes."""
+        if name.startswith("capability."):
+            name = name[len("capability.") :]
+        return self.capabilities.get(name)
+
+    def require(self, name: str) -> Capability:
+        cap = self.get(name)
+        if cap is None:
+            raise KeyError(f"unknown capability: {name!r}")
+        return cap
+
+    def command(self, capability: str, command: str) -> Command | None:
+        cap = self.get(capability)
+        if cap is None:
+            return None
+        return cap.commands.get(command)
+
+    def attribute(self, capability: str, attribute: str) -> Attribute | None:
+        cap = self.get(capability)
+        if cap is None:
+            return None
+        return cap.attributes.get(attribute)
+
+    def attributes_for_value(self, value: str) -> set[str]:
+        """Attribute names whose enum domain contains ``value``."""
+        return set(self._value_index.get(value, set()))
+
+    def attribute_anywhere(self, attribute: str) -> Attribute | None:
+        """First attribute definition with this name, from any capability."""
+        entries = self._attr_index.get(attribute)
+        if not entries:
+            return None
+        return entries[0][1]
+
+    def names(self) -> list[str]:
+        return sorted(self.capabilities)
+
+
+_DEFAULT: CapabilityDatabase | None = None
+
+
+def default_database() -> CapabilityDatabase:
+    """The process-wide capability reference (built once, shared)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = CapabilityDatabase()
+    return _DEFAULT

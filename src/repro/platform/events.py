@@ -1,0 +1,124 @@
+"""Events: device events and abstract events (Soteria Sec. 4.1, 4.2.3).
+
+SmartThings apps subscribe to *device events* (attribute changes such as
+``"switch.on"`` or all events of an attribute, ``"switch"``) and to
+*abstract events*: location mode changes, solar events (sunrise/sunset),
+timer schedules, and app-touch.  Soteria models all of them as transition
+labels; this module defines the event value objects and the *complement*
+relation between event values used by general properties S.3/S.4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    DEVICE = "device"        # a device attribute changed
+    MODE = "mode"            # location mode changed (abstract attribute)
+    TIMER = "timer"          # runIn / runEvery / schedule fired
+    SOLAR = "solar"          # sunrise / sunset
+    APP_TOUCH = "app_touch"  # user tapped the app icon
+    TIME = "time"            # wall-clock schedule at a user-defined time
+
+
+#: Complementary enum values: an event carrying one value and an event
+#: carrying the other (for the same attribute) cannot co-occur, because a
+#: single attribute change produces exactly one of them (paper S.3 vs S.4).
+COMPLEMENT_VALUES: dict[str, dict[str, str]] = {
+    "switch": {"on": "off", "off": "on"},
+    "motion": {"active": "inactive", "inactive": "active"},
+    "contact": {"open": "closed", "closed": "open"},
+    "presence": {"present": "not present", "not present": "present"},
+    "water": {"wet": "dry", "dry": "wet"},
+    "smoke": {"detected": "clear", "clear": "detected"},
+    "carbonMonoxide": {"detected": "clear", "clear": "detected"},
+    "lock": {"locked": "unlocked", "unlocked": "locked"},
+    "acceleration": {"active": "inactive", "inactive": "active"},
+    "door": {"open": "closed", "closed": "open"},
+    "valve": {"open": "closed", "closed": "open"},
+    "sleeping": {"sleeping": "not sleeping", "not sleeping": "sleeping"},
+    "sound": {"detected": "not detected", "not detected": "detected"},
+    "tamper": {"detected": "clear", "clear": "detected"},
+}
+
+
+def complement_value(attribute: str, value: str) -> str | None:
+    """The complementary enum value of ``value`` for ``attribute``, if any."""
+    return COMPLEMENT_VALUES.get(attribute, {}).get(value)
+
+
+@dataclass(frozen=True)
+class Event:
+    """A transition-label event.
+
+    ``device`` is the app-local device handle (or the pseudo-devices
+    ``"location"``, ``"app"``, ``"timer"``); ``attribute`` names the changed
+    attribute (``"mode"`` for mode events, ``"appTouch"``, ``"timer"``,
+    ``"sunrise"``/``"sunset"``); ``value`` restricts to a specific new value
+    (None = any change of the attribute).
+    """
+
+    kind: EventKind
+    device: str
+    attribute: str
+    value: str | None = None
+
+    def label(self) -> str:
+        """Human-readable transition label, e.g. ``smoke.detected``."""
+        if self.kind is EventKind.APP_TOUCH:
+            return "app-touch"
+        if self.kind is EventKind.TIMER:
+            return f"timer:{self.attribute}"
+        if self.kind is EventKind.SOLAR:
+            return self.attribute
+        if self.kind is EventKind.TIME:
+            return f"time:{self.attribute}"
+        if self.kind is EventKind.MODE:
+            if self.value:
+                return f"mode.{self.value}"
+            return "mode"
+        if self.value is None:
+            return f"{self.device}.{self.attribute}"
+        return f"{self.device}.{self.attribute}.{self.value}"
+
+    def matches(self, other: "Event") -> bool:
+        """Does a concrete occurrence of ``other`` trigger this subscription?
+
+        A subscription without a value (``"switch"``) matches every value of
+        the attribute; with a value (``"switch.on"``) it matches only that
+        value.
+        """
+        if (self.kind, self.device, self.attribute) != (
+            other.kind,
+            other.device,
+            other.attribute,
+        ):
+            return False
+        if self.value is None or other.value is None:
+            return True
+        return self.value == other.value
+
+    def is_complement_of(self, other: "Event") -> bool:
+        """True when the two events are complementary attribute changes."""
+        if self.kind is not EventKind.DEVICE or other.kind is not EventKind.DEVICE:
+            if self.kind is EventKind.MODE and other.kind is EventKind.MODE:
+                return (
+                    self.value is not None
+                    and other.value is not None
+                    and self.value != other.value
+                )
+            if self.kind is EventKind.SOLAR and other.kind is EventKind.SOLAR:
+                return {self.attribute, other.attribute} == {"sunrise", "sunset"}
+            return False
+        if self.device != other.device or self.attribute != other.attribute:
+            return False
+        if self.value is None or other.value is None:
+            return False
+        return complement_value(self.attribute, self.value) == other.value
+
+
+def are_complementary(first: Event, second: Event) -> bool:
+    """Symmetric wrapper around :meth:`Event.is_complement_of`."""
+    return first.is_complement_of(second) or second.is_complement_of(first)

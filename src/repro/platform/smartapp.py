@@ -1,0 +1,83 @@
+"""SmartApp container: a parsed SmartThings app plus metadata accessors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast, parse
+
+
+@dataclass
+class SmartApp:
+    """A SmartThings app: source text, parsed module, and metadata.
+
+    Construction normally goes through :meth:`from_source` (or
+    :func:`repro.corpus.loader.load_app` for corpus apps).
+    """
+
+    name: str
+    source: str
+    module: ast.Module
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, name: str | None = None) -> "SmartApp":
+        """Parse app source and harvest the ``definition(...)`` metadata."""
+        module = parse(source)
+        metadata = _extract_definition(module)
+        app_name = name or str(metadata.get("name", "unnamed-app"))
+        return cls(name=app_name, source=source, module=module, metadata=metadata)
+
+    @property
+    def category(self) -> str:
+        return str(self.metadata.get("category", ""))
+
+    @property
+    def description(self) -> str:
+        return str(self.metadata.get("description", ""))
+
+    def method(self, name: str) -> ast.MethodDecl | None:
+        return self.module.methods.get(name)
+
+    def loc(self) -> int:
+        """Non-blank, non-comment source lines (for the Table 2 columns)."""
+        count = 0
+        in_block_comment = False
+        for line in self.source.splitlines():
+            stripped = line.strip()
+            if in_block_comment:
+                if "*/" in stripped:
+                    in_block_comment = False
+                continue
+            if not stripped:
+                continue
+            if stripped.startswith("//"):
+                continue
+            if stripped.startswith("/*"):
+                if "*/" not in stripped:
+                    in_block_comment = True
+                continue
+            count += 1
+        return count
+
+
+def _extract_definition(module: ast.Module) -> dict[str, object]:
+    """Pull the named arguments of the top-level ``definition(...)`` call."""
+    for stmt in module.statements:
+        if not isinstance(stmt, ast.ExprStmt):
+            continue
+        expr = stmt.expr
+        if (
+            isinstance(expr, ast.MethodCall)
+            and expr.receiver is None
+            and expr.name == "definition"
+        ):
+            metadata: dict[str, object] = {}
+            for key, value in expr.named_args.items():
+                if isinstance(value, ast.Literal):
+                    metadata[key] = value.value
+                elif isinstance(value, ast.GString):
+                    text = value.static_text()
+                    metadata[key] = text if text is not None else None
+            return metadata
+    return {}

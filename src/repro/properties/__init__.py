@@ -1,0 +1,32 @@
+"""Property identification and checking (Soteria Sec. 4.3, Appendix B).
+
+* :mod:`.general` — S.1-S.5: app-agnostic constraints on states and
+  transitions, checked structurally at state-model construction,
+* :mod:`.appspecific` — P.1-P.30: device-centric use/misuse-case
+  requirements, expressed as CTL templates instantiated per device binding,
+* :mod:`.roles` — device-role inference from permission handles/titles
+  (distinguishing a "light" switch from a "coffee machine" switch, which
+  several P properties depend on),
+* :mod:`.catalog` — applicability matching ("we check the app against a
+  property if all of the devices in the property are included in the app")
+  and the violation record type.
+"""
+
+from repro.properties.catalog import (
+    PropertyCatalog,
+    Violation,
+    default_catalog,
+)
+from repro.properties.general import check_general_properties
+from repro.properties.appspecific import APP_SPECIFIC_PROPERTIES, PropertySpec
+from repro.properties.roles import device_roles
+
+__all__ = [
+    "PropertyCatalog",
+    "Violation",
+    "default_catalog",
+    "check_general_properties",
+    "APP_SPECIFIC_PROPERTIES",
+    "PropertySpec",
+    "device_roles",
+]

@@ -1,0 +1,896 @@
+"""App-specific properties P.1-P.30 (Soteria Appendix B, Table 2).
+
+Each property is a :class:`PropertySpec`: device requirements (capability
+slots, optionally role-constrained) plus a CTL-formula builder instantiated
+per device binding.  Following the paper, a property is checked against an
+app (or environment) only when *all* of the devices it mentions are present.
+
+The formulas speak the proposition vocabulary of
+:mod:`repro.model.kripke`:
+
+* ``attr:<dev>.<attribute>=<value>``  — state labels,
+* ``ev:<event label>`` / ``evkind:<kind>`` — the incoming event,
+* ``act:<dev>.<attribute>=<value>``   — what the incoming handler wrote,
+* ``cmd:<dev>.<command>``             — effect-free commands (take(), beep()),
+* ``sent-notification``               — the handler notified the user.
+
+Most P properties are *misuse* constraints: "the app must never actively
+drive device X into value v while the environment is in condition c" —
+expressed as ``AG !(condition & act)``.  A few are response properties
+using AF/EF (P.26, P.29).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.mc import ctl
+from repro.model.statemodel import StateModel
+
+
+# ----------------------------------------------------------------------
+# Formula helpers
+# ----------------------------------------------------------------------
+def attr(handle: str, attribute: str, value: str) -> ctl.Formula:
+    return ctl.Prop(f"attr:{handle}.{attribute}={value}")
+
+
+def act(handle: str, attribute: str, value: str) -> ctl.Formula:
+    return ctl.Prop(f"act:{handle}.{attribute}={value}")
+
+
+def cmd(handle: str, command: str) -> ctl.Formula:
+    return ctl.Prop(f"cmd:{handle}.{command}")
+
+
+def ev(label: str) -> ctl.Formula:
+    return ctl.Prop(f"ev:{label}")
+
+
+def evkind(kind: str) -> ctl.Formula:
+    return ctl.Prop(f"evkind:{kind}")
+
+
+NOTIFIED = ctl.Prop("sent-notification")
+
+
+def away(binding: dict[str, str]) -> ctl.Formula:
+    """'User not at home': presence if bound, else location mode = away."""
+    if "presence" in binding:
+        return attr(binding["presence"], "presence", "not present")
+    return attr("location", "mode", "away")
+
+
+def disjunction(parts: list[ctl.Formula]) -> ctl.Formula:
+    result = parts[0]
+    for part in parts[1:]:
+        result = ctl.Or(result, part)
+    return result
+
+
+def conjunction(parts: list[ctl.Formula]) -> ctl.Formula:
+    result = parts[0]
+    for part in parts[1:]:
+        result = ctl.And(result, part)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Slot:
+    """One device requirement of a property variant."""
+
+    name: str
+    capabilities: tuple[str, ...]   # ("switch",); ("@mode",) = location mode
+    roles: tuple[str, ...] = ()     # any-of role filter; empty = any device
+    #: Permit binding a granted device even when the model tracks none of
+    #: its attributes — needed for "the app never touches this device"
+    #: liveness violations (MalIoT App8's unsubscribed lock handler).
+    allow_unmodeled: bool = False
+
+    def candidates(
+        self,
+        device_map: dict[str, str],
+        roles: dict[str, set[str]],
+        has_mode: bool,
+    ) -> list[str]:
+        if self.capabilities == ("@mode",):
+            return ["location"] if has_mode else []
+        found = []
+        for handle, capability in device_map.items():
+            if capability not in self.capabilities:
+                continue
+            if self.roles and not (roles.get(handle, set()) & set(self.roles)):
+                continue
+            found.append(handle)
+        return found
+
+
+@dataclass(frozen=True)
+class Variant:
+    slots: tuple[Slot, ...]
+    build: Callable[[StateModel, dict[str, str]], ctl.Formula | None]
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    id: str
+    description: str
+    variants: tuple[Variant, ...]
+
+    def applicable(
+        self, capabilities: set[str], roles: dict[str, set[str]]
+    ) -> bool:
+        for variant in self.variants:
+            ok = True
+            for slot in variant.slots:
+                if slot.capabilities == ("@mode",):
+                    if "location-mode" not in capabilities:
+                        ok = False
+                        break
+                    continue
+                if not any(c in capabilities for c in slot.capabilities):
+                    ok = False
+                    break
+                if slot.roles:
+                    if not any(
+                        roles.get(h, set()) & set(slot.roles) for h in roles
+                    ):
+                        ok = False
+                        break
+            if ok:
+                return True
+        return False
+
+    def formulas(
+        self,
+        model: StateModel,
+        device_map: dict[str, str],
+        roles: dict[str, set[str]],
+        max_bindings: int = 24,
+    ) -> list[tuple[ctl.Formula, dict[str, str]]]:
+        """All (formula, binding) instantiations over the model's devices."""
+        has_mode = model.attribute_index("location", "mode") is not None
+        results: list[tuple[ctl.Formula, dict[str, str]]] = []
+        for variant in self.variants:
+            bindings = [{}]
+            for slot in variant.slots:
+                candidates = slot.candidates(device_map, roles, has_mode)
+                bindings = [
+                    {**binding, slot.name: handle}
+                    for binding in bindings
+                    for handle in candidates
+                    if handle not in binding.values() or handle == "location"
+                ]
+                if not bindings:
+                    break
+            for binding in bindings[:max_bindings]:
+                # Only bind devices the model actually tracks.
+                if not _binding_in_model(model, binding, variant.slots):
+                    continue
+                formula = variant.build(model, binding)
+                if formula is not None:
+                    results.append((formula, binding))
+        return results
+
+
+def _binding_in_model(
+    model: StateModel, binding: dict[str, str], slots: tuple[Slot, ...]
+) -> bool:
+    relaxed = {slot.name for slot in slots if slot.allow_unmodeled}
+    for slot_name, handle in binding.items():
+        if handle == "location":
+            if model.attribute_index("location", "mode") is None:
+                return False
+            continue
+        if slot_name in relaxed:
+            continue
+        if not any(a.device == handle for a in model.attributes):
+            return False
+    return True
+
+
+def _spec(
+    pid: str, description: str, *variants: Variant
+) -> PropertySpec:
+    return PropertySpec(id=pid, description=description, variants=tuple(variants))
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def mode_set_by_app(model: StateModel) -> ctl.Formula | None:
+    """'Some app just set the location mode' — disjunction over the mode
+    domain of ``act:location.mode=<v>`` props.  None when no mode tracked.
+
+    Multi-app misuse cases (G.3, App16+17) are *chains*: one app's action
+    changes the mode, which triggers another app's handler.  Gating the
+    mode-variant formulas on an app-caused mode change keeps the individual
+    apps clean (environmental mode changes are the user's intent) while
+    catching the chain in the union model — matching the paper's finding
+    that these violations appear only in multi-app environments.
+    """
+    index = model.attribute_index("location", "mode")
+    if index is None:
+        return None
+    values = model.attributes[index].domain
+    if not values:
+        return None
+    return disjunction([act("location", "mode", v) for v in values])
+
+
+def _p1(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # Never unlock the door while the user is away / asleep.
+    return ctl.AG(ctl.Not(ctl.And(away(b), act(b["lock"], "lock", "unlocked"))))
+
+
+def _p1_liveness(model: StateModel, b: dict[str, str]) -> ctl.Formula | None:
+    # When an app switches the home to away mode, the door must (be able
+    # to) end up locked.  Catches apps that hold a lock permission but never
+    # lock (MalIoT App8: the locking handler is never subscribed).
+    trigger = act("location", "mode", "away")
+    locked = attr(b["lock"], "lock", "locked")
+    return ctl.AG(ctl.Implies(trigger, ctl.EF(locked)))
+
+
+def _p2(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # Motion-active must not be answered by switching lights off.
+    return ctl.AG(
+        ctl.Implies(ev(f'{b["motion"]}.motion.active'),
+                    ctl.Not(act(b["switch"], "switch", "off")))
+    )
+
+
+def _p3(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # When there is smoke the door must not be (driven) locked.
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(
+                attr(b["smoke"], "smoke", "detected"),
+                act(b["lock"], "lock", "locked"),
+            )
+        )
+    )
+
+
+def _p4(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Implies(
+            ev(f'{b["presence"]}.presence.present'),
+            ctl.Not(act(b["switch"], "switch", "off")),
+        )
+    )
+
+
+def _p5(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # Camera-controlled door must not close and open on the same event.
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(act(b["door"], "door", "closed"), act(b["door"], "door", "open"))
+        )
+    )
+
+
+def _p6(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    arrive = ctl.Implies(
+        ev(f'{b["presence"]}.presence.present'),
+        ctl.Not(act(b["door"], "door", "closed")),
+    )
+    leave = ctl.Implies(
+        ev(f'{b["presence"]}.presence.not present'),
+        ctl.Not(act(b["door"], "door", "open")),
+    )
+    return ctl.AG(ctl.And(arrive, leave))
+
+
+def _p7(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(
+                attr(b["beacon"], "presence", "not present"),
+                act(b["switch"], "switch", "on"),
+            )
+        )
+    )
+
+
+def _p8(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(
+                attr(b["sleep"], "sleeping", "sleeping"),
+                act(b["switch"], "switch", "on"),
+            )
+        )
+    )
+
+
+def _p9(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(
+                away(b),
+                act(b["security"], "securitySystemStatus", "disarmed"),
+            )
+        )
+    )
+
+
+def _p9_mode(model: StateModel, b: dict[str, str]) -> ctl.Formula | None:
+    gate = mode_set_by_app(model)
+    if gate is None:
+        return None
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(
+                gate,
+                ctl.EX(act(b["security"], "securitySystemStatus", "disarmed")),
+            )
+        )
+    )
+
+
+def _p10(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # The alarm must not be silenced while smoke/CO is present.
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(
+                attr(b["smoke"], "smoke", "detected"),
+                act(b["alarm"], "alarm", "off"),
+            )
+        )
+    )
+
+
+def _p11(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(attr(b["water"], "water", "wet"), act(b["valve"], "valve", "open"))
+        )
+    )
+
+
+def _p12(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(ctl.Not(ctl.And(away(b), act(b["switch"], "switch", "on"))))
+
+
+def _p12_mode(model: StateModel, b: dict[str, str]) -> ctl.Formula | None:
+    gate = mode_set_by_app(model)
+    if gate is None:
+        return None
+    return ctl.AG(
+        ctl.Not(ctl.And(gate, ctl.EX(act(b["switch"], "switch", "on"))))
+    )
+
+
+def _p13_music(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Not(ctl.And(away(b), act(b["player"], "status", "playing")))
+    )
+
+
+def _p13_appliance(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # "Used" while away: the handler operates the appliance (on and off on
+    # the same path — the TP6 simulated-occupancy pattern).
+    on = act(b["switch"], "switch", "on")
+    off = act(b["switch"], "switch", "off")
+    return ctl.AG(ctl.Not(ctl.And(away(b), ctl.And(on, off))))
+
+
+def _p13_appliance_mode(model: StateModel, b: dict[str, str]) -> ctl.Formula | None:
+    gate = mode_set_by_app(model)
+    if gate is None:
+        return None
+    return ctl.AG(
+        ctl.Not(ctl.And(gate, ctl.EX(act(b["switch"], "switch", "on"))))
+    )
+
+
+def _p13_level(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # Dimmer level driven to a developer-hardcoded value while away
+    # (MalIoT App6: the light level change advertises an empty house).
+    dev_write = ctl.Prop(f'actsrc:{b["dimmer"]}.level=developer')
+    return ctl.AG(ctl.Not(ctl.And(away(b), dev_write)))
+
+
+def _p14(model: StateModel, b: dict[str, str]) -> ctl.Formula | None:
+    gate = mode_set_by_app(model)
+    if gate is None:
+        return None
+    return ctl.AG(
+        ctl.Not(ctl.And(gate, ctl.EX(act(b["critical"], "switch", "off"))))
+    )
+
+
+def _p14_security(model: StateModel, b: dict[str, str]) -> ctl.Formula | None:
+    gate = mode_set_by_app(model)
+    if gate is None:
+        return None
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(
+                gate,
+                ctl.EX(act(b["security"], "securitySystemStatus", "disarmed")),
+            )
+        )
+    )
+
+
+def _p15(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Implies(
+            ev(f'{b["motion"]}.motion.active'),
+            ctl.Not(act(b["thermostat"], "thermostatMode", "off")),
+        )
+    )
+
+
+def _p16(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # Setpoint changes on mode events must come from user settings, not
+    # hard-coded developer constants.
+    dev_write = ctl.Prop(
+        f'actsrc:{b["thermostat"]}.heatingSetpoint=developer'
+    )
+    return ctl.AG(ctl.Not(ctl.And(evkind("mode"), dev_write)))
+
+
+def _p17(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # Both on, with the incoming handler having driven them there.  When the
+    # app reacts to location-mode events, mode changes are the user's intent
+    # and only app-caused mode changes (multi-app chains) count.
+    both_on = ctl.And(
+        attr(b["ac"], "switch", "on"), attr(b["heater"], "switch", "on")
+    )
+    drove = ctl.And(
+        act(b["ac"], "switch", "on"), act(b["heater"], "switch", "on")
+    )
+    bad = ctl.And(both_on, drove)
+    gate = mode_set_by_app(model)
+    if gate is not None:
+        return ctl.AG(ctl.Not(ctl.And(gate, ctl.EX(bad))))
+    return ctl.AG(ctl.Not(bad))
+
+
+def _p18(model: StateModel, b: dict[str, str]) -> ctl.Formula | None:
+    domain = model.numeric_domains.get((b["humidity"], "humidity"))
+    if domain is None:
+        return None
+    low = [r.label for r in domain.regions if "<" in r.label]
+    if not low:
+        return None
+    low_state = disjunction([attr(b["humidity"], "humidity", l) for l in low])
+    return ctl.AG(
+        ctl.Not(ctl.And(low_state, act(b["switch"], "switch", "on")))
+    )
+
+
+def _p19(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Implies(
+            ev(f'{b["presence"]}.presence.present'),
+            ctl.Not(act(b["ac"], "switch", "off")),
+        )
+    )
+
+
+def _p20(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Implies(
+            ctl.And(
+                ev(f'{b["motion"]}.motion.active'),
+                attr(b["contact"], "contact", "open"),
+            ),
+            cmd(b["camera"], "take"),
+        )
+    )
+
+
+def _p21(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Implies(
+            ev(f'{b["contact"]}.contact.open'),
+            ctl.Not(act(b["alarm"], "alarm", "off")),
+        )
+    )
+
+
+def _p22(model: StateModel, b: dict[str, str]) -> ctl.Formula | None:
+    domain = model.numeric_domains.get((b["battery"], "battery"))
+    if domain is None:
+        return None
+    low = [r.label for r in domain.regions if "<" in r.label]
+    if not low:
+        return None
+    # Numeric event labels carry the abstract region the report landed in:
+    # ``bat.battery.battery<thrshld``.
+    low_events = disjunction(
+        [ev(f'{b["battery"]}.battery.{label}') for label in low]
+    )
+    # The app must *respond* to a low-battery report (notify or actuate).
+    responded: ctl.Formula = NOTIFIED
+    for attr_obj in model.attributes:
+        if attr_obj.device != b["battery"]:
+            for value in attr_obj.domain:
+                responded = ctl.Or(
+                    responded, act(attr_obj.device, attr_obj.attribute, value)
+                )
+    return ctl.AG(ctl.Implies(low_events, responded))
+
+
+def _p23(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Implies(act(b["lock"], "lock", "unlocked"), cmd(b["camera"], "take"))
+    )
+
+
+def _p24(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    shade_open = attr(b["shade"], "windowShade", "open")
+    heater_on = attr(b["heater"], "switch", "on")
+    return ctl.AG(
+        ctl.Not(
+            ctl.Or(
+                ctl.And(shade_open, act(b["heater"], "switch", "on")),
+                ctl.And(heater_on, act(b["shade"], "windowShade", "open")),
+            )
+        )
+    )
+
+
+def _p25(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    return ctl.AG(
+        ctl.Not(
+            ctl.And(attr(b["contact"], "contact", "closed"), cmd(b["bell"], "beep"))
+        )
+    )
+
+
+def _p26(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # Door left open must eventually trigger the alarm.
+    open_door = attr(b["contact"], "contact", "open")
+    siren = ctl.Or(
+        attr(b["alarm"], "alarm", "siren"), attr(b["alarm"], "alarm", "both")
+    )
+    return ctl.AG(ctl.Implies(open_door, ctl.EF(siren)))
+
+
+def _p27(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # The mode must track presence: an app reacting to a presence event must
+    # not set the opposite mode.  (Event-triggered, so unrelated mode
+    # automations sharing the home do not trip it.)
+    wrong_home = ctl.And(
+        ev(f'{b["presence"]}.presence.not present'),
+        act("location", "mode", "home"),
+    )
+    wrong_away = ctl.And(
+        ev(f'{b["presence"]}.presence.present'),
+        act("location", "mode", "away"),
+    )
+    return ctl.AG(ctl.Not(ctl.Or(wrong_home, wrong_away)))
+
+
+def _p28(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    if "sleep" in b:
+        asleep = attr(b["sleep"], "sleeping", "sleeping")
+    else:
+        asleep = attr("location", "mode", "night")
+    return ctl.AG(
+        ctl.Not(ctl.And(asleep, act(b["player"], "status", "playing")))
+    )
+
+
+def _p29(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    # The flood sensor must alert on water — and not alarm without water.
+    false_alarm = ctl.And(
+        attr(b["water"], "water", "dry"), act(b["alarm"], "alarm", "siren")
+    )
+    must_alert = ctl.Implies(
+        ev(f'{b["water"]}.water.wet'),
+        ctl.Or(
+            ctl.Or(
+                attr(b["alarm"], "alarm", "siren"),
+                attr(b["alarm"], "alarm", "both"),
+            ),
+            NOTIFIED,
+        ),
+    )
+    return ctl.AG(ctl.And(ctl.Not(false_alarm), must_alert))
+
+
+def _p30(model: StateModel, b: dict[str, str]) -> ctl.Formula:
+    closed_after_leak = ctl.Implies(
+        ev(f'{b["water"]}.water.wet'), attr(b["valve"], "valve", "closed")
+    )
+    no_open_while_wet = ctl.Not(
+        ctl.And(attr(b["water"], "water", "wet"), act(b["valve"], "valve", "open"))
+    )
+    return ctl.AG(ctl.And(closed_after_leak, no_open_while_wet))
+
+
+# ----------------------------------------------------------------------
+# The catalog
+# ----------------------------------------------------------------------
+def _presence_or_mode(*slots: Slot, build) -> tuple[Variant, Variant]:
+    with_presence = Variant(
+        slots=slots + (Slot("presence", ("presenceSensor",)),), build=build
+    )
+    with_mode = Variant(slots=slots + (Slot("mode", ("@mode",)),), build=build)
+    return with_presence, with_mode
+
+
+APP_SPECIFIC_PROPERTIES: tuple[PropertySpec, ...] = (
+    _spec(
+        "P.1",
+        "The door must be locked when a user is not present at home or sleeping.",
+        *_presence_or_mode(Slot("lock", ("lock",)), build=_p1),
+        Variant(
+            (Slot("lock", ("lock",), allow_unmodeled=True),
+             Slot("mode", ("@mode",))),
+            _p1_liveness,
+        ),
+    ),
+    _spec(
+        "P.2",
+        "The lights must be turned on if the motion sensor is active.",
+        Variant(
+            (Slot("switch", ("switch",), ("light", "generic")),
+             Slot("motion", ("motionSensor",))),
+            _p2,
+        ),
+    ),
+    _spec(
+        "P.3",
+        "When there is smoke, the door must be unlocked (never locked).",
+        Variant((Slot("smoke", ("smokeDetector",)), Slot("lock", ("lock",))), _p3),
+    ),
+    _spec(
+        "P.4",
+        "The light must be on when the user arrives home.",
+        Variant(
+            (Slot("switch", ("switch",), ("light", "generic")),
+             Slot("presence", ("presenceSensor",))),
+            _p4,
+        ),
+    ),
+    _spec(
+        "P.5",
+        "Camera-controlled doors must be closed only when clear of objects.",
+        Variant(
+            (Slot("door", ("doorControl", "garageDoorControl")),
+             Slot("camera", ("imageCapture",))),
+            _p5,
+        ),
+    ),
+    _spec(
+        "P.6",
+        "The garage door must open on arrival and close on departure.",
+        Variant(
+            (Slot("door", ("garageDoorControl", "doorControl")),
+             Slot("presence", ("presenceSensor",))),
+            _p6,
+        ),
+    ),
+    _spec(
+        "P.7",
+        "Lights/garage react only when the beacon is inside the geofence.",
+        Variant(
+            (Slot("beacon", ("beacon",)), Slot("switch", ("switch",))), _p7
+        ),
+    ),
+    _spec(
+        "P.8",
+        "The lights must be turned off when the user is sleeping.",
+        Variant(
+            (Slot("sleep", ("sleepSensor",)),
+             Slot("switch", ("switch",), ("light", "generic"))),
+            _p8,
+        ),
+    ),
+    _spec(
+        "P.9",
+        "The security system must not be disarmed when the user is away.",
+        Variant(
+            (Slot("security", ("securitySystem",)),
+             Slot("presence", ("presenceSensor",))),
+            _p9,
+        ),
+        Variant(
+            (Slot("security", ("securitySystem",)), Slot("mode", ("@mode",))),
+            _p9_mode,
+        ),
+    ),
+    _spec(
+        "P.10",
+        "The alarm must sound (and stay on) when there is smoke or CO.",
+        Variant(
+            (Slot("smoke", ("smokeDetector", "carbonMonoxideDetector")),
+             Slot("alarm", ("alarm",))),
+            _p10,
+        ),
+    ),
+    _spec(
+        "P.11",
+        "The valve must be closed when the water sensor is wet.",
+        Variant((Slot("water", ("waterSensor",)), Slot("valve", ("valve",))), _p11),
+    ),
+    _spec(
+        "P.12",
+        "Lights/secured containers must not turn on when the user is away.",
+        Variant(
+            (Slot("switch", ("switch",), ("light", "secured-container")),
+             Slot("presence", ("presenceSensor",))),
+            _p12,
+        ),
+        Variant(
+            (Slot("switch", ("switch",), ("light", "secured-container")),
+             Slot("mode", ("@mode",))),
+            _p12_mode,
+        ),
+    ),
+    _spec(
+        "P.13",
+        "Appliance functionality must not be used when the user is away.",
+        *_presence_or_mode(Slot("player", ("musicPlayer",)), build=_p13_music),
+        Variant(
+            (Slot("switch", ("switch",), ("light", "appliance", "generic")),
+             Slot("presence", ("presenceSensor",))),
+            _p13_appliance,
+        ),
+        Variant(
+            (Slot("switch", ("switch",), ("appliance",)),
+             Slot("mode", ("@mode",))),
+            _p13_appliance_mode,
+        ),
+        Variant(
+            (Slot("dimmer", ("switchLevel",)),
+             Slot("presence", ("presenceSensor",))),
+            _p13_level,
+        ),
+    ),
+    _spec(
+        "P.14",
+        "Refrigerator, alarm, and security system must not be disabled.",
+        Variant(
+            (Slot("critical", ("switch",), ("critical",)),
+             Slot("mode", ("@mode",))),
+            _p14,
+        ),
+        Variant(
+            (Slot("security", ("securitySystem",)), Slot("mode", ("@mode",))),
+            _p14_security,
+        ),
+    ),
+    _spec(
+        "P.15",
+        "Operating temperature applies on motion; idle temperature otherwise.",
+        Variant(
+            (Slot("thermostat", ("thermostat",)), Slot("motion", ("motionSensor",))),
+            _p15,
+        ),
+    ),
+    _spec(
+        "P.16",
+        "Mode-change thermostat setpoints must be user-entered values.",
+        Variant(
+            (Slot("thermostat", ("thermostat",)), Slot("mode", ("@mode",))), _p16
+        ),
+    ),
+    _spec(
+        "P.17",
+        "The AC and heater must not be on at the same time.",
+        Variant(
+            (Slot("ac", ("switch",), ("ac",)), Slot("heater", ("switch",), ("heater",))),
+            _p17,
+        ),
+    ),
+    _spec(
+        "P.18",
+        "Humidity-controlled devices stay off outside the configured zone.",
+        Variant(
+            (Slot("humidity", ("relativeHumidityMeasurement",)),
+             Slot("switch", ("switch",))),
+            _p18,
+        ),
+    ),
+    _spec(
+        "P.19",
+        "The AC must be on when the user approaches (never switched off).",
+        Variant(
+            (Slot("ac", ("switch",), ("ac",)), Slot("presence", ("presenceSensor",))),
+            _p19,
+        ),
+    ),
+    _spec(
+        "P.20",
+        "The camera must take pictures on motion while doors are open.",
+        Variant(
+            (Slot("camera", ("imageCapture",), allow_unmodeled=True),
+             Slot("motion", ("motionSensor",)),
+             Slot("contact", ("contactSensor",))),
+            _p20,
+        ),
+    ),
+    _spec(
+        "P.21",
+        "Opening doors during protected times must not silence the alarm.",
+        Variant(
+            (Slot("camera", ("imageCapture",), allow_unmodeled=True),
+             Slot("alarm", ("alarm",)),
+             Slot("contact", ("contactSensor",))),
+            _p21,
+        ),
+    ),
+    _spec(
+        "P.22",
+        "Low device battery must be reported to the user.",
+        Variant((Slot("battery", ("battery",)),), _p22),
+    ),
+    _spec(
+        "P.23",
+        "The door must unlock only after camera face recognition.",
+        Variant(
+            (Slot("lock", ("lock",)),
+             Slot("camera", ("imageCapture",), allow_unmodeled=True)),
+            _p23,
+        ),
+    ),
+    _spec(
+        "P.24",
+        "The windows must not be open when the heater is on.",
+        Variant(
+            (Slot("shade", ("windowShade",)),
+             Slot("heater", ("switch",), ("heater",))),
+            _p24,
+        ),
+    ),
+    _spec(
+        "P.25",
+        "The bell must not chime when the door is closed.",
+        Variant(
+            (Slot("bell", ("tone",), allow_unmodeled=True),
+             Slot("contact", ("contactSensor",))),
+            _p25,
+        ),
+    ),
+    _spec(
+        "P.26",
+        "The alarm must go off when the main door is left open too long.",
+        Variant(
+            (Slot("alarm", ("alarm",)), Slot("contact", ("contactSensor",))), _p26
+        ),
+    ),
+    _spec(
+        "P.27",
+        "The mode must track user presence (home when home, away when away).",
+        Variant(
+            (Slot("presence", ("presenceSensor",)), Slot("mode", ("@mode",))), _p27
+        ),
+    ),
+    _spec(
+        "P.28",
+        "The sound system must not play during sleeping hours.",
+        Variant(
+            (Slot("player", ("musicPlayer",)), Slot("sleep", ("sleepSensor",))),
+            _p28,
+        ),
+        Variant(
+            (Slot("player", ("musicPlayer",)), Slot("mode", ("@mode",))), _p28
+        ),
+    ),
+    _spec(
+        "P.29",
+        "The flood sensor must alert on water — and only on water.",
+        Variant(
+            (Slot("water", ("waterSensor",)), Slot("alarm", ("alarm",))), _p29
+        ),
+    ),
+    _spec(
+        "P.30",
+        "The water valve must shut off when a leak is detected.",
+        Variant(
+            (Slot("water", ("waterSensor",)), Slot("valve", ("valve",))), _p30
+        ),
+    ),
+)

@@ -1,0 +1,59 @@
+"""Violation records and the property catalog / applicability matcher."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mc.ctl import Formula
+    from repro.model.kripke import KripkeState
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation found by Soteria."""
+
+    property_id: str                      # "S.1" ... "P.30"
+    apps: tuple[str, ...] = ()
+    description: str = ""
+    formula: str = ""                     # CTL text for P properties
+    devices: tuple[str, ...] = ()
+    #: Marked when every path to the violation goes through an
+    #: over-approximated reflective call — candidate false positive
+    #: (MalIoT App5).
+    via_reflection: bool = False
+    counterexample: tuple[str, ...] = ()
+
+    def short(self) -> str:
+        apps = ", ".join(self.apps)
+        return f"[{self.property_id}] {apps}: {self.description}"
+
+
+@dataclass
+class PropertyCatalog:
+    """All S and P properties, with device-based applicability matching."""
+
+    specs: list = field(default_factory=list)
+
+    def applicable(self, capabilities: set[str], roles: dict[str, set[str]]):
+        """Property specs whose device requirements the app satisfies."""
+        return [
+            spec for spec in self.specs if spec.applicable(capabilities, roles)
+        ]
+
+    def by_id(self, property_id: str):
+        for spec in self.specs:
+            if spec.id == property_id:
+                return spec
+        raise KeyError(property_id)
+
+    def ids(self) -> list[str]:
+        return [spec.id for spec in self.specs]
+
+
+def default_catalog() -> PropertyCatalog:
+    """The P.1-P.30 catalog (constructed lazily to avoid import cycles)."""
+    from repro.properties.appspecific import APP_SPECIFIC_PROPERTIES
+
+    return PropertyCatalog(specs=list(APP_SPECIFIC_PROPERTIES))

@@ -1,0 +1,85 @@
+"""Device-role inference from permission metadata.
+
+Several app-specific properties are phrased over *kinds* of devices that
+share a SmartThings capability: P.12 talks about light switches and gun
+cases, P.13 about coffee machines and crock-pots, P.17 about AC and heater
+outlets — all ``capability.switch`` devices.  The paper's device-centric
+property derivation implicitly relies on knowing what a device *is*; the
+reproduction recovers that from the permission handle and title text, the
+only semantic signal available statically.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.ir.ir import AppIR, PermissionKind
+
+#: keyword -> role.  First match wins; handles and titles are both scanned.
+_ROLE_KEYWORDS: list[tuple[str, str]] = [
+    ("light", "light"),
+    ("lamp", "light"),
+    ("bulb", "light"),
+    ("coffee", "appliance"),
+    ("crock", "appliance"),
+    ("cooker", "appliance"),
+    ("oven", "appliance"),
+    ("tv", "appliance"),
+    ("television", "appliance"),
+    ("fan", "fan"),
+    ("heater", "heater"),
+    ("heat", "heater"),
+    ("ac", "ac"),
+    ("air_conditioner", "ac"),
+    ("aircon", "ac"),
+    ("cooling", "ac"),
+    ("fridge", "critical"),
+    ("refrigerator", "critical"),
+    ("freezer", "critical"),
+    ("security", "critical"),
+    ("camera", "critical"),
+    ("smoke", "critical"),
+    ("alarm", "critical"),
+    ("sprinkler", "sprinkler"),
+    ("pump", "sprinkler"),
+    ("dehumidifier", "humidity-control"),
+    ("humidifier", "humidity-control"),
+    ("cabinet", "secured-container"),
+    ("drawer", "secured-container"),
+    ("gun", "secured-container"),
+    ("case", "secured-container"),
+    ("vent", "vent"),
+    ("window", "vent"),
+]
+
+
+def _tokens(text: str) -> list[str]:
+    return [t for t in re.split(r"[^a-z0-9]+", text.lower()) if t]
+
+
+def device_roles(ir: AppIR) -> dict[str, set[str]]:
+    """Role labels per device handle, derived from handle + title text."""
+    roles: dict[str, set[str]] = {}
+    for perm in ir.permissions:
+        if perm.kind is not PermissionKind.DEVICE:
+            continue
+        words = set(_tokens(perm.handle)) | set(_tokens(perm.title))
+        found: set[str] = set()
+        for keyword, role in _ROLE_KEYWORDS:
+            if keyword in words:
+                found.add(role)
+        if not found:
+            found.add("generic")
+        roles[perm.handle] = found
+    return roles
+
+
+def merge_roles(
+    per_app: list[dict[str, set[str]]]
+) -> dict[str, set[str]]:
+    """Union role maps across apps (handles are global device ids here)."""
+    merged: dict[str, set[str]] = {}
+    for roles in per_app:
+        for handle, found in roles.items():
+            merged.setdefault(handle, set()).update(found)
+    return merged

@@ -1,0 +1,7 @@
+"""Output backends: GraphViz DOT, NuSMV SMV text, and console reports."""
+
+from repro.reporting.dot import to_dot, to_dot_trace
+from repro.reporting.smv import to_smv
+from repro.reporting.report import render_report
+
+__all__ = ["to_dot", "to_dot_trace", "to_smv", "render_report"]

@@ -1,0 +1,70 @@
+"""GraphViz DOT export of state models (the paper's Fig. 9 visuals)."""
+
+from __future__ import annotations
+
+from repro.model.statemodel import StateModel
+
+
+def to_dot_trace(model: StateModel, trace: list[str], title: str = "") -> str:
+    """Render a counterexample trace (state labels) as a linear DOT chain.
+
+    ``trace`` is the list of state labels from
+    :attr:`repro.properties.catalog.Violation.counterexample`; the violating
+    final state is drawn filled, matching how the paper's console presents
+    NuSMV counter-examples.
+    """
+    lines = [
+        f'digraph "{_escape(title or model.name)}-trace" {{',
+        "    rankdir=LR;",
+        '    node [shape=box, fontname="Helvetica"];',
+    ]
+    for index, label in enumerate(trace):
+        style = ""
+        if index == len(trace) - 1:
+            style = ', style=filled, fillcolor="#f4cccc"'
+        lines.append(f'    t{index} [label="{_escape(label)}"{style}];')
+    for index in range(len(trace) - 1):
+        lines.append(f"    t{index} -> t{index + 1};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(model: StateModel, max_states: int = 400) -> str:
+    """Render a state model as DOT text.
+
+    States are labelled ``[water.wet, valve.close]``-style as in the paper;
+    edges carry the event and any residual guard.  Models larger than
+    ``max_states`` are truncated to the states that participate in
+    transitions (keeps the output renderable).
+    """
+    lines = [
+        f'digraph "{_escape(model.name)}" {{',
+        "    rankdir=LR;",
+        '    node [shape=box, fontname="Helvetica"];',
+        '    edge [fontname="Helvetica", fontsize=10];',
+    ]
+    states = list(model.states)
+    if len(states) > max_states:
+        used = {t.source for t in model.transitions} | {
+            t.target for t in model.transitions
+        }
+        states = [s for s in states if s in used][:max_states]
+    index = {state: i for i, state in enumerate(states)}
+    for state, i in index.items():
+        label = _escape(model.state_label(state))
+        lines.append(f'    s{i} [label="{label}"];')
+    for transition in model.transitions:
+        src = index.get(transition.source)
+        dst = index.get(transition.target)
+        if src is None or dst is None:
+            continue
+        label = _escape(transition.label())
+        if transition.app and len(model.apps) > 1:
+            label += f"\\n({_escape(transition.app)})"
+        lines.append(f'    s{src} -> s{dst} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Console report rendering (the paper's Fig. 9 output pane)."""
+
+from __future__ import annotations
+
+from repro.soteria import AppAnalysis, EnvironmentAnalysis
+
+
+def render_report(analysis: AppAnalysis | EnvironmentAnalysis) -> str:
+    if isinstance(analysis, AppAnalysis):
+        return _render_app(analysis)
+    return _render_environment(analysis)
+
+
+def _render_app(analysis: AppAnalysis) -> str:
+    model = analysis.model
+    lines = [
+        f"=== Soteria analysis: {analysis.app.name} ===",
+        "",
+        "--- Intermediate representation ---",
+        analysis.ir.render(),
+        "",
+        "--- State model ---",
+        f"states: {model.size()}  (raw, before reduction: {model.raw_state_count})",
+        f"transitions: {len(model.transitions)}",
+        f"attributes: {', '.join(a.qualified for a in model.attributes)}",
+        "",
+        "--- Property verification ---",
+        f"checked app-specific properties: "
+        f"{', '.join(analysis.checked_properties) or '(none applicable)'}",
+    ]
+    lines.extend(_violation_lines(analysis.violations))
+    return "\n".join(lines)
+
+
+def _render_environment(analysis: EnvironmentAnalysis) -> str:
+    model = analysis.union_model
+    lines = [
+        f"=== Soteria multi-app analysis: {', '.join(model.apps)} ===",
+        "",
+        "--- Union state model (Algorithm 2) ---",
+        f"states: {model.size()}",
+        f"transitions: {len(model.transitions)}",
+        f"attributes: {', '.join(a.qualified for a in model.attributes)}",
+        "",
+        "--- Property verification ---",
+        f"checked app-specific properties: "
+        f"{', '.join(analysis.checked_properties) or '(none applicable)'}",
+    ]
+    lines.extend(_violation_lines(analysis.violations))
+    return "\n".join(lines)
+
+
+def _violation_lines(violations) -> list[str]:
+    if not violations:
+        return ["", "result: all checked properties HOLD"]
+    lines = ["", f"result: {len(violations)} property violation(s)"]
+    for violation in violations:
+        marker = " (via reflection — possible false positive)" if violation.via_reflection else ""
+        lines.append(f"  VIOLATION {violation.short()}{marker}")
+        if violation.counterexample:
+            lines.append("    counterexample:")
+            for step in violation.counterexample:
+                lines.append(f"      {step}")
+    return lines

@@ -1,0 +1,132 @@
+"""NuSMV module export.
+
+Soteria feeds its Kripke structures to NuSMV; the reproduction's own
+checkers replace NuSMV for verification, but the ``.smv`` text is still
+emitted so results can be cross-checked with a real NuSMV installation.
+The encoding is one enumerated SMV variable per device attribute plus an
+``event`` variable; the transition relation is a TRANS disjunction.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.mc import ctl
+from repro.model.statemodel import StateModel
+
+
+def _ident(text: str) -> str:
+    """SMV-safe identifier."""
+    cleaned = re.sub(r"[^A-Za-z0-9_]", "_", text)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "v_" + cleaned
+    return cleaned
+
+
+def to_smv(
+    model: StateModel, specs: list[ctl.Formula] | None = None
+) -> str:
+    """Render the model as a NuSMV ``MODULE main``."""
+    var_names = [_ident(f"{a.device}_{a.attribute}") for a in model.attributes]
+    value_sets: list[list[str]] = [
+        [_ident(v) for v in attr.domain] for attr in model.attributes
+    ]
+    events = sorted({t.event.label() for t in model.transitions})
+    event_idents = ["none"] + [_ident(e) for e in events]
+
+    lines = ["MODULE main", "VAR"]
+    for name, values in zip(var_names, value_sets):
+        lines.append(f"    {name} : {{{', '.join(dict.fromkeys(values))}}};")
+    lines.append(f"    event : {{{', '.join(dict.fromkeys(event_idents))}}};")
+    lines.append("")
+    lines.append("INIT event = none")
+    lines.append("")
+
+    if model.transitions:
+        lines.append("TRANS")
+        clauses = []
+        for t in model.transitions:
+            parts = []
+            for name, attr, src_val, dst_val in zip(
+                var_names, model.attributes, t.source, t.target
+            ):
+                parts.append(f"{name} = {_ident(src_val)}")
+                parts.append(f"next({name}) = {_ident(dst_val)}")
+            parts.append(f"next(event) = {_ident(t.event.label())}")
+            clauses.append("(" + " & ".join(parts) + ")")
+        # Stutter step keeps the relation total.
+        stutter = " & ".join(
+            f"next({name}) = {name}" for name in var_names
+        )
+        if stutter:
+            clauses.append(f"({stutter} & next(event) = none)")
+        lines.append("    " + "\n  | ".join(clauses))
+        lines.append("")
+
+    for spec in specs or []:
+        lines.append(f"SPEC {formula_to_smv(spec, model)}")
+    return "\n".join(lines) + "\n"
+
+
+def formula_to_smv(formula: ctl.Formula, model: StateModel) -> str:
+    """Translate one of our CTL formulas to NuSMV SPEC syntax."""
+    if isinstance(formula, ctl.Bool):
+        return "TRUE" if formula.value else "FALSE"
+    if isinstance(formula, ctl.Prop):
+        return _prop_to_smv(formula.name, model)
+    if isinstance(formula, ctl.Not):
+        return f"!({formula_to_smv(formula.operand, model)})"
+    if isinstance(formula, ctl.And):
+        return (
+            f"({formula_to_smv(formula.left, model)} & "
+            f"{formula_to_smv(formula.right, model)})"
+        )
+    if isinstance(formula, ctl.Or):
+        return (
+            f"({formula_to_smv(formula.left, model)} | "
+            f"{formula_to_smv(formula.right, model)})"
+        )
+    if isinstance(formula, ctl.Implies):
+        return (
+            f"({formula_to_smv(formula.left, model)} -> "
+            f"{formula_to_smv(formula.right, model)})"
+        )
+    if isinstance(formula, ctl.EX):
+        return f"EX ({formula_to_smv(formula.operand, model)})"
+    if isinstance(formula, ctl.AX):
+        return f"AX ({formula_to_smv(formula.operand, model)})"
+    if isinstance(formula, ctl.EF):
+        return f"EF ({formula_to_smv(formula.operand, model)})"
+    if isinstance(formula, ctl.AF):
+        return f"AF ({formula_to_smv(formula.operand, model)})"
+    if isinstance(formula, ctl.EG):
+        return f"EG ({formula_to_smv(formula.operand, model)})"
+    if isinstance(formula, ctl.AG):
+        return f"AG ({formula_to_smv(formula.operand, model)})"
+    if isinstance(formula, ctl.EU):
+        return (
+            f"E [ {formula_to_smv(formula.left, model)} U "
+            f"{formula_to_smv(formula.right, model)} ]"
+        )
+    if isinstance(formula, ctl.AU):
+        return (
+            f"A [ {formula_to_smv(formula.left, model)} U "
+            f"{formula_to_smv(formula.right, model)} ]"
+        )
+    raise TypeError(f"unsupported formula {type(formula).__name__}")
+
+
+def _prop_to_smv(name: str, model: StateModel) -> str:
+    if name.startswith("attr:"):
+        body = name[len("attr:") :]
+        path, _, value = body.partition("=")
+        device, _, attribute = path.partition(".")
+        return f"{_ident(f'{device}_{attribute}')} = {_ident(value)}"
+    if name.startswith("ev:"):
+        return f"event = {_ident(name[len('ev:') :])}"
+    if name.startswith("evkind:"):
+        return "TRUE"  # event kinds are folded into the event variable
+    # act:/cmd:/src: propositions label transitions, which this attribute-
+    # state encoding cannot express directly; exported specs over them are
+    # weakened to TRUE (the native checkers verify the exact formula).
+    return "TRUE"

@@ -1,0 +1,24 @@
+"""Runtime simulation and dynamic policy enforcement (extension).
+
+Soteria is a static analyzer; its follow-on work (IoTGuard, NDSS'19, by the
+same group) enforces the same policies *dynamically*.  This package is that
+natural extension built on Soteria's artifacts:
+
+* :class:`~repro.runtime.simulator.Simulator` replays concrete event traces
+  against an extracted state model — the transition rules become an
+  executable interpreter of the app;
+* :class:`~repro.runtime.monitor.RuntimeMonitor` evaluates the AG-invariant
+  slice of the property catalog on every prospective transition and blocks
+  the handler actions that would enter a violating state.
+"""
+
+from repro.runtime.simulator import SimulationStep, Simulator, TraceResult
+from repro.runtime.monitor import EnforcementDecision, RuntimeMonitor
+
+__all__ = [
+    "SimulationStep",
+    "Simulator",
+    "TraceResult",
+    "EnforcementDecision",
+    "RuntimeMonitor",
+]

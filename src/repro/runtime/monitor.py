@@ -1,0 +1,183 @@
+"""Dynamic policy enforcement over simulated runs (IoTGuard-style).
+
+The AG-invariant slice of Soteria's property catalog — formulas of the form
+``AG phi`` with propositional ``phi`` over attribute/event/action labels —
+can be enforced online: before committing a handler's transition, evaluate
+``phi`` on the prospective target's label set and *block* the transition
+when it fails, reporting which property would have been violated.
+
+Formulas outside that slice (EF/AF response properties) cannot be decided
+from a single prospective state and are left to the static checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mc import ctl
+from repro.model.kripke import action_prop, event_prop
+from repro.model.statemodel import State, StateModel, Transition
+from repro.platform.events import Event
+from repro.runtime.simulator import GuardOracle, SimulationStep, Simulator
+
+
+@dataclass(frozen=True)
+class EnforcementDecision:
+    """Outcome of feeding one event through the monitor."""
+
+    event: Event
+    allowed: tuple[Transition, ...]
+    blocked: tuple[tuple[Transition, str], ...]   # (transition, property id)
+    state: State
+
+    @property
+    def intervened(self) -> bool:
+        return bool(self.blocked)
+
+
+def _propositional(formula: ctl.Formula) -> bool:
+    """Is the formula free of temporal operators?"""
+    if isinstance(formula, (ctl.Bool, ctl.Prop)):
+        return True
+    if isinstance(formula, ctl.Not):
+        return _propositional(formula.operand)
+    if isinstance(formula, (ctl.And, ctl.Or, ctl.Implies)):
+        return _propositional(formula.left) and _propositional(formula.right)
+    return False
+
+
+def _evaluate(formula: ctl.Formula, labels: set[str]) -> bool:
+    if isinstance(formula, ctl.Bool):
+        return formula.value
+    if isinstance(formula, ctl.Prop):
+        return formula.name in labels
+    if isinstance(formula, ctl.Not):
+        return not _evaluate(formula.operand, labels)
+    if isinstance(formula, ctl.And):
+        return _evaluate(formula.left, labels) and _evaluate(formula.right, labels)
+    if isinstance(formula, ctl.Or):
+        return _evaluate(formula.left, labels) or _evaluate(formula.right, labels)
+    if isinstance(formula, ctl.Implies):
+        return (not _evaluate(formula.left, labels)) or _evaluate(
+            formula.right, labels
+        )
+    raise TypeError(f"not propositional: {type(formula).__name__}")
+
+
+def invariant_operand(formula: ctl.Formula) -> ctl.Formula | None:
+    """The propositional body of an enforceable ``AG phi``, else None."""
+    if isinstance(formula, ctl.AG) and _propositional(formula.operand):
+        return formula.operand
+    return None
+
+
+class RuntimeMonitor:
+    """Blocks transitions whose target state would violate a policy."""
+
+    def __init__(
+        self,
+        model: StateModel,
+        policies: list[tuple[str, ctl.Formula]],
+        initial: State | None = None,
+        oracle: GuardOracle | None = None,
+    ) -> None:
+        self.model = model
+        self.simulator = Simulator(model, initial=initial, oracle=oracle)
+        self.policies: list[tuple[str, ctl.Formula]] = []
+        self.skipped: list[str] = []
+        for property_id, formula in policies:
+            operand = invariant_operand(formula)
+            if operand is None:
+                self.skipped.append(property_id)
+            else:
+                self.policies.append((property_id, operand))
+        self.log: list[EnforcementDecision] = []
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_analysis(cls, analysis, **kwargs) -> "RuntimeMonitor":
+        """Build a monitor from an :class:`~repro.soteria.AppAnalysis` (or
+        environment analysis), enforcing every checked catalog formula."""
+        policies: list[tuple[str, ctl.Formula]] = []
+        if hasattr(analysis, "check_results"):
+            for property_id, results in analysis.check_results.items():
+                for result in results:
+                    policies.append((property_id, result.formula))
+        model = getattr(analysis, "model", None) or analysis.union_model
+        return cls(model, policies, **kwargs)
+
+    # ------------------------------------------------------------------
+    def _labels_for(self, transition: Transition, target: State) -> set[str]:
+        labels: set[str] = set()
+        for attr, value in zip(self.model.attributes, target):
+            labels.add(f"attr:{attr.device}.{attr.attribute}={value}")
+        labels.add(event_prop(transition.event.label()))
+        labels.add(f"evkind:{transition.event.kind.value}")
+        for action in transition.actions:
+            prop = action_prop(action)
+            if prop is not None:
+                labels.add(prop)
+        if transition.sends:
+            labels.add("sent-notification")
+        if transition.app:
+            labels.add(f"app:{transition.app}")
+        if transition.via_reflection:
+            labels.add("via-reflection")
+        return labels
+
+    def _violates(self, transition: Transition, target: State) -> str | None:
+        labels = self._labels_for(transition, target)
+        for property_id, operand in self.policies:
+            if not _evaluate(operand, labels):
+                return property_id
+        return None
+
+    # ------------------------------------------------------------------
+    def feed(self, event: Event) -> EnforcementDecision:
+        """Process one event: apply safe transitions, block violating ones."""
+        enabled = self.simulator.applicable(event)
+        allowed: list[Transition] = []
+        blocked: list[tuple[Transition, str]] = []
+        state = self.simulator.state
+        for transition in enabled:
+            prospective = self.simulator._compose(state, transition)
+            verdict = self._violates(transition, prospective)
+            if verdict is None:
+                allowed.append(transition)
+                state = prospective
+            else:
+                blocked.append((transition, verdict))
+        # The *event itself* (a sensor change) still happens even when the
+        # handler's actions are blocked: move the event attribute.
+        if blocked and not allowed:
+            state = self._apply_event_only(state, event)
+        self.simulator.state = state
+        decision = EnforcementDecision(
+            event=event,
+            allowed=tuple(allowed),
+            blocked=tuple(blocked),
+            state=state,
+        )
+        self.log.append(decision)
+        return decision
+
+    def _apply_event_only(self, state: State, event: Event) -> State:
+        if event.value is None:
+            return state
+        index = self.model.attribute_index(
+            "location" if event.kind.value == "mode" else event.device,
+            "mode" if event.kind.value == "mode" else event.attribute,
+        )
+        if index is None:
+            return state
+        if event.value not in self.model.attributes[index].domain:
+            return state
+        values = list(state)
+        values[index] = event.value
+        return tuple(values)
+
+    def run(self, events: list[Event]) -> list[EnforcementDecision]:
+        return [self.feed(event) for event in events]
+
+    def interventions(self) -> list[EnforcementDecision]:
+        return [d for d in self.log if d.intervened]

@@ -1,0 +1,164 @@
+"""Concrete event-trace simulation over an extracted state model.
+
+The state model's labelled transitions are deterministic by construction
+(nondeterminism is reported as a violation at extraction time), so a
+concrete event sequence induces a unique run.  Residual transition guards
+(user-input comparisons the static analysis could not decide) are resolved
+by a caller-provided oracle, defaulting to "condition holds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.predicates import Atom
+from repro.model.statemodel import State, StateModel, Transition
+from repro.platform.events import Event
+
+
+@dataclass(frozen=True)
+class SimulationStep:
+    """One fired event and its effect."""
+
+    event: Event
+    source: State
+    target: State
+    transitions: tuple[Transition, ...]   # rules that fired (may be several apps)
+
+    @property
+    def changed(self) -> bool:
+        return self.source != self.target
+
+
+@dataclass
+class TraceResult:
+    """Outcome of replaying a whole event trace."""
+
+    initial: State
+    steps: list[SimulationStep] = field(default_factory=list)
+
+    @property
+    def final(self) -> State:
+        if self.steps:
+            return self.steps[-1].target
+        return self.initial
+
+    def visited(self) -> list[State]:
+        states = [self.initial]
+        states.extend(step.target for step in self.steps)
+        return states
+
+
+#: Guard oracle: decides residual atoms at run time (True = holds).
+GuardOracle = Callable[[Atom], bool]
+
+
+def _default_oracle(_atom: Atom) -> bool:
+    return True
+
+
+class Simulator:
+    """Replays events against a (deterministic) state model."""
+
+    def __init__(
+        self,
+        model: StateModel,
+        initial: State | None = None,
+        oracle: GuardOracle | None = None,
+    ) -> None:
+        self.model = model
+        if initial is None:
+            initial = self._default_initial()
+        if initial not in model.states:
+            raise ValueError(f"initial state {initial!r} is not in the model")
+        self.state: State = initial
+        self.oracle = oracle or _default_oracle
+        self._by_source: dict[State, list[Transition]] = {}
+        for transition in model.transitions:
+            self._by_source.setdefault(transition.source, []).append(transition)
+
+    #: Conventional "rest" values per attribute (sensor quiet, nothing
+    #: detected); attributes not listed default to their first domain value.
+    _REST_VALUES = {
+        "motion": "inactive",
+        "water": "dry",
+        "smoke": "clear",
+        "carbonMonoxide": "clear",
+        "contact": "closed",
+        "acceleration": "inactive",
+        "sound": "not detected",
+        "tamper": "clear",
+        "presence": "present",
+        "sleeping": "not sleeping",
+    }
+
+    # ------------------------------------------------------------------
+    def _default_initial(self) -> State:
+        """A conventional rest state (quiet sensors, first actuator value)."""
+        if not self.model.states:
+            raise ValueError("model has no states")
+        values = []
+        for attr in self.model.attributes:
+            rest = self._REST_VALUES.get(attr.attribute)
+            if rest is not None and rest in attr.domain:
+                values.append(rest)
+            else:
+                values.append(attr.domain[0])
+        state = tuple(values)
+        if state in set(self.model.states):
+            return state
+        return self.model.states[0]
+
+    def applicable(self, event: Event) -> list[Transition]:
+        """Transitions enabled by ``event`` from the current state."""
+        found = []
+        for transition in self._by_source.get(self.state, []):
+            if not transition.event.matches(event) and not event.matches(
+                transition.event
+            ):
+                continue
+            if all(self.oracle(atom) for atom in transition.condition):
+                found.append(transition)
+        return found
+
+    def fire(self, event: Event) -> SimulationStep:
+        """Apply one event; returns the step taken (possibly a no-op)."""
+        enabled = self.applicable(event)
+        source = self.state
+        if not enabled:
+            step = SimulationStep(
+                event=event, source=source, target=source, transitions=()
+            )
+            return step
+        # Deterministic models agree on the target; with multiple apps the
+        # transitions compose by applying each app's updates in turn.
+        target = source
+        fired: list[Transition] = []
+        for transition in enabled:
+            target = self._compose(target, transition)
+            fired.append(transition)
+        self.state = target
+        return SimulationStep(
+            event=event, source=source, target=target, transitions=tuple(fired)
+        )
+
+    def _compose(self, state: State, transition: Transition) -> State:
+        """Apply a transition's attribute deltas to ``state``."""
+        values = list(state)
+        for index, (src_val, dst_val) in enumerate(
+            zip(transition.source, transition.target)
+        ):
+            if src_val != dst_val:
+                values[index] = dst_val
+        return tuple(values)
+
+    def run(self, events: list[Event]) -> TraceResult:
+        """Replay a whole trace."""
+        result = TraceResult(initial=self.state)
+        for event in events:
+            result.steps.append(self.fire(event))
+        return result
+
+    def reset(self, state: State | None = None) -> None:
+        self.state = state if state is not None else self._default_initial()

@@ -1,0 +1,249 @@
+"""Soteria orchestrator: the four-stage pipeline of Fig. 3.
+
+:func:`analyze_app` — single-app analysis: source -> IR -> state model ->
+general-property checks at model construction -> CTL model checking of the
+applicable app-specific properties.
+
+:func:`analyze_environment` — multi-app analysis: per-app models, the
+Algorithm-2 union model, general checks over the combined rule set, and
+model checking on the union.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.ir import AppIR, build_ir
+from repro.mc.explicit import CheckResult, ExplicitChecker
+from repro.model import StateModel, build_kripke, build_union_model, extract_model
+from repro.model.kripke import KripkeStructure
+from repro.platform.capabilities import CapabilityDatabase, default_database
+from repro.platform.smartapp import SmartApp
+from repro.properties.catalog import PropertyCatalog, Violation, default_catalog
+from repro.properties.general import check_general_properties
+from repro.properties.roles import device_roles, merge_roles
+
+
+@dataclass
+class AppAnalysis:
+    """Everything Soteria derives from one app."""
+
+    app: SmartApp
+    ir: AppIR
+    model: StateModel
+    kripke: KripkeStructure
+    violations: list[Violation] = field(default_factory=list)
+    checked_properties: list[str] = field(default_factory=list)
+    check_results: dict[str, list[CheckResult]] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def violated_ids(self) -> set[str]:
+        return {v.property_id for v in self.violations}
+
+    def has_violations(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclass
+class EnvironmentAnalysis:
+    """Multi-app analysis over the union state model (Algorithm 2)."""
+
+    analyses: list[AppAnalysis]
+    union_model: StateModel
+    kripke: KripkeStructure
+    violations: list[Violation] = field(default_factory=list)
+    checked_properties: list[str] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def multi_app_violations(self) -> list[Violation]:
+        """Violations involving two or more apps (the Table 4 kind)."""
+        return [v for v in self.violations if len(v.apps) > 1]
+
+    def violated_ids(self) -> set[str]:
+        return {v.property_id for v in self.violations}
+
+
+# ======================================================================
+def analyze_app(
+    source: str | SmartApp,
+    name: str | None = None,
+    db: CapabilityDatabase | None = None,
+    catalog: PropertyCatalog | None = None,
+    abstract_numeric: bool = True,
+) -> AppAnalysis:
+    """Run the full Soteria pipeline on a single app."""
+    db = db or default_database()
+    catalog = catalog or default_catalog()
+    app = source if isinstance(source, SmartApp) else SmartApp.from_source(source, name)
+
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    ir = build_ir(app, db)
+    timings["ir"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    model = extract_model(ir, db=db, abstract_numeric=abstract_numeric)
+    timings["model"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    kripke = build_kripke(model)
+    timings["kripke"] = time.perf_counter() - start
+
+    analysis = AppAnalysis(
+        app=app, ir=ir, model=model, kripke=kripke, timings=timings
+    )
+
+    # General properties: checked at state-model construction.
+    start = time.perf_counter()
+    origins = [(app.name, s) for s in model.all_rules()]
+    analysis.violations.extend(check_general_properties(origins, ir=ir, db=db))
+    analysis.violations.extend(_determinism_violations(model))
+    timings["general"] = time.perf_counter() - start
+
+    # App-specific properties: CTL model checking.
+    start = time.perf_counter()
+    _check_app_specific(analysis, [ir], model, kripke, catalog)
+    timings["properties"] = time.perf_counter() - start
+    return analysis
+
+
+def analyze_environment(
+    sources: list[str | SmartApp],
+    db: CapabilityDatabase | None = None,
+    catalog: PropertyCatalog | None = None,
+    shared_devices: dict[tuple[str, str], str] | None = None,
+) -> EnvironmentAnalysis:
+    """Analyze a group of apps installed together."""
+    db = db or default_database()
+    catalog = catalog or default_catalog()
+    analyses = [
+        source if isinstance(source, AppAnalysis) else analyze_app(source, db=db, catalog=catalog)
+        for source in sources
+    ]
+
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    union = build_union_model(
+        [a.model for a in analyses], db=db, shared_devices=shared_devices
+    )
+    timings["union"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    kripke = build_kripke(union)
+    timings["kripke"] = time.perf_counter() - start
+
+    environment = EnvironmentAnalysis(
+        analyses=analyses, union_model=union, kripke=kripke, timings=timings
+    )
+
+    # General properties over the combined rule set.
+    start = time.perf_counter()
+    environment.violations.extend(check_general_properties(union.rule_origins))
+    timings["general"] = time.perf_counter() - start
+
+    # App-specific properties on the union model.
+    start = time.perf_counter()
+    irs = [a.ir for a in analyses]
+    _check_app_specific(environment, irs, union, kripke, catalog)
+    timings["properties"] = time.perf_counter() - start
+    return environment
+
+
+# ======================================================================
+def _determinism_violations(model: StateModel) -> list[Violation]:
+    pairs = model.nondeterministic_pairs()
+    violations = []
+    seen: set[tuple[str, str]] = set()
+    for first, second in pairs:
+        key = (first.event.label(), f"{first.target}|{second.target}")
+        if key in seen:
+            continue
+        seen.add(key)
+        violations.append(
+            Violation(
+                property_id="DET",
+                apps=tuple(sorted({first.app, second.app})),
+                description=(
+                    f"nondeterministic model: event {first.event.label()} from "
+                    f"{model.state_label(first.source)} reaches both "
+                    f"{model.state_label(first.target)} and "
+                    f"{model.state_label(second.target)}"
+                ),
+                via_reflection=first.via_reflection or second.via_reflection,
+            )
+        )
+    return violations
+
+
+def _check_app_specific(
+    analysis: AppAnalysis | EnvironmentAnalysis,
+    irs: list[AppIR],
+    model: StateModel,
+    kripke: KripkeStructure,
+    catalog: PropertyCatalog,
+) -> None:
+    device_map: dict[str, str] = {}
+    for ir in irs:
+        for perm in ir.devices():
+            device_map.setdefault(perm.handle, perm.capability)
+    roles = merge_roles([device_roles(ir) for ir in irs])
+    capabilities = set(device_map.values())
+    if model.attribute_index("location", "mode") is not None:
+        capabilities.add("location-mode")
+
+    checker = ExplicitChecker(kripke)
+    app_names = tuple(model.apps)
+    for spec in catalog.applicable(capabilities, roles):
+        analysis.checked_properties.append(spec.id)
+        results: list[CheckResult] = []
+        seen_bindings: set[tuple[str, ...]] = set()
+        for formula, binding in spec.formulas(model, device_map, roles):
+            result = checker.check(formula)
+            results.append(result)
+            if result.holds:
+                continue
+            devices = tuple(sorted(binding.values()))
+            if devices in seen_bindings:
+                continue
+            seen_bindings.add(devices)
+            reflective = _counterexample_reflective(result, kripke)
+            trace = tuple(
+                model.state_label(state.state) for state in result.counterexample
+            )
+            culprit_apps = _culprit_apps(result, kripke) or app_names
+            analysis.violations.append(
+                Violation(
+                    property_id=spec.id,
+                    apps=culprit_apps,
+                    description=f"{spec.description} (devices: {', '.join(devices)})",
+                    formula=str(formula),
+                    devices=devices,
+                    via_reflection=reflective,
+                    counterexample=trace,
+                )
+            )
+        if isinstance(analysis, AppAnalysis):
+            analysis.check_results[spec.id] = results
+
+
+def _counterexample_reflective(
+    result: CheckResult, kripke: KripkeStructure
+) -> bool:
+    """Did the violating step come only from reflective call targets?"""
+    states = result.counterexample or result.failing_states[:1]
+    if not states:
+        return False
+    final = states[-1]
+    return "via-reflection" in kripke.labels.get(final, frozenset())
+
+
+def _culprit_apps(
+    result: CheckResult, kripke: KripkeStructure
+) -> tuple[str, ...]:
+    apps: set[str] = set()
+    for state in result.counterexample:
+        for prop in kripke.labels.get(state, frozenset()):
+            if prop.startswith("app:"):
+                apps.add(prop[4:])
+    return tuple(sorted(apps))

@@ -1,0 +1,194 @@
+"""Property abstraction of numeric attributes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.abstraction import (
+    AbstractRegion,
+    build_numeric_domain,
+    collect_read_cutpoints,
+)
+from repro.analysis.predicates import Atom
+from repro.analysis.values import Const, DeviceRead, UserInput
+from repro.platform.capabilities import Attribute, AttributeKind
+
+TEMP = Attribute("heatingSetpoint", AttributeKind.NUMERIC, low=50, high=95)
+POWER = Attribute("power", AttributeKind.NUMERIC, low=0, high=10000)
+BATTERY = Attribute("battery", AttributeKind.NUMERIC, low=0, high=100)
+
+
+def domain(written=(), read=(), users=(), written_users=()):
+    return build_numeric_domain(
+        "dev", TEMP, set(written), set(read), set(users), set(written_users)
+    )
+
+
+class TestDomainShapes:
+    def test_no_information_single_region(self):
+        d = domain()
+        assert d.size() == 1
+        assert d.regions[0].kind == "any"
+
+    def test_written_constant_paper_example(self):
+        # Paper: temp set to 68 -> "a state when the temperature is equal to
+        # 68F and a state when it is not 68F"; the interval partition keeps
+        # the point exact: <68, =68, >68.
+        d = domain(written={68})
+        labels = d.labels()
+        assert "heatingSetpoint=68" in labels
+        assert d.size() == 3
+
+    def test_read_cutpoints_partition(self):
+        d = build_numeric_domain("m", POWER, set(), {5.0, 50.0}, set(), set())
+        assert d.size() == 5  # <5, =5, 5..50, =50, >50
+
+    def test_user_threshold_two_regions(self):
+        d = build_numeric_domain("b", BATTERY, set(), set(), {"thrshld"}, set())
+        assert d.size() == 2
+        assert {r.user_side for r in d.regions} == {"below", "at-or-above"}
+
+    def test_written_user_input_two_regions(self):
+        d = domain(written_users={"goal"})
+        assert {r.user_side for r in d.regions} == {"equal", "not-equal"}
+
+    def test_raw_size_recorded(self):
+        d = domain(written={68})
+        assert d.raw_size == TEMP.domain_size() == 46
+
+    def test_reduction_is_order_of_magnitude(self):
+        # Fig. 11 top: reduction should be dramatic for realistic domains.
+        d = build_numeric_domain("b", BATTERY, set(), {10.0}, set(), set())
+        assert d.raw_size / d.size() > 10
+
+
+class TestRegionDecide:
+    def test_point_region_decides_exactly(self):
+        d = domain(written={68})
+        point = d.region("heatingSetpoint=68")
+        assert point.decide("==", Const(68)) is True
+        assert point.decide(">", Const(50)) is True
+        assert point.decide("<", Const(68)) is False
+
+    def test_interval_region_decides_boundaries(self):
+        d = build_numeric_domain("m", POWER, set(), {5.0, 50.0}, set(), set())
+        low = d.regions[0]       # power < 5
+        mid = d.regions[2]       # 5 < power < 50
+        high = d.regions[4]      # power > 50
+        assert low.decide("<", Const(5)) is True
+        assert low.decide(">", Const(50)) is False
+        assert mid.decide(">", Const(50)) is False
+        assert mid.decide(">", Const(5)) is True
+        assert high.decide(">", Const(50)) is True
+        assert high.decide("<", Const(5)) is False
+
+    def test_interval_mixed_is_none(self):
+        d = build_numeric_domain("m", POWER, set(), {50.0}, set(), set())
+        below = d.regions[0]
+        assert below.decide(">", Const(10)) is None  # some yes, some no
+
+    def test_symbolic_below_region(self):
+        d = build_numeric_domain("b", BATTERY, set(), set(), {"t"}, set())
+        below, above = d.regions
+        assert below.decide("<", UserInput("t")) is True
+        assert below.decide(">=", UserInput("t")) is False
+        assert above.decide(">=", UserInput("t")) is True
+        assert above.decide("<", UserInput("t")) is False
+
+    def test_symbolic_wrong_handle_is_none(self):
+        d = build_numeric_domain("b", BATTERY, set(), set(), {"t"}, set())
+        assert d.regions[0].decide("<", UserInput("other")) is None
+
+    def test_equal_region(self):
+        d = domain(written_users={"goal"})
+        eq = d.region("heatingSetpoint=goal")
+        assert eq.decide("==", UserInput("goal")) is True
+        assert eq.decide("!=", UserInput("goal")) is False
+
+    def test_unknown_region_lookup_raises(self):
+        with pytest.raises(KeyError):
+            domain().region("nope")
+
+
+class TestCutpointCollection:
+    def test_collects_constants(self):
+        read = DeviceRead("m", "power")
+        atoms = [
+            Atom(lhs=read, op=">", rhs=Const(50)),
+            Atom(lhs=Const(5), op=">", rhs=read),
+        ]
+        consts, users = collect_read_cutpoints(atoms, "m", "power")
+        assert consts == {50.0, 5.0}
+        assert not users
+
+    def test_collects_user_handles(self):
+        read = DeviceRead("b", "battery")
+        atoms = [Atom(lhs=read, op="<", rhs=UserInput("thrshld"))]
+        consts, users = collect_read_cutpoints(atoms, "b", "battery")
+        assert users == {"thrshld"}
+
+    def test_other_devices_ignored(self):
+        read = DeviceRead("other", "power")
+        atoms = [Atom(lhs=read, op=">", rhs=Const(50))]
+        consts, users = collect_read_cutpoints(atoms, "m", "power")
+        assert not consts and not users
+
+    def test_booleans_not_cutpoints(self):
+        read = DeviceRead("m", "power")
+        atoms = [Atom(lhs=read, op="==", rhs=Const(True))]
+        consts, _users = collect_read_cutpoints(atoms, "m", "power")
+        assert not consts
+
+
+# ----------------------------------------------------------------------
+# Property-based: the interval partition must cover the real line without
+# overlap, and decide() must agree with concrete evaluation.
+# ----------------------------------------------------------------------
+@given(
+    st.sets(st.integers(min_value=0, max_value=100), min_size=1, max_size=4),
+    st.sets(st.integers(min_value=0, max_value=100), max_size=3),
+)
+def test_partition_covers_and_is_disjoint(read, written):
+    d = build_numeric_domain(
+        "m", POWER, {float(w) for w in written}, {float(r) for r in read},
+        set(), set(),
+    )
+    samples = [x / 2.0 for x in range(-4, 210)]
+    for sample in samples:
+        containing = [r for r in d.regions if _contains(r, sample)]
+        assert len(containing) == 1, (sample, [r.label for r in containing])
+
+
+def _contains(region: AbstractRegion, value: float) -> bool:
+    if region.kind == "point":
+        return value == region.point
+    if region.kind == "interval":
+        above = value > region.lo or (value == region.lo and not region.lo_open)
+        below = value < region.hi or (value == region.hi and not region.hi_open)
+        return above and below
+    return True
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=20), min_size=1, max_size=3),
+    st.integers(min_value=0, max_value=20),
+    st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+)
+def test_decide_agrees_with_concrete_members(cutpoints, const, op):
+    d = build_numeric_domain(
+        "m", POWER, set(), {float(c) for c in cutpoints}, set(), set()
+    )
+    for region in d.regions:
+        verdict = region.decide(op, Const(const))
+        if verdict is None:
+            continue
+        members = [x / 2.0 for x in range(-4, 50) if _contains(region, x / 2.0)]
+        for member in members:
+            concrete = {
+                "<": member < const,
+                "<=": member <= const,
+                ">": member > const,
+                ">=": member >= const,
+                "==": member == const,
+                "!=": member != const,
+            }[op]
+            assert concrete == verdict, (region.label, member, op, const)

@@ -1,0 +1,95 @@
+"""Odds and ends: public-API helpers, CLI corpus command, package exports."""
+
+import pytest
+
+import repro
+from repro import analyze_app
+from repro.cli import main
+from repro.platform.events import EventKind
+
+
+WATER = '''
+definition(name: "W")
+preferences { section("s") {
+    input "ws", "capability.waterSensor"
+    input "vd", "capability.valve"
+} }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { vd.close() }
+'''
+
+
+class TestPackageExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_names(self):
+        for name in (
+            "analyze_app",
+            "analyze_environment",
+            "SmartApp",
+            "Violation",
+            "AppAnalysis",
+            "EnvironmentAnalysis",
+        ):
+            assert hasattr(repro, name), name
+
+
+class TestStateModelHelpers:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return analyze_app(WATER).model
+
+    def test_events_enumerated(self, model):
+        events = model.events()
+        assert len(events) == 1
+        assert events[0].kind is EventKind.DEVICE
+        assert events[0].value == "wet"
+
+    def test_out_transitions(self, model):
+        source = ("dry", "open")
+        outs = model.out_transitions(source)
+        assert len(outs) == 1
+        assert outs[0].target == ("wet", "closed")
+
+    def test_all_rules_flattened(self, model):
+        rules = model.all_rules()
+        assert len(rules) == 1
+        assert rules[0].entry.handler == "h"
+
+    def test_value_in_unknown_attribute(self, model):
+        assert model.value_in(model.states[0], "nope", "x") is None
+
+    def test_attribute_index_miss(self, model):
+        assert model.attribute_index("ws", "wrong") is None
+
+
+class TestViolationRecord:
+    def test_short_rendering(self):
+        analysis = analyze_app(WATER.replace("close()", "open()"))
+        text = analysis.violations[0].short()
+        assert text.startswith("[P.")
+        assert "W" in text
+
+
+class TestCliCorpus:
+    def test_corpus_maliot_lists_every_app(self, capsys):
+        code = main(["corpus", "maliot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for i in range(1, 18):
+            assert f"App{i} " in out or f"App{i}\t" in out or f"App{i}" in out
+        assert "VIOLATIONS" in out
+
+
+class TestAnalysisReuse:
+    def test_smartapp_instance_accepted(self):
+        from repro.platform import SmartApp
+
+        app = SmartApp.from_source(WATER, name="named")
+        analysis = analyze_app(app)
+        assert analysis.app.name == "named"
+
+    def test_timings_positive(self):
+        analysis = analyze_app(WATER)
+        assert all(t >= 0 for t in analysis.timings.values())

@@ -1,0 +1,185 @@
+"""App-specific property catalog: applicability, binding, formulas."""
+
+import pytest
+
+from repro import analyze_app
+from repro.properties.appspecific import APP_SPECIFIC_PROPERTIES
+from repro.properties.catalog import default_catalog
+from repro.properties.roles import device_roles
+from repro.ir import build_ir
+from repro.platform import SmartApp
+
+
+def analysis_of(source):
+    return analyze_app(source)
+
+
+class TestCatalogStructure:
+    def test_thirty_properties(self):
+        assert len(APP_SPECIFIC_PROPERTIES) == 30
+        assert [s.id for s in APP_SPECIFIC_PROPERTIES] == [
+            f"P.{i}" for i in range(1, 31)
+        ]
+
+    def test_every_property_has_description_and_variant(self):
+        for spec in APP_SPECIFIC_PROPERTIES:
+            assert spec.description
+            assert spec.variants
+
+    def test_catalog_lookup(self):
+        catalog = default_catalog()
+        assert catalog.by_id("P.30").id == "P.30"
+        with pytest.raises(KeyError):
+            catalog.by_id("P.99")
+
+    def test_applicability_requires_all_devices(self):
+        catalog = default_catalog()
+        specs = catalog.applicable({"waterSensor", "valve"}, {})
+        ids = {s.id for s in specs}
+        assert "P.30" in ids
+        assert "P.1" not in ids  # no lock
+
+
+class TestRoles:
+    def test_light_role_from_handle(self):
+        ir = build_ir(SmartApp.from_source('''
+definition(name: "R")
+preferences { section("s") {
+    input "hall_light", "capability.switch"
+    input "coffee_machine", "capability.switch"
+    input "the_heater", "capability.switch"
+    input "security_system", "capability.switch"
+    input "plain", "capability.switch"
+} }
+def installed() { }
+'''))
+        roles = device_roles(ir)
+        assert "light" in roles["hall_light"]
+        assert "appliance" in roles["coffee_machine"]
+        assert "heater" in roles["the_heater"]
+        assert "critical" in roles["security_system"]
+        assert roles["plain"] == {"generic"}
+
+    def test_title_contributes_roles(self):
+        ir = build_ir(SmartApp.from_source('''
+definition(name: "R")
+preferences { section("s") {
+    input "sw1", "capability.switch", title: "The AC outlet"
+} }
+def installed() { }
+'''))
+        assert "ac" in device_roles(ir)["sw1"]
+
+
+class TestPropertyVerdicts:
+    def test_p30_holds_for_correct_app(self):
+        analysis = analysis_of('''
+definition(name: "Good")
+preferences { section("s") {
+    input "ws", "capability.waterSensor"
+    input "vd", "capability.valve"
+} }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { vd.close() }
+''')
+        assert "P.30" in analysis.checked_properties
+        assert not analysis.violations
+
+    def test_p30_fails_for_inverted_app(self):
+        analysis = analysis_of('''
+definition(name: "Bad")
+preferences { section("s") {
+    input "ws", "capability.waterSensor"
+    input "vd", "capability.valve"
+} }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { vd.open() }
+''')
+        assert "P.30" in analysis.violated_ids()
+        violation = [v for v in analysis.violations if v.property_id == "P.30"][0]
+        assert violation.counterexample
+        assert violation.formula
+
+    def test_p10_holds_when_alarm_clears_after_smoke(self):
+        analysis = analysis_of('''
+definition(name: "Alarm")
+preferences { section("s") {
+    input "sd", "capability.smokeDetector"
+    input "al", "capability.alarm"
+} }
+def installed() { subscribe(sd, "smoke", h) }
+def h(evt) {
+    if (evt.value == "detected") { al.siren() }
+    if (evt.value == "clear") { al.off() }
+}
+''')
+        assert "P.10" in analysis.checked_properties
+        assert "P.10" not in analysis.violated_ids()
+
+    def test_p10_fails_when_alarm_killed_during_smoke(self):
+        analysis = analysis_of('''
+definition(name: "BadAlarm")
+preferences { section("s") {
+    input "sd", "capability.smokeDetector"
+    input "al", "capability.alarm"
+} }
+def installed() { subscribe(app, appTouch, h) }
+def h(evt) {
+    if (sd.currentValue("smoke") == "detected") { al.off() }
+}
+''')
+        assert "P.10" in analysis.violated_ids()
+
+    def test_p22_holds_when_app_responds(self):
+        analysis = analysis_of('''
+definition(name: "Watchdog")
+preferences { section("s") {
+    input "bat", "capability.battery"
+    input "lvl", "number"
+} }
+def installed() { subscribe(bat, "battery", h) }
+def h(evt) {
+    if (bat.currentValue("battery") < lvl) { sendPush("low!") }
+}
+''')
+        assert "P.22" in analysis.checked_properties
+        assert "P.22" not in analysis.violated_ids()
+
+    def test_p22_fails_when_low_battery_ignored(self):
+        analysis = analysis_of('''
+definition(name: "Ignorer")
+preferences { section("s") {
+    input "bat", "capability.battery"
+    input "lvl", "number"
+} }
+def installed() { subscribe(bat, "battery", h) }
+def h(evt) {
+    if (bat.currentValue("battery") < lvl) { log.debug "meh" }
+}
+''')
+        assert "P.22" in analysis.violated_ids()
+
+    def test_p25_bell_when_closed(self):
+        analysis = analysis_of('''
+definition(name: "Bell")
+preferences { section("s") {
+    input "door", "capability.contactSensor"
+    input "bell", "capability.tone"
+} }
+def installed() { subscribe(door, "contact.closed", h) }
+def h(evt) { bell.beep() }
+''')
+        assert "P.25" in analysis.violated_ids()
+
+    def test_formula_text_recorded(self):
+        analysis = analysis_of('''
+definition(name: "Bad")
+preferences { section("s") {
+    input "ws", "capability.waterSensor"
+    input "vd", "capability.valve"
+} }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { vd.open() }
+''')
+        violation = analysis.violations[0]
+        assert "AG" in violation.formula

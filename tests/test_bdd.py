@@ -1,0 +1,202 @@
+"""ROBDD package: canonicity, boolean algebra, quantification, counting."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mc.bdd import BDD
+
+
+@pytest.fixture
+def bdd():
+    manager = BDD()
+    for name in ("a", "b", "c", "d"):
+        manager.add_var(name)
+    return manager
+
+
+class TestBasics:
+    def test_terminals(self, bdd):
+        assert bdd.TRUE == 1 and bdd.FALSE == 0
+
+    def test_variable_evaluation(self, bdd):
+        a = bdd.var("a")
+        assert bdd.evaluate(a, {"a": True})
+        assert not bdd.evaluate(a, {"a": False})
+
+    def test_negated_variable(self, bdd):
+        na = bdd.nvar("a")
+        assert bdd.evaluate(na, {"a": False})
+
+    def test_canonicity_same_function_same_node(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f1 = bdd.or_(a, b)
+        f2 = bdd.not_(bdd.and_(bdd.not_(a), bdd.not_(b)))  # De Morgan
+        assert f1 == f2
+
+    def test_double_negation(self, bdd):
+        a = bdd.var("a")
+        assert bdd.not_(bdd.not_(a)) == a
+
+    def test_tautology_collapses_to_true(self, bdd):
+        a = bdd.var("a")
+        assert bdd.or_(a, bdd.not_(a)) == bdd.TRUE
+
+    def test_contradiction_collapses_to_false(self, bdd):
+        a = bdd.var("a")
+        assert bdd.and_(a, bdd.not_(a)) == bdd.FALSE
+
+    def test_xor_and_iff_duals(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        assert bdd.xor(a, b) == bdd.not_(bdd.iff(a, b))
+
+    def test_implies(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.implies(a, b)
+        assert bdd.evaluate(f, {"a": False, "b": False})
+        assert not bdd.evaluate(f, {"a": True, "b": False})
+
+
+class TestQuantification:
+    def test_exists_removes_variable(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.and_(a, b)
+        g = bdd.exists(["a"], f)
+        assert g == b
+
+    def test_exists_of_tautology_in_var(self, bdd):
+        a = bdd.var("a")
+        assert bdd.exists(["a"], a) == bdd.TRUE
+
+    def test_forall(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.or_(a, b)
+        assert bdd.forall(["a"], f) == b
+
+    def test_rename(self, bdd):
+        a, c = bdd.var("a"), bdd.var("c")
+        f = bdd.rename(a, {"a": "c"})
+        assert f == c
+
+    def test_rename_swap_order_safe(self, bdd):
+        # Rename d -> a moves a node *up* the order; composition handles it.
+        d, b = bdd.var("d"), bdd.var("b")
+        f = bdd.and_(d, b)
+        g = bdd.rename(f, {"d": "a"})
+        assert bdd.evaluate(g, {"a": True, "b": True})
+        assert not bdd.evaluate(g, {"a": False, "b": True})
+
+    def test_restrict(self, bdd):
+        a, b = bdd.var("a"), bdd.var("b")
+        f = bdd.and_(a, b)
+        assert bdd.restrict(f, {"a": True}) == b
+        assert bdd.restrict(f, {"a": False}) == bdd.FALSE
+
+
+class TestCountingAndSat:
+    def test_count_single_variable(self, bdd):
+        assert bdd.count_sat(bdd.var("a")) == 8  # 1 fixed, 3 free
+
+    def test_count_conjunction(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.var("b"))
+        assert bdd.count_sat(f) == 4
+
+    def test_count_true_false(self, bdd):
+        assert bdd.count_sat(bdd.TRUE) == 16
+        assert bdd.count_sat(bdd.FALSE) == 0
+
+    def test_any_sat(self, bdd):
+        f = bdd.and_(bdd.var("a"), bdd.nvar("c"))
+        assignment = bdd.any_sat(f)
+        full = {"a": False, "b": False, "c": False, "d": False, **assignment}
+        assert bdd.evaluate(f, full)
+
+    def test_any_sat_of_false(self, bdd):
+        assert bdd.any_sat(bdd.FALSE) is None
+
+    def test_size(self, bdd):
+        a = bdd.var("a")
+        assert bdd.size(a) == 3  # node + two terminals
+
+
+# ----------------------------------------------------------------------
+# Property-based: BDD operations agree with truth tables.
+# ----------------------------------------------------------------------
+_VARS = ["a", "b", "c"]
+
+
+@st.composite
+def boolean_exprs(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return ("var", draw(st.sampled_from(_VARS)))
+    op = draw(st.sampled_from(["and", "or", "not", "xor"]))
+    if op == "not":
+        return ("not", draw(boolean_exprs(depth=depth + 1)))
+    return (op, draw(boolean_exprs(depth=depth + 1)), draw(boolean_exprs(depth=depth + 1)))
+
+
+def _eval_expr(expr, env):
+    kind = expr[0]
+    if kind == "var":
+        return env[expr[1]]
+    if kind == "not":
+        return not _eval_expr(expr[1], env)
+    left = _eval_expr(expr[1], env)
+    right = _eval_expr(expr[2], env)
+    return {"and": left and right, "or": left or right, "xor": left != right}[kind]
+
+
+def _build_bdd(manager, expr):
+    kind = expr[0]
+    if kind == "var":
+        return manager.var(expr[1])
+    if kind == "not":
+        return manager.not_(_build_bdd(manager, expr[1]))
+    left = _build_bdd(manager, expr[1])
+    right = _build_bdd(manager, expr[2])
+    return {
+        "and": manager.and_,
+        "or": manager.or_,
+        "xor": manager.xor,
+    }[kind](left, right)
+
+
+@settings(max_examples=80, deadline=None)
+@given(boolean_exprs())
+def test_bdd_matches_truth_table(expr):
+    manager = BDD()
+    for name in _VARS:
+        manager.add_var(name)
+    node = _build_bdd(manager, expr)
+    for values in itertools.product([False, True], repeat=len(_VARS)):
+        env = dict(zip(_VARS, values))
+        assert manager.evaluate(node, env) == _eval_expr(expr, env)
+
+
+@settings(max_examples=40, deadline=None)
+@given(boolean_exprs())
+def test_count_sat_matches_truth_table(expr):
+    manager = BDD()
+    for name in _VARS:
+        manager.add_var(name)
+    node = _build_bdd(manager, expr)
+    expected = sum(
+        _eval_expr(expr, dict(zip(_VARS, values)))
+        for values in itertools.product([False, True], repeat=len(_VARS))
+    )
+    assert manager.count_sat(node, nvars=len(_VARS)) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(boolean_exprs(), st.sampled_from(_VARS))
+def test_exists_is_disjunction_of_cofactors(expr, var):
+    manager = BDD()
+    for name in _VARS:
+        manager.add_var(name)
+    node = _build_bdd(manager, expr)
+    quantified = manager.exists([var], node)
+    expected = manager.or_(
+        manager.restrict(node, {var: False}), manager.restrict(node, {var: True})
+    )
+    assert quantified == expected

@@ -1,0 +1,97 @@
+"""Corpus integrity: loading, parsing, structure of all 82 apps."""
+
+import pytest
+
+from repro.corpus import groundtruth
+from repro.corpus.loader import app_ids, load_app, load_corpus, load_source
+from repro.ir import build_ir
+
+
+class TestLoading:
+    def test_dataset_sizes(self):
+        assert len(app_ids("official")) == 35
+        assert len(app_ids("thirdparty")) == 30
+        assert len(app_ids("maliot")) == 17
+
+    def test_ids_normalised(self):
+        assert app_ids("official")[0] == "O1"
+        assert app_ids("maliot")[0] == "App1"
+
+    def test_ids_numerically_ordered(self):
+        ids = app_ids("official")
+        assert ids.index("O2") < ids.index("O10")
+
+    def test_load_app_names_match_ids(self):
+        app = load_app("TP4")
+        assert app.name == "TP4"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            app_ids("bogus")
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            load_source("O99")
+
+    def test_load_corpus_returns_all(self):
+        corpus = load_corpus("maliot")
+        assert set(corpus) == {f"App{i}" for i in range(1, 18)}
+
+
+@pytest.mark.parametrize("dataset", ["official", "thirdparty", "maliot"])
+def test_every_app_parses_and_builds_ir(dataset):
+    for app_id, app in load_corpus(dataset).items():
+        ir = build_ir(app)
+        assert ir.permissions, f"{app_id} has no permissions"
+        if app_id != "App10":  # App10's point is dynamic preferences
+            assert ir.entry_points, f"{app_id} has no entry points"
+
+
+@pytest.mark.parametrize("dataset", ["official", "thirdparty", "maliot"])
+def test_every_app_has_definition_metadata(dataset):
+    for app_id, app in load_corpus(dataset).items():
+        assert app.metadata.get("name"), app_id
+        assert app.metadata.get("description"), app_id
+
+
+def test_loc_in_realistic_range():
+    for dataset in ("official", "thirdparty", "maliot"):
+        for app_id, app in load_corpus(dataset).items():
+            assert 10 <= app.loc() <= 300, (app_id, app.loc())
+
+
+class TestGroundTruthConsistency:
+    def test_maliot_totals(self):
+        assert groundtruth.maliot_violation_count() == 20
+        assert groundtruth.maliot_detectable_count() == 17
+        assert (
+            groundtruth.MALIOT_TOTAL_VIOLATIONS
+            - groundtruth.MALIOT_MISSED
+            == groundtruth.MALIOT_DETECTED
+        )
+
+    def test_table4_headline_numbers(self):
+        assert sum(len(g.apps) for g in groundtruth.TABLE4_GROUPS) == 17
+        assert sum(len(g.violated) for g in groundtruth.TABLE4_GROUPS) == 11
+
+    def test_table3_headline_numbers(self):
+        assert len(groundtruth.TABLE3_INDIVIDUAL) == groundtruth.TABLE3_APP_COUNT
+        pairs = sum(len(v) for v in groundtruth.TABLE3_INDIVIDUAL.values())
+        assert pairs >= groundtruth.TABLE3_DISTINCT_PROPERTY_COUNT
+
+    def test_group_apps_exist_in_corpus(self):
+        official = set(app_ids("official"))
+        thirdparty = set(app_ids("thirdparty"))
+        for group in groundtruth.TABLE4_GROUPS:
+            for app_id in group.apps:
+                assert app_id in official | thirdparty, app_id
+
+    def test_maliot_environment_apps_exist(self):
+        maliot = set(app_ids("maliot"))
+        for group, _prop in groundtruth.MALIOT_ENVIRONMENTS:
+            assert set(group) <= maliot
+
+    def test_maliot_apps_have_ground_truth_comment(self):
+        for entry in groundtruth.MALIOT_GROUND_TRUTH:
+            source = load_source(entry.app_id)
+            assert "GROUND-TRUTH" in source, entry.app_id

@@ -1,0 +1,105 @@
+"""CTL formula AST and parser."""
+
+import pytest
+
+from repro.mc import ctl
+from repro.mc.ctl import CTLParseError, parse_ctl
+
+
+class TestParser:
+    def test_prop(self):
+        assert parse_ctl("p") == ctl.Prop("p")
+
+    def test_quoted_prop_with_spaces(self):
+        formula = parse_ctl('"attr:p.presence=not present"')
+        assert formula == ctl.Prop("attr:p.presence=not present")
+
+    def test_prop_with_punctuation(self):
+        formula = parse_ctl("attr:sw.switch=on")
+        assert formula == ctl.Prop("attr:sw.switch=on")
+
+    def test_boolean_constants(self):
+        assert parse_ctl("true") is ctl.TRUE
+        assert parse_ctl("false") is ctl.FALSE
+
+    def test_negation(self):
+        assert parse_ctl("!p") == ctl.Not(ctl.Prop("p"))
+
+    def test_and_or_precedence(self):
+        formula = parse_ctl("a & b | c")
+        assert isinstance(formula, ctl.Or)
+        assert isinstance(formula.left, ctl.And)
+
+    def test_implication_right_assoc(self):
+        formula = parse_ctl("a -> b -> c")
+        assert isinstance(formula, ctl.Implies)
+        assert isinstance(formula.right, ctl.Implies)
+
+    @pytest.mark.parametrize(
+        "text,node",
+        [
+            ("AG p", ctl.AG),
+            ("AF p", ctl.AF),
+            ("AX p", ctl.AX),
+            ("EG p", ctl.EG),
+            ("EF p", ctl.EF),
+            ("EX p", ctl.EX),
+        ],
+    )
+    def test_unary_temporal(self, text, node):
+        formula = parse_ctl(text)
+        assert isinstance(formula, node)
+        assert formula.operand == ctl.Prop("p")
+
+    def test_until(self):
+        formula = parse_ctl("E [ p U q ]")
+        assert formula == ctl.EU(ctl.Prop("p"), ctl.Prop("q"))
+        formula = parse_ctl("A [ p U q ]")
+        assert formula == ctl.AU(ctl.Prop("p"), ctl.Prop("q"))
+
+    def test_nested(self):
+        formula = parse_ctl("AG (ev:smoke.detected -> AF attr:alarm.alarm=siren)")
+        assert isinstance(formula, ctl.AG)
+        assert isinstance(formula.operand, ctl.Implies)
+        assert isinstance(formula.operand.right, ctl.AF)
+
+    def test_double_ampersand_accepted(self):
+        assert parse_ctl("a && b") == ctl.And(ctl.Prop("a"), ctl.Prop("b"))
+
+    def test_parse_round_trip_via_str(self):
+        texts = [
+            "AG (p -> AF q)",
+            "E [p U (q & !r)]",
+            "!(a | b)",
+            "AX (p & EG q)",
+        ]
+        for text in texts:
+            formula = parse_ctl(text)
+            assert parse_ctl(str(formula)) == formula
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CTLParseError):
+            parse_ctl("p q")
+
+    def test_unterminated_until(self):
+        with pytest.raises(CTLParseError):
+            parse_ctl("E [ p U q")
+
+    def test_unterminated_quote(self):
+        with pytest.raises(CTLParseError):
+            parse_ctl('"p')
+
+
+class TestFormulaAPI:
+    def test_operator_sugar(self):
+        p, q = ctl.Prop("p"), ctl.Prop("q")
+        assert (p & q) == ctl.And(p, q)
+        assert (p | q) == ctl.Or(p, q)
+        assert (~p) == ctl.Not(p)
+
+    def test_atoms_collected(self):
+        formula = parse_ctl("AG (a -> E [b U c])")
+        assert formula.atoms() == {"a", "b", "c"}
+
+    def test_formulas_hashable(self):
+        assert len({parse_ctl("AG p"), parse_ctl("AG p")}) == 1

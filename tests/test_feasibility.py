@@ -1,0 +1,171 @@
+"""The custom path-condition checker — unit + property-based tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.feasibility import is_feasible
+from repro.analysis.predicates import Atom, negate_atom
+from repro.analysis.values import Const, DeviceRead, EventValue, UserInput
+
+POWER = DeviceRead("meter", "power")
+EVT = EventValue()
+
+
+def atom(lhs, op, rhs):
+    return Atom(lhs=lhs, op=op, rhs=rhs)
+
+
+class TestNumericIntervals:
+    def test_empty_condition_feasible(self):
+        assert is_feasible(())
+
+    def test_single_atom_feasible(self):
+        assert is_feasible((atom(POWER, ">", Const(50)),))
+
+    def test_contradictory_bounds(self):
+        assert not is_feasible(
+            (atom(POWER, ">", Const(50)), atom(POWER, "<", Const(5)))
+        )
+
+    def test_compatible_bounds(self):
+        assert is_feasible(
+            (atom(POWER, ">", Const(5)), atom(POWER, "<", Const(50)))
+        )
+
+    def test_paper_example_x_gt1_and_x_lt0(self):
+        x = UserInput("x")
+        assert not is_feasible((atom(x, ">", Const(1)), atom(x, "<", Const(0))))
+
+    def test_boundary_strictness(self):
+        assert not is_feasible(
+            (atom(POWER, ">", Const(10)), atom(POWER, "<=", Const(10)))
+        )
+        assert is_feasible(
+            (atom(POWER, ">=", Const(10)), atom(POWER, "<=", Const(10)))
+        )
+
+    def test_equality_within_range(self):
+        assert is_feasible(
+            (atom(POWER, "==", Const(20)), atom(POWER, "<", Const(50)))
+        )
+
+    def test_equality_outside_range(self):
+        assert not is_feasible(
+            (atom(POWER, "==", Const(100)), atom(POWER, "<", Const(50)))
+        )
+
+    def test_two_different_equalities(self):
+        assert not is_feasible(
+            (atom(POWER, "==", Const(1)), atom(POWER, "==", Const(2)))
+        )
+
+    def test_equality_vs_exclusion(self):
+        assert not is_feasible(
+            (atom(POWER, "==", Const(5)), atom(POWER, "!=", Const(5)))
+        )
+
+
+class TestStringsAndEvents:
+    def test_event_value_two_strings(self):
+        assert not is_feasible(
+            (atom(EVT, "==", Const("detected")), atom(EVT, "==", Const("clear")))
+        )
+
+    def test_event_value_eq_and_neq(self):
+        assert is_feasible(
+            (atom(EVT, "==", Const("detected")), atom(EVT, "!=", Const("clear")))
+        )
+
+    def test_truthy_falsy_conflict(self):
+        a = Atom(lhs=UserInput("flag"), op="truthy")
+        b = Atom(lhs=UserInput("flag"), op="falsy")
+        assert not is_feasible((a, b))
+        assert is_feasible((a,))
+
+    def test_distinct_expressions_independent(self):
+        other = DeviceRead("meter2", "power")
+        assert is_feasible(
+            (atom(POWER, ">", Const(50)), atom(other, "<", Const(5)))
+        )
+
+
+class TestSymbolicPairs:
+    def test_symbolic_eq_then_neq(self):
+        t = UserInput("thrshld")
+        assert not is_feasible((atom(POWER, "==", t), atom(POWER, "!=", t)))
+
+    def test_symbolic_lt_then_ge(self):
+        t = UserInput("thrshld")
+        assert not is_feasible((atom(POWER, "<", t), atom(POWER, ">=", t)))
+
+    def test_swapped_orientation_detected(self):
+        t = UserInput("thrshld")
+        # power < t together with t < power is a contradiction.
+        assert not is_feasible((atom(POWER, "<", t), atom(t, "<", POWER)))
+
+    def test_reflexive_lt_infeasible(self):
+        assert not is_feasible((atom(POWER, "<", POWER),))
+
+    def test_reflexive_eq_feasible(self):
+        assert is_feasible((atom(POWER, "==", POWER),))
+
+    def test_unrelated_symbolic_conservative(self):
+        a = UserInput("a")
+        b = UserInput("b")
+        assert is_feasible((atom(POWER, "<", a), atom(POWER, ">", b)))
+
+
+# ----------------------------------------------------------------------
+# Property-based: the checker must agree with a brute-force evaluation
+# over a small concrete domain.
+# ----------------------------------------------------------------------
+_OPS = ["==", "!=", "<", "<=", ">", ">="]
+
+
+@st.composite
+def numeric_conditions(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    atoms = []
+    for _ in range(n):
+        op = draw(st.sampled_from(_OPS))
+        const = draw(st.integers(min_value=0, max_value=6))
+        atoms.append(atom(POWER, op, Const(const)))
+    return tuple(atoms)
+
+
+def _brute_force_feasible(condition) -> bool:
+    candidates = [x / 2.0 for x in range(-2, 16)]
+    for value in candidates:
+        ok = True
+        for a in condition:
+            c = float(a.rhs.value)
+            ok &= {
+                "==": value == c,
+                "!=": value != c,
+                "<": value < c,
+                "<=": value <= c,
+                ">": value > c,
+                ">=": value >= c,
+            }[a.op]
+        if ok:
+            return True
+    return False
+
+
+@given(numeric_conditions())
+def test_checker_agrees_with_brute_force(condition):
+    # The checker must be *sound*: never call a satisfiable condition
+    # infeasible.  On this constant-only fragment it is also exact.
+    assert is_feasible(condition) == _brute_force_feasible(condition)
+
+
+@given(numeric_conditions())
+def test_atom_with_its_negation_is_infeasible(condition):
+    first = condition[0]
+    assert not is_feasible((first, negate_atom(first)))
+
+
+@given(numeric_conditions())
+def test_subset_monotonicity(condition):
+    # Dropping atoms can only make a condition easier to satisfy.
+    if is_feasible(condition):
+        assert is_feasible(condition[:-1])

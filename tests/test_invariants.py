@@ -1,0 +1,179 @@
+"""Cross-cutting invariants over the pipeline (integration level)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import build_ir
+from repro.mc import parse_ctl
+from repro.mc.explicit import ExplicitChecker
+from repro.model import build_kripke, build_union_model, extract_model
+from repro.model.kripke import KripkeState, KripkeStructure
+from repro.platform import SmartApp
+from repro.platform.events import EventKind
+
+APP_A = '''
+definition(name: "A")
+preferences { section("s") {
+    input "the_switch", "capability.switch", required: true
+    input "the_contact", "capability.contactSensor", required: true
+} }
+def installed(){ subscribe(the_contact, "contact.open", h) }
+def h(evt){ the_switch.on() }
+'''
+
+APP_B = '''
+definition(name: "B")
+preferences { section("s") {
+    input "the_switch", "capability.switch", required: true
+    input "the_motion", "capability.motionSensor", required: true
+} }
+def installed(){ subscribe(the_motion, "motion.active", h) }
+def h(evt){ the_switch.off() }
+'''
+
+
+def model_of(source):
+    return extract_model(build_ir(SmartApp.from_source(source)))
+
+
+class TestModelInvariants:
+    @pytest.mark.parametrize("source", [APP_A, APP_B])
+    def test_transitions_reference_valid_states(self, source):
+        model = model_of(source)
+        states = set(model.states)
+        for t in model.transitions:
+            assert t.source in states
+            assert t.target in states
+
+    @pytest.mark.parametrize("source", [APP_A, APP_B])
+    def test_device_event_moves_event_attribute(self, source):
+        model = model_of(source)
+        for t in model.transitions:
+            if t.event.kind is EventKind.DEVICE and t.event.value is not None:
+                index = model.attribute_index(t.event.device, t.event.attribute)
+                assert t.target[index] == t.event.value
+
+    @pytest.mark.parametrize("source", [APP_A, APP_B])
+    def test_extraction_is_deterministic(self, source):
+        first = model_of(source)
+        second = model_of(source)
+        assert first.states == second.states
+        assert first.transitions == second.transitions
+
+    def test_state_count_is_domain_product(self):
+        model = model_of(APP_A)
+        product = 1
+        for attr in model.attributes:
+            product *= len(attr.domain)
+        assert model.size() == product
+
+
+class TestUnionInvariants:
+    def test_union_projection_soundness(self):
+        """Every union transition of app X, projected onto X's attributes,
+        matches a transition of X's own model (up to re-stimulation)."""
+        a, b = model_of(APP_A), model_of(APP_B)
+        union = build_union_model([a, b])
+
+        def project(state, base_model, union_model):
+            values = []
+            for attr in base_model.attributes:
+                idx = union_model.attribute_index(attr.device, attr.attribute)
+                values.append(state[idx])
+            return tuple(values)
+
+        own = {
+            "A": {(t.source, t.target, t.event.label()) for t in a.transitions},
+            "B": {(t.source, t.target, t.event.label()) for t in b.transitions},
+        }
+        base = {"A": a, "B": b}
+        for t in union.transitions:
+            model = base[t.app]
+            key = (
+                project(t.source, model, union),
+                project(t.target, model, union),
+                t.event.label(),
+            )
+            src, dst, label = key
+            # Either an exact projected transition, or a re-stimulated one
+            # (source already carries the event value).
+            assert key in own[t.app] or src == dst or any(
+                (s, dst, label) in own[t.app] for s in model.states
+            )
+
+    def test_union_is_commutative_in_states(self):
+        a, b = model_of(APP_A), model_of(APP_B)
+        ab = build_union_model([a, b])
+        ba = build_union_model([b, a])
+        assert ab.size() == ba.size()
+        assert len(ab.transitions) == len(ba.transitions)
+
+
+class TestKripkeInvariants:
+    def test_attr_labels_match_state(self):
+        model = model_of(APP_A)
+        kripke = build_kripke(model)
+        for node in kripke.states:
+            for attr, value in zip(model.attributes, node.state):
+                prop = f"attr:{attr.device}.{attr.attribute}={value}"
+                assert prop in kripke.labels[node]
+
+    def test_every_noninitial_node_has_event_prop(self):
+        model = model_of(APP_A)
+        kripke = build_kripke(model)
+        for node in kripke.states:
+            if node.incoming:
+                assert any(p.startswith("ev:") for p in kripke.labels[node])
+
+
+# ----------------------------------------------------------------------
+# CTL dualities on random structures (semantic self-consistency).
+# ----------------------------------------------------------------------
+def _random_kripke(seed):
+    rng = random.Random(seed)
+    n = rng.randint(3, 8)
+    states = [KripkeState(state=(str(i),), incoming=()) for i in range(n)]
+    kripke = KripkeStructure()
+    kripke.states = states
+    kripke.initial = [states[0]]
+    for s in states:
+        kripke.succ[s] = rng.sample(states, k=rng.randint(1, min(3, n)))
+        kripke.labels[s] = frozenset(
+            p for p in ("p", "q") if rng.random() < 0.5
+        )
+    return kripke
+
+
+_DUALITIES = [
+    ("AG p", "!(E [ true U !p ])"),
+    ("AF p", "!EG !p"),
+    ("AX p", "!EX !p"),
+    ("EF p", "E [ true U p ]"),
+    ("AG (p -> q)", "!EF (p & !q)"),
+]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_ctl_dualities(seed):
+    kripke = _random_kripke(seed)
+    checker = ExplicitChecker(kripke)
+    for left, right in _DUALITIES:
+        assert checker.sat(parse_ctl(left)) == checker.sat(parse_ctl(right)), (
+            left,
+            right,
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_ctl_monotonicity_ef_subsumes_prop(seed):
+    kripke = _random_kripke(seed)
+    checker = ExplicitChecker(kripke)
+    prop = checker.sat(parse_ctl("p"))
+    ef = checker.sat(parse_ctl("EF p"))
+    ag = checker.sat(parse_ctl("AG p"))
+    assert prop <= ef
+    assert ag <= prop

@@ -1,0 +1,263 @@
+"""IR builder, CFG/ICFG, reaching definitions, call graphs."""
+
+import pytest
+
+from repro.ir import build_ir
+from repro.ir.cfg import ICFG, NodeKind, ReachingDefinitions, build_cfg
+from repro.ir.callgraph import build_call_graph
+from repro.ir.ir import PermissionKind
+from repro.platform import SmartApp
+from repro.platform.events import EventKind
+
+THERMO = '''
+definition(name: "T")
+preferences {
+    section("C") {
+        input "ther", "capability.thermostat", required: true
+        input "power_meter", "capability.powerMeter", required: true
+        input "price_kwh", "number", title: "threshold", required: true
+        input "the_switch", "capability.switch", required: true
+    }
+}
+def installed(){ initialize() }
+def updated(){ unsubscribe(); initialize() }
+def initialize(){
+    subscribe(location, "mode", modeChangeHandler)
+    subscribe(power_meter, "power", powerHandler)
+    subscribe(app, appTouch, touchHandler)
+}
+def modeChangeHandler(evt) {
+    def temp = 68
+    setTemp(temp)
+}
+def setTemp(t){ ther.setHeatingSetpoint(t) }
+def powerHandler(evt){
+    if (get_power() > 50) { the_switch.off() }
+    runIn(300, recheck)
+}
+def recheck(){ the_switch.on() }
+def get_power(){
+    return power_meter.currentValue("power")
+}
+def touchHandler(evt){ the_switch.on() }
+'''
+
+
+@pytest.fixture(scope="module")
+def ir():
+    return build_ir(SmartApp.from_source(THERMO))
+
+
+class TestPermissions:
+    def test_device_permissions(self, ir):
+        handles = {p.handle for p in ir.devices()}
+        assert handles == {"ther", "power_meter", "the_switch"}
+
+    def test_user_inputs(self, ir):
+        assert [p.handle for p in ir.user_inputs()] == ["price_kwh"]
+
+    def test_permission_kinds(self, ir):
+        assert ir.device("ther").kind is PermissionKind.DEVICE
+        assert ir.user_input("price_kwh").kind is PermissionKind.USER_DEFINED
+
+    def test_capabilities_used(self, ir):
+        assert ir.capabilities_used() == {"thermostat", "powerMeter", "switch"}
+
+    def test_render_matches_paper_format(self, ir):
+        text = ir.render()
+        assert "input (ther, thermostat, type:device)" in text
+        assert "input (price_kwh, number, type:user_defined)" in text
+
+
+class TestSubscriptions:
+    def test_mode_subscription(self, ir):
+        events = [s.event for s in ir.subscriptions]
+        assert any(e.kind is EventKind.MODE for e in events)
+
+    def test_device_subscription(self, ir):
+        events = [s.event for s in ir.subscriptions]
+        assert any(
+            e.kind is EventKind.DEVICE and e.device == "power_meter" for e in events
+        )
+
+    def test_app_touch_subscription(self, ir):
+        events = [s.event for s in ir.subscriptions]
+        assert any(e.kind is EventKind.APP_TOUCH for e in events)
+
+    def test_run_in_creates_timer_entry(self, ir):
+        handlers = {e.handler for e in ir.entry_points}
+        assert "recheck" in handlers
+        timer_entries = [
+            e for e in ir.entry_points if e.event.kind is EventKind.TIMER
+        ]
+        assert timer_entries
+
+    def test_entry_point_per_subscription(self, ir):
+        assert len(ir.entry_points) == len(
+            {(s.event, s.handler) for s in ir.subscriptions}
+        )
+
+    def test_value_subscription_split(self):
+        app = SmartApp.from_source('''
+definition(name: "V")
+preferences { section("s") { input "ws", "capability.waterSensor" } }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { }
+''')
+        ir2 = build_ir(app)
+        event = ir2.subscriptions[0].event
+        assert (event.attribute, event.value) == ("water", "wet")
+
+    def test_dynamic_preferences_flagged(self):
+        app = SmartApp.from_source('''
+definition(name: "D")
+preferences {
+    dynamicPage(name: "p") {
+        section("s") { input "sw", "capability.switch" }
+    }
+}
+def installed() { }
+''')
+        assert build_ir(app).has_dynamic_preferences
+
+    def test_sink_calls_recorded(self):
+        app = SmartApp.from_source('''
+definition(name: "S")
+preferences { section("s") { input "p", "capability.presenceSensor" } }
+def installed() { subscribe(p, "presence", h) }
+def h(evt) { sendSms("555", "gone") }
+''')
+        ir2 = build_ir(app)
+        assert [name for name, _line in ir2.sink_calls] == ["sendSms"]
+
+
+class TestCFG:
+    def test_straight_line(self):
+        app = SmartApp.from_source("def f() { a()\n b() }")
+        cfg = build_cfg(app.module.methods["f"])
+        stmts = cfg.statements()
+        assert len(stmts) == 2
+        assert cfg.nodes[cfg.entry].kind is NodeKind.ENTRY
+
+    def test_if_creates_branch(self):
+        app = SmartApp.from_source("def f() { if (x) { a() } else { b() } }")
+        cfg = build_cfg(app.module.methods["f"])
+        branches = [n for n in cfg.nodes.values() if n.kind is NodeKind.BRANCH]
+        assert len(branches) == 1
+        labels = {label for _dst, label in cfg.succ[branches[0].id]}
+        assert labels == {"true", "false"}
+
+    def test_return_edges_to_exit(self):
+        app = SmartApp.from_source("def f() { if (x) { return 1 }\n b() }")
+        cfg = build_cfg(app.module.methods["f"])
+        returns = [n for n in cfg.statements() if "Return" in type(n.stmt).__name__]
+        assert all(
+            any(dst == cfg.exit for dst, _l in cfg.succ[r.id]) for r in returns
+        )
+
+    def test_while_loops_back(self):
+        app = SmartApp.from_source("def f() { while (x) { a() } }")
+        cfg = build_cfg(app.module.methods["f"])
+        branch = [n for n in cfg.nodes.values() if n.kind is NodeKind.BRANCH][0]
+        body = [n for n in cfg.statements()][0]
+        assert any(dst == branch.id for dst, _l in cfg.succ[body.id])
+
+    def test_every_node_reaches_exit(self):
+        app = SmartApp.from_source(
+            "def f() { if (a) { x() } else { y() }\n z() }"
+        )
+        cfg = build_cfg(app.module.methods["f"])
+        # BFS backwards from exit
+        seen = {cfg.exit}
+        frontier = [cfg.exit]
+        while frontier:
+            node = frontier.pop()
+            for pred in cfg.pred[node]:
+                if pred not in seen:
+                    seen.add(pred)
+                    frontier.append(pred)
+        assert set(cfg.nodes) == seen
+
+
+class TestICFGAndReachingDefs:
+    def test_call_sites_found(self):
+        app = SmartApp.from_source(THERMO)
+        icfg = ICFG(app.module.methods)
+        callees = {site.callee for site in icfg.call_sites}
+        assert {"initialize", "setTemp", "get_power"} <= callees
+
+    def test_param_binding_reaches_callee(self):
+        app = SmartApp.from_source(THERMO)
+        icfg = ICFG(app.module.methods)
+        rd = ReachingDefinitions(icfg)
+        target = [
+            n
+            for n in icfg.nodes.values()
+            if n.method == "setTemp" and n.kind is NodeKind.STMT
+        ][0]
+        defs = rd.reaching(target.id, "t")
+        assert defs, "parameter binding should reach the call body"
+
+    def test_local_def_reaches_use(self):
+        app = SmartApp.from_source("def f() { def x = 1\n g(x) }")
+        icfg = ICFG(app.module.methods)
+        rd = ReachingDefinitions(icfg)
+        use = [n for n in icfg.nodes.values() if n.line == 1 and n.stmt and "g" in str(getattr(n.stmt, 'expr', ''))]
+        stmts = [n for n in icfg.nodes.values() if n.kind is NodeKind.STMT]
+        last = stmts[-1]
+        assert rd.reaching(last.id, "x")
+
+    def test_kill_shadows_earlier_def(self):
+        app = SmartApp.from_source("def f() { x = 1\n x = 2\n g(x) }")
+        icfg = ICFG(app.module.methods)
+        rd = ReachingDefinitions(icfg)
+        stmts = [n for n in icfg.nodes.values() if n.kind is NodeKind.STMT]
+        defs = rd.reaching(stmts[-1].id, "x")
+        assert len(defs) == 1
+
+    def test_branch_merges_defs(self):
+        app = SmartApp.from_source(
+            "def f() { if (c) { x = 1 } else { x = 2 }\n g(x) }"
+        )
+        icfg = ICFG(app.module.methods)
+        rd = ReachingDefinitions(icfg)
+        stmts = [n for n in icfg.nodes.values() if n.kind is NodeKind.STMT]
+        defs = rd.reaching(stmts[-1].id, "x")
+        assert len(defs) == 2
+
+    def test_state_field_sensitive(self):
+        app = SmartApp.from_source(
+            "def f() { state.a = 1\n state.b = 2\n g(state.a) }"
+        )
+        icfg = ICFG(app.module.methods)
+        rd = ReachingDefinitions(icfg)
+        stmts = [n for n in icfg.nodes.values() if n.kind is NodeKind.STMT]
+        defs_a = rd.reaching(stmts[-1].id, "state.a")
+        defs_b = rd.reaching(stmts[-1].id, "state.b")
+        assert len(defs_a) == 1
+        assert len(defs_b) == 1
+
+
+class TestCallGraph:
+    def test_direct_calls(self):
+        app = SmartApp.from_source(THERMO)
+        graph = build_call_graph(app.module.methods, "modeChangeHandler")
+        assert "setTemp" in graph.nodes
+        assert not graph.uses_reflection
+
+    def test_reflection_over_approximates(self):
+        app = SmartApp.from_source('''
+def h(evt) { "$name"() }
+def foo() { }
+def bar() { }
+def installed() { }
+''')
+        graph = build_call_graph(app.module.methods, "h")
+        assert graph.uses_reflection
+        assert {"foo", "bar"} <= graph.nodes
+        assert "installed" not in graph.nodes  # lifecycle excluded
+        assert all(e.reflective for e in graph.edges)
+
+    def test_unknown_root(self):
+        graph = build_call_graph({}, "missing")
+        assert not graph.nodes

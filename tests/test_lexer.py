@@ -1,0 +1,182 @@
+"""Lexer tests: tokens, strings, GStrings, comments, operators."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.tokens import Interp, TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.NEWLINE][:-1]
+
+
+def values(source):
+    return [
+        t.value
+        for t in tokenize(source)
+        if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)
+    ]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("foo") == [TokenKind.IDENT]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("the_switch2") == ["the_switch2"]
+
+    def test_keyword_def(self):
+        assert kinds("def") == [TokenKind.KEYWORD]
+
+    def test_keywords_true_false_null(self):
+        assert kinds("true false null") == [TokenKind.KEYWORD] * 3
+
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].value == 42
+
+    def test_float(self):
+        assert tokenize("3.5")[0].value == 3.5
+
+    def test_float_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+
+    def test_long_suffix_stripped(self):
+        assert tokenize("10L")[0].value == 10
+
+    def test_number_then_range_not_float(self):
+        ks = kinds("1..5")
+        assert ks == [TokenKind.NUMBER, TokenKind.RANGE, TokenKind.NUMBER]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        ident_b = [t for t in tokens if t.value == "b"][0]
+        assert (ident_b.line, ident_b.col) == (2, 3)
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_double_quoted_plain_is_string(self):
+        token = tokenize('"hello"')[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r"'a\nb'")[0].value == "a\nb"
+
+    def test_escaped_quote(self):
+        assert tokenize(r'"say \"hi\""')[0].value == 'say "hi"'
+
+    def test_escaped_dollar_stays_literal(self):
+        assert tokenize(r'"\$100"')[0].value == "$100"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_triple_single_quoted(self):
+        assert tokenize("'''a\nb'''")[0].value == "a\nb"
+
+    def test_gstring_simple_interpolation(self):
+        token = tokenize('"value: $evt"')[0]
+        assert token.kind is TokenKind.GSTRING
+        assert token.value == ("value: ", Interp("evt"))
+
+    def test_gstring_dotted_interpolation(self):
+        token = tokenize('"$evt.value ok"')[0]
+        assert token.value == (Interp("evt.value"), " ok")
+
+    def test_gstring_braced_interpolation(self):
+        token = tokenize('"${ x + 1 }"')[0]
+        assert token.value == (Interp(" x + 1 "),)
+
+    def test_gstring_nested_braces(self):
+        token = tokenize('"${ m[{it}] }"')[0]
+        assert isinstance(token.value[0], Interp)
+
+    def test_bare_dollar_not_interpolation(self):
+        token = tokenize('"100$"')[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "100$"
+
+    def test_unterminated_interpolation_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"${x"')
+
+
+class TestCommentsAndOperators:
+    def test_line_comment_skipped(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_two_char_operators(self):
+        ks = kinds("== != <= >= && || ?: ?. -> ..")
+        assert ks == [
+            TokenKind.EQ,
+            TokenKind.NEQ,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.AND,
+            TokenKind.OR,
+            TokenKind.ELVIS,
+            TokenKind.SAFE_DOT,
+            TokenKind.ARROW,
+            TokenKind.RANGE,
+        ]
+
+    def test_spaceship(self):
+        assert kinds("a <=> b")[1] is TokenKind.SPACESHIP
+
+    def test_increment_decrement(self):
+        assert kinds("i++ j--") == [
+            TokenKind.IDENT,
+            TokenKind.INCREMENT,
+            TokenKind.IDENT,
+            TokenKind.DECREMENT,
+        ]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestNewlineHandling:
+    def test_newline_token_emitted(self):
+        tokens = tokenize("a\nb")
+        assert TokenKind.NEWLINE in [t.kind for t in tokens]
+
+    def test_newlines_suppressed_inside_parens(self):
+        tokens = tokenize("f(\n  a,\n  b\n)")
+        inner = [t.kind for t in tokens]
+        # the only NEWLINE is the synthetic trailing one
+        assert inner.count(TokenKind.NEWLINE) == 1
+
+    def test_newlines_suppressed_inside_brackets(self):
+        tokens = tokenize("[1,\n2]")
+        assert [t.kind for t in tokens].count(TokenKind.NEWLINE) == 1
+
+    def test_newlines_kept_inside_braces(self):
+        tokens = tokenize("{\na\n}")
+        assert [t.kind for t in tokens].count(TokenKind.NEWLINE) >= 3
+
+    def test_backslash_continuation(self):
+        assert values("a \\\n b") == ["a", "b"]
+
+    def test_eof_word_terminates(self):
+        # regression: "" in "_$" is True — EOF must not loop forever
+        assert values("abc") == ["abc"]

@@ -1,0 +1,198 @@
+"""Model-checking engines: explicit CTL semantics + engine agreement.
+
+The explicit checker is validated against hand-computed semantics on small
+structures; the symbolic (BDD) checker and the SAT-based bounded checker
+are cross-validated against the explicit checker on randomized models
+(hypothesis), which is how the reproduction earns trust in its NuSMV
+substitute.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mc import check, parse_ctl
+from repro.mc.bmc import BoundedChecker
+from repro.mc.explicit import ExplicitChecker
+from repro.mc.symbolic import SymbolicChecker
+from repro.model.kripke import KripkeState, KripkeStructure
+
+
+def make_kripke(edges, labels, initial=(0,)):
+    """Build a Kripke structure from {src: [dst]} and {state: props}."""
+    ids = sorted(set(edges) | {d for dsts in edges.values() for d in dsts})
+    states = {i: KripkeState(state=(str(i),), incoming=()) for i in ids}
+    kripke = KripkeStructure()
+    kripke.states = [states[i] for i in ids]
+    kripke.initial = [states[i] for i in initial]
+    for i in ids:
+        kripke.succ[states[i]] = [states[d] for d in edges.get(i, [])] or [states[i]]
+        kripke.labels[states[i]] = frozenset(labels.get(i, ()))
+    return kripke, states
+
+
+@pytest.fixture
+def diamond():
+    #      0 -> 1 -> 3(loop), 0 -> 2 -> 3
+    return make_kripke(
+        {0: [1, 2], 1: [3], 2: [3], 3: [3]},
+        {0: {"start"}, 1: {"left"}, 2: {"right"}, 3: {"goal"}},
+    )
+
+
+class TestExplicitSemantics:
+    def test_prop(self, diamond):
+        kripke, states = diamond
+        checker = ExplicitChecker(kripke)
+        assert checker.sat(parse_ctl("start")) == {states[0]}
+
+    def test_ex(self, diamond):
+        kripke, states = diamond
+        checker = ExplicitChecker(kripke)
+        assert checker.sat(parse_ctl("EX goal")) == {states[1], states[2], states[3]}
+
+    def test_ax(self, diamond):
+        kripke, states = diamond
+        checker = ExplicitChecker(kripke)
+        # all successors of 0 are {1,2}: AX (left|right) holds at 0
+        assert states[0] in checker.sat(parse_ctl("AX (left | right)"))
+
+    def test_ef(self, diamond):
+        kripke, states = diamond
+        checker = ExplicitChecker(kripke)
+        assert checker.sat(parse_ctl("EF goal")) == set(kripke.states)
+
+    def test_af(self, diamond):
+        kripke, states = diamond
+        checker = ExplicitChecker(kripke)
+        assert checker.sat(parse_ctl("AF goal")) == set(kripke.states)
+
+    def test_ag(self, diamond):
+        kripke, states = diamond
+        checker = ExplicitChecker(kripke)
+        assert checker.sat(parse_ctl("AG goal")) == {states[3]}
+
+    def test_eg(self):
+        kripke, states = make_kripke(
+            {0: [1], 1: [0], 2: [0]},
+            {0: {"p"}, 1: {"p"}, 2: {"p", "q"}},
+        )
+        checker = ExplicitChecker(kripke)
+        assert checker.sat(parse_ctl("EG p")) == set(kripke.states)
+        assert checker.sat(parse_ctl("EG q")) == set()
+
+    def test_eu(self, diamond):
+        kripke, states = diamond
+        checker = ExplicitChecker(kripke)
+        sat = checker.sat(parse_ctl("E [ left U goal ]"))
+        assert states[1] in sat and states[3] in sat
+        assert states[0] not in sat  # 0 is neither left nor goal
+
+    def test_au(self):
+        kripke, states = make_kripke(
+            {0: [1], 1: [2], 2: [2]},
+            {0: {"p"}, 1: {"p"}, 2: {"q"}},
+        )
+        checker = ExplicitChecker(kripke)
+        assert checker.sat(parse_ctl("A [ p U q ]")) == set(kripke.states)
+
+    def test_holds_requires_all_initial(self):
+        kripke, states = make_kripke(
+            {0: [0], 1: [1]}, {0: {"p"}, 1: set()}, initial=(0, 1)
+        )
+        assert not check(kripke, "p").holds
+        assert check(kripke, "EF p").holds is False  # state 1 self-loops
+
+
+class TestCounterexamples:
+    def test_ag_counterexample_path(self):
+        kripke, states = make_kripke(
+            {0: [1], 1: [2], 2: [2]},
+            {0: {"ok"}, 1: {"ok"}, 2: {"bad"}},
+        )
+        result = check(kripke, "AG !bad")
+        assert not result.holds
+        assert result.counterexample[0] == states[0]
+        assert result.counterexample[-1] == states[2]
+        # consecutive states are connected
+        for a, b in zip(result.counterexample, result.counterexample[1:]):
+            assert b in kripke.succ[a]
+
+    def test_ag_counterexample_is_shortest(self):
+        kripke, states = make_kripke(
+            {0: [1, 3], 1: [2], 2: [2], 3: [3]},
+            {3: {"bad"}},
+        )
+        result = check(kripke, "AG !bad")
+        assert len(result.counterexample) == 2  # 0 -> 3
+
+    def test_af_lasso(self):
+        kripke, states = make_kripke(
+            {0: [1], 1: [0]},
+            {0: set(), 1: set()},
+        )
+        result = check(kripke, "AF goal")
+        assert not result.holds
+        assert result.counterexample_loop  # stem + cycle in !goal
+
+    def test_holding_formula_has_no_counterexample(self):
+        kripke, _states = make_kripke({0: [0]}, {0: {"p"}})
+        result = check(kripke, "AG p")
+        assert result.holds
+        assert not result.counterexample
+
+
+# ----------------------------------------------------------------------
+# Engine agreement on random structures
+# ----------------------------------------------------------------------
+_FORMULAS = [
+    "AG p", "EF q", "AF p", "EG q", "AX p", "EX q",
+    "AG (p -> AF q)", "E [ p U q ]", "A [ p U q ]",
+    "!AG p", "EF (p & q)", "AG (p | !q)",
+]
+
+
+def _random_kripke(seed: int):
+    rng = random.Random(seed)
+    n = rng.randint(3, 9)
+    edges = {}
+    labels = {}
+    for i in range(n):
+        edges[i] = rng.sample(range(n), k=rng.randint(1, min(3, n)))
+        labels[i] = {p for p in ("p", "q") if rng.random() < 0.5}
+    return make_kripke(edges, labels, initial=(0,))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_symbolic_agrees_with_explicit(seed):
+    kripke, _states = _random_kripke(seed)
+    explicit = ExplicitChecker(kripke)
+    symbolic = SymbolicChecker(kripke)
+    for text in _FORMULAS:
+        formula = parse_ctl(text)
+        assert symbolic.sat_states(formula) == explicit.sat(formula), text
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_bmc_agrees_with_explicit_on_invariants(seed):
+    kripke, _states = _random_kripke(seed)
+    explicit = ExplicitChecker(kripke)
+    bounded = BoundedChecker(kripke)
+    formula = parse_ctl("AG p")
+    expected = explicit.check(formula).holds
+    holds, trace = bounded.check_invariant(formula, bound=len(kripke.states))
+    assert holds == expected
+    if not holds:
+        assert trace[0] in kripke.initial
+        for a, b in zip(trace, trace[1:]):
+            assert b in kripke.succ[a]
+        assert "p" not in kripke.labels[trace[-1]]
+
+
+def test_bmc_rejects_non_invariants():
+    kripke, _states = make_kripke({0: [0]}, {0: {"p"}})
+    with pytest.raises(ValueError):
+        BoundedChecker(kripke).check_invariant("EF p")

@@ -1,0 +1,223 @@
+"""State-model extraction, determinism, Kripke conversion."""
+
+import pytest
+
+from repro.ir import build_ir
+from repro.model import build_kripke, extract_model
+from repro.model.extractor import StateExplosionError, ModelExtractor
+from repro.platform import SmartApp
+
+WATER = '''
+definition(name: "Water-Leak-Detector")
+preferences {
+    section("W") {
+        input "water_sensor", "capability.waterSensor", required: true
+        input "valve_device", "capability.valve", required: true
+    }
+}
+def installed(){ subscribe(water_sensor, "water.wet", h) }
+def h(evt){ valve_device.close() }
+'''
+
+THERMO = '''
+definition(name: "Thermostat-Energy-Control")
+preferences {
+    section("C") {
+        input "power_meter", "capability.powerMeter", required: true
+        input "the_switch", "capability.switch", required: true
+    }
+}
+def installed(){ subscribe(power_meter, "power", h) }
+def h(evt){
+    def v = power_meter.currentValue("power")
+    if (v > 50) { the_switch.off() }
+    if (v < 5) { the_switch.on() }
+}
+'''
+
+
+@pytest.fixture(scope="module")
+def water_model():
+    return extract_model(build_ir(SmartApp.from_source(WATER)))
+
+
+@pytest.fixture(scope="module")
+def thermo_model():
+    return extract_model(build_ir(SmartApp.from_source(THERMO)))
+
+
+class TestWaterModel:
+    """The paper's Fig. 9 example: 4 states, transitions on water.wet."""
+
+    def test_four_states(self, water_model):
+        assert water_model.size() == 4
+
+    def test_attributes(self, water_model):
+        assert [a.qualified for a in water_model.attributes] == [
+            "water_sensor.water",
+            "valve_device.valve",
+        ]
+
+    def test_transitions_close_valve(self, water_model):
+        assert len(water_model.transitions) == 2
+        for t in water_model.transitions:
+            assert water_model.value_in(t.target, "valve_device", "valve") == "closed"
+            assert water_model.value_in(t.target, "water_sensor", "water") == "wet"
+
+    def test_event_requires_change(self, water_model):
+        for t in water_model.transitions:
+            assert water_model.value_in(t.source, "water_sensor", "water") == "dry"
+
+    def test_deterministic(self, water_model):
+        assert not water_model.nondeterministic_pairs()
+
+    def test_state_label_format(self, water_model):
+        label = water_model.state_label(water_model.states[0])
+        assert label.startswith("[water.") and "valve." in label
+
+
+class TestThermoModel:
+    def test_power_domain_partitioned(self, thermo_model):
+        domain = thermo_model.numeric_domains[("power_meter", "power")]
+        assert domain.size() == 5
+
+    def test_raw_count_reflects_full_domain(self, thermo_model):
+        assert thermo_model.raw_state_count > 10_000
+
+    def test_guarded_transitions_decided(self, thermo_model):
+        # Transitions into the >50 region must switch off.
+        for t in thermo_model.transitions:
+            power = thermo_model.value_in(t.target, "power_meter", "power")
+            if power == "power>50":
+                assert thermo_model.value_in(t.target, "the_switch", "switch") == "off"
+            if power == "power<5":
+                assert thermo_model.value_in(t.target, "the_switch", "switch") == "on"
+
+    def test_residual_conditions_empty(self, thermo_model):
+        # All guards compare the event attribute with constants: fully
+        # decidable, so no residual predicates remain.
+        assert all(not t.condition for t in thermo_model.transitions)
+
+    def test_deterministic(self, thermo_model):
+        assert not thermo_model.nondeterministic_pairs()
+
+
+class TestNondeterminism:
+    SOURCE = '''
+definition(name: "ND")
+preferences {
+    section("S") {
+        input "m", "capability.motionSensor", required: true
+        input "sw", "capability.switch", required: true
+    }
+}
+def installed(){
+    subscribe(m, "motion.active", h1)
+    subscribe(m, "motion.active", h2)
+}
+def h1(evt){ sw.on() }
+def h2(evt){ sw.off() }
+'''
+
+    def test_conflicting_handlers_detected(self):
+        model = extract_model(build_ir(SmartApp.from_source(self.SOURCE)))
+        assert model.nondeterministic_pairs()
+
+
+class TestUserThresholdModel:
+    SOURCE = '''
+definition(name: "B")
+preferences {
+    section("S") {
+        input "the_battery", "capability.battery", required: true
+        input "sw", "capability.switch", required: true
+        input "thrshld", "number", required: true
+    }
+}
+def installed(){ subscribe(the_battery, "battery", h) }
+def h(evt){
+    if (the_battery.currentValue("battery") < thrshld) { sw.on() }
+}
+'''
+
+    def test_symbolic_domain(self):
+        model = extract_model(build_ir(SmartApp.from_source(self.SOURCE)))
+        domain = model.numeric_domains[("the_battery", "battery")]
+        assert domain.size() == 2
+        # Low-battery region forces the switch on.
+        for t in model.transitions:
+            if model.value_in(t.target, "the_battery", "battery") == "battery<thrshld":
+                assert model.value_in(t.target, "sw", "switch") == "on"
+
+
+class TestModeModel:
+    SOURCE = '''
+definition(name: "M")
+preferences {
+    section("S") { input "sw", "capability.switch", required: true } }
+def installed(){
+    subscribe(location, "mode", h)
+}
+def h(evt){ sw.off() }
+'''
+
+    def test_mode_attribute_included(self):
+        model = extract_model(build_ir(SmartApp.from_source(self.SOURCE)))
+        assert model.attribute_index("location", "mode") is not None
+
+    def test_custom_mode_values_discovered(self):
+        source = self.SOURCE.replace('sw.off()', 'setLocationMode("vacation")')
+        model = extract_model(build_ir(SmartApp.from_source(source)))
+        index = model.attribute_index("location", "mode")
+        assert "vacation" in model.attributes[index].domain
+
+
+class TestExplosionGuard:
+    def test_budget_enforced(self):
+        ir = build_ir(SmartApp.from_source(WATER))
+        extractor = ModelExtractor(ir, max_states=2)
+        with pytest.raises(StateExplosionError):
+            extractor.extract()
+
+
+class TestKripke:
+    def test_initial_states_cover_model(self, water_model):
+        kripke = build_kripke(water_model)
+        assert len(kripke.initial) == water_model.size()
+
+    def test_event_props_on_targets(self, water_model):
+        kripke = build_kripke(water_model)
+        labelled = [
+            s for s in kripke.states
+            if any(p.startswith("ev:") for p in kripke.labels[s])
+        ]
+        assert labelled
+        for state in labelled:
+            assert "ev:water_sensor.water.wet" in kripke.labels[state]
+
+    def test_act_props_record_writes(self, water_model):
+        kripke = build_kripke(water_model)
+        acts = {
+            p
+            for s in kripke.states
+            for p in kripke.labels[s]
+            if p.startswith("act:")
+        }
+        assert acts == {"act:valve_device.valve=closed"}
+
+    def test_attr_props_everywhere(self, water_model):
+        kripke = build_kripke(water_model)
+        for state in kripke.states:
+            attrs = [p for p in kripke.labels[state] if p.startswith("attr:")]
+            assert len(attrs) == 2
+
+    def test_relation_total(self, water_model):
+        kripke = build_kripke(water_model)
+        assert all(kripke.succ[s] for s in kripke.states)
+
+    def test_witness_transitions_recorded(self, water_model):
+        kripke = build_kripke(water_model)
+        assert kripke.witness  # at least the wet transitions
+        for (src, dst), transition in kripke.witness.items():
+            assert transition.source == src.state
+            assert transition.target == dst.state

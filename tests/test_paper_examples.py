@@ -1,0 +1,183 @@
+"""The paper's Sec. 3 running examples, end to end.
+
+* the buggy Smoke-Alarm of Fig. 2(1b) — the alarm stops moments after it
+  sounds,
+* the Smoke-Alarm + Water-Leak-Detector interaction of Fig. 2(2) — the
+  leak detector shuts off the fire sprinkler,
+* the Thermostat-Energy-Control app — hard-coded setpoint on mode change
+  (P.16) and threshold-guarded switch control (Fig. 7).
+"""
+
+import pytest
+
+from repro import analyze_app, analyze_environment
+from repro.mc import parse_ctl
+from repro.mc.explicit import ExplicitChecker
+
+SMOKE_ALARM_OK = '''
+definition(name: "Smoke-Alarm")
+preferences {
+    section("Devices") {
+        input "smoke_detector", "capability.smokeDetector", required: true
+        input "the_alarm", "capability.alarm", required: true
+        input "the_valve", "capability.valve", required: true
+    }
+}
+def installed() { subscribe(smoke_detector, "smoke", smokeHandler) }
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        the_alarm.siren()
+        the_valve.open()
+    }
+    if (evt.value == "clear") {
+        the_alarm.off()
+        the_valve.close()
+    }
+}
+'''
+
+# Fig. 2(1b): "the actual behavior of the app stops the sound moments
+# after the alarm sounds (the state transition from S1 to S0)".
+SMOKE_ALARM_BUGGY = '''
+definition(name: "Smoke-Alarm-Buggy")
+preferences {
+    section("Devices") {
+        input "smoke_detector", "capability.smokeDetector", required: true
+        input "the_alarm", "capability.alarm", required: true
+    }
+}
+def installed() { subscribe(smoke_detector, "smoke", smokeHandler) }
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        the_alarm.siren()
+        the_alarm.off()
+    }
+}
+'''
+
+WATER_LEAK_DETECTOR = '''
+definition(name: "Water-Leak-Detector")
+preferences {
+    section("Devices") {
+        input "water_sensor", "capability.waterSensor", required: true
+        input "the_valve", "capability.valve", required: true
+    }
+}
+def installed() { subscribe(water_sensor, "water.wet", waterWetHandler) }
+def waterWetHandler(evt) { the_valve.close() }
+'''
+
+THERMOSTAT_ENERGY_CONTROL = '''
+definition(name: "Thermostat-Energy-Control")
+preferences {
+    section("Devices") {
+        input "ther", "capability.thermostat", required: true
+        input "the_lock", "capability.lock", required: true
+        input "power_meter", "capability.powerMeter", required: true
+        input "the_switch", "capability.switch", required: true
+    }
+}
+def installed() { initialize() }
+def initialize() {
+    subscribe(location, "mode", modeChangeHandler)
+    subscribe(power_meter, "power", powerHandler)
+}
+def modeChangeHandler(evt) {
+    def temp = 68
+    setTemp(temp)
+    the_lock.lock()
+}
+def setTemp(t) { ther.setHeatingSetpoint(t) }
+def powerHandler(evt) {
+    def above_thrshld_val = 50
+    def below_thrshld_val = 5
+    def power_val = get_power()
+    if (power_val > above_thrshld_val) { the_switch.off() }
+    if (power_val < below_thrshld_val) { the_switch.on() }
+}
+def get_power() { return power_meter.currentValue("power") }
+'''
+
+
+class TestBuggySmokeAlarm:
+    def test_correct_version_holds_p10(self):
+        analysis = analyze_app(SMOKE_ALARM_OK)
+        assert "P.10" in analysis.checked_properties
+        assert not analysis.violations
+
+    def test_buggy_version_flagged(self):
+        """Fig. 2: 'does the alarm always sound when there is smoke?' —
+        the buggy app silences the alarm on the same smoke-detected path
+        (S.1 conflict + P.10 silencing-during-smoke)."""
+        analysis = analyze_app(SMOKE_ALARM_BUGGY)
+        assert {"S.1", "P.10"} <= analysis.violated_ids()
+
+
+class TestSprinklerInteraction:
+    def test_apps_clean_individually(self):
+        assert not analyze_app(SMOKE_ALARM_OK).violations
+        assert not analyze_app(WATER_LEAK_DETECTOR).violations
+
+    def test_union_reveals_sprinkler_shutoff(self):
+        """Fig. 2(2): 'the Water-Leak-Detector app shuts off the water
+        valve and stops fire sprinklers when it detects water release from
+        sprinklers' — with the valve shared, the union model reaches a
+        state where smoke is present and the valve was driven closed."""
+        env = analyze_environment([SMOKE_ALARM_OK, WATER_LEAK_DETECTOR])
+        formula = parse_ctl(
+            'AG !("attr:smoke_detector.smoke=detected" & '
+            '"act:the_valve.valve=closed")'
+        )
+        result = ExplicitChecker(env.kripke).check(formula)
+        assert not result.holds
+        # And the same formula holds on the smoke alarm alone.
+        solo = analyze_app(SMOKE_ALARM_OK)
+        assert ExplicitChecker(solo.kripke).check(formula).holds
+
+
+class TestThermostatEnergyControl:
+    def test_power_states_partitioned_as_fig7(self):
+        analysis = analyze_app(THERMOSTAT_ENERGY_CONTROL)
+        domain = analysis.model.numeric_domains[("power_meter", "power")]
+        labels = set(domain.labels())
+        assert "power<5" in labels
+        assert "power>50" in labels
+
+    def test_setpoint_reduced_to_paper_states(self):
+        """Sec. 4.2.1: 'the state space for temperature values is reduced
+        from 45 to 2' — ours keeps the =68 point exact (3 regions)."""
+        analysis = analyze_app(THERMOSTAT_ENERGY_CONTROL)
+        domain = analysis.model.numeric_domains[("ther", "heatingSetpoint")]
+        assert "heatingSetpoint=68" in domain.labels()
+        assert domain.size() <= 3
+        assert domain.raw_size == 46
+
+    def test_hardcoded_setpoint_violates_p16(self):
+        """P.16: mode-change thermostat setpoints must be user-entered;
+        this app hard-codes 68F (developer-defined source)."""
+        analysis = analyze_app(THERMOSTAT_ENERGY_CONTROL)
+        assert "P.16" in analysis.violated_ids()
+
+    def test_user_setpoint_variant_holds_p16(self):
+        source = THERMOSTAT_ENERGY_CONTROL.replace(
+            "def temp = 68", "def temp = user_temp"
+        ).replace(
+            'input "ther", "capability.thermostat", required: true',
+            'input "ther", "capability.thermostat", required: true\n'
+            '        input "user_temp", "number", required: true',
+        )
+        analysis = analyze_app(source)
+        assert "P.16" not in analysis.violated_ids()
+
+    def test_switch_guarded_by_power_thresholds(self):
+        analysis = analyze_app(THERMOSTAT_ENERGY_CONTROL)
+        model = analysis.model
+        for t in model.transitions:
+            power = model.value_in(t.target, "power_meter", "power")
+            switch_writes = [
+                a for a in t.actions if a.device == "the_switch"
+            ]
+            if power == "power>50" and switch_writes:
+                assert switch_writes[0].value == "off"
+            if power == "power<5" and switch_writes:
+                assert switch_writes[0].value == "on"

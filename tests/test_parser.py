@@ -1,0 +1,268 @@
+"""Parser tests: statements, expressions, SmartThings idioms."""
+
+import pytest
+
+from repro.lang import ast, parse
+from repro.lang.parser import ParseError, parse_expression
+
+
+def first_stmt(source):
+    module = parse(source)
+    return module.statements[0]
+
+
+def only_method(source):
+    module = parse(source)
+    assert len(module.methods) == 1
+    return next(iter(module.methods.values()))
+
+
+class TestModuleStructure:
+    def test_definition_call(self):
+        stmt = first_stmt('definition(name: "X", category: "Safety")')
+        assert isinstance(stmt, ast.ExprStmt)
+        call = stmt.expr
+        assert isinstance(call, ast.MethodCall)
+        assert call.name == "definition"
+        assert set(call.named_args) == {"name", "category"}
+
+    def test_method_decl(self):
+        method = only_method("def handler(evt) { }")
+        assert method.name == "handler"
+        assert [p.name for p in method.params] == ["evt"]
+
+    def test_private_method(self):
+        method = only_method("private initialize() { }")
+        assert method.is_private
+
+    def test_method_brace_next_line(self):
+        method = only_method("def installed()\n{\n}")
+        assert method.name == "installed"
+
+    def test_method_with_default_param(self):
+        method = only_method("def f(x = 5) { }")
+        assert isinstance(method.params[0].default, ast.Literal)
+
+    def test_def_assignment_is_not_method(self):
+        module = parse("def x = foo()")
+        assert not module.methods
+        assert isinstance(module.statements[0], ast.Assign)
+
+    def test_multiple_methods(self):
+        module = parse("def a() { }\ndef b() { }")
+        assert set(module.methods) == {"a", "b"}
+
+
+class TestStatements:
+    def test_if_else(self):
+        method = only_method("def f() { if (x) { a() } else { b() } }")
+        stmt = method.body.statements[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert isinstance(stmt.otherwise, ast.Block)
+
+    def test_if_else_if_chain(self):
+        method = only_method(
+            "def f() { if (a) { } else if (b) { } else { } }"
+        )
+        stmt = method.body.statements[0]
+        assert isinstance(stmt.otherwise, ast.IfStmt)
+        assert isinstance(stmt.otherwise.otherwise, ast.Block)
+
+    def test_else_on_next_line(self):
+        method = only_method("def f() {\nif (a) {\n}\nelse {\nb()\n}\n}")
+        assert isinstance(method.body.statements[0].otherwise, ast.Block)
+
+    def test_while(self):
+        stmt = only_method("def f() { while (x < 3) { x = x + 1 } }").body.statements[0]
+        assert isinstance(stmt, ast.WhileStmt)
+
+    def test_for_in(self):
+        stmt = only_method("def f() { for (v in list) { log.debug v } }").body.statements[0]
+        assert isinstance(stmt, ast.ForInStmt)
+        assert stmt.var == "v"
+
+    def test_return_value(self):
+        stmt = only_method("def f() { return 5 }").body.statements[0]
+        assert isinstance(stmt, ast.ReturnStmt)
+        assert stmt.value.value == 5
+
+    def test_bare_return(self):
+        stmt = only_method("def f() { return }").body.statements[0]
+        assert stmt.value is None
+
+    def test_assignment_declaration(self):
+        stmt = only_method("def f() { def x = 1 }").body.statements[0]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.is_decl
+
+    def test_typed_declaration(self):
+        stmt = only_method("def f() { def String msg = 'x' }").body.statements[0]
+        assert stmt.target.id == "msg"
+
+    def test_plus_equals(self):
+        stmt = only_method("def f() { x += 2 }").body.statements[0]
+        assert stmt.op == "+="
+
+    def test_increment_statement(self):
+        stmt = only_method("def f() { state.counter++ }").body.statements[0]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == "+="
+
+    def test_state_field_assignment(self):
+        stmt = only_method("def f() { state.counter = 1 }").body.statements[0]
+        target = stmt.target
+        assert isinstance(target, ast.PropertyAccess)
+        assert target.obj.id == "state"
+
+
+class TestCommandCalls:
+    def test_input_command_call(self):
+        module = parse(
+            'preferences { section("S") { input "sw", "capability.switch", title: "T", required: true } }'
+        )
+        prefs = module.statements[0].expr
+        section = prefs.closure.body.statements[0].expr
+        input_call = section.closure.body.statements[0].expr
+        assert input_call.name == "input"
+        assert input_call.args[0].value == "sw"
+        assert input_call.named_args["required"].value is True
+
+    def test_log_command_call_with_receiver(self):
+        stmt = only_method('def f() { log.debug "hello $x" }').body.statements[0]
+        call = stmt.expr
+        assert isinstance(call, ast.MethodCall)
+        assert call.name == "debug"
+        assert isinstance(call.receiver, ast.Name)
+
+    def test_command_call_bare_ident_arg(self):
+        stmt = first_stmt("subscribe theSwitch, handler")
+        assert isinstance(stmt.expr, ast.MethodCall)
+        assert len(stmt.expr.args) == 2
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_comparison_and_logic(self):
+        expr = parse_expression("a > 1 && b < 2")
+        assert expr.op == "&&"
+
+    def test_ternary(self):
+        expr = parse_expression("a ? b : c")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_elvis(self):
+        expr = parse_expression("thrshld ?: 10")
+        assert isinstance(expr, ast.Elvis)
+
+    def test_not(self):
+        expr = parse_expression("!enabled")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_negative_literal_folds(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.Literal)
+        assert expr.value == -5
+
+    def test_property_chain(self):
+        expr = parse_expression("evt.value")
+        assert isinstance(expr, ast.PropertyAccess)
+        assert expr.name == "value"
+
+    def test_safe_navigation(self):
+        expr = parse_expression("evt?.device")
+        assert expr.safe
+
+    def test_method_call_chain(self):
+        expr = parse_expression('dev.currentValue("battery").toInteger()')
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.name == "toInteger"
+        assert expr.receiver.name == "currentValue"
+
+    def test_index(self):
+        expr = parse_expression("m['key']")
+        assert isinstance(expr, ast.Index)
+
+    def test_list_literal(self):
+        expr = parse_expression("[1, 2, 3]")
+        assert isinstance(expr, ast.ListLiteral)
+        assert len(expr.items) == 3
+
+    def test_empty_map(self):
+        assert isinstance(parse_expression("[:]"), ast.MapLiteral)
+
+    def test_map_literal(self):
+        expr = parse_expression("[a: 1, b: 2]")
+        assert isinstance(expr, ast.MapLiteral)
+        assert [k for k, _ in expr.entries] == ["a", "b"]
+
+    def test_range_literal(self):
+        assert isinstance(parse_expression("[1..5]"), ast.RangeLiteral)
+
+    def test_new_expr(self):
+        expr = parse_expression("new Date(now())")
+        assert isinstance(expr, ast.NewExpr)
+        assert expr.type_name == "Date"
+
+    def test_cast(self):
+        expr = parse_expression("x as Integer")
+        assert isinstance(expr, ast.CastExpr)
+
+    def test_gstring_embeds_expression(self):
+        expr = parse_expression('"level ${x + 1}"')
+        assert isinstance(expr, ast.GString)
+        assert isinstance(expr.parts[1], ast.BinaryOp)
+
+
+class TestSmartThingsIdioms:
+    def test_trailing_closure_with_params(self):
+        stmt = only_method(
+            'def g() { httpGet("http://u") { resp -> x = resp.status } }'
+        ).body.statements[0]
+        call = stmt.expr
+        assert call.closure is not None
+        assert call.closure.params == ["resp"]
+
+    def test_reflective_call(self):
+        stmt = only_method('def g() { "$name"() }').body.statements[0]
+        call = stmt.expr
+        assert isinstance(call, ast.MethodCall)
+        assert call.is_reflective()
+
+    def test_reflective_call_state_field(self):
+        stmt = only_method('def g() { "$state.method"() }').body.statements[0]
+        assert stmt.expr.is_reflective()
+
+    def test_closure_count_idiom(self):
+        stmt = only_method(
+            'def g() { def n = events.count { it.value == "wet" } > 1 }'
+        ).body.statements[0]
+        assert isinstance(stmt, ast.Assign)
+
+    def test_subscribe_call(self):
+        stmt = first_stmt('subscribe(dev, "switch.on", handler)')
+        call = stmt.expr
+        assert call.name == "subscribe"
+        assert len(call.args) == 3
+
+    def test_walk_and_find_calls(self):
+        module = parse("def f() { a(); b(c()) }")
+        calls = ast.find_calls(module.methods["f"].body)
+        assert {c.name for c in calls} == {"a", "b", "c"}
+
+
+class TestErrors:
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("def f() { if (x) {")
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse("def f() { ) }")
+
+    def test_missing_paren(self):
+        with pytest.raises(ParseError):
+            parse("def f() { g(1, }")

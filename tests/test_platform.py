@@ -1,0 +1,219 @@
+"""Platform substrate tests: capability reference, events, SmartApp."""
+
+import pytest
+
+from repro.platform import (
+    PARAM,
+    AttributeKind,
+    SmartApp,
+    are_complementary,
+    complement_value,
+    default_database,
+)
+from repro.platform.events import Event, EventKind
+
+
+@pytest.fixture(scope="module")
+def db():
+    return default_database()
+
+
+class TestCapabilityDatabase:
+    def test_switch_attributes(self, db):
+        cap = db.require("switch")
+        assert cap.attributes["switch"].values == ("on", "off")
+
+    def test_capability_prefix_accepted(self, db):
+        assert db.get("capability.switch") is db.get("switch")
+
+    def test_unknown_capability(self, db):
+        assert db.get("flyingCar") is None
+        with pytest.raises(KeyError):
+            db.require("flyingCar")
+
+    def test_switch_commands_effects(self, db):
+        cmd = db.command("switch", "on")
+        assert cmd.sets == (("switch", "on"),)
+
+    def test_param_command(self, db):
+        cmd = db.command("thermostat", "setHeatingSetpoint")
+        assert cmd.sets[0][1] is PARAM
+
+    def test_alarm_domain(self, db):
+        attr = db.attribute("alarm", "alarm")
+        assert set(attr.values) == {"off", "siren", "strobe", "both"}
+
+    def test_numeric_attribute(self, db):
+        attr = db.attribute("battery", "battery")
+        assert attr.kind is AttributeKind.NUMERIC
+        assert attr.domain_size() == 101
+
+    def test_enum_domain_size(self, db):
+        assert db.attribute("lock", "lock").domain_size() == 2
+
+    def test_sensor_has_no_commands(self, db):
+        assert not db.require("motionSensor").commands
+
+    def test_effect_free_command(self, db):
+        assert db.command("imageCapture", "take").sets == ()
+
+    def test_attributes_for_value(self, db):
+        assert "motion" in db.attributes_for_value("active")
+        assert "contact" in db.attributes_for_value("open")
+
+    def test_attribute_anywhere(self, db):
+        assert db.attribute_anywhere("temperature") is not None
+        assert db.attribute_anywhere("warpField") is None
+
+    def test_primary_attribute(self, db):
+        assert db.require("valve").primary_attribute.name == "valve"
+
+    def test_actuator_flag(self, db):
+        assert db.require("switch").is_actuator
+        assert not db.require("waterSensor").is_actuator
+
+    def test_all_enum_values_nonempty(self, db):
+        for cap in db.capabilities.values():
+            for attr in cap.attributes.values():
+                if attr.kind is AttributeKind.ENUM:
+                    assert attr.values, f"{cap.name}.{attr.name} has no values"
+
+    def test_command_effects_reference_real_attributes(self, db):
+        for cap in db.capabilities.values():
+            for cmd in cap.commands.values():
+                for attr_name, _effect in cmd.sets:
+                    assert attr_name in cap.attributes, (cap.name, cmd.name)
+
+    def test_enum_command_effects_in_domain(self, db):
+        for cap in db.capabilities.values():
+            for cmd in cap.commands.values():
+                for attr_name, effect in cmd.sets:
+                    if effect is PARAM:
+                        continue
+                    attr = cap.attributes[attr_name]
+                    if attr.kind is AttributeKind.ENUM:
+                        assert effect in attr.values, (cap.name, cmd.name, effect)
+
+    def test_reference_covers_paper_examples(self, db):
+        # Every device the paper's three running examples use must resolve.
+        for name in (
+            "smokeDetector",
+            "switch",
+            "alarm",
+            "valve",
+            "battery",
+            "thermostat",
+            "powerMeter",
+            "lock",
+            "waterSensor",
+        ):
+            assert db.get(name) is not None
+
+
+class TestComplements:
+    def test_complement_value(self):
+        assert complement_value("motion", "active") == "inactive"
+        assert complement_value("contact", "open") == "closed"
+        assert complement_value("smoke", "detected") == "clear"
+        assert complement_value("switch", "banana") is None
+
+    def test_complement_is_involution(self):
+        from repro.platform.events import COMPLEMENT_VALUES
+
+        for attribute, table in COMPLEMENT_VALUES.items():
+            for value, other in table.items():
+                assert table[other] == value, (attribute, value)
+
+    def test_device_event_complements(self):
+        active = Event(EventKind.DEVICE, "m", "motion", "active")
+        inactive = Event(EventKind.DEVICE, "m", "motion", "inactive")
+        assert are_complementary(active, inactive)
+
+    def test_different_devices_not_complementary(self):
+        a = Event(EventKind.DEVICE, "m1", "motion", "active")
+        b = Event(EventKind.DEVICE, "m2", "motion", "inactive")
+        assert not are_complementary(a, b)
+
+    def test_mode_values_complementary(self):
+        home = Event(EventKind.MODE, "location", "mode", "home")
+        away = Event(EventKind.MODE, "location", "mode", "away")
+        assert are_complementary(home, away)
+
+    def test_solar_complementary(self):
+        sunrise = Event(EventKind.SOLAR, "location", "sunrise")
+        sunset = Event(EventKind.SOLAR, "location", "sunset")
+        assert are_complementary(sunrise, sunset)
+
+    def test_timer_never_complementary(self):
+        t = Event(EventKind.TIMER, "timer", "runIn")
+        p = Event(EventKind.DEVICE, "p", "presence", "present")
+        assert not are_complementary(t, p)
+
+
+class TestEventMatching:
+    def test_subscription_without_value_matches_any(self):
+        sub = Event(EventKind.DEVICE, "sw", "switch")
+        occurrence = Event(EventKind.DEVICE, "sw", "switch", "on")
+        assert sub.matches(occurrence)
+
+    def test_value_subscription_matches_exactly(self):
+        sub = Event(EventKind.DEVICE, "sw", "switch", "on")
+        assert sub.matches(Event(EventKind.DEVICE, "sw", "switch", "on"))
+        assert not sub.matches(Event(EventKind.DEVICE, "sw", "switch", "off"))
+
+    def test_label_formats(self):
+        assert Event(EventKind.DEVICE, "sw", "switch", "on").label() == "sw.switch.on"
+        assert Event(EventKind.DEVICE, "sw", "switch").label() == "sw.switch"
+        assert Event(EventKind.MODE, "location", "mode", "home").label() == "mode.home"
+        assert Event(EventKind.APP_TOUCH, "app", "appTouch").label() == "app-touch"
+        assert Event(EventKind.SOLAR, "location", "sunset").label() == "sunset"
+        assert Event(EventKind.TIMER, "timer", "runIn").label() == "timer:runIn"
+
+
+class TestSmartApp:
+    SOURCE = '''
+/**
+ * Sample app
+ */
+definition(
+    name: "Sample App",
+    category: "Safety & Security",
+    description: "A test app")
+
+preferences {
+    section("S") {
+        input "sw", "capability.switch", required: true
+    }
+}
+
+def installed() {
+    subscribe(sw, "switch.on", handler)
+}
+
+def handler(evt) {
+    // react
+    log.debug "on"
+}
+'''
+
+    def test_metadata(self):
+        app = SmartApp.from_source(self.SOURCE)
+        assert app.name == "Sample App"
+        assert app.category == "Safety & Security"
+        assert app.description == "A test app"
+
+    def test_explicit_name_wins(self):
+        app = SmartApp.from_source(self.SOURCE, name="O99")
+        assert app.name == "O99"
+
+    def test_method_lookup(self):
+        app = SmartApp.from_source(self.SOURCE)
+        assert app.method("handler") is not None
+        assert app.method("nope") is None
+
+    def test_loc_skips_comments_and_blanks(self):
+        app = SmartApp.from_source(self.SOURCE)
+        loc = app.loc()
+        assert 0 < loc < len(self.SOURCE.splitlines())
+        # comment lines excluded
+        assert loc <= 22

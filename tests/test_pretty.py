@@ -1,0 +1,61 @@
+"""Pretty-printer round-trip tests."""
+
+import pytest
+
+from repro.lang import parse, to_source
+from repro.lang.pretty import expr as render_expr
+from repro.lang.parser import parse_expression
+
+ROUND_TRIP_SOURCES = [
+    "def f() { x = 1 }",
+    "def f(evt) { if (evt.value == \"on\") { sw.on() } else { sw.off() } }",
+    "def f() { while (x < 3) { x += 1 } }",
+    "def f() { for (v in items) { log.debug \"$v\" } }",
+    "def f() { return dev.currentValue(\"power\") }",
+    "def g() { \"$name\"() }",
+    "def g() { httpGet(\"http://u\") { resp -> x = resp.status } }",
+    'definition(name: "App", category: "Safety")',
+    'preferences { section("S") { input "a", "capability.switch", required: true } }',
+    "def f() { def m = [a: 1, b: \"two\"] }",
+    "def f() { def l = [1, 2, 3] }",
+    "def f() { x = a ? b : c }",
+    "def f() { x = y ?: 10 }",
+    "def f() { state.counter = state.counter + 1 }",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_round_trip_reparses(source):
+    module = parse(source)
+    regenerated = to_source(module)
+    module2 = parse(regenerated)
+    assert sorted(module2.methods) == sorted(module.methods)
+    assert len(module2.statements) == len(module.statements)
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_round_trip_is_fixed_point(source):
+    once = to_source(parse(source))
+    twice = to_source(parse(once))
+    assert once == twice
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("1 + 2", "(1 + 2)"),
+        ("!x", "!(x)"),
+        ("a.b", "a.b"),
+        ("f(1, k: 2)", "f(1, k: 2)"),
+        ("[:]", "[:]"),
+        ("null", "null"),
+        ("true", "true"),
+    ],
+)
+def test_expression_rendering(text, expected):
+    assert render_expr(parse_expression(text)) == expected
+
+
+def test_string_escaping():
+    rendered = render_expr(parse_expression("'say \"hi\"'"))
+    assert rendered == '"say \\"hi\\""'

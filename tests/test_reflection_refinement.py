@@ -1,0 +1,137 @@
+"""String-analysis refinement of reflective calls (paper Sec. 7 extension).
+
+The paper's limitation: "Soteria constructs an imprecise call graph that
+allows a reflective call to target any method... We plan to explore string
+analysis to statically identify possible values of strings and refine the
+target sets of method calls by reflection."  This reproduction implements
+that refinement: constant-resolvable GString names call exactly one target.
+"""
+
+import pytest
+
+from repro import analyze_app
+from repro.analysis.symexec import SymbolicExecutor
+from repro.ir import build_ir
+from repro.platform import SmartApp
+
+HEADER = '''
+definition(name: "R")
+preferences {
+    section("S") {
+        input "the_alarm", "capability.alarm", required: true
+    }
+}
+'''
+
+
+def rules_for(source, refine=True):
+    ir = build_ir(SmartApp.from_source(source))
+    exe = SymbolicExecutor(ir, refine_reflection=refine)
+    result = exe.run_all()
+    return [s for group in result.values() for s in group]
+
+
+class TestConstantNameRefinement:
+    SOURCE = HEADER + '''
+def installed() { subscribe(app, appTouch, h) }
+def h(evt) {
+    def m = "armIt"
+    "$m"()
+}
+def armIt() { the_alarm.siren() }
+def calmIt() { the_alarm.off() }
+'''
+
+    def test_single_target_resolved(self):
+        summaries = rules_for(self.SOURCE)
+        values = {a.value for s in summaries for a in s.actions}
+        assert values == {"siren"}  # calmIt() is NOT explored
+
+    def test_refined_call_is_not_flagged_reflective(self):
+        summaries = rules_for(self.SOURCE)
+        assert all(not s.uses_reflection for s in summaries)
+        assert all(
+            not a.via_reflection for s in summaries for a in s.actions
+        )
+
+    def test_refinement_can_be_disabled(self):
+        summaries = rules_for(self.SOURCE, refine=False)
+        values = {a.value for s in summaries for a in s.actions}
+        assert values == {"siren", "off"}  # classic over-approximation
+        assert any(s.uses_reflection for s in summaries)
+
+
+class TestUnresolvableNamesStillFanOut:
+    SOURCE = HEADER + '''
+def installed() { subscribe(app, appTouch, h) }
+def h(evt) {
+    httpGet("http://x") { resp -> state.m = resp.data.toString() }
+    "$state.m"()
+}
+def armIt() { the_alarm.siren() }
+def calmIt() { the_alarm.off() }
+'''
+
+    def test_runtime_name_over_approximated(self):
+        summaries = rules_for(self.SOURCE)
+        values = {a.value for s in summaries for a in s.actions}
+        assert values == {"siren", "off"}
+
+    def test_over_approximated_paths_marked(self):
+        summaries = rules_for(self.SOURCE)
+        assert all(
+            a.via_reflection for s in summaries for a in s.actions
+        )
+
+
+class TestNonexistentTarget:
+    SOURCE = HEADER + '''
+def installed() { subscribe(app, appTouch, h) }
+def h(evt) {
+    def m = "noSuchMethod"
+    "$m"()
+    the_alarm.both()
+}
+def armIt() { the_alarm.siren() }
+'''
+
+    def test_unknown_name_calls_nothing(self):
+        summaries = rules_for(self.SOURCE)
+        values = {a.value for s in summaries for a in s.actions}
+        assert values == {"both"}
+
+
+class TestEndToEndPrecision:
+    def test_refined_app_not_false_positive(self):
+        """An App5-shaped app whose reflective name is a path constant is
+        now verified clean — the refinement removes the false positive."""
+        analysis = analyze_app(HEADER + '''
+preferences { section("x") {
+    input "smoke_detector", "capability.smokeDetector", required: true
+} }
+def installed() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+    subscribe(app, appTouch, touchHandler)
+}
+def smokeHandler(evt) {
+    if (evt.value == "detected") { the_alarm.siren() }
+}
+def touchHandler(evt) {
+    def target = "statusReport"
+    "$target"()
+}
+def statusReport() { log.debug "all quiet" }
+def stopAlarm() {
+    if (smoke_detector.currentValue("smoke") == "detected") { the_alarm.off() }
+}
+''')
+        assert not analysis.violations
+
+    def test_maliot_app5_false_positive_preserved(self):
+        """App5's name comes from an HTTP response: the refinement cannot
+        resolve it, so the paper's false positive remains."""
+        from repro.corpus.loader import load_app
+
+        analysis = analyze_app(load_app("App5"))
+        assert analysis.violated_ids() == {"P.10"}
+        assert all(v.via_reflection for v in analysis.violations)

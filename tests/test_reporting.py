@@ -1,0 +1,124 @@
+"""Reporting backends: DOT, SMV, console reports."""
+
+import pytest
+
+from repro import analyze_app, analyze_environment
+from repro.mc.ctl import parse_ctl
+from repro.reporting import render_report, to_dot, to_smv
+from repro.reporting.smv import formula_to_smv
+
+WATER = '''
+definition(name: "Water-Leak-Detector")
+preferences { section("s") {
+    input "water_sensor", "capability.waterSensor"
+    input "valve_device", "capability.valve"
+} }
+def installed() { subscribe(water_sensor, "water.wet", h) }
+def h(evt) { valve_device.close() }
+'''
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return analyze_app(WATER)
+
+
+class TestDot:
+    def test_digraph_wrapper(self, analysis):
+        dot = to_dot(analysis.model)
+        assert dot.startswith('digraph "Water-Leak-Detector"')
+        assert dot.rstrip().endswith("}")
+
+    def test_states_rendered_with_paper_labels(self, analysis):
+        dot = to_dot(analysis.model)
+        assert '[water.dry, valve.open]' in dot
+        assert '[water.wet, valve.closed]' in dot
+
+    def test_edges_carry_event_labels(self, analysis):
+        dot = to_dot(analysis.model)
+        assert "water_sensor.water.wet" in dot
+
+    def test_truncation_keeps_valid_dot(self, analysis):
+        dot = to_dot(analysis.model, max_states=1)
+        assert dot.count("->") <= len(analysis.model.transitions)
+
+    def test_quotes_escaped(self, analysis):
+        model = analysis.model
+        model.name = 'has "quotes"'
+        dot = to_dot(model)
+        assert 'has \\"quotes\\"' in dot
+
+
+class TestSmv:
+    def test_module_structure(self, analysis):
+        smv = to_smv(analysis.model)
+        assert smv.startswith("MODULE main")
+        assert "VAR" in smv and "TRANS" in smv
+
+    def test_variables_per_attribute(self, analysis):
+        smv = to_smv(analysis.model)
+        assert "water_sensor_water : {dry, wet};" in smv
+        assert "valve_device_valve : {open, closed};" in smv
+
+    def test_event_variable(self, analysis):
+        smv = to_smv(analysis.model)
+        assert "event : {none, water_sensor_water_wet};" in smv
+
+    def test_stutter_keeps_relation_total(self, analysis):
+        smv = to_smv(analysis.model)
+        assert "next(event) = none" in smv
+
+    def test_spec_emission(self, analysis):
+        formula = parse_ctl("AG attr:valve_device.valve=closed")
+        smv = to_smv(analysis.model, specs=[formula])
+        assert "SPEC AG (valve_device_valve = closed)" in smv
+
+    def test_event_prop_translation(self, analysis):
+        formula = parse_ctl("AG (ev:water_sensor.water.wet -> attr:valve_device.valve=closed)")
+        text = formula_to_smv(formula, analysis.model)
+        assert "event = water_sensor_water_wet" in text
+
+    def test_untranslatable_props_weaken_to_true(self, analysis):
+        formula = parse_ctl("AG act:valve_device.valve=closed")
+        assert "TRUE" in formula_to_smv(formula, analysis.model)
+
+
+class TestConsoleReport:
+    def test_app_report_sections(self, analysis):
+        text = render_report(analysis)
+        assert "Soteria analysis: Water-Leak-Detector" in text
+        assert "Permissions block" in text
+        assert "states: 4" in text
+        assert "all checked properties HOLD" in text
+
+    def test_violation_report_includes_counterexample(self):
+        bad = analyze_app(WATER.replace("close()", "open()"))
+        text = render_report(bad)
+        assert "VIOLATION" in text
+        assert "P.30" in text
+        assert "counterexample" in text
+
+    def test_environment_report(self):
+        env = analyze_environment([WATER])
+        text = render_report(env)
+        assert "multi-app analysis" in text
+        assert "Algorithm 2" in text
+
+
+class TestTraceDot:
+    def test_trace_rendering(self):
+        from repro.reporting import to_dot_trace
+
+        bad = analyze_app(WATER.replace("close()", "open()"))
+        violation = bad.violations[0]
+        dot = to_dot_trace(bad.model, list(violation.counterexample), title="P.30")
+        assert dot.startswith('digraph "P.30-trace"')
+        assert dot.count("->") == max(0, len(violation.counterexample) - 1)
+        assert "fillcolor" in dot  # violating state highlighted
+
+    def test_empty_trace(self):
+        from repro.reporting import to_dot_trace
+
+        analysis = analyze_app(WATER)
+        dot = to_dot_trace(analysis.model, [])
+        assert dot.startswith("digraph") and dot.rstrip().endswith("}")

@@ -1,0 +1,154 @@
+"""Runtime simulation and dynamic enforcement (IoTGuard-style extension)."""
+
+import pytest
+
+from repro import analyze_app
+from repro.mc.ctl import parse_ctl
+from repro.platform.events import Event, EventKind
+from repro.runtime import RuntimeMonitor, Simulator
+from repro.runtime.monitor import invariant_operand
+
+WATER = '''
+definition(name: "Water-Leak-Detector")
+preferences { section("s") {
+    input "water_sensor", "capability.waterSensor"
+    input "valve_device", "capability.valve"
+} }
+def installed() { subscribe(water_sensor, "water.wet", h) }
+def h(evt) { valve_device.close() }
+'''
+
+BAD_LIGHT = '''
+definition(name: "BadNightLight")
+preferences { section("s") {
+    input "the_motion", "capability.motionSensor"
+    input "hall_light", "capability.switch"
+} }
+def installed() { subscribe(the_motion, "motion.active", h) }
+def h(evt) { hall_light.off() }
+'''
+
+
+def wet():
+    return Event(EventKind.DEVICE, "water_sensor", "water", "wet")
+
+
+def dry():
+    return Event(EventKind.DEVICE, "water_sensor", "water", "dry")
+
+
+def motion():
+    return Event(EventKind.DEVICE, "the_motion", "motion", "active")
+
+
+@pytest.fixture(scope="module")
+def water_analysis():
+    return analyze_app(WATER)
+
+
+class TestSimulator:
+    def test_initial_state_defaults_to_rest(self, water_analysis):
+        sim = Simulator(water_analysis.model)
+        assert sim.state == ("dry", "open")
+
+    def test_explicit_initial_state_validated(self, water_analysis):
+        with pytest.raises(ValueError):
+            Simulator(water_analysis.model, initial=("soggy", "open"))
+
+    def test_wet_event_closes_valve(self, water_analysis):
+        sim = Simulator(water_analysis.model)
+        step = sim.fire(wet())
+        assert step.changed
+        assert sim.state == ("wet", "closed")
+        assert step.transitions
+
+    def test_unmatched_event_is_noop(self, water_analysis):
+        sim = Simulator(water_analysis.model)
+        step = sim.fire(dry())
+        assert not step.changed
+        assert not step.transitions
+
+    def test_trace_replay(self, water_analysis):
+        sim = Simulator(water_analysis.model)
+        result = sim.run([wet(), wet()])
+        assert result.initial == ("dry", "open")
+        assert result.final == ("wet", "closed")
+        assert len(result.visited()) == 3
+
+    def test_reset(self, water_analysis):
+        sim = Simulator(water_analysis.model)
+        sim.fire(wet())
+        sim.reset()
+        assert sim.state == ("dry", "open")
+
+    def test_guard_oracle_consulted(self):
+        analysis = analyze_app('''
+definition(name: "Guarded")
+preferences { section("s") {
+    input "the_battery", "capability.battery"
+    input "sw", "capability.switch"
+    input "lvl", "number"
+} }
+def installed() { subscribe(the_battery, "battery", h) }
+def h(evt) {
+    if (the_battery.currentValue("battery") < lvl) { sw.on() }
+}
+''')
+        model = analysis.model
+        low = Event(EventKind.DEVICE, "the_battery", "battery", "battery<lvl")
+        yes = Simulator(model, oracle=lambda atom: True)
+        yes.fire(low)
+        assert model.value_in(yes.state, "sw", "switch") == "on"
+
+
+class TestInvariantSlicing:
+    def test_ag_propositional_enforceable(self):
+        formula = parse_ctl("AG !(p & q)")
+        assert invariant_operand(formula) is not None
+
+    def test_temporal_body_not_enforceable(self):
+        formula = parse_ctl("AG (p -> EF q)")
+        assert invariant_operand(formula) is None
+
+    def test_non_ag_not_enforceable(self):
+        assert invariant_operand(parse_ctl("EF p")) is None
+
+
+class TestRuntimeMonitor:
+    def test_bad_action_blocked(self):
+        analysis = analyze_app(BAD_LIGHT)
+        assert "P.2" in analysis.violated_ids()  # statically flagged
+        monitor = RuntimeMonitor.from_analysis(analysis)
+        decision = monitor.feed(motion())
+        assert decision.intervened
+        blocked_properties = {pid for _t, pid in decision.blocked}
+        assert "P.2" in blocked_properties
+        # the light was NOT turned off...
+        assert analysis.model.value_in(decision.state, "hall_light", "switch") == "on"
+        # ...but the sensor reading itself still advanced.
+        assert analysis.model.value_in(decision.state, "the_motion", "motion") == "active"
+
+    def test_safe_app_never_intervenes(self, water_analysis):
+        monitor = RuntimeMonitor.from_analysis(water_analysis)
+        decisions = monitor.run([wet(), dry(), wet()])
+        assert not any(d.intervened for d in decisions)
+        assert not monitor.interventions()
+
+    def test_custom_policy(self, water_analysis):
+        # Forbid the valve from ever being closed (a silly policy, to show
+        # custom enforcement): the wet-handler is then blocked.
+        policy = parse_ctl('AG !attr:valve_device.valve=closed')
+        monitor = RuntimeMonitor(water_analysis.model, [("CUSTOM", policy)])
+        decision = monitor.feed(wet())
+        assert decision.intervened
+        assert decision.blocked[0][1] == "CUSTOM"
+
+    def test_unenforceable_policies_reported(self, water_analysis):
+        policy = parse_ctl("AG (attr:water_sensor.water=wet -> EF attr:valve_device.valve=open)")
+        monitor = RuntimeMonitor(water_analysis.model, [("LIVENESS", policy)])
+        assert monitor.skipped == ["LIVENESS"]
+
+    def test_log_accumulates(self, water_analysis):
+        monitor = RuntimeMonitor.from_analysis(water_analysis)
+        monitor.run([wet(), dry()])
+        assert len(monitor.log) == 2

@@ -1,0 +1,110 @@
+"""DPLL SAT solver: unit tests + brute-force cross-checks."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mc.sat import Solver, solve
+
+
+def _check(clauses, assignment):
+    return all(
+        any(assignment.get(abs(l), False) == (l > 0) for l in clause)
+        for clause in clauses
+    )
+
+
+class TestBasics:
+    def test_empty_problem_sat(self):
+        assert solve([]) is not None
+
+    def test_single_unit(self):
+        model = solve([[1]])
+        assert model[1] is True
+
+    def test_negative_unit(self):
+        model = solve([[-1]])
+        assert model[1] is False
+
+    def test_conflict_units(self):
+        assert solve([[1], [-1]]) is None
+
+    def test_simple_3sat(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [1, 3]]
+        model = solve(clauses)
+        assert model is not None
+        assert _check(clauses, model)
+
+    def test_unsat_pigeonhole_2_in_1(self):
+        # Two pigeons, one hole: x1 and x2 both true, but not both.
+        clauses = [[1], [2], [-1, -2]]
+        assert solve(clauses) is None
+
+    def test_chain_propagation(self):
+        clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+        model = solve(clauses)
+        assert all(model[i] for i in (1, 2, 3, 4))
+
+    def test_assumptions(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is not None
+        assert solver.solve(assumptions=[-1, -2]) is None
+
+    def test_contradictory_assumptions(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1, -1]) is None
+
+    def test_new_var_counter(self):
+        solver = Solver()
+        first = solver.new_var()
+        second = solver.new_var()
+        assert second == first + 1
+
+
+@st.composite
+def cnf_instances(draw):
+    nvars = draw(st.integers(min_value=1, max_value=6))
+    nclauses = draw(st.integers(min_value=1, max_value=12))
+    clauses = []
+    for _ in range(nclauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            draw(st.integers(min_value=1, max_value=nvars))
+            * (1 if draw(st.booleans()) else -1)
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return nvars, clauses
+
+
+def _brute_force(nvars, clauses):
+    for values in itertools.product([False, True], repeat=nvars):
+        assignment = {i + 1: values[i] for i in range(nvars)}
+        if _check(clauses, assignment):
+            return assignment
+    return None
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnf_instances())
+def test_solver_agrees_with_brute_force(instance):
+    nvars, clauses = instance
+    expected = _brute_force(nvars, clauses)
+    model = solve(clauses)
+    if expected is None:
+        assert model is None
+    else:
+        assert model is not None
+        assert _check(clauses, model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(cnf_instances())
+def test_returned_model_satisfies(instance):
+    _nvars, clauses = instance
+    model = solve(clauses)
+    if model is not None:
+        assert _check(clauses, model)

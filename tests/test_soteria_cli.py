@@ -1,0 +1,94 @@
+"""Orchestrator and command-line interface."""
+
+import pytest
+
+from repro import analyze_app, analyze_environment
+from repro.cli import main
+
+GOOD = '''
+definition(name: "Good")
+preferences { section("s") {
+    input "ws", "capability.waterSensor"
+    input "vd", "capability.valve"
+} }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { vd.close() }
+'''
+
+BAD = GOOD.replace("close()", "open()").replace('"Good"', '"Bad"')
+
+
+class TestOrchestrator:
+    def test_analysis_artifacts(self):
+        analysis = analyze_app(GOOD)
+        assert analysis.ir.devices()
+        assert analysis.model.size() == 4
+        assert analysis.kripke.states
+        assert analysis.timings.keys() >= {"ir", "model", "kripke", "properties"}
+
+    def test_violated_ids_empty_for_clean_app(self):
+        assert analyze_app(GOOD).violated_ids() == set()
+
+    def test_check_results_recorded(self):
+        analysis = analyze_app(GOOD)
+        assert "P.30" in analysis.check_results
+        assert all(r.holds for r in analysis.check_results["P.30"])
+
+    def test_environment_combines_apps(self):
+        env = analyze_environment([GOOD, BAD])
+        assert env.union_model.apps == ["Good", "Bad"]
+        assert {"P.30", "P.11"} <= env.violated_ids()
+
+    def test_environment_accepts_preanalyzed(self):
+        env = analyze_environment([analyze_app(GOOD), analyze_app(BAD)])
+        assert len(env.analyses) == 2
+
+    def test_multi_app_violations_filter(self):
+        env = analyze_environment([GOOD, BAD])
+        for violation in env.multi_app_violations():
+            assert len(violation.apps) > 1
+
+
+class TestCli:
+    def test_analyze_clean_app_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "good.groovy"
+        path.write_text(GOOD)
+        code = main(["analyze", str(path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "all checked properties HOLD" in captured.out
+
+    def test_analyze_bad_app_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.groovy"
+        path.write_text(BAD)
+        code = main(["analyze", str(path)])
+        assert code == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_dot_and_smv_outputs(self, tmp_path, capsys):
+        app = tmp_path / "good.groovy"
+        app.write_text(GOOD)
+        dot = tmp_path / "model.dot"
+        smv = tmp_path / "model.smv"
+        main(["analyze", str(app), "--dot", str(dot), "--smv", str(smv)])
+        assert dot.read_text().startswith("digraph")
+        assert smv.read_text().startswith("MODULE main")
+
+    def test_env_command(self, tmp_path, capsys):
+        a = tmp_path / "a.groovy"
+        b = tmp_path / "b.groovy"
+        a.write_text(GOOD)
+        b.write_text(BAD)
+        code = main(["env", str(a), str(b)])
+        assert code == 1
+        assert "multi-app analysis" in capsys.readouterr().out
+
+    def test_list_properties(self, capsys):
+        code = main(["list-properties"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "S.1" in out and "P.30" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,267 @@
+"""Symbolic execution: path conditions, actions, merging, reflection."""
+
+import pytest
+
+from repro.analysis.symexec import SymbolicExecutor
+from repro.analysis.values import Const, DeviceRead, EventValue, UserInput
+from repro.ir import build_ir
+from repro.platform import SmartApp
+
+
+def rules_for(source, handler=None):
+    ir = build_ir(SmartApp.from_source(source))
+    exe = SymbolicExecutor(ir)
+    result = exe.run_all()
+    if handler is None:
+        return result
+    for entry, summaries in result.items():
+        if entry.handler == handler:
+            return summaries
+    raise KeyError(handler)
+
+
+HEADER = '''
+definition(name: "X")
+preferences {
+    section("S") {
+        input "the_switch", "capability.switch", required: true
+        input "the_alarm", "capability.alarm", required: true
+        input "power_meter", "capability.powerMeter", required: true
+        input "thrshld", "number", required: true
+    }
+}
+'''
+
+
+class TestStraightLine:
+    def test_single_action(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch.on", h) }
+def h(evt) { the_alarm.siren() }
+''', "h")
+        assert len(summaries) == 1
+        actions = summaries[0].actions
+        assert [(a.device, a.attribute, a.value) for a in actions] == [
+            ("the_alarm", "alarm", "siren")
+        ]
+
+    def test_action_order_preserved(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch.on", h) }
+def h(evt) { the_alarm.siren()\n the_alarm.off() }
+''', "h")
+        values = [a.value for a in summaries[0].actions]
+        assert values == ["siren", "off"]
+
+    def test_numeric_write_resolves_constant(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch.on", h) }
+def h(evt) { def lvl = 68\n setIt(lvl) }
+def setIt(v) { power_meter.poll() }
+''', "h")
+        assert summaries  # inlined call executes without error
+
+
+class TestBranching:
+    SOURCE = HEADER + '''
+def installed() { subscribe(power_meter, "power", h) }
+def h(evt) {
+    def v = power_meter.currentValue("power")
+    if (v > 50) { the_switch.off() }
+    if (v < 5) { the_switch.on() }
+}
+'''
+
+    def test_infeasible_combination_pruned(self):
+        summaries = rules_for(self.SOURCE, "h")
+        # >50 && <5 must be pruned: 3 paths remain.
+        assert len(summaries) == 3
+
+    def test_path_conditions_attached(self):
+        summaries = rules_for(self.SOURCE, "h")
+        off_paths = [
+            s for s in summaries
+            if any(a.value == "off" for a in s.actions)
+        ]
+        assert len(off_paths) == 1
+        rendered = " ".join(a.render() for a in off_paths[0].condition)
+        assert "power > const:50" in rendered
+
+    def test_esp_merge_of_identical_branches(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(power_meter, "power", h) }
+def h(evt) {
+    def v = power_meter.currentValue("power")
+    if (v > 50) { log.debug "hot" } else { log.debug "cool" }
+    the_switch.off()
+}
+''', "h")
+        # Both branches have identical effects: ESP merges them into one
+        # path with no residual branch condition.
+        assert len(summaries) == 1
+        assert summaries[0].condition == ()
+
+    def test_elvis_in_guard(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(power_meter, "power", h) }
+def h(evt) {
+    if (power_meter.currentValue("power") < thrshld) { the_switch.on() }
+}
+''', "h")
+        on_paths = [s for s in summaries if s.actions]
+        assert isinstance(on_paths[0].condition[0].rhs, UserInput)
+
+    def test_nested_if_else_chain(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch", h) }
+def h(evt) {
+    if (evt.value == "on") { the_alarm.siren() }
+    else if (evt.value == "off") { the_alarm.off() }
+    else { log.debug "?" }
+}
+''', "h")
+        assert len(summaries) == 3
+
+    def test_logical_and_in_condition(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(power_meter, "power", h) }
+def h(evt) {
+    def v = power_meter.currentValue("power")
+    if (v > 5 && v < 50) { the_switch.on() }
+}
+''', "h")
+        with_action = [s for s in summaries if s.actions]
+        assert len(with_action) == 1
+        assert len(with_action[0].condition) == 2
+
+
+class TestEventValues:
+    def test_event_value_comparison(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch", h) }
+def h(evt) { if (evt.value == "on") { the_alarm.siren() } }
+''', "h")
+        siren = [s for s in summaries if s.actions][0]
+        atom = siren.condition[0]
+        assert isinstance(atom.lhs, EventValue) or isinstance(atom.rhs, EventValue)
+
+    def test_handler_param_any_name(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch", onEvent) }
+def onEvent(theEvent) {
+    if (theEvent.value == "on") { the_alarm.siren() }
+}
+''', "onEvent")
+        assert [s for s in summaries if s.actions]
+
+
+class TestInterprocedural:
+    def test_return_value_flows(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(power_meter, "power", h) }
+def h(evt) {
+    if (get_power() > 50) { the_switch.off() }
+}
+def get_power() { return power_meter.currentValue("power") }
+''', "h")
+        off = [s for s in summaries if s.actions][0]
+        assert isinstance(off.condition[0].lhs, DeviceRead)
+
+    def test_callee_branches_fork_caller(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(power_meter, "power", h) }
+def h(evt) { def v = pick()\n if (v == 1) { the_switch.on() } }
+def pick() {
+    if (power_meter.currentValue("power") > 9) { return 1 }
+    return 2
+}
+''', "h")
+        assert len(summaries) >= 2
+
+    def test_recursion_bounded(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch.on", h) }
+def h(evt) { spin() }
+def spin() { spin() }
+''', "h")
+        assert summaries is not None  # terminates
+
+    def test_state_writes_cross_calls(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch.on", h) }
+def h(evt) { bump()\n if (state.count > 3) { the_alarm.siren() } }
+def bump() { state.count = state.count + 1 }
+''', "h")
+        assert any(s.state_writes for s in summaries)
+
+
+class TestReflection:
+    SOURCE = HEADER + '''
+def installed() { subscribe(app, appTouch, h) }
+def h(evt) { "$state.m"() }
+def armIt() { the_alarm.siren() }
+def calmIt() { the_alarm.off() }
+'''
+
+    def test_all_targets_explored(self):
+        summaries = rules_for(self.SOURCE, "h")
+        values = {a.value for s in summaries for a in s.actions}
+        assert {"siren", "off"} <= values
+
+    def test_reflective_actions_marked(self):
+        summaries = rules_for(self.SOURCE, "h")
+        for summary in summaries:
+            for action in summary.actions:
+                assert action.via_reflection
+            assert summary.uses_reflection
+
+
+class TestPlatformInterfaces:
+    def test_current_property_read(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(power_meter, "power", h) }
+def h(evt) { if (power_meter.currentPower > 50) { the_switch.off() } }
+''', "h")
+        off = [s for s in summaries if s.actions][0]
+        assert isinstance(off.condition[0].lhs, DeviceRead)
+
+    def test_mode_set_recorded_as_action(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch.off", h) }
+def h(evt) { setLocationMode("away") }
+''', "h")
+        action = summaries[0].actions[0]
+        assert (action.device, action.attribute, action.value) == (
+            "location", "mode", "away",
+        )
+
+    def test_send_calls_tracked(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch.on", h) }
+def h(evt) { sendPush("on!") }
+''', "h")
+        assert summaries[0].sends == ("sendPush",)
+
+    def test_http_closure_executed(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(app, appTouch, h) }
+def h(evt) {
+    httpGet("http://x") { resp -> state.data = resp.status }
+    the_switch.on()
+}
+''', "h")
+        assert any(a.value == "on" for s in summaries for a in s.actions)
+
+    def test_loops_bounded(self):
+        summaries = rules_for(HEADER + '''
+def installed() { subscribe(the_switch, "switch.on", h) }
+def h(evt) {
+    for (i in [1, 2, 3]) { log.debug "$i" }
+    while (state.flag) { state.flag = false }
+    the_alarm.siren()
+}
+''', "h")
+        assert summaries
+        assert all(
+            any(a.value == "siren" for a in s.actions) for s in summaries
+        )

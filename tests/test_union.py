@@ -1,0 +1,137 @@
+"""Algorithm 2: multi-app union models."""
+
+import pytest
+
+from repro.ir import build_ir
+from repro.model import build_union_model, extract_model
+from repro.platform import SmartApp
+
+
+def model_of(source):
+    return extract_model(build_ir(SmartApp.from_source(source)))
+
+
+APP_A = '''
+definition(name: "A")
+preferences {
+    section("S") {
+        input "the_switch", "capability.switch", required: true
+        input "the_contact", "capability.contactSensor", required: true
+    }
+}
+def installed(){ subscribe(the_contact, "contact.open", h) }
+def h(evt){ the_switch.on() }
+'''
+
+APP_B = '''
+definition(name: "B")
+preferences {
+    section("S") {
+        input "the_switch", "capability.switch", required: true
+        input "the_motion", "capability.motionSensor", required: true
+    }
+}
+def installed(){ subscribe(the_motion, "motion.active", h) }
+def h(evt){ the_switch.off() }
+'''
+
+
+class TestUnionConstruction:
+    def test_shared_device_deduplicated(self):
+        union = build_union_model([model_of(APP_A), model_of(APP_B)])
+        switch_attrs = [
+            a for a in union.attributes if a.qualified == "the_switch.switch"
+        ]
+        assert len(switch_attrs) == 1
+
+    def test_state_count_is_product_of_dedup_attrs(self):
+        union = build_union_model([model_of(APP_A), model_of(APP_B)])
+        # switch x contact x motion = 2 * 2 * 2
+        assert union.size() == 8
+
+    def test_transitions_labelled_with_app(self):
+        union = build_union_model([model_of(APP_A), model_of(APP_B)])
+        apps = {t.app for t in union.transitions}
+        assert apps == {"A", "B"}
+
+    def test_rule_origins_kept(self):
+        union = build_union_model([model_of(APP_A), model_of(APP_B)])
+        assert {app for app, _ in union.rule_origins} == {"A", "B"}
+
+    def test_raw_count_multiplies(self):
+        a, b = model_of(APP_A), model_of(APP_B)
+        union = build_union_model([a, b])
+        assert union.raw_state_count == a.raw_state_count * b.raw_state_count
+
+    def test_distinct_handles_stay_separate(self):
+        app_c = APP_B.replace("the_switch", "other_switch")
+        union = build_union_model([model_of(APP_A), model_of(app_c)])
+        names = {a.qualified for a in union.attributes}
+        assert {"the_switch.switch", "other_switch.switch"} <= names
+
+    def test_explicit_shared_device_mapping(self):
+        app_c = APP_B.replace("the_switch", "other_switch")
+        union = build_union_model(
+            [model_of(APP_A), model_of(app_c)],
+            shared_devices={("B", "other_switch"): "the_switch"},
+        )
+        names = {a.qualified for a in union.attributes}
+        assert "other_switch.switch" not in names
+
+
+class TestCascades:
+    """App actions re-stimulate co-installed subscribers (the P.3 chain)."""
+
+    SETTER = '''
+definition(name: "Setter")
+preferences {
+    section("S") {
+        input "trigger_sensor", "capability.contactSensor", required: true
+        input "shared_switch", "capability.switch", required: true
+    }
+}
+def installed(){ subscribe(trigger_sensor, "contact.open", h) }
+def h(evt){ shared_switch.on() }
+'''
+
+    REACTOR = '''
+definition(name: "Reactor")
+preferences {
+    section("S") {
+        input "shared_switch", "capability.switch", required: true
+        input "the_lock", "capability.lock", required: true
+    }
+}
+def installed(){ subscribe(shared_switch, "switch.on", h) }
+def h(evt){ the_lock.lock() }
+'''
+
+    def test_chain_reachable_in_union(self):
+        union = build_union_model([model_of(self.SETTER), model_of(self.REACTOR)])
+        # From [contact=closed, switch=on(driven), lock=unlocked] the
+        # reactor's switch.on rule must fire even though switch is already
+        # on (re-stimulation), locking the door.
+        on_states = [
+            s
+            for s in union.states
+            if union.value_in(s, "shared_switch", "switch") == "on"
+            and union.value_in(s, "the_lock", "lock") == "unlocked"
+        ]
+        fired = [
+            t
+            for t in union.transitions
+            if t.app == "Reactor" and t.source in on_states
+        ]
+        assert fired
+
+    def test_no_restimulation_for_environment_only_values(self):
+        # Nobody writes contact values: contact.open still requires a change.
+        union = build_union_model([model_of(self.SETTER), model_of(self.REACTOR)])
+        for t in union.transitions:
+            if t.app == "Setter":
+                assert union.value_in(t.source, "trigger_sensor", "contact") == "closed"
+
+    def test_single_app_model_has_no_restimulation(self):
+        model = model_of(self.REACTOR)
+        for t in model.transitions:
+            assert model.value_in(t.source, "shared_switch", "switch") == "off"

@@ -1,0 +1,117 @@
+"""Symbolic value domain and predicate atoms."""
+
+import pytest
+
+from repro.analysis.predicates import (
+    Atom,
+    condition_sources,
+    negate_atom,
+    normalize_atom,
+    render_condition,
+)
+from repro.analysis.values import (
+    Arith,
+    Const,
+    DeviceRead,
+    EventValue,
+    StateVar,
+    Unknown,
+    UserInput,
+    fold_arith,
+    source_label,
+)
+
+
+class TestSourceLabels:
+    def test_constant_is_developer_defined(self):
+        assert source_label(Const(50)) == "developer-defined"
+
+    def test_user_input(self):
+        assert source_label(UserInput("thrshld")) == "user-defined"
+
+    def test_device_read(self):
+        assert source_label(DeviceRead("meter", "power")) == "device-state"
+
+    def test_state_variable(self):
+        assert source_label(StateVar("state.counter")) == "state-variable"
+
+    def test_event(self):
+        assert source_label(EventValue()) == "event"
+
+    def test_arith_prefers_non_developer(self):
+        mixed = Arith("+", UserInput("y"), Const(10))
+        assert source_label(mixed) == "user-defined"
+
+    def test_unknown(self):
+        assert source_label(Unknown("x")) == "unknown"
+
+
+class TestFoldArith:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 5, 2, 3),
+            ("*", 4, 3, 12),
+            ("/", 8, 2, 4),
+            ("%", 7, 3, 1),
+            ("**", 2, 3, 8),
+        ],
+    )
+    def test_numeric_folding(self, op, left, right, expected):
+        result = fold_arith(op, Const(left), Const(right))
+        assert isinstance(result, Const)
+        assert result.value == expected
+
+    def test_division_by_zero_is_unknown(self):
+        assert isinstance(fold_arith("/", Const(1), Const(0)), Unknown)
+
+    def test_string_concatenation(self):
+        result = fold_arith("+", Const("a"), Const("b"))
+        assert result == Const("ab")
+
+    def test_symbolic_stays_symbolic(self):
+        result = fold_arith("+", UserInput("y"), Const(10))
+        assert isinstance(result, Arith)
+
+    def test_keys_are_stable(self):
+        a = Arith("+", UserInput("y"), Const(10))
+        b = Arith("+", UserInput("y"), Const(10))
+        assert a.key() == b.key()
+
+
+class TestAtoms:
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(lhs=Const(1), op="~~", rhs=Const(2))
+
+    @pytest.mark.parametrize(
+        "op,negated",
+        [("==", "!="), ("!=", "=="), ("<", ">="), (">", "<="),
+         ("<=", ">"), (">=", "<"), ("truthy", "falsy")],
+    )
+    def test_negation(self, op, negated):
+        atom = Atom(lhs=UserInput("x"), op=op)
+        assert negate_atom(atom).op == negated
+
+    def test_double_negation_is_identity(self):
+        atom = Atom(lhs=UserInput("x"), op="<", rhs=Const(5))
+        assert negate_atom(negate_atom(atom)) == atom
+
+    def test_normalize_swaps_constant_left(self):
+        atom = Atom(lhs=Const(5), op="<", rhs=DeviceRead("m", "power"))
+        fixed = normalize_atom(atom)
+        assert isinstance(fixed.lhs, DeviceRead)
+        assert fixed.op == ">"
+
+    def test_normalize_keeps_correct_orientation(self):
+        atom = Atom(lhs=DeviceRead("m", "power"), op=">", rhs=Const(50))
+        assert normalize_atom(atom) == atom
+
+    def test_render(self):
+        atom = Atom(lhs=DeviceRead("m", "power"), op=">", rhs=Const(50))
+        assert render_condition((atom,)) == "device:m.power > const:50"
+
+    def test_sources(self):
+        atom = Atom(lhs=DeviceRead("m", "power"), op=">", rhs=UserInput("t"))
+        assert condition_sources((atom,)) == {"device-state", "user-defined"}
