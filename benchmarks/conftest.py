@@ -1,12 +1,14 @@
 """Shared fixtures for the benchmark harness.
 
-Heavy analyses are computed once per session and reused across benches;
-the benchmark timers re-run only the code under measurement.
+Heavy analyses are computed once per session through the corpus batch
+driver (:mod:`repro.corpus.batch`), whose source-hash cache also shares
+results with any other in-process sweep; the benchmark timers re-run only
+the code under measurement.
 """
 
 import pytest
 
-from repro import analyze_app
+from repro.corpus.batch import analyze_corpus
 from repro.corpus.loader import load_corpus
 
 
@@ -26,15 +28,15 @@ def maliot_corpus():
 
 
 @pytest.fixture(scope="session")
-def official_analyses(official_corpus):
-    return {app_id: analyze_app(app) for app_id, app in official_corpus.items()}
+def official_analyses():
+    return analyze_corpus("official")
 
 
 @pytest.fixture(scope="session")
-def thirdparty_analyses(thirdparty_corpus):
-    return {app_id: analyze_app(app) for app_id, app in thirdparty_corpus.items()}
+def thirdparty_analyses():
+    return analyze_corpus("thirdparty")
 
 
 @pytest.fixture(scope="session")
-def maliot_analyses(maliot_corpus):
-    return {app_id: analyze_app(app) for app_id, app in maliot_corpus.items()}
+def maliot_analyses():
+    return analyze_corpus("maliot")

@@ -8,17 +8,18 @@ reflection-induced false positive on App5.
 Run:  python examples/maliot_scan.py
 """
 
-from repro import analyze_app, analyze_environment
+from repro import analyze_environment
 from repro.corpus import groundtruth
-from repro.corpus.loader import load_corpus, load_environment_sources
+from repro.corpus.batch import analyze_corpus
+from repro.corpus.loader import load_environment_sources
 
 
 def main() -> None:
-    corpus = load_corpus("maliot")
+    analyses = analyze_corpus("maliot")
     print(f"{'App':7s} {'states':>6s}  {'verdict'}")
     print("-" * 60)
     for entry in groundtruth.MALIOT_GROUND_TRUTH:
-        analysis = analyze_app(corpus[entry.app_id])
+        analysis = analyses[entry.app_id]
         ids = sorted(analysis.violated_ids())
         if not ids:
             if entry.app_id == "App10" and analysis.ir.has_dynamic_preferences:

@@ -16,6 +16,7 @@ Run:  python examples/smart_home_audit.py
 """
 
 from repro import analyze_app, analyze_environment
+from repro.corpus.batch import analyze_corpus
 from repro.reporting import render_report
 
 SMOKE_LIGHTS = """
@@ -77,6 +78,24 @@ def main() -> None:
         print(f"  [{violation.property_id}] apps involved: {', '.join(violation.apps)}")
         for step in violation.counterexample:
             print(f"      {step}")
+
+    print()
+    print("=" * 72)
+    print("Whole-corpus audit (batch driver, worker processes + cache):")
+    print("=" * 72)
+    from repro.corpus.loader import app_ids
+
+    analyses = analyze_corpus("all")  # one sweep, one worker pool
+    for dataset in ("official", "thirdparty", "maliot"):
+        ids_in_dataset = app_ids(dataset)
+        flagged = {
+            app_id: sorted(analyses[app_id].violated_ids())
+            for app_id in ids_in_dataset
+            if analyses[app_id].violations
+        }
+        print(f"  {dataset:11s} {len(ids_in_dataset):3d} apps, {len(flagged)} flagged")
+        for app_id, ids in flagged.items():
+            print(f"      {app_id:6s} -> {', '.join(ids)}")
 
 
 if __name__ == "__main__":

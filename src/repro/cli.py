@@ -46,16 +46,19 @@ def _cmd_env(args: argparse.Namespace) -> int:
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
-    from repro.corpus.loader import load_corpus
+    from repro.corpus.batch import analyze_corpus
+    from repro.corpus.loader import app_ids
 
     datasets = (
         ["official", "thirdparty", "maliot"] if args.dataset == "all" else [args.dataset]
     )
+    # One sweep (one worker pool) even for "all"; print grouped per dataset.
+    analyses = analyze_corpus(args.dataset, jobs=args.jobs)
     failures = 0
     for dataset in datasets:
         print(f"== dataset: {dataset}")
-        for name, app in load_corpus(dataset).items():
-            analysis = analyze_app(app)
+        for name in app_ids(dataset):
+            analysis = analyses[name]
             ids = sorted(analysis.violated_ids())
             status = "VIOLATIONS " + ", ".join(ids) if ids else "clean"
             print(f"  {name:12s} {analysis.model.size():4d} states  {status}")
@@ -107,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default="all",
         choices=["official", "thirdparty", "maliot", "all"],
+    )
+    p_corpus.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: auto; 1 = serial)",
     )
     p_corpus.set_defaults(func=_cmd_corpus)
 

@@ -19,9 +19,12 @@ from repro.corpus.loader import (
     load_corpus,
     load_environment_sources,
 )
+from repro.corpus.batch import analyze_batch, analyze_corpus
 from repro.corpus import groundtruth
 
 __all__ = [
+    "analyze_batch",
+    "analyze_corpus",
     "app_ids",
     "load_app",
     "load_corpus",

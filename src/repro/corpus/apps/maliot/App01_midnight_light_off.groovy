@@ -1,0 +1,40 @@
+/**
+ *  Midnight Light Off
+ *
+ *  GROUND-TRUTH: violates P.2 — the light is turned OFF exactly when
+ *  the motion sensor goes active, leaving the walker in the dark.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Midnight Light Off",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Save power by turning the hall light off whenever motion is detected.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "motion_sensor", "capability.motionSensor", title: "Hall motion", required: true
+        input "hall_light", "capability.switch", title: "Hall light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(motion_sensor, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    log.debug "motion... saving power"
+    hall_light.off()
+}

@@ -1,0 +1,40 @@
+/**
+ *  Away Auto Disarm
+ *
+ *  GROUND-TRUTH: violates P.9 — the security system is disarmed exactly
+ *  when the user goes away.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Away Auto Disarm",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Disarm the security system automatically once the family leaves.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+        input "home_security", "capability.securitySystem", title: "Security system", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence.not present", departHandler)
+}
+
+def departHandler(evt) {
+    log.debug "family gone, disarming for the cleaner"
+    home_security.disarm()
+}

@@ -1,0 +1,41 @@
+/**
+ *  Double Flash
+ *
+ *  GROUND-TRUTH: violates S.2 — the handler writes the same attribute
+ *  value twice on a single path.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Double Flash",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Flick the desk lamp on (twice, for flaky bulbs) when motion starts.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "desk_motion", "capability.motionSensor", title: "Desk motion", required: true
+        input "desk_lamp", "capability.switch", title: "Desk lamp", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(desk_motion, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    log.debug "motion, lamp on (and on again)"
+    desk_lamp.on()
+    desk_lamp.on()
+}

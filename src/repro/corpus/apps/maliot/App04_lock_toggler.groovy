@@ -1,0 +1,41 @@
+/**
+ *  Lock Toggler
+ *
+ *  GROUND-TRUTH: violates S.1 — one handler path drives the lock to
+ *  locked and to unlocked.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Lock Toggler",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Cycle the deadbolt when the front door opens, to re-seat the bolt.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "front_door", "capability.lock", title: "Deadbolt", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", doorHandler)
+}
+
+def doorHandler(evt) {
+    log.debug "re-seating the bolt"
+    front_door.lock()
+    front_door.unlock()
+}

@@ -1,0 +1,60 @@
+/**
+ *  Remote Command Runner
+ *
+ *  GROUND-TRUTH: expected FALSE POSITIVE — the reflective call target
+ *  comes from an HTTP response, so Soteria over-approximates it to
+ *  every method, including stopAlarm(), and warns about P.10 even
+ *  though the server never issues that command while smoke is present.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Remote Command Runner",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Fetch the next maintenance command from our server and run it by name.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "smoke_detector", "capability.smokeDetector", title: "Smoke detector", required: true
+        input "the_alarm", "capability.alarm", title: "Alarm", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+    subscribe(app, appTouch, touchHandler)
+}
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        log.debug "smoke, siren on"
+        the_alarm.siren()
+    }
+}
+
+def touchHandler(evt) {
+    httpGet("http://maintenance.example.com/next-command") { resp ->
+        state.cmd = resp.data.toString()
+    }
+    "$state.cmd"()
+}
+
+def statusReport() {
+    log.debug "all quiet"
+}
+
+def stopAlarm() {
+    the_alarm.off()
+}

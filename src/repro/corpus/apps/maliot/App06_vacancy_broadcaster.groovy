@@ -1,0 +1,43 @@
+/**
+ *  Vacancy Broadcaster
+ *
+ *  GROUND-TRUTH: violates P.1 and P.13 — the door is unlocked and the
+ *  dimmer driven to a developer-hardcoded level exactly when the home
+ *  is empty, advertising the vacancy.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Vacancy Broadcaster",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Open the house for the cleaning crew: unlock and set their favorite light level.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+        input "front_door", "capability.lock", title: "Front door lock", required: true
+        input "mood_dimmer", "capability.switchLevel", title: "Mood dimmer", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence.not present", departHandler)
+}
+
+def departHandler(evt) {
+    log.debug "house empty, opening up for the crew"
+    front_door.unlock()
+    mood_dimmer.setLevel(15)
+}

@@ -1,0 +1,47 @@
+/**
+ *  Cross Purpose Fan
+ *
+ *  GROUND-TRUTH: violates S.4 — the door-open and motion-active events
+ *  may co-occur and race the fan to conflicting states.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Cross Purpose Fan",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Ventilate the terrarium on a fresh-air event, rest the fan when the room stirs.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "room_motion", "capability.motionSensor", title: "Room motion", required: true
+        input "terrarium_fan", "capability.switch", title: "Terrarium fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", airHandler)
+    subscribe(room_motion, "motion.active", stirHandler)
+}
+
+def airHandler(evt) {
+    log.debug "fresh air, fan on"
+    terrarium_fan.on()
+}
+
+def stirHandler(evt) {
+    log.debug "room busy, fan off"
+    terrarium_fan.off()
+}

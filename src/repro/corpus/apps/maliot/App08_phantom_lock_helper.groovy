@@ -1,0 +1,50 @@
+/**
+ *  Phantom Lock Helper
+ *
+ *  GROUND-TRUTH: violates S.5 and P.1 — lockUp() dispatches on an event
+ *  value but is never subscribed, so the away mode can never reach a
+ *  locked door despite the granted lock permission.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Phantom Lock Helper",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Mark the house away when everyone leaves; a helper is meant to lock up.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+        input "front_door", "capability.lock", title: "Front door lock", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence", presenceHandler)
+}
+
+def presenceHandler(evt) {
+    if (evt.value == "not present") {
+        log.debug "everyone left, flagging away"
+        setLocationMode("away")
+    }
+}
+
+def lockUp(evt) {
+    if (evt.value == "away") {
+        log.debug "locking the front door"
+        front_door.lock()
+    }
+}

@@ -1,0 +1,43 @@
+/**
+ *  Cloud Mode Sync
+ *
+ *  GROUND-TRUTH: violates P.27 at runtime (the cloud can answer with
+ *  the wrong mode), but the value only exists dynamically — static
+ *  analysis cannot decide it, so Soteria reports nothing (result O).
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Cloud Mode Sync",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Mirror the mode our cloud dashboard computes whenever presence changes.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence", syncHandler)
+}
+
+def syncHandler(evt) {
+    httpGet("https://dashboard.example.com/desired-mode") { resp ->
+        state.remote_mode = resp.data.toString()
+    }
+    log.debug "applying the cloud-computed mode"
+    setLocationMode(state.remote_mode)
+}

@@ -1,0 +1,36 @@
+/**
+ *  Dynamic Device Picker
+ *
+ *  GROUND-TRUTH: outside the attacker model (result !) — dynamic device
+ *  permissions are constructed at run time, which static analysis flags
+ *  as out of scope rather than analyzing.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Dynamic Device Picker",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Build the device list dynamically from whatever the user owns.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    dynamicPage(name: "devicePicker", title: "Pick your devices") {
+        section("Anything switchable") {
+            input "any_switch", "capability.switch", title: "Switches", multiple: true
+        }
+        section("About") {
+            paragraph "Devices are enumerated dynamically at install time."
+        }
+    }
+}
+
+def getVersion() {
+    return "2.4"
+}
+
+def describeSelection() {
+    log.debug "user selection is resolved dynamically"
+    return any_switch
+}

@@ -1,0 +1,43 @@
+/**
+ *  Door Event Texter
+ *
+ *  GROUND-TRUTH: outside the attacker model (result !) — the app leaks
+ *  device events over SMS, a sensitive-data flow that the state-model
+ *  properties do not cover; the sink is recorded for scope reporting.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Door Event Texter",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Text every front-door event to the configured number.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+    }
+    section("Settings") {
+        input "phone_number", "phone", title: "Send texts to", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact", doorLogger)
+}
+
+def doorLogger(evt) {
+    log.debug "forwarding the door event"
+    sendSms(phone_number, "Front door is now ${evt.value}.")
+}

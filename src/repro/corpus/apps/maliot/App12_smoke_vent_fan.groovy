@@ -1,0 +1,41 @@
+/**
+ *  Smoke Vent Fan
+ *
+ *  GROUND-TRUTH: violates P.3 only with App13 and App14 installed — the
+ *  fan it switches on starts the chain that ends with the door locked
+ *  during smoke.  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Smoke Vent Fan",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Spin the hall fan up when smoke is detected to clear the air.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "smoke_detector", "capability.smokeDetector", title: "Smoke detector", required: true
+        input "hall_fan", "capability.switch", title: "Hall fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(smoke_detector, "smoke.detected", smokeHandler)
+}
+
+def smokeHandler(evt) {
+    log.debug "smoke, fan on to clear the air"
+    hall_fan.on()
+}

@@ -1,0 +1,39 @@
+/**
+ *  Fan Means Home
+ *
+ *  GROUND-TRUTH: violates P.3 only with App12 and App14 installed — it
+ *  relays the fan event into a home-mode change.  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Fan Means Home",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "If the hall fan is running, somebody must be home — set the mode.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "hall_fan", "capability.switch", title: "Hall fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(hall_fan, "switch.on", fanOnHandler)
+}
+
+def fanOnHandler(evt) {
+    log.debug "fan running, marking the house home"
+    setLocationMode("home")
+}

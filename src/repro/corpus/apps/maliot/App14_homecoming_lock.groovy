@@ -1,0 +1,40 @@
+/**
+ *  Homecoming Lock
+ *
+ *  GROUND-TRUTH: violates P.3 only with App12 and App13 installed — its
+ *  home-mode lock fires while smoke is present at the end of the chain.
+ *  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Homecoming Lock",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Lock the front door once the family is home for the night.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_door", "capability.lock", title: "Front door lock", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.home", homecomingHandler)
+}
+
+def homecomingHandler(evt) {
+    log.debug "family home, locking up"
+    front_door.lock()
+}

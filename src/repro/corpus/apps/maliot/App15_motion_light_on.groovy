@@ -1,0 +1,41 @@
+/**
+ *  Motion Light On
+ *
+ *  GROUND-TRUTH: violates S.1 only with App1 installed — the same
+ *  motion event drives the shared hall light to conflicting states
+ *  across the two apps.  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Motion Light On",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Turn the hall light on when the hall motion sensor fires.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "motion_sensor", "capability.motionSensor", title: "Hall motion", required: true
+        input "hall_light", "capability.switch", title: "Hall light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(motion_sensor, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    log.debug "motion, hall light on"
+    hall_light.on()
+}

@@ -1,0 +1,42 @@
+/**
+ *  Away Outlet Saver
+ *
+ *  GROUND-TRUTH: violates P.14 (twice) only with App17 installed — the
+ *  app-driven away mode immediately de-powers both critical outlets
+ *  (camera and alarm).  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Away Outlet Saver",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Cut standby power to the camera and siren outlets while away.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "camera_outlet", "capability.switch", title: "Camera outlet", required: true
+        input "alarm_outlet", "capability.switch", title: "Alarm siren outlet", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.away", awayHandler)
+}
+
+def awayHandler(evt) {
+    log.debug "away mode, cutting standby power"
+    camera_outlet.off()
+    alarm_outlet.off()
+}

@@ -1,0 +1,40 @@
+/**
+ *  Departure Mode Setter
+ *
+ *  GROUND-TRUTH: violates P.14 (twice) only with App16 installed — its
+ *  away-mode write is the trigger that de-powers App16's critical
+ *  outlets.  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Departure Mode Setter",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Flip the house to away mode as soon as the last person leaves.",
+    category: "My Apps",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence.not present", departHandler)
+}
+
+def departHandler(evt) {
+    log.debug "last person left, away mode"
+    setLocationMode("away")
+}

@@ -1,0 +1,45 @@
+/**
+ *  Light Follows Me
+ *
+ *  Classic market app: the hall light tracks the motion sensor.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Light Follows Me",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Turn a light on when there is motion and off when the motion stops.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "motion_sensor", "capability.motionSensor", title: "Motion here", required: true
+        input "hall_light", "capability.switch", title: "Light to follow", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(motion_sensor, "motion.active", motionActiveHandler)
+    subscribe(motion_sensor, "motion.inactive", motionInactiveHandler)
+}
+
+def motionActiveHandler(evt) {
+    log.debug "motion active, turning the light on"
+    hall_light.on()
+}
+
+def motionInactiveHandler(evt) {
+    log.debug "motion stopped, turning the light off"
+    hall_light.off()
+}

@@ -1,0 +1,43 @@
+/**
+ *  Brighten My Path
+ *
+ *  Numeric attribute driven by a user-entered level; property
+ *  abstraction collapses the 0-100 level domain to the user setting.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Brighten My Path",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Set a dimmer to your preferred level when motion is sensed.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "path_dimmer", "capability.switchLevel", title: "Dimmer to raise", required: true
+        input "motion_sensor", "capability.motionSensor", title: "When there is motion", required: true
+    }
+    section("Settings") {
+        input "brightness", "number", title: "Dimmer level", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(motion_sensor, "motion.active", motionHandler)
+}
+
+def motionHandler(evt) {
+    log.debug "raising the path dimmer to the configured level"
+    path_dimmer.setLevel(brightness)
+}

@@ -1,0 +1,40 @@
+/**
+ *  Open Door Hall Light
+ *
+ *  Table 4 group G.1 member: shares the front contact and hall light
+ *  with O4, O8, and TP12.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Open Door Hall Light",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Turn the hall light on whenever the front door opens.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "hall_light", "capability.switch", title: "Hall light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", doorOpenHandler)
+}
+
+def doorOpenHandler(evt) {
+    log.debug "front door opened, hall light on"
+    hall_light.on()
+}

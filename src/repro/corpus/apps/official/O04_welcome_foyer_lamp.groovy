@@ -1,0 +1,40 @@
+/**
+ *  Welcome Foyer Lamp
+ *
+ *  Table 4 group G.1 member: complements O8, which lights the same lamp
+ *  when the door closes.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Welcome Foyer Lamp",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Light the foyer lamp when the front door opens.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "foyer_lamp", "capability.switch", title: "Foyer lamp", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", welcomeHandler)
+}
+
+def welcomeHandler(evt) {
+    log.debug "door open, lighting the foyer"
+    foyer_lamp.on()
+}

@@ -1,0 +1,42 @@
+/**
+ *  Mode Setpoint Sync
+ *
+ *  The setpoint comes from a user preference, so P.16 (no hard-coded
+ *  mode-change setpoints) holds.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Mode Setpoint Sync",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Apply your preferred heating setpoint whenever the mode changes.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "ther", "capability.thermostat", title: "Thermostat", required: true
+    }
+    section("Settings") {
+        input "comfort_temp", "number", title: "Heating setpoint", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode", modeChangeHandler)
+}
+
+def modeChangeHandler(evt) {
+    log.debug "mode changed, applying the user setpoint"
+    ther.setHeatingSetpoint(comfort_temp)
+}

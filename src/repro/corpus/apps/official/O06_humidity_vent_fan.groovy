@@ -1,0 +1,44 @@
+/**
+ *  Humidity Vent Fan
+ *
+ *  Numeric humidity readings are partitioned by the 45/60 percent
+ *  comparison cut points (property abstraction, Sec. 4.2.1).
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Humidity Vent Fan",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Run the vent fan when humidity is high and rest it when the air is dry.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "humidity_sensor", "capability.relativeHumidityMeasurement", title: "Humidity sensor", required: true
+        input "vent_fan", "capability.switch", title: "Vent fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(humidity_sensor, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+    if (evt.value > 60) {
+        vent_fan.on()
+    }
+    if (evt.value < 45) {
+        vent_fan.off()
+    }
+}

@@ -1,0 +1,45 @@
+/**
+ *  Presence Mode Automator
+ *
+ *  Table 4 group G.3 member: the mode changes it publishes trigger the
+ *  other G.3 apps' mode handlers.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Presence Mode Automator",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Set the home mode from the family presence sensor.",
+    category: "Mode Magic",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence.present", arriveHandler)
+    subscribe(presence_sensor, "presence.not present", departHandler)
+}
+
+def arriveHandler(evt) {
+    log.debug "somebody arrived, switching to home"
+    setLocationMode("home")
+}
+
+def departHandler(evt) {
+    log.debug "everyone left, switching to away"
+    setLocationMode("away")
+}

@@ -1,0 +1,47 @@
+/**
+ *  Porch Minder
+ *
+ *  Table 4 group G.1 member: repeats TP12's porch-light command and
+ *  mirrors O4's foyer lamp on the complementary event.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Porch Minder",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Douse the porch light once the door is open and glow the foyer after it shuts.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "porch_light", "capability.switch", title: "Porch light", required: true
+        input "foyer_lamp", "capability.switch", title: "Foyer lamp", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", doorOpenHandler)
+    subscribe(front_contact, "contact.closed", doorClosedHandler)
+}
+
+def doorOpenHandler(evt) {
+    log.debug "door open, porch light out"
+    porch_light.off()
+}
+
+def doorClosedHandler(evt) {
+    log.debug "door closed, foyer lamp on"
+    foyer_lamp.on()
+}

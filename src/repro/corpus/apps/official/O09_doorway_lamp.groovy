@@ -1,0 +1,40 @@
+/**
+ *  Doorway Lamp
+ *
+ *  Table 4 group G.2 member: issues the same command as O16 on the same
+ *  event (a repeated-command pair in the union model).
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Doorway Lamp",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Turn the hall light on when the front door is opened.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "hall_light", "capability.switch", title: "Hall light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", lampHandler)
+}
+
+def lampHandler(evt) {
+    log.debug "door open, lamp on"
+    hall_light.on()
+}

@@ -1,0 +1,44 @@
+/**
+ *  Sunset Evening Lights
+ *
+ *  Solar (abstract) events drive the schedule; no device state is read.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Sunset Evening Lights",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Turn the evening lights on at sunset and off again at sunrise.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "evening_lights", "capability.switch", title: "Evening lights", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "sunset", sunsetHandler)
+    subscribe(location, "sunrise", sunriseHandler)
+}
+
+def sunsetHandler(evt) {
+    log.debug "sunset, lights on"
+    evening_lights.on()
+}
+
+def sunriseHandler(evt) {
+    log.debug "sunrise, lights off"
+    evening_lights.off()
+}

@@ -1,0 +1,40 @@
+/**
+ *  Water Valve Shutoff
+ *
+ *  The paper's Water-Leak-Detector shape: wet report closes the valve
+ *  (P.30 holds by construction).
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Water Valve Shutoff",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Close the main water valve as soon as a leak is detected.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "leak_sensor", "capability.waterSensor", title: "Leak sensor", required: true
+        input "valve_device", "capability.valve", title: "Main water valve", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(leak_sensor, "water.wet", leakHandler)
+}
+
+def leakHandler(evt) {
+    log.debug "leak detected, closing the valve"
+    valve_device.close()
+}

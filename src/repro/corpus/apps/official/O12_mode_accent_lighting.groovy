@@ -1,0 +1,39 @@
+/**
+ *  Mode Accent Lighting
+ *
+ *  Table 4 group G.3 member: harmless alone (mode changes are the
+ *  user's intent) but chained by O7's mode writes in the union model.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Mode Accent Lighting",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Switch the accent light on when the house goes to away mode.",
+    category: "Mode Magic",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "accent_light", "capability.switch", title: "Accent light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.away", awayHandler)
+}
+
+def awayHandler(evt) {
+    log.debug "away mode, accent light on for a lived-in look"
+    accent_light.on()
+}

@@ -1,0 +1,46 @@
+/**
+ *  Thermostat Window Guard
+ *
+ *  Complementary contact events drive the thermostat to different
+ *  modes, so no general property fires.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Thermostat Window Guard",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Pause the thermostat while a window is open and resume when it shuts.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_window", "capability.contactSensor", title: "Window", required: true
+        input "ther", "capability.thermostat", title: "Thermostat", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_window, "contact.open", windowOpenHandler)
+    subscribe(front_window, "contact.closed", windowClosedHandler)
+}
+
+def windowOpenHandler(evt) {
+    log.debug "window open, thermostat off"
+    ther.off()
+}
+
+def windowClosedHandler(evt) {
+    log.debug "window closed, thermostat back to auto"
+    ther.auto()
+}

@@ -1,0 +1,40 @@
+/**
+ *  Closing Time
+ *
+ *  Table 4 group G.2 member: races TP2's away-mode light command on the
+ *  shared hall light.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Closing Time",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Turn the hall light off once the front door is closed.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "hall_light", "capability.switch", title: "Hall light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.closed", doorClosedHandler)
+}
+
+def doorClosedHandler(evt) {
+    log.debug "door closed, hall light off"
+    hall_light.off()
+}

@@ -1,0 +1,40 @@
+/**
+ *  CO Responder
+ *
+ *  Alarm escalation on CO detection; the alarm is never silenced while
+ *  the hazard persists.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "CO Responder",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Sound siren and strobe when carbon monoxide is detected.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "co_sensor", "capability.carbonMonoxideDetector", title: "CO detector", required: true
+        input "siren_alarm", "capability.alarm", title: "Alarm", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(co_sensor, "carbonMonoxide.detected", coHandler)
+}
+
+def coHandler(evt) {
+    log.debug "carbon monoxide detected, full alarm"
+    siren_alarm.both()
+}

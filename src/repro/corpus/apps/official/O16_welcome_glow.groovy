@@ -1,0 +1,41 @@
+/**
+ *  Welcome Glow
+ *
+ *  Table 4 group G.2 member: duplicates O9's hall-light command on the
+ *  same door event.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Welcome Glow",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Greet anyone opening the front door with the hall light and a notification.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "hall_light", "capability.switch", title: "Hall light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", glowHandler)
+}
+
+def glowHandler(evt) {
+    log.debug "door open, glow and notify"
+    hall_light.on()
+    sendPush("The front door was opened.")
+}

@@ -1,0 +1,45 @@
+/**
+ *  Power Allowance
+ *
+ *  The wattage threshold is a user preference, abstracted into the two
+ *  symbolic regions below/at-or-above the setting.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Power Allowance",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Cut power to a plug once it draws more than your allowance.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "power_meter", "capability.powerMeter", title: "Meter on the plug", required: true
+        input "wall_plug", "capability.switch", title: "Plug to control", required: true
+    }
+    section("Settings") {
+        input "watt_cap", "number", title: "Maximum watts", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(power_meter, "power", powerHandler)
+}
+
+def powerHandler(evt) {
+    if (evt.value > watt_cap) {
+        log.debug "over the allowance, cutting the plug"
+        wall_plug.off()
+    }
+}

@@ -1,0 +1,41 @@
+/**
+ *  Nursery Night Dimmer
+ *
+ *  User-entered dimmer level applied on the night mode change.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Nursery Night Dimmer",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Soften the nursery dimmer to your chosen level at night mode.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "nursery_dimmer", "capability.switchLevel", title: "Nursery dimmer", required: true
+    }
+    section("Settings") {
+        input "soft_level", "number", title: "Night level", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.night", nightHandler)
+}
+
+def nightHandler(evt) {
+    log.debug "night mode, dimming the nursery"
+    nursery_dimmer.setLevel(soft_level)
+}

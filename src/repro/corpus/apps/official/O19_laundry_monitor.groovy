@@ -1,0 +1,40 @@
+/**
+ *  Laundry Monitor
+ *
+ *  Pure sensing app: the 3-watt cut point partitions the power domain.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Laundry Monitor",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Tell me when the washing machine's power draw says the cycle is done.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "washer_meter", "capability.powerMeter", title: "Washer power meter", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(washer_meter, "power", cycleHandler)
+}
+
+def cycleHandler(evt) {
+    if (evt.value < 3) {
+        log.debug "draw fell to idle, cycle finished"
+        sendPush("The laundry is done.")
+    }
+}

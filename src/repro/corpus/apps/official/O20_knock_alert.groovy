@@ -1,0 +1,38 @@
+/**
+ *  Knock Alert
+ *
+ *  Acceleration on the door slab is read as a knock.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Knock Alert",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Notify me when somebody knocks on the door.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "door_slab", "capability.accelerationSensor", title: "Door sensor", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(door_slab, "acceleration.active", knockHandler)
+}
+
+def knockHandler(evt) {
+    log.debug "vibration on the door"
+    sendPush("Somebody is knocking at the door.")
+}

@@ -1,0 +1,45 @@
+/**
+ *  Presence Garage
+ *
+ *  Arrival opens and departure closes, matching P.6 exactly.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Presence Garage",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Open the garage when you arrive and close it after you leave.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "car_presence", "capability.presenceSensor", title: "Car presence", required: true
+        input "garage_door", "capability.garageDoorControl", title: "Garage door", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(car_presence, "presence.present", arriveHandler)
+    subscribe(car_presence, "presence.not present", departHandler)
+}
+
+def arriveHandler(evt) {
+    log.debug "car home, opening the garage"
+    garage_door.open()
+}
+
+def departHandler(evt) {
+    log.debug "car gone, closing the garage"
+    garage_door.close()
+}

@@ -1,0 +1,47 @@
+/**
+ *  Entry Camera
+ *
+ *  Every motion event takes a picture, satisfying P.20 for all door
+ *  states.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Entry Camera",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Photograph the entry whenever motion stirs or the door opens.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "entry_motion", "capability.motionSensor", title: "Entry motion", required: true
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "front_cam", "capability.imageCapture", title: "Entry camera", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(entry_motion, "motion.active", motionHandler)
+    subscribe(front_contact, "contact.open", doorHandler)
+}
+
+def motionHandler(evt) {
+    log.debug "motion at the entry, taking a photo"
+    front_cam.take()
+}
+
+def doorHandler(evt) {
+    log.debug "door opened, taking a photo"
+    front_cam.take()
+}

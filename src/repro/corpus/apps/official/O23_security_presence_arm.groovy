@@ -1,0 +1,45 @@
+/**
+ *  Security Presence Arm
+ *
+ *  Disarm happens only on the arrival event, so P.9 holds.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Security Presence Arm",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Arm the security system when everyone leaves; disarm it on arrival.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "family_presence", "capability.presenceSensor", title: "Family presence", required: true
+        input "home_security", "capability.securitySystem", title: "Security system", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(family_presence, "presence.present", arriveHandler)
+    subscribe(family_presence, "presence.not present", departHandler)
+}
+
+def arriveHandler(evt) {
+    log.debug "family home, disarming"
+    home_security.disarm()
+}
+
+def departHandler(evt) {
+    log.debug "house empty, arming away"
+    home_security.armAway()
+}

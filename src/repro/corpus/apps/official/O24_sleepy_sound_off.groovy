@@ -1,0 +1,39 @@
+/**
+ *  Sleepy Sound Off
+ *
+ *  Stopping (not playing) on the sleeping report keeps P.28 satisfied.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Sleepy Sound Off",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Stop the bedroom speaker as soon as the sleep sensor says you are asleep.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "sleep_pad", "capability.sleepSensor", title: "Sleep sensor", required: true
+        input "bedroom_speaker", "capability.musicPlayer", title: "Bedroom speaker", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(sleep_pad, "sleeping.sleeping", asleepHandler)
+}
+
+def asleepHandler(evt) {
+    log.debug "asleep, stopping the music"
+    bedroom_speaker.stop()
+}

@@ -1,0 +1,45 @@
+/**
+ *  Freeze Warning
+ *
+ *  User-defined frost threshold abstracts the temperature domain to two
+ *  symbolic regions.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Freeze Warning",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Text me when the crawl-space temperature drops below my threshold.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "pipe_sensor", "capability.temperatureMeasurement", title: "Crawl-space sensor", required: true
+    }
+    section("Settings") {
+        input "frost_temp", "number", title: "Alert below", required: true
+        input "phone_number", "phone", title: "Phone number", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(pipe_sensor, "temperature", tempHandler)
+}
+
+def tempHandler(evt) {
+    if (evt.value < frost_temp) {
+        log.debug "freeze risk, texting"
+        sendSms(phone_number, "Freeze warning: crawl-space is cold.")
+    }
+}

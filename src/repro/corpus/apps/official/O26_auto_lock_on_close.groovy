@@ -1,0 +1,39 @@
+/**
+ *  Auto Lock On Close
+ *
+ *  Lock-on-close only; the app never unlocks anything.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Auto Lock On Close",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Lock the deadbolt whenever the entry door finishes closing.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "entry_door", "capability.contactSensor", title: "Entry door", required: true
+        input "door_lock", "capability.lock", title: "Deadbolt", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(entry_door, "contact.closed", closedHandler)
+}
+
+def closedHandler(evt) {
+    log.debug "door closed, locking"
+    door_lock.lock()
+}

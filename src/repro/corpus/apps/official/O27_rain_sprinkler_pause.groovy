@@ -1,0 +1,39 @@
+/**
+ *  Rain Sprinkler Pause
+ *
+ *  Wet report shuts the pump off; nothing restarts it automatically.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Rain Sprinkler Pause",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Stop the sprinkler pump when the rain sensor reports water.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "rain_sensor", "capability.waterSensor", title: "Rain sensor", required: true
+        input "sprinkler_pump", "capability.switch", title: "Sprinkler pump", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(rain_sensor, "water.wet", rainHandler)
+}
+
+def rainHandler(evt) {
+    log.debug "rain detected, pausing irrigation"
+    sprinkler_pump.off()
+}

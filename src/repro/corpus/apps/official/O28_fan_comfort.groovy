@@ -1,0 +1,44 @@
+/**
+ *  Fan Comfort
+ *
+ *  The 72/78 degree comparisons become interval cut points in the
+ *  abstracted temperature domain.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Fan Comfort",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Spin the ceiling fan up when it is hot and down when it cools off.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "room_sensor", "capability.temperatureMeasurement", title: "Room sensor", required: true
+        input "ceiling_fan", "capability.switch", title: "Ceiling fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(room_sensor, "temperature", tempHandler)
+}
+
+def tempHandler(evt) {
+    if (evt.value > 78) {
+        ceiling_fan.on()
+    }
+    if (evt.value < 72) {
+        ceiling_fan.off()
+    }
+}

@@ -1,0 +1,38 @@
+/**
+ *  Mailbox Watch
+ *
+ *  A single contact sensor and a notification; no actuators at all.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Mailbox Watch",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Notify me the moment the mailbox lid is opened.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "mail_contact", "capability.contactSensor", title: "Mailbox lid", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(mail_contact, "contact.open", mailHandler)
+}
+
+def mailHandler(evt) {
+    log.debug "mailbox opened"
+    sendPush("The mail has arrived.")
+}

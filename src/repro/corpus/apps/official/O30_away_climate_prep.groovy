@@ -1,0 +1,42 @@
+/**
+ *  Away Climate Prep
+ *
+ *  Table 4 group G.3 member: both outlets are switched on by the same
+ *  mode handler; the conflict surfaces only when another app drives the
+ *  mode (P.17 in the union).
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Away Climate Prep",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Power the server-closet AC and the pipe heater whenever the house goes away.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "ac_unit", "capability.switch", title: "Closet AC outlet", required: true
+        input "space_heater", "capability.switch", title: "Pipe heater outlet", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.away", awayHandler)
+}
+
+def awayHandler(evt) {
+    log.debug "away mode, powering closet AC and pipe heater"
+    ac_unit.on()
+    space_heater.on()
+}

@@ -1,0 +1,39 @@
+/**
+ *  Away Energy Saver
+ *
+ *  Table 4 group G.3 member: conflicts with O12 on the shared accent
+ *  light when a mode-writing app joins the environment.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Away Energy Saver",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Turn the accent light off when the house switches to away.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "accent_light", "capability.switch", title: "Accent light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.away", awayHandler)
+}
+
+def awayHandler(evt) {
+    log.debug "away mode, accent light off"
+    accent_light.off()
+}

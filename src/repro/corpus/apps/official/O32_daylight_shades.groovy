@@ -1,0 +1,44 @@
+/**
+ *  Daylight Shades
+ *
+ *  Illuminance cut points at 200 and 8000 lux partition the 0-10000 raw
+ *  domain into five abstract regions.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Daylight Shades",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Close the shades in harsh sun and open them again when it is dark.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "lux_sensor", "capability.illuminanceMeasurement", title: "Light sensor", required: true
+        input "window_shade", "capability.windowShade", title: "Shade", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(lux_sensor, "illuminance", luxHandler)
+}
+
+def luxHandler(evt) {
+    if (evt.value > 8000) {
+        window_shade.close()
+    }
+    if (evt.value < 200) {
+        window_shade.open()
+    }
+}

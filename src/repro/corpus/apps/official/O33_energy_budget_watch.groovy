@@ -1,0 +1,43 @@
+/**
+ *  Energy Budget Watch
+ *
+ *  User-defined budget threshold over the energy meter.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Energy Budget Watch",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Warn me when the whole-home meter passes my monthly budget.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "main_meter", "capability.energyMeter", title: "Main meter", required: true
+    }
+    section("Settings") {
+        input "monthly_budget", "number", title: "Budget (kWh)", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(main_meter, "energy", energyHandler)
+}
+
+def energyHandler(evt) {
+    if (evt.value > monthly_budget) {
+        log.debug "budget exceeded"
+        sendPush("Energy budget exceeded for this month.")
+    }
+}

@@ -1,0 +1,41 @@
+/**
+ *  Battery Guardian
+ *
+ *  A constant 20-percent cut point: the 0-100 battery domain reduces to
+ *  three abstract regions.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Battery Guardian",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Remind me to change batteries when a sensor reports under 20 percent.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "sensor_battery", "capability.battery", title: "Battery to watch", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(sensor_battery, "battery", batteryHandler)
+}
+
+def batteryHandler(evt) {
+    if (evt.value < 20) {
+        log.debug "battery low"
+        sendPush("A sensor battery is below 20 percent.")
+    }
+}

@@ -1,0 +1,55 @@
+/**
+ *  Smoke Response Center
+ *
+ *  The largest official model (180 states after reduction): smoke (3) x
+ *  alarm (4) x shade (5) x mode (3).  The alarm is silenced only on the
+ *  clear report, so P.10 holds.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Smoke Response Center",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Coordinate alarm and storm shades around the smoke detector and home mode.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "smoke_detector", "capability.smokeDetector", title: "Smoke detector", required: true
+        input "the_alarm", "capability.alarm", title: "Alarm", required: true
+        input "storm_shade", "capability.windowShade", title: "Storm shade", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(smoke_detector, "smoke", smokeHandler)
+    subscribe(location, "mode.away", awayHandler)
+}
+
+def smokeHandler(evt) {
+    if (evt.value == "detected") {
+        log.debug "smoke detected, siren and shades shut"
+        the_alarm.siren()
+        storm_shade.close()
+    }
+    if (evt.value == "clear") {
+        log.debug "air clear, standing down"
+        the_alarm.off()
+    }
+}
+
+def awayHandler(evt) {
+    log.debug "away mode, closing the storm shade"
+    storm_shade.close()
+}

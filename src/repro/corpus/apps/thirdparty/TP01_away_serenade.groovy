@@ -1,0 +1,40 @@
+/**
+ *  Away Serenade
+ *
+ *  Table 3: violates P.13 — appliance (music) functionality used while
+ *  the user is away.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Away Serenade",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Play the living-room speaker while nobody is home to scare off burglars.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+        input "living_room_speaker", "capability.musicPlayer", title: "Speaker", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence.not present", departHandler)
+}
+
+def departHandler(evt) {
+    log.debug "house empty, starting the deterrent playlist"
+    living_room_speaker.play()
+}

@@ -1,0 +1,40 @@
+/**
+ *  Vacant Home Lights
+ *
+ *  Table 3: violates P.12 — the light is switched on exactly when the
+ *  user is away.  Also a Table 4 G.2 member (shared hall light).
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Vacant Home Lights",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Turn the hall light on once everyone has left, so the house never looks empty.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+        input "hall_light", "capability.switch", title: "Hall light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence.not present", departHandler)
+}
+
+def departHandler(evt) {
+    log.debug "everyone gone, hall light on"
+    hall_light.on()
+}

@@ -1,0 +1,47 @@
+/**
+ *  Drafty Fan Logic
+ *
+ *  Table 3: violates S.4 — the night-mode event and the door-open event
+ *  can co-occur and race the fan to opposite states.  Also a Table 4
+ *  member of G.2 and G.3.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Drafty Fan Logic",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Run the box fan when the door lets air in, and rest it at night.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "fan_switch", "capability.switch", title: "Box fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", draftHandler)
+    subscribe(location, "mode.night", nightHandler)
+}
+
+def draftHandler(evt) {
+    log.debug "door open, fan on"
+    fan_switch.on()
+}
+
+def nightHandler(evt) {
+    log.debug "night mode, fan off"
+    fan_switch.off()
+}

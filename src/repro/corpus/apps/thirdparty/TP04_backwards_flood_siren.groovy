@@ -1,0 +1,42 @@
+/**
+ *  Backwards Flood Siren
+ *
+ *  Table 3: violates P.29 — the developer swapped wet and dry, so the
+ *  siren sounds on the dry report and stays quiet during a real leak.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Backwards Flood Siren",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Sound the pool alarm on water reports from the deck sensor.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "deck_sensor", "capability.waterSensor", title: "Deck sensor", required: true
+        input "pool_alarm", "capability.alarm", title: "Pool alarm", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(deck_sensor, "water", waterHandler)
+}
+
+def waterHandler(evt) {
+    if (evt.value == "dry") {
+        log.debug "sensor reports... sounding the siren"
+        pool_alarm.siren()
+    }
+}

@@ -1,0 +1,40 @@
+/**
+ *  Lullaby Player
+ *
+ *  Table 3: violates P.28 — the sound system starts playing exactly
+ *  during sleeping hours.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Lullaby Player",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Start the crib speaker playing soft music when the baby falls asleep.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "sleep_pad", "capability.sleepSensor", title: "Crib sleep pad", required: true
+        input "crib_speaker", "capability.musicPlayer", title: "Crib speaker", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(sleep_pad, "sleeping.sleeping", asleepHandler)
+}
+
+def asleepHandler(evt) {
+    log.debug "baby asleep, starting the lullaby"
+    crib_speaker.play()
+}

@@ -1,0 +1,41 @@
+/**
+ *  Vacation Coffee Cycler
+ *
+ *  Table 3: violates P.13 and S.1 — the appliance is operated while
+ *  away, and the handler drives it to conflicting states on one path.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Vacation Coffee Cycler",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Pulse the coffee maker after everyone leaves so the kitchen looks used.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+        input "coffee_maker", "capability.switch", title: "Coffee maker", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence.not present", departHandler)
+}
+
+def departHandler(evt) {
+    log.debug "simulating a quick brew"
+    coffee_maker.on()
+    coffee_maker.off()
+}

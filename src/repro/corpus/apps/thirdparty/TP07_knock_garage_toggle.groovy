@@ -1,0 +1,41 @@
+/**
+ *  Knock Garage Toggle
+ *
+ *  Table 3: violates S.1 — one handler path drives the garage door to
+ *  open and to closed.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Knock Garage Toggle",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Cycle the garage door when the door slab registers a knock.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "door_slab", "capability.accelerationSensor", title: "Knock sensor", required: true
+        input "garage_door", "capability.garageDoorControl", title: "Garage door", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(door_slab, "acceleration.active", knockHandler)
+}
+
+def knockHandler(evt) {
+    log.debug "knock knock, cycling the garage"
+    garage_door.open()
+    garage_door.close()
+}

@@ -1,0 +1,40 @@
+/**
+ *  Dog Walker Unlock
+ *
+ *  Table 3: violates P.1 — the door is unlocked exactly when the user
+ *  is not at home.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Dog Walker Unlock",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Unlock the front door for the dog walker once the family has left.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "presence_sensor", "capability.presenceSensor", title: "Family presence", required: true
+        input "front_door", "capability.lock", title: "Front door lock", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(presence_sensor, "presence.not present", departHandler)
+}
+
+def departHandler(evt) {
+    log.debug "family gone, letting the dog walker in"
+    front_door.unlock()
+}

@@ -1,0 +1,41 @@
+/**
+ *  Double Tap Valve
+ *
+ *  Table 3: violates S.2 — the handler issues the same close command
+ *  twice on one path.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Double Tap Valve",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Close the main valve (twice, to be sure) when the basement gets wet.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "basement_sensor", "capability.waterSensor", title: "Basement sensor", required: true
+        input "main_valve", "capability.valve", title: "Main valve", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(basement_sensor, "water.wet", leakHandler)
+}
+
+def leakHandler(evt) {
+    log.debug "water! closing the valve twice for luck"
+    main_valve.close()
+    main_valve.close()
+}

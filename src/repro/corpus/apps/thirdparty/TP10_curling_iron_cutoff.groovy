@@ -1,0 +1,39 @@
+/**
+ *  Curling Iron Cutoff
+ *
+ *  Switches off on the inactive report only; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Curling Iron Cutoff",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Kill the curling iron outlet when the bathroom has been still for a while.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "bath_motion", "capability.motionSensor", title: "Bathroom motion", required: true
+        input "curler_outlet", "capability.switch", title: "Curling iron outlet", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(bath_motion, "motion.inactive", stillHandler)
+}
+
+def stillHandler(evt) {
+    log.debug "bathroom still, outlet off"
+    curler_outlet.off()
+}

@@ -1,0 +1,44 @@
+/**
+ *  Fireplace Fan
+ *
+ *  Verified clean; the 80/90 degree comparisons partition the
+ *  temperature domain.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Fireplace Fan",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Circulate heat with the hearth fan when the mantel gets hot.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "mantel_sensor", "capability.temperatureMeasurement", title: "Mantel sensor", required: true
+        input "hearth_fan", "capability.switch", title: "Hearth fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(mantel_sensor, "temperature", mantelHandler)
+}
+
+def mantelHandler(evt) {
+    if (evt.value > 90) {
+        hearth_fan.on()
+    }
+    if (evt.value < 80) {
+        hearth_fan.off()
+    }
+}

@@ -1,0 +1,42 @@
+/**
+ *  Lights Out On Open
+ *
+ *  Table 4 group G.1 member: conflicts with O3 and duplicates O8 on the
+ *  shared lights.  Verified clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Lights Out On Open",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Douse the hall and porch lights as soon as the front door opens.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+        input "hall_light", "capability.switch", title: "Hall light", required: true
+        input "porch_light", "capability.switch", title: "Porch light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_contact, "contact.open", doorOpenHandler)
+}
+
+def doorOpenHandler(evt) {
+    log.debug "door open, lights out"
+    hall_light.off()
+    porch_light.off()
+}

@@ -1,0 +1,44 @@
+/**
+ *  Basement Dehumidifier
+ *
+ *  Verified clean: the device turns on only in the high-humidity
+ *  region, so P.18 holds.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Basement Dehumidifier",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Run the dehumidifier when the basement is muggy and rest it when dry.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "basement_humidity", "capability.relativeHumidityMeasurement", title: "Humidity sensor", required: true
+        input "basement_dehumidifier", "capability.switch", title: "Dehumidifier", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(basement_humidity, "humidity", humidityHandler)
+}
+
+def humidityHandler(evt) {
+    if (evt.value > 70) {
+        basement_dehumidifier.on()
+    }
+    if (evt.value < 40) {
+        basement_dehumidifier.off()
+    }
+}

@@ -1,0 +1,41 @@
+/**
+ *  Knock Checker
+ *
+ *  Reads the contact state as a guard; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Knock Checker",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Ping me about knocks, but only when the door is actually closed.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "door_slab", "capability.accelerationSensor", title: "Knock sensor", required: true
+        input "front_contact", "capability.contactSensor", title: "Front door", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(door_slab, "acceleration.active", knockHandler)
+}
+
+def knockHandler(evt) {
+    if (front_contact.currentValue("contact") == "closed") {
+        log.debug "knock while closed, notifying"
+        sendPush("Somebody knocked on the front door.")
+    }
+}

@@ -1,0 +1,38 @@
+/**
+ *  Sunrise Coffee
+ *
+ *  Solar event to a single appliance command; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Sunrise Coffee",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Start the coffee maker with the sunrise.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "coffee_maker", "capability.switch", title: "Coffee maker", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "sunrise", sunriseHandler)
+}
+
+def sunriseHandler(evt) {
+    log.debug "sunrise, brewing"
+    coffee_maker.on()
+}

@@ -1,0 +1,41 @@
+/**
+ *  Eco Away Setback
+ *
+ *  The setback value is user-entered, so P.16 holds; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Eco Away Setback",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Drop the heating setpoint to your eco temperature when the house empties.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "ther", "capability.thermostat", title: "Thermostat", required: true
+    }
+    section("Settings") {
+        input "eco_temp", "number", title: "Eco setpoint", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.away", awayHandler)
+}
+
+def awayHandler(evt) {
+    log.debug "away, eco setback"
+    ther.setHeatingSetpoint(eco_temp)
+}

@@ -1,0 +1,45 @@
+/**
+ *  Commuter Garage
+ *
+ *  Arrival opens, departure closes; P.6 holds and the app is clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Commuter Garage",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Open the garage for the commuter car and close it behind them.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "car_presence", "capability.presenceSensor", title: "Car presence", required: true
+        input "garage_door", "capability.garageDoorControl", title: "Garage door", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(car_presence, "presence.present", arriveHandler)
+    subscribe(car_presence, "presence.not present", departHandler)
+}
+
+def arriveHandler(evt) {
+    log.debug "car arriving, garage open"
+    garage_door.open()
+}
+
+def departHandler(evt) {
+    log.debug "car leaving, garage closed"
+    garage_door.close()
+}

@@ -1,0 +1,39 @@
+/**
+ *  Flood Siren
+ *
+ *  Sirens exactly on the wet report, satisfying P.29; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Flood Siren",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Sound the basement siren the instant the floor sensor gets wet.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "floor_sensor", "capability.waterSensor", title: "Floor sensor", required: true
+        input "basement_alarm", "capability.alarm", title: "Basement siren", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(floor_sensor, "water.wet", floodHandler)
+}
+
+def floodHandler(evt) {
+    log.debug "water on the floor, siren"
+    basement_alarm.siren()
+}

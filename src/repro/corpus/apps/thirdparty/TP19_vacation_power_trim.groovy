@@ -1,0 +1,41 @@
+/**
+ *  Vacation Power Trim
+ *
+ *  Table 4 group G.3 member: the fridge-outlet cutoff becomes a P.14
+ *  violation once another app drives the away mode.  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Vacation Power Trim",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Cut the fridge outlet and accent light once the house switches to away.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "fridge_outlet", "capability.switch", title: "Fridge outlet", required: true
+        input "accent_light", "capability.switch", title: "Accent light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.away", awayHandler)
+}
+
+def awayHandler(evt) {
+    log.debug "away mode, trimming standby power"
+    fridge_outlet.off()
+    accent_light.off()
+}

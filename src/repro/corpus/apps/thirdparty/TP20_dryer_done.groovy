@@ -1,0 +1,40 @@
+/**
+ *  Dryer Done
+ *
+ *  Pure sensing with a 5-watt cut point; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Dryer Done",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Tell me when the dryer's power draw falls back to idle.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "dryer_meter", "capability.powerMeter", title: "Dryer meter", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(dryer_meter, "power", drawHandler)
+}
+
+def drawHandler(evt) {
+    if (evt.value < 5) {
+        log.debug "dryer idle"
+        sendPush("The dryer is done.")
+    }
+}

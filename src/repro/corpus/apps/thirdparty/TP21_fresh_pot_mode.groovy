@@ -1,0 +1,39 @@
+/**
+ *  Fresh Pot Mode
+ *
+ *  Table 4 group G.3 member: mode changes caused by other apps drag the
+ *  coffee maker on (P.13 in the union).  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Fresh Pot Mode",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Brew a fresh pot whenever the home mode changes.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "coffee_maker", "capability.switch", title: "Coffee maker", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode", perkHandler)
+}
+
+def perkHandler(evt) {
+    log.debug "mode changed, fresh pot"
+    coffee_maker.on()
+}

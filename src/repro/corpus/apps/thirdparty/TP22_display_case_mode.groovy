@@ -1,0 +1,39 @@
+/**
+ *  Display Case Mode
+ *
+ *  Table 4 group G.3 member: powering the secured case while away
+ *  becomes a P.12 violation in the union.  Clean alone.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Display Case Mode",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Light the gun case display when the house goes to away mode.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "gun_case", "capability.switch", title: "Gun case display", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(location, "mode.away", awayHandler)
+}
+
+def awayHandler(evt) {
+    log.debug "away mode, display case lit"
+    gun_case.on()
+}

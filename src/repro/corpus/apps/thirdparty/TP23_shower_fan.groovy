@@ -1,0 +1,43 @@
+/**
+ *  Shower Fan
+ *
+ *  Humidity cut points at 50 and 65 percent; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Shower Fan",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Clear the bathroom steam automatically after a shower.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "bath_humidity", "capability.relativeHumidityMeasurement", title: "Bathroom humidity", required: true
+        input "bath_fan", "capability.switch", title: "Extractor fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(bath_humidity, "humidity", steamHandler)
+}
+
+def steamHandler(evt) {
+    if (evt.value > 65) {
+        bath_fan.on()
+    }
+    if (evt.value < 50) {
+        bath_fan.off()
+    }
+}

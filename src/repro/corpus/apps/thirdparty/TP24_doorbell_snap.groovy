@@ -1,0 +1,39 @@
+/**
+ *  Doorbell Snap
+ *
+ *  A single effect-free camera command; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Doorbell Snap",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Photograph whoever opens the front gate.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "gate_contact", "capability.contactSensor", title: "Front gate", required: true
+        input "door_cam", "capability.imageCapture", title: "Gate camera", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(gate_contact, "contact.open", gateHandler)
+}
+
+def gateHandler(evt) {
+    log.debug "gate opened, taking a photo"
+    door_cam.take()
+}

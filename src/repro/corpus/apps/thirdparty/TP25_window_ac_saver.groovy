@@ -1,0 +1,39 @@
+/**
+ *  Window AC Saver
+ *
+ *  Open window cuts the AC; nothing turns it back on.  Clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Window AC Saver",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Shut the window AC off whenever that window is opened.",
+    category: "Green Living",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "window_contact", "capability.contactSensor", title: "Window", required: true
+        input "window_ac", "capability.switch", title: "Window AC", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(window_contact, "contact.open", openHandler)
+}
+
+def openHandler(evt) {
+    log.debug "window open, AC off"
+    window_ac.off()
+}

@@ -1,0 +1,63 @@
+/**
+ *  Garage Butler
+ *
+ *  The largest third-party model (96 states after reduction): door (4)
+ *  x presence (2) x contact (2) x fan (2) x mode (3).  P.6 holds in
+ *  both directions.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Garage Butler",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Run the whole garage: door follows the car, fan follows the side door, all mode-aware.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "car_presence", "capability.presenceSensor", title: "Car presence", required: true
+        input "garage_door", "capability.garageDoorControl", title: "Garage door", required: true
+        input "side_contact", "capability.contactSensor", title: "Side door", required: true
+        input "garage_fan", "capability.switch", title: "Garage fan", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(car_presence, "presence.present", arriveHandler)
+    subscribe(car_presence, "presence.not present", departHandler)
+    subscribe(side_contact, "contact.open", sideOpenHandler)
+    subscribe(side_contact, "contact.closed", sideClosedHandler)
+}
+
+def arriveHandler(evt) {
+    log.debug "car home, garage open"
+    garage_door.open()
+}
+
+def departHandler(evt) {
+    log.debug "car gone, garage closed"
+    garage_door.close()
+}
+
+def sideOpenHandler(evt) {
+    if (location.mode != "away") {
+        log.debug "side door open while someone is around, fan on"
+        garage_fan.on()
+    }
+}
+
+def sideClosedHandler(evt) {
+    log.debug "side door closed, fan off"
+    garage_fan.off()
+}

@@ -1,0 +1,43 @@
+/**
+ *  Dusk Night Light
+ *
+ *  Illuminance cut points at 100 and 300 lux; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Dusk Night Light",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Fade the night light in when it gets dark and out when day returns.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "lux_sensor", "capability.illuminanceMeasurement", title: "Light sensor", required: true
+        input "night_light", "capability.switch", title: "Night light", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(lux_sensor, "illuminance", duskHandler)
+}
+
+def duskHandler(evt) {
+    if (evt.value < 100) {
+        night_light.on()
+    }
+    if (evt.value > 300) {
+        night_light.off()
+    }
+}

@@ -1,0 +1,43 @@
+/**
+ *  Nursery Heat Alert
+ *
+ *  User-defined limit over the nursery temperature; verified clean.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Nursery Heat Alert",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Warn me if the nursery gets hotter than my comfort limit.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "nursery_sensor", "capability.temperatureMeasurement", title: "Nursery sensor", required: true
+    }
+    section("Settings") {
+        input "hot_limit", "number", title: "Alert above", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(nursery_sensor, "temperature", heatHandler)
+}
+
+def heatHandler(evt) {
+    if (evt.value > hot_limit) {
+        log.debug "nursery hot"
+        sendPush("The nursery is hotter than your limit.")
+    }
+}

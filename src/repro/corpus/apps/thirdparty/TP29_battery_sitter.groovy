@@ -1,0 +1,44 @@
+/**
+ *  Battery Sitter
+ *
+ *  The Fig. 11 ablation subject: a 101-value battery domain reduced to
+ *  the two symbolic regions around the user threshold.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Battery Sitter",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Watch one battery and nag me when it sinks below my alert level.",
+    category: "Convenience",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "watched_battery", "capability.battery", title: "Battery to watch", required: true
+    }
+    section("Settings") {
+        input "alert_level", "number", title: "Alert below", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(watched_battery, "battery", batteryHandler)
+}
+
+def batteryHandler(evt) {
+    if (evt.value < alert_level) {
+        log.debug "battery under the alert level"
+        sendPush("Battery is below your alert level.")
+    }
+}

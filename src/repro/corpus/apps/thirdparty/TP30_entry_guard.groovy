@@ -1,0 +1,51 @@
+/**
+ *  Entry Guard
+ *
+ *  48-state model used by the verification-overhead bench: contact (2)
+ *  x alarm (4) x lamp (2) x mode (3).  P.26 holds: every open report
+ *  can reach the siren state.
+ *
+ *  Reconstruction for the Soteria evaluation corpus (Sec. 6).
+ */
+definition(
+    name: "Entry Guard",
+    namespace: "soteria.repro",
+    author: "Soteria Reproduction",
+    description: "Siren and light the entry when the door opens; keep the lamp lit at night.",
+    category: "Safety & Security",
+    iconUrl: "https://s3.amazonaws.com/smartapp-icons/Convenience/Cat-Convenience.png")
+
+preferences {
+    section("Devices") {
+        input "front_door_contact", "capability.contactSensor", title: "Front door", required: true
+        input "entry_siren", "capability.alarm", title: "Entry siren", required: true
+        input "entry_lamp", "capability.switch", title: "Entry lamp", required: true
+    }
+}
+
+def installed() {
+    initialize()
+}
+
+def updated() {
+    unsubscribe()
+    initialize()
+}
+
+def initialize() {
+    subscribe(front_door_contact, "contact", doorHandler)
+    subscribe(location, "mode.night", nightfallHandler)
+}
+
+def doorHandler(evt) {
+    if (evt.value == "open") {
+        log.debug "door open, siren and lamp"
+        entry_siren.siren()
+        entry_lamp.on()
+    }
+}
+
+def nightfallHandler(evt) {
+    log.debug "night mode, entry lamp on"
+    entry_lamp.on()
+}

@@ -8,7 +8,14 @@ from importlib import resources
 
 from repro.platform.smartapp import SmartApp
 
+#: dataset name -> id prefix of its apps (``official/O01_*.groovy`` -> O1).
 _DATASETS = {"official": "O", "thirdparty": "TP", "maliot": "App"}
+
+#: id prefix -> dataset, for prefix-based dispatch in :func:`load_source`.
+_PREFIX_DATASET = {prefix: dataset for dataset, prefix in _DATASETS.items()}
+
+#: A corpus app id: alphabetic prefix + decimal index (``TP12``, ``App5``).
+_APP_ID = re.compile(r"([A-Za-z]+)(\d+)$")
 
 
 def _apps_dir(dataset: str):
@@ -29,36 +36,60 @@ def _id_from_filename(dataset: str, filename: str) -> str:
 
 @functools.lru_cache(maxsize=None)
 def _sources(dataset: str) -> dict[str, str]:
+    directory = _apps_dir(dataset)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"corpus dataset {dataset!r} has no apps directory at {directory}; "
+            f"expected the reconstructed {dataset} apps "
+            f"({_DATASETS[dataset]}*.groovy) under src/repro/corpus/apps/"
+            f"{dataset}/ — see src/repro/corpus/README.md"
+        )
     found: dict[str, str] = {}
-    for entry in sorted(_apps_dir(dataset).iterdir(), key=lambda e: e.name):
+    for entry in sorted(directory.iterdir(), key=lambda e: e.name):
         if not entry.name.endswith(".groovy"):
             continue
-        found[_id_from_filename(dataset, entry.name)] = entry.read_text(
-            encoding="utf-8"
-        )
+        app_id = _id_from_filename(dataset, entry.name)
+        match = _APP_ID.fullmatch(app_id)
+        if match is None or match.group(1) != _DATASETS[dataset]:
+            # Stray helper file (no "<prefix><number>_" stem): not a corpus
+            # app, and load_source could never resolve it — skip it.
+            continue
+        found[app_id] = entry.read_text(encoding="utf-8")
     return found
 
 
 def app_ids(dataset: str) -> list[str]:
-    """All app ids in a dataset, in numeric order."""
-    ids = list(_sources(dataset))
-    return sorted(ids, key=lambda i: int(re.sub(r"\D", "", i)))
+    """All app ids in a dataset, in numeric order.
+
+    ``_sources`` admits only ids of the dataset's ``<prefix><number>``
+    shape, so the numeric suffix always exists here.
+    """
+    return sorted(_sources(dataset), key=lambda i: int(re.sub(r"\D", "", i)))
 
 
 def load_source(app_id: str) -> str:
-    """Raw Groovy source of one corpus app."""
-    for dataset, prefix in _DATASETS.items():
-        if app_id.startswith("App" if prefix == "App" else prefix) and (
-            prefix != "O" or not app_id.startswith("App")
-        ):
-            sources = _sources(dataset)
-            if app_id in sources:
-                return sources[app_id]
+    """Raw Groovy source of one corpus app.
+
+    The dataset is resolved from the id's alphabetic prefix (``O`` ->
+    official, ``TP`` -> thirdparty, ``App`` -> maliot); ids with an unknown
+    prefix or no entry in their dataset raise a uniform :class:`KeyError`.
+    """
+    match = _APP_ID.fullmatch(app_id)
+    dataset = _PREFIX_DATASET.get(match.group(1)) if match else None
+    if dataset is not None:
+        sources = _sources(dataset)
+        if app_id in sources:
+            return sources[app_id]
     raise KeyError(f"unknown corpus app {app_id!r}")
 
 
+@functools.lru_cache(maxsize=None)
 def load_app(app_id: str) -> SmartApp:
-    """Parse one corpus app; the SmartApp name is the corpus id."""
+    """Parse one corpus app; the SmartApp name is the corpus id.
+
+    Cached: the same corpus app is parsed at most once per process (the
+    benchmarks and test fixtures previously re-parsed per fixture).
+    """
     return SmartApp.from_source(load_source(app_id), name=app_id)
 
 

@@ -1,0 +1,158 @@
+"""Loader dispatch/caching and the batch analysis driver."""
+
+import pytest
+
+from repro.corpus import batch, groundtruth
+from repro.corpus.loader import (
+    _id_from_filename,
+    _sources,
+    app_ids,
+    load_app,
+    load_source,
+)
+
+
+class TestIdFromFilename:
+    def test_zero_padding_stripped(self):
+        assert _id_from_filename("official", "O01_light_follows_me.groovy") == "O1"
+        assert _id_from_filename("maliot", "App05_x.groovy") == "App5"
+
+    def test_unpadded_ids_pass_through(self):
+        assert _id_from_filename("thirdparty", "TP12_lights_out.groovy") == "TP12"
+
+    def test_multi_underscore_stem(self):
+        name = "App05_two_part_name_with_many_words.groovy"
+        assert _id_from_filename("maliot", name) == "App5"
+
+    def test_no_underscore_stem(self):
+        assert _id_from_filename("official", "O07.groovy") == "O7"
+
+    def test_non_numeric_prefix_returned_verbatim(self):
+        assert _id_from_filename("official", "Readme_notes.groovy") == "Readme"
+
+    def test_trailing_letters_not_treated_as_id(self):
+        # "O1b" does not match <alpha><digits>; the prefix comes back as-is.
+        assert _id_from_filename("official", "O1b_weird.groovy") == "O1b"
+
+
+class TestLoadSourceDispatch:
+    def test_prefixes_route_to_their_dataset(self):
+        assert 'name: "Light Follows Me"' in load_source("O1")
+        assert 'name: "Lights Out On Open"' in load_source("TP12")
+        assert "GROUND-TRUTH" in load_source("App5")
+
+    @pytest.mark.parametrize(
+        "bogus", ["X1", "O99", "TP999", "App0", "O", "TP", "App", "1", "o1", ""]
+    )
+    def test_unknown_ids_raise_uniform_keyerror(self, bogus):
+        with pytest.raises(KeyError):
+            load_source(bogus)
+
+    def test_app_prefix_is_not_official(self):
+        # "App5" must not be misread as an official app named "App5".
+        assert "App5" not in app_ids("official")
+        assert "App5" in app_ids("maliot")
+
+
+class TestStrayFilesSkipped:
+    def test_non_corpus_files_ignored(self, monkeypatch, tmp_path):
+        import repro.corpus.loader as loader
+
+        dataset_dir = tmp_path / "official"
+        dataset_dir.mkdir()
+        (dataset_dir / "O01_real.groovy").write_text('definition(name: "X")')
+        (dataset_dir / "Notes_helper.groovy").write_text("// scratch")
+        (dataset_dir / "TP01_wrong_prefix.groovy").write_text("// misplaced")
+        (dataset_dir / "readme.txt").write_text("not groovy")
+        monkeypatch.setattr(loader, "_apps_dir", lambda dataset: dataset_dir)
+        _sources.cache_clear()
+        try:
+            # Only the well-formed O-prefixed app survives; strays cannot
+            # be resolved by load_source, so they must not be listed.
+            assert loader.app_ids("official") == ["O1"]
+        finally:
+            monkeypatch.undo()
+            _sources.cache_clear()
+
+
+class TestMissingAppsDirectory:
+    def test_clear_error_names_dataset_and_path(self, monkeypatch, tmp_path):
+        import repro.corpus.loader as loader
+
+        missing = tmp_path / "nowhere"
+        monkeypatch.setattr(loader, "_apps_dir", lambda dataset: missing)
+        _sources.cache_clear()
+        try:
+            with pytest.raises(FileNotFoundError) as excinfo:
+                loader.load_corpus("official")
+            message = str(excinfo.value)
+            assert "official" in message
+            assert str(missing) in message
+        finally:
+            monkeypatch.undo()
+            _sources.cache_clear()
+
+
+class TestLoadAppCache:
+    def test_same_app_parsed_once(self):
+        assert load_app("O1") is load_app("O1")
+
+    def test_distinct_apps_distinct_objects(self):
+        assert load_app("O1") is not load_app("O2")
+
+
+class TestGroundTruthIdsResolve:
+    def test_table3_ids(self):
+        for app_id in groundtruth.TABLE3_INDIVIDUAL:
+            assert load_app(app_id).name == app_id
+
+    def test_table4_group_ids(self):
+        for group in groundtruth.TABLE4_GROUPS:
+            for app_id in group.apps:
+                assert load_app(app_id).name == app_id
+
+    def test_maliot_ids_and_environments(self):
+        for entry in groundtruth.MALIOT_GROUND_TRUTH:
+            assert load_app(entry.app_id).name == entry.app_id
+            for env_id in entry.environment:
+                assert load_app(env_id).name == env_id
+        for group, _prop in groundtruth.MALIOT_ENVIRONMENTS:
+            for app_id in group:
+                assert load_app(app_id).name == app_id
+
+
+class TestBatchDriver:
+    def test_batch_matches_individual_analysis(self):
+        from repro import analyze_app
+
+        results = batch.analyze_batch(["O1", "TP29"], jobs=1)
+        assert set(results) == {"O1", "TP29"}
+        solo = analyze_app(load_app("TP29"))
+        assert results["TP29"].violated_ids() == solo.violated_ids()
+        assert results["TP29"].model.size() == solo.model.size()
+
+    def test_cache_returns_same_object(self):
+        first = batch.analyze_batch(["O2"], jobs=1)["O2"]
+        second = batch.analyze_batch(["O2"], jobs=1)["O2"]
+        assert first is second
+        assert batch.cache_info()["entries"] >= 1
+
+    def test_duplicate_ids_deduplicated_in_order(self):
+        results = batch.analyze_batch(["O1", "O1", "O2"], jobs=1)
+        assert list(results) == ["O1", "O2"]
+
+    def test_worker_pool_sweep_matches_ground_truth(self):
+        results = batch.analyze_corpus("maliot", jobs=2)
+        assert len(results) == 17
+        assert results["App1"].violated_ids() == {"P.2"}
+        assert results["App5"].violated_ids() == {"P.10"}
+        assert not results["App10"].violations
+
+    def test_full_corpus_counts(self):
+        results = batch.analyze_corpus("all", jobs=1)
+        assert len(results) == 82
+        flagged = {a for a, r in results.items() if r.violations}
+        # Table 3's nine + the eight MalIoT apps flagged individually.
+        assert flagged == set(groundtruth.TABLE3_INDIVIDUAL) | {
+            "App1", "App2", "App3", "App4", "App5", "App6", "App7", "App8"
+        }
