@@ -1,0 +1,72 @@
+"""Disk-backed cache: a warm cross-process corpus sweep is >= 5x faster.
+
+The in-memory cache of ``repro.corpus.batch`` dies with the process; the
+disk cache is what makes the *second invocation* of a benchmark script, a
+CI job, or a CLI run near-instant.  Here the full 82-app sweep runs in
+fresh interpreter processes against one cache directory: the first (cold)
+run analyzes everything and persists it, the following (warm) runs only
+unpickle.  Timing happens inside the child around the ``analyze_corpus``
+call, so constant interpreter/import start-up — identical in both runs and
+untouched by caching — does not dilute the measured ratio.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_CHILD = """
+import json, time
+from repro.corpus.batch import analyze_corpus, cache_info
+
+start = time.perf_counter()
+results = analyze_corpus("all", jobs=1, cache_dir={cache_dir!r})
+elapsed = time.perf_counter() - start
+assert len(results) == 82, len(results)
+print(json.dumps({{"elapsed": elapsed, "info": cache_info()}}))
+"""
+
+
+def _sweep_in_fresh_process(cache_dir: Path) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(Path(__file__).resolve().parents[1] / "src"))
+    env.pop("REPRO_BATCH_JOBS", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD.format(cache_dir=str(cache_dir))],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _measure_ratio(cache_dir: Path) -> tuple[float, str]:
+    cold = _sweep_in_fresh_process(cache_dir)
+    warm = [_sweep_in_fresh_process(cache_dir) for _ in range(2)]
+
+    assert cold["info"]["misses"] == 82
+    for run in warm:
+        assert run["info"]["disk_hits"] == 82
+        assert run["info"]["misses"] == 0
+
+    best_warm = min(run["elapsed"] for run in warm)
+    warm_times = ", ".join(f"{run['elapsed']:.3f}s" for run in warm)
+    ratio = cold["elapsed"] / best_warm
+    return ratio, (
+        f"cold 82-app sweep: {cold['elapsed']:.3f}s; "
+        f"warm: {warm_times}; speedup {ratio:.1f}x"
+    )
+
+
+def test_warm_corpus_sweep_is_5x_faster(tmp_path):
+    ratio, report = _measure_ratio(tmp_path / "first")
+    if ratio < 5.0:
+        # One re-measurement before declaring failure: a loaded CI runner
+        # can squeeze a single cold/warm sample below threshold without
+        # any caching defect (typical healthy ratio is ~9x).
+        ratio, retry_report = _measure_ratio(tmp_path / "retry")
+        report = f"{report}; retried: {retry_report}"
+    print(f"\n{report}")
+    assert ratio >= 5.0, f"warm sweep only {ratio:.1f}x faster"

@@ -4,8 +4,14 @@ Subcommands::
 
     soteria analyze app.groovy [--dot out.dot] [--smv out.smv]
     soteria env app1.groovy app2.groovy ...
-    soteria corpus [official|thirdparty|maliot|all]
+    soteria corpus [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
+    soteria sweep [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D] [--pairs]
     soteria list-properties
+
+Exit status is 1 when any analyzed app/environment violates a property,
+0 when everything is clean, and 2 on usage errors.  ``sweep`` exits 3
+when nothing violated but some candidate groups were skipped for
+exceeding the state budget — an incomplete sweep is not a clean one.
 """
 
 from __future__ import annotations
@@ -53,7 +59,7 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         ["official", "thirdparty", "maliot"] if args.dataset == "all" else [args.dataset]
     )
     # One sweep (one worker pool) even for "all"; print grouped per dataset.
-    analyses = analyze_corpus(args.dataset, jobs=args.jobs)
+    analyses = analyze_corpus(args.dataset, jobs=args.jobs, cache_dir=args.cache_dir)
     failures = 0
     for dataset in datasets:
         print(f"== dataset: {dataset}")
@@ -64,7 +70,46 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
             print(f"  {name:12s} {analysis.model.size():4d} states  {status}")
             failures += bool(ids)
     print(f"\n{failures} app(s) with violations")
-    return 0
+    return 1 if failures else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.corpus.sweep import environment_only_ids, sweep_dataset
+
+    budget = {} if args.max_states is None else {"max_union_states": args.max_states}
+    outcomes = sweep_dataset(
+        args.dataset,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        pairwise=args.pairs,
+        **budget,
+    )
+    kind = "pair" if args.pairs else "group"
+    print(f"== sweep: {args.dataset} ({len(outcomes)} candidate {kind}s)")
+    failures = 0
+    skipped = 0
+    for outcome in outcomes:
+        label = "+".join(outcome.group)
+        if outcome.skipped:
+            print(f"  {label}: skipped ({outcome.error})")
+            skipped += 1
+            continue
+        environment = outcome.environment
+        ids = sorted(environment.violated_ids())
+        env_only = sorted(environment_only_ids(environment))
+        status = "VIOLATIONS " + ", ".join(ids) if ids else "clean"
+        print(
+            f"  {label}: union {environment.union_model.size()} states  {status}"
+        )
+        if env_only:
+            print(f"    environment-only: {', '.join(env_only)}")
+        failures += bool(ids)
+    print(f"\n{failures} environment(s) with violations, {skipped} skipped")
+    if failures:
+        return 1
+    # Skipped groups were never verified: "no violations found" is not
+    # "clean", so signal the incomplete sweep distinctly for CI gates.
+    return 3 if skipped else 0
 
 
 def _cmd_list_properties(_args: argparse.Namespace) -> int:
@@ -117,7 +162,46 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="worker processes for the sweep (default: auto; 1 = serial)",
     )
+    p_corpus.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist analyses under this directory (default: $REPRO_CACHE_DIR)",
+    )
     p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="multi-app union analysis over corpus environments"
+    )
+    p_sweep.add_argument(
+        "dataset",
+        nargs="?",
+        default="all",
+        choices=["official", "thirdparty", "maliot", "all"],
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: auto; 1 = serial)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist analyses under this directory (default: $REPRO_CACHE_DIR)",
+    )
+    p_sweep.add_argument(
+        "--pairs",
+        action="store_true",
+        help="sweep device-sharing app pairs instead of maximal groups",
+    )
+    p_sweep.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="union-state budget per environment; larger groups are "
+        "skipped (default: the sweep engine's 10000)",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_list = sub.add_parser("list-properties", help="show the property catalog")
     p_list.set_defaults(func=_cmd_list_properties)

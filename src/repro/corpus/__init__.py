@@ -20,14 +20,31 @@ from repro.corpus.loader import (
     load_environment_sources,
 )
 from repro.corpus.batch import analyze_batch, analyze_corpus
+from repro.corpus.diskcache import DiskCache, PIPELINE_VERSION
+from repro.corpus.sweep import (
+    SweepOutcome,
+    environment_only_ids,
+    groups_sharing_devices,
+    pairs,
+    sweep_dataset,
+    sweep_environments,
+)
 from repro.corpus import groundtruth
 
 __all__ = [
+    "DiskCache",
+    "PIPELINE_VERSION",
+    "SweepOutcome",
     "analyze_batch",
     "analyze_corpus",
     "app_ids",
+    "environment_only_ids",
+    "groups_sharing_devices",
     "load_app",
     "load_corpus",
     "load_environment_sources",
+    "pairs",
+    "sweep_dataset",
+    "sweep_environments",
     "groundtruth",
 ]

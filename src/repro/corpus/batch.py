@@ -5,18 +5,26 @@ loop of every paper benchmark, the CLI ``corpus`` command, and the example
 scripts.  This module turns that loop into a single call:
 
 * **Cache** — one completed :class:`~repro.soteria.AppAnalysis` per app,
-  keyed on the SHA-256 of the app's source text.  Repeated sweeps in one
-  process (test fixtures, benchmark rounds, interactive use) parse and
-  analyze each app at most once.  The loader memoizes sources per
-  process, so the hash key matters when those caches are refreshed: after
-  editing an app and clearing ``loader._sources``/``loader.load_app``,
-  only that app's entry misses — every unchanged analysis is reused.
+  keyed on the SHA-256 of the app's source text.  Two layers:
+
+  - an in-process dict (``_CACHE``): repeated sweeps in one process (test
+    fixtures, benchmark rounds, interactive use) parse and analyze each
+    app at most once;
+  - optionally, a disk-backed store (:class:`repro.corpus.diskcache.DiskCache`)
+    under ``cache_dir`` (or ``$REPRO_CACHE_DIR``): fresh processes reuse
+    analyses from earlier runs, additionally keyed on the pipeline
+    version so results never survive a semantic change to the analysis.
+
+  The loader memoizes sources per process, so the hash key matters when
+  those caches are refreshed: after editing an app and clearing
+  ``loader._sources``/``loader.load_app``, only that app's entry misses —
+  every unchanged analysis is reused.
 * **Workers** — cache misses are analyzed in parallel with
   :mod:`concurrent.futures` worker processes.  The pool is best-effort:
   environments without working multiprocessing (restricted sandboxes) fall
   back to in-process serial analysis transparently.
 
-The cache stores finished analyses only; entries are never mutated by the
+The caches store finished analyses only; entries are never mutated by the
 driver, so shared use across fixtures is safe as long as callers treat the
 results as read-only (which every benchmark does).
 """
@@ -28,6 +36,7 @@ import hashlib
 import os
 from collections.abc import Iterable
 
+from repro.corpus.diskcache import DiskCache, resolve_cache_dir
 from repro.corpus.loader import app_ids, load_app, load_source
 from repro.soteria import AppAnalysis, analyze_app
 
@@ -36,6 +45,9 @@ DATASETS = ("official", "thirdparty", "maliot")
 
 #: Finished analyses keyed on (app id, SHA-256 of the app source).
 _CACHE: dict[tuple[str, str], AppAnalysis] = {}
+
+#: Lifetime cache-effectiveness counters, reported by :func:`cache_info`.
+_STATS = {"memory_hits": 0, "disk_hits": 0, "misses": 0}
 
 #: Environment override for the worker count (0 or 1 forces serial).
 _JOBS_ENV = "REPRO_BATCH_JOBS"
@@ -46,61 +58,99 @@ def _source_key(app_id: str) -> tuple[str, str]:
     return (app_id, digest)
 
 
+def _disk_put(disk: DiskCache, key: tuple[str, str], analysis: AppAnalysis) -> None:
+    """Persist best-effort: an unwritable cache volume (read-only CI
+    restore, full disk) must not fail the analysis that produced the
+    result — cache problems degrade to future misses."""
+    try:
+        disk.put(*key, analysis)
+    except Exception:
+        # OSError (read-only volume, full disk) and pickling failures
+        # (unpicklable analysis in a serial-only environment) alike.
+        pass
+
+
 def _analyze_worker(app_id: str) -> tuple[str, AppAnalysis]:
     """Worker-process entry: load (package data) and analyze one app."""
     return app_id, analyze_app(load_app(app_id))
 
 
-def _resolve_jobs(jobs: int | None, pending: int) -> int:
+def _resolve_jobs(jobs: int | None, pending: int, min_parallel: int = 4) -> int:
+    """Worker count for ``pending`` tasks (explicit arg > env > CPU count).
+
+    ``min_parallel`` is the pool-worthiness cutoff: below it the work runs
+    serially.  The default of 4 is calibrated for cheap per-app analyses
+    (spawning interpreters for a couple of cache misses costs more than
+    the analyses); callers with expensive tasks — union-model checking in
+    the sweep engine — pass 2 so even a pair of tasks parallelizes.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
     if jobs is None:
         env = os.environ.get(_JOBS_ENV)
-        if env is not None and env.strip().isdigit():
-            jobs = int(env)
-        else:
+        if env is None:
             jobs = os.cpu_count() or 1
-    # A worker pool only pays off for a real sweep: spawning interpreters
-    # for a couple of cache misses costs more than the analyses.
-    if pending < 4:
+        else:
+            try:
+                jobs = int(env.strip())
+            except ValueError:
+                raise ValueError(
+                    f"{_JOBS_ENV} must be an integer worker count, "
+                    f"got {env!r}"
+                ) from None
+            if jobs < 0:
+                raise ValueError(
+                    f"{_JOBS_ENV} must be non-negative, got {env!r}"
+                )
+    if pending < min_parallel:
         return 1
     return max(1, min(jobs, pending))
 
 
-def _analyze_in_pool(
-    pending: list[str], worker_count: int
-) -> dict[str, AppAnalysis]:
-    """Analyze ``pending`` ids in worker processes, best-effort.
+def run_in_pool(worker, payloads, worker_count: int) -> dict:
+    """Run ``worker(*payload)`` over worker processes, best-effort.
 
-    Per-app failures (or unpicklable results) are left out of the returned
-    mapping for the caller's serial retry; completed siblings are kept.
-    Environments without usable multiprocessing return an empty mapping.
+    ``worker`` must be a module-level callable (picklable) returning a
+    ``(key, value)`` pair; the result maps key -> value.  Failed payloads
+    (worker exceptions, unpicklable results) are simply absent, for the
+    caller's serial retry where the error can surface; completed siblings
+    are kept.  Environments without usable multiprocessing (restricted
+    sandboxes, missing semaphores) return an empty mapping so callers
+    fall back to fully serial execution.
     """
-    fresh: dict[str, AppAnalysis] = {}
+    done: dict = {}
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=worker_count
         ) as pool:
-            futures = {pool.submit(_analyze_worker, a): a for a in pending}
+            futures = [pool.submit(worker, *payload) for payload in payloads]
             for future in concurrent.futures.as_completed(futures):
                 try:
-                    app_id, analysis = future.result()
+                    key, value = future.result()
                 except Exception:
                     continue  # retried serially so the error surfaces
-                fresh[app_id] = analysis
+                done[key] = value
     except Exception:
-        # No usable multiprocessing here (restricted sandbox, missing
-        # semaphores): fall back to fully serial analysis.
         pass
-    return fresh
+    return done
 
 
 def analyze_batch(
-    ids: Iterable[str], jobs: int | None = None
+    ids: Iterable[str],
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
 ) -> dict[str, AppAnalysis]:
     """Analyze a list of corpus app ids, reusing cached results.
 
     ``jobs`` caps the worker processes (None = auto from ``REPRO_BATCH_JOBS``
-    or the CPU count; 0/1 = serial).  Results come back in input order.
+    or the CPU count; 0/1 = serial).  ``cache_dir`` (default:
+    ``$REPRO_CACHE_DIR`` if set) layers a disk-backed cache under the
+    in-memory one: analyses found on disk skip re-analysis, fresh analyses
+    are persisted for the next process.  Results come back in input order.
     """
+    disk_path = resolve_cache_dir(cache_dir)
+    disk = DiskCache(disk_path) if disk_path is not None else None
+
     ordered = list(dict.fromkeys(ids))
     keys = {app_id: _source_key(app_id) for app_id in ordered}
     results: dict[str, AppAnalysis] = {}
@@ -108,21 +158,39 @@ def analyze_batch(
     for app_id in ordered:
         cached = _CACHE.get(keys[app_id])
         if cached is not None:
+            _STATS["memory_hits"] += 1
             results[app_id] = cached
-        else:
-            pending.append(app_id)
+            if disk is not None and not disk.path_for(*keys[app_id]).exists():
+                # Write-back: analyses computed before the disk layer was
+                # configured still persist for the next process.
+                _disk_put(disk, keys[app_id], cached)
+            continue
+        if disk is not None:
+            stored = disk.get(*keys[app_id])
+            if stored is not None:
+                _STATS["disk_hits"] += 1
+                _CACHE[keys[app_id]] = stored
+                results[app_id] = stored
+                continue
+        pending.append(app_id)
 
     worker_count = _resolve_jobs(jobs, len(pending))
 
     def commit(app_id: str, analysis: AppAnalysis) -> None:
+        _STATS["misses"] += 1
         _CACHE[keys[app_id]] = analysis
         results[app_id] = analysis
+        if disk is not None:
+            _disk_put(disk, keys[app_id], analysis)
 
     if pending and worker_count > 1:
         # Commit pool results immediately: if a later serial retry raises
         # (the per-app error a worker swallowed), the completed siblings
         # stay cached and a rerun only redoes the failing app.
-        for app_id, analysis in _analyze_in_pool(pending, worker_count).items():
+        pool_results = run_in_pool(
+            _analyze_worker, [(app_id,) for app_id in pending], worker_count
+        )
+        for app_id, analysis in pool_results.items():
             commit(app_id, analysis)
     for app_id in pending:
         if app_id not in results:
@@ -131,21 +199,39 @@ def analyze_batch(
 
 
 def analyze_corpus(
-    dataset: str = "all", jobs: int | None = None
+    dataset: str = "all",
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
 ) -> dict[str, AppAnalysis]:
     """Analyze every app of one dataset (or ``"all"`` 82 apps) in one call."""
     if dataset == "all":
         ids = [app_id for name in DATASETS for app_id in app_ids(name)]
     else:
         ids = app_ids(dataset)
-    return analyze_batch(ids, jobs=jobs)
+    return analyze_batch(ids, jobs=jobs, cache_dir=cache_dir)
 
 
 def cache_info() -> dict[str, int]:
-    """Cache statistics (size only; hits are implicit in call latency)."""
-    return {"entries": len(_CACHE)}
+    """Cache statistics: in-memory size plus lifetime hit/miss counters.
+
+    ``memory_hits``/``disk_hits`` count lookups served by each layer,
+    ``misses`` counts analyses actually (re)computed.  Counters reset with
+    :func:`clear_cache`.
+    """
+    return {
+        "entries": len(_CACHE),
+        "hits": _STATS["memory_hits"] + _STATS["disk_hits"],
+        "memory_hits": _STATS["memory_hits"],
+        "disk_hits": _STATS["disk_hits"],
+        "misses": _STATS["misses"],
+    }
 
 
 def clear_cache() -> None:
-    """Drop every cached analysis (tests and memory-sensitive callers)."""
+    """Drop every cached analysis and reset the hit/miss counters.
+
+    In-memory only: disk-cache directories belong to their callers.
+    """
     _CACHE.clear()
+    for key in _STATS:
+        _STATS[key] = 0

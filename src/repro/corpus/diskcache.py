@@ -1,0 +1,165 @@
+"""Disk-backed analysis cache: :class:`AppAnalysis` results across processes.
+
+The in-memory cache of :mod:`repro.corpus.batch` dies with the process, so
+every fresh ``analyze_corpus`` run — a new benchmark invocation, a CI job,
+a CLI call — re-analyzes all 82 apps from source.  This module persists
+finished analyses under a cache directory so cross-process reruns are
+near-instant: a warm sweep only unpickles.
+
+Keying and layout
+-----------------
+An entry is keyed on the triple **(app id, source SHA-256, pipeline
+version)**.  The version is a directory level, the other two make up the
+file name::
+
+    <cache-dir>/
+      v<PIPELINE_VERSION>/
+        O1-<sha256 of O1's source>.pkl
+        TP12-<sha256 of TP12's source>.pkl
+        ...
+
+* Editing an app changes its source hash — the old entry simply stops
+  being referenced (stale files are cleaned up lazily by :meth:`prune`).
+* Bumping :data:`PIPELINE_VERSION` (any change to the analysis semantics:
+  extraction, abstraction, property catalog) invalidates every entry at
+  once, because lookups only ever see the current version directory.
+
+Entries are written atomically (temp file + ``os.replace``) so concurrent
+writers — the batch driver's worker processes, parallel CI shards sharing
+a cache volume — never expose a torn pickle.  Unreadable entries (corrupt
+file, pickle from an incompatible interpreter) are treated as misses and
+deleted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.soteria import AppAnalysis
+
+#: Version of the analysis pipeline baked into every cache path.  Bump this
+#: whenever a change anywhere in the pipeline (IR, abstraction, model
+#: extraction, property catalog) can alter an :class:`AppAnalysis`, so
+#: stale results are never served across code changes.
+PIPELINE_VERSION = "2"
+
+#: Environment variable consulted when no cache directory is passed
+#: explicitly (CLI ``--cache-dir`` and the ``cache_dir=`` parameters win).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class DiskCache:
+    """One cache directory holding pickled :class:`AppAnalysis` entries."""
+
+    def __init__(self, root: str | os.PathLike, version: str = PIPELINE_VERSION):
+        self.root = Path(root)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def version_dir(self) -> Path:
+        return self.root / f"v{self.version}"
+
+    def path_for(self, app_id: str, digest: str) -> Path:
+        return self.version_dir / f"{app_id}-{digest}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, app_id: str, digest: str) -> AppAnalysis | None:
+        """The cached analysis for (app id, source digest), or None.
+
+        Counts a hit/miss; a corrupt or unreadable entry counts as a miss
+        and is removed so the next write replaces it cleanly.
+        """
+        path = self.path_for(app_id, digest)
+        try:
+            with open(path, "rb") as handle:
+                analysis = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(analysis, AppAnalysis):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return analysis
+
+    def put(self, app_id: str, digest: str, analysis: AppAnalysis) -> None:
+        """Persist one analysis atomically (temp file + rename)."""
+        path = self.path_for(app_id, digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{app_id}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(analysis, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Entry files of the *current* pipeline version, sorted by name."""
+        if not self.version_dir.is_dir():
+            return []
+        return sorted(p for p in self.version_dir.iterdir() if p.suffix == ".pkl")
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self.entries()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def prune(self) -> int:
+        """Delete entries of other pipeline versions; returns the count.
+
+        Lazy garbage collection: stale-version directories are unreachable
+        by lookups, this just reclaims the disk.
+        """
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for child in self.root.iterdir():
+            if not child.is_dir() or child == self.version_dir:
+                continue
+            for entry in list(child.iterdir()):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                child.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+def resolve_cache_dir(cache_dir: str | os.PathLike | None) -> Path | None:
+    """An explicit cache dir, else the ``REPRO_CACHE_DIR`` env, else None."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env is not None and env.strip():
+        return Path(env.strip())
+    return None

@@ -1,0 +1,315 @@
+"""Multi-app sweep engine: union-model analysis over app groups (Sec. 6.1).
+
+The paper's multi-app evaluation (Table 4, Appendix C environments) runs
+Algorithm 2 over hand-picked groups of co-installed apps.  This module
+turns that into a corpus-scale workload:
+
+* :func:`pairs` / :func:`groups_sharing_devices` enumerate *candidate
+  co-installations* from the corpus itself — apps interact when they share
+  a device (equal permission handles, the reproduction's device-identity
+  convention) or the location-mode broadcast channel.  Passing a paper
+  group's app ids as the universe recovers that group as one connected
+  component; passing a whole dataset opens arbitrary-group and
+  arbitrary-pair sweeps the paper never ran.
+* :func:`sweep_environments` fans union-model construction + checking out
+  over worker processes, reusing per-app analyses through the batch
+  driver's two cache layers (memory + optional ``cache_dir`` disk store)
+  so no app source is ever parsed twice.
+
+State explosion is a *result*, not an error: a candidate group whose union
+exceeds the state budget comes back as a skipped :class:`SweepOutcome`
+with the error text, and the sweep carries on.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.corpus.batch import DATASETS, _resolve_jobs, analyze_batch, run_in_pool
+from repro.corpus.loader import app_ids, load_app, load_source
+from repro.ir import build_ir
+from repro.model.extractor import StateExplosionError
+from repro.model.union import union_state_count
+from repro.platform.events import EventKind
+from repro.soteria import AppAnalysis, EnvironmentAnalysis, analyze_environment
+
+#: Name of the abstract broadcast channel shared by every app that reads
+#: or writes the location mode (``setLocationMode`` / mode subscriptions).
+MODE_CHANNEL = "location.mode"
+
+#: Default union-state budget per candidate environment.  Every curated
+#: paper group fits with an order of magnitude to spare (the largest,
+#: Table 4's G.3, unions to 1 536 states); corpus-enumerated clusters
+#: beyond it are reported as skipped rather than checked for hours.
+DEFAULT_MAX_UNION_STATES = 10_000
+
+
+# ======================================================================
+# Candidate-environment enumeration
+# ======================================================================
+def _universe(universe: str | Iterable[str]) -> list[str]:
+    """Normalize a dataset name (or ``"all"``) or explicit ids to a list."""
+    if isinstance(universe, str):
+        if universe == "all":
+            return [app_id for name in DATASETS for app_id in app_ids(name)]
+        return app_ids(universe)
+    return list(dict.fromkeys(universe))
+
+
+_COMMENT = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+
+
+@functools.lru_cache(maxsize=None)
+def _app_channels(app_id: str) -> tuple[tuple[str, ...], bool, bool]:
+    """(device handles, reads mode?, writes mode?) for one corpus app.
+
+    Mode subscriptions come from the IR; mode *writes* and guard reads
+    have no IR-level record, so they are detected textually in the
+    comment-stripped source — a sound over-approximation for candidate
+    enumeration (dead code can still flag an app, comments cannot).
+    """
+    source = _COMMENT.sub("", load_source(app_id))
+    ir = build_ir(load_app(app_id))
+    handles = tuple(sorted({perm.handle for perm in ir.devices()}))
+    reads_mode = any(
+        sub.event.kind is EventKind.MODE for sub in ir.subscriptions
+    ) or "location.mode" in source
+    writes_mode = "setLocationMode" in source or "sendLocationEvent" in source
+    return handles, reads_mode, writes_mode
+
+
+def interaction_channels(
+    universe: str | Iterable[str],
+) -> dict[str, tuple[str, ...]]:
+    """Shared channels within a universe of corpus apps.
+
+    Maps channel name -> the apps on it (universe order).  A channel is a
+    device handle held by at least two apps, or :data:`MODE_CHANNEL` when
+    some app writes the location mode and another reads or writes it
+    (a broadcast with one participant interacts with nobody).
+    """
+    ids = _universe(universe)
+    by_handle: dict[str, list[str]] = {}
+    mode_apps: list[str] = []
+    mode_writers = 0
+    for app_id in ids:
+        handles, reads_mode, writes_mode = _app_channels(app_id)
+        for handle in handles:
+            by_handle.setdefault(handle, []).append(app_id)
+        if reads_mode or writes_mode:
+            mode_apps.append(app_id)
+            mode_writers += writes_mode
+    channels = {
+        handle: tuple(apps)
+        for handle, apps in sorted(by_handle.items())
+        if len(apps) > 1
+    }
+    if mode_writers and len(mode_apps) > 1:
+        channels[MODE_CHANNEL] = tuple(mode_apps)
+    return channels
+
+
+def pairs(
+    universe: str | Iterable[str],
+) -> Iterable[tuple[str, str, tuple[str, ...]]]:
+    """Candidate co-installation pairs: apps sharing at least one channel.
+
+    Yields ``(app_a, app_b, shared_channels)`` with apps in universe order
+    — the arbitrary-pair sweep workload (``sweep_environments`` over
+    ``[(a, b) for a, b, _ in pairs(...)]``).
+    """
+    ids = _universe(universe)
+    position = {app_id: index for index, app_id in enumerate(ids)}
+    shared: dict[tuple[str, str], list[str]] = {}
+    for channel, apps in interaction_channels(ids).items():
+        for i, first in enumerate(apps):
+            for second in apps[i + 1 :]:
+                if channel == MODE_CHANNEL and not (
+                    _app_channels(first)[2] or _app_channels(second)[2]
+                ):
+                    # Two mode *readers* alone cannot interact — the
+                    # broadcast needs a writer inside the pair.
+                    continue
+                key = tuple(sorted((first, second), key=position.__getitem__))
+                shared.setdefault(key, []).append(channel)
+    for (first, second), channels in sorted(
+        shared.items(), key=lambda item: (position[item[0][0]], position[item[0][1]])
+    ):
+        yield first, second, tuple(channels)
+
+
+def groups_sharing_devices(
+    universe: str | Iterable[str], min_size: int = 2
+) -> list[tuple[str, ...]]:
+    """Maximal candidate co-installations: connected components of the
+    channel-sharing graph over ``universe``.
+
+    Passing a curated group's ids (a Table 4 group, a MalIoT environment)
+    recovers exactly that group as a single component — the paper's
+    multi-app scenarios are the special case of a universe that is already
+    one interaction cluster.  Passing a dataset name enumerates every
+    maximal cluster of that dataset, most of which the paper never
+    analyzed.  Components smaller than ``min_size`` (isolated apps) are
+    dropped; apps within a component and components themselves keep
+    universe order.
+    """
+    ids = _universe(universe)
+    parent: dict[str, str] = {app_id: app_id for app_id in ids}
+
+    def find(app_id: str) -> str:
+        while parent[app_id] != app_id:
+            parent[app_id] = parent[parent[app_id]]
+            app_id = parent[app_id]
+        return app_id
+
+    for apps in interaction_channels(ids).values():
+        root = find(apps[0])
+        for other in apps[1:]:
+            parent[find(other)] = root
+
+    components: dict[str, list[str]] = {}
+    for app_id in ids:
+        components.setdefault(find(app_id), []).append(app_id)
+    return [
+        tuple(members)
+        for members in components.values()
+        if len(members) >= min_size
+    ]
+
+
+# ======================================================================
+# The sweep itself
+# ======================================================================
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Result of analyzing one candidate environment."""
+
+    group: tuple[str, ...]
+    environment: EnvironmentAnalysis | None
+    error: str | None = None
+
+    @property
+    def skipped(self) -> bool:
+        return self.environment is None
+
+    def violated_ids(self) -> set[str]:
+        if self.environment is None:
+            return set()
+        return self.environment.violated_ids()
+
+
+def environment_only_ids(environment: EnvironmentAnalysis) -> set[str]:
+    """Property ids only the union model reveals (the Table 4 numbers):
+    multi-app violations plus ids no member app violates individually."""
+    individual: set[str] = set()
+    for analysis in environment.analyses:
+        individual |= analysis.violated_ids()
+    return {
+        violation.property_id
+        for violation in environment.violations
+        if len(violation.apps) > 1 or violation.property_id not in individual
+    }
+
+
+def _union_outcome(
+    group: tuple[str, ...],
+    analyses: list[AppAnalysis],
+    max_union_states: int | None,
+) -> SweepOutcome:
+    """Build + check one union model from precomputed per-app analyses."""
+    try:
+        environment = analyze_environment(
+            list(analyses), max_union_states=max_union_states
+        )
+    except StateExplosionError as exc:
+        return SweepOutcome(group=group, environment=None, error=str(exc))
+    return SweepOutcome(group=group, environment=environment)
+
+
+def _sweep_worker(
+    group: tuple[str, ...],
+    analyses: list[AppAnalysis],
+    max_union_states: int | None,
+) -> tuple[tuple[str, ...], SweepOutcome]:
+    return group, _union_outcome(group, analyses, max_union_states)
+
+
+def sweep_environments(
+    groups: Iterable[Sequence[str]],
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    max_union_states: int | None = DEFAULT_MAX_UNION_STATES,
+) -> list[SweepOutcome]:
+    """Union-model analysis over many app groups, in input order.
+
+    Per-app analyses are computed once through :func:`analyze_batch`
+    (worker processes for cache misses; ``cache_dir`` layers the
+    disk-backed cache, so a warm sweep re-parses nothing).  Union
+    construction + checking then fans out over worker processes — each
+    group ships its precomputed analyses to a worker, no re-parsing there
+    either.  Groups whose union exceeds ``max_union_states`` (None =
+    the default build budget) come back as skipped outcomes carrying the
+    error text.  One outcome per input group, in input order — duplicate
+    groups are analyzed once and each occurrence gets the shared result.
+    """
+    requested = [tuple(group) for group in groups]
+    ordered = list(dict.fromkeys(requested))
+    member_ids = list(dict.fromkeys(a for group in ordered for a in group))
+    analyses = analyze_batch(member_ids, jobs=jobs, cache_dir=cache_dir)
+
+    # Budget-check in the parent: the union's state count is a cheap
+    # domain product over deduplicated attributes, so oversized groups
+    # are skipped without shipping their analyses to any worker.  The
+    # StateExplosionError catch in _union_outcome stays as the backstop
+    # (analyze_environment enforces the same budget).
+    outcomes: dict[tuple[str, ...], SweepOutcome] = {}
+    payloads: list[tuple[tuple[str, ...], list[AppAnalysis], int | None]] = []
+    for group in ordered:
+        group_analyses = [analyses[app_id] for app_id in group]
+        if max_union_states is not None:
+            total = union_state_count([a.model for a in group_analyses])
+            if total > max_union_states:
+                outcomes[group] = SweepOutcome(
+                    group=group,
+                    environment=None,
+                    error=f"union of {list(group)}: {total} states exceed budget",
+                )
+                continue
+        payloads.append((group, group_analyses, max_union_states))
+
+    # min_parallel=2: a sweep payload is a whole union-model check, so
+    # even two groups are worth a pool (unlike batch's cheap per-app jobs).
+    worker_count = _resolve_jobs(jobs, len(payloads), min_parallel=2)
+    if len(payloads) > 1 and worker_count > 1:
+        outcomes.update(run_in_pool(_sweep_worker, payloads, worker_count))
+    for group, group_analyses, budget in payloads:
+        if group not in outcomes:
+            outcomes[group] = _union_outcome(group, group_analyses, budget)
+    return [outcomes[group] for group in requested]
+
+
+def sweep_dataset(
+    dataset: str = "all",
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    pairwise: bool = False,
+    max_union_states: int | None = DEFAULT_MAX_UNION_STATES,
+) -> list[SweepOutcome]:
+    """Sweep one dataset's candidate environments (or all of them).
+
+    ``pairwise`` analyzes every device-sharing pair instead of the maximal
+    sharing groups — many more, much smaller, union models.
+    """
+    if pairwise:
+        groups: list[Sequence[str]] = [
+            (first, second) for first, second, _channels in pairs(dataset)
+        ]
+    else:
+        groups = groups_sharing_devices(dataset)
+    return sweep_environments(
+        groups, jobs=jobs, cache_dir=cache_dir, max_union_states=max_union_states
+    )

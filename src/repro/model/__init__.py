@@ -7,7 +7,7 @@ any residual predicate the checker could not decide statically.
 
 from repro.model.statemodel import State, StateAttribute, StateModel, Transition
 from repro.model.extractor import ModelExtractor, extract_model
-from repro.model.union import build_union_model
+from repro.model.union import build_union_model, union_state_count
 from repro.model.kripke import KripkeStructure, build_kripke
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "ModelExtractor",
     "extract_model",
     "build_union_model",
+    "union_state_count",
     "build_kripke",
     "KripkeStructure",
 ]

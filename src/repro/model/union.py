@@ -40,42 +40,8 @@ def build_union_model(
     def global_id(app: str, handle: str) -> str:
         return mapping.get((app, handle), handle)
 
-    # ------------------------------------------------------------------
-    # Line 1 of Algorithm 2: union states = product over deduplicated
-    # attribute tuples ("the Cartesian product should remove attributes of
-    # duplicate devices").
-    # ------------------------------------------------------------------
-    union_attrs: list[StateAttribute] = []
-    union_domains: dict[tuple[str, str], object] = {}
-    index_of: dict[tuple[str, str], int] = {}
+    union_attrs, union_domains = _union_attributes(models, shared_devices)
     raw = 1
-    for model in models:
-        app = model.apps[0] if model.apps else model.name
-        for attr in model.attributes:
-            gid = global_id(app, attr.device)
-            key = (gid, attr.attribute)
-            if key in index_of:
-                existing = union_attrs[index_of[key]]
-                merged_domain = _merge_domains(existing.domain, attr.domain)
-                union_attrs[index_of[key]] = StateAttribute(
-                    device=gid,
-                    attribute=attr.attribute,
-                    domain=merged_domain,
-                    is_numeric=existing.is_numeric or attr.is_numeric,
-                )
-                continue
-            index_of[key] = len(union_attrs)
-            union_attrs.append(
-                StateAttribute(
-                    device=gid,
-                    attribute=attr.attribute,
-                    domain=attr.domain,
-                    is_numeric=attr.is_numeric,
-                )
-            )
-            numeric = model.numeric_domains.get((attr.device, attr.attribute))
-            if numeric is not None:
-                union_domains[key] = numeric
     for model in models:
         raw *= max(1, model.raw_state_count)
 
@@ -134,12 +100,109 @@ def build_union_model(
     return union
 
 
+def _union_attributes(
+    models: list[StateModel],
+    shared_devices: dict[tuple[str, str], str] | None = None,
+) -> tuple[list[StateAttribute], dict[tuple[str, str], object]]:
+    """Line 1 of Algorithm 2: the deduplicated attribute set of the union
+    ("the Cartesian product should remove attributes of duplicate
+    devices"), plus the merged numeric domains keyed on global device ids.
+    """
+    mapping = shared_devices or {}
+
+    def global_id(app: str, handle: str) -> str:
+        return mapping.get((app, handle), handle)
+
+    union_attrs: list[StateAttribute] = []
+    union_domains: dict[tuple[str, str], object] = {}
+    index_of: dict[tuple[str, str], int] = {}
+    for model in models:
+        app = model.apps[0] if model.apps else model.name
+        for attr in model.attributes:
+            gid = global_id(app, attr.device)
+            key = (gid, attr.attribute)
+            if key in index_of:
+                existing = union_attrs[index_of[key]]
+                merged_domain = _merge_domains(existing.domain, attr.domain)
+                union_attrs[index_of[key]] = StateAttribute(
+                    device=gid,
+                    attribute=attr.attribute,
+                    domain=merged_domain,
+                    is_numeric=existing.is_numeric or attr.is_numeric,
+                )
+                numeric = model.numeric_domains.get((attr.device, attr.attribute))
+                if numeric is not None:
+                    # Keep the second app's abstract regions too: without
+                    # them, its labels in the merged symbolic domain are
+                    # undecidable in the union (guards degrade to Unknown,
+                    # numeric writes stop landing).
+                    present = union_domains.get(key)
+                    union_domains[key] = (
+                        numeric
+                        if present is None
+                        else _merge_numeric_domains(gid, present, numeric)
+                    )
+                continue
+            index_of[key] = len(union_attrs)
+            union_attrs.append(
+                StateAttribute(
+                    device=gid,
+                    attribute=attr.attribute,
+                    domain=attr.domain,
+                    is_numeric=attr.is_numeric,
+                )
+            )
+            numeric = model.numeric_domains.get((attr.device, attr.attribute))
+            if numeric is not None:
+                union_domains[key] = numeric
+    return union_attrs, union_domains
+
+
+def union_state_count(
+    models: list[StateModel],
+    shared_devices: dict[tuple[str, str], str] | None = None,
+) -> int:
+    """State count of :func:`build_union_model`'s result, without building
+    it — the deduplicated-attribute domain product.  Lets sweep drivers
+    budget-check candidate groups before shipping models anywhere.
+    """
+    union_attrs, _domains = _union_attributes(models, shared_devices)
+    total = 1
+    for attr in union_attrs:
+        total *= max(1, len(attr.domain))
+    return total
+
+
 def _merge_domains(first: tuple[str, ...], second: tuple[str, ...]) -> tuple[str, ...]:
     merged = list(first)
     for value in second:
         if value not in merged:
             merged.append(value)
     return tuple(merged)
+
+
+def _merge_numeric_domains(gid, first, second):
+    """Union two apps' abstract domains for one shared numeric attribute.
+
+    Regions merge by label (first writer wins on a label clash — labels
+    encode the region, so equal labels describe equal regions);
+    ``raw_size`` keeps the larger pre-abstraction count, mirroring how the
+    symbolic domain keeps every label.
+    """
+    from repro.analysis.abstraction import AbstractDomain
+
+    regions = list(first.regions)
+    labels = {region.label for region in regions}
+    for region in second.regions:
+        if region.label not in labels:
+            labels.add(region.label)
+            regions.append(region)
+    return AbstractDomain(
+        device=gid,
+        attribute=first.attribute,
+        regions=tuple(regions),
+        raw_size=max(first.raw_size, second.raw_size),
+    )
 
 
 def _rename_rules(model: StateModel, app: str, global_id):

@@ -109,12 +109,23 @@ def analyze_app(
 
 
 def analyze_environment(
-    sources: list[str | SmartApp],
+    sources: list[str | SmartApp | AppAnalysis],
     db: CapabilityDatabase | None = None,
     catalog: PropertyCatalog | None = None,
     shared_devices: dict[tuple[str, str], str] | None = None,
+    max_union_states: int | None = None,
 ) -> EnvironmentAnalysis:
-    """Analyze a group of apps installed together."""
+    """Analyze a group of apps installed together.
+
+    Each element of ``sources`` may be raw Groovy source, a parsed
+    :class:`SmartApp`, or a finished :class:`AppAnalysis` — precomputed
+    analyses (e.g. from the corpus batch driver's caches) are reused
+    as-is, so union construction skips the per-app pipeline entirely.
+    ``max_union_states`` caps the union's state count (default: the
+    :func:`repro.model.build_union_model` budget); crossing it raises
+    :class:`~repro.model.extractor.StateExplosionError` before any state
+    is enumerated.
+    """
     db = db or default_database()
     catalog = catalog or default_catalog()
     analyses = [
@@ -124,8 +135,10 @@ def analyze_environment(
 
     timings: dict[str, float] = {}
     start = time.perf_counter()
+    union_kwargs = {} if max_union_states is None else {"max_states": max_union_states}
     union = build_union_model(
-        [a.model for a in analyses], db=db, shared_devices=shared_devices
+        [a.model for a in analyses], db=db, shared_devices=shared_devices,
+        **union_kwargs,
     )
     timings["union"] = time.perf_counter() - start
 

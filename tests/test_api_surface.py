@@ -76,7 +76,9 @@ class TestCliCorpus:
     def test_corpus_maliot_lists_every_app(self, capsys):
         code = main(["corpus", "maliot"])
         out = capsys.readouterr().out
-        assert code == 0
+        # MalIoT apps violate properties, and `corpus` signals findings in
+        # its exit status just like `analyze` and `env`.
+        assert code == 1
         for i in range(1, 18):
             assert f"App{i} " in out or f"App{i}\t" in out or f"App{i}" in out
         assert "VIOLATIONS" in out

@@ -1,0 +1,223 @@
+"""Disk-backed analysis cache: round-trips, invalidation, batch layering."""
+
+import pickle
+
+import pytest
+
+from repro import analyze_app
+from repro.corpus import batch
+from repro.corpus.diskcache import (
+    CACHE_DIR_ENV,
+    PIPELINE_VERSION,
+    DiskCache,
+    resolve_cache_dir,
+)
+from repro.corpus.loader import load_app
+
+
+@pytest.fixture()
+def clean_batch_cache():
+    batch.clear_cache()
+    yield
+    batch.clear_cache()
+
+
+@pytest.fixture()
+def o1_analysis():
+    return analyze_app(load_app("O1"))
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path, o1_analysis):
+        cache = DiskCache(tmp_path)
+        cache.put("O1", "digest", o1_analysis)
+        loaded = cache.get("O1", "digest")
+        assert loaded is not None
+        assert loaded.app.name == "O1"
+        assert loaded.violated_ids() == o1_analysis.violated_ids()
+        assert loaded.model.size() == o1_analysis.model.size()
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.get("O1", "nope") is None
+
+    def test_miss_on_other_digest(self, tmp_path, o1_analysis):
+        cache = DiskCache(tmp_path)
+        cache.put("O1", "digest-a", o1_analysis)
+        assert cache.get("O1", "digest-b") is None
+
+    def test_stats_track_hits_misses_writes(self, tmp_path, o1_analysis):
+        cache = DiskCache(tmp_path)
+        cache.get("O1", "digest")
+        cache.put("O1", "digest", o1_analysis)
+        cache.get("O1", "digest")
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "writes": 1,
+        }
+
+
+class TestInvalidation:
+    def test_stale_pipeline_version_misses(self, tmp_path, o1_analysis):
+        old = DiskCache(tmp_path, version="0-stale")
+        old.put("O1", "digest", o1_analysis)
+        current = DiskCache(tmp_path)
+        assert current.get("O1", "digest") is None
+        assert current.entries() == []
+
+    def test_entries_scoped_to_current_version(self, tmp_path, o1_analysis):
+        DiskCache(tmp_path, version="0-stale").put("O1", "digest", o1_analysis)
+        current = DiskCache(tmp_path)
+        current.put("O1", "digest", o1_analysis)
+        assert len(current.entries()) == 1
+        assert f"v{PIPELINE_VERSION}" in str(current.entries()[0])
+
+    def test_prune_removes_stale_versions_only(self, tmp_path, o1_analysis):
+        DiskCache(tmp_path, version="0-stale").put("O1", "digest", o1_analysis)
+        current = DiskCache(tmp_path)
+        current.put("O1", "digest", o1_analysis)
+        assert current.prune() == 1
+        assert not (tmp_path / "v0-stale").exists()
+        assert current.get("O1", "digest") is not None
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path, o1_analysis):
+        cache = DiskCache(tmp_path)
+        path = cache.path_for("O1", "digest")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert cache.get("O1", "digest") is None
+        assert not path.exists()
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache.path_for("O1", "digest")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"not": "an analysis"}))
+        assert cache.get("O1", "digest") is None
+
+
+class TestResolveCacheDir:
+    def test_explicit_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir(tmp_path / "arg") == tmp_path / "arg"
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir(None) == tmp_path / "env"
+
+    def test_none_without_env(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert resolve_cache_dir(None) is None
+        monkeypatch.setenv(CACHE_DIR_ENV, "   ")
+        assert resolve_cache_dir(None) is None
+
+
+class TestBatchLayering:
+    def test_cold_run_populates_disk(self, tmp_path, clean_batch_cache):
+        batch.analyze_batch(["O1", "O2"], jobs=1, cache_dir=tmp_path)
+        assert len(DiskCache(tmp_path).entries()) == 2
+        info = batch.cache_info()
+        assert info["misses"] == 2
+        assert info["disk_hits"] == 0
+
+    def test_fresh_process_simulation_hits_disk(
+        self, tmp_path, clean_batch_cache, monkeypatch
+    ):
+        batch.analyze_batch(["O1", "O2"], jobs=1, cache_dir=tmp_path)
+        # A fresh process has an empty in-memory cache; analysis must not
+        # run again — everything comes off disk.
+        batch.clear_cache()
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("analysis re-ran despite a warm disk cache")
+
+        monkeypatch.setattr(batch, "analyze_app", boom)
+        results = batch.analyze_batch(["O1", "O2"], jobs=1, cache_dir=tmp_path)
+        assert set(results) == {"O1", "O2"}
+        info = batch.cache_info()
+        assert info["disk_hits"] == 2
+        assert info["misses"] == 0
+
+    def test_memory_layer_preferred_over_disk(self, tmp_path, clean_batch_cache):
+        first = batch.analyze_batch(["O1"], jobs=1, cache_dir=tmp_path)["O1"]
+        second = batch.analyze_batch(["O1"], jobs=1, cache_dir=tmp_path)["O1"]
+        assert first is second  # unpickling would return a new object
+        assert batch.cache_info()["memory_hits"] == 1
+
+    def test_cache_dir_env_variable_used(
+        self, tmp_path, clean_batch_cache, monkeypatch
+    ):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        batch.analyze_batch(["O1"], jobs=1)
+        assert len(DiskCache(tmp_path).entries()) == 1
+
+    def test_no_cache_dir_writes_nothing(
+        self, tmp_path, clean_batch_cache, monkeypatch
+    ):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        batch.analyze_batch(["O1"], jobs=1)
+        assert DiskCache(tmp_path).entries() == []
+
+    def test_unwritable_cache_degrades_not_crashes(
+        self, tmp_path, clean_batch_cache, monkeypatch
+    ):
+        # A read-only or full cache volume must not fail the analysis
+        # that produced the result — persisting is best-effort.
+        def refuse(self, *_args, **_kwargs):
+            raise PermissionError("read-only cache volume")
+
+        monkeypatch.setattr(DiskCache, "put", refuse)
+        results = batch.analyze_batch(["O1"], jobs=1, cache_dir=tmp_path)
+        assert set(results) == {"O1"}
+        assert DiskCache(tmp_path).entries() == []
+
+    def test_clear_cache_resets_counters(self, tmp_path, clean_batch_cache):
+        batch.analyze_batch(["O1"], jobs=1, cache_dir=tmp_path)
+        batch.clear_cache()
+        info = batch.cache_info()
+        assert info == {
+            "entries": 0,
+            "hits": 0,
+            "memory_hits": 0,
+            "disk_hits": 0,
+            "misses": 0,
+        }
+
+
+class TestResolveJobs:
+    def test_non_numeric_env_raises_naming_variable(self, monkeypatch):
+        monkeypatch.setenv(batch._JOBS_ENV, "many")
+        with pytest.raises(ValueError, match="REPRO_BATCH_JOBS"):
+            batch._resolve_jobs(None, pending=10)
+
+    def test_negative_env_raises_naming_variable(self, monkeypatch):
+        monkeypatch.setenv(batch._JOBS_ENV, "-2")
+        with pytest.raises(ValueError, match="REPRO_BATCH_JOBS"):
+            batch._resolve_jobs(None, pending=10)
+
+    def test_valid_env_respected(self, monkeypatch):
+        monkeypatch.setenv(batch._JOBS_ENV, " 3 ")
+        assert batch._resolve_jobs(None, pending=10) == 3
+
+    def test_zero_env_means_serial(self, monkeypatch):
+        monkeypatch.setenv(batch._JOBS_ENV, "0")
+        assert batch._resolve_jobs(None, pending=10) == 1
+
+    def test_explicit_jobs_skip_env(self, monkeypatch):
+        monkeypatch.setenv(batch._JOBS_ENV, "garbage")
+        assert batch._resolve_jobs(2, pending=10) == 2
+
+    def test_negative_explicit_jobs_raise_like_env(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            batch._resolve_jobs(-3, pending=10)
+
+    def test_small_pending_forces_serial(self, monkeypatch):
+        monkeypatch.delenv(batch._JOBS_ENV, raising=False)
+        assert batch._resolve_jobs(8, pending=2) == 1
+
+    def test_min_parallel_override_for_expensive_tasks(self, monkeypatch):
+        # The sweep engine pools even two union checks.
+        monkeypatch.delenv(batch._JOBS_ENV, raising=False)
+        assert batch._resolve_jobs(8, pending=2, min_parallel=2) == 2

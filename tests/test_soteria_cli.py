@@ -92,3 +92,71 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCorpusCli:
+    def test_violating_dataset_exits_one(self, capsys):
+        # MalIoT apps violate individually (Appendix C): like `analyze`
+        # and `env`, `corpus` must signal findings in its exit status.
+        code = main(["corpus", "maliot", "--jobs", "1"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATIONS" in out
+
+    def test_clean_dataset_exits_zero(self, capsys):
+        # All 35 official apps verify clean individually (Table 2).
+        code = main(["corpus", "official", "--jobs", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 app(s) with violations" in out
+
+    def test_cache_dir_flag_persists_analyses(self, tmp_path, capsys):
+        from repro.corpus.diskcache import DiskCache
+
+        code = main(
+            ["corpus", "maliot", "--jobs", "1", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 1
+        assert len(DiskCache(tmp_path).entries()) == 17
+
+
+class TestSweepCli:
+    def test_sweep_maliot_finds_environment_violations(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "maliot", "--jobs", "1", "--cache-dir", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "App1+App15" in out
+        assert "environment-only: S.1" in out
+        assert "skipped" in out  # the oversized interaction cluster
+
+    def test_sweep_warm_cache_run_matches(self, tmp_path, capsys):
+        main(["sweep", "maliot", "--jobs", "1", "--cache-dir", str(tmp_path)])
+        first = capsys.readouterr().out
+        from repro.corpus import batch
+
+        batch.clear_cache()  # simulate a fresh process: disk must carry it
+        try:
+            code = main(
+                ["sweep", "maliot", "--jobs", "1", "--cache-dir", str(tmp_path)]
+            )
+        finally:
+            batch.clear_cache()
+        second = capsys.readouterr().out
+        assert code == 1
+        assert second == first
+
+    def test_sweep_pairs_mode(self, capsys):
+        code = main(["sweep", "maliot", "--jobs", "1", "--pairs"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "App16+App17" in out
+
+    def test_sweep_all_skipped_signals_incomplete(self, capsys):
+        # Nothing violated because nothing was *checked*: that must not
+        # look like a clean exit to a CI gate.
+        code = main(["sweep", "maliot", "--jobs", "1", "--max-states", "1"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "0 environment(s) with violations, 2 skipped" in out

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir import build_ir
-from repro.model import build_union_model, extract_model
+from repro.model import build_union_model, extract_model, union_state_count
 from repro.platform import SmartApp
 
 
@@ -77,6 +77,87 @@ class TestUnionConstruction:
         )
         names = {a.qualified for a in union.attributes}
         assert "other_switch.switch" not in names
+
+    def test_union_state_count_predicts_built_size(self):
+        models = [model_of(APP_A), model_of(APP_B)]
+        assert union_state_count(models) == build_union_model(models).size()
+
+    def test_union_state_count_respects_shared_device_mapping(self):
+        app_c = APP_B.replace("the_switch", "other_switch")
+        models = [model_of(APP_A), model_of(app_c)]
+        mapping = {("B", "other_switch"): "the_switch"}
+        assert union_state_count(models, mapping) == 8
+        assert union_state_count(models) == 16
+
+
+HEATER = '''
+definition(name: "Heater")
+preferences {
+    section("S") {
+        input "the_contact", "capability.contactSensor", required: true
+        input "ther", "capability.thermostat", required: true
+    }
+}
+def installed(){ subscribe(the_contact, "contact.open", h) }
+def h(evt){ ther.setHeatingSetpoint(68) }
+'''
+
+WARMER = '''
+definition(name: "Warmer")
+preferences {
+    section("S") {
+        input "the_motion", "capability.motionSensor", required: true
+        input "ther", "capability.thermostat", required: true
+    }
+}
+def installed(){ subscribe(the_motion, "motion.active", h) }
+def h(evt){ ther.setHeatingSetpoint(75) }
+'''
+
+
+class TestSharedNumericDevice:
+    """Two apps sharing a numeric-attribute device: both abstract domains
+    must survive the union, or the second app's regions are undecidable."""
+
+    def test_both_apps_regions_in_union_domain(self):
+        union = build_union_model([model_of(HEATER), model_of(WARMER)])
+        domain = union.numeric_domains[("ther", "heatingSetpoint")]
+        kinds = {r.label: r.kind for r in domain.regions}
+        assert kinds["heatingSetpoint=68"] == "point"
+        assert kinds["heatingSetpoint=75"] == "point"
+
+    def test_merged_domain_covers_symbolic_domain(self):
+        union = build_union_model([model_of(HEATER), model_of(WARMER)])
+        attr = next(
+            a for a in union.attributes if a.qualified == "ther.heatingSetpoint"
+        )
+        domain = union.numeric_domains[("ther", "heatingSetpoint")]
+        # Every symbolic label must resolve to an abstract region.
+        assert set(attr.domain) == set(domain.labels())
+
+    def test_second_apps_numeric_write_lands_precisely(self):
+        union = build_union_model([model_of(HEATER), model_of(WARMER)])
+        warmer_targets = {
+            union.value_in(t.target, "ther", "heatingSetpoint")
+            for t in union.transitions
+            if t.app == "Warmer"
+        }
+        assert warmer_targets == {"heatingSetpoint=75"}
+
+    def test_numeric_only_in_second_model_kept(self):
+        union = build_union_model([model_of(WARMER), model_of(HEATER)])
+        domain = union.numeric_domains[("ther", "heatingSetpoint")]
+        assert "heatingSetpoint=68" in domain.labels()
+        assert "heatingSetpoint=75" in domain.labels()
+
+    def test_merged_domain_raw_size_keeps_larger(self):
+        a, b = model_of(HEATER), model_of(WARMER)
+        union = build_union_model([a, b])
+        merged = union.numeric_domains[("ther", "heatingSetpoint")]
+        raws = [
+            m.numeric_domains[("ther", "heatingSetpoint")].raw_size for m in (a, b)
+        ]
+        assert merged.raw_size == max(raws)
 
 
 class TestCascades:
