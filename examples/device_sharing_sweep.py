@@ -74,11 +74,14 @@ def main() -> None:
         groups_sharing_devices("maliot"), cache_dir=CACHE_DIR
     ):
         label = "+".join(outcome.group)
-        if outcome.skipped:
-            print(f"  {label}: skipped ({outcome.error})")
+        if outcome.failed:
+            print(f"  {label}: FAILED ({outcome.error})")
         else:
+            # Oversized clusters (the 13-app one unions to ~82 944
+            # states) are no longer skipped: the auto backend checks
+            # them symbolically, product never materialized.
             ids = sorted(outcome.violated_ids()) or ["clean"]
-            print(f"  {label}: {', '.join(ids)}")
+            print(f"  {label} [{outcome.backend}]: {', '.join(ids)}")
 
 
 if __name__ == "__main__":

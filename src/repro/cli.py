@@ -3,15 +3,23 @@
 Subcommands::
 
     soteria analyze app.groovy [--dot out.dot] [--smv out.smv]
-    soteria env app1.groovy app2.groovy ...
+    soteria env app1.groovy app2.groovy ... [--backend B]
     soteria corpus [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
-    soteria sweep [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D] [--pairs]
+    soteria sweep [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
+                  [--pairs] [--backend B]
     soteria list-properties
+
+``--backend`` selects the union-model checker: ``explicit`` (materialize
+the product Kripke structure), ``symbolic`` (BDD-compiled relation, no
+product enumeration), or the default ``auto`` (explicit under the state
+budget, symbolic above it) — so oversized interaction clusters are
+*checked*, not skipped.
 
 Exit status is 1 when any analyzed app/environment violates a property,
 0 when everything is clean, and 2 on usage errors.  ``sweep`` exits 3
-when nothing violated but some candidate groups were skipped for
-exceeding the state budget — an incomplete sweep is not a clean one.
+when nothing violated but some candidate group's analysis *failed*
+outright (e.g. a forced explicit backend hitting the state budget) — an
+incomplete sweep is not a clean one.
 """
 
 from __future__ import annotations
@@ -46,7 +54,7 @@ def _cmd_env(args: argparse.Namespace) -> int:
     for path in args.apps:
         with open(path, encoding="utf-8") as handle:
             sources.append(handle.read())
-    environment = analyze_environment(sources)
+    environment = analyze_environment(sources, backend=args.backend)
     print(render_report(environment))
     return 1 if environment.violations else 0
 
@@ -82,34 +90,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         pairwise=args.pairs,
+        backend=args.backend,
         **budget,
     )
     kind = "pair" if args.pairs else "group"
     print(f"== sweep: {args.dataset} ({len(outcomes)} candidate {kind}s)")
     failures = 0
-    skipped = 0
+    failed = 0
     for outcome in outcomes:
         label = "+".join(outcome.group)
-        if outcome.skipped:
-            print(f"  {label}: skipped ({outcome.error})")
-            skipped += 1
+        if outcome.failed:
+            print(f"  {label}: FAILED ({outcome.error})")
+            failed += 1
             continue
         environment = outcome.environment
         ids = sorted(environment.violated_ids())
         env_only = sorted(environment_only_ids(environment))
         status = "VIOLATIONS " + ", ".join(ids) if ids else "clean"
+        tag = f" [{environment.backend}]" if environment.backend != "explicit" else ""
         print(
-            f"  {label}: union {environment.union_model.size()} states  {status}"
+            f"  {label}: union {environment.state_estimate} states{tag}  {status}"
         )
         if env_only:
             print(f"    environment-only: {', '.join(env_only)}")
         failures += bool(ids)
-    print(f"\n{failures} environment(s) with violations, {skipped} skipped")
+    print(f"\n{failures} environment(s) with violations, {failed} failed")
     if failures:
         return 1
-    # Skipped groups were never verified: "no violations found" is not
+    # Failed groups were never verified: "no violations found" is not
     # "clean", so signal the incomplete sweep distinctly for CI gates.
-    return 3 if skipped else 0
+    return 3 if failed else 0
 
 
 def _cmd_list_properties(_args: argparse.Namespace) -> int:
@@ -147,6 +157,13 @@ def main(argv: list[str] | None = None) -> int:
 
     p_env = sub.add_parser("env", help="analyze apps installed together")
     p_env.add_argument("apps", nargs="+", help="paths to .groovy files")
+    p_env.add_argument(
+        "--backend",
+        choices=["auto", "explicit", "symbolic"],
+        default="auto",
+        help="union checker: explicit Kripke, symbolic BDDs, or auto "
+        "(explicit under the state budget, symbolic above; default)",
+    )
     p_env.set_defaults(func=_cmd_env)
 
     p_corpus = sub.add_parser("corpus", help="run over the bundled corpus")
@@ -198,8 +215,16 @@ def main(argv: list[str] | None = None) -> int:
         "--max-states",
         type=int,
         default=None,
-        help="union-state budget per environment; larger groups are "
-        "skipped (default: the sweep engine's 10000)",
+        help="explicit/symbolic crossover per environment under the auto "
+        "backend (default: the sweep engine's 10000); with --backend "
+        "explicit, larger groups fail instead",
+    )
+    p_sweep.add_argument(
+        "--backend",
+        choices=["auto", "explicit", "symbolic"],
+        default="auto",
+        help="union checker: explicit Kripke, symbolic BDDs, or auto "
+        "(explicit under the state budget, symbolic above; default)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 

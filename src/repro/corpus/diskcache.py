@@ -1,4 +1,4 @@
-"""Disk-backed analysis cache: :class:`AppAnalysis` results across processes.
+"""Disk-backed analysis caches: per-app and sweep-level results.
 
 The in-memory cache of :mod:`repro.corpus.batch` dies with the process, so
 every fresh ``analyze_corpus`` run — a new benchmark invocation, a CI job,
@@ -6,23 +6,38 @@ a CLI call — re-analyzes all 82 apps from source.  This module persists
 finished analyses under a cache directory so cross-process reruns are
 near-instant: a warm sweep only unpickles.
 
+Two stores share one directory:
+
+* :class:`DiskCache` — one :class:`~repro.soteria.AppAnalysis` per app;
+* :class:`SweepCache` — one :class:`~repro.soteria.EnvironmentAnalysis`
+  per analyzed app *group*, keyed on the sorted member source digests, so
+  a warm ``soteria sweep`` skips union-model checking entirely.  Checker
+  backends produce identical violation sets (the differential suite
+  enforces it), so the backend is deliberately *not* part of the key — a
+  symbolic run can serve a later explicit request and vice versa.
+
 Keying and layout
 -----------------
-An entry is keyed on the triple **(app id, source SHA-256, pipeline
-version)**.  The version is a directory level, the other two make up the
-file name::
+An app entry is keyed on the triple **(app id, source SHA-256, pipeline
+version)**; a sweep entry on **(sorted member source SHA-256s, pipeline
+version)**.  The version is a directory level, the rest makes up the file
+name::
 
     <cache-dir>/
       v<PIPELINE_VERSION>/
         O1-<sha256 of O1's source>.pkl
         TP12-<sha256 of TP12's source>.pkl
         ...
+        sweeps/
+          <sha256 over the sorted member digests>.pkl
 
-* Editing an app changes its source hash — the old entry simply stops
-  being referenced (stale files are cleaned up lazily by :meth:`prune`).
+* Editing an app changes its source hash — the old app entry and every
+  sweep entry containing it simply stop being referenced (stale files are
+  cleaned up lazily by :meth:`DiskCache.prune`).
 * Bumping :data:`PIPELINE_VERSION` (any change to the analysis semantics:
-  extraction, abstraction, property catalog) invalidates every entry at
-  once, because lookups only ever see the current version directory.
+  extraction, abstraction, union construction, property catalog)
+  invalidates every entry at once, because lookups only ever see the
+  current version directory.
 
 Entries are written atomically (temp file + ``os.replace``) so concurrent
 writers — the batch driver's worker processes, parallel CI shards sharing
@@ -33,12 +48,14 @@ deleted.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
+from collections.abc import Sequence
 from pathlib import Path
 
-from repro.soteria import AppAnalysis
+from repro.soteria import AppAnalysis, EnvironmentAnalysis
 
 #: Version of the analysis pipeline baked into every cache path.  Bump this
 #: whenever a change anywhere in the pipeline (IR, abstraction, model
@@ -76,21 +93,8 @@ class DiskCache:
         Counts a hit/miss; a corrupt or unreadable entry counts as a miss
         and is removed so the next write replaces it cleanly.
         """
-        path = self.path_for(app_id, digest)
-        try:
-            with open(path, "rb") as handle:
-                analysis = pickle.load(handle)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except Exception:
-            self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        if not isinstance(analysis, AppAnalysis):
+        analysis = _read_pickle(self.path_for(app_id, digest), AppAnalysis)
+        if analysis is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -98,21 +102,7 @@ class DiskCache:
 
     def put(self, app_id: str, digest: str, analysis: AppAnalysis) -> None:
         """Persist one analysis atomically (temp file + rename)."""
-        path = self.path_for(app_id, digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{app_id}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(analysis, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        _write_pickle(self.path_for(app_id, digest), analysis, prefix=app_id)
         self.writes += 1
 
     # ------------------------------------------------------------------
@@ -139,20 +129,129 @@ class DiskCache:
         removed = 0
         if not self.root.is_dir():
             return 0
+
+        def clear(directory: Path) -> int:
+            count = 0
+            for entry in list(directory.iterdir()):
+                if entry.is_dir():
+                    count += clear(entry)
+                else:
+                    try:
+                        entry.unlink()
+                        count += 1
+                    except OSError:
+                        pass
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+            return count
+
         for child in self.root.iterdir():
             if not child.is_dir() or child == self.version_dir:
                 continue
-            for entry in list(child.iterdir()):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-            try:
-                child.rmdir()
-            except OSError:
-                pass
+            removed += clear(child)
         return removed
+
+
+class SweepCache:
+    """Sweep-level result store: one environment analysis per app group.
+
+    Keyed on the *sorted* member source digests (group order is
+    irrelevant: the union's violation set does not depend on it) plus the
+    pipeline version, so a warm ``soteria sweep`` run serves finished
+    :class:`~repro.soteria.EnvironmentAnalysis` objects without building,
+    encoding, or checking any union model.  Editing any member app
+    changes its digest and silently invalidates every group containing it.
+    """
+
+    def __init__(self, root: str | os.PathLike, version: str = PIPELINE_VERSION):
+        self.root = Path(root)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def sweep_dir(self) -> Path:
+        return self.root / f"v{self.version}" / "sweeps"
+
+    @staticmethod
+    def key_for(digests: Sequence[str]) -> str:
+        """The group key: SHA-256 over the sorted member source digests."""
+        joined = "\n".join(sorted(digests))
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    def path_for(self, digests: Sequence[str]) -> Path:
+        return self.sweep_dir / f"{self.key_for(digests)}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, digests: Sequence[str]) -> EnvironmentAnalysis | None:
+        """The cached environment analysis for a member-digest set, or None."""
+        environment = _read_pickle(self.path_for(digests), EnvironmentAnalysis)
+        if environment is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return environment
+
+    def put(self, digests: Sequence[str], environment: EnvironmentAnalysis) -> None:
+        """Persist one environment analysis atomically."""
+        _write_pickle(self.path_for(digests), environment, prefix="sweep")
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Sweep entries of the current pipeline version, sorted by name."""
+        if not self.sweep_dir.is_dir():
+            return []
+        return sorted(p for p in self.sweep_dir.iterdir() if p.suffix == ".pkl")
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self.entries()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+
+# ----------------------------------------------------------------------
+def _read_pickle(path: Path, expected: type) -> object | None:
+    """Load one entry; corrupt or mistyped files are deleted misses."""
+    try:
+        with open(path, "rb") as handle:
+            value = pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        value = None
+    if not isinstance(value, expected):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    return value
+
+
+def _write_pickle(path: Path, value: object, prefix: str) -> None:
+    """Write one entry atomically (temp file + ``os.replace``)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{prefix}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def resolve_cache_dir(cache_dir: str | os.PathLike | None) -> Path | None:

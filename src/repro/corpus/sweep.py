@@ -14,11 +14,18 @@ turns that into a corpus-scale workload:
 * :func:`sweep_environments` fans union-model construction + checking out
   over worker processes, reusing per-app analyses through the batch
   driver's two cache layers (memory + optional ``cache_dir`` disk store)
-  so no app source is ever parsed twice.
+  so no app source is ever parsed twice.  ``cache_dir`` additionally
+  layers a *sweep-level* store (:class:`repro.corpus.diskcache.SweepCache`,
+  keyed on the sorted member source digests): a warm sweep serves finished
+  environment analyses and skips union checking entirely.
 
-State explosion is a *result*, not an error: a candidate group whose union
-exceeds the state budget comes back as a skipped :class:`SweepOutcome`
-with the error text, and the sweep carries on.
+State explosion is no longer a reason to skip anything: the default
+``auto`` backend checks groups under the state budget explicitly and
+hands bigger clusters — the 13-app MalIoT cluster at 82 944 states
+included — to the symbolic (BDD) backend, which never materializes the
+product (:mod:`repro.model.encoder`).  A failed :class:`SweepOutcome`
+(``environment is None``) now means the group's analysis genuinely
+errored, not "too big to try".
 """
 
 from __future__ import annotations
@@ -29,11 +36,18 @@ import re
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
-from repro.corpus.batch import DATASETS, _resolve_jobs, analyze_batch, run_in_pool
+from repro.corpus.batch import (
+    DATASETS,
+    _resolve_jobs,
+    _source_key,
+    analyze_batch,
+    run_in_pool,
+)
+from repro.corpus.diskcache import SweepCache, resolve_cache_dir
 from repro.corpus.loader import app_ids, load_app, load_source
 from repro.ir import build_ir
 from repro.model.extractor import StateExplosionError
-from repro.model.union import union_state_count
+from repro.model.union import estimate_union_states
 from repro.platform.events import EventKind
 from repro.soteria import AppAnalysis, EnvironmentAnalysis, analyze_environment
 
@@ -41,10 +55,12 @@ from repro.soteria import AppAnalysis, EnvironmentAnalysis, analyze_environment
 #: or writes the location mode (``setLocationMode`` / mode subscriptions).
 MODE_CHANNEL = "location.mode"
 
-#: Default union-state budget per candidate environment.  Every curated
-#: paper group fits with an order of magnitude to spare (the largest,
-#: Table 4's G.3, unions to 1 536 states); corpus-enumerated clusters
-#: beyond it are reported as skipped rather than checked for hours.
+#: Default union-state budget per candidate environment.  This is no
+#: longer a skip threshold: under the default ``auto`` backend it is the
+#: explicit/symbolic crossover — every curated paper group fits under it
+#: with an order of magnitude to spare (the largest, Table 4's G.3,
+#: unions to 1 536 states) and stays on the explicit checker, while
+#: bigger corpus-enumerated clusters are checked symbolically.
 DEFAULT_MAX_UNION_STATES = 10_000
 
 
@@ -186,15 +202,36 @@ def groups_sharing_devices(
 # ======================================================================
 @dataclass(frozen=True)
 class SweepOutcome:
-    """Result of analyzing one candidate environment."""
+    """Result of analyzing one candidate environment.
+
+    ``environment is None`` means the group's analysis *failed* outright
+    (``error`` carries the reason) — with the symbolic backend in the
+    loop, "too big for the budget" is no longer one of those reasons
+    unless the caller forces ``backend="explicit"``.  ``cached`` marks
+    results served from the sweep-level disk cache.
+    """
 
     group: tuple[str, ...]
     environment: EnvironmentAnalysis | None
     error: str | None = None
+    cached: bool = False
+
+    @property
+    def failed(self) -> bool:
+        return self.environment is None
 
     @property
     def skipped(self) -> bool:
-        return self.environment is None
+        """Backwards-compatible alias of :attr:`failed` (pre-symbolic
+        sweeps reported oversized groups as "skipped")."""
+        return self.failed
+
+    @property
+    def backend(self) -> str | None:
+        """Checker backend that produced the result (None when failed)."""
+        if self.environment is None:
+            return None
+        return self.environment.backend
 
     def violated_ids(self) -> set[str]:
         if self.environment is None:
@@ -219,13 +256,16 @@ def _union_outcome(
     group: tuple[str, ...],
     analyses: list[AppAnalysis],
     max_union_states: int | None,
+    backend: str = "auto",
 ) -> SweepOutcome:
     """Build + check one union model from precomputed per-app analyses."""
     try:
         environment = analyze_environment(
-            list(analyses), max_union_states=max_union_states
+            list(analyses), max_union_states=max_union_states, backend=backend
         )
     except StateExplosionError as exc:
+        # Only reachable with backend="explicit": auto hands oversized
+        # unions to the symbolic checker, which has no state budget.
         return SweepOutcome(group=group, environment=None, error=str(exc))
     return SweepOutcome(group=group, environment=environment)
 
@@ -234,8 +274,9 @@ def _sweep_worker(
     group: tuple[str, ...],
     analyses: list[AppAnalysis],
     max_union_states: int | None,
+    backend: str,
 ) -> tuple[tuple[str, ...], SweepOutcome]:
-    return group, _union_outcome(group, analyses, max_union_states)
+    return group, _union_outcome(group, analyses, max_union_states, backend)
 
 
 def sweep_environments(
@@ -243,6 +284,7 @@ def sweep_environments(
     jobs: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     max_union_states: int | None = DEFAULT_MAX_UNION_STATES,
+    backend: str = "auto",
 ) -> list[SweepOutcome]:
     """Union-model analysis over many app groups, in input order.
 
@@ -251,27 +293,56 @@ def sweep_environments(
     disk-backed cache, so a warm sweep re-parses nothing).  Union
     construction + checking then fans out over worker processes — each
     group ships its precomputed analyses to a worker, no re-parsing there
-    either.  Groups whose union exceeds ``max_union_states`` (None =
-    the default build budget) come back as skipped outcomes carrying the
-    error text.  One outcome per input group, in input order — duplicate
-    groups are analyzed once and each occurrence gets the shared result.
+    either.
+
+    ``backend`` picks the union checker per group (see
+    :func:`repro.soteria.analyze_environment`): the default ``auto``
+    checks groups within ``max_union_states`` explicitly and larger ones
+    symbolically, so *every* group is checked — oversized clusters are no
+    longer skipped.  Forcing ``backend="explicit"`` restores the old
+    budget behavior: groups beyond it come back as failed outcomes
+    carrying the explosion error.
+
+    With a ``cache_dir``, finished environment analyses are also stored
+    sweep-level, keyed on the sorted member source digests + pipeline
+    version: a warm sweep run serves every unchanged group from disk and
+    skips union checking entirely.
+
+    One outcome per input group, in input order — duplicate groups are
+    analyzed once and each occurrence gets the shared result.
     """
     requested = [tuple(group) for group in groups]
     ordered = list(dict.fromkeys(requested))
-    member_ids = list(dict.fromkeys(a for group in ordered for a in group))
+
+    # Sweep-level cache probe: groups served from disk never touch the
+    # batch driver or a worker.
+    outcomes: dict[tuple[str, ...], SweepOutcome] = {}
+    disk_path = resolve_cache_dir(cache_dir)
+    sweeps = SweepCache(disk_path) if disk_path is not None else None
+    digests: dict[tuple[str, ...], list[str]] = {}
+    if sweeps is not None:
+        for group in ordered:
+            digests[group] = [_source_key(app_id)[1] for app_id in group]
+            cached = sweeps.get(digests[group])
+            if cached is not None:
+                outcomes[group] = SweepOutcome(
+                    group=group, environment=cached, cached=True
+                )
+
+    pending_groups = [group for group in ordered if group not in outcomes]
+    member_ids = list(dict.fromkeys(a for group in pending_groups for a in group))
     analyses = analyze_batch(member_ids, jobs=jobs, cache_dir=cache_dir)
 
-    # Budget-check in the parent: the union's state count is a cheap
-    # domain product over deduplicated attributes, so oversized groups
-    # are skipped without shipping their analyses to any worker.  The
-    # StateExplosionError catch in _union_outcome stays as the backstop
-    # (analyze_environment enforces the same budget).
-    outcomes: dict[tuple[str, ...], SweepOutcome] = {}
-    payloads: list[tuple[tuple[str, ...], list[AppAnalysis], int | None]] = []
-    for group in ordered:
+    # Budget-check in the parent only when the caller forces the explicit
+    # backend: the estimate is a cheap domain product over deduplicated
+    # attributes, so doomed groups are failed without shipping their
+    # analyses to any worker.  The StateExplosionError catch in
+    # _union_outcome stays as the backstop.
+    payloads: list[tuple[tuple[str, ...], list[AppAnalysis], int | None, str]] = []
+    for group in pending_groups:
         group_analyses = [analyses[app_id] for app_id in group]
-        if max_union_states is not None:
-            total = union_state_count([a.model for a in group_analyses])
+        if backend == "explicit" and max_union_states is not None:
+            total = estimate_union_states([a.model for a in group_analyses])
             if total > max_union_states:
                 outcomes[group] = SweepOutcome(
                     group=group,
@@ -279,16 +350,27 @@ def sweep_environments(
                     error=f"union of {list(group)}: {total} states exceed budget",
                 )
                 continue
-        payloads.append((group, group_analyses, max_union_states))
+        payloads.append((group, group_analyses, max_union_states, backend))
 
     # min_parallel=2: a sweep payload is a whole union-model check, so
     # even two groups are worth a pool (unlike batch's cheap per-app jobs).
     worker_count = _resolve_jobs(jobs, len(payloads), min_parallel=2)
     if len(payloads) > 1 and worker_count > 1:
         outcomes.update(run_in_pool(_sweep_worker, payloads, worker_count))
-    for group, group_analyses, budget in payloads:
+    for group, group_analyses, budget, chosen in payloads:
         if group not in outcomes:
-            outcomes[group] = _union_outcome(group, group_analyses, budget)
+            outcomes[group] = _union_outcome(group, group_analyses, budget, chosen)
+
+    if sweeps is not None:
+        for group in pending_groups:
+            outcome = outcomes[group]
+            if outcome.environment is not None:
+                try:
+                    sweeps.put(digests[group], outcome.environment)
+                except Exception:
+                    # Best-effort, like the per-app store: an unwritable
+                    # cache volume degrades to future misses.
+                    pass
     return [outcomes[group] for group in requested]
 
 
@@ -298,6 +380,7 @@ def sweep_dataset(
     cache_dir: str | os.PathLike | None = None,
     pairwise: bool = False,
     max_union_states: int | None = DEFAULT_MAX_UNION_STATES,
+    backend: str = "auto",
 ) -> list[SweepOutcome]:
     """Sweep one dataset's candidate environments (or all of them).
 
@@ -311,5 +394,9 @@ def sweep_dataset(
     else:
         groups = groups_sharing_devices(dataset)
     return sweep_environments(
-        groups, jobs=jobs, cache_dir=cache_dir, max_union_states=max_union_states
+        groups,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        max_union_states=max_union_states,
+        backend=backend,
     )

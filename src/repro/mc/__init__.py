@@ -4,7 +4,10 @@ Three engines over the same :class:`repro.model.kripke.KripkeStructure`:
 
 * :mod:`.explicit` — explicit-state CTL labelling with counterexamples,
 * :mod:`.symbolic` — BDD-based symbolic CTL (on :mod:`.bdd`, a from-scratch
-  ROBDD package),
+  ROBDD package), both over an explicit Kripke structure
+  (:class:`~repro.mc.symbolic.SymbolicChecker`) and over a compiled
+  symbolic union model that never enumerates the product
+  (:class:`~repro.mc.symbolic.SymbolicModelChecker`),
 * :mod:`.bmc` — SAT-based bounded model checking of invariants (on
   :mod:`.sat`, a from-scratch DPLL solver),
 
@@ -32,7 +35,7 @@ from repro.mc.ctl import (
 )
 from repro.mc.explicit import CheckResult, ExplicitChecker, check
 from repro.mc.bdd import BDD
-from repro.mc.symbolic import SymbolicChecker
+from repro.mc.symbolic import SymbolicChecker, SymbolicModelChecker
 from repro.mc.sat import Solver, solve
 from repro.mc.bmc import BoundedChecker
 
@@ -59,6 +62,7 @@ __all__ = [
     "check",
     "BDD",
     "SymbolicChecker",
+    "SymbolicModelChecker",
     "Solver",
     "solve",
     "BoundedChecker",

@@ -175,6 +175,50 @@ class BDD:
     def forall(self, names: list[str], f: int) -> int:
         return self.not_(self.exists(names, self.not_(f)))
 
+    def and_exists(self, names: list[str], f: int, g: int) -> int:
+        """The relational product ``exists names . f & g`` in one pass.
+
+        The workhorse of symbolic image computation (``names`` is one
+        variable block, e.g. all next-state variables): fusing the
+        conjunction with the quantification never materializes ``f & g``,
+        whose BDD can be far larger than the quantified result.
+        """
+        levels = frozenset(self._var_ids[name] for name in names)
+        return self._and_exists(levels, f, g, {})
+
+    def _and_exists(
+        self,
+        levels: frozenset[int],
+        f: int,
+        g: int,
+        cache: dict[tuple[int, int], int],
+    ) -> int:
+        if f == self.FALSE or g == self.FALSE:
+            return self.FALSE
+        if f == self.TRUE and g == self.TRUE:
+            return self.TRUE
+        if f > g:
+            f, g = g, f  # and/exists are symmetric: canonicalize the key
+        key = (f, g)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._nodes[f].level, self._nodes[g].level)
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        low = self._and_exists(levels, f0, g0, cache)
+        if level in levels:
+            if low == self.TRUE:
+                result = self.TRUE  # short-circuit: the OR is saturated
+            else:
+                high = self._and_exists(levels, f1, g1, cache)
+                result = self.or_(low, high)
+        else:
+            high = self._and_exists(levels, f1, g1, cache)
+            result = self._mk(level, low, high)
+        cache[key] = result
+        return result
+
     def rename(self, f: int, mapping: dict[str, str]) -> int:
         """Substitute variables (e.g. next-state x' -> x).
 

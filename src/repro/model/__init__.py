@@ -7,8 +7,14 @@ any residual predicate the checker could not decide statically.
 
 from repro.model.statemodel import State, StateAttribute, StateModel, Transition
 from repro.model.extractor import ModelExtractor, extract_model
-from repro.model.union import build_union_model, union_state_count
+from repro.model.union import (
+    build_union_model,
+    build_union_skeleton,
+    estimate_union_states,
+    union_state_count,
+)
 from repro.model.kripke import KripkeStructure, build_kripke
+from repro.model.encoder import SymbolicUnionModel, encode_union
 
 __all__ = [
     "State",
@@ -18,7 +24,11 @@ __all__ = [
     "ModelExtractor",
     "extract_model",
     "build_union_model",
+    "build_union_skeleton",
+    "estimate_union_states",
     "union_state_count",
     "build_kripke",
     "KripkeStructure",
+    "SymbolicUnionModel",
+    "encode_union",
 ]

@@ -1,0 +1,478 @@
+"""Symbolic union encoding: per-app state models -> BDDs, no product.
+
+:func:`build_union_model` materializes Algorithm 2's Cartesian product
+before anything is checked, which caps multi-app analysis at the state
+budget (the 13-app MalIoT interaction cluster alone unions to ~82 944
+states).  This module is the non-materializing path: it compiles the
+*symbolic rules* of each app straight into a BDD transition relation over
+shared attribute variables, so the product only ever exists implicitly.
+
+Variable blocks
+---------------
+Every attribute of the deduplicated union attribute set (apps sharing a
+device handle share the attribute, hence the *same* variable block) gets a
+block of ``ceil(log2 |domain|)`` boolean variables encoding the index of
+its current value, with current (``x``) and next (``y``) bits interleaved
+— the standard good ordering for transition relations.  One extra block
+encodes the *incoming fragment*: which symbolic transition produced the
+state.  That block carries the transition-derived atomic propositions of
+the explicit Kripke construction (``ev:``, ``act:``, ``actsrc:``,
+``cmd:``, ``app:``, ``sent-notification``, ...), so CTL formulas written
+against :mod:`repro.model.kripke`'s vocabulary check unchanged.  (The
+state-dependent residual-guard ``src:`` labels are the one deliberate
+omission: no property references them, and dropping them is exactly the
+bisimulation quotient that keeps every CTL verdict identical.)
+
+Fragments
+---------
+A *fragment* is one symbolic transition: an app's path summary fired for
+one concrete event value.  Its guard is decided per referenced attribute
+value (never per product state), its action writes are state-independent
+labels, and every untouched attribute keeps its value through an
+``x = y`` frame constraint.  The union transition relation is the
+disjunction of all fragments — asynchronous interleaving, exactly the
+explicit expansion's semantics — made total by identity self-loops on
+deadlocked states.  Reachability is a symbolic least fixpoint from the
+initial-state BDD; the breadth-first frontiers are kept for
+counterexample witness extraction in :mod:`repro.mc.symbolic`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.mc.bdd import BDD
+from repro.model.extractor import (
+    _decide_atom,
+    _moved_attribute,
+    _numeric_write_label,
+    _resolve_operand,
+)
+from repro.model.kripke import KripkeState, attr_prop, transition_props
+from repro.model.statemodel import StateModel, Transition
+from repro.platform.events import Event
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One symbolic transition of the union relation.
+
+    ``fid`` is the fragment's code in the incoming-fragment block (0 is
+    reserved for "no incoming transition", the initial states).
+    """
+
+    fid: int
+    app: str
+    event: Event                  # concretized (value filled in)
+    moved_index: int | None
+    new_value: str | None
+    writes: tuple[tuple[int, str], ...]   # (attribute index, new label)
+    props: tuple[str, ...]        # transition-derived propositions
+    via_reflection: bool = False
+
+
+class SymbolicUnionModel:
+    """A union state model compiled to BDDs, product never enumerated.
+
+    Built from a :func:`repro.model.union.build_union_skeleton` result:
+    the skeleton's ``rule_origins`` carry every app's renamed rules, its
+    ``attributes`` are the shared variable blocks.  Exposes the transition
+    relation, the initial-state set, the reachable set with its BFS
+    frontiers, and a proposition map — everything
+    :class:`repro.mc.symbolic.SymbolicModelChecker` needs.
+    """
+
+    def __init__(self, model: StateModel) -> None:
+        # A materialized model works too (its states list is simply
+        # ignored); the point is that a skeleton suffices.
+        self.model = model
+        self.bdd = BDD()
+
+        from repro.model.union import union_written_values
+
+        self._written = union_written_values(model.rule_origins)
+        descriptors = self._enumerate_fragments()
+        self.fragments: dict[int, Fragment] = {f.fid: f for f, _s in descriptors}
+
+        # ---- variable allocation: attribute blocks, then fragment block,
+        # x/y interleaved inside every block.
+        self._block_bits: list[int] = [
+            max(1, (len(attr.domain) - 1).bit_length()) for attr in model.attributes
+        ]
+        self._xbits: list[list[str]] = []
+        self._ybits: list[list[str]] = []
+        for index, bits in enumerate(self._block_bits):
+            xs, ys = [], []
+            for bit in range(bits):
+                xs.append(f"a{index}b{bit}x")
+                ys.append(f"a{index}b{bit}y")
+                self.bdd.add_var(xs[-1])
+                self.bdd.add_var(ys[-1])
+            self._xbits.append(xs)
+            self._ybits.append(ys)
+        nfrag = len(self.fragments)
+        self._frag_bits = max(1, nfrag.bit_length())
+        self._frag_x: list[str] = []
+        self._frag_y: list[str] = []
+        for bit in range(self._frag_bits):
+            self.bdd.add_var(f"fb{bit}x")
+            self.bdd.add_var(f"fb{bit}y")
+            self._frag_x.append(f"fb{bit}x")
+            self._frag_y.append(f"fb{bit}y")
+        self.xvars = [v for xs in self._xbits for v in xs] + self._frag_x
+        self.yvars = [v for ys in self._ybits for v in ys] + self._frag_y
+        self._x_to_y = dict(zip(self.xvars, self.yvars))
+        self._y_to_x = dict(zip(self.yvars, self.xvars))
+
+        # ---- state-space pieces.
+        self.valid = self.bdd.conj(
+            [self._block_valid(index) for index in range(len(model.attributes))]
+        )
+        self.initial = self.bdd.and_(self.valid, self._frag_cube(0))
+        self.relation = self._build_relation(descriptors)
+        self.reachable, self.frontiers = self._compute_reachable()
+        self.prop_map = self._build_prop_map()
+
+    # ------------------------------------------------------------------
+    # Fragment enumeration (mirrors extractor._expand_summary, minus the
+    # per-state loop: everything here is state-independent).
+    # ------------------------------------------------------------------
+    def _enumerate_fragments(self):
+        model = self.model
+        descriptors = []
+        fid = 0
+        for app, summary in model.rule_origins:
+            entry = summary.entry
+            event = entry.event
+            moved = _moved_attribute(model, event)
+            if moved is None:
+                if not summary.actions:
+                    continue  # no-op timer path, skipped by the expansion
+                candidates: list[tuple[int | None, str | None]] = [(None, None)]
+            else:
+                index, attr = moved
+                if event.value is not None:
+                    candidates = [(index, event.value)]
+                else:
+                    candidates = [(index, value) for value in attr.domain]
+            for index, new_value in candidates:
+                if index is not None and new_value is not None:
+                    if new_value not in model.attributes[index].domain:
+                        # The explicit path would carry this transition to a
+                        # state outside the domain product; no corpus app
+                        # subscribes to an out-of-domain value (asserted by
+                        # the differential suite), so the fragment is moot.
+                        continue
+                fid += 1
+                fragment, summary_ref = self._make_fragment(
+                    fid, app, summary, index, new_value
+                )
+                descriptors.append((fragment, summary_ref))
+        return descriptors
+
+    def _make_fragment(self, fid, app, summary, index, new_value):
+        model = self.model
+        event = summary.entry.event
+        concrete_event = (
+            Event(event.kind, event.device, event.attribute, new_value)
+            if index is not None
+            else event
+        )
+        writes: dict[int, str] = {}
+        if index is not None and new_value is not None:
+            writes[index] = new_value
+        for action in summary.actions:
+            if action.attribute is None:
+                continue
+            target = model.attribute_index(action.device, action.attribute)
+            if target is None:
+                continue
+            attr = model.attributes[target]
+            if attr.is_numeric:
+                label = _numeric_write_label(model, attr, action.value)
+                if label is not None:
+                    writes[target] = label
+            elif isinstance(action.value, str) and action.value in attr.domain:
+                writes[target] = action.value
+        witness = Transition(
+            source=(),
+            target=(),
+            event=concrete_event,
+            condition=(),   # residual guards are state-dependent; their
+                            # src: labels are the documented omission
+            actions=summary.actions,
+            app=app,
+            via_reflection=summary.uses_reflection,
+            sends=summary.sends,
+        )
+        props = tuple(
+            p for p in transition_props(witness) if not p.startswith("src:")
+        )
+        fragment = Fragment(
+            fid=fid,
+            app=app,
+            event=concrete_event,
+            moved_index=index,
+            new_value=new_value,
+            writes=tuple(sorted(writes.items())),
+            props=props,
+            via_reflection=summary.uses_reflection,
+        )
+        return fragment, summary
+
+    # ------------------------------------------------------------------
+    # Encoding primitives
+    # ------------------------------------------------------------------
+    def _code_cube(self, names: list[str], code: int) -> int:
+        terms = []
+        for bit, name in enumerate(names):
+            terms.append(
+                self.bdd.var(name) if (code >> bit) & 1 else self.bdd.nvar(name)
+            )
+        return self.bdd.conj(terms)
+
+    def value_cube(self, index: int, label: str, prime: bool = False) -> int:
+        """BDD for "attribute ``index`` holds ``label``" (x or y bits)."""
+        code = self.model.attributes[index].domain.index(label)
+        names = self._ybits[index] if prime else self._xbits[index]
+        return self._code_cube(names, code)
+
+    def _frag_cube(self, fid: int, prime: bool = False) -> int:
+        names = self._frag_y if prime else self._frag_x
+        return self._code_cube(names, fid)
+
+    def _block_valid(self, index: int) -> int:
+        domain = self.model.attributes[index].domain
+        size = max(1, len(domain))
+        if size == 1 << self._block_bits[index]:
+            return self.bdd.TRUE
+        return self.bdd.disj(
+            [self._code_cube(self._xbits[index], code) for code in range(size)]
+        )
+
+    def _block_identity(self, index: int) -> int:
+        terms = []
+        for xname, yname in zip(self._xbits[index], self._ybits[index]):
+            terms.append(self.bdd.iff(self.bdd.var(xname), self.bdd.var(yname)))
+        return self.bdd.conj(terms)
+
+    def _identity_all(self) -> int:
+        terms = [
+            self._block_identity(index) for index in range(len(self.model.attributes))
+        ]
+        for xname, yname in zip(self._frag_x, self._frag_y):
+            terms.append(self.bdd.iff(self.bdd.var(xname), self.bdd.var(yname)))
+        return self.bdd.conj(terms)
+
+    # ------------------------------------------------------------------
+    # Guards
+    # ------------------------------------------------------------------
+    def _atom_bdd(self, atom, moved_index, new_value, event) -> int:
+        """States where ``atom`` is not definitely false — the symbolic
+        analogue of the expansion's per-state guard decision.  Undecidable
+        combinations stay permitted (they are residual labels, not
+        restrictions), exactly like :func:`extractor._decide_condition`.
+        """
+        from repro.analysis.values import DeviceRead
+
+        model = self.model
+        refs: list[int] = []
+        for operand in (atom.lhs, atom.rhs):
+            if isinstance(operand, DeviceRead):
+                index = model.attribute_index(operand.device, operand.attribute)
+                if index is None:
+                    continue
+                if index == moved_index and new_value is not None:
+                    continue  # reads of the event device see the new value
+                if index not in refs:
+                    refs.append(index)
+        template = [attr.domain[0] if attr.domain else "" for attr in model.attributes]
+        if not refs:
+            state = tuple(template)
+            lhs = _resolve_operand(model, atom.lhs, state, moved_index, new_value, event)
+            rhs = _resolve_operand(model, atom.rhs, state, moved_index, new_value, event)
+            verdict = _decide_atom(lhs, atom.op, rhs)
+            return self.bdd.FALSE if verdict is False else self.bdd.TRUE
+        allowed = []
+        domains = [self.model.attributes[index].domain for index in refs]
+        for combo in itertools.product(*domains):
+            for index, value in zip(refs, combo):
+                template[index] = value
+            state = tuple(template)
+            lhs = _resolve_operand(model, atom.lhs, state, moved_index, new_value, event)
+            rhs = _resolve_operand(model, atom.rhs, state, moved_index, new_value, event)
+            if _decide_atom(lhs, atom.op, rhs) is False:
+                continue
+            allowed.append(
+                self.bdd.conj(
+                    [
+                        self.value_cube(index, value)
+                        for index, value in zip(refs, combo)
+                    ]
+                )
+            )
+        return self.bdd.disj(allowed)
+
+    # ------------------------------------------------------------------
+    # Relation
+    # ------------------------------------------------------------------
+    def _build_relation(self, descriptors) -> int:
+        bdd = self.bdd
+        terms = []
+        for fragment, summary in descriptors:
+            index, new_value = fragment.moved_index, fragment.new_value
+            term = bdd.TRUE
+            if index is not None and new_value is not None:
+                attr = self.model.attributes[index]
+                if (
+                    not attr.is_numeric
+                    and (attr.device, attr.attribute, new_value) not in self._written
+                ):
+                    # Device events fire on attribute *changes* — except
+                    # that app-written values re-stimulate co-installed
+                    # subscribers (multi-app cascades, Sec. 4.4).
+                    term = bdd.not_(self.value_cube(index, new_value))
+            for atom in summary.condition:
+                term = bdd.and_(
+                    term, self._atom_bdd(atom, index, new_value, summary.entry.event)
+                )
+                if term == bdd.FALSE:
+                    break
+            if term == bdd.FALSE:
+                continue
+            written = dict(fragment.writes)
+            for attr_index in range(len(self.model.attributes)):
+                if attr_index in written:
+                    term = bdd.and_(
+                        term, self.value_cube(attr_index, written[attr_index], prime=True)
+                    )
+                else:
+                    term = bdd.and_(term, self._block_identity(attr_index))
+            term = bdd.and_(term, self._frag_cube(fragment.fid, prime=True))
+            terms.append(term)
+        relation = bdd.disj(terms)
+        # Totalise: deadlocked states self-loop, keeping their incoming
+        # label — CTL semantics require a total relation.
+        has_successor = bdd.exists(self.yvars, relation)
+        dead = bdd.and_(self.valid, bdd.not_(has_successor))
+        if dead != bdd.FALSE:
+            relation = bdd.or_(relation, bdd.and_(dead, self._identity_all()))
+        return relation
+
+    # ------------------------------------------------------------------
+    # Reachability
+    # ------------------------------------------------------------------
+    def post(self, states: int) -> int:
+        """Symbolic image: successors of ``states`` under the relation."""
+        primed = self.bdd.and_exists(self.xvars, self.relation, states)
+        return self.bdd.rename(primed, self._y_to_x)
+
+    def pre(self, states: int) -> int:
+        """Symbolic preimage of ``states`` under the relation."""
+        primed = self.bdd.rename(states, self._x_to_y)
+        return self.bdd.and_exists(self.yvars, self.relation, primed)
+
+    def _compute_reachable(self) -> tuple[int, list[int]]:
+        """Least fixpoint of ``post`` from the initial states.
+
+        Returns (reachable set, BFS frontiers): ``frontiers[i]`` holds the
+        states first reached in exactly ``i`` steps — the onion rings that
+        counterexample extraction walks backwards for shortest paths.
+        """
+        frontier = self.initial
+        reached = self.initial
+        frontiers = [frontier]
+        while True:
+            step = self.post(frontier)
+            frontier = self.bdd.and_(step, self.bdd.not_(reached))
+            if frontier == self.bdd.FALSE:
+                return reached, frontiers
+            frontiers.append(frontier)
+            reached = self.bdd.or_(reached, frontier)
+
+    # ------------------------------------------------------------------
+    # Propositions and decoding
+    # ------------------------------------------------------------------
+    def _build_prop_map(self) -> dict[str, int]:
+        prop_map: dict[str, int] = {}
+        for index, attr in enumerate(self.model.attributes):
+            for value in attr.domain:
+                prop_map[attr_prop(attr.device, attr.attribute, value)] = (
+                    self.value_cube(index, value)
+                )
+        by_prop: dict[str, list[int]] = {}
+        for fragment in self.fragments.values():
+            for prop in fragment.props:
+                by_prop.setdefault(prop, []).append(fragment.fid)
+        for prop, fids in by_prop.items():
+            cube = self.bdd.disj([self._frag_cube(fid) for fid in fids])
+            existing = prop_map.get(prop)
+            prop_map[prop] = (
+                cube if existing is None else self.bdd.or_(existing, cube)
+            )
+        return prop_map
+
+    def prop(self, name: str) -> int:
+        """The BDD of one atomic proposition (FALSE when unknown)."""
+        return self.prop_map.get(name, self.bdd.FALSE)
+
+    # ------------------------------------------------------------------
+    def state_cube(self, assignment: dict[str, bool]) -> int:
+        """The x-cube pinning every current-state variable of a (possibly
+        partial) satisfying assignment; unmentioned variables read False,
+        matching :meth:`BDD.any_sat`'s completion convention."""
+        terms = []
+        for name in self.xvars:
+            terms.append(
+                self.bdd.var(name) if assignment.get(name, False) else self.bdd.nvar(name)
+            )
+        return self.bdd.conj(terms)
+
+    def decode(self, assignment: dict[str, bool]) -> tuple[KripkeState, frozenset[str]]:
+        """Turn a satisfying assignment over x-vars into the explicit
+        Kripke node it denotes, plus that node's label set."""
+        values = []
+        for index, attr in enumerate(self.model.attributes):
+            code = 0
+            for bit, name in enumerate(self._xbits[index]):
+                if assignment.get(name, False):
+                    code |= 1 << bit
+            domain = attr.domain or ("?",)
+            values.append(domain[min(code, len(domain) - 1)])
+        fid = 0
+        for bit, name in enumerate(self._frag_x):
+            if assignment.get(name, False):
+                fid |= 1 << bit
+        fragment = self.fragments.get(fid)
+        incoming = fragment.props if fragment is not None else ()
+        labels = {
+            attr_prop(attr.device, attr.attribute, value)
+            for attr, value in zip(self.model.attributes, values)
+        } | set(incoming)
+        return KripkeState(state=tuple(values), incoming=incoming), frozenset(labels)
+
+    def state_count(self) -> int:
+        """Number of reachable symbolic states (for reports/benchmarks).
+
+        ``count_sat`` counts over every registered variable; the reachable
+        set mentions only current-state variables, so each real state is
+        counted once per next-state assignment — divide those back out.
+        """
+        return self.bdd.count_sat(self.reachable) >> len(self.yvars)
+
+
+def encode_union(
+    models: list[StateModel],
+    shared_devices: dict[tuple[str, str], str] | None = None,
+) -> SymbolicUnionModel:
+    """Compile app state models into one symbolic union model.
+
+    The convenience entry point: builds the non-materializing union
+    skeleton (shared attribute variables for shared device handles) and
+    encodes it.  ``shared_devices`` has :func:`build_union_model`'s
+    meaning.
+    """
+    from repro.model.union import build_union_skeleton
+
+    return SymbolicUnionModel(build_union_skeleton(models, shared_devices=shared_devices))

@@ -87,6 +87,49 @@ def action_prop(action: Action) -> str | None:
     return f"act:{action.device}.{action.attribute}={value}"
 
 
+def transition_props(transition: Transition) -> tuple[str, ...]:
+    """Atomic propositions contributed by an incoming transition.
+
+    Shared vocabulary of the explicit Kripke construction below and the
+    symbolic encoder (:mod:`repro.model.encoder`): both label target states
+    with the triggering event, the handler's actions and their value
+    sources, app attribution, and notification/reflection markers.
+    """
+    props = [
+        event_prop(transition.event.label()),
+        f"evkind:{transition.event.kind.value}",
+    ]
+    for action in transition.actions:
+        prop = action_prop(action)
+        if prop is not None:
+            props.append(prop)
+        if action.attribute is not None:
+            value = action.value
+            source = "developer"
+            if isinstance(value, SymValue):
+                from repro.analysis.values import source_label
+
+                label = source_label(value)
+                source = {
+                    "user-defined": "user",
+                    "device-state": "device",
+                    "state-variable": "state",
+                }.get(label, "developer" if label == "developer-defined" else "unknown")
+            props.append(
+                f"actsrc:{action.device}.{action.attribute}={source}"
+            )
+    if transition.sends:
+        props.append("sent-notification")
+    if transition.app:
+        props.append(f"app:{transition.app}")
+    if transition.via_reflection:
+        props.append("via-reflection")
+    for atom in transition.condition:
+        for source in atom.sources():
+            props.append(f"src:{source}")
+    return tuple(sorted(set(props)))
+
+
 def build_kripke(model: StateModel) -> KripkeStructure:
     """Build the Kripke structure of a state model."""
     kripke = KripkeStructure()
@@ -96,41 +139,6 @@ def build_kripke(model: StateModel) -> KripkeStructure:
         for attr, value in zip(model.attributes, state):
             props.add(attr_prop(attr.device, attr.attribute, value))
         return props
-
-    def transition_props(transition: Transition) -> tuple[str, ...]:
-        props = [
-            event_prop(transition.event.label()),
-            f"evkind:{transition.event.kind.value}",
-        ]
-        for action in transition.actions:
-            prop = action_prop(action)
-            if prop is not None:
-                props.append(prop)
-            if action.attribute is not None:
-                value = action.value
-                source = "developer"
-                if isinstance(value, SymValue):
-                    from repro.analysis.values import source_label
-
-                    label = source_label(value)
-                    source = {
-                        "user-defined": "user",
-                        "device-state": "device",
-                        "state-variable": "state",
-                    }.get(label, "developer" if label == "developer-defined" else "unknown")
-                props.append(
-                    f"actsrc:{action.device}.{action.attribute}={source}"
-                )
-        if transition.sends:
-            props.append("sent-notification")
-        if transition.app:
-            props.append(f"app:{transition.app}")
-        if transition.via_reflection:
-            props.append("via-reflection")
-        for atom in transition.condition:
-            for source in atom.sources():
-                props.append(f"src:{source}")
-        return tuple(sorted(set(props)))
 
     # Initial nodes: every model state with no incoming info.
     node_index: dict[KripkeState, None] = {}

@@ -33,6 +33,64 @@ def build_union_model(
 
     ``shared_devices`` optionally maps (app-name, handle) -> global device
     id; unmapped handles keep their own name (so equal handles are shared).
+
+    This is the *explicit* path: the union's states are materialized as the
+    Cartesian product over the deduplicated attribute set and every app's
+    rules are expanded into concrete transitions.  For unions too large to
+    enumerate, :func:`build_union_skeleton` builds the same model without
+    states/transitions so :mod:`repro.model.encoder` can compile the rules
+    directly to BDDs.
+    """
+    db = db or default_database()
+
+    total = estimate_union_states(models, shared_devices)
+    if total > max_states:
+        raise StateExplosionError(
+            f"union of {[m.name for m in models]}: {total} states exceed budget"
+        )
+
+    union = build_union_skeleton(models, db=db, shared_devices=shared_devices)
+    union.states = (
+        [
+            tuple(combo)
+            for combo in itertools.product(*(a.domain for a in union.attributes))
+        ]
+        if union.attributes
+        else [()]
+    )
+
+    # ------------------------------------------------------------------
+    # Lines 2-12: lift every app's transitions into G', labelled with the
+    # originating app.  Expansion re-applies each app's symbolic rules in
+    # the union space, which yields exactly "add e' = v' -l-> u' for every
+    # v' containing v" (the rule fires from every union state whose
+    # projection matches, and updates only that app's attributes).
+    # ------------------------------------------------------------------
+    written = union_written_values(union.rule_origins)
+    per_app: dict[str, dict] = {}
+    for app, summary in union.rule_origins:
+        per_app.setdefault(app, {}).setdefault(summary.entry, []).append(summary)
+    for app, renamed in per_app.items():
+        expand_rules_into(union, renamed, app, db, app_written=written)
+    return union
+
+
+def build_union_skeleton(
+    models: list[StateModel],
+    db: CapabilityDatabase | None = None,
+    shared_devices: dict[tuple[str, str], str] | None = None,
+) -> StateModel:
+    """Algorithm 2 without the Cartesian product: the union model's
+    attributes, merged numeric domains, and renamed rules — but no
+    materialized states or transitions.
+
+    The skeleton carries everything the property catalog and the general
+    checks need (``attributes``, ``numeric_domains``, ``rules``,
+    ``rule_origins``), and is the input of
+    :func:`repro.model.encoder.encode_union`, which compiles the rules
+    straight to BDDs over shared attribute variables.  Its ``states`` list
+    is intentionally empty: callers wanting the explicit product use
+    :func:`build_union_model`.
     """
     db = db or default_database()
     mapping = shared_devices or {}
@@ -45,59 +103,40 @@ def build_union_model(
     for model in models:
         raw *= max(1, model.raw_state_count)
 
-    total = 1
-    for attr in union_attrs:
-        total *= max(1, len(attr.domain))
-    if total > max_states:
-        raise StateExplosionError(
-            f"union of {[m.name for m in models]}: {total} states exceed budget"
-        )
-
     union = StateModel(
         name="+".join(model.name for model in models),
         attributes=union_attrs,
-        states=[
-            tuple(combo)
-            for combo in itertools.product(*(a.domain for a in union_attrs))
-        ]
-        if union_attrs
-        else [()],
+        states=[],
         numeric_domains={k: v for k, v in union_domains.items()},  # type: ignore[misc]
         raw_state_count=raw,
         apps=[model.apps[0] if model.apps else model.name for model in models],
     )
 
-    # ------------------------------------------------------------------
-    # Lines 2-12: lift every app's transitions into G', labelled with the
-    # originating app.  Expansion re-applies each app's symbolic rules in
-    # the union space, which yields exactly "add e' = v' -l-> u' for every
-    # v' containing v" (the rule fires from every union state whose
-    # projection matches, and updates only that app's attributes).
-    # ------------------------------------------------------------------
-    renamed_per_app: list[tuple[str, dict]] = []
     for model in models:
         app = model.apps[0] if model.apps else model.name
-        renamed_per_app.append((app, _rename_rules(model, app, global_id)))
-
-    # Values actively written by some app: events for these values
-    # re-stimulate subscribers in other apps (handler cascades).
-    written: set[tuple[str, str, str]] = set()
-    for _app, renamed in renamed_per_app:
-        for summaries in renamed.values():
-            for summary in summaries:
-                for action in summary.actions:
-                    if action.attribute is not None and isinstance(
-                        action.value, str
-                    ):
-                        written.add((action.device, action.attribute, action.value))
-
-    for app, renamed in renamed_per_app:
-        expand_rules_into(union, renamed, app, db, app_written=frozenset(written))
+        renamed = _rename_rules(model, app, global_id)
         for entry, summaries in renamed.items():
             union.rules.setdefault(entry, []).extend(summaries)
             for summary in summaries:
                 union.rule_origins.append((app, summary))
     return union
+
+
+def union_written_values(
+    rule_origins: list[tuple[str, object]],
+) -> frozenset[tuple[str, str, str]]:
+    """(device, attribute, value) triples some app actively writes.
+
+    Events for app-written values re-stimulate subscribers in co-installed
+    apps (handler cascades, Sec. 4.4), so both the explicit expansion and
+    the symbolic encoder exempt them from the fire-on-change-only rule.
+    """
+    written: set[tuple[str, str, str]] = set()
+    for _app, summary in rule_origins:
+        for action in summary.actions:
+            if action.attribute is not None and isinstance(action.value, str):
+                written.add((action.device, action.attribute, action.value))
+    return frozenset(written)
 
 
 def _union_attributes(
@@ -158,19 +197,27 @@ def _union_attributes(
     return union_attrs, union_domains
 
 
-def union_state_count(
+def estimate_union_states(
     models: list[StateModel],
     shared_devices: dict[tuple[str, str], str] | None = None,
 ) -> int:
     """State count of :func:`build_union_model`'s result, without building
-    it — the deduplicated-attribute domain product.  Lets sweep drivers
-    budget-check candidate groups before shipping models anywhere.
+    it — the deduplicated-attribute domain product.
+
+    The single estimator behind every union budget decision: the sweep
+    engine's per-group budget check, :func:`build_union_model`'s explosion
+    guard, and the ``auto`` backend selector all call this, so "too big for
+    explicit checking" means the same thing everywhere.
     """
     union_attrs, _domains = _union_attributes(models, shared_devices)
     total = 1
     for attr in union_attrs:
         total *= max(1, len(attr.domain))
     return total
+
+
+#: Backwards-compatible alias of :func:`estimate_union_states`.
+union_state_count = estimate_union_states
 
 
 def _merge_domains(first: tuple[str, ...], second: tuple[str, ...]) -> tuple[str, ...]:

@@ -34,12 +34,20 @@ def _render_app(analysis: AppAnalysis) -> str:
 
 def _render_environment(analysis: EnvironmentAnalysis) -> str:
     model = analysis.union_model
+    # The symbolic backend never materializes states/transitions: report
+    # the domain-product estimate and the BDD relation instead.
+    states = f"states: {model.size() or analysis.state_estimate}"
+    transitions = (
+        f"transitions: {len(model.transitions)}"
+        if analysis.backend == "explicit"
+        else "transitions: symbolic (BDD-encoded relation)"
+    )
     lines = [
         f"=== Soteria multi-app analysis: {', '.join(model.apps)} ===",
         "",
-        "--- Union state model (Algorithm 2) ---",
-        f"states: {model.size()}",
-        f"transitions: {len(model.transitions)}",
+        f"--- Union state model (Algorithm 2, {analysis.backend} backend) ---",
+        states,
+        transitions,
         f"attributes: {', '.join(a.qualified for a in model.attributes)}",
         "",
         "--- Property verification ---",

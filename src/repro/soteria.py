@@ -6,7 +6,21 @@ applicable app-specific properties.
 
 :func:`analyze_environment` — multi-app analysis: per-app models, the
 Algorithm-2 union model, general checks over the combined rule set, and
-model checking on the union.
+model checking on the union through one of two interchangeable backends:
+
+* ``explicit`` — materialize the union product, build the Kripke
+  structure, check with :class:`repro.mc.explicit.ExplicitChecker`;
+* ``symbolic`` — compile the apps' rules to BDDs over shared attribute
+  variables (:mod:`repro.model.encoder`) and check with
+  :class:`repro.mc.symbolic.SymbolicModelChecker`, never enumerating the
+  product;
+* ``auto`` (default) — explicit while the domain-product estimate fits
+  the budget (small models check faster explicitly and keep the Kripke
+  structure around for callers), symbolic beyond it.
+
+Both backends produce identical violation sets — the differential test
+suite asserts per-formula agreement — so the choice is purely a
+performance/scalability decision.
 """
 
 from __future__ import annotations
@@ -16,13 +30,31 @@ from dataclasses import dataclass, field
 
 from repro.ir import AppIR, build_ir
 from repro.mc.explicit import CheckResult, ExplicitChecker
-from repro.model import StateModel, build_kripke, build_union_model, extract_model
+from repro.model import (
+    StateModel,
+    build_kripke,
+    build_union_model,
+    build_union_skeleton,
+    estimate_union_states,
+    extract_model,
+)
 from repro.model.kripke import KripkeStructure
 from repro.platform.capabilities import CapabilityDatabase, default_database
 from repro.platform.smartapp import SmartApp
 from repro.properties.catalog import PropertyCatalog, Violation, default_catalog
 from repro.properties.general import check_general_properties
 from repro.properties.roles import device_roles, merge_roles
+
+#: Union-state estimate beyond which the ``auto`` backend switches from
+#: explicit to symbolic checking when no explicit budget is passed.  This
+#: is the sweep engine's historical skip budget: every curated paper group
+#: fits under it with room to spare, so ``auto`` keeps those on the (for
+#: small models faster) explicit path and reserves BDDs for the clusters
+#: the old budget used to reject.
+AUTO_SYMBOLIC_THRESHOLD = 10_000
+
+#: Recognized checker backends.
+BACKENDS = ("auto", "explicit", "symbolic")
 
 
 @dataclass
@@ -47,14 +79,23 @@ class AppAnalysis:
 
 @dataclass
 class EnvironmentAnalysis:
-    """Multi-app analysis over the union state model (Algorithm 2)."""
+    """Multi-app analysis over the union state model (Algorithm 2).
+
+    ``kripke`` is populated by the explicit backend only: the symbolic
+    backend never materializes the union product, so there is no explicit
+    structure to hand out (``backend`` records which one ran, and
+    ``state_estimate`` the domain-product size either way).
+    """
 
     analyses: list[AppAnalysis]
     union_model: StateModel
-    kripke: KripkeStructure
+    kripke: KripkeStructure | None
     violations: list[Violation] = field(default_factory=list)
     checked_properties: list[str] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    backend: str = "explicit"
+    state_estimate: int = 0
+    check_results: dict[str, list[CheckResult]] = field(default_factory=dict)
 
     def multi_app_violations(self) -> list[Violation]:
         """Violations involving two or more apps (the Table 4 kind)."""
@@ -103,9 +144,31 @@ def analyze_app(
 
     # App-specific properties: CTL model checking.
     start = time.perf_counter()
-    _check_app_specific(analysis, [ir], model, kripke, catalog)
+    _check_app_specific(
+        analysis, [ir], model, ExplicitChecker(kripke), kripke.labels, catalog
+    )
     timings["properties"] = time.perf_counter() - start
     return analysis
+
+
+def resolve_backend(
+    backend: str, estimate: int, max_union_states: int | None = None
+) -> str:
+    """Pick the checker backend for a union of ``estimate`` product states.
+
+    ``auto`` goes symbolic once the estimate exceeds the explicit budget
+    (``max_union_states`` when given, else :data:`AUTO_SYMBOLIC_THRESHOLD`)
+    — the clusters the old sweep skipped are exactly the ones the BDD
+    backend exists for.  Explicit and symbolic are honored as-is.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    if backend != "auto":
+        return backend
+    budget = max_union_states if max_union_states is not None else AUTO_SYMBOLIC_THRESHOLD
+    return "symbolic" if estimate > budget else "explicit"
 
 
 def analyze_environment(
@@ -114,6 +177,7 @@ def analyze_environment(
     catalog: PropertyCatalog | None = None,
     shared_devices: dict[tuple[str, str], str] | None = None,
     max_union_states: int | None = None,
+    backend: str = "auto",
 ) -> EnvironmentAnalysis:
     """Analyze a group of apps installed together.
 
@@ -121,10 +185,16 @@ def analyze_environment(
     :class:`SmartApp`, or a finished :class:`AppAnalysis` — precomputed
     analyses (e.g. from the corpus batch driver's caches) are reused
     as-is, so union construction skips the per-app pipeline entirely.
-    ``max_union_states`` caps the union's state count (default: the
-    :func:`repro.model.build_union_model` budget); crossing it raises
+
+    ``backend`` selects the union checker: ``"explicit"``, ``"symbolic"``,
+    or ``"auto"`` (the default — explicit under the state budget, symbolic
+    above it; see :func:`resolve_backend`).  ``max_union_states`` caps the
+    *explicit* union's state count (default: the
+    :func:`repro.model.build_union_model` budget); crossing it with
+    ``backend="explicit"`` raises
     :class:`~repro.model.extractor.StateExplosionError` before any state
-    is enumerated.
+    is enumerated, while ``auto`` switches to the symbolic backend, which
+    has no budget because it never materializes states.
     """
     db = db or default_database()
     catalog = catalog or default_catalog()
@@ -133,21 +203,47 @@ def analyze_environment(
         for source in sources
     ]
 
-    timings: dict[str, float] = {}
-    start = time.perf_counter()
-    union_kwargs = {} if max_union_states is None else {"max_states": max_union_states}
-    union = build_union_model(
-        [a.model for a in analyses], db=db, shared_devices=shared_devices,
-        **union_kwargs,
-    )
-    timings["union"] = time.perf_counter() - start
+    models = [a.model for a in analyses]
+    estimate = estimate_union_states(models, shared_devices)
+    chosen = resolve_backend(backend, estimate, max_union_states)
 
-    start = time.perf_counter()
-    kripke = build_kripke(union)
-    timings["kripke"] = time.perf_counter() - start
+    timings: dict[str, float] = {}
+    kripke: KripkeStructure | None = None
+    if chosen == "explicit":
+        start = time.perf_counter()
+        union_kwargs = (
+            {} if max_union_states is None else {"max_states": max_union_states}
+        )
+        union = build_union_model(
+            models, db=db, shared_devices=shared_devices, **union_kwargs
+        )
+        timings["union"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        kripke = build_kripke(union)
+        timings["kripke"] = time.perf_counter() - start
+        checker = ExplicitChecker(kripke)
+        labels = kripke.labels
+    else:
+        from repro.mc.symbolic import SymbolicModelChecker
+        from repro.model.encoder import SymbolicUnionModel
+
+        start = time.perf_counter()
+        union = build_union_skeleton(models, db=db, shared_devices=shared_devices)
+        timings["union"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        checker = SymbolicModelChecker(SymbolicUnionModel(union))
+        timings["encode"] = time.perf_counter() - start
+        labels = checker.labels
 
     environment = EnvironmentAnalysis(
-        analyses=analyses, union_model=union, kripke=kripke, timings=timings
+        analyses=analyses,
+        union_model=union,
+        kripke=kripke,
+        timings=timings,
+        backend=chosen,
+        state_estimate=estimate,
     )
 
     # General properties over the combined rule set.
@@ -158,7 +254,7 @@ def analyze_environment(
     # App-specific properties on the union model.
     start = time.perf_counter()
     irs = [a.ir for a in analyses]
-    _check_app_specific(environment, irs, union, kripke, catalog)
+    _check_app_specific(environment, irs, union, checker, labels, catalog)
     timings["properties"] = time.perf_counter() - start
     return environment
 
@@ -193,9 +289,19 @@ def _check_app_specific(
     analysis: AppAnalysis | EnvironmentAnalysis,
     irs: list[AppIR],
     model: StateModel,
-    kripke: KripkeStructure,
+    checker,
+    labels,
     catalog: PropertyCatalog,
 ) -> None:
+    """Check the applicable catalog properties through any CTL backend.
+
+    ``checker`` is anything with an explicit-compatible
+    ``check(formula) -> CheckResult`` (the explicit checker or the
+    symbolic model checker); ``labels`` maps witness states to their
+    atomic propositions for violation diagnosis — the Kripke labelling
+    for the explicit backend, the checker's decoded-state labels for the
+    symbolic one.
+    """
     device_map: dict[str, str] = {}
     for ir in irs:
         for perm in ir.devices():
@@ -205,7 +311,6 @@ def _check_app_specific(
     if model.attribute_index("location", "mode") is not None:
         capabilities.add("location-mode")
 
-    checker = ExplicitChecker(kripke)
     app_names = tuple(model.apps)
     for spec in catalog.applicable(capabilities, roles):
         analysis.checked_properties.append(spec.id)
@@ -220,11 +325,11 @@ def _check_app_specific(
             if devices in seen_bindings:
                 continue
             seen_bindings.add(devices)
-            reflective = _counterexample_reflective(result, kripke)
+            reflective = _counterexample_reflective(result, labels)
             trace = tuple(
                 model.state_label(state.state) for state in result.counterexample
             )
-            culprit_apps = _culprit_apps(result, kripke) or app_names
+            culprit_apps = _culprit_apps(result, labels) or app_names
             analysis.violations.append(
                 Violation(
                     property_id=spec.id,
@@ -236,27 +341,22 @@ def _check_app_specific(
                     counterexample=trace,
                 )
             )
-        if isinstance(analysis, AppAnalysis):
-            analysis.check_results[spec.id] = results
+        analysis.check_results[spec.id] = results
 
 
-def _counterexample_reflective(
-    result: CheckResult, kripke: KripkeStructure
-) -> bool:
+def _counterexample_reflective(result: CheckResult, labels) -> bool:
     """Did the violating step come only from reflective call targets?"""
     states = result.counterexample or result.failing_states[:1]
     if not states:
         return False
     final = states[-1]
-    return "via-reflection" in kripke.labels.get(final, frozenset())
+    return "via-reflection" in labels.get(final, frozenset())
 
 
-def _culprit_apps(
-    result: CheckResult, kripke: KripkeStructure
-) -> tuple[str, ...]:
+def _culprit_apps(result: CheckResult, labels) -> tuple[str, ...]:
     apps: set[str] = set()
     for state in result.counterexample:
-        for prop in kripke.labels.get(state, frozenset()):
+        for prop in labels.get(state, frozenset()):
             if prop.startswith("app:"):
                 apps.add(prop[4:])
     return tuple(sorted(apps))

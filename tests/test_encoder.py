@@ -1,0 +1,183 @@
+"""Symbolic union encoding: variable blocks, fragments, reachability.
+
+The encoder compiles app rules straight to a BDD relation — these tests
+pin its structural guarantees (shared blocks for shared devices, no
+materialized product, reachable-state counts matching the explicit
+Kripke construction) independently of the CTL layer, which
+``test_backends_differential`` cross-validates end to end.
+"""
+
+from repro.mc.symbolic import SymbolicModelChecker
+from repro.model import (
+    build_kripke,
+    build_union_model,
+    build_union_skeleton,
+    encode_union,
+    extract_model,
+)
+from repro.platform.smartapp import SmartApp
+from repro.ir import build_ir
+
+APP_A = '''
+definition(name: "AppA")
+preferences { section("s") {
+    input "sw", "capability.switch"
+    input "ws", "capability.waterSensor"
+} }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { sw.off() }
+'''
+
+APP_B = '''
+definition(name: "AppB")
+preferences { section("s") {
+    input "sw", "capability.switch"
+    input "ms", "capability.motionSensor"
+} }
+def installed() { subscribe(ms, "motion.active", h) }
+def h(evt) { sw.on() }
+'''
+
+
+def model_of(source: str):
+    return extract_model(build_ir(SmartApp.from_source(source)))
+
+
+class TestSkeleton:
+    def test_skeleton_has_no_states_or_transitions(self):
+        skeleton = build_union_skeleton([model_of(APP_A), model_of(APP_B)])
+        assert skeleton.states == []
+        assert skeleton.transitions == []
+        assert skeleton.rules and skeleton.rule_origins
+
+    def test_skeleton_attributes_match_materialized_union(self):
+        models = [model_of(APP_A), model_of(APP_B)]
+        skeleton = build_union_skeleton(models)
+        union = build_union_model(models)
+        assert skeleton.attributes == union.attributes
+        assert skeleton.numeric_domains == union.numeric_domains
+        assert skeleton.apps == union.apps
+
+    def test_materialized_union_unchanged_by_refactor(self):
+        # build_union_model now routes through the skeleton; the explicit
+        # result must still carry the product and the lifted transitions.
+        models = [model_of(APP_A), model_of(APP_B)]
+        union = build_union_model(models)
+        assert len(union.states) == 8  # switch x water x motion
+        assert union.transitions
+
+
+class TestEncoding:
+    def test_shared_device_shares_one_variable_block(self):
+        # Both apps hold the "sw" handle: one block, not two.
+        symbolic = encode_union([model_of(APP_A), model_of(APP_B)])
+        devices = [attr.device for attr in symbolic.model.attributes]
+        assert devices.count("sw") == 1
+        # 3 binary attributes -> 3 single-bit blocks + the fragment block.
+        assert all(len(bits) == 1 for bits in symbolic._xbits)
+
+    def test_reachable_count_matches_explicit_kripke(self):
+        models = [model_of(APP_A), model_of(APP_B)]
+        symbolic = encode_union(models)
+        kripke = build_kripke(build_union_model(models))
+        # Explicit nodes split by residual-guard src: labels and merge
+        # same-label fragments; neither happens here, so counts line up.
+        assert symbolic.state_count() == len(kripke.states)
+
+    def test_initial_states_are_the_domain_product(self):
+        symbolic = encode_union([model_of(APP_A), model_of(APP_B)])
+        count = symbolic.bdd.count_sat(symbolic.initial) >> len(symbolic.yvars)
+        assert count == 8
+
+    def test_fragments_cover_every_rule_event_value(self):
+        symbolic = encode_union([model_of(APP_A)])
+        # One rule subscribed to water.wet: exactly one fragment.
+        events = [f.event.label() for f in symbolic.fragments.values()]
+        assert events == ["ws.water.wet"]
+        (fragment,) = symbolic.fragments.values()
+        assert fragment.app == "AppA"
+        assert "ev:ws.water.wet" in fragment.props
+        assert "act:sw.switch=off" in fragment.props
+        assert "app:AppA" in fragment.props
+
+    def test_prop_map_covers_attribute_values(self):
+        symbolic = encode_union([model_of(APP_A)])
+        bdd = symbolic.bdd
+        wet = symbolic.prop("attr:ws.water=wet")
+        dry = symbolic.prop("attr:ws.water=dry")
+        assert bdd.and_(wet, dry) == bdd.FALSE
+        assert symbolic.prop("attr:nothing.here=ever") == bdd.FALSE
+
+    def test_relation_is_total_on_reachable_states(self):
+        symbolic = encode_union([model_of(APP_A), model_of(APP_B)])
+        bdd = symbolic.bdd
+        no_succ = bdd.and_(
+            symbolic.reachable,
+            bdd.not_(bdd.exists(symbolic.yvars, symbolic.relation)),
+        )
+        assert no_succ == bdd.FALSE
+
+    def test_post_stays_within_reachable(self):
+        symbolic = encode_union([model_of(APP_A), model_of(APP_B)])
+        bdd = symbolic.bdd
+        escaped = bdd.and_(
+            symbolic.post(symbolic.reachable), bdd.not_(symbolic.reachable)
+        )
+        assert escaped == bdd.FALSE
+
+    def test_decode_roundtrip(self):
+        symbolic = encode_union([model_of(APP_A)])
+        assignment = symbolic.bdd.any_sat(symbolic.initial)
+        node, labels = symbolic.decode(assignment)
+        assert node.incoming == ()
+        assert len(node.state) == len(symbolic.model.attributes)
+        assert any(label.startswith("attr:") for label in labels)
+
+
+class TestCheckerWitnesses:
+    CONFLICT = '''
+definition(name: "Conflict")
+preferences { section("s") {
+    input "ws", "capability.waterSensor"
+    input "vd", "capability.valve"
+} }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { vd.open() }
+'''
+
+    def test_ag_counterexample_is_connected_and_decodable(self):
+        symbolic = encode_union([model_of(self.CONFLICT)])
+        checker = SymbolicModelChecker(symbolic)
+        result = checker.check("AG !act:vd.valve=open")
+        assert not result.holds
+        assert result.counterexample
+        first, last = result.counterexample[0], result.counterexample[-1]
+        assert first.incoming == ()  # starts at an initial state
+        assert "act:vd.valve=open" in checker.labels[last]
+        assert result.failing_states
+
+    def test_holding_formula_has_no_counterexample(self):
+        symbolic = encode_union([model_of(self.CONFLICT)])
+        checker = SymbolicModelChecker(symbolic)
+        result = checker.check("AG (attr:ws.water=wet | attr:ws.water=dry)")
+        assert result.holds
+        assert not result.counterexample
+
+    def test_af_lasso_extracted(self):
+        # Once wet, the model deadlocks into a self-loop and never goes
+        # dry again: AF dry fails with a lasso staying wet forever.
+        symbolic = encode_union([model_of(self.CONFLICT)])
+        checker = SymbolicModelChecker(symbolic)
+        result = checker.check("AF attr:ws.water=dry")
+        assert not result.holds
+        stem_and_loop = result.counterexample + result.counterexample_loop
+        assert stem_and_loop
+        assert result.counterexample_loop  # the wet cycle
+        for state in stem_and_loop:
+            assert "attr:ws.water=wet" in checker.labels[state]
+
+    def test_unknown_prop_is_false_everywhere(self):
+        symbolic = encode_union([model_of(self.CONFLICT)])
+        checker = SymbolicModelChecker(symbolic)
+        assert not checker.check("EF prop:never=seen").holds
+        assert checker.check("AG !prop:never=seen").holds

@@ -129,7 +129,12 @@ class TestSweepCli:
         assert code == 1
         assert "App1+App15" in out
         assert "environment-only: S.1" in out
-        assert "skipped" in out  # the oversized interaction cluster
+        # The 13-app interaction cluster (82 944 states) used to be
+        # skipped for size; the auto backend now checks it symbolically.
+        assert "skipped" not in out
+        assert "0 failed" in out
+        assert "[symbolic]" in out
+        assert "environment-only: P.14, P.3" in out
 
     def test_sweep_warm_cache_run_matches(self, tmp_path, capsys):
         main(["sweep", "maliot", "--jobs", "1", "--cache-dir", str(tmp_path)])
@@ -153,10 +158,25 @@ class TestSweepCli:
         assert code == 1
         assert "App16+App17" in out
 
-    def test_sweep_all_skipped_signals_incomplete(self, capsys):
-        # Nothing violated because nothing was *checked*: that must not
-        # look like a clean exit to a CI gate.
-        code = main(["sweep", "maliot", "--jobs", "1", "--max-states", "1"])
+    def test_sweep_all_failed_signals_incomplete(self, capsys):
+        # Nothing violated because nothing was successfully *checked*:
+        # that must not look like a clean exit to a CI gate.  Forcing the
+        # explicit backend under an impossible budget fails every group.
+        code = main(
+            ["sweep", "maliot", "--jobs", "1", "--max-states", "1",
+             "--backend", "explicit"]
+        )
         out = capsys.readouterr().out
         assert code == 3
-        assert "0 environment(s) with violations, 2 skipped" in out
+        assert "FAILED" in out
+        assert "0 environment(s) with violations, 2 failed" in out
+
+    def test_sweep_symbolic_backend_flag(self, capsys):
+        code = main(
+            ["sweep", "maliot", "--jobs", "1", "--pairs",
+             "--backend", "symbolic"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[symbolic]" in out
+        assert "App16+App17" in out

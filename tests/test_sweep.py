@@ -142,12 +142,27 @@ class TestSweepEnvironments:
         outcomes = sweep_environments([group], jobs=1)
         assert not outcomes[0].skipped
 
-    def test_oversized_group_skipped_not_raised(self):
+    def test_explicit_oversized_group_failed_not_raised(self):
+        # Forcing the explicit backend restores the old budget behavior:
+        # the group comes back failed (with the error), never raised.
         group = tuple(groundtruth.TABLE4_GROUPS[2].apps)  # G.3: 1536 states
-        outcomes = sweep_environments([group], jobs=1, max_union_states=100)
-        assert outcomes[0].skipped
+        outcomes = sweep_environments(
+            [group], jobs=1, max_union_states=100, backend="explicit"
+        )
+        assert outcomes[0].failed
+        assert outcomes[0].skipped  # backwards-compatible alias
+        assert outcomes[0].backend is None
         assert "exceed" in outcomes[0].error
         assert outcomes[0].violated_ids() == set()
+
+    def test_auto_backend_checks_oversized_group_symbolically(self):
+        # The same group under the same tiny budget is *checked* by the
+        # default auto backend — symbolically, with the same violations.
+        group = tuple(groundtruth.TABLE4_GROUPS[2].apps)  # G.3: 1536 states
+        outcomes = sweep_environments([group], jobs=1, max_union_states=100)
+        assert not outcomes[0].failed
+        assert outcomes[0].backend == "symbolic"
+        assert set(groundtruth.TABLE4_GROUPS[2].violated) <= outcomes[0].violated_ids()
 
     def test_duplicate_groups_get_one_result_per_input(self):
         # Analyzed once, but the output stays zip-safe with the input.
@@ -168,15 +183,80 @@ class TestSweepEnvironments:
             batch.clear_cache()
 
 
+class TestSweepCaching:
+    def test_warm_sweep_served_from_sweep_cache(self, tmp_path, monkeypatch):
+        from repro.corpus import batch, sweep as sweep_mod
+        from repro.corpus.diskcache import SweepCache
+
+        group = ("App1", "App15")
+        batch.clear_cache()
+        try:
+            cold = sweep_environments([group], jobs=1, cache_dir=tmp_path)
+            assert not cold[0].cached
+            assert len(SweepCache(tmp_path).entries()) == 1
+
+            # A warm run must not build/check any union model — kill the
+            # checker to prove the result comes from the sweep cache.
+            batch.clear_cache()
+
+            def boom(*_args, **_kwargs):
+                raise AssertionError("warm sweep re-checked a union model")
+
+            monkeypatch.setattr(sweep_mod, "analyze_environment", boom)
+            warm = sweep_environments([group], jobs=1, cache_dir=tmp_path)
+            assert warm[0].cached
+            assert warm[0].violated_ids() == cold[0].violated_ids()
+            assert warm[0].backend == cold[0].backend
+        finally:
+            batch.clear_cache()
+
+    def test_sweep_cache_key_ignores_member_order(self, tmp_path):
+        from repro.corpus import batch
+
+        batch.clear_cache()
+        try:
+            sweep_environments([("App1", "App15")], jobs=1, cache_dir=tmp_path)
+            flipped = sweep_environments(
+                [("App15", "App1")], jobs=1, cache_dir=tmp_path
+            )
+            assert flipped[0].cached
+        finally:
+            batch.clear_cache()
+
+    def test_failed_outcomes_not_cached(self, tmp_path):
+        from repro.corpus import batch
+        from repro.corpus.diskcache import SweepCache
+
+        group = tuple(groundtruth.TABLE4_GROUPS[2].apps)
+        batch.clear_cache()
+        try:
+            outcomes = sweep_environments(
+                [group], jobs=1, cache_dir=tmp_path,
+                max_union_states=100, backend="explicit",
+            )
+            assert outcomes[0].failed
+            assert SweepCache(tmp_path).entries() == []
+        finally:
+            batch.clear_cache()
+
+
 class TestSweepDataset:
-    def test_maliot_group_sweep(self):
+    def test_maliot_group_sweep_checks_every_group(self):
         outcomes = sweep_dataset("maliot", jobs=1)
         by_group = {o.group: o for o in outcomes}
         appendix_pair = by_group[("App1", "App15")]
         assert "S.1" in appendix_pair.violated_ids()
-        # The big interaction cluster blows the default budget and is
-        # reported as skipped, not raised.
-        assert any(o.skipped for o in outcomes)
+        assert appendix_pair.backend == "explicit"  # 4 states: stays explicit
+        # The big interaction cluster used to blow the budget and come
+        # back skipped; the auto backend now checks it symbolically, and
+        # it reveals the co-installation properties (P.3: the
+        # App12-App14 smoke/lock chain; P.14: App16+App17's
+        # mode-triggered critical-switch kills).
+        assert not any(o.failed for o in outcomes)
+        cluster = next(o for o in outcomes if len(o.group) > 2)
+        assert cluster.backend == "symbolic"
+        assert cluster.environment.state_estimate > 10_000
+        assert {"P.3", "P.14"} <= cluster.violated_ids()
 
     def test_maliot_pairwise_sweep(self):
         outcomes = sweep_dataset("maliot", jobs=1, pairwise=True)
