@@ -7,6 +7,8 @@ Subcommands::
     soteria corpus [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
     soteria sweep [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
                   [--pairs] [--backend B]
+    soteria fuzz [--seed S] [--count N] [--jobs N] [--out DIR]
+                 [--mix DATASET] [--replay DIR]
     soteria list-properties
 
 ``--backend`` selects the union-model checker: ``explicit`` (materialize
@@ -15,11 +17,18 @@ product enumeration), or the default ``auto`` (explicit under the state
 budget, symbolic above it) — so oversized interaction clusters are
 *checked*, not skipped.
 
-Exit status is 1 when any analyzed app/environment violates a property,
-0 when everything is clean, and 2 on usage errors.  ``sweep`` exits 3
-when nothing violated but some candidate group's analysis *failed*
-outright (e.g. a forced explicit backend hitting the state budget) — an
-incomplete sweep is not a clean one.
+``fuzz`` synthesizes scenario apps beyond the bundled corpus
+(:mod:`repro.gen`) and differentially cross-checks the two backends on
+every generated environment; injected violations must be flagged by the
+matching property.  Failing cases are shrunk to minimal reproducers
+under ``--out`` and can be re-run with ``--replay``.
+
+Exit status is 1 when any analyzed app/environment violates a property
+(for ``fuzz``: when any case fails either oracle), 0 when everything is
+clean, and 2 on usage errors.  ``sweep`` exits 3 when nothing violated
+but some candidate group's analysis *failed* outright (e.g. a forced
+explicit backend hitting the state budget) — an incomplete sweep is not
+a clean one.
 """
 
 from __future__ import annotations
@@ -120,6 +129,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # Failed groups were never verified: "no violations found" is not
     # "clean", so signal the incomplete sweep distinctly for CI gates.
     return 3 if failed else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.corpus.fuzz import FuzzConfig, replay, run_fuzz
+
+    if args.replay:
+        reproduced, message = replay(args.replay)
+        print(message)
+        return 1 if reproduced else 0
+
+    config = FuzzConfig(mix_dataset=args.mix)
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        jobs=args.jobs,
+        config=config,
+        out_dir=args.out,
+    )
+    print(f"== fuzz: seed {args.seed}, {args.count} case(s)")
+    for result in report.results:
+        label = "+".join(result.app_ids)
+        inject = f" [inject {', '.join(result.injected)}]" if result.injected else ""
+        line = (
+            f"  case {result.index:3d} {result.kind:7s} {label}{inject}"
+            f"  union {result.state_estimate} states  {result.status.upper()}"
+        )
+        print(line)
+        if not result.ok:
+            print(f"    {result.detail}")
+    injected = report.injected_total()
+    rate = report.detection_rate()
+    print(
+        f"\n{len(report.failures())} failing case(s); injected violations "
+        f"detected: {report.detected_total()}/{injected} "
+        f"({rate:.0%})" if injected else
+        f"\n{len(report.failures())} failing case(s); nothing injected"
+    )
+    if report.failures() and args.out:
+        print(f"shrunk reproducers written under {args.out}/")
+    return 0 if report.ok else 1
 
 
 def _cmd_list_properties(_args: argparse.Namespace) -> int:
@@ -227,6 +276,42 @@ def main(argv: list[str] | None = None) -> int:
         "(explicit under the state budget, symbolic above; default)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="generate scenario apps and differential-test both backends",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    p_fuzz.add_argument(
+        "--count", type=int, default=25, help="cases to run (default 25)"
+    )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: auto; 1 = serial)",
+    )
+    p_fuzz.add_argument(
+        "--out",
+        default="fuzz-reproducers",
+        help="directory for shrunk reproducers of failing cases "
+        "(default: fuzz-reproducers)",
+    )
+    p_fuzz.add_argument(
+        "--mix",
+        default=None,
+        choices=["official", "thirdparty", "maliot"],
+        help="mix synthetic apps into this corpus dataset's device "
+        "neighborhoods (cross-dataset clusters)",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        default=None,
+        help="re-run a persisted reproducer directory instead of fuzzing",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_list = sub.add_parser("list-properties", help="show the property catalog")
     p_list.set_defaults(func=_cmd_list_properties)

@@ -1,4 +1,12 @@
-"""Corpus loading: map app ids (O1, TP12, App5) to parsed SmartApps."""
+"""Corpus loading: map app ids (O1, TP12, App5) to parsed SmartApps.
+
+Besides the three bundled datasets, callers can :func:`register_app`
+*synthetic* sources (the scenario generator's output) under fresh ids;
+registered apps resolve through :func:`load_source`/:func:`load_app` like
+corpus apps, so they flow through the batch driver, the sweep engine's
+channel enumeration (``groups_sharing_devices`` over a mixed universe),
+and the disk caches without special cases.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +18,9 @@ from repro.platform.smartapp import SmartApp
 
 #: dataset name -> id prefix of its apps (``official/O01_*.groovy`` -> O1).
 _DATASETS = {"official": "O", "thirdparty": "TP", "maliot": "App"}
+
+#: Synthetic sources registered at runtime: app id -> Groovy source.
+_REGISTERED: dict[str, str] = {}
 
 #: id prefix -> dataset, for prefix-based dispatch in :func:`load_source`.
 _PREFIX_DATASET = {prefix: dataset for dataset, prefix in _DATASETS.items()}
@@ -67,13 +78,44 @@ def app_ids(dataset: str) -> list[str]:
     return sorted(_sources(dataset), key=lambda i: int(re.sub(r"\D", "", i)))
 
 
-def load_source(app_id: str) -> str:
-    """Raw Groovy source of one corpus app.
+def register_app(app_id: str, source: str) -> None:
+    """Make a synthetic app resolvable through the loader.
 
-    The dataset is resolved from the id's alphabetic prefix (``O`` ->
-    official, ``TP`` -> thirdparty, ``App`` -> maliot); ids with an unknown
-    prefix or no entry in their dataset raise a uniform :class:`KeyError`.
+    ``load_source``/``load_app`` memoize per id, so an id is permanently
+    bound to its first source: re-registering the identical source is a
+    no-op, a different source (or a corpus id) raises ``ValueError`` —
+    callers wanting a fresh app pick a fresh id.
     """
+    existing: str | None = _REGISTERED.get(app_id)
+    if existing is None:
+        try:
+            existing = load_source(app_id)
+        except KeyError:
+            existing = None
+    if existing is not None:
+        if existing != source:
+            raise ValueError(
+                f"app id {app_id!r} is already bound to a different source"
+            )
+        return
+    _REGISTERED[app_id] = source
+
+
+def registered_ids() -> list[str]:
+    """Ids of every registered synthetic app, in registration order."""
+    return list(_REGISTERED)
+
+
+def load_source(app_id: str) -> str:
+    """Raw Groovy source of one corpus (or registered synthetic) app.
+
+    For corpus ids the dataset is resolved from the alphabetic prefix
+    (``O`` -> official, ``TP`` -> thirdparty, ``App`` -> maliot); ids with
+    an unknown prefix or no entry raise a uniform :class:`KeyError`.
+    """
+    registered = _REGISTERED.get(app_id)
+    if registered is not None:
+        return registered
     match = _APP_ID.fullmatch(app_id)
     dataset = _PREFIX_DATASET.get(match.group(1)) if match else None
     if dataset is not None:

@@ -1,0 +1,44 @@
+"""Scenario-app generation: synthesize SmartApps beyond the 82-app corpus.
+
+The paper's evaluation stops at the hand-collected corpus; this package
+turns the capability reference (:mod:`repro.platform.capabilities`) into an
+*unbounded* scenario source.  :func:`generate_app` deterministically
+synthesizes a valid SmartApp from a seed — random subscriptions, guarded
+handlers over numeric and enum attributes, timers, and location-mode
+traffic — by building :mod:`repro.lang.ast` nodes and rendering them with
+the pretty-printer, so every generated source is inside the parser's
+accepted grammar by construction.
+
+Some generated apps are *violating by construction*: a violation template
+(:data:`repro.gen.templates.VIOLATION_TEMPLATES`, keyed to the property
+catalog in :mod:`repro.properties`) is injected and recorded, giving the
+fuzz driver a metamorphic oracle — the matching property must be flagged.
+:func:`generate_cluster` builds groups of apps sharing device handles, the
+sweep engine's interaction convention, so synthetic apps form multi-app
+environments (and can join corpus clusters through
+:func:`repro.corpus.loader.register_app`).
+
+:mod:`repro.gen.shrink` reduces failing inputs (backend disagreement,
+missed injections) to minimal reproducers.
+"""
+
+from repro.gen.generator import (
+    GeneratedApp,
+    GenConfig,
+    generate_app,
+    generate_cluster,
+)
+from repro.gen.shrink import shrink_cluster, shrink_app
+from repro.gen.templates import BENIGN_PATTERNS, VIOLATION_TEMPLATES, Fragment
+
+__all__ = [
+    "BENIGN_PATTERNS",
+    "Fragment",
+    "GenConfig",
+    "GeneratedApp",
+    "VIOLATION_TEMPLATES",
+    "generate_app",
+    "generate_cluster",
+    "shrink_app",
+    "shrink_cluster",
+]

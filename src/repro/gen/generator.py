@@ -1,0 +1,342 @@
+"""Seeded, deterministic scenario-app synthesis.
+
+:func:`generate_app` composes a valid SmartApp from fragments
+(:mod:`repro.gen.templates`): the app is assembled as an AST and rendered
+through :func:`repro.lang.pretty.to_source`, so the output is inside the
+parser's grammar by construction and byte-identical for a given
+``(seed, index)`` — the fuzz driver's reproducibility contract.
+
+All randomness flows through one ``random.Random`` seeded with a string
+key (CPython hashes string seeds with SHA-512, independent of
+``PYTHONHASHSEED``), so the same seed generates the same corpus on every
+platform and process.
+
+:func:`generate_cluster` generates app *groups* wired to interact: the
+members share device handles (the sweep engine's device-identity
+convention, :func:`repro.corpus.sweep.groups_sharing_devices`), so the
+group forms one candidate co-installation for union-model checking.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.gen import astutil as A
+from repro.gen.templates import (
+    BENIGN_PATTERNS,
+    VIOLATION_TEMPLATES,
+    Fragment,
+)
+from repro.lang import ast
+from repro.lang.pretty import to_source
+
+#: Handle suffixes used to disambiguate name-pool collisions without
+#: destroying the role keywords carried by the base name ("hall_light_b"
+#: still tokenizes to a *light*; "hall_light2" would not).
+_DEDUP_SUFFIXES = ("b", "c", "d", "e", "f", "g")
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Generation knobs; the defaults match the CI fuzz budget."""
+
+    #: Fragments composed per app (the injected template rides on top).
+    max_fragments: int = 3
+    #: Probability that an app gets one violation template injected.
+    inject_rate: float = 0.5
+    #: Abstract-domain product budget per generated app: fragments are
+    #: added only while the estimated product stays under it, keeping the
+    #: explicit backend comfortable on every generated environment.
+    state_budget: int = 512
+    #: Product budget for a whole generated cluster (all members).  Kept
+    #: well under the explicit/symbolic auto threshold: the fuzz driver
+    #: runs *both* backends on every cluster, so the explicit product must
+    #: stay cheap to materialize.
+    cluster_budget: int = 2_000
+
+    def key(self) -> tuple:
+        return (
+            self.max_fragments,
+            self.inject_rate,
+            self.state_budget,
+            self.cluster_budget,
+        )
+
+
+@dataclass(frozen=True)
+class GeneratedApp:
+    """One synthesized scenario app."""
+
+    app_id: str
+    name: str
+    source: str
+    #: Property ids this app violates by construction (injected templates).
+    injected: tuple[str, ...]
+    #: Fragment keys composed into the app, in emission order.
+    fragments: tuple[str, ...]
+    #: handle -> capability for every device input.
+    devices: dict[str, str] = field(default_factory=dict)
+    #: Handler methods belonging to injected templates — the shrinker must
+    #: not remove these while minimizing a missed-injection reproducer.
+    protected_methods: tuple[str, ...] = ()
+    #: Handles shared with cluster siblings (empty for solo apps).
+    shared_handles: tuple[str, ...] = ()
+
+
+def _pick_handles(
+    fragment: Fragment,
+    rng: random.Random,
+    used: dict[str, str],
+    forced: dict[str, str],
+) -> dict[str, str]:
+    """Resolve the fragment's slots to fresh (or forced) device handles.
+
+    ``used`` maps taken handles to capabilities; collisions get a role-
+    preserving suffix.  ``forced`` pins specific slots (cluster sharing).
+    """
+    handles: dict[str, str] = {}
+    for slot in fragment.slots:
+        if slot.stem in forced:
+            handle = forced[slot.stem]
+        else:
+            handle = rng.choice(slot.names)
+            if handle in used:
+                for suffix in _DEDUP_SUFFIXES:
+                    candidate = f"{handle}_{suffix}"
+                    if candidate not in used:
+                        handle = candidate
+                        break
+        used[handle] = slot.capability
+        handles[slot.stem] = handle
+    return handles
+
+
+def _compose(
+    rng: random.Random,
+    config: GenConfig,
+    budget: int,
+    forced_share: tuple[str, str, str] | None,
+    inject: Fragment | None,
+) -> tuple[list[Fragment], Fragment | None]:
+    """Pick the fragment line-up for one app under the state budget.
+
+    ``forced_share`` is ``(capability, handle, kind)`` for cluster members
+    — the app must end up holding that device.  ``inject`` pins a
+    violation template (None = benign-only, rng decides nothing).
+    """
+    chosen: list[Fragment] = []
+    weight = inject.weight if inject is not None else 1
+    mode_read_taken = inject.reads_mode if inject is not None else False
+    no_mode = inject.avoid_mode if inject is not None else False
+    pool = list(BENIGN_PATTERNS)
+
+    def admissible(candidate: Fragment) -> bool:
+        if candidate.reads_mode and mode_read_taken:
+            return False
+        if no_mode and (candidate.reads_mode or candidate.writes_mode):
+            return False
+        return True
+
+    if forced_share is not None:
+        # The shared device must land in this app: pick a carrier fragment
+        # first so it participates in the budget like everything else.
+        capability = forced_share[0]
+        inject_carries = inject is not None and any(
+            slot.capability == capability for slot in inject.slots
+        )
+        if not inject_carries:
+            carriers = [
+                fragment
+                for fragment in pool
+                if any(s.capability == capability for s in fragment.slots)
+                and admissible(fragment)
+            ]
+            if carriers:
+                fitting = [c for c in carriers if weight * c.weight <= budget]
+                if fitting:
+                    carrier = rng.choice(fitting)
+                else:
+                    # Sharing is mandatory: take the lightest carrier even
+                    # when the injected template already fills the budget.
+                    carrier = min(carriers, key=lambda c: c.weight)
+                pool.remove(carrier)
+                chosen.append(carrier)
+                weight *= carrier.weight
+                mode_read_taken = mode_read_taken or carrier.reads_mode
+
+    count = rng.randint(1, config.max_fragments)
+    while pool and len(chosen) < count:
+        candidate = rng.choice(pool)
+        pool.remove(candidate)
+        if not admissible(candidate):
+            continue
+        if weight * candidate.weight > budget:
+            continue
+        chosen.append(candidate)
+        weight *= candidate.weight
+        mode_read_taken = mode_read_taken or candidate.reads_mode
+    return chosen, inject
+
+
+def _assemble(
+    app_name: str,
+    description: str,
+    fragments: list[Fragment],
+    inject: Fragment | None,
+    rng: random.Random,
+    forced_share: tuple[str, str, str] | None,
+) -> tuple[ast.Module, dict[str, str], tuple[str, ...], tuple[str, ...]]:
+    """Build the app module from the fragment line-up."""
+    used: dict[str, str] = {}
+    inputs: list[ast.ExprStmt] = []
+    subscriptions: list[ast.Stmt] = []
+    methods: list[ast.MethodDecl] = []
+    protected: list[str] = []
+    shared: list[str] = []
+
+    lineup: list[tuple[Fragment, bool]] = [(f, False) for f in fragments]
+    if inject is not None:
+        # Deterministic but not always last: position the injected
+        # template inside the line-up so its handlers don't telegraph
+        # their origin by placement.
+        lineup.insert(rng.randrange(len(lineup) + 1), (inject, True))
+
+    for index, (fragment, is_injected) in enumerate(lineup):
+        forced: dict[str, str] = {}
+        if forced_share is not None:
+            capability, handle, _kind = forced_share
+            if handle not in used:
+                for slot in fragment.slots:
+                    if slot.capability == capability:
+                        forced[slot.stem] = handle
+                        shared.append(handle)
+                        break
+        handles = _pick_handles(fragment, rng, used, forced)
+        for slot in fragment.slots:
+            inputs.append(
+                A.device_input(
+                    handles[slot.stem],
+                    slot.capability,
+                    handles[slot.stem].replace("_", " "),
+                )
+            )
+        parts = fragment.build(handles, str(index), rng)
+        subscriptions.extend(parts.subscriptions)
+        methods.extend(parts.methods)
+        if is_injected:
+            protected.extend(method.name for method in parts.methods)
+
+    module = ast.Module(
+        statements=[
+            A.definition_stmt(app_name, description),
+            A.preferences_stmt(inputs),
+        ],
+        methods={},
+    )
+    for method in A.lifecycle_methods(subscriptions) + methods:
+        module.methods[method.name] = method
+    return module, used, tuple(protected), tuple(shared)
+
+
+def generate_app(
+    seed: int | str,
+    index: int | str,
+    config: GenConfig | None = None,
+    app_id: str | None = None,
+    forced_share: tuple[str, str, str] | None = None,
+    inject: bool | None = None,
+    budget: int | None = None,
+) -> GeneratedApp:
+    """Synthesize one scenario app, byte-deterministic in ``(seed, index)``.
+
+    ``inject`` forces (True) or forbids (False) violation injection; the
+    default None rolls the configured ``inject_rate``.  ``forced_share``
+    — ``(capability, handle, kind)`` — makes the app hold a specific
+    device handle (cluster wiring).  ``budget`` overrides the per-app
+    state budget (cluster members split the cluster budget).
+    """
+    config = config or GenConfig()
+    rng = random.Random(f"soteria-gen:{seed}:{index}:{config.key()}")
+    injected: Fragment | None = None
+    roll = rng.random()  # always drawn, so the stream is inject-agnostic
+    if inject is None:
+        inject = roll < config.inject_rate
+    if inject:
+        # Only templates that fit the state budget; cluster members
+        # (forced_share) leave room for the share-carrier fragment too.
+        limit = budget or config.state_budget
+        if forced_share is not None:
+            limit = max(4, limit // 2)
+        eligible = [t for t in VIOLATION_TEMPLATES if t.weight <= limit]
+        if eligible:
+            injected = rng.choice(eligible)
+
+    fragments, injected = _compose(
+        rng, config, budget or config.state_budget, forced_share, injected
+    )
+    app_name = f"Fuzz Scenario {seed}-{index}"
+    description = "Synthesized by the Soteria scenario generator."
+    module, devices, protected, shared = _assemble(
+        app_name, description, fragments, injected, rng, forced_share
+    )
+    return GeneratedApp(
+        app_id=app_id or f"Gen{index}",
+        name=app_name,
+        source=to_source(module),
+        injected=(injected.property_id,) if injected else (),
+        fragments=tuple(f.key for f in fragments)
+        + ((injected.key,) if injected else ()),
+        devices=devices,
+        protected_methods=protected,
+        shared_handles=shared,
+    )
+
+
+#: Device channels a generated cluster can share: (capability, handle).
+#: Actuator channels make cross-app misuse chains possible; sensor
+#: channels make two apps react to the same physical event.
+SHARED_CHANNELS: tuple[tuple[str, str, str], ...] = (
+    ("switch", "shared_relay", "actuator"),
+    ("switch", "shared_fan", "actuator"),
+    ("contactSensor", "shared_contact", "sensor"),
+    ("motionSensor", "shared_motion", "sensor"),
+    ("presenceSensor", "shared_presence", "sensor"),
+)
+
+
+def generate_cluster(
+    seed: int | str,
+    index: int,
+    size: int | None = None,
+    config: GenConfig | None = None,
+    id_prefix: str | None = None,
+) -> list[GeneratedApp]:
+    """Synthesize a group of apps sharing at least one device handle.
+
+    Every member holds the cluster's shared device (equal permission
+    handles — the sweep engine's interaction convention), so
+    ``groups_sharing_devices`` over the member ids recovers the cluster
+    as a single candidate co-installation.
+    """
+    config = config or GenConfig()
+    rng = random.Random(f"soteria-gen-cluster:{seed}:{index}:{config.key()}")
+    members = size if size is not None else rng.randint(2, 3)
+    share = rng.choice(SHARED_CHANNELS)
+    per_member = max(16, int(config.cluster_budget ** (1.0 / members)))
+    prefix = id_prefix or f"Gen{index}"
+    apps = []
+    for member in range(members):
+        # Compound index: each member draws from its own deterministic
+        # stream while staying reproducible from (seed, index).
+        apps.append(
+            generate_app(
+                seed,
+                f"{index}.{member}",
+                config=config,
+                app_id=f"{prefix}m{member}",
+                forced_share=share,
+                budget=per_member,
+            )
+        )
+    return apps

@@ -1,0 +1,233 @@
+"""Greedy delta-debugging over generated SmartApps.
+
+When the fuzz driver finds a disagreeing input (the two checker backends
+differ, an injected violation goes undetected, or the pipeline errors),
+the raw case is noise: several fragments, most of them irrelevant.  The
+shrinker reduces it to a minimal reproducer:
+
+* :func:`shrink_cluster` first drops whole member apps while the failure
+  predicate keeps holding;
+* :func:`shrink_app` then minimizes each survivor structurally — removing
+  handler methods (with their subscriptions), statements inside handler
+  bodies, and finally unused device inputs — re-rendering through the
+  pretty-printer after every candidate edit, so the reproducer is always
+  a valid, parseable app.
+
+The predicate receives candidate sources and returns True while the
+failure still reproduces; it must swallow its own exceptions (an edit
+that breaks the pipeline in a *different* way is simply rejected).
+``protected`` method names are never removed — a missed-injection
+reproducer must keep the injected template intact, otherwise the minimal
+"reproducer" would be an empty app that trivially misses the violation.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from collections.abc import Callable, Iterable
+
+from repro.lang import ast, parse
+from repro.lang.pretty import to_source
+
+#: Methods the generator always emits; removing them changes what the
+#: IR builder treats as lifecycle roots, so they are kept.
+_LIFECYCLE = frozenset({"installed", "updated", "initialize"})
+
+Predicate = Callable[[str], bool]
+
+
+def _nodes(node: object) -> Iterable[ast.Node]:
+    """Every AST node reachable from ``node`` (dataclass-field walk)."""
+    if isinstance(node, ast.Node):
+        yield node
+        for field in dataclasses.fields(node):
+            yield from _nodes(getattr(node, field.name))
+    elif isinstance(node, (list, tuple)):
+        for item in node:
+            yield from _nodes(item)
+    elif isinstance(node, dict):
+        for item in node.values():
+            yield from _nodes(item)
+
+
+def _referenced_names(module: ast.Module) -> set[str]:
+    """Identifiers mentioned anywhere in method bodies."""
+    found: set[str] = set()
+    for method in module.methods.values():
+        for node in _nodes(method):
+            if isinstance(node, ast.Name):
+                found.add(node.id)
+            elif isinstance(node, ast.Literal) and isinstance(node.value, str):
+                found.add(node.value)
+    return found
+
+
+def _handler_of(stmt: ast.Stmt) -> str | None:
+    """The handler name of a ``subscribe(...)`` statement, if it is one."""
+    if not isinstance(stmt, ast.ExprStmt):
+        return None
+    expr = stmt.expr
+    if (
+        isinstance(expr, ast.MethodCall)
+        and expr.receiver is None
+        and expr.name == "subscribe"
+        and len(expr.args) >= 3
+        and isinstance(expr.args[2], ast.Name)
+    ):
+        return expr.args[2].id
+    return None
+
+
+def _drop_method(module: ast.Module, name: str) -> None:
+    """Remove one method and every subscription pointing at it."""
+    module.methods.pop(name, None)
+    initialize = module.methods.get("initialize")
+    if initialize is not None and initialize.body is not None:
+        initialize.body.statements = [
+            stmt
+            for stmt in initialize.body.statements
+            if _handler_of(stmt) != name
+        ]
+
+
+def _removal_candidates(
+    module: ast.Module, protected: frozenset[str]
+) -> list[tuple[str, object]]:
+    """Every structural removal to try, shallowest (biggest) first."""
+    candidates: list[tuple[str, object]] = []
+    for name in module.methods:
+        if name not in _LIFECYCLE and name not in protected:
+            candidates.append(("method", name))
+    initialize = module.methods.get("initialize")
+    if initialize is not None and initialize.body is not None:
+        for position, stmt in enumerate(initialize.body.statements):
+            if _handler_of(stmt) not in protected:
+                candidates.append(("subscription", position))
+    for name, method in module.methods.items():
+        if name in _LIFECYCLE or name in protected or method.body is None:
+            continue
+        for position in range(len(method.body.statements)):
+            candidates.append(("statement", (name, position)))
+    return candidates
+
+
+def _apply(module: ast.Module, kind: str, target: object) -> bool:
+    if kind == "method":
+        _drop_method(module, target)
+        return True
+    if kind == "subscription":
+        statements = module.methods["initialize"].body.statements
+        if target < len(statements):
+            del statements[target]
+            return True
+        return False
+    name, position = target
+    method = module.methods.get(name)
+    if method is None or method.body is None:
+        return False
+    if position < len(method.body.statements):
+        del method.body.statements[position]
+        return True
+    return False
+
+
+def _prune_inputs(module: ast.Module) -> None:
+    """Drop ``input`` declarations whose handle no method mentions."""
+    mentioned = _referenced_names(module)
+    for node in _nodes(module.statements):
+        if not isinstance(node, ast.ClosureExpr) or node.body is None:
+            continue
+        kept = []
+        for stmt in node.body.statements:
+            expr = stmt.expr if isinstance(stmt, ast.ExprStmt) else None
+            if (
+                isinstance(expr, ast.MethodCall)
+                and expr.name == "input"
+                and expr.args
+                and isinstance(expr.args[0], ast.Literal)
+                and expr.args[0].value not in mentioned
+            ):
+                continue
+            kept.append(stmt)
+        node.body.statements = kept
+
+
+def shrink_app(
+    source: str,
+    predicate: Predicate,
+    protected: Iterable[str] = (),
+    max_attempts: int = 400,
+) -> str:
+    """Minimize one app while ``predicate(source)`` keeps returning True."""
+    protected_set = frozenset(protected)
+    try:
+        module = parse(source)
+    except Exception:
+        return source
+    best = to_source(module)
+    if not predicate(best):
+        # The canonical rendering must itself reproduce; if not, keep the
+        # original bytes untouched.
+        return source
+
+    attempts = 0
+    changed = True
+    while changed and attempts < max_attempts:
+        changed = False
+        for kind, target in _removal_candidates(module, protected_set):
+            if attempts >= max_attempts:
+                break
+            trial = copy.deepcopy(module)
+            if not _apply(trial, kind, target):
+                continue
+            attempts += 1
+            candidate = to_source(trial)
+            if predicate(candidate):
+                module, best, changed = trial, candidate, True
+                break  # candidate indices shifted — re-enumerate
+
+    trial = copy.deepcopy(module)
+    _prune_inputs(trial)
+    candidate = to_source(trial)
+    if candidate != best and predicate(candidate):
+        best = candidate
+    return best
+
+
+def shrink_cluster(
+    sources: list[str],
+    predicate: Callable[[list[str]], bool],
+    protected: list[Iterable[str]] | None = None,
+    max_attempts: int = 400,
+) -> list[str]:
+    """Minimize a group: drop whole apps first, then shrink survivors."""
+    current = list(sources)
+    guards = [frozenset(p) for p in (protected or [()] * len(current))]
+    if not predicate(current):
+        return current
+
+    dropped = True
+    while dropped and len(current) > 1:
+        dropped = False
+        for position in range(len(current)):
+            trial = current[:position] + current[position + 1 :]
+            if predicate(trial):
+                del current[position]
+                del guards[position]
+                dropped = True
+                break
+
+    for position in range(len(current)):
+        def app_predicate(candidate: str, position: int = position) -> bool:
+            trial = list(current)
+            trial[position] = candidate
+            return predicate(trial)
+
+        current[position] = shrink_app(
+            current[position],
+            app_predicate,
+            protected=guards[position],
+            max_attempts=max_attempts,
+        )
+    return current

@@ -1,0 +1,621 @@
+"""Scenario fragments: benign reaction patterns and violation templates.
+
+A :class:`Fragment` is one self-contained app behaviour: the devices it
+needs, the subscriptions it installs, and the handler methods it emits
+(built as AST nodes, see :mod:`repro.gen.astutil`).  The generator
+composes a scenario app from several fragments over fresh device handles.
+
+Two catalogs:
+
+* :data:`BENIGN_PATTERNS` — reaction shapes mined from the corpus
+  (motion-follows lights, numeric-guarded fans, timer auto-off,
+  presence-driven mode sync, notifications).  They are curated to keep
+  the matching misuse properties satisfied, so generated apps are not
+  violation soup — though cross-fragment products may still stumble into
+  real violations, which is exactly the scenario coverage we want.
+* :data:`VIOLATION_TEMPLATES` — violating-by-construction shapes keyed to
+  the property catalog (:mod:`repro.properties`): each injects a handler
+  that must trip its ``property_id``.  The fuzz driver's metamorphic
+  oracle asserts the matching property is flagged.
+
+Handle-name pools are role-aware (:mod:`repro.properties.roles`): a
+template that needs a *light*-roled switch draws from light names, benign
+switches draw from neutral names so role-gated properties (P.12, P.14)
+don't fire by accident of naming.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.gen import astutil as A
+from repro.lang import ast
+
+#: Neutral switch handles: no role keyword (see ``_ROLE_KEYWORDS``), so the
+#: device gets the ``generic`` role only.
+NEUTRAL_SWITCHES = ("wall_switch", "relay_switch", "den_outlet", "closet_switch")
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One device requirement of a fragment."""
+
+    stem: str
+    capability: str
+    names: tuple[str, ...]
+    #: Approximate abstract-domain size the device adds to the state
+    #: product (enum length, or the typical post-abstraction region count
+    #: for numeric attributes) — the generator's state-budget currency.
+    weight: int = 2
+
+
+@dataclass(frozen=True)
+class FragmentParts:
+    """What one fragment contributes to the app body."""
+
+    subscriptions: tuple[ast.Stmt, ...]
+    methods: tuple[ast.MethodDecl, ...]
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One composable app behaviour."""
+
+    key: str
+    slots: tuple[SlotSpec, ...]
+    build: Callable[[dict[str, str], str, random.Random], FragmentParts]
+    #: Property id this fragment violates by construction (None = benign).
+    property_id: str | None = None
+    #: Subscribes to location-mode events.  The generator admits at most
+    #: one mode reader per app: two handlers on the same event would make
+    #: the extracted model nondeterministic (a DET violation by
+    #: construction, not by scenario).
+    reads_mode: bool = False
+    #: Writes the location mode (``setLocationMode``) — mode writers put
+    #: the app on the broadcast interaction channel.
+    writes_mode: bool = False
+    #: Violation templates whose property gates on app-caused mode changes
+    #: (``mode_set_by_app``) go vacuous when the app merely *tracks* the
+    #: mode without writing it; such templates exclude mode fragments.
+    avoid_mode: bool = False
+
+    @property
+    def weight(self) -> int:
+        total = 1
+        for slot in self.slots:
+            total *= slot.weight
+        if self.reads_mode or self.writes_mode:
+            total *= 4  # the tracked location.mode attribute
+        return total
+
+
+def _fragment(
+    key: str,
+    slots: list[SlotSpec],
+    build: Callable[[dict[str, str], str, random.Random], FragmentParts],
+    property_id: str | None = None,
+    reads_mode: bool = False,
+    writes_mode: bool = False,
+    avoid_mode: bool = False,
+) -> Fragment:
+    return Fragment(
+        key=key,
+        slots=tuple(slots),
+        build=build,
+        property_id=property_id,
+        reads_mode=reads_mode,
+        writes_mode=writes_mode,
+        avoid_mode=avoid_mode,
+    )
+
+
+def _parts(
+    subscriptions: list[ast.Stmt], methods: list[ast.MethodDecl]
+) -> FragmentParts:
+    return FragmentParts(
+        subscriptions=tuple(subscriptions), methods=tuple(methods)
+    )
+
+
+# ======================================================================
+# Benign reaction patterns
+# ======================================================================
+def _motion_lights(h, sfx, rng):
+    on, off = f"motionOn{sfx}", f"motionOff{sfx}"
+    return _parts(
+        [
+            A.subscribe(h["motion"], "motion.active", on),
+            A.subscribe(h["motion"], "motion.inactive", off),
+        ],
+        [
+            A.method_decl(on, [A.log_debug("motion, on"),
+                               A.command(h["switch"], "on")]),
+            A.method_decl(off, [A.log_debug("quiet, off"),
+                                A.command(h["switch"], "off")]),
+        ],
+    )
+
+
+def _contact_chime(h, sfx, rng):
+    handler = f"doorOpened{sfx}"
+    return _parts(
+        [A.subscribe(h["contact"], "contact.open", handler)],
+        [A.method_decl(handler, [A.command(h["chime"], "beep")])],
+    )
+
+
+def _temp_fan(h, sfx, rng):
+    handler = f"tempChanged{sfx}"
+    high = rng.choice((72, 75, 78, 80))
+    body = [
+        A.if_stmt(
+            A.binop(A.evt_value(), ">", A.lit(high)),
+            [A.command(h["fan"], "on")],
+        ),
+        A.if_stmt(
+            A.binop(A.evt_value(), "<", A.lit(high - 8)),
+            [A.command(h["fan"], "off")],
+        ),
+    ]
+    return _parts(
+        [A.subscribe(h["temp"], "temperature", handler)],
+        [A.method_decl(handler, body)],
+    )
+
+
+def _humidity_vent(h, sfx, rng):
+    handler = f"humidityChanged{sfx}"
+    body = [
+        A.if_stmt(
+            A.binop(A.evt_value(), ">", A.lit(60)),
+            [A.command(h["vent"], "on")],
+        ),
+        A.if_stmt(
+            A.binop(A.evt_value(), "<", A.lit(45)),
+            [A.command(h["vent"], "off")],
+        ),
+    ]
+    return _parts(
+        [A.subscribe(h["humidity"], "humidity", handler)],
+        [A.method_decl(handler, body)],
+    )
+
+
+def _power_notify(h, sfx, rng):
+    handler = f"powerDropped{sfx}"
+    floor = rng.choice((3, 5, 8))
+    body = [
+        A.if_stmt(
+            A.binop(A.evt_value(), "<", A.lit(floor)),
+            [A.stmt(A.call("sendPush", A.lit("the cycle finished")))],
+        )
+    ]
+    return _parts(
+        [A.subscribe(h["meter"], "power", handler)],
+        [A.method_decl(handler, body)],
+    )
+
+
+def _presence_mode(h, sfx, rng):
+    arrive, leave = f"familyArrived{sfx}", f"familyLeft{sfx}"
+    return _parts(
+        [
+            A.subscribe(h["presence"], "presence.present", arrive),
+            A.subscribe(h["presence"], "presence.not present", leave),
+        ],
+        [
+            A.method_decl(
+                arrive, [A.stmt(A.call("setLocationMode", A.lit("home")))]
+            ),
+            A.method_decl(
+                leave, [A.stmt(A.call("setLocationMode", A.lit("away")))]
+            ),
+        ],
+    )
+
+
+def _mode_scene(h, sfx, rng):
+    handler = f"modeChanged{sfx}"
+    body = [
+        A.if_stmt(
+            A.binop(A.evt_value(), "==", A.lit("away")),
+            [A.command(h["switch"], "off")],
+        )
+    ]
+    return _parts(
+        [A.subscribe("location", "mode", handler)],
+        [A.method_decl(handler, body)],
+    )
+
+
+def _door_timer(h, sfx, rng):
+    opened, tick = f"doorOpen{sfx}", f"autoOff{sfx}"
+    delay = rng.choice((60, 120, 300))
+    return _parts(
+        [A.subscribe(h["contact"], "contact.open", opened)],
+        [
+            A.method_decl(
+                opened, [A.stmt(A.call("runIn", A.lit(delay), A.name(tick)))]
+            ),
+            A.method_decl(tick, [A.command(h["switch"], "off")], params=()),
+        ],
+    )
+
+
+def _smoke_notify(h, sfx, rng):
+    handler = f"smokeSeen{sfx}"
+    return _parts(
+        [A.subscribe(h["smoke"], "smoke.detected", handler)],
+        [
+            A.method_decl(
+                handler, [A.stmt(A.call("sendPush", A.lit("smoke detected")))]
+            )
+        ],
+    )
+
+
+def _lock_arrival(h, sfx, rng):
+    arrive, leave = f"ownerBack{sfx}", f"ownerGone{sfx}"
+    return _parts(
+        [
+            A.subscribe(h["presence"], "presence.present", arrive),
+            A.subscribe(h["presence"], "presence.not present", leave),
+        ],
+        [
+            A.method_decl(arrive, [A.command(h["lock"], "unlock")]),
+            A.method_decl(leave, [A.command(h["lock"], "lock")]),
+        ],
+    )
+
+
+BENIGN_PATTERNS: tuple[Fragment, ...] = (
+    _fragment(
+        "motion_lights",
+        [
+            SlotSpec("motion", "motionSensor", ("hall_motion", "den_motion")),
+            SlotSpec("switch", "switch", NEUTRAL_SWITCHES),
+        ],
+        _motion_lights,
+    ),
+    _fragment(
+        "contact_chime",
+        [
+            SlotSpec("contact", "contactSensor", ("front_contact", "back_contact")),
+            SlotSpec("chime", "tone", ("door_chime",), weight=1),
+        ],
+        _contact_chime,
+    ),
+    _fragment(
+        "temp_fan",
+        [
+            SlotSpec("temp", "temperatureMeasurement",
+                     ("room_temp", "attic_temp"), weight=4),
+            SlotSpec("fan", "switch", ("ceiling_fan", "attic_fan")),
+        ],
+        _temp_fan,
+    ),
+    _fragment(
+        "humidity_vent",
+        [
+            SlotSpec("humidity", "relativeHumidityMeasurement",
+                     ("bath_humidity",), weight=4),
+            SlotSpec("vent", "switch", ("vent_fan", "exhaust_fan")),
+        ],
+        _humidity_vent,
+    ),
+    _fragment(
+        "power_notify",
+        [SlotSpec("meter", "powerMeter", ("washer_meter", "dryer_meter"),
+                  weight=4)],
+        _power_notify,
+    ),
+    _fragment(
+        "presence_mode",
+        [SlotSpec("presence", "presenceSensor", ("family_presence",))],
+        _presence_mode,
+        writes_mode=True,
+    ),
+    _fragment(
+        "mode_scene",
+        [SlotSpec("switch", "switch", NEUTRAL_SWITCHES)],
+        _mode_scene,
+        reads_mode=True,
+    ),
+    _fragment(
+        "door_timer",
+        [
+            SlotSpec("contact", "contactSensor", ("shed_contact", "gate_contact")),
+            SlotSpec("switch", "switch", NEUTRAL_SWITCHES),
+        ],
+        _door_timer,
+    ),
+    _fragment(
+        "smoke_notify",
+        [SlotSpec("smoke", "smokeDetector", ("kitchen_smoke",), weight=3)],
+        _smoke_notify,
+    ),
+    _fragment(
+        "lock_arrival",
+        [
+            SlotSpec("presence", "presenceSensor", ("owner_presence",)),
+            SlotSpec("lock", "lock", ("front_door_lock", "side_door_lock")),
+        ],
+        _lock_arrival,
+    ),
+)
+
+
+# ======================================================================
+# Violation templates (the metamorphic oracle)
+# ======================================================================
+def _s1_conflict(h, sfx, rng):
+    handler = f"flickOnOff{sfx}"
+    return _parts(
+        [A.subscribe(h["contact"], "contact.open", handler)],
+        [
+            A.method_decl(
+                handler,
+                [A.command(h["switch"], "on"), A.command(h["switch"], "off")],
+            )
+        ],
+    )
+
+
+def _s2_double(h, sfx, rng):
+    handler = f"doubleOff{sfx}"
+    return _parts(
+        [A.subscribe(h["contact"], "contact.closed", handler)],
+        [
+            A.method_decl(
+                handler,
+                [A.command(h["switch"], "off"), A.command(h["switch"], "off")],
+            )
+        ],
+    )
+
+
+def _s3_complement(h, sfx, rng):
+    opened, closed = f"cameOpen{sfx}", f"cameClosed{sfx}"
+    return _parts(
+        [
+            A.subscribe(h["contact"], "contact.open", opened),
+            A.subscribe(h["contact"], "contact.closed", closed),
+        ],
+        [
+            A.method_decl(opened, [A.command(h["switch"], "on")]),
+            A.method_decl(closed, [A.command(h["switch"], "on")]),
+        ],
+    )
+
+
+def _p2_dark_motion(h, sfx, rng):
+    handler = f"saveDark{sfx}"
+    return _parts(
+        [A.subscribe(h["motion"], "motion.active", handler)],
+        [A.method_decl(handler, [A.command(h["switch"], "off")])],
+    )
+
+
+def _p3_smoke_lock(h, sfx, rng):
+    handler = f"smokeLockdown{sfx}"
+    return _parts(
+        [A.subscribe(h["smoke"], "smoke.detected", handler)],
+        [A.method_decl(handler, [A.command(h["lock"], "lock")])],
+    )
+
+
+def _p9_away_disarm(h, sfx, rng):
+    handler = f"cleanerMode{sfx}"
+    return _parts(
+        [A.subscribe(h["presence"], "presence.not present", handler)],
+        [A.method_decl(handler, [A.command(h["security"], "disarm")])],
+    )
+
+
+def _p10_silence_alarm(h, sfx, rng):
+    handler = f"quietPlease{sfx}"
+    return _parts(
+        [A.subscribe(h["smoke"], "smoke.detected", handler)],
+        [A.method_decl(handler, [A.command(h["alarm"], "off")])],
+    )
+
+
+def _p11_wet_open(h, sfx, rng):
+    handler = f"flushLine{sfx}"
+    return _parts(
+        [A.subscribe(h["water"], "water.wet", handler)],
+        [A.method_decl(handler, [A.command(h["valve"], "open")])],
+    )
+
+
+def _p11_timer_open(h, sfx, rng):
+    handler, tick = f"leakSeen{sfx}", f"reopenLine{sfx}"
+    return _parts(
+        [A.subscribe(h["water"], "water.wet", handler)],
+        [
+            A.method_decl(
+                handler, [A.stmt(A.call("runIn", A.lit(60), A.name(tick)))]
+            ),
+            A.method_decl(tick, [A.command(h["valve"], "open")], params=()),
+        ],
+    )
+
+
+def _p17_both_on(h, sfx, rng):
+    handler = f"comfortBlast{sfx}"
+    return _parts(
+        [A.subscribe(h["contact"], "contact.open", handler)],
+        [
+            A.method_decl(
+                handler,
+                [A.command(h["ac"], "on"), A.command(h["heater"], "on")],
+            )
+        ],
+    )
+
+
+def _p24_shade_heater(h, sfx, rng):
+    handler = f"warmUp{sfx}"
+    return _parts(
+        [A.subscribe(h["shade"], "windowShade.open", handler)],
+        [A.method_decl(handler, [A.command(h["heater"], "on")])],
+    )
+
+
+def _p28_sleep_music(h, sfx, rng):
+    handler = f"lullaby{sfx}"
+    return _parts(
+        [A.subscribe(h["sleep"], "sleeping.sleeping", handler)],
+        [A.method_decl(handler, [A.command(h["player"], "play")])],
+    )
+
+
+def _p12_mode_chain(h, sfx, rng):
+    leave, mode = f"headOut{sfx}", f"awayScene{sfx}"
+    return _parts(
+        [
+            A.subscribe(h["presence"], "presence.not present", leave),
+            A.subscribe("location", "mode", mode),
+        ],
+        [
+            A.method_decl(
+                leave, [A.stmt(A.call("setLocationMode", A.lit("away")))]
+            ),
+            A.method_decl(
+                mode,
+                [
+                    A.if_stmt(
+                        A.binop(A.evt_value(), "==", A.lit("away")),
+                        [A.command(h["lamp"], "on")],
+                    )
+                ],
+            ),
+        ],
+    )
+
+
+VIOLATION_TEMPLATES: tuple[Fragment, ...] = (
+    _fragment(
+        "s1_conflict",
+        [
+            SlotSpec("contact", "contactSensor", ("pantry_contact",)),
+            SlotSpec("switch", "switch", NEUTRAL_SWITCHES),
+        ],
+        _s1_conflict,
+        property_id="S.1",
+    ),
+    _fragment(
+        "s2_double",
+        [
+            SlotSpec("contact", "contactSensor", ("cellar_contact",)),
+            SlotSpec("switch", "switch", NEUTRAL_SWITCHES),
+        ],
+        _s2_double,
+        property_id="S.2",
+    ),
+    _fragment(
+        "s3_complement",
+        [
+            SlotSpec("contact", "contactSensor", ("porch_contact",)),
+            SlotSpec("switch", "switch", NEUTRAL_SWITCHES),
+        ],
+        _s3_complement,
+        property_id="S.3",
+    ),
+    _fragment(
+        "p2_dark_motion",
+        [
+            SlotSpec("motion", "motionSensor", ("stair_motion",)),
+            SlotSpec("switch", "switch", ("hall_light", "stair_light")),
+        ],
+        _p2_dark_motion,
+        property_id="P.2",
+    ),
+    _fragment(
+        "p3_smoke_lock",
+        [
+            SlotSpec("smoke", "smokeDetector", ("hallway_smoke",), weight=3),
+            SlotSpec("lock", "lock", ("entry_lock",)),
+        ],
+        _p3_smoke_lock,
+        property_id="P.3",
+    ),
+    _fragment(
+        "p9_away_disarm",
+        [
+            SlotSpec("presence", "presenceSensor", ("keyfob_presence",)),
+            SlotSpec("security", "securitySystem", ("home_security",), weight=3),
+        ],
+        _p9_away_disarm,
+        property_id="P.9",
+    ),
+    _fragment(
+        "p10_silence_alarm",
+        [
+            SlotSpec("smoke", "smokeDetector", ("bedroom_smoke",), weight=3),
+            SlotSpec("alarm", "alarm", ("siren_alarm",), weight=4),
+        ],
+        _p10_silence_alarm,
+        property_id="P.10",
+    ),
+    _fragment(
+        "p11_wet_open",
+        [
+            SlotSpec("water", "waterSensor", ("sump_water",)),
+            SlotSpec("valve", "valve", ("main_valve",)),
+        ],
+        _p11_wet_open,
+        property_id="P.11",
+    ),
+    _fragment(
+        "p11_timer_open",
+        [
+            SlotSpec("water", "waterSensor", ("laundry_water",)),
+            SlotSpec("valve", "valve", ("supply_valve",)),
+        ],
+        _p11_timer_open,
+        property_id="P.11",
+    ),
+    _fragment(
+        "p17_both_on",
+        [
+            SlotSpec("contact", "contactSensor", ("window_contact",)),
+            SlotSpec("ac", "switch", ("window_ac",)),
+            SlotSpec("heater", "switch", ("space_heater",)),
+        ],
+        _p17_both_on,
+        property_id="P.17",
+        avoid_mode=True,
+    ),
+    _fragment(
+        "p24_shade_heater",
+        [
+            SlotSpec("shade", "windowShade", ("bay_shade",), weight=5),
+            SlotSpec("heater", "switch", ("portable_heater",)),
+        ],
+        _p24_shade_heater,
+        property_id="P.24",
+    ),
+    _fragment(
+        "p28_sleep_music",
+        [
+            SlotSpec("sleep", "sleepSensor", ("bed_sleep",)),
+            SlotSpec("player", "musicPlayer", ("bedroom_speaker",), weight=6),
+        ],
+        _p28_sleep_music,
+        property_id="P.28",
+    ),
+    _fragment(
+        "p12_mode_chain",
+        [
+            SlotSpec("presence", "presenceSensor", ("tenant_presence",)),
+            SlotSpec("lamp", "switch", ("desk_lamp", "reading_light")),
+        ],
+        _p12_mode_chain,
+        property_id="P.12",
+        reads_mode=True,
+        writes_mode=True,
+    ),
+)

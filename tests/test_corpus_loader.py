@@ -9,6 +9,8 @@ from repro.corpus.loader import (
     app_ids,
     load_app,
     load_source,
+    register_app,
+    registered_ids,
 )
 
 
@@ -52,6 +54,38 @@ class TestLoadSourceDispatch:
         # "App5" must not be misread as an official app named "App5".
         assert "App5" not in app_ids("official")
         assert "App5" in app_ids("maliot")
+
+
+class TestRegisteredSyntheticApps:
+    SOURCE = (
+        'definition(name: "Synthetic")\n'
+        'preferences { section("s") { input "sw", "capability.switch" } }\n'
+        'def installed() { subscribe(sw, "switch.on", h) }\n'
+        "def h(evt) { }\n"
+    )
+
+    def test_registered_source_resolves_like_corpus(self):
+        register_app("GenLoaderT1", self.SOURCE)
+        assert load_source("GenLoaderT1") == self.SOURCE
+        assert load_app("GenLoaderT1").name == "GenLoaderT1"
+        assert "GenLoaderT1" in registered_ids()
+
+    def test_reregistering_identical_source_is_noop(self):
+        register_app("GenLoaderT2", self.SOURCE)
+        register_app("GenLoaderT2", self.SOURCE)
+        assert registered_ids().count("GenLoaderT2") == 1
+
+    def test_conflicting_source_rejected(self):
+        register_app("GenLoaderT3", self.SOURCE)
+        with pytest.raises(ValueError, match="already bound"):
+            register_app("GenLoaderT3", self.SOURCE + "\n// edited\n")
+
+    def test_corpus_ids_cannot_be_shadowed(self):
+        with pytest.raises(ValueError, match="already bound"):
+            register_app("O1", self.SOURCE)
+        # Registering a corpus id with its own exact source is harmless.
+        register_app("O1", load_source("O1"))
+        assert "O1" not in registered_ids()
 
 
 class TestStrayFilesSkipped:

@@ -4,12 +4,13 @@ import pickle
 
 import pytest
 
-from repro import analyze_app
+from repro import analyze_app, analyze_environment
 from repro.corpus import batch
 from repro.corpus.diskcache import (
     CACHE_DIR_ENV,
     PIPELINE_VERSION,
     DiskCache,
+    SweepCache,
     resolve_cache_dir,
 )
 from repro.corpus.loader import load_app
@@ -96,6 +97,55 @@ class TestInvalidation:
         path.parent.mkdir(parents=True)
         path.write_bytes(pickle.dumps({"not": "an analysis"}))
         assert cache.get("O1", "digest") is None
+
+
+class TestSweepCacheInvalidation:
+    """Sweep-level entries must die with the pipeline version and with
+    any member source change — a stale union verdict served after either
+    would silently mask regressions."""
+
+    @pytest.fixture()
+    def environment(self, o1_analysis):
+        return analyze_environment([o1_analysis])
+
+    DIGESTS = ["digest-a", "digest-b"]
+
+    def test_round_trip_on_same_digests(self, tmp_path, environment):
+        cache = SweepCache(tmp_path)
+        cache.put(self.DIGESTS, environment)
+        loaded = cache.get(self.DIGESTS)
+        assert loaded is not None
+        assert loaded.violated_ids() == environment.violated_ids()
+        assert cache.stats()["hits"] == 1
+
+    def test_pipeline_version_bump_invalidates(self, tmp_path, environment):
+        old = SweepCache(tmp_path, version="0-stale")
+        old.put(self.DIGESTS, environment)
+        current = SweepCache(tmp_path)
+        assert current.get(self.DIGESTS) is None
+        assert current.stats() == {
+            "entries": 0, "hits": 0, "misses": 1, "writes": 0,
+        }
+        # The stale entry still exists under its own version directory —
+        # invalidation is by unreachability, not deletion.
+        assert old.entries()
+
+    def test_member_digest_change_invalidates(self, tmp_path, environment):
+        cache = SweepCache(tmp_path)
+        cache.put(self.DIGESTS, environment)
+        assert cache.get(["digest-a", "digest-EDITED"]) is None
+        assert cache.get(["digest-a"]) is None  # membership change too
+        assert cache.misses == 2
+        # The untouched group is still served.
+        assert cache.get(self.DIGESTS) is not None
+
+    def test_prune_clears_stale_sweep_versions(self, tmp_path, environment):
+        SweepCache(tmp_path, version="0-stale").put(self.DIGESTS, environment)
+        current = SweepCache(tmp_path)
+        current.put(self.DIGESTS, environment)
+        assert DiskCache(tmp_path).prune() >= 1
+        assert not (tmp_path / "v0-stale").exists()
+        assert current.get(self.DIGESTS) is not None
 
 
 class TestResolveCacheDir:

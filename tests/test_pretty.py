@@ -1,8 +1,11 @@
 """Pretty-printer round-trip tests."""
 
+import dataclasses
+
 import pytest
 
-from repro.lang import parse, to_source
+from repro.corpus.loader import app_ids, load_source
+from repro.lang import ast, parse, to_source
 from repro.lang.pretty import expr as render_expr
 from repro.lang.parser import parse_expression
 
@@ -59,3 +62,46 @@ def test_expression_rendering(text, expected):
 def test_string_escaping():
     rendered = render_expr(parse_expression("'say \"hi\"'"))
     assert rendered == '"say \\"hi\\""'
+
+
+# ----------------------------------------------------------------------
+# Whole-corpus round-trip: the scenario generator emits apps through the
+# pretty-printer, so print -> parse must preserve every construct the
+# corpus (and therefore the generator's grammar) uses.
+# ----------------------------------------------------------------------
+ALL_CORPUS_IDS = [
+    app_id
+    for dataset in ("official", "thirdparty", "maliot")
+    for app_id in app_ids(dataset)
+]
+
+
+def _strip_lines(node):
+    """Structural copy with every source-line annotation zeroed."""
+    if isinstance(node, ast.Node):
+        changes = {
+            field.name: _strip_lines(getattr(node, field.name))
+            for field in dataclasses.fields(node)
+        }
+        changes["line"] = 0
+        return dataclasses.replace(node, **changes)
+    if isinstance(node, list):
+        return [_strip_lines(item) for item in node]
+    if isinstance(node, tuple):
+        return tuple(_strip_lines(item) for item in node)
+    if isinstance(node, dict):
+        return {key: _strip_lines(value) for key, value in node.items()}
+    return node
+
+
+@pytest.mark.parametrize("app_id", ALL_CORPUS_IDS)
+def test_corpus_app_round_trips_to_equivalent_ast(app_id):
+    module = parse(load_source(app_id))
+    reparsed = parse(to_source(module))
+    assert _strip_lines(reparsed) == _strip_lines(module)
+
+
+@pytest.mark.parametrize("app_id", ALL_CORPUS_IDS)
+def test_corpus_app_pretty_is_fixed_point(app_id):
+    once = to_source(parse(load_source(app_id)))
+    assert to_source(parse(once)) == once
