@@ -3,12 +3,12 @@
 Subcommands::
 
     soteria analyze app.groovy [--dot out.dot] [--smv out.smv]
-    soteria env app1.groovy app2.groovy ... [--backend B]
+    soteria env app1.groovy app2.groovy ... [--backend B] [--encoding E]
     soteria corpus [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
     soteria sweep [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
-                  [--pairs] [--backend B]
+                  [--pairs] [--all-corpus] [--backend B] [--encoding E]
     soteria fuzz [--seed S] [--count N] [--jobs N] [--out DIR]
-                 [--mix DATASET] [--replay DIR]
+                 [--mix DATASET] [--encoding E] [--replay DIR]
     soteria list-properties
 
 ``--backend`` selects the union-model checker: ``explicit`` (materialize
@@ -16,6 +16,15 @@ the product Kripke structure), ``symbolic`` (BDD-compiled relation, no
 product enumeration), or the default ``auto`` (explicit under the state
 budget, symbolic above it) — so oversized interaction clusters are
 *checked*, not skipped.
+
+``--encoding`` selects the symbolic relation encoding: ``monolithic``
+(one fused relation BDD — fine for paper-scale clusters), ``partitioned``
+(disjunctive fragment partition with early quantification — scales to
+arbitrarily wide unions), or the default ``auto`` (partitioned above a
+fragment-count threshold).  ``sweep --all-corpus`` runs the extreme case:
+one union environment containing *every* app of the dataset (the full
+82-app corpus for ``all``, ~2^115 product states), checked symbolically
+end to end.
 
 ``fuzz`` synthesizes scenario apps beyond the bundled corpus
 (:mod:`repro.gen`) and differentially cross-checks the two backends on
@@ -36,6 +45,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.model.encoder import ENCODINGS
 from repro.reporting.dot import to_dot
 from repro.reporting.report import render_report
 from repro.reporting.smv import to_smv
@@ -47,14 +57,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         source = handle.read()
     analysis = analyze_app(source)
     print(render_report(analysis))
-    if args.dot:
-        with open(args.dot, "w", encoding="utf-8") as out:
-            out.write(to_dot(analysis.model))
-        print(f"\nstate model written to {args.dot}")
-    if args.smv:
-        with open(args.smv, "w", encoding="utf-8") as out:
-            out.write(to_smv(analysis.model))
-        print(f"SMV module written to {args.smv}")
+    # The symbolic fallback (models past the extractor budget) has no
+    # materialized transitions: exporting would silently write an empty
+    # graph / an SMV module with no transition relation.
+    exportable = analysis.backend == "explicit"
+    for flag, renderer, label in (
+        (args.dot, to_dot, "state model"),
+        (args.smv, to_smv, "SMV module"),
+    ):
+        if not flag:
+            continue
+        if not exportable:
+            print(
+                f"\n{label} NOT written to {flag}: the model was checked "
+                "symbolically (too wide to materialize), so there are no "
+                "explicit transitions to export"
+            )
+            continue
+        with open(flag, "w", encoding="utf-8") as out:
+            out.write(renderer(analysis.model))
+        print(f"\n{label} written to {flag}")
     return 1 if analysis.violations else 0
 
 
@@ -63,7 +85,9 @@ def _cmd_env(args: argparse.Namespace) -> int:
     for path in args.apps:
         with open(path, encoding="utf-8") as handle:
             sources.append(handle.read())
-    environment = analyze_environment(sources, backend=args.backend)
+    environment = analyze_environment(
+        sources, backend=args.backend, encoding=args.encoding
+    )
     print(render_report(environment))
     return 1 if environment.violations else 0
 
@@ -100,14 +124,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         pairwise=args.pairs,
         backend=args.backend,
+        encoding=args.encoding,
+        all_corpus=args.all_corpus,
         **budget,
     )
     kind = "pair" if args.pairs else "group"
+    if args.all_corpus:
+        kind = "all-corpus union"
     print(f"== sweep: {args.dataset} ({len(outcomes)} candidate {kind}s)")
     failures = 0
     failed = 0
     for outcome in outcomes:
         label = "+".join(outcome.group)
+        if len(outcome.group) > 16:
+            label = f"{'+'.join(outcome.group[:3])}+...({len(outcome.group)} apps)"
         if outcome.failed:
             print(f"  {label}: FAILED ({outcome.error})")
             failed += 1
@@ -116,10 +146,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ids = sorted(environment.violated_ids())
         env_only = sorted(environment_only_ids(environment))
         status = "VIOLATIONS " + ", ".join(ids) if ids else "clean"
-        tag = f" [{environment.backend}]" if environment.backend != "explicit" else ""
-        print(
-            f"  {label}: union {environment.state_estimate} states{tag}  {status}"
+        tag = ""
+        if environment.backend != "explicit":
+            tag = f" [{environment.backend}"
+            if environment.encoding is not None:
+                tag += f"/{environment.encoding}"
+            tag += "]"
+        estimate = environment.state_estimate
+        shown = (
+            f"~2^{estimate.bit_length() - 1}" if estimate >= 1 << 40 else str(estimate)
         )
+        print(f"  {label}: union {shown} states{tag}  {status}")
         if env_only:
             print(f"    environment-only: {', '.join(env_only)}")
         failures += bool(ids)
@@ -139,7 +176,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(message)
         return 1 if reproduced else 0
 
-    config = FuzzConfig(mix_dataset=args.mix)
+    config = FuzzConfig(mix_dataset=args.mix, encoding=args.encoding)
     report = run_fuzz(
         seed=args.seed,
         count=args.count,
@@ -213,6 +250,16 @@ def main(argv: list[str] | None = None) -> int:
         help="union checker: explicit Kripke, symbolic BDDs, or auto "
         "(explicit under the state budget, symbolic above; default)",
     )
+    p_env.add_argument(
+        "--encoding",
+        choices=list(ENCODINGS),
+        default="auto",
+        help="symbolic relation encoding: one fused relation BDD "
+        "(monolithic), a disjunctive fragment partition with early "
+        "quantification (partitioned; scales to arbitrarily wide "
+        "unions), or auto (partitioned above a fragment-count "
+        "threshold; default)",
+    )
     p_env.set_defaults(func=_cmd_env)
 
     p_corpus = sub.add_parser("corpus", help="run over the bundled corpus")
@@ -261,6 +308,13 @@ def main(argv: list[str] | None = None) -> int:
         help="sweep device-sharing app pairs instead of maximal groups",
     )
     p_sweep.add_argument(
+        "--all-corpus",
+        action="store_true",
+        help="check ONE union environment containing every app of the "
+        "dataset (the paper's whole-deployment scenario at corpus "
+        "scale; rides the symbolic backend's partitioned encoding)",
+    )
+    p_sweep.add_argument(
         "--max-states",
         type=int,
         default=None,
@@ -274,6 +328,13 @@ def main(argv: list[str] | None = None) -> int:
         default="auto",
         help="union checker: explicit Kripke, symbolic BDDs, or auto "
         "(explicit under the state budget, symbolic above; default)",
+    )
+    p_sweep.add_argument(
+        "--encoding",
+        choices=list(ENCODINGS),
+        default="auto",
+        help="symbolic relation encoding (see `soteria env --help`); "
+        "auto partitions wide unions — required for --all-corpus scale",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -305,6 +366,14 @@ def main(argv: list[str] | None = None) -> int:
         choices=["official", "thirdparty", "maliot"],
         help="mix synthetic apps into this corpus dataset's device "
         "neighborhoods (cross-dataset clusters)",
+    )
+    p_fuzz.add_argument(
+        "--encoding",
+        choices=[*ENCODINGS, "both"],
+        default="auto",
+        help="symbolic encoding(s) to differential-test against the "
+        "explicit oracle; 'both' cross-checks monolithic AND "
+        "partitioned on every case",
     )
     p_fuzz.add_argument(
         "--replay",

@@ -61,7 +61,8 @@ from repro.soteria import AppAnalysis, EnvironmentAnalysis
 #: whenever a change anywhere in the pipeline (IR, abstraction, model
 #: extraction, property catalog) can alter an :class:`AppAnalysis`, so
 #: stale results are never served across code changes.
-PIPELINE_VERSION = "2"
+PIPELINE_VERSION = "3"   # 3: AppAnalysis/EnvironmentAnalysis gained
+                         # backend/encoding fields (partitioned encoding PR)
 
 #: Environment variable consulted when no cache directory is passed
 #: explicitly (CLI ``--cache-dir`` and the ``cache_dir=`` parameters win).
@@ -159,9 +160,12 @@ class SweepCache:
 
     Keyed on the *sorted* member source digests (group order is
     irrelevant: the union's violation set does not depend on it) plus the
-    pipeline version, so a warm ``soteria sweep`` run serves finished
+    pipeline version and the requested backend/encoding knobs, so a warm
+    ``soteria sweep`` run serves finished
     :class:`~repro.soteria.EnvironmentAnalysis` objects without building,
-    encoding, or checking any union model.  Editing any member app
+    encoding, or checking any union model — while a forced
+    ``--backend``/``--encoding`` run never silently reuses a result
+    produced by a different checker path.  Editing any member app
     changes its digest and silently invalidates every group containing it.
     """
 
@@ -178,27 +182,49 @@ class SweepCache:
         return self.root / f"v{self.version}" / "sweeps"
 
     @staticmethod
-    def key_for(digests: Sequence[str]) -> str:
-        """The group key: SHA-256 over the sorted member source digests."""
-        joined = "\n".join(sorted(digests))
+    def key_for(
+        digests: Sequence[str], backend: str = "auto", encoding: str = "auto"
+    ) -> str:
+        """The group key: SHA-256 over the sorted member source digests
+        plus the backend/encoding knobs the sweep was asked to use (a
+        forced ``--encoding partitioned`` validation run must never be
+        served a result the ``auto`` path produced)."""
+        joined = "\n".join(sorted(digests)) + f"\n#{backend}/{encoding}"
         return hashlib.sha256(joined.encode("utf-8")).hexdigest()
 
-    def path_for(self, digests: Sequence[str]) -> Path:
-        return self.sweep_dir / f"{self.key_for(digests)}.pkl"
+    def path_for(
+        self, digests: Sequence[str], backend: str = "auto", encoding: str = "auto"
+    ) -> Path:
+        return self.sweep_dir / f"{self.key_for(digests, backend, encoding)}.pkl"
 
     # ------------------------------------------------------------------
-    def get(self, digests: Sequence[str]) -> EnvironmentAnalysis | None:
+    def get(
+        self,
+        digests: Sequence[str],
+        backend: str = "auto",
+        encoding: str = "auto",
+    ) -> EnvironmentAnalysis | None:
         """The cached environment analysis for a member-digest set, or None."""
-        environment = _read_pickle(self.path_for(digests), EnvironmentAnalysis)
+        environment = _read_pickle(
+            self.path_for(digests, backend, encoding), EnvironmentAnalysis
+        )
         if environment is None:
             self.misses += 1
             return None
         self.hits += 1
         return environment
 
-    def put(self, digests: Sequence[str], environment: EnvironmentAnalysis) -> None:
+    def put(
+        self,
+        digests: Sequence[str],
+        environment: EnvironmentAnalysis,
+        backend: str = "auto",
+        encoding: str = "auto",
+    ) -> None:
         """Persist one environment analysis atomically."""
-        _write_pickle(self.path_for(digests), environment, prefix="sweep")
+        _write_pickle(
+            self.path_for(digests, backend, encoding), environment, prefix="sweep"
+        )
         self.writes += 1
 
     # ------------------------------------------------------------------

@@ -12,7 +12,9 @@ cluster mixing a synthetic app into a corpus app's device neighborhood)
 the driver
 
 1. parses and analyzes every member through the full pipeline,
-2. checks the environment on **both** backends and compares violation
+2. checks the environment on **both** backends — and, with
+   ``encoding="both"``, on both symbolic relation encodings (monolithic
+   and partitioned), a three-way differential — comparing violation
    sets and per-formula verdicts (the differential oracle),
 3. asserts every injected violation is flagged by its matching property
    (the metamorphic oracle), and
@@ -62,6 +64,11 @@ class FuzzConfig:
     mix_dataset: str | None = None
     #: Shrink failing cases to minimal reproducers.
     shrink: bool = True
+    #: Symbolic relation encoding(s) differential-tested against the
+    #: explicit oracle: "auto" | "monolithic" | "partitioned" run one
+    #: symbolic pass with that encoding; "both" cross-checks monolithic
+    #: AND partitioned on every case (the three-way differential).
+    encoding: str = "auto"
     gen: GenConfig = field(default_factory=GenConfig)
 
 
@@ -205,27 +212,44 @@ def _violation_keys(environment) -> list[tuple[str, tuple[str, ...]]]:
     return sorted((v.property_id, v.devices) for v in environment.violations)
 
 
-def _differential(analyses: list[AppAnalysis]) -> tuple[int, str]:
-    """Both backends over one environment; empty string = full agreement."""
+def _differential(
+    analyses: list[AppAnalysis], encoding: str = "auto"
+) -> tuple[int, str]:
+    """Every backend/encoding over one environment; "" = full agreement.
+
+    The explicit checker is the oracle; each requested symbolic encoding
+    (one of ``auto``/``monolithic``/``partitioned``, or both concrete
+    encodings for ``"both"``) must match it on violation sets and on
+    every per-formula verdict.
+    """
     explicit = analyze_environment(list(analyses), backend="explicit")
-    symbolic = analyze_environment(list(analyses), backend="symbolic")
-    if _violation_keys(explicit) != _violation_keys(symbolic):
-        return explicit.state_estimate, (
-            "violation sets differ: explicit="
-            f"{_violation_keys(explicit)} symbolic={_violation_keys(symbolic)}"
+    encodings = (
+        ("monolithic", "partitioned") if encoding == "both" else (encoding,)
+    )
+    for chosen in encodings:
+        symbolic = analyze_environment(
+            list(analyses), backend="symbolic", encoding=chosen
         )
-    if explicit.checked_properties != symbolic.checked_properties:
-        return explicit.state_estimate, "checked property lists differ"
-    for property_id, explicit_results in explicit.check_results.items():
-        symbolic_results = symbolic.check_results.get(property_id, [])
-        if len(explicit_results) != len(symbolic_results):
-            return explicit.state_estimate, f"{property_id}: formula counts differ"
-        for exp, sym in zip(explicit_results, symbolic_results):
-            if exp.holds != sym.holds:
+        tag = f"symbolic/{symbolic.encoding}"
+        if _violation_keys(explicit) != _violation_keys(symbolic):
+            return explicit.state_estimate, (
+                "violation sets differ: explicit="
+                f"{_violation_keys(explicit)} {tag}={_violation_keys(symbolic)}"
+            )
+        if explicit.checked_properties != symbolic.checked_properties:
+            return explicit.state_estimate, f"checked property lists differ ({tag})"
+        for property_id, explicit_results in explicit.check_results.items():
+            symbolic_results = symbolic.check_results.get(property_id, [])
+            if len(explicit_results) != len(symbolic_results):
                 return explicit.state_estimate, (
-                    f"{property_id}: verdicts differ on {exp.formula} "
-                    f"(explicit={exp.holds}, symbolic={sym.holds})"
+                    f"{property_id}: formula counts differ ({tag})"
                 )
+            for exp, sym in zip(explicit_results, symbolic_results):
+                if exp.holds != sym.holds:
+                    return explicit.state_estimate, (
+                        f"{property_id}: verdicts differ on {exp.formula} "
+                        f"(explicit={exp.holds}, {tag}={sym.holds})"
+                    )
     return explicit.state_estimate, ""
 
 
@@ -237,11 +261,11 @@ def _member_analyses(case: _Case) -> list[AppAnalysis]:
     return analyses
 
 
-def _sources_disagree(sources: list[str]) -> bool:
+def _sources_disagree(sources: list[str], encoding: str = "auto") -> bool:
     """Shrink predicate for mismatch cases: do the backends still differ?"""
     try:
         analyses = [analyze_app(source) for source in sources]
-        _estimate, detail = _differential(analyses)
+        _estimate, detail = _differential(analyses, encoding)
         return bool(detail)
     except Exception:
         return False
@@ -294,7 +318,7 @@ def _check_case(index: int, config: FuzzConfig) -> CaseResult:
 
     # Differential oracle over the environment.
     try:
-        estimate, detail = _differential(analyses)
+        estimate, detail = _differential(analyses, config.encoding)
     except Exception as exc:
         result = CaseResult(
             **base, status="error",
@@ -325,7 +349,7 @@ def _check_case(index: int, config: FuzzConfig) -> CaseResult:
     return result
 
 
-def _same_error(error_type: str, corpus_sources: list[str]):
+def _same_error(error_type: str, corpus_sources: list[str], encoding: str = "auto"):
     """Shrink predicate factory for pipeline-error cases: does analyzing
     the candidate sources still raise the same exception type?"""
 
@@ -334,7 +358,7 @@ def _same_error(error_type: str, corpus_sources: list[str]):
             analyses = [
                 analyze_app(source) for source in corpus_sources + candidates
             ]
-            _differential(analyses)
+            _differential(analyses, encoding)
         except Exception as exc:
             return type(exc).__name__ == error_type
         return False
@@ -362,7 +386,7 @@ def _shrink_result(
     if result.status == "mismatch":
 
         def predicate(candidates: list[str]) -> bool:
-            return _sources_disagree(corpus_sources + candidates)
+            return _sources_disagree(corpus_sources + candidates, config.encoding)
 
         result.shrunk = tuple(
             shrink_cluster(list(result.sources), predicate, protected)
@@ -371,7 +395,7 @@ def _shrink_result(
         result.shrunk = tuple(
             shrink_cluster(
                 list(result.sources),
-                _same_error(error_type, corpus_sources),
+                _same_error(error_type, corpus_sources, config.encoding),
                 protected,
             )
         )
@@ -461,6 +485,7 @@ def write_reproducer(
             "count": config.count,
             "cluster_rate": config.cluster_rate,
             "mix_dataset": config.mix_dataset,
+            "encoding": config.encoding,
         },
         "app_ids": list(result.app_ids),
         "corpus_members": list(result.corpus_ids),
@@ -500,12 +525,13 @@ def replay(directory: str | os.PathLike) -> tuple[bool, str]:
     if not sources:
         return False, f"no app*.groovy files under {directory}"
 
+    encoding = meta.get("config", {}).get("encoding", "auto")
     try:
         analyses = [analyze_app(source) for source in sources]
     except Exception as exc:
         return True, f"pipeline error reproduced: {type(exc).__name__}: {exc}"
     try:
-        _estimate, detail = _differential(analyses)
+        _estimate, detail = _differential(analyses, encoding)
     except Exception as exc:
         return True, f"union checking error reproduced: {type(exc).__name__}: {exc}"
     if detail:

@@ -16,7 +16,8 @@ turns that into a corpus-scale workload:
   driver's two cache layers (memory + optional ``cache_dir`` disk store)
   so no app source is ever parsed twice.  ``cache_dir`` additionally
   layers a *sweep-level* store (:class:`repro.corpus.diskcache.SweepCache`,
-  keyed on the sorted member source digests): a warm sweep serves finished
+  keyed on the sorted member source digests + the backend/encoding
+  knobs): a warm sweep serves finished
   environment analyses and skips union checking entirely.
 
 State explosion is no longer a reason to skip anything: the default
@@ -257,11 +258,15 @@ def _union_outcome(
     analyses: list[AppAnalysis],
     max_union_states: int | None,
     backend: str = "auto",
+    encoding: str = "auto",
 ) -> SweepOutcome:
     """Build + check one union model from precomputed per-app analyses."""
     try:
         environment = analyze_environment(
-            list(analyses), max_union_states=max_union_states, backend=backend
+            list(analyses),
+            max_union_states=max_union_states,
+            backend=backend,
+            encoding=encoding,
         )
     except StateExplosionError as exc:
         # Only reachable with backend="explicit": auto hands oversized
@@ -275,8 +280,9 @@ def _sweep_worker(
     analyses: list[AppAnalysis],
     max_union_states: int | None,
     backend: str,
+    encoding: str,
 ) -> tuple[tuple[str, ...], SweepOutcome]:
-    return group, _union_outcome(group, analyses, max_union_states, backend)
+    return group, _union_outcome(group, analyses, max_union_states, backend, encoding)
 
 
 def sweep_environments(
@@ -285,6 +291,7 @@ def sweep_environments(
     cache_dir: str | os.PathLike | None = None,
     max_union_states: int | None = DEFAULT_MAX_UNION_STATES,
     backend: str = "auto",
+    encoding: str = "auto",
 ) -> list[SweepOutcome]:
     """Union-model analysis over many app groups, in input order.
 
@@ -301,12 +308,17 @@ def sweep_environments(
     symbolically, so *every* group is checked — oversized clusters are no
     longer skipped.  Forcing ``backend="explicit"`` restores the old
     budget behavior: groups beyond it come back as failed outcomes
-    carrying the explosion error.
+    carrying the explosion error.  ``encoding`` selects the symbolic
+    relation encoding (``auto`` | ``monolithic`` | ``partitioned``);
+    ``auto`` partitions wide unions, which is what lets the all-corpus
+    82-app union check end to end.
 
     With a ``cache_dir``, finished environment analyses are also stored
     sweep-level, keyed on the sorted member source digests + pipeline
-    version: a warm sweep run serves every unchanged group from disk and
-    skips union checking entirely.
+    version + the backend/encoding knobs: a warm sweep run serves every
+    unchanged group from disk and skips union checking entirely, and a
+    forced ``--backend``/``--encoding`` validation run is never served a
+    result a differently-configured sweep produced.
 
     One outcome per input group, in input order — duplicate groups are
     analyzed once and each occurrence gets the shared result.
@@ -323,7 +335,7 @@ def sweep_environments(
     if sweeps is not None:
         for group in ordered:
             digests[group] = [_source_key(app_id)[1] for app_id in group]
-            cached = sweeps.get(digests[group])
+            cached = sweeps.get(digests[group], backend, encoding)
             if cached is not None:
                 outcomes[group] = SweepOutcome(
                     group=group, environment=cached, cached=True
@@ -338,7 +350,9 @@ def sweep_environments(
     # attributes, so doomed groups are failed without shipping their
     # analyses to any worker.  The StateExplosionError catch in
     # _union_outcome stays as the backstop.
-    payloads: list[tuple[tuple[str, ...], list[AppAnalysis], int | None, str]] = []
+    payloads: list[
+        tuple[tuple[str, ...], list[AppAnalysis], int | None, str, str]
+    ] = []
     for group in pending_groups:
         group_analyses = [analyses[app_id] for app_id in group]
         if backend == "explicit" and max_union_states is not None:
@@ -350,23 +364,25 @@ def sweep_environments(
                     error=f"union of {list(group)}: {total} states exceed budget",
                 )
                 continue
-        payloads.append((group, group_analyses, max_union_states, backend))
+        payloads.append((group, group_analyses, max_union_states, backend, encoding))
 
     # min_parallel=2: a sweep payload is a whole union-model check, so
     # even two groups are worth a pool (unlike batch's cheap per-app jobs).
     worker_count = _resolve_jobs(jobs, len(payloads), min_parallel=2)
     if len(payloads) > 1 and worker_count > 1:
         outcomes.update(run_in_pool(_sweep_worker, payloads, worker_count))
-    for group, group_analyses, budget, chosen in payloads:
+    for group, group_analyses, budget, chosen, chosen_encoding in payloads:
         if group not in outcomes:
-            outcomes[group] = _union_outcome(group, group_analyses, budget, chosen)
+            outcomes[group] = _union_outcome(
+                group, group_analyses, budget, chosen, chosen_encoding
+            )
 
     if sweeps is not None:
         for group in pending_groups:
             outcome = outcomes[group]
             if outcome.environment is not None:
                 try:
-                    sweeps.put(digests[group], outcome.environment)
+                    sweeps.put(digests[group], outcome.environment, backend, encoding)
                 except Exception:
                     # Best-effort, like the per-app store: an unwritable
                     # cache volume degrades to future misses.
@@ -381,14 +397,25 @@ def sweep_dataset(
     pairwise: bool = False,
     max_union_states: int | None = DEFAULT_MAX_UNION_STATES,
     backend: str = "auto",
+    encoding: str = "auto",
+    all_corpus: bool = False,
 ) -> list[SweepOutcome]:
     """Sweep one dataset's candidate environments (or all of them).
 
     ``pairwise`` analyzes every device-sharing pair instead of the maximal
     sharing groups — many more, much smaller, union models.
+
+    ``all_corpus`` is the paper's whole-deployment scenario taken to the
+    limit: *one* environment containing every app of ``dataset`` (all 82
+    corpus apps for ``"all"``), regardless of device sharing.  Its domain
+    product is astronomically beyond any explicit budget (~2^115 states
+    for the full corpus), so it rides the symbolic backend's partitioned
+    encoding end to end — no skip, no state-budget bailout.
     """
-    if pairwise:
-        groups: list[Sequence[str]] = [
+    if all_corpus:
+        groups: list[Sequence[str]] = [tuple(_universe(dataset))]
+    elif pairwise:
+        groups = [
             (first, second) for first, second, _channels in pairs(dataset)
         ]
     else:
@@ -399,4 +426,5 @@ def sweep_dataset(
         cache_dir=cache_dir,
         max_union_states=max_union_states,
         backend=backend,
+        encoding=encoding,
     )

@@ -9,7 +9,14 @@ BDD engine.
 
 Nodes are integers: 0 (false terminal), 1 (true terminal), and >= 2 for
 internal nodes stored as (level, low, high) triples.  Variable order is the
-order of :meth:`BDD.add_var` calls.
+order of :meth:`BDD.add_var` calls — *initially*: the order can later be
+improved in place by sifting-based dynamic reordering (:meth:`sift`,
+:meth:`maybe_reorder`).  Reordering is id-stable: every node keeps its
+integer id and keeps denoting the same boolean function, so ids held by
+callers (relations, reachable sets, frontier lists, formula caches) stay
+valid across reorders.  Long-lived ids must be registered with
+:meth:`protect` so the mark-and-sweep collector that runs around sifting
+(:meth:`collect`) knows the live roots.
 """
 
 from __future__ import annotations
@@ -24,6 +31,10 @@ class _Node:
     high: int
 
 
+#: Sentinel level of the two terminals — below every real variable.
+_TERMINAL_LEVEL = 1 << 30
+
+
 class BDD:
     """A BDD manager: all nodes live in one shared, reduced graph."""
 
@@ -31,14 +42,32 @@ class BDD:
     TRUE = 1
 
     def __init__(self) -> None:
-        self._nodes: list[_Node] = [
-            _Node(level=1 << 30, low=0, high=0),   # 0: false terminal
-            _Node(level=1 << 30, low=1, high=1),   # 1: true terminal
+        self._nodes: list[_Node | None] = [
+            _Node(level=_TERMINAL_LEVEL, low=0, high=0),   # 0: false terminal
+            _Node(level=_TERMINAL_LEVEL, low=1, high=1),   # 1: true terminal
         ]
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
+        #: Memoized support sets (level frozensets per node id); dropped on
+        #: reorder (levels shift) and collection (ids die).
+        self._support_cache: dict[int, frozenset[int]] = {}
         self._var_names: list[str] = []
         self._var_ids: dict[str, int] = {}
+        #: Live nodes per level (maintained by _mk / collect / swaps).
+        self._level_nodes: dict[int, set[int]] = {}
+        #: Refcounted GC roots: node id -> protect count.
+        self._protected: dict[int, int] = {}
+        #: Dynamic-reordering configuration (see set_auto_reorder).
+        self._reorder_groups: list[list[str]] | None = None
+        self._reorder_threshold: int | None = None
+        #: Table size below which maybe_reorder won't even try a GC —
+        #: bumped to 2x the live size after every collection so a table
+        #: hovering at the threshold can't trigger a full mark-and-sweep
+        #: on each call (the sweep must free at least half the table to
+        #: pay for itself).
+        self._gc_watermark: int = 0
+        #: Number of completed sift passes (observability for tests/benchmarks).
+        self.reorder_count = 0
 
     # ------------------------------------------------------------------
     # Variables
@@ -69,6 +98,10 @@ class BDD:
     def name_of(self, level: int) -> str:
         return self._var_names[level]
 
+    def var_order(self) -> list[str]:
+        """Variable names from the top of the order to the bottom."""
+        return list(self._var_names)
+
     # ------------------------------------------------------------------
     # Core construction
     # ------------------------------------------------------------------
@@ -81,6 +114,7 @@ class BDD:
             node_id = len(self._nodes)
             self._nodes.append(_Node(level=level, low=low, high=high))
             self._unique[key] = node_id
+            self._level_nodes.setdefault(level, set()).add(node_id)
         return node_id
 
     def node(self, node_id: int) -> _Node:
@@ -219,6 +253,79 @@ class BDD:
         cache[key] = result
         return result
 
+    def and_exists_list(self, names: list[str], conjuncts: list[int]) -> int:
+        """``exists names . conjunct_1 & ... & conjunct_k`` with an early
+        quantification schedule.
+
+        The partitioned-transition-relation workhorse: a fragment of the
+        relation is kept as a *list* of conjuncts (the frontier set, the
+        guard atoms, the write cube), and each quantified variable is
+        existentially eliminated as soon as no later conjunct mentions it —
+        so the intermediate products never carry variables that are about
+        to disappear.  Conjuncts are scheduled greedily: at every step the
+        one releasing the most quantified variables is merged next.
+        """
+        levels = frozenset(
+            self._var_ids[name] for name in names if name in self._var_ids
+        )
+        items = list(conjuncts)
+        if not items:
+            return self.TRUE
+        supports = [self._support_levels(f) for f in items]
+        remaining = list(range(len(items)))
+        acc = self.TRUE
+        live: set[int] = set()   # quantified levels already inside ``acc``
+        while remaining:
+            best = None
+            best_key: tuple[int, int, int] | None = None
+            for idx in remaining:
+                others: set[int] = set()
+                for j in remaining:
+                    if j != idx:
+                        others |= supports[j]
+                releasable = (live | (supports[idx] & levels)) - others
+                # Most released vars first; among ties prefer the smaller
+                # conjunct support, then input order (determinism).
+                key = (-len(releasable), len(supports[idx]), idx)
+                if best_key is None or key < best_key:
+                    best, best_key = idx, key
+            assert best is not None
+            others = set()
+            for j in remaining:
+                if j != best:
+                    others |= supports[j]
+            releasable = (live | (supports[best] & levels)) - others
+            if releasable:
+                acc = self._and_exists(frozenset(releasable), acc, items[best], {})
+            else:
+                acc = self.and_(acc, items[best])
+            live = (live | (supports[best] & levels)) - releasable
+            remaining.remove(best)
+            if acc == self.FALSE:
+                return self.FALSE
+        return acc
+
+    def support(self, f: int) -> frozenset[str]:
+        """The set of variables ``f`` depends on."""
+        return frozenset(
+            self._var_names[level] for level in self._support_levels(f)
+        )
+
+    def _support_levels(self, f: int) -> frozenset[int]:
+        if f in (self.TRUE, self.FALSE):
+            return frozenset()
+        cached = self._support_cache.get(f)
+        if cached is not None:
+            return cached
+        node = self._nodes[f]
+        result = (
+            self._support_levels(node.low)
+            | self._support_levels(node.high)
+            | {node.level}
+        )
+        self._support_cache[f] = result
+        return result
+
     def rename(self, f: int, mapping: dict[str, str]) -> int:
         """Substitute variables (e.g. next-state x' -> x).
 
@@ -334,3 +441,286 @@ class BDD:
             stack.append(node.low)
             stack.append(node.high)
         return len(seen) + 2
+
+    # ------------------------------------------------------------------
+    # Garbage collection (roots must be registered or passed explicitly)
+    # ------------------------------------------------------------------
+    def protect(self, f: int) -> int:
+        """Register ``f`` as a GC root (refcounted); returns ``f``."""
+        self._protected[f] = self._protected.get(f, 0) + 1
+        return f
+
+    def unprotect(self, f: int) -> None:
+        count = self._protected.get(f, 0)
+        if count <= 1:
+            self._protected.pop(f, None)
+        else:
+            self._protected[f] = count - 1
+
+    def live_size(self) -> int:
+        """Number of non-terminal nodes currently in the node table."""
+        return sum(len(nodes) for nodes in self._level_nodes.values())
+
+    def allocated_nodes(self) -> int:
+        """Total nodes ever allocated (the peak table size: slots are
+        never reused, so this is monotone — benchmarks report it as the
+        peak node count)."""
+        return len(self._nodes)
+
+    def collect(self, roots: tuple[int, ...] | list[int] = ()) -> int:
+        """Mark-and-sweep from ``roots`` + every protected id.
+
+        Dead nodes leave the unique table and the level index and their
+        slots are cleared (ids are never reused, so a dangling reference
+        fails loudly instead of silently aliasing another function).
+        Returns the number of collected nodes.  All memo caches are
+        dropped: they may reference dead ids.
+        """
+        marked: set[int] = set()
+        stack = [*roots, *self._protected]
+        while stack:
+            node_id = stack.pop()
+            if node_id in (self.TRUE, self.FALSE) or node_id in marked:
+                continue
+            marked.add(node_id)
+            node = self._nodes[node_id]
+            stack.append(node.low)
+            stack.append(node.high)
+        collected = 0
+        for node_id in range(2, len(self._nodes)):
+            node = self._nodes[node_id]
+            if node is None or node_id in marked:
+                continue
+            del self._unique[(node.level, node.low, node.high)]
+            self._level_nodes[node.level].discard(node_id)
+            self._nodes[node_id] = None
+            collected += 1
+        self._ite_cache.clear()
+        self._support_cache.clear()
+        return collected
+
+    # ------------------------------------------------------------------
+    # Dynamic variable reordering (Rudell-style sifting, in place)
+    # ------------------------------------------------------------------
+    def swap_adjacent(self, level: int) -> None:
+        """Exchange the variables at ``level`` and ``level + 1`` in place.
+
+        Every node id keeps denoting the same boolean function: nodes at
+        the two levels are re-expressed over the swapped order (the classic
+        variable-swap), nodes elsewhere are untouched.  Canonicity is
+        preserved — the unique-table entries of both levels are rebuilt.
+        """
+        if not 0 <= level < len(self._var_names) - 1:
+            raise ValueError(f"cannot swap level {level} of {len(self._var_names)}")
+        lower_level = level + 1
+        upper = list(self._level_nodes.get(level, ()))
+        lower = list(self._level_nodes.get(lower_level, ()))
+
+        # Cofactor quadruples of the interacting upper nodes, computed
+        # against the *original* structure before anything moves.
+        quads: dict[int, tuple[int, int, int, int]] = {}
+        for node_id in upper:
+            node = self._nodes[node_id]
+            low_node, high_node = self._nodes[node.low], self._nodes[node.high]
+            touches_low = low_node.level == lower_level
+            touches_high = high_node.level == lower_level
+            if not (touches_low or touches_high):
+                continue
+            f00, f01 = (
+                (low_node.low, low_node.high) if touches_low else (node.low, node.low)
+            )
+            f10, f11 = (
+                (high_node.low, high_node.high)
+                if touches_high
+                else (node.high, node.high)
+            )
+            quads[node_id] = (f00, f01, f10, f11)
+
+        for node_id in upper:
+            node = self._nodes[node_id]
+            del self._unique[(level, node.low, node.high)]
+        for node_id in lower:
+            node = self._nodes[node_id]
+            del self._unique[(lower_level, node.low, node.high)]
+        upper_set = self._level_nodes.setdefault(level, set())
+        lower_set = self._level_nodes.setdefault(lower_level, set())
+
+        # Lower nodes float up: their variable now sits at ``level`` and
+        # their children (at deeper levels) are untouched.
+        for node_id in lower:
+            node = self._nodes[node_id]
+            self._nodes[node_id] = _Node(level, node.low, node.high)
+            self._unique[(level, node.low, node.high)] = node_id
+            lower_set.discard(node_id)
+            upper_set.add(node_id)
+        # Solitary upper nodes sink unchanged below the swapped variable.
+        for node_id in upper:
+            if node_id in quads:
+                continue
+            node = self._nodes[node_id]
+            self._nodes[node_id] = _Node(lower_level, node.low, node.high)
+            self._unique[(lower_level, node.low, node.high)] = node_id
+            upper_set.discard(node_id)
+            lower_set.add(node_id)
+        # Interacting nodes are rebuilt with the two variables exchanged:
+        # f = u ? f1 : f0  becomes  v ? (u ? f11 : f01) : (u ? f10 : f00).
+        # Both cofactors genuinely depend on u (an interacting node has a
+        # reduced child over v), so the node stays at the upper level.
+        for node_id, (f00, f01, f10, f11) in quads.items():
+            low = self._mk(lower_level, f00, f10)
+            high = self._mk(lower_level, f01, f11)
+            self._nodes[node_id] = _Node(level, low, high)
+            self._unique[(level, low, high)] = node_id
+            # stays in upper_set
+
+        name_a, name_b = self._var_names[level], self._var_names[lower_level]
+        self._var_names[level], self._var_names[lower_level] = name_b, name_a
+        self._var_ids[name_a], self._var_ids[name_b] = lower_level, level
+        self._support_cache.clear()
+
+    def _swap_blocks(self, start: int, size_a: int, size_b: int) -> None:
+        """Exchange the adjacent variable blocks [start, start+size_a) and
+        [start+size_a, start+size_a+size_b), preserving the internal order
+        of both blocks (a sequence of adjacent swaps)."""
+        for moved in range(size_a):
+            position = start + size_a - 1 - moved
+            for step in range(size_b):
+                self.swap_adjacent(position + step)
+
+    def sift(
+        self,
+        groups: list[list[str]] | None = None,
+        roots: tuple[int, ...] | list[int] = (),
+        max_groups: int | None = None,
+        max_growth: float = 2.0,
+    ) -> None:
+        """Sifting-based dynamic reordering over variable *groups*.
+
+        Each group (default: every variable on its own) is moved as one
+        block through every position of the order; the position minimizing
+        the node table is kept.  Grouping is how the encoder preserves its
+        interleaved current/next pairing invariant: passing the (x, y)
+        pairs as groups keeps each pair adjacent and in x-before-y order
+        no matter where sifting parks it.
+
+        ``roots`` (plus every :meth:`protect`-ed id) feed the collector:
+        garbage is swept before sifting and between groups so the size
+        metric tracks live nodes.  A direction of travel is abandoned once
+        the table grows past ``max_growth`` times the best size seen.
+        """
+        if len(self._var_names) < 2:
+            return
+        if groups is None:
+            blocks = [[name] for name in self._var_names]
+        else:
+            blocks = [list(group) for group in groups]
+            covered = [name for block in blocks for name in block]
+            if sorted(covered) != sorted(self._var_names):
+                raise ValueError("groups must partition the variable set")
+            for block in blocks:
+                levels = sorted(self._var_ids[name] for name in block)
+                if levels != list(range(levels[0], levels[0] + len(block))):
+                    raise ValueError(f"group {block} is not contiguous in the order")
+        self.collect(roots)
+
+        def population(block: list[str]) -> int:
+            return sum(
+                len(self._level_nodes.get(self._var_ids[name], ()))
+                for name in block
+            )
+
+        by_population = sorted(blocks, key=population, reverse=True)
+        if max_groups is not None:
+            by_population = by_population[:max_groups]
+        for block in by_population:
+            self._sift_block(blocks, block, max_growth)
+            self.collect(roots)
+        self._ite_cache.clear()
+        self.reorder_count += 1
+
+    def _sift_block(
+        self, blocks: list[list[str]], block: list[str], max_growth: float
+    ) -> None:
+        """Move one block through every position; settle at the best."""
+        layout = sorted(blocks, key=lambda b: self._var_ids[b[0]])
+        position = layout.index(block)
+
+        def swap_with_next(index: int) -> None:
+            start = sum(len(layout[i]) for i in range(index))
+            self._swap_blocks(start, len(layout[index]), len(layout[index + 1]))
+            layout[index], layout[index + 1] = layout[index + 1], layout[index]
+
+        best_size = self.live_size()
+        best_position = position
+        limit = int(best_size * max_growth) + 1
+
+        current = position
+        while current < len(layout) - 1:    # travel down
+            swap_with_next(current)
+            current += 1
+            size = self.live_size()
+            if size < best_size:
+                best_size, best_position = size, current
+                limit = int(best_size * max_growth) + 1
+            if size > limit:
+                break
+        while current > 0:                  # travel back up, past the start
+            swap_with_next(current - 1)
+            current -= 1
+            size = self.live_size()
+            if size < best_size:
+                best_size, best_position = size, current
+                limit = int(best_size * max_growth) + 1
+            if size > limit and current <= best_position:
+                break
+        while current < best_position:      # settle on the best position
+            swap_with_next(current)
+            current += 1
+        while current > best_position:
+            swap_with_next(current - 1)
+            current -= 1
+
+    # ------------------------------------------------------------------
+    # Automatic reordering trigger
+    # ------------------------------------------------------------------
+    def set_auto_reorder(
+        self, groups: list[list[str]] | None, threshold: int
+    ) -> None:
+        """Arm :meth:`maybe_reorder`: once the live node table outgrows
+        ``threshold``, the next call sifts ``groups`` and doubles the
+        threshold (CUDD's classic growth policy)."""
+        self._reorder_groups = groups if groups is not None else None
+        self._reorder_threshold = threshold
+        self._gc_watermark = 0
+
+    def disable_auto_reorder(self) -> None:
+        """Disarm :meth:`maybe_reorder` (e.g. once the owner of the
+        manager can no longer enumerate every live root)."""
+        self._reorder_threshold = None
+
+    def maybe_reorder(self, extra_roots: tuple[int, ...] | list[int] = ()) -> bool:
+        """Sift if the node table outgrew the armed threshold.
+
+        Only call at *safe points*: no BDD operation may be mid-recursion,
+        and every live id must be protected or passed via ``extra_roots``.
+        Garbage is collected first — if dead intermediates alone explain
+        the growth, collection is the whole fix and the (far more
+        expensive) sift is skipped; sifting runs only when *live* nodes
+        outgrew the threshold, i.e. the order itself is the problem.
+        Returns True when a reorder ran.
+        """
+        if self._reorder_threshold is None:
+            return False
+        size = self.live_size()
+        if size <= self._reorder_threshold or size <= self._gc_watermark:
+            return False
+        self.collect(tuple(extra_roots))
+        live = self.live_size()
+        self._gc_watermark = 2 * live
+        if live <= self._reorder_threshold:
+            return False
+        self.sift(self._reorder_groups, roots=tuple(extra_roots))
+        live = self.live_size()
+        self._gc_watermark = 2 * live
+        self._reorder_threshold = max(self._reorder_threshold, 2 * live)
+        return True

@@ -230,11 +230,39 @@ class SymbolicModelChecker:
         if cached is not None:
             return cached
         result = self.bdd.and_(self._sat(formula), self._universe)
-        self._cache[formula] = result
+        # Cached satisfaction sets survive any later forced reorder: they
+        # are GC roots of the shared manager.
+        self._cache[formula] = self.bdd.protect(result)
         return result
 
     def _preimage(self, f: int) -> int:
         return self.symbolic.pre(f)
+
+    def _lfp(self, context: int, target: int) -> int:
+        """E[context U target] as a least fixpoint on BDDs.
+
+        Iterated on the *frontier*: preimages distribute over union, so
+        each round only the states added last round are fed to the
+        (fragment-partitioned) preimage — on wide unions this is the
+        difference between quadratic and linear work in the fixpoint
+        depth.
+        """
+        current = target
+        frontier = target
+        while frontier != self.bdd.FALSE:
+            step = self.bdd.and_(context, self._preimage(frontier))
+            frontier = self.bdd.and_(step, self.bdd.not_(current))
+            current = self.bdd.or_(current, frontier)
+        return current
+
+    def _gfp(self, context: int) -> int:
+        """EG context as a greatest fixpoint on BDDs."""
+        current = context
+        while True:
+            nxt = self.bdd.and_(current, self._preimage(current))
+            if nxt == current:
+                return current
+            current = nxt
 
     def _sat(self, f: ctl.Formula) -> int:
         bdd = self.bdd
@@ -277,25 +305,6 @@ class SymbolicModelChecker:
             bad = bdd.or_(self._lfp(not_b, not_a_not_b), self._gfp(not_b))
             return bdd.and_(self._universe, bdd.not_(bad))
         raise TypeError(f"unsupported formula {type(f).__name__}")
-
-    def _lfp(self, context: int, target: int) -> int:
-        """E[context U target] as a least fixpoint on BDDs."""
-        current = target
-        while True:
-            step = self.bdd.and_(context, self._preimage(current))
-            nxt = self.bdd.or_(current, step)
-            if nxt == current:
-                return current
-            current = nxt
-
-    def _gfp(self, context: int) -> int:
-        """EG context as a greatest fixpoint on BDDs."""
-        current = context
-        while True:
-            nxt = self.bdd.and_(current, self._preimage(current))
-            if nxt == current:
-                return current
-            current = nxt
 
     # ------------------------------------------------------------------
     # Top-level checks, explicit-checker-compatible

@@ -35,6 +35,35 @@ explicit expansion's semantics — made total by identity self-loops on
 deadlocked states.  Reachability is a symbolic least fixpoint from the
 initial-state BDD; the breadth-first frontiers are kept for
 counterexample witness extraction in :mod:`repro.mc.symbolic`.
+
+Encodings
+---------
+Two interchangeable relation encodings produce identical state sets:
+
+* ``monolithic`` — conjoin every fragment with its frame constraints and
+  disjoin everything into one relation BDD.  Fine for paper-scale
+  clusters, but each fragment's frame mentions *every* variable block, so
+  the single relation blows up combinatorially on wide unions (the
+  82-app all-corpus union never finishes encoding).
+* ``partitioned`` — keep the disjunctive partition: one cluster per
+  app/event fragment, stored as its x-side firing conjuncts plus the
+  cube of written next values, with no frame constraints at all.  Images
+  and preimages are computed fragment by fragment through
+  :meth:`repro.mc.bdd.BDD.and_exists_list`, which existentially
+  quantifies each variable out as soon as no later conjunct of the
+  schedule mentions it; untouched attributes simply *stay in place*
+  (the frame is implicit), so no BDD ever mentions more variables than
+  one fragment touches.  This is Burch et al.'s partitioned transition
+  relation specialised to asynchronous interleaving, and it is what
+  makes the all-corpus union checkable.
+
+``auto`` picks per model: partitioned above
+:data:`PARTITION_FRAGMENT_THRESHOLD` fragments, monolithic below (small
+unions check marginally faster on the fused relation).  Both encodings
+arm sifting-based dynamic variable reordering
+(:meth:`repro.mc.bdd.BDD.sift`) on node-count growth during encoding and
+reachability, moving interleaved (x, y) pairs as indivisible groups so
+the pairing invariant survives any reorder.
 """
 
 from __future__ import annotations
@@ -52,6 +81,37 @@ from repro.model.extractor import (
 from repro.model.kripke import KripkeState, attr_prop, transition_props
 from repro.model.statemodel import StateModel, Transition
 from repro.platform.events import Event
+
+
+#: Recognized relation encodings.
+ENCODINGS = ("auto", "monolithic", "partitioned")
+
+#: Fragment count beyond which ``auto`` switches from the monolithic
+#: relation to the disjunctive partition.  Paper-scale clusters (every
+#: Table-4 group, every MalIoT environment — the 13-app cluster encodes
+#: ~70 fragments) stay monolithic; corpus-wide unions partition.
+PARTITION_FRAGMENT_THRESHOLD = 96
+
+#: Live-node-count trigger for the first automatic sift during encoding
+#: and reachability (doubles after every reorder, CUDD-style).
+REORDER_NODE_THRESHOLD = 60_000
+
+
+def resolve_encoding(encoding: str, fragment_count: int) -> str:
+    """Pick the relation encoding for a model of ``fragment_count``
+    fragments: ``auto`` partitions above
+    :data:`PARTITION_FRAGMENT_THRESHOLD`; explicit choices are honored."""
+    if encoding not in ENCODINGS:
+        raise ValueError(
+            f"unknown encoding {encoding!r}; expected one of {', '.join(ENCODINGS)}"
+        )
+    if encoding != "auto":
+        return encoding
+    return (
+        "partitioned"
+        if fragment_count > PARTITION_FRAGMENT_THRESHOLD
+        else "monolithic"
+    )
 
 
 @dataclass(frozen=True)
@@ -72,31 +132,89 @@ class Fragment:
     via_reflection: bool = False
 
 
+@dataclass(frozen=True)
+class _Partition:
+    """One cluster of the disjunctive transition partition.
+
+    The relation restricted to one fragment is
+    ``fire(x) & writes(y) & frame(x, y)`` — but the frame is never built:
+    images keep the untouched current-state variables in place and only
+    quantify ``quant_x`` (the written blocks plus the incoming-fragment
+    block), then stamp ``write_x``, the written values re-encoded over
+    *current*-state variables.
+    """
+
+    fragment: Fragment
+    #: x-side firing conjuncts (change condition + guard atoms), kept
+    #: unconjoined so the early-quantification schedule can interleave
+    #: them with the frontier set.
+    fire: tuple[int, ...]
+    #: The conjunction of ``fire`` (used for preimages and deadlock).
+    fire_all: int
+    #: Written values + fragment id, as a cube over x variables.
+    write_x: int
+    #: x variables whose post-value is fixed by the fragment.
+    quant_x: tuple[str, ...]
+
+
 class SymbolicUnionModel:
     """A union state model compiled to BDDs, product never enumerated.
 
     Built from a :func:`repro.model.union.build_union_skeleton` result:
     the skeleton's ``rule_origins`` carry every app's renamed rules, its
     ``attributes`` are the shared variable blocks.  Exposes the transition
-    relation, the initial-state set, the reachable set with its BFS
-    frontiers, and a proposition map — everything
+    relation (monolithic encoding) or the disjunctive partition
+    (``partitioned``), the initial-state set, the reachable set with its
+    BFS frontiers, and a proposition map — everything
     :class:`repro.mc.symbolic.SymbolicModelChecker` needs.
     """
 
-    def __init__(self, model: StateModel) -> None:
+    def __init__(
+        self,
+        model: StateModel,
+        encoding: str = "auto",
+        reorder_threshold: int | None = REORDER_NODE_THRESHOLD,
+        written: frozenset[tuple[str, str, str]] | None = None,
+    ) -> None:
         # A materialized model works too (its states list is simply
         # ignored); the point is that a skeleton suffices.
+        #
+        # ``written`` overrides the app-written value set that exempts
+        # events from the fire-on-change rule.  The default derives it
+        # from the rules (multi-app cascade semantics, Sec. 4.4); the
+        # single-app symbolic path passes ``frozenset()`` to match the
+        # explicit single-app expansion, which never self-stimulates.
         self.model = model
         self.bdd = BDD()
 
         from repro.model.union import union_written_values
 
-        self._written = union_written_values(model.rule_origins)
+        self._written = (
+            union_written_values(model.rule_origins) if written is None else written
+        )
         descriptors = self._enumerate_fragments()
         self.fragments: dict[int, Fragment] = {f.fid: f for f, _s in descriptors}
+        self.requested_encoding = encoding
+        self.encoding = resolve_encoding(encoding, len(self.fragments))
 
-        # ---- variable allocation: attribute blocks, then fragment block,
-        # x/y interleaved inside every block.
+        # ---- variable allocation: the fragment block on top, then the
+        # attribute blocks, x/y interleaved inside every block.  Top
+        # placement matters: reachable sets and frontiers are unions of
+        # per-fragment-labelled slices, and with the label on top such a
+        # union is a prefix tree over the fragment id whose size is the
+        # *sum* of the per-fragment slices.  With the label at the bottom
+        # it is the attributes -> fragment-set map, which explodes
+        # combinatorially on wide unions (measured: a 14-app frontier
+        # grows 128k nodes bottom-labelled vs ~2k top-labelled).
+        nfrag = len(self.fragments)
+        self._frag_bits = max(1, nfrag.bit_length())
+        self._frag_x: list[str] = []
+        self._frag_y: list[str] = []
+        for bit in range(self._frag_bits):
+            self.bdd.add_var(f"fb{bit}x")
+            self.bdd.add_var(f"fb{bit}y")
+            self._frag_x.append(f"fb{bit}x")
+            self._frag_y.append(f"fb{bit}y")
         self._block_bits: list[int] = [
             max(1, (len(attr.domain) - 1).bit_length()) for attr in model.attributes
         ]
@@ -111,28 +229,66 @@ class SymbolicUnionModel:
                 self.bdd.add_var(ys[-1])
             self._xbits.append(xs)
             self._ybits.append(ys)
-        nfrag = len(self.fragments)
-        self._frag_bits = max(1, nfrag.bit_length())
-        self._frag_x: list[str] = []
-        self._frag_y: list[str] = []
-        for bit in range(self._frag_bits):
-            self.bdd.add_var(f"fb{bit}x")
-            self.bdd.add_var(f"fb{bit}y")
-            self._frag_x.append(f"fb{bit}x")
-            self._frag_y.append(f"fb{bit}y")
         self.xvars = [v for xs in self._xbits for v in xs] + self._frag_x
         self.yvars = [v for ys in self._ybits for v in ys] + self._frag_y
         self._x_to_y = dict(zip(self.xvars, self.yvars))
         self._y_to_x = dict(zip(self.yvars, self.xvars))
 
+        # ---- dynamic reordering: sift (x, y) pairs as indivisible groups
+        # whenever the node table outgrows the threshold.  Armed only while
+        # this constructor runs: every live id below is protected as it is
+        # stored, which is exactly the window where the GC root set is
+        # fully enumerable.
+        if reorder_threshold is not None:
+            self.bdd.set_auto_reorder(self.reorder_groups(), reorder_threshold)
+
         # ---- state-space pieces.
-        self.valid = self.bdd.conj(
-            [self._block_valid(index) for index in range(len(model.attributes))]
+        protect = self.bdd.protect
+        self.valid = protect(
+            self.bdd.conj(
+                [self._block_valid(index) for index in range(len(model.attributes))]
+            )
         )
-        self.initial = self.bdd.and_(self.valid, self._frag_cube(0))
-        self.relation = self._build_relation(descriptors)
+        self.initial = protect(self.bdd.and_(self.valid, self._frag_cube(0)))
+        self.partitions: list[_Partition] | None
+        #: States without an enabled fragment (self-loop targets); kept in
+        #: partitioned mode where the totalising loops are implicit.
+        self._dead: int | None
+        if self.encoding == "partitioned":
+            self.relation = None
+            self.partitions = self._build_partitions(descriptors)
+        else:
+            self.relation = protect(self._build_relation(descriptors))
+            self.partitions = None
+            self._dead = None
         self.reachable, self.frontiers = self._compute_reachable()
+        protect(self.reachable)
+        # Last safe point: everything live is protected, so give the
+        # manager one more reorder opportunity before the CTL phase runs
+        # on a frozen order (the checker cannot enumerate its transient
+        # fixpoint roots, so reordering is disarmed beyond this line).
+        self.bdd.maybe_reorder()
+        self.bdd.disable_auto_reorder()
         self.prop_map = self._build_prop_map()
+        for prop in self.prop_map.values():
+            protect(prop)
+
+    def reorder_groups(self) -> list[list[str]]:
+        """The sifting groups: every interleaved (x, y) variable pair.
+
+        Moving pairs as blocks is what preserves the encoder's pairing
+        invariant — after any reorder, each current-state bit is still
+        immediately followed by its next-state twin.
+        """
+        groups = [
+            [xname, yname]
+            for xs, ys in zip(self._xbits, self._ybits)
+            for xname, yname in zip(xs, ys)
+        ]
+        groups.extend(
+            [xname, yname] for xname, yname in zip(self._frag_x, self._frag_y)
+        )
+        return groups
 
     # ------------------------------------------------------------------
     # Fragment enumeration (mirrors extractor._expand_summary, minus the
@@ -317,30 +473,47 @@ class SymbolicUnionModel:
     # ------------------------------------------------------------------
     # Relation
     # ------------------------------------------------------------------
+    def _fire_conjuncts(self, fragment: Fragment, summary) -> list[int] | None:
+        """The x-side firing conjuncts of one fragment, or None when it
+        can never fire.
+
+        The single definition of the firing semantics shared by both
+        encodings (the monolithic relation conjoins the list, the
+        partition keeps it for the early-quantification schedule):
+
+        * the fire-on-change condition — device events fire on attribute
+          *changes*, except that app-written values re-stimulate
+          co-installed subscribers (multi-app cascades, Sec. 4.4);
+        * every guard atom's not-definitely-false region.
+        """
+        bdd = self.bdd
+        index, new_value = fragment.moved_index, fragment.new_value
+        conjuncts: list[int] = []
+        if index is not None and new_value is not None:
+            attr = self.model.attributes[index]
+            if (
+                not attr.is_numeric
+                and (attr.device, attr.attribute, new_value) not in self._written
+            ):
+                conjuncts.append(bdd.not_(self.value_cube(index, new_value)))
+        for atom in summary.condition:
+            term = self._atom_bdd(atom, index, new_value, summary.entry.event)
+            if term == bdd.FALSE:
+                return None
+            if term != bdd.TRUE:
+                conjuncts.append(term)
+        return conjuncts
+
     def _build_relation(self, descriptors) -> int:
         bdd = self.bdd
         terms = []
         for fragment, summary in descriptors:
-            index, new_value = fragment.moved_index, fragment.new_value
-            term = bdd.TRUE
-            if index is not None and new_value is not None:
-                attr = self.model.attributes[index]
-                if (
-                    not attr.is_numeric
-                    and (attr.device, attr.attribute, new_value) not in self._written
-                ):
-                    # Device events fire on attribute *changes* — except
-                    # that app-written values re-stimulate co-installed
-                    # subscribers (multi-app cascades, Sec. 4.4).
-                    term = bdd.not_(self.value_cube(index, new_value))
-            for atom in summary.condition:
-                term = bdd.and_(
-                    term, self._atom_bdd(atom, index, new_value, summary.entry.event)
-                )
-                if term == bdd.FALSE:
-                    break
-            if term == bdd.FALSE:
+            conjuncts = self._fire_conjuncts(fragment, summary)
+            if conjuncts is None:
                 continue
+            term = bdd.conj(conjuncts)
+            if term == bdd.FALSE:
+                continue  # contradictory guard atoms: never fires
             written = dict(fragment.writes)
             for attr_index in range(len(self.model.attributes)):
                 if attr_index in written:
@@ -350,8 +523,11 @@ class SymbolicUnionModel:
                 else:
                     term = bdd.and_(term, self._block_identity(attr_index))
             term = bdd.and_(term, self._frag_cube(fragment.fid, prime=True))
-            terms.append(term)
+            terms.append(bdd.protect(term))
+            bdd.maybe_reorder()
         relation = bdd.disj(terms)
+        for term in terms:
+            bdd.unprotect(term)
         # Totalise: deadlocked states self-loop, keeping their incoming
         # label — CTL semantics require a total relation.
         has_successor = bdd.exists(self.yvars, relation)
@@ -361,15 +537,99 @@ class SymbolicUnionModel:
         return relation
 
     # ------------------------------------------------------------------
+    # The disjunctive partition (no frames, no monolithic relation)
+    # ------------------------------------------------------------------
+    def _build_partitions(self, descriptors) -> list[_Partition]:
+        bdd = self.bdd
+        partitions: list[_Partition] = []
+        fire_terms: list[int] = []
+        for fragment, summary in descriptors:
+            conjuncts = self._fire_conjuncts(fragment, summary)
+            if conjuncts is None:
+                continue
+            fire_all = bdd.conj(conjuncts)
+            if fire_all == bdd.FALSE:
+                continue  # contradictory guard atoms: the fragment never fires
+            written = dict(fragment.writes)
+            write_terms = [
+                self.value_cube(attr_index, value)
+                for attr_index, value in sorted(written.items())
+            ]
+            write_terms.append(self._frag_cube(fragment.fid))
+            write_x = bdd.conj(write_terms)
+            quant_x = tuple(
+                name
+                for attr_index in sorted(written)
+                for name in self._xbits[attr_index]
+            ) + tuple(self._frag_x)
+            for piece in conjuncts:
+                bdd.protect(piece)
+            bdd.protect(fire_all)
+            bdd.protect(write_x)
+            partitions.append(
+                _Partition(
+                    fragment=fragment,
+                    fire=tuple(conjuncts),
+                    fire_all=fire_all,
+                    write_x=write_x,
+                    quant_x=quant_x,
+                )
+            )
+            fire_terms.append(fire_all)
+            bdd.maybe_reorder()
+        # Deadlocked states self-loop (identity frame, incoming label
+        # kept): with the frame implicit, the loop is just "stay put".
+        enabled = bdd.disj(fire_terms)
+        self._dead = bdd.protect(bdd.and_(self.valid, bdd.not_(enabled)))
+        return partitions
+
+    # ------------------------------------------------------------------
     # Reachability
     # ------------------------------------------------------------------
     def post(self, states: int) -> int:
-        """Symbolic image: successors of ``states`` under the relation."""
+        """Symbolic image: successors of ``states`` under the relation.
+
+        Partitioned: fragment by fragment — quantify the written blocks
+        out of ``states & fire`` on the early schedule (untouched blocks
+        stay in place, the frame is implicit), stamp the written values,
+        and disjoin; deadlocked states contribute themselves.  Monolithic:
+        one fused relational product.  Both encodings return the same set.
+        """
+        if self.partitions is not None:
+            bdd = self.bdd
+            terms = []
+            for part in self.partitions:
+                image = bdd.and_exists_list(
+                    list(part.quant_x), [states, *part.fire]
+                )
+                if image == bdd.FALSE:
+                    continue
+                terms.append(bdd.and_(part.write_x, image))
+            terms.append(bdd.and_(states, self._dead))
+            return bdd.disj(terms)
         primed = self.bdd.and_exists(self.xvars, self.relation, states)
         return self.bdd.rename(primed, self._y_to_x)
 
     def pre(self, states: int) -> int:
-        """Symbolic preimage of ``states`` under the relation."""
+        """Symbolic preimage of ``states`` under the relation.
+
+        Partitioned: for each fragment, cofactor ``states`` on the written
+        values and the fragment id (quantifying those blocks out), then
+        conjoin the firing condition; deadlocked states in ``states`` are
+        their own predecessors.
+        """
+        if self.partitions is not None:
+            bdd = self.bdd
+            terms = []
+            for part in self.partitions:
+                hit = bdd.and_exists_list(
+                    list(part.quant_x), [states, part.write_x]
+                )
+                if hit == bdd.FALSE:
+                    continue
+                terms.append(bdd.and_(part.fire_all, hit))
+            terms.append(bdd.and_(states, self._dead))
+            return bdd.disj(terms)
         primed = self.bdd.rename(states, self._x_to_y)
         return self.bdd.and_exists(self.yvars, self.relation, primed)
 
@@ -379,17 +639,21 @@ class SymbolicUnionModel:
         Returns (reachable set, BFS frontiers): ``frontiers[i]`` holds the
         states first reached in exactly ``i`` steps — the onion rings that
         counterexample extraction walks backwards for shortest paths.
+        Between iterations the manager may sift (node-count trigger); the
+        frontiers are protected as they are found, so a mid-fixpoint
+        reorder never invalidates what witness decoding walks later.
         """
         frontier = self.initial
         reached = self.initial
-        frontiers = [frontier]
+        frontiers = [self.bdd.protect(frontier)]
         while True:
             step = self.post(frontier)
             frontier = self.bdd.and_(step, self.bdd.not_(reached))
             if frontier == self.bdd.FALSE:
                 return reached, frontiers
-            frontiers.append(frontier)
+            frontiers.append(self.bdd.protect(frontier))
             reached = self.bdd.or_(reached, frontier)
+            self.bdd.maybe_reorder(extra_roots=(reached,))
 
     # ------------------------------------------------------------------
     # Propositions and decoding
@@ -465,14 +729,19 @@ class SymbolicUnionModel:
 def encode_union(
     models: list[StateModel],
     shared_devices: dict[tuple[str, str], str] | None = None,
+    encoding: str = "auto",
 ) -> SymbolicUnionModel:
     """Compile app state models into one symbolic union model.
 
     The convenience entry point: builds the non-materializing union
     skeleton (shared attribute variables for shared device handles) and
     encodes it.  ``shared_devices`` has :func:`build_union_model`'s
-    meaning.
+    meaning; ``encoding`` picks the relation representation (``auto``,
+    ``monolithic``, or ``partitioned`` — see the module docstring).
     """
     from repro.model.union import build_union_skeleton
 
-    return SymbolicUnionModel(build_union_skeleton(models, shared_devices=shared_devices))
+    return SymbolicUnionModel(
+        build_union_skeleton(models, shared_devices=shared_devices),
+        encoding=encoding,
+    )

@@ -66,13 +66,21 @@ class ModelExtractor:
         self.executor = executor or SymbolicExecutor(ir, self.db)
 
     # ==================================================================
-    def extract(self) -> StateModel:
+    def extract(self, materialize: bool = True) -> StateModel:
+        """Extract the app's state model.
+
+        ``materialize=False`` skips state enumeration and rule expansion
+        (the two budget-bound steps), returning a skeleton carrying only
+        the attributes, domains, and symbolic rules — enough for the
+        symbolic (BDD) checker to verify apps whose domain product blows
+        the explicit budget without ever enumerating a state.
+        """
         rules = self.executor.run_all()
         attributes, domains = self._state_attributes(rules)
         raw = 1
         for attr in attributes:
             raw *= self._raw_size(attr)
-        states = self._enumerate_states(attributes)
+        states = self._enumerate_states(attributes) if materialize else []
         model = StateModel(
             name=self.ir.app.name,
             attributes=attributes,
@@ -82,7 +90,8 @@ class ModelExtractor:
             raw_state_count=raw,
             apps=[self.ir.app.name],
         )
-        expand_rules_into(model, rules, self.ir.app.name, self.db)
+        if materialize:
+            expand_rules_into(model, rules, self.ir.app.name, self.db)
         return model
 
     # ==================================================================
@@ -547,9 +556,11 @@ def extract_model(
     db: CapabilityDatabase | None = None,
     abstract_numeric: bool = True,
     max_states: int = 250_000,
+    materialize: bool = True,
 ) -> StateModel:
-    """Extract the state model of one app."""
+    """Extract the state model of one app (``materialize=False`` returns
+    the budget-free skeleton for symbolic checking)."""
     extractor = ModelExtractor(
         ir, db=db, abstract_numeric=abstract_numeric, max_states=max_states
     )
-    return extractor.extract()
+    return extractor.extract(materialize=materialize)

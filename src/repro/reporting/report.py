@@ -13,15 +13,24 @@ def render_report(analysis: AppAnalysis | EnvironmentAnalysis) -> str:
 
 def _render_app(analysis: AppAnalysis) -> str:
     model = analysis.model
+    # The symbolic fallback (models past the extractor budget) never
+    # materializes states/transitions: report the domain-product estimate
+    # and the BDD relation instead of a misleading "0".
+    states = f"states: {model.size() or analysis.state_estimate}"
+    if analysis.backend == "explicit":
+        states += f"  (raw, before reduction: {model.raw_state_count})"
+        transitions = f"transitions: {len(model.transitions)}"
+    else:
+        transitions = "transitions: symbolic (BDD-encoded relation)"
     lines = [
         f"=== Soteria analysis: {analysis.app.name} ===",
         "",
         "--- Intermediate representation ---",
         analysis.ir.render(),
         "",
-        "--- State model ---",
-        f"states: {model.size()}  (raw, before reduction: {model.raw_state_count})",
-        f"transitions: {len(model.transitions)}",
+        f"--- State model ({analysis.backend} backend) ---",
+        states,
+        transitions,
         f"attributes: {', '.join(a.qualified for a in model.attributes)}",
         "",
         "--- Property verification ---",

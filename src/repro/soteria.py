@@ -18,9 +18,15 @@ model checking on the union through one of two interchangeable backends:
   the budget (small models check faster explicitly and keep the Kripke
   structure around for callers), symbolic beyond it.
 
-Both backends produce identical violation sets — the differential test
-suite asserts per-formula agreement — so the choice is purely a
-performance/scalability decision.
+The symbolic backend additionally takes an ``encoding`` knob
+(``monolithic`` | ``partitioned`` | ``auto``): the partitioned encoding
+keeps the transition relation as a disjunctive fragment partition with
+early quantification and is what checks the 82-app all-corpus union
+(see :mod:`repro.model.encoder`).
+
+All backends and encodings produce identical violation sets — the
+differential test suite asserts per-formula agreement — so the choice is
+purely a performance/scalability decision.
 """
 
 from __future__ import annotations
@@ -38,6 +44,8 @@ from repro.model import (
     estimate_union_states,
     extract_model,
 )
+from repro.model.encoder import ENCODINGS
+from repro.model.extractor import StateExplosionError
 from repro.model.kripke import KripkeStructure
 from repro.platform.capabilities import CapabilityDatabase, default_database
 from repro.platform.smartapp import SmartApp
@@ -59,16 +67,24 @@ BACKENDS = ("auto", "explicit", "symbolic")
 
 @dataclass
 class AppAnalysis:
-    """Everything Soteria derives from one app."""
+    """Everything Soteria derives from one app.
+
+    ``kripke`` is None when the app was checked symbolically (a model
+    whose domain product exceeds the extractor's explicit budget is never
+    materialized — ``backend`` records which checker ran, and
+    ``state_estimate`` the domain-product size either way).
+    """
 
     app: SmartApp
     ir: AppIR
     model: StateModel
-    kripke: KripkeStructure
+    kripke: KripkeStructure | None
     violations: list[Violation] = field(default_factory=list)
     checked_properties: list[str] = field(default_factory=list)
     check_results: dict[str, list[CheckResult]] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
+    backend: str = "explicit"
+    state_estimate: int = 0
 
     def violated_ids(self) -> set[str]:
         return {v.property_id for v in self.violations}
@@ -96,6 +112,9 @@ class EnvironmentAnalysis:
     backend: str = "explicit"
     state_estimate: int = 0
     check_results: dict[str, list[CheckResult]] = field(default_factory=dict)
+    #: Relation encoding the symbolic backend used (``monolithic`` or
+    #: ``partitioned``); None when the explicit backend ran.
+    encoding: str | None = None
 
     def multi_app_violations(self) -> list[Violation]:
         """Violations involving two or more apps (the Table 4 kind)."""
@@ -106,14 +125,44 @@ class EnvironmentAnalysis:
 
 
 # ======================================================================
+def _validate_knobs(backend: str, encoding: str) -> None:
+    """Fail fast on a misspelled knob — even when the value would never
+    be consulted on this particular input (e.g. a small model resolving
+    to the explicit backend must still reject a bogus encoding)."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    if encoding not in ENCODINGS:
+        raise ValueError(
+            f"unknown encoding {encoding!r}; expected one of {', '.join(ENCODINGS)}"
+        )
+
+
 def analyze_app(
     source: str | SmartApp,
     name: str | None = None,
     db: CapabilityDatabase | None = None,
     catalog: PropertyCatalog | None = None,
     abstract_numeric: bool = True,
+    backend: str = "auto",
+    encoding: str = "auto",
 ) -> AppAnalysis:
-    """Run the full Soteria pipeline on a single app."""
+    """Run the full Soteria pipeline on a single app.
+
+    ``backend`` picks the CTL checker: ``explicit`` materializes the
+    Kripke structure (raising
+    :class:`~repro.model.extractor.StateExplosionError` past the
+    extractor budget, the pre-symbolic behaviour), ``symbolic`` compiles
+    the app's rules to BDDs without enumerating a single state, and
+    ``auto`` (the default) stays explicit while the model fits the budget
+    and falls back to the symbolic checker when it does not — so no app
+    is too wide to analyze.  ``encoding`` is the symbolic relation
+    encoding (see :mod:`repro.model.encoder`).  The symbolic path leaves
+    ``kripke`` as None and skips the determinism (DET) check, which is
+    defined on materialized transitions.
+    """
+    _validate_knobs(backend, encoding)
     db = db or default_database()
     catalog = catalog or default_catalog()
     app = source if isinstance(source, SmartApp) else SmartApp.from_source(source, name)
@@ -124,15 +173,51 @@ def analyze_app(
     timings["ir"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    model = extract_model(ir, db=db, abstract_numeric=abstract_numeric)
+    chosen = "explicit" if backend == "auto" else backend
+    model: StateModel | None = None
+    if chosen == "explicit":
+        try:
+            model = extract_model(ir, db=db, abstract_numeric=abstract_numeric)
+        except StateExplosionError:
+            if backend == "explicit":
+                raise
+            chosen = "symbolic"  # auto: too wide to enumerate — go symbolic
+    if model is None:
+        model = extract_model(
+            ir, db=db, abstract_numeric=abstract_numeric, materialize=False
+        )
     timings["model"] = time.perf_counter() - start
 
-    start = time.perf_counter()
-    kripke = build_kripke(model)
-    timings["kripke"] = time.perf_counter() - start
+    kripke: KripkeStructure | None = None
+    if chosen == "explicit":
+        start = time.perf_counter()
+        kripke = build_kripke(model)
+        timings["kripke"] = time.perf_counter() - start
+        checker = ExplicitChecker(kripke)
+        labels = kripke.labels
+    else:
+        from repro.mc.symbolic import SymbolicModelChecker
+        from repro.model.encoder import SymbolicUnionModel
+
+        start = time.perf_counter()
+        # The union skeleton of one model is the model itself with
+        # rule_origins populated; the empty ``written`` set keeps the
+        # single-app fire-on-change semantics (no self-stimulation).
+        skeleton = build_union_skeleton([model], db=db)
+        checker = SymbolicModelChecker(
+            SymbolicUnionModel(skeleton, encoding=encoding, written=frozenset())
+        )
+        timings["encode"] = time.perf_counter() - start
+        labels = checker.labels
 
     analysis = AppAnalysis(
-        app=app, ir=ir, model=model, kripke=kripke, timings=timings
+        app=app,
+        ir=ir,
+        model=model,
+        kripke=kripke,
+        timings=timings,
+        backend=chosen,
+        state_estimate=estimate_union_states([model]),
     )
 
     # General properties: checked at state-model construction.
@@ -144,9 +229,7 @@ def analyze_app(
 
     # App-specific properties: CTL model checking.
     start = time.perf_counter()
-    _check_app_specific(
-        analysis, [ir], model, ExplicitChecker(kripke), kripke.labels, catalog
-    )
+    _check_app_specific(analysis, [ir], model, checker, labels, catalog)
     timings["properties"] = time.perf_counter() - start
     return analysis
 
@@ -178,6 +261,7 @@ def analyze_environment(
     shared_devices: dict[tuple[str, str], str] | None = None,
     max_union_states: int | None = None,
     backend: str = "auto",
+    encoding: str = "auto",
 ) -> EnvironmentAnalysis:
     """Analyze a group of apps installed together.
 
@@ -195,7 +279,16 @@ def analyze_environment(
     :class:`~repro.model.extractor.StateExplosionError` before any state
     is enumerated, while ``auto`` switches to the symbolic backend, which
     has no budget because it never materializes states.
+
+    ``encoding`` picks the symbolic backend's relation representation:
+    ``monolithic`` (one fused relation BDD), ``partitioned`` (disjunctive
+    partition, one cluster per app/event fragment, with early
+    quantification — the encoding that scales to the all-corpus union),
+    or ``auto`` (partitioned above
+    :data:`repro.model.encoder.PARTITION_FRAGMENT_THRESHOLD` fragments).
+    The resolved choice lands in :attr:`EnvironmentAnalysis.encoding`.
     """
+    _validate_knobs(backend, encoding)
     db = db or default_database()
     catalog = catalog or default_catalog()
     analyses = [
@@ -209,6 +302,7 @@ def analyze_environment(
 
     timings: dict[str, float] = {}
     kripke: KripkeStructure | None = None
+    used_encoding: str | None = None
     if chosen == "explicit":
         start = time.perf_counter()
         union_kwargs = (
@@ -233,9 +327,11 @@ def analyze_environment(
         timings["union"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        checker = SymbolicModelChecker(SymbolicUnionModel(union))
+        symbolic = SymbolicUnionModel(union, encoding=encoding)
+        checker = SymbolicModelChecker(symbolic)
         timings["encode"] = time.perf_counter() - start
         labels = checker.labels
+        used_encoding = symbolic.encoding
 
     environment = EnvironmentAnalysis(
         analyses=analyses,
@@ -244,6 +340,7 @@ def analyze_environment(
         timings=timings,
         backend=chosen,
         state_estimate=estimate,
+        encoding=used_encoding,
     )
 
     # General properties over the combined rule set.

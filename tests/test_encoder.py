@@ -134,6 +134,123 @@ class TestEncoding:
         assert any(label.startswith("attr:") for label in labels)
 
 
+class TestPartitionedEncoding:
+    """The disjunctive partition must be observationally identical to the
+    monolithic relation: same reachable sets, same frontiers, same images
+    — only the representation (and its scaling) differs."""
+
+    def _both(self):
+        models = [model_of(APP_A), model_of(APP_B)]
+        mono = encode_union(models, encoding="monolithic")
+        part = encode_union(models, encoding="partitioned")
+        return mono, part
+
+    def _count(self, symbolic, f):
+        return symbolic.bdd.count_sat(f) >> len(symbolic.yvars)
+
+    def test_partitions_replace_the_relation(self):
+        mono, part = self._both()
+        assert mono.relation is not None and mono.partitions is None
+        assert part.relation is None and part.partitions
+        assert part.encoding == "partitioned"
+        assert mono.encoding == "monolithic"
+
+    def test_reachable_and_frontiers_agree(self):
+        mono, part = self._both()
+        assert mono.state_count() == part.state_count()
+        assert len(mono.frontiers) == len(part.frontiers)
+        for ring_m, ring_p in zip(mono.frontiers, part.frontiers):
+            assert self._count(mono, ring_m) == self._count(part, ring_p)
+
+    def test_images_and_preimages_agree(self):
+        mono, part = self._both()
+        assert self._count(mono, mono.post(mono.initial)) == self._count(
+            part, part.post(part.initial)
+        )
+        assert self._count(mono, mono.pre(mono.reachable)) == self._count(
+            part, part.pre(part.reachable)
+        )
+
+    def test_per_proposition_reachable_counts_agree(self):
+        mono, part = self._both()
+        assert mono.prop_map.keys() == part.prop_map.keys()
+        for name in mono.prop_map:
+            in_mono = mono.bdd.and_(mono.reachable, mono.prop(name))
+            in_part = part.bdd.and_(part.reachable, part.prop(name))
+            assert self._count(mono, in_mono) == self._count(part, in_part), name
+
+    def test_partition_fragments_only_touch_their_own_blocks(self):
+        _mono, part = self._both()
+        for partition in part.partitions:
+            support = part.bdd.support(partition.write_x)
+            assert support <= set(partition.quant_x), (
+                "write cube mentions variables outside the written blocks"
+            )
+
+    def test_auto_resolution_by_fragment_count(self):
+        from repro.model.encoder import (
+            PARTITION_FRAGMENT_THRESHOLD,
+            resolve_encoding,
+        )
+
+        assert resolve_encoding("auto", 1) == "monolithic"
+        assert (
+            resolve_encoding("auto", PARTITION_FRAGMENT_THRESHOLD + 1)
+            == "partitioned"
+        )
+        assert resolve_encoding("monolithic", 10_000) == "monolithic"
+        assert resolve_encoding("partitioned", 1) == "partitioned"
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            resolve_encoding("fused", 1)
+
+    SELF_WRITER = '''
+definition(name: "AppC")
+preferences { section("s") {
+    input "sw", "capability.switch"
+    input "ms", "capability.motionSensor"
+    input "vd", "capability.valve"
+} }
+def installed() {
+    subscribe(ms, "motion.active", h1)
+    subscribe(sw, "switch.on", h2)
+}
+def h1(evt) { sw.on() }
+def h2(evt) { vd.open() }
+'''
+
+    def test_written_override_disables_self_stimulation(self):
+        # AppC both writes sw.on() and subscribes to switch.on.  Under
+        # union semantics (app-written values re-stimulate subscribers,
+        # Sec. 4.4) the switch.on fragment fires even from states already
+        # "on"; the single-app symbolic path passes written=frozenset()
+        # to keep the explicit extractor's fire-on-change-only semantics.
+        model = model_of(self.SELF_WRITER)
+        from repro.model import build_union_skeleton
+        from repro.model.encoder import SymbolicUnionModel
+
+        skeleton = build_union_skeleton([model])
+        cascading = SymbolicUnionModel(skeleton)
+        solo = SymbolicUnionModel(skeleton, written=frozenset())
+        sw = skeleton.attribute_index("sw", "switch")
+        assert sw is not None
+        for symbolic, refires in ((cascading, True), (solo, False)):
+            # Sources: on-states that did NOT just take the switch.on
+            # transition (deadlock self-loops keep incoming labels and
+            # would otherwise fake a re-fire).
+            already_on = symbolic.bdd.and_(
+                symbolic.bdd.and_(
+                    symbolic.reachable, symbolic.value_cube(sw, "on")
+                ),
+                symbolic.bdd.not_(symbolic.prop("ev:sw.switch.on")),
+            )
+            arrived = symbolic.bdd.and_(
+                symbolic.post(already_on), symbolic.prop("ev:sw.switch.on")
+            )
+            assert (arrived != symbolic.bdd.FALSE) is refires
+
+
 class TestCheckerWitnesses:
     CONFLICT = '''
 definition(name: "Conflict")

@@ -1,0 +1,244 @@
+"""Dynamic BDD variable reordering: sifting must never change semantics.
+
+Reordering is an *in-place* transformation of the shared node table —
+every node id must keep denoting the same boolean function, the unique
+table must stay canonical, and the encoder's interleaved x/y pairing
+invariant must survive any sequence of group moves.  These are
+property-style tests: random formulas, random assignments, forced sifts.
+"""
+
+import random
+
+import pytest
+
+from repro.mc.bdd import BDD
+from repro.model.encoder import SymbolicUnionModel, encode_union
+from repro.model.union import build_union_skeleton
+from repro.model import build_kripke, build_union_model, extract_model
+from repro.ir import build_ir
+from repro.platform.smartapp import SmartApp
+
+
+def _random_formula(bdd, names, rng, depth=4):
+    if depth == 0 or rng.random() < 0.25:
+        name = rng.choice(names)
+        return bdd.var(name) if rng.random() < 0.5 else bdd.nvar(name)
+    choice = rng.random()
+    left = _random_formula(bdd, names, rng, depth - 1)
+    if choice < 0.2:
+        return bdd.not_(left)
+    right = _random_formula(bdd, names, rng, depth - 1)
+    if choice < 0.5:
+        return bdd.and_(left, right)
+    if choice < 0.8:
+        return bdd.or_(left, right)
+    return bdd.xor(left, right)
+
+
+def _random_manager(seed, nvars):
+    rng = random.Random(seed)
+    bdd = BDD()
+    names = [f"v{i}" for i in range(nvars)]
+    for name in names:
+        bdd.add_var(name)
+    functions = [_random_formula(bdd, names, rng) for _ in range(6)]
+    assignments = [
+        {name: rng.random() < 0.5 for name in names} for _ in range(50)
+    ]
+    return bdd, names, functions, assignments
+
+
+class TestSiftingPreservesFunctions:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_bdd_denotes_the_same_function_after_sifting(self, seed):
+        bdd, names, functions, assignments = _random_manager(seed, 10)
+        before = [
+            [bdd.evaluate(f, a) for a in assignments] for f in functions
+        ]
+        bdd.sift(roots=functions)
+        after = [
+            [bdd.evaluate(f, a) for a in assignments] for f in functions
+        ]
+        assert before == after
+        assert sorted(bdd.var_order()) == sorted(names)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unique_table_stays_canonical(self, seed):
+        bdd, _names, functions, _assignments = _random_manager(seed, 8)
+        bdd.sift(roots=functions)
+        for key, node_id in bdd._unique.items():
+            node = bdd._nodes[node_id]
+            assert (node.level, node.low, node.high) == key
+            assert node.low != node.high  # still reduced
+        # No two live nodes share a triple (canonicity).
+        triples = [
+            (n.level, n.low, n.high)
+            for n in bdd._nodes[2:]
+            if n is not None
+        ]
+        assert len(triples) == len(set(triples))
+
+    def test_swap_adjacent_twice_restores_the_order(self):
+        bdd, _names, functions, assignments = _random_manager(99, 6)
+        order = bdd.var_order()
+        before = [[bdd.evaluate(f, a) for a in assignments] for f in functions]
+        bdd.swap_adjacent(2)
+        assert bdd.var_order() != order
+        bdd.swap_adjacent(2)
+        assert bdd.var_order() == order
+        after = [[bdd.evaluate(f, a) for a in assignments] for f in functions]
+        assert before == after
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_grouped_sifting_keeps_groups_adjacent_and_ordered(self, seed):
+        bdd, names, functions, assignments = _random_manager(seed + 50, 10)
+        order = bdd.var_order()
+        groups = [[order[i], order[i + 1]] for i in range(0, len(order), 2)]
+        before = [[bdd.evaluate(f, a) for a in assignments] for f in functions]
+        bdd.sift(groups=groups, roots=functions)
+        new_order = bdd.var_order()
+        for first, second in groups:
+            index = new_order.index(first)
+            assert new_order[index + 1] == second, (
+                f"group ({first}, {second}) split or flipped: {new_order}"
+            )
+        after = [[bdd.evaluate(f, a) for a in assignments] for f in functions]
+        assert before == after
+
+    def test_non_contiguous_groups_rejected(self):
+        bdd, names, functions, _assignments = _random_manager(7, 6)
+        with pytest.raises(ValueError):
+            bdd.sift(groups=[[names[0], names[2]]] + [[n] for n in names[1:2] + names[3:]])
+        with pytest.raises(ValueError):
+            bdd.sift(groups=[[n] for n in names[:-1]])  # not a partition
+
+
+class TestAndExistsList:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_exists_of_conjunction(self, seed):
+        rng = random.Random(seed)
+        bdd = BDD()
+        names = [f"v{i}" for i in range(9)]
+        for name in names:
+            bdd.add_var(name)
+        conjuncts = [_random_formula(bdd, names, rng, 3) for _ in range(4)]
+        quantified = rng.sample(names, rng.randint(1, len(names)))
+        fused = bdd.and_exists_list(quantified, conjuncts)
+        reference = bdd.exists(quantified, bdd.conj(conjuncts))
+        assert fused == reference
+
+    def test_empty_conjunct_list_is_true(self):
+        bdd = BDD()
+        bdd.add_var("a")
+        assert bdd.and_exists_list(["a"], []) == bdd.TRUE
+
+    def test_short_circuits_on_false(self):
+        bdd = BDD()
+        a = bdd.add_var("a")
+        assert bdd.and_exists_list(["a"], [a, bdd.not_(a)]) == bdd.FALSE
+
+
+class TestCollection:
+    def test_protected_roots_survive_unprotected_nodes_collected(self):
+        bdd = BDD()
+        a, b = bdd.add_var("a"), bdd.add_var("b")
+        keep = bdd.protect(bdd.and_(a, b))
+        dead = bdd.xor(a, b)
+        collected = bdd.collect()
+        assert collected >= 1
+        assert bdd._nodes[keep] is not None
+        assert bdd._nodes[dead] is None  # slot cleared, never reused
+        # The protected function still evaluates.
+        assert bdd.evaluate(keep, {"a": True, "b": True})
+
+    def test_maybe_reorder_prefers_collection_over_sifting(self):
+        bdd = BDD()
+        names = [f"v{i}" for i in range(8)]
+        for name in names:
+            bdd.add_var(name)
+        rng = random.Random(3)
+        keep = bdd.protect(_random_formula(bdd, names, rng))
+        for _ in range(60):  # pile up dead intermediates
+            _random_formula(bdd, names, rng)
+        bdd.set_auto_reorder(None, threshold=bdd.size(keep) + 8)
+        ran = bdd.maybe_reorder()
+        # Garbage alone explained the growth: collected, no sift pass.
+        assert not ran
+        assert bdd.reorder_count == 0
+        assert bdd.live_size() <= bdd.size(keep)
+
+    def test_maybe_reorder_sifts_when_live_nodes_outgrow_threshold(self):
+        bdd = BDD()
+        names = [f"v{i}" for i in range(10)]
+        for name in names:
+            bdd.add_var(name)
+        rng = random.Random(4)
+        roots = [bdd.protect(_random_formula(bdd, names, rng)) for _ in range(8)]
+        bdd.set_auto_reorder(None, threshold=4)
+        assert bdd.maybe_reorder()
+        assert bdd.reorder_count == 1
+        for root in roots:
+            assert bdd._nodes[root] is not None or root in (0, 1)
+
+
+# ----------------------------------------------------------------------
+# The encoder's pairing invariant under forced reordering
+# ----------------------------------------------------------------------
+APP_A = '''
+definition(name: "AppA")
+preferences { section("s") {
+    input "sw", "capability.switch"
+    input "ws", "capability.waterSensor"
+} }
+def installed() { subscribe(ws, "water.wet", h) }
+def h(evt) { sw.off() }
+'''
+
+APP_B = '''
+definition(name: "AppB")
+preferences { section("s") {
+    input "sw", "capability.switch"
+    input "ms", "capability.motionSensor"
+} }
+def installed() { subscribe(ms, "motion.active", h) }
+def h(evt) { sw.on() }
+'''
+
+
+def _model_of(source):
+    return extract_model(build_ir(SmartApp.from_source(source)))
+
+
+def _assert_interleaved(symbolic):
+    for xs, ys in zip(symbolic._xbits, symbolic._ybits):
+        for xname, yname in zip(xs, ys):
+            assert symbolic.bdd.level_of(yname) == symbolic.bdd.level_of(xname) + 1
+    for xname, yname in zip(symbolic._frag_x, symbolic._frag_y):
+        assert symbolic.bdd.level_of(yname) == symbolic.bdd.level_of(xname) + 1
+
+
+class TestEncoderReordering:
+    @pytest.mark.parametrize("encoding", ["monolithic", "partitioned"])
+    def test_forced_sift_preserves_interleaving_and_state_count(self, encoding):
+        models = [_model_of(APP_A), _model_of(APP_B)]
+        symbolic = encode_union(models, encoding=encoding)
+        reference = symbolic.state_count()
+        symbolic.bdd.sift(symbolic.reorder_groups())
+        _assert_interleaved(symbolic)
+        assert symbolic.state_count() == reference
+        kripke = build_kripke(build_union_model(models))
+        assert symbolic.state_count() == len(kripke.states)
+
+    @pytest.mark.parametrize("encoding", ["monolithic", "partitioned"])
+    def test_low_threshold_triggers_reorder_during_construction(self, encoding):
+        skeleton = build_union_skeleton([_model_of(APP_A), _model_of(APP_B)])
+        symbolic = SymbolicUnionModel(
+            skeleton, encoding=encoding, reorder_threshold=2
+        )
+        # Either collection alone absorbed the growth or a sift ran;
+        # in both cases the encoded model must be intact.
+        reference = SymbolicUnionModel(
+            skeleton, encoding=encoding, reorder_threshold=None
+        )
+        assert symbolic.state_count() == reference.state_count()
+        _assert_interleaved(symbolic)

@@ -24,7 +24,8 @@ from repro.corpus import groundtruth
 from repro.corpus.batch import analyze_batch
 from repro.mc import ctl
 from repro.mc.symbolic import SymbolicModelChecker
-from repro.model.encoder import encode_union
+from repro.model.encoder import SymbolicUnionModel, encode_union
+from repro.model.union import build_union_skeleton
 from repro.soteria import analyze_environment
 
 #: A handful of curated environments with known *CTL* violations (the
@@ -85,6 +86,51 @@ def test_ag_witnesses_are_explicit_paths(group):
                 )
                 checked += 1
     assert checked, "no AG witnesses found in a known-violating environment"
+
+
+@pytest.mark.parametrize("encoding", ["monolithic", "partitioned"])
+def test_reordering_mid_fixpoint_keeps_frontier_decoding_valid(encoding):
+    """Regression: dynamic reordering during the reachability fixpoint
+    must not corrupt the BFS frontiers that witness extraction decodes.
+
+    A node-count threshold of 2 forces sifting to run repeatedly while
+    the relation is encoded and the frontiers are grown; every decoded
+    frontier state and every AG witness walked back over those frontiers
+    must still be a real node/path of the explicit Kripke structure.
+    """
+    group = tuple(groundtruth.MALIOT_ENVIRONMENTS[0][0])  # App12-14
+    members, nodes, edges, initial = _explicit_graph(group)
+    symbolic = SymbolicUnionModel(
+        build_union_skeleton([m.model for m in members]),
+        encoding=encoding,
+        reorder_threshold=2,
+    )
+    assert symbolic.bdd.reorder_count >= 1, "no reorder ran — test is vacuous"
+
+    # Every frontier still decodes to real states.
+    for ring in symbolic.frontiers:
+        node, _labels = symbolic.decode(symbolic.bdd.any_sat(ring))
+        assert _norm(node) in nodes, f"frontier decoded a phantom state: {node}"
+
+    # AG witnesses walked back over the (reordered-under) frontiers are
+    # real explicit paths from initial states.
+    checker = SymbolicModelChecker(symbolic)
+    checked = 0
+    seen: set[str] = set()
+    for fragment in symbolic.fragments.values():
+        for prop in fragment.props:
+            if not prop.startswith("act:") or prop in seen:
+                continue
+            seen.add(prop)
+            result = checker.check(ctl.AG(ctl.Not(ctl.Prop(prop))))
+            if result.holds or not result.counterexample:
+                continue
+            path = result.counterexample
+            _assert_path(path, nodes, edges)
+            if len(path) > 1:
+                assert _norm(path[0]) in initial
+                checked += 1
+    assert checked, "no failing AG formula produced a multi-step witness"
 
 
 @pytest.mark.parametrize("group", ENVIRONMENTS)
