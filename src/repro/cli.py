@@ -9,6 +9,9 @@ Subcommands::
                   [--pairs] [--all-corpus] [--backend B] [--encoding E]
     soteria fuzz [--seed S] [--count N] [--jobs N] [--out DIR]
                  [--mix DATASET] [--encoding E] [--replay DIR]
+    soteria serve [--host H] [--port P] [--jobs N] [--cache-dir D]
+                  [--state-dir D] [--pool thread|process]
+    soteria cache [--cache-dir D] [--clear]
     soteria list-properties
 
 ``--backend`` selects the union-model checker: ``explicit`` (materialize
@@ -31,6 +34,14 @@ end to end.
 every generated environment; injected violations must be flagged by the
 matching property.  Failing cases are shrunk to minimal reproducers
 under ``--out`` and can be re-run with ``--replay``.
+
+``serve`` runs the analysis-as-a-service HTTP API
+(:mod:`repro.service`): POST SmartApp sources to ``/v1/submissions``,
+poll job status and decoded violation witnesses, and read per-stage
+artifact-cache counters from ``/v1/stats``.  Identical resubmissions
+are deduplicated against the durable job store.  ``cache`` inspects a
+staged artifact cache directory — per-stage entry/byte counts — and
+``--clear`` empties it.
 
 Exit status is 1 when any analyzed app/environment violates a property
 (for ``fuzz``: when any case fails either oracle), 0 when everything is
@@ -208,6 +219,50 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        state_dir=args.state_dir,
+        jobs=args.jobs,
+        pool=args.pool,
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.pipeline.store import ArtifactStore, resolve_cache_dir
+
+    root = resolve_cache_dir(args.cache_dir)
+    if root is None:
+        print(
+            "no cache directory: pass --cache-dir or set $REPRO_CACHE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    store = ArtifactStore(root)
+    if args.clear:
+        store.clear_disk()
+        print(f"cleared staged artifact cache under {root}")
+        return 0
+    info = store.cache_info()
+    print(f"staged artifact cache at {root} (pipeline v{store.version})")
+    print(f"  {'stage':10s} {'entries':>8s} {'bytes':>12s}")
+    total_entries = 0
+    total_bytes = 0
+    for stage, stats in info["stages"].items():
+        print(f"  {stage:10s} {stats['entries']:8d} {stats['bytes']:12d}")
+        total_entries += stats["entries"]
+        total_bytes += stats["bytes"]
+    print(f"  {'total':10s} {total_entries:8d} {total_bytes:12d}")
+    if total_entries == 0:
+        print("  (empty)")
+    return 0
+
+
 def _cmd_list_properties(_args: argparse.Namespace) -> int:
     from repro.properties.appspecific import APP_SPECIFIC_PROPERTIES
 
@@ -381,6 +436,49 @@ def main(argv: list[str] | None = None) -> int:
         help="re-run a persisted reproducer directory instead of fuzzing",
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the analysis-as-a-service HTTP API"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=2, help="analysis workers (default 2)"
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="share stage artifacts via this directory "
+        "(default: $REPRO_CACHE_DIR, else memory-only)",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        help="persist job records under this directory (survives restarts)",
+    )
+    p_serve.add_argument(
+        "--pool",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool flavor; 'process' falls back to threads when "
+        "multiprocessing is unavailable",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the staged artifact cache"
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    p_cache.add_argument(
+        "--clear", action="store_true", help="delete every cached artifact"
+    )
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_list = sub.add_parser("list-properties", help="show the property catalog")
     p_list.set_defaults(func=_cmd_list_properties)

@@ -24,6 +24,12 @@ scripts.  This module turns that loop into a single call:
   environments without working multiprocessing (restricted sandboxes) fall
   back to in-process serial analysis transparently.
 
+Misses run through the staged pipeline (:mod:`repro.pipeline`): with a
+``cache_dir`` configured, each app's per-stage artifacts
+(parse/ir/model/kripke/check) persist next to the whole-analysis blob,
+so later environment sweeps and service submissions replay the per-app
+stages from the same store.
+
 The caches store finished analyses only; entries are never mutated by the
 driver, so shared use across fixtures is safe as long as callers treat the
 results as read-only (which every benchmark does).
@@ -38,7 +44,8 @@ from collections.abc import Iterable
 
 from repro.corpus.diskcache import DiskCache, resolve_cache_dir
 from repro.corpus.loader import app_ids, load_app, load_source
-from repro.soteria import AppAnalysis, analyze_app
+from repro.pipeline.runner import default_pipeline, pipeline_for
+from repro.soteria import AppAnalysis
 
 #: All dataset names, in the paper's presentation order.
 DATASETS = ("official", "thirdparty", "maliot")
@@ -70,9 +77,24 @@ def _disk_put(disk: DiskCache, key: tuple[str, str], analysis: AppAnalysis) -> N
         pass
 
 
-def _analyze_worker(app_id: str) -> tuple[str, AppAnalysis]:
+def _analyze_one(app_id: str, cache_dir: str | os.PathLike | None = None) -> AppAnalysis:
+    """The single compute entry behind every batch miss.
+
+    Runs the staged pipeline for one corpus app — with a disk-backed
+    artifact store when ``cache_dir`` is given, so per-stage artifacts
+    (parse/ir/model/kripke/check) persist alongside the whole-analysis
+    blob and later environment sweeps replay the per-app stages from
+    disk instead of recomputing them.
+    """
+    pipeline = default_pipeline() if cache_dir is None else pipeline_for(cache_dir)
+    return pipeline.app_analysis(load_app(app_id))
+
+
+def _analyze_worker(
+    app_id: str, cache_dir: str | None = None
+) -> tuple[str, AppAnalysis]:
     """Worker-process entry: load (package data) and analyze one app."""
-    return app_id, analyze_app(load_app(app_id))
+    return app_id, _analyze_one(app_id, cache_dir)
 
 
 def _resolve_jobs(jobs: int | None, pending: int, min_parallel: int = 4) -> int:
@@ -187,14 +209,17 @@ def analyze_batch(
         # Commit pool results immediately: if a later serial retry raises
         # (the per-app error a worker swallowed), the completed siblings
         # stay cached and a rerun only redoes the failing app.
+        worker_cache = None if disk_path is None else str(disk_path)
         pool_results = run_in_pool(
-            _analyze_worker, [(app_id,) for app_id in pending], worker_count
+            _analyze_worker,
+            [(app_id, worker_cache) for app_id in pending],
+            worker_count,
         )
         for app_id, analysis in pool_results.items():
             commit(app_id, analysis)
     for app_id in pending:
         if app_id not in results:
-            commit(app_id, analyze_app(load_app(app_id)))
+            commit(app_id, _analyze_one(app_id, disk_path))
     return {app_id: results[app_id] for app_id in ordered}
 
 

@@ -1,43 +1,42 @@
-"""Disk-backed analysis caches: per-app and sweep-level results.
+"""Whole-result disk caches: facades over the stage artifact store.
 
-The in-memory cache of :mod:`repro.corpus.batch` dies with the process, so
-every fresh ``analyze_corpus`` run — a new benchmark invocation, a CI job,
-a CLI call — re-analyzes all 82 apps from source.  This module persists
-finished analyses under a cache directory so cross-process reruns are
-near-instant: a warm sweep only unpickles.
+Historically this module *was* the persistence layer: one pickled
+:class:`~repro.soteria.AppAnalysis` per app, one
+:class:`~repro.soteria.EnvironmentAnalysis` per swept group.  Since the
+staged-pipeline refactor the general mechanism lives in
+:mod:`repro.pipeline.store` — every pipeline stage persists its own
+content-addressed artifact — and the classes here are thin facades that
+store finished results as the two *coarsest* stages of that layout:
 
-Two stores share one directory:
-
-* :class:`DiskCache` — one :class:`~repro.soteria.AppAnalysis` per app;
-* :class:`SweepCache` — one :class:`~repro.soteria.EnvironmentAnalysis`
-  per analyzed app *group*, keyed on the sorted member source digests, so
-  a warm ``soteria sweep`` skips union-model checking entirely.  Checker
-  backends produce identical violation sets (the differential suite
-  enforces it), so the backend is deliberately *not* part of the key — a
-  symbolic run can serve a later explicit request and vice versa.
+* :class:`DiskCache` — stage ``analysis``: one :class:`AppAnalysis` per
+  (app id, source SHA-256), the batch driver's O(1) whole-result probe;
+* :class:`SweepCache` — stage ``sweep``: one :class:`EnvironmentAnalysis`
+  per analyzed app *group*, keyed on the sorted member source digests
+  plus the requested backend/encoding knobs, so a warm ``soteria sweep``
+  skips union-model checking entirely.
 
 Keying and layout
 -----------------
 An app entry is keyed on the triple **(app id, source SHA-256, pipeline
-version)**; a sweep entry on **(sorted member source SHA-256s, pipeline
-version)**.  The version is a directory level, the rest makes up the file
-name::
+version)**; a sweep entry on **(sorted member source SHA-256s, knobs,
+pipeline version)**.  Both live inside the shared artifact-store tree::
 
     <cache-dir>/
       v<PIPELINE_VERSION>/
-        O1-<sha256 of O1's source>.pkl
-        TP12-<sha256 of TP12's source>.pkl
-        ...
-        sweeps/
-          <sha256 over the sorted member digests>.pkl
+        parse/ ir/ model/ kripke/ union/ check/   (per-stage artifacts)
+        analysis/
+          O1-<sha256 of O1's source>.pkl
+          TP12-<sha256 of TP12's source>.pkl
+        sweep/
+          <sha256 over the sorted member digests + knobs>.pkl
 
-* Editing an app changes its source hash — the old app entry and every
-  sweep entry containing it simply stop being referenced (stale files are
-  cleaned up lazily by :meth:`DiskCache.prune`).
-* Bumping :data:`PIPELINE_VERSION` (any change to the analysis semantics:
-  extraction, abstraction, union construction, property catalog)
-  invalidates every entry at once, because lookups only ever see the
-  current version directory.
+* Editing an app changes its source hash — the old entries (and every
+  sweep entry containing it) simply stop being referenced (stale files
+  are cleaned up lazily by :meth:`DiskCache.prune`).
+* Bumping :data:`~repro.pipeline.store.PIPELINE_VERSION` (any change to
+  the analysis semantics: extraction, abstraction, union construction,
+  property catalog, result dataclasses) invalidates every entry at once,
+  because lookups only ever see the current version directory.
 
 Entries are written atomically (temp file + ``os.replace``) so concurrent
 writers — the batch driver's worker processes, parallel CI shards sharing
@@ -50,27 +49,32 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
-import tempfile
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.pipeline.store import (
+    CACHE_DIR_ENV,
+    PIPELINE_VERSION,
+    ArtifactStore,
+    _read_pickle,
+    _write_pickle,
+    resolve_cache_dir,
+)
 from repro.soteria import AppAnalysis, EnvironmentAnalysis
 
-#: Version of the analysis pipeline baked into every cache path.  Bump this
-#: whenever a change anywhere in the pipeline (IR, abstraction, model
-#: extraction, property catalog) can alter an :class:`AppAnalysis`, so
-#: stale results are never served across code changes.
-PIPELINE_VERSION = "3"   # 3: AppAnalysis/EnvironmentAnalysis gained
-                         # backend/encoding fields (partitioned encoding PR)
-
-#: Environment variable consulted when no cache directory is passed
-#: explicitly (CLI ``--cache-dir`` and the ``cache_dir=`` parameters win).
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+__all__ = [
+    "CACHE_DIR_ENV",
+    "PIPELINE_VERSION",
+    "DiskCache",
+    "SweepCache",
+    "resolve_cache_dir",
+]
 
 
 class DiskCache:
-    """One cache directory holding pickled :class:`AppAnalysis` entries."""
+    """Whole-analysis store: stage ``analysis`` of the artifact tree."""
+
+    STAGE = "analysis"
 
     def __init__(self, root: str | os.PathLike, version: str = PIPELINE_VERSION):
         self.root = Path(root)
@@ -84,8 +88,12 @@ class DiskCache:
     def version_dir(self) -> Path:
         return self.root / f"v{self.version}"
 
+    @property
+    def stage_dir(self) -> Path:
+        return self.version_dir / self.STAGE
+
     def path_for(self, app_id: str, digest: str) -> Path:
-        return self.version_dir / f"{app_id}-{digest}.pkl"
+        return self.stage_dir / f"{app_id}-{digest}.pkl"
 
     # ------------------------------------------------------------------
     def get(self, app_id: str, digest: str) -> AppAnalysis | None:
@@ -109,9 +117,9 @@ class DiskCache:
     # ------------------------------------------------------------------
     def entries(self) -> list[Path]:
         """Entry files of the *current* pipeline version, sorted by name."""
-        if not self.version_dir.is_dir():
+        if not self.stage_dir.is_dir():
             return []
-        return sorted(p for p in self.version_dir.iterdir() if p.suffix == ".pkl")
+        return sorted(p for p in self.stage_dir.iterdir() if p.suffix == ".pkl")
 
     def stats(self) -> dict[str, int]:
         return {
@@ -124,39 +132,15 @@ class DiskCache:
     def prune(self) -> int:
         """Delete entries of other pipeline versions; returns the count.
 
-        Lazy garbage collection: stale-version directories are unreachable
-        by lookups, this just reclaims the disk.
+        Lazy garbage collection over the *whole* artifact tree (every
+        stage, not just this facade's): stale-version directories are
+        unreachable by lookups, this just reclaims the disk.
         """
-        removed = 0
-        if not self.root.is_dir():
-            return 0
-
-        def clear(directory: Path) -> int:
-            count = 0
-            for entry in list(directory.iterdir()):
-                if entry.is_dir():
-                    count += clear(entry)
-                else:
-                    try:
-                        entry.unlink()
-                        count += 1
-                    except OSError:
-                        pass
-            try:
-                directory.rmdir()
-            except OSError:
-                pass
-            return count
-
-        for child in self.root.iterdir():
-            if not child.is_dir() or child == self.version_dir:
-                continue
-            removed += clear(child)
-        return removed
+        return ArtifactStore(self.root, version=self.version).prune()
 
 
 class SweepCache:
-    """Sweep-level result store: one environment analysis per app group.
+    """Sweep-level result store: stage ``sweep`` of the artifact tree.
 
     Keyed on the *sorted* member source digests (group order is
     irrelevant: the union's violation set does not depend on it) plus the
@@ -169,6 +153,8 @@ class SweepCache:
     changes its digest and silently invalidates every group containing it.
     """
 
+    STAGE = "sweep"
+
     def __init__(self, root: str | os.PathLike, version: str = PIPELINE_VERSION):
         self.root = Path(root)
         self.version = version
@@ -179,7 +165,7 @@ class SweepCache:
     # ------------------------------------------------------------------
     @property
     def sweep_dir(self) -> Path:
-        return self.root / f"v{self.version}" / "sweeps"
+        return self.root / f"v{self.version}" / self.STAGE
 
     @staticmethod
     def key_for(
@@ -241,50 +227,3 @@ class SweepCache:
             "misses": self.misses,
             "writes": self.writes,
         }
-
-
-# ----------------------------------------------------------------------
-def _read_pickle(path: Path, expected: type) -> object | None:
-    """Load one entry; corrupt or mistyped files are deleted misses."""
-    try:
-        with open(path, "rb") as handle:
-            value = pickle.load(handle)
-    except FileNotFoundError:
-        return None
-    except Exception:
-        value = None
-    if not isinstance(value, expected):
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
-    return value
-
-
-def _write_pickle(path: Path, value: object, prefix: str) -> None:
-    """Write one entry atomically (temp file + ``os.replace``)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=f".{prefix}-", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-
-
-def resolve_cache_dir(cache_dir: str | os.PathLike | None) -> Path | None:
-    """An explicit cache dir, else the ``REPRO_CACHE_DIR`` env, else None."""
-    if cache_dir is not None:
-        return Path(cache_dir)
-    env = os.environ.get(CACHE_DIR_ENV)
-    if env is not None and env.strip():
-        return Path(env.strip())
-    return None

@@ -23,6 +23,12 @@ the driver
 
 Cases are planned, generated, and checked deterministically from the
 seed; worker processes only change wall-clock time, never verdicts.
+
+Analyses run through the staged pipeline (:mod:`repro.pipeline`) behind
+the :mod:`repro.soteria` facades: within one case the explicit and
+symbolic runs share every per-app parse/ir/model artifact, and the two
+symbolic encodings of a three-way differential share the union skeleton
+— the campaign re-derives nothing a differential sibling already built.
 """
 
 from __future__ import annotations

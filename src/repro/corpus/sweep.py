@@ -49,8 +49,9 @@ from repro.corpus.loader import app_ids, load_app, load_source
 from repro.ir import build_ir
 from repro.model.extractor import StateExplosionError
 from repro.model.union import estimate_union_states
+from repro.pipeline.runner import default_pipeline, pipeline_for
 from repro.platform.events import EventKind
-from repro.soteria import AppAnalysis, EnvironmentAnalysis, analyze_environment
+from repro.soteria import AppAnalysis, EnvironmentAnalysis
 
 #: Name of the abstract broadcast channel shared by every app that reads
 #: or writes the location mode (``setLocationMode`` / mode subscriptions).
@@ -259,10 +260,20 @@ def _union_outcome(
     max_union_states: int | None,
     backend: str = "auto",
     encoding: str = "auto",
+    cache_dir: str | None = None,
 ) -> SweepOutcome:
-    """Build + check one union model from precomputed per-app analyses."""
+    """Build + check one union model from precomputed per-app analyses.
+
+    Runs through the staged pipeline over ``cache_dir`` when given: the
+    union/check artifacts persist per stage, so a re-sweep with different
+    knobs (a new catalog, a forced encoding) replays the member models
+    and the union skeleton from the store.
+    """
+    pipeline = (
+        default_pipeline() if cache_dir is None else pipeline_for(cache_dir)
+    )
     try:
-        environment = analyze_environment(
+        environment = pipeline.environment_analysis(
             list(analyses),
             max_union_states=max_union_states,
             backend=backend,
@@ -281,8 +292,11 @@ def _sweep_worker(
     max_union_states: int | None,
     backend: str,
     encoding: str,
+    cache_dir: str | None = None,
 ) -> tuple[tuple[str, ...], SweepOutcome]:
-    return group, _union_outcome(group, analyses, max_union_states, backend, encoding)
+    return group, _union_outcome(
+        group, analyses, max_union_states, backend, encoding, cache_dir
+    )
 
 
 def sweep_environments(
@@ -350,8 +364,9 @@ def sweep_environments(
     # attributes, so doomed groups are failed without shipping their
     # analyses to any worker.  The StateExplosionError catch in
     # _union_outcome stays as the backstop.
+    worker_cache = None if disk_path is None else str(disk_path)
     payloads: list[
-        tuple[tuple[str, ...], list[AppAnalysis], int | None, str, str]
+        tuple[tuple[str, ...], list[AppAnalysis], int | None, str, str, str | None]
     ] = []
     for group in pending_groups:
         group_analyses = [analyses[app_id] for app_id in group]
@@ -364,17 +379,19 @@ def sweep_environments(
                     error=f"union of {list(group)}: {total} states exceed budget",
                 )
                 continue
-        payloads.append((group, group_analyses, max_union_states, backend, encoding))
+        payloads.append(
+            (group, group_analyses, max_union_states, backend, encoding, worker_cache)
+        )
 
     # min_parallel=2: a sweep payload is a whole union-model check, so
     # even two groups are worth a pool (unlike batch's cheap per-app jobs).
     worker_count = _resolve_jobs(jobs, len(payloads), min_parallel=2)
     if len(payloads) > 1 and worker_count > 1:
         outcomes.update(run_in_pool(_sweep_worker, payloads, worker_count))
-    for group, group_analyses, budget, chosen, chosen_encoding in payloads:
+    for group, group_analyses, budget, chosen, chosen_encoding, group_cache in payloads:
         if group not in outcomes:
             outcomes[group] = _union_outcome(
-                group, group_analyses, budget, chosen, chosen_encoding
+                group, group_analyses, budget, chosen, chosen_encoding, group_cache
             )
 
     if sweeps is not None:

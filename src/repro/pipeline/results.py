@@ -1,0 +1,89 @@
+"""Result dataclasses assembled from pipeline stage artifacts.
+
+These are the public result types of :func:`repro.analyze_app` and
+:func:`repro.analyze_environment` (re-exported from
+:mod:`repro.soteria` for compatibility).  They live here, below the
+runner, because the pipeline both produces them (assembly of stage
+artifacts) and consumes them (a precomputed :class:`AppAnalysis` handed
+to an environment run seeds the per-app stages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir import AppIR
+from repro.mc.explicit import CheckResult
+from repro.model import StateModel
+from repro.model.kripke import KripkeStructure
+from repro.platform.smartapp import SmartApp
+from repro.properties.catalog import Violation
+
+
+@dataclass
+class AppAnalysis:
+    """Everything Soteria derives from one app.
+
+    ``kripke`` is None when the app was checked symbolically (a model
+    whose domain product exceeds the extractor's explicit budget is never
+    materialized — ``backend`` records which checker ran, and
+    ``state_estimate`` the domain-product size either way).
+    ``skipped_properties`` names checks the chosen backend could not run
+    (the symbolic path skips DET, which is defined on materialized
+    transitions) — surfaced instead of silently omitted.
+    """
+
+    app: SmartApp
+    ir: AppIR
+    model: StateModel
+    kripke: KripkeStructure | None
+    violations: list[Violation] = field(default_factory=list)
+    checked_properties: list[str] = field(default_factory=list)
+    check_results: dict[str, list[CheckResult]] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    backend: str = "explicit"
+    state_estimate: int = 0
+    #: Property ids the backend skipped (e.g. ``DET`` on the symbolic
+    #: path); empty when every applicable check ran.
+    skipped_properties: list[str] = field(default_factory=list)
+    #: Relation encoding the symbolic backend used; None when explicit.
+    encoding: str | None = None
+    #: The numeric-abstraction knob the model stage ran with.
+    abstract_numeric: bool = True
+
+    def violated_ids(self) -> set[str]:
+        return {v.property_id for v in self.violations}
+
+    def has_violations(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclass
+class EnvironmentAnalysis:
+    """Multi-app analysis over the union state model (Algorithm 2).
+
+    ``kripke`` is populated by the explicit backend only: the symbolic
+    backend never materializes the union product, so there is no explicit
+    structure to hand out (``backend`` records which one ran, and
+    ``state_estimate`` the domain-product size either way).
+    """
+
+    analyses: list[AppAnalysis]
+    union_model: StateModel
+    kripke: KripkeStructure | None
+    violations: list[Violation] = field(default_factory=list)
+    checked_properties: list[str] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+    backend: str = "explicit"
+    state_estimate: int = 0
+    check_results: dict[str, list[CheckResult]] = field(default_factory=dict)
+    #: Relation encoding the symbolic backend used (``monolithic`` or
+    #: ``partitioned``); None when the explicit backend ran.
+    encoding: str | None = None
+
+    def multi_app_violations(self) -> list[Violation]:
+        """Violations involving two or more apps (the Table 4 kind)."""
+        return [v for v in self.violations if len(v.apps) > 1]
+
+    def violated_ids(self) -> set[str]:
+        return {v.property_id for v in self.violations}

@@ -37,6 +37,13 @@ def _render_app(analysis: AppAnalysis) -> str:
         f"checked app-specific properties: "
         f"{', '.join(analysis.checked_properties) or '(none applicable)'}",
     ]
+    if analysis.skipped_properties:
+        # Checks the chosen backend cannot run (e.g. DET needs the
+        # materialized transition set) must be visible, not silent.
+        lines.append(
+            f"skipped checks ({analysis.backend} backend): "
+            f"{', '.join(analysis.skipped_properties)}"
+        )
     lines.extend(_violation_lines(analysis.violations))
     return "\n".join(lines)
 

@@ -1,0 +1,45 @@
+"""Analysis-as-a-service: submission/job API over the staged pipeline.
+
+``repro.service`` turns the Soteria pipeline into a screening service:
+POST SmartApp sources, get a durable job whose verdict auto-flags the
+submission for an app-store review queue (violation ⇒ ``needs-review``,
+clean ⇒ ``approved``).  Stdlib only — :mod:`http.server` for transport,
+:mod:`concurrent.futures` for the worker pool, JSON files for job
+durability; stage artifacts are shared through
+:class:`repro.pipeline.store.ArtifactStore`.
+"""
+
+from repro.service.app import (
+    MAX_WAIT_SECONDS,
+    SoteriaService,
+    SubmissionError,
+    build_server,
+    serve,
+)
+from repro.service.jobs import (
+    STATUSES,
+    JobRecord,
+    JobStore,
+    job_id_for,
+    submission_key,
+    violation_dict,
+)
+from repro.service.policy import APPROVED, NEEDS_REVIEW, Decision, decide
+
+__all__ = [
+    "APPROVED",
+    "Decision",
+    "JobRecord",
+    "JobStore",
+    "MAX_WAIT_SECONDS",
+    "NEEDS_REVIEW",
+    "STATUSES",
+    "SoteriaService",
+    "SubmissionError",
+    "build_server",
+    "decide",
+    "job_id_for",
+    "serve",
+    "submission_key",
+    "violation_dict",
+]

@@ -1,0 +1,389 @@
+"""Analysis-as-a-service: the submission/job HTTP API over the pipeline.
+
+Stdlib only (:mod:`http.server` + :mod:`concurrent.futures`): the screen
+loop an app store would run.  POST a SmartApp source (or an environment
+of sources); a worker executes the staged pipeline through the shared
+artifact store; the job record carries the auto-flagging verdict
+(:mod:`repro.service.policy`) and the decoded violation witnesses.
+
+Endpoints (all JSON)::
+
+    GET  /v1/health                      liveness + pipeline version
+    POST /v1/submissions                 submit sources -> job (idempotent)
+    GET  /v1/jobs                        job summaries, newest first, paginated
+    GET  /v1/jobs/<id>                   one job's full status
+    GET  /v1/jobs/<id>/violations        decoded witnesses, paginated
+    GET  /v1/stats                       job counts + per-stage cache counters
+
+``POST /v1/submissions`` accepts either shape::
+
+    {"source": "...groovy...", "name": "MyApp"}
+    {"sources": [{"name": "A", "source": "..."}, ...],
+     "backend": "auto", "encoding": "auto"}
+
+and answers 201 for a new job, 200 for an identical resubmission — same
+sources + same knobs map to the same :func:`~repro.service.jobs.submission_key`,
+so duplicates attach to the existing record (finished ones return their
+verdict without re-running a single pipeline stage; the stage hit/miss
+counters under ``/v1/stats`` prove it).  ``?wait=<seconds>`` blocks
+until the job finishes (or the budget runs out) before responding —
+handy for scripts and the CI smoke test.
+
+Workers default to a thread pool (``pool="process"`` upgrades to worker
+processes when the platform provides working multiprocessing, falling
+back to threads where it does not — the artifact store's disk layer is
+the cross-process channel).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro import __version__
+from repro.pipeline.runner import Pipeline
+from repro.pipeline.stages import source_digest, validate_knobs
+from repro.pipeline.store import ArtifactStore, resolve_cache_dir
+from repro.service import policy
+from repro.service.jobs import JobRecord, JobStore, job_id_for, submission_key, violation_dict
+
+#: Upper bound on ``?wait=`` to keep handler threads from parking forever.
+MAX_WAIT_SECONDS = 300.0
+
+
+class SubmissionError(ValueError):
+    """A malformed or invalid submission body (rendered as HTTP 400)."""
+
+
+def _parse_submission(body: dict) -> tuple[list[tuple[str | None, str]], str, str]:
+    """Normalize a submission body to ([(name, source), ...], backend, encoding)."""
+    if not isinstance(body, dict):
+        raise SubmissionError("submission body must be a JSON object")
+    backend = body.get("backend", "auto")
+    encoding = body.get("encoding", "auto")
+    try:
+        validate_knobs(backend, encoding)
+    except ValueError as exc:
+        raise SubmissionError(str(exc)) from None
+    if "sources" in body:
+        raw = body["sources"]
+        if not isinstance(raw, list) or not raw:
+            raise SubmissionError("'sources' must be a non-empty list")
+        entries = []
+        for item in raw:
+            if not isinstance(item, dict) or not isinstance(item.get("source"), str):
+                raise SubmissionError(
+                    "each sources[] item must be {'source': str, 'name'?: str}"
+                )
+            entries.append((item.get("name"), item["source"]))
+        return entries, backend, encoding
+    if isinstance(body.get("source"), str):
+        return [(body.get("name"), body["source"])], backend, encoding
+    raise SubmissionError("submission needs 'source' or 'sources'")
+
+
+class SoteriaService:
+    """The service core: pipeline + job store + worker pool.
+
+    Transport-independent (the HTTP handler and the tests drive the same
+    methods).  One pipeline instance — one artifact store, one set of
+    counters — serves every worker, so concurrent submissions of
+    overlapping sources share stage artifacts.
+    """
+
+    def __init__(
+        self,
+        cache_dir=None,
+        state_dir=None,
+        jobs: int = 2,
+        pool: str = "thread",
+    ):
+        self.pipeline = Pipeline(ArtifactStore(resolve_cache_dir(cache_dir)))
+        self.jobs = JobStore(state_dir)
+        self._sources: dict[str, list[tuple[str | None, str]]] = {}
+        self._futures: dict[str, concurrent.futures.Future] = {}
+        self._lock = threading.Lock()
+        self._executor = self._make_executor(jobs, pool)
+
+    @staticmethod
+    def _make_executor(jobs: int, pool: str):
+        workers = max(1, jobs)
+        if pool == "process":
+            try:
+                executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+                # Probe eagerly: broken multiprocessing (restricted
+                # sandboxes, missing semaphores) should fall back now,
+                # not on the first submission.
+                executor.submit(int, 0).result(timeout=30)
+                return executor
+            except Exception:
+                pass
+        return concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        entries: list[tuple[str | None, str]],
+        backend: str = "auto",
+        encoding: str = "auto",
+    ) -> tuple[JobRecord, bool]:
+        """Register one submission; identical ones attach to their job."""
+        validate_knobs(backend, encoding)
+        named = [
+            (name if name else f"submission-{index + 1}", source)
+            for index, (name, source) in enumerate(entries)
+        ]
+        digests = [source_digest(name, source) for name, source in named]
+        key = submission_key(
+            list(zip((name for name, _ in named), digests)), backend, encoding
+        )
+        record = JobRecord(
+            id=job_id_for(key),
+            key=key,
+            kind="app" if len(named) == 1 else "environment",
+            apps=[name for name, _ in named],
+            digests=digests,
+            backend=backend,
+            encoding=encoding,
+        )
+        record, created = self.jobs.submit(record)
+        if created:
+            with self._lock:
+                self._sources[record.id] = named
+                self._futures[record.id] = self._executor.submit(
+                    _execute_job, self, record.id
+                )
+        return record, created
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobRecord | None:
+        """Block until a job settles (bounded by ``timeout``); job or None."""
+        with self._lock:
+            future = self._futures.get(job_id)
+        if future is not None:
+            try:
+                future.result(timeout=timeout)
+            except concurrent.futures.TimeoutError:
+                pass
+            except Exception:
+                pass  # the failure is recorded on the job itself
+        return self.jobs.get(job_id)
+
+    def stats(self) -> dict:
+        return {
+            "jobs": self.jobs.counts(),
+            "pipeline": self.pipeline.store.cache_info(),
+        }
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _execute_job(service: SoteriaService, job_id: str) -> None:
+    """Worker body: run the pipeline for one job and record the verdict.
+
+    Module-level so a process pool can ship it; with the default thread
+    pool it shares the service's store directly.
+    """
+    with service._lock:
+        named = service._sources.get(job_id)
+    record = service.jobs.get(job_id)
+    if record is None or named is None:
+        return
+    service.jobs.update(job_id, status="running")
+    try:
+        if record.kind == "app":
+            name, source = named[0]
+            analysis = service.pipeline.app_analysis(
+                source, name=name, backend=record.backend, encoding=record.encoding
+            )
+            violations = analysis.violations
+            skipped = list(analysis.skipped_properties)
+            resolved_encoding = analysis.encoding
+        else:
+            analysis = service.pipeline.environment_analysis(
+                [source for _name, source in named],
+                backend=record.backend,
+                encoding=record.encoding,
+            )
+            violations = analysis.violations
+            skipped = sorted(
+                {pid for member in analysis.analyses for pid in member.skipped_properties}
+            )
+            resolved_encoding = analysis.encoding
+        decision = policy.decide(violations)
+        service.jobs.update(
+            job_id,
+            status="done",
+            verdict=decision.verdict,
+            flagged=decision.flagged,
+            reason=decision.reason,
+            violations=[violation_dict(v) for v in violations],
+            checked_properties=list(analysis.checked_properties),
+            skipped_properties=skipped,
+            resolved_backend=analysis.backend,
+            resolved_encoding=resolved_encoding,
+            state_estimate=analysis.state_estimate,
+        )
+    except Exception as exc:
+        service.jobs.update(job_id, status="failed", error=f"{type(exc).__name__}: {exc}")
+    finally:
+        with service._lock:
+            service._sources.pop(job_id, None)
+
+
+# ======================================================================
+# HTTP transport
+# ======================================================================
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SoteriaService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, *_args) -> None:  # keep the CLI output clean
+        pass
+
+    # -- helpers -------------------------------------------------------
+    def _json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _query(self) -> dict[str, str]:
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlparse(self.path).query).items()
+        }
+
+    @staticmethod
+    def _page_args(query: dict[str, str]) -> tuple[int, int]:
+        try:
+            page = max(1, int(query.get("page", "1")))
+            per_page = min(500, max(1, int(query.get("per_page", "50"))))
+        except ValueError:
+            raise SubmissionError("page/per_page must be integers") from None
+        return page, per_page
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        path = urlparse(self.path).path.rstrip("/")
+        try:
+            query = self._query()
+            if path == "/v1/health":
+                self._json(200, {"status": "ok", "version": __version__})
+            elif path == "/v1/stats":
+                self._json(200, self.service.stats())
+            elif path == "/v1/jobs":
+                page, per_page = self._page_args(query)
+                self._json(200, self.service.jobs.list(page, per_page))
+            elif path.startswith("/v1/jobs/"):
+                self._get_job(path[len("/v1/jobs/"):], query)
+            else:
+                self._json(404, {"error": f"unknown path {path!r}"})
+        except SubmissionError as exc:
+            self._json(400, {"error": str(exc)})
+        except Exception as exc:  # a handler bug must not kill the server
+            self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _get_job(self, rest: str, query: dict[str, str]) -> None:
+        job_id, _, sub = rest.partition("/")
+        record = self.service.jobs.get(job_id)
+        if record is None:
+            self._json(404, {"error": f"unknown job {job_id!r}"})
+            return
+        if not sub:
+            self._json(200, record.summary())
+        elif sub == "violations":
+            page, per_page = self._page_args(query)
+            start = (page - 1) * per_page
+            window = record.violations[start : start + per_page]
+            self._json(
+                200,
+                {
+                    "job": record.id,
+                    "verdict": record.verdict,
+                    "violations": window,
+                    "page": page,
+                    "per_page": per_page,
+                    "total": len(record.violations),
+                },
+            )
+        else:
+            self._json(404, {"error": f"unknown job view {sub!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        path = urlparse(self.path).path.rstrip("/")
+        if path != "/v1/submissions":
+            self._json(404, {"error": f"unknown path {path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                body = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as exc:
+                raise SubmissionError(f"invalid JSON body: {exc}") from None
+            entries, backend, encoding = _parse_submission(body)
+            record, created = self.service.submit(entries, backend, encoding)
+            wait = self._query().get("wait")
+            if wait is not None:
+                try:
+                    budget = min(MAX_WAIT_SECONDS, max(0.0, float(wait)))
+                except ValueError:
+                    raise SubmissionError("wait must be a number of seconds") from None
+                record = self.service.wait(record.id, timeout=budget) or record
+            payload = record.summary()
+            payload["created"] = created
+            self._json(201 if created else 200, payload)
+        except SubmissionError as exc:
+            self._json(400, {"error": str(exc)})
+        except Exception as exc:
+            self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    cache_dir=None,
+    state_dir=None,
+    jobs: int = 2,
+    pool: str = "thread",
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server with its :class:`SoteriaService` attached.
+
+    ``port=0`` binds an ephemeral port (see ``server.server_address``) —
+    the tests' way to avoid collisions.
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = SoteriaService(  # type: ignore[attr-defined]
+        cache_dir=cache_dir, state_dir=state_dir, jobs=jobs, pool=pool
+    )
+    return server
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    cache_dir=None,
+    state_dir=None,
+    jobs: int = 2,
+    pool: str = "thread",
+) -> None:
+    """Run the service until interrupted (the ``soteria serve`` body)."""
+    server = build_server(host, port, cache_dir, state_dir, jobs, pool)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"soteria service listening on http://{bound_host}:{bound_port}")
+    print("  POST /v1/submissions   GET /v1/jobs   GET /v1/stats")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.service.shutdown()  # type: ignore[attr-defined]
+        server.server_close()

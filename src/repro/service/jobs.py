@@ -1,0 +1,215 @@
+"""Durable job records with idempotent, digest-keyed submission.
+
+A *job* is one screening request: a single SmartApp source or an
+environment of sources.  Its identity is the
+:func:`submission_key` — a SHA-256 over the ordered member (name,
+source-digest) pairs, the requested backend/encoding knobs, and
+:data:`~repro.pipeline.store.PIPELINE_VERSION` — so resubmitting
+identical sources returns the *same* job record instead of scheduling
+duplicate work, exactly like the artifact store returning a cached
+stage result.
+
+:class:`JobStore` keeps records in memory (thread-safe) and, when given
+a ``state_dir``, mirrors every update to ``<state_dir>/jobs/<id>.json``
+and reloads them on startup — a service restart keeps finished verdicts
+and dedupes against jobs submitted before the restart.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.pipeline.store import PIPELINE_VERSION
+from repro.properties.catalog import Violation
+
+#: Job lifecycle states, in order.
+STATUSES = ("queued", "running", "done", "failed")
+
+
+def submission_key(
+    entries: list[tuple[str, str]],
+    backend: str = "auto",
+    encoding: str = "auto",
+    version: str = PIPELINE_VERSION,
+) -> str:
+    """Identity of one submission: ordered (name, source digest) pairs
+    plus the analysis knobs and pipeline version.  Order is
+    meaning-bearing for environments (it is for the union model's app
+    list), and a knob change is a different job — forcing a backend must
+    never be served the auto path's record."""
+    parts = [f"version={version}", f"backend={backend}", f"encoding={encoding}"]
+    parts.extend(f"member={name}\0{digest}" for name, digest in entries)
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+def violation_dict(violation: Violation) -> dict:
+    """One violation as JSON-ready data, witness trace decoded."""
+    return {
+        "property_id": violation.property_id,
+        "apps": list(violation.apps),
+        "description": violation.description,
+        "formula": violation.formula,
+        "devices": list(violation.devices),
+        "via_reflection": violation.via_reflection,
+        "counterexample": list(violation.counterexample or ()),
+    }
+
+
+@dataclass
+class JobRecord:
+    """One submission's durable state (all fields JSON-serializable)."""
+
+    id: str
+    key: str
+    kind: str                      # "app" | "environment"
+    apps: list[str]                # member names, submission order
+    digests: list[str]             # member source digests, same order
+    backend: str = "auto"
+    encoding: str = "auto"
+    status: str = "queued"
+    verdict: str | None = None     # policy.APPROVED | policy.NEEDS_REVIEW
+    flagged: bool = False
+    reason: str | None = None
+    violations: list[dict] = field(default_factory=list)
+    checked_properties: list[str] = field(default_factory=list)
+    skipped_properties: list[str] = field(default_factory=list)
+    resolved_backend: str | None = None
+    resolved_encoding: str | None = None
+    state_estimate: int = 0
+    error: str | None = None
+    created_at: float = field(default_factory=time.time)
+    updated_at: float = field(default_factory=time.time)
+
+    def summary(self) -> dict:
+        """The job-listing view: everything but the violation payloads."""
+        data = asdict(self)
+        data["violations"] = len(self.violations)
+        return data
+
+
+def job_id_for(key: str) -> str:
+    """Deterministic short job id from the submission key."""
+    return f"job-{key[:16]}"
+
+
+class JobStore:
+    """Thread-safe job registry, optionally mirrored to JSON on disk."""
+
+    def __init__(self, state_dir: str | os.PathLike | None = None):
+        self._lock = threading.RLock()
+        self._by_id: dict[str, JobRecord] = {}
+        self._by_key: dict[str, str] = {}
+        self._order: list[str] = []
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if self.state_dir is not None:
+            self._load()
+
+    # ------------------------------------------------------------------
+    def submit(self, record: JobRecord) -> tuple[JobRecord, bool]:
+        """Register a job; identical submissions return the existing one.
+
+        Returns ``(record, created)`` — ``created`` is False when the
+        submission key matched an existing job (any status: a queued or
+        running duplicate attaches to the in-flight job, a finished one
+        returns the stored verdict without re-running anything).
+        """
+        with self._lock:
+            existing_id = self._by_key.get(record.key)
+            if existing_id is not None:
+                return self._by_id[existing_id], False
+            self._by_id[record.id] = record
+            self._by_key[record.key] = record.id
+            self._order.append(record.id)
+            self._persist(record)
+            return record, True
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._by_id.get(job_id)
+
+    def update(self, job_id: str, **fields) -> JobRecord:
+        """Apply field updates to one job and persist the new state."""
+        with self._lock:
+            record = self._by_id[job_id]
+            for name, value in fields.items():
+                if not hasattr(record, name):
+                    raise AttributeError(f"JobRecord has no field {name!r}")
+                setattr(record, name, value)
+            record.updated_at = time.time()
+            self._persist(record)
+            return record
+
+    def list(self, page: int = 1, per_page: int = 50) -> dict:
+        """Newest-first job summaries, paginated."""
+        with self._lock:
+            ordered = [self._by_id[jid] for jid in reversed(self._order)]
+        total = len(ordered)
+        start = (page - 1) * per_page
+        window = ordered[start : start + per_page]
+        return {
+            "jobs": [record.summary() for record in window],
+            "page": page,
+            "per_page": per_page,
+            "total": total,
+        }
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            records = list(self._by_id.values())
+        by_status = {status: 0 for status in STATUSES}
+        for record in records:
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+        by_status["total"] = len(records)
+        return by_status
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def _jobs_dir(self) -> Path | None:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / "jobs"
+
+    def _persist(self, record: JobRecord) -> None:
+        """Mirror one record to disk, atomically and best-effort."""
+        directory = self._jobs_dir
+        if directory is None:
+            return
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{record.id}.json"
+            tmp = directory / f".{record.id}.tmp"
+            tmp.write_text(json.dumps(asdict(record), indent=2))
+            os.replace(tmp, path)
+        except Exception:
+            pass  # an unwritable state volume degrades to in-memory only
+
+    def _load(self) -> None:
+        directory = self._jobs_dir
+        if directory is None or not directory.is_dir():
+            return
+        records = []
+        for path in sorted(directory.glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+                record = JobRecord(**data)
+            except Exception:
+                continue  # torn/stale file: skip, do not crash startup
+            if record.status == "running":
+                # The process died mid-analysis; surface it as failed so
+                # a resubmission (new knobs => new key) can retry.
+                record.status = "failed"
+                record.error = "service restarted during analysis"
+            records.append(record)
+        records.sort(key=lambda record: record.created_at)
+        for record in records:
+            self._by_id[record.id] = record
+            self._by_key.setdefault(record.key, record.id)
+            self._order.append(record.id)

@@ -1,0 +1,47 @@
+"""Auto-flagging policy: analysis verdicts to review-queue decisions.
+
+Modeled on an app-store scanner pipeline (addons-server's ``scanners``
+flow): every submission is auto-scanned, and the scan result routes it —
+clean submissions are auto-``approved``, anything with a property
+violation is flagged ``needs-review`` for a human, never auto-rejected
+(the paper is explicit that some findings — e.g. via-reflection traces —
+can be false positives a reviewer must adjudicate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.properties.catalog import Violation
+
+#: Verdict for a submission with no property violations.
+APPROVED = "approved"
+
+#: Verdict for a submission with at least one violation: queued for a
+#: human reviewer, not auto-rejected.
+NEEDS_REVIEW = "needs-review"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One policy decision over a finished analysis."""
+
+    verdict: str
+    flagged: bool
+    reason: str
+
+
+def decide(violations: list[Violation]) -> Decision:
+    """Route one finished analysis: any violation flags the submission."""
+    if not violations:
+        return Decision(
+            verdict=APPROVED,
+            flagged=False,
+            reason="all checked properties hold",
+        )
+    ids = sorted({v.property_id for v in violations})
+    reflective = sum(1 for v in violations if v.via_reflection)
+    reason = f"{len(violations)} violation(s): {', '.join(ids)}"
+    if reflective:
+        reason += f" ({reflective} via reflection — possible false positive)"
+    return Decision(verdict=NEEDS_REVIEW, flagged=True, reason=reason)

@@ -27,116 +27,39 @@ early quantification and is what checks the 82-app all-corpus union
 All backends and encodings produce identical violation sets — the
 differential test suite asserts per-formula agreement — so the choice is
 purely a performance/scalability decision.
+
+Since the staged-pipeline refactor both functions are thin facades over
+:class:`repro.pipeline.Pipeline`: every stage runs through the
+content-addressed artifact store (:mod:`repro.pipeline.store`), so
+repeated analyses of unchanged sources — including the per-app stages of
+an environment whose members were analyzed before — replay from the
+store instead of recomputing.  Signatures and results are unchanged.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-from repro.ir import AppIR, build_ir
-from repro.mc.explicit import CheckResult, ExplicitChecker
-from repro.model import (
-    StateModel,
-    build_kripke,
-    build_union_model,
-    build_union_skeleton,
-    estimate_union_states,
-    extract_model,
+from repro.pipeline.results import AppAnalysis, EnvironmentAnalysis
+from repro.pipeline.runner import default_pipeline
+from repro.pipeline.stages import (
+    AUTO_SYMBOLIC_THRESHOLD,
+    BACKENDS,
+    resolve_backend,
 )
-from repro.model.encoder import ENCODINGS
-from repro.model.extractor import StateExplosionError
-from repro.model.kripke import KripkeStructure
-from repro.platform.capabilities import CapabilityDatabase, default_database
+from repro.platform.capabilities import CapabilityDatabase
 from repro.platform.smartapp import SmartApp
-from repro.properties.catalog import PropertyCatalog, Violation, default_catalog
-from repro.properties.general import check_general_properties
-from repro.properties.roles import device_roles, merge_roles
+from repro.properties.catalog import PropertyCatalog, Violation
 
-#: Union-state estimate beyond which the ``auto`` backend switches from
-#: explicit to symbolic checking when no explicit budget is passed.  This
-#: is the sweep engine's historical skip budget: every curated paper group
-#: fits under it with room to spare, so ``auto`` keeps those on the (for
-#: small models faster) explicit path and reserves BDDs for the clusters
-#: the old budget used to reject.
-AUTO_SYMBOLIC_THRESHOLD = 10_000
-
-#: Recognized checker backends.
-BACKENDS = ("auto", "explicit", "symbolic")
-
-
-@dataclass
-class AppAnalysis:
-    """Everything Soteria derives from one app.
-
-    ``kripke`` is None when the app was checked symbolically (a model
-    whose domain product exceeds the extractor's explicit budget is never
-    materialized — ``backend`` records which checker ran, and
-    ``state_estimate`` the domain-product size either way).
-    """
-
-    app: SmartApp
-    ir: AppIR
-    model: StateModel
-    kripke: KripkeStructure | None
-    violations: list[Violation] = field(default_factory=list)
-    checked_properties: list[str] = field(default_factory=list)
-    check_results: dict[str, list[CheckResult]] = field(default_factory=dict)
-    timings: dict[str, float] = field(default_factory=dict)
-    backend: str = "explicit"
-    state_estimate: int = 0
-
-    def violated_ids(self) -> set[str]:
-        return {v.property_id for v in self.violations}
-
-    def has_violations(self) -> bool:
-        return bool(self.violations)
-
-
-@dataclass
-class EnvironmentAnalysis:
-    """Multi-app analysis over the union state model (Algorithm 2).
-
-    ``kripke`` is populated by the explicit backend only: the symbolic
-    backend never materializes the union product, so there is no explicit
-    structure to hand out (``backend`` records which one ran, and
-    ``state_estimate`` the domain-product size either way).
-    """
-
-    analyses: list[AppAnalysis]
-    union_model: StateModel
-    kripke: KripkeStructure | None
-    violations: list[Violation] = field(default_factory=list)
-    checked_properties: list[str] = field(default_factory=list)
-    timings: dict[str, float] = field(default_factory=dict)
-    backend: str = "explicit"
-    state_estimate: int = 0
-    check_results: dict[str, list[CheckResult]] = field(default_factory=dict)
-    #: Relation encoding the symbolic backend used (``monolithic`` or
-    #: ``partitioned``); None when the explicit backend ran.
-    encoding: str | None = None
-
-    def multi_app_violations(self) -> list[Violation]:
-        """Violations involving two or more apps (the Table 4 kind)."""
-        return [v for v in self.violations if len(v.apps) > 1]
-
-    def violated_ids(self) -> set[str]:
-        return {v.property_id for v in self.violations}
-
-
-# ======================================================================
-def _validate_knobs(backend: str, encoding: str) -> None:
-    """Fail fast on a misspelled knob — even when the value would never
-    be consulted on this particular input (e.g. a small model resolving
-    to the explicit backend must still reject a bogus encoding)."""
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
-        )
-    if encoding not in ENCODINGS:
-        raise ValueError(
-            f"unknown encoding {encoding!r}; expected one of {', '.join(ENCODINGS)}"
-        )
+__all__ = [
+    "AUTO_SYMBOLIC_THRESHOLD",
+    "BACKENDS",
+    "AppAnalysis",
+    "EnvironmentAnalysis",
+    "SmartApp",
+    "Violation",
+    "analyze_app",
+    "analyze_environment",
+    "resolve_backend",
+]
 
 
 def analyze_app(
@@ -160,98 +83,18 @@ def analyze_app(
     is too wide to analyze.  ``encoding`` is the symbolic relation
     encoding (see :mod:`repro.model.encoder`).  The symbolic path leaves
     ``kripke`` as None and skips the determinism (DET) check, which is
-    defined on materialized transitions.
+    defined on materialized transitions — the skip is recorded in
+    :attr:`AppAnalysis.skipped_properties`.
     """
-    _validate_knobs(backend, encoding)
-    db = db or default_database()
-    catalog = catalog or default_catalog()
-    app = source if isinstance(source, SmartApp) else SmartApp.from_source(source, name)
-
-    timings: dict[str, float] = {}
-    start = time.perf_counter()
-    ir = build_ir(app, db)
-    timings["ir"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    chosen = "explicit" if backend == "auto" else backend
-    model: StateModel | None = None
-    if chosen == "explicit":
-        try:
-            model = extract_model(ir, db=db, abstract_numeric=abstract_numeric)
-        except StateExplosionError:
-            if backend == "explicit":
-                raise
-            chosen = "symbolic"  # auto: too wide to enumerate — go symbolic
-    if model is None:
-        model = extract_model(
-            ir, db=db, abstract_numeric=abstract_numeric, materialize=False
-        )
-    timings["model"] = time.perf_counter() - start
-
-    kripke: KripkeStructure | None = None
-    if chosen == "explicit":
-        start = time.perf_counter()
-        kripke = build_kripke(model)
-        timings["kripke"] = time.perf_counter() - start
-        checker = ExplicitChecker(kripke)
-        labels = kripke.labels
-    else:
-        from repro.mc.symbolic import SymbolicModelChecker
-        from repro.model.encoder import SymbolicUnionModel
-
-        start = time.perf_counter()
-        # The union skeleton of one model is the model itself with
-        # rule_origins populated; the empty ``written`` set keeps the
-        # single-app fire-on-change semantics (no self-stimulation).
-        skeleton = build_union_skeleton([model], db=db)
-        checker = SymbolicModelChecker(
-            SymbolicUnionModel(skeleton, encoding=encoding, written=frozenset())
-        )
-        timings["encode"] = time.perf_counter() - start
-        labels = checker.labels
-
-    analysis = AppAnalysis(
-        app=app,
-        ir=ir,
-        model=model,
-        kripke=kripke,
-        timings=timings,
-        backend=chosen,
-        state_estimate=estimate_union_states([model]),
+    return default_pipeline().app_analysis(
+        source,
+        name=name,
+        db=db,
+        catalog=catalog,
+        abstract_numeric=abstract_numeric,
+        backend=backend,
+        encoding=encoding,
     )
-
-    # General properties: checked at state-model construction.
-    start = time.perf_counter()
-    origins = [(app.name, s) for s in model.all_rules()]
-    analysis.violations.extend(check_general_properties(origins, ir=ir, db=db))
-    analysis.violations.extend(_determinism_violations(model))
-    timings["general"] = time.perf_counter() - start
-
-    # App-specific properties: CTL model checking.
-    start = time.perf_counter()
-    _check_app_specific(analysis, [ir], model, checker, labels, catalog)
-    timings["properties"] = time.perf_counter() - start
-    return analysis
-
-
-def resolve_backend(
-    backend: str, estimate: int, max_union_states: int | None = None
-) -> str:
-    """Pick the checker backend for a union of ``estimate`` product states.
-
-    ``auto`` goes symbolic once the estimate exceeds the explicit budget
-    (``max_union_states`` when given, else :data:`AUTO_SYMBOLIC_THRESHOLD`)
-    — the clusters the old sweep skipped are exactly the ones the BDD
-    backend exists for.  Explicit and symbolic are honored as-is.
-    """
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
-        )
-    if backend != "auto":
-        return backend
-    budget = max_union_states if max_union_states is not None else AUTO_SYMBOLIC_THRESHOLD
-    return "symbolic" if estimate > budget else "explicit"
 
 
 def analyze_environment(
@@ -269,6 +112,8 @@ def analyze_environment(
     :class:`SmartApp`, or a finished :class:`AppAnalysis` — precomputed
     analyses (e.g. from the corpus batch driver's caches) are reused
     as-is, so union construction skips the per-app pipeline entirely.
+    Raw members are analyzed with the same ``backend``/``encoding``/
+    ``db``/``catalog`` as the environment itself.
 
     ``backend`` selects the union checker: ``"explicit"``, ``"symbolic"``,
     or ``"auto"`` (the default — explicit under the state budget, symbolic
@@ -288,172 +133,12 @@ def analyze_environment(
     :data:`repro.model.encoder.PARTITION_FRAGMENT_THRESHOLD` fragments).
     The resolved choice lands in :attr:`EnvironmentAnalysis.encoding`.
     """
-    _validate_knobs(backend, encoding)
-    db = db or default_database()
-    catalog = catalog or default_catalog()
-    analyses = [
-        source if isinstance(source, AppAnalysis) else analyze_app(source, db=db, catalog=catalog)
-        for source in sources
-    ]
-
-    models = [a.model for a in analyses]
-    estimate = estimate_union_states(models, shared_devices)
-    chosen = resolve_backend(backend, estimate, max_union_states)
-
-    timings: dict[str, float] = {}
-    kripke: KripkeStructure | None = None
-    used_encoding: str | None = None
-    if chosen == "explicit":
-        start = time.perf_counter()
-        union_kwargs = (
-            {} if max_union_states is None else {"max_states": max_union_states}
-        )
-        union = build_union_model(
-            models, db=db, shared_devices=shared_devices, **union_kwargs
-        )
-        timings["union"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        kripke = build_kripke(union)
-        timings["kripke"] = time.perf_counter() - start
-        checker = ExplicitChecker(kripke)
-        labels = kripke.labels
-    else:
-        from repro.mc.symbolic import SymbolicModelChecker
-        from repro.model.encoder import SymbolicUnionModel
-
-        start = time.perf_counter()
-        union = build_union_skeleton(models, db=db, shared_devices=shared_devices)
-        timings["union"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        symbolic = SymbolicUnionModel(union, encoding=encoding)
-        checker = SymbolicModelChecker(symbolic)
-        timings["encode"] = time.perf_counter() - start
-        labels = checker.labels
-        used_encoding = symbolic.encoding
-
-    environment = EnvironmentAnalysis(
-        analyses=analyses,
-        union_model=union,
-        kripke=kripke,
-        timings=timings,
-        backend=chosen,
-        state_estimate=estimate,
-        encoding=used_encoding,
+    return default_pipeline().environment_analysis(
+        sources,
+        db=db,
+        catalog=catalog,
+        shared_devices=shared_devices,
+        max_union_states=max_union_states,
+        backend=backend,
+        encoding=encoding,
     )
-
-    # General properties over the combined rule set.
-    start = time.perf_counter()
-    environment.violations.extend(check_general_properties(union.rule_origins))
-    timings["general"] = time.perf_counter() - start
-
-    # App-specific properties on the union model.
-    start = time.perf_counter()
-    irs = [a.ir for a in analyses]
-    _check_app_specific(environment, irs, union, checker, labels, catalog)
-    timings["properties"] = time.perf_counter() - start
-    return environment
-
-
-# ======================================================================
-def _determinism_violations(model: StateModel) -> list[Violation]:
-    pairs = model.nondeterministic_pairs()
-    violations = []
-    seen: set[tuple[str, str]] = set()
-    for first, second in pairs:
-        key = (first.event.label(), f"{first.target}|{second.target}")
-        if key in seen:
-            continue
-        seen.add(key)
-        violations.append(
-            Violation(
-                property_id="DET",
-                apps=tuple(sorted({first.app, second.app})),
-                description=(
-                    f"nondeterministic model: event {first.event.label()} from "
-                    f"{model.state_label(first.source)} reaches both "
-                    f"{model.state_label(first.target)} and "
-                    f"{model.state_label(second.target)}"
-                ),
-                via_reflection=first.via_reflection or second.via_reflection,
-            )
-        )
-    return violations
-
-
-def _check_app_specific(
-    analysis: AppAnalysis | EnvironmentAnalysis,
-    irs: list[AppIR],
-    model: StateModel,
-    checker,
-    labels,
-    catalog: PropertyCatalog,
-) -> None:
-    """Check the applicable catalog properties through any CTL backend.
-
-    ``checker`` is anything with an explicit-compatible
-    ``check(formula) -> CheckResult`` (the explicit checker or the
-    symbolic model checker); ``labels`` maps witness states to their
-    atomic propositions for violation diagnosis — the Kripke labelling
-    for the explicit backend, the checker's decoded-state labels for the
-    symbolic one.
-    """
-    device_map: dict[str, str] = {}
-    for ir in irs:
-        for perm in ir.devices():
-            device_map.setdefault(perm.handle, perm.capability)
-    roles = merge_roles([device_roles(ir) for ir in irs])
-    capabilities = set(device_map.values())
-    if model.attribute_index("location", "mode") is not None:
-        capabilities.add("location-mode")
-
-    app_names = tuple(model.apps)
-    for spec in catalog.applicable(capabilities, roles):
-        analysis.checked_properties.append(spec.id)
-        results: list[CheckResult] = []
-        seen_bindings: set[tuple[str, ...]] = set()
-        for formula, binding in spec.formulas(model, device_map, roles):
-            result = checker.check(formula)
-            results.append(result)
-            if result.holds:
-                continue
-            devices = tuple(sorted(binding.values()))
-            if devices in seen_bindings:
-                continue
-            seen_bindings.add(devices)
-            reflective = _counterexample_reflective(result, labels)
-            trace = tuple(
-                model.state_label(state.state) for state in result.counterexample
-            )
-            culprit_apps = _culprit_apps(result, labels) or app_names
-            analysis.violations.append(
-                Violation(
-                    property_id=spec.id,
-                    apps=culprit_apps,
-                    description=f"{spec.description} (devices: {', '.join(devices)})",
-                    formula=str(formula),
-                    devices=devices,
-                    via_reflection=reflective,
-                    counterexample=trace,
-                )
-            )
-        analysis.check_results[spec.id] = results
-
-
-def _counterexample_reflective(result: CheckResult, labels) -> bool:
-    """Did the violating step come only from reflective call targets?"""
-    states = result.counterexample or result.failing_states[:1]
-    if not states:
-        return False
-    final = states[-1]
-    return "via-reflection" in labels.get(final, frozenset())
-
-
-def _culprit_apps(result: CheckResult, labels) -> tuple[str, ...]:
-    apps: set[str] = set()
-    for state in result.counterexample:
-        for prop in labels.get(state, frozenset()):
-            if prop.startswith("app:"):
-                apps.add(prop[4:])
-    return tuple(sorted(apps))

@@ -183,7 +183,7 @@ class TestBatchLayering:
         def boom(*_args, **_kwargs):
             raise AssertionError("analysis re-ran despite a warm disk cache")
 
-        monkeypatch.setattr(batch, "analyze_app", boom)
+        monkeypatch.setattr(batch, "_analyze_one", boom)
         results = batch.analyze_batch(["O1", "O2"], jobs=1, cache_dir=tmp_path)
         assert set(results) == {"O1", "O2"}
         info = batch.cache_info()

@@ -71,6 +71,23 @@ class TestSingleAppSymbolic:
                 r.holds for r in symbolic_results
             ], pid
 
+    def test_symbolic_skip_of_determinism_check_is_surfaced(self):
+        # The explicit path runs DET over the materialized transitions;
+        # the symbolic path cannot — that skip must be recorded on the
+        # analysis and printed in the report, not silently dropped.
+        from repro.reporting.report import render_report
+
+        symbolic = analyze_app(_wide_app(18))
+        assert symbolic.backend == "symbolic"
+        assert symbolic.skipped_properties == ["DET"]
+        assert (
+            "skipped checks (symbolic backend): DET"
+            in render_report(symbolic)
+        )
+        explicit = analyze_app(_wide_app(2), backend="explicit")
+        assert explicit.skipped_properties == []
+        assert "skipped checks" not in render_report(explicit)
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
             analyze_app(_wide_app(2), backend="quantum")
@@ -148,6 +165,26 @@ class TestEnvironmentEncodingKnob:
             backend="symbolic", encoding="partitioned",
         )
         assert forced_warm[0].cached
+
+    def test_member_analyses_inherit_forced_knobs(self):
+        # Regression: analyze_environment(sources, backend=..., encoding=...)
+        # used to analyze raw-source members with the *default* knobs —
+        # a forced-symbolic environment run silently built each member's
+        # explicit model anyway.
+        from repro.corpus.loader import load_source
+
+        sources = [load_source(app_id) for app_id in self.GROUP]
+        env = analyze_environment(
+            sources, backend="symbolic", encoding="partitioned"
+        )
+        assert env.backend == "symbolic"
+        for member in env.analyses:
+            assert member.backend == "symbolic"
+            assert member.kripke is None
+            assert member.model.states == []  # skeleton, never materialized
+            # ... and the silently-unrunnable determinism check is now
+            # surfaced instead of dropped.
+            assert member.skipped_properties == ["DET"]
 
     def test_sweep_threads_encoding_to_every_group(self):
         outcomes = sweep_environments(

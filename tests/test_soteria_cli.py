@@ -120,6 +120,69 @@ class TestCorpusCli:
         assert len(DiskCache(tmp_path).entries()) == 17
 
 
+class TestCacheCli:
+    def test_no_cache_dir_is_a_usage_error(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        code = main(["cache"])
+        assert code == 2
+        assert "cache directory" in capsys.readouterr().err
+
+    def test_reports_per_stage_entries_and_bytes(self, tmp_path, capsys):
+        from repro.corpus.loader import load_app
+        from repro.pipeline.runner import Pipeline
+        from repro.pipeline.store import ArtifactStore
+
+        Pipeline(ArtifactStore(tmp_path)).app_analysis(load_app("O1"))
+        code = main(["cache", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "staged artifact cache" in out
+        for stage in ("ir", "model", "kripke", "check"):
+            assert f"\n  {stage}" in out
+        assert "total" in out
+
+    def test_cache_dir_env_respected(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["cache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert str(tmp_path) in out
+        assert "(empty)" in out
+
+    def test_clear_empties_the_store(self, tmp_path, capsys):
+        from repro.corpus.loader import load_app
+        from repro.pipeline.runner import Pipeline
+        from repro.pipeline.store import ArtifactStore
+
+        Pipeline(ArtifactStore(tmp_path)).app_analysis(load_app("O1"))
+        assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
+        capsys.readouterr()
+        main(["cache", "--cache-dir", str(tmp_path)])
+        assert "(empty)" in capsys.readouterr().out
+
+
+class TestServeCli:
+    def test_serve_flags_reach_the_service(self, monkeypatch):
+        import repro.cli as cli_mod
+
+        captured = {}
+
+        def fake_serve(**kwargs):
+            captured.update(kwargs)
+
+        monkeypatch.setattr("repro.service.app.serve", fake_serve)
+        code = cli_mod.main(
+            ["serve", "--host", "0.0.0.0", "--port", "0", "--jobs", "3",
+             "--cache-dir", "/tmp/c", "--state-dir", "/tmp/s",
+             "--pool", "process"]
+        )
+        assert code == 0
+        assert captured == {
+            "host": "0.0.0.0", "port": 0, "jobs": 3,
+            "cache_dir": "/tmp/c", "state_dir": "/tmp/s", "pool": "process",
+        }
+
+
 class TestSweepCli:
     def test_sweep_maliot_finds_environment_violations(self, tmp_path, capsys):
         code = main(

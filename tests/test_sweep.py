@@ -202,7 +202,7 @@ class TestSweepCaching:
             def boom(*_args, **_kwargs):
                 raise AssertionError("warm sweep re-checked a union model")
 
-            monkeypatch.setattr(sweep_mod, "analyze_environment", boom)
+            monkeypatch.setattr(sweep_mod, "_union_outcome", boom)
             warm = sweep_environments([group], jobs=1, cache_dir=tmp_path)
             assert warm[0].cached
             assert warm[0].violated_ids() == cold[0].violated_ids()
