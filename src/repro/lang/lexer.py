@@ -20,8 +20,16 @@ class LexError(Exception):
 
     def __init__(self, message: str, line: int, col: int) -> None:
         super().__init__(f"{message} at line {line}, column {col}")
+        self.message = message
         self.line = line
         self.col = col
+
+    def __reduce__(self):
+        # ``args`` holds the formatted string, not the ``__init__``
+        # signature, so the default reduce cannot reconstruct the
+        # instance — and an exception that fails to unpickle kills the
+        # result reader of any process pool shipping it home.
+        return (type(self), (self.message, self.line, self.col))
 
 
 _TWO_CHAR_OPS = {

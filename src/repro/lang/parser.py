@@ -30,7 +30,15 @@ class ParseError(Exception):
 
     def __init__(self, message: str, token: Token) -> None:
         super().__init__(f"{message} at line {token.line}, column {token.col}")
+        self.message = message
         self.token = token
+
+    def __reduce__(self):
+        # ``args`` holds the formatted string, not the ``__init__``
+        # signature, so the default reduce cannot reconstruct the
+        # instance — and an exception that fails to unpickle kills the
+        # result reader of any process pool shipping it home.
+        return (type(self), (self.message, self.token))
 
 
 # Binary operator precedence, loosest first.

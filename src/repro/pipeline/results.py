@@ -50,6 +50,11 @@ class AppAnalysis:
     encoding: str | None = None
     #: The numeric-abstraction knob the model stage ran with.
     abstract_numeric: bool = True
+    #: Token of the capability database the analysis ran under
+    #: (``"default"`` for the shared one, a process-local token
+    #: otherwise) — the pipeline keys union artifacts on it so a member
+    #: precomputed with a custom database never aliases default-db keys.
+    db_token: str = "default"
 
     def violated_ids(self) -> set[str]:
         return {v.property_id for v in self.violations}

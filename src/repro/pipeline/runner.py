@@ -83,16 +83,17 @@ class Pipeline:
             "model", [ir_key], {"abstract_numeric": abstract_numeric, "form": form}
         )
 
-    def _model_key_for(self, analysis: AppAnalysis, db_tok: str) -> str:
+    def _model_key_for(self, analysis: AppAnalysis) -> str:
         """The model key a finished analysis corresponds to.
 
-        Recomputed from the analysis' own app/knobs so union keys are
-        identical whether members arrive as sources or as precomputed
-        analyses.
+        Recomputed from the analysis' own app/knobs — including the
+        capability-db token the analysis actually ran under, so a member
+        precomputed with a custom database never aliases the default
+        database's keys (and vice versa).
         """
         app = analysis.app
         parse_key = self._parse_key(source_digest(app.name, app.source))
-        ir_key = self._ir_key(parse_key, db_tok)
+        ir_key = self._ir_key(parse_key, analysis.db_token)
         form = "materialized" if analysis.backend == "explicit" else "skeleton"
         return self._model_key(ir_key, analysis.abstract_numeric, form)
 
@@ -219,6 +220,7 @@ class Pipeline:
             skipped_properties=list(outcome.skipped_properties),
             encoding=outcome.encoding,
             abstract_numeric=abstract_numeric,
+            db_token=db_tok,
         )
 
     # ------------------------------------------------------------------
@@ -258,7 +260,13 @@ class Pipeline:
         models = [a.model for a in analyses]
         estimate = estimate_union_states(models, shared_devices)
         chosen = resolve_backend(backend, estimate, max_union_states)
-        member_keys = [self._model_key_for(a, db_tok) for a in analyses]
+        member_keys = [self._model_key_for(a) for a in analyses]
+        # A precomputed member analyzed under a custom database carries a
+        # process-local token in its model key; every union-derived key
+        # is then meaningless to other processes and must stay in memory.
+        volatile_members = volatile_db or any(
+            a.db_token != "default" for a in analyses
+        )
         shared_tok = (
             "-"
             if not shared_devices
@@ -276,18 +284,17 @@ class Pipeline:
             # Over an explicit caller budget the cold path raises before
             # enumerating anything; a cached union (built under a larger
             # budget) must not mask that contract on warm runs.
-            stages.run_union(
-                models, db, shared_devices,
-                materialize=True, max_states=max_union_states,
+            raise StateExplosionError(
+                f"union of {[m.name for m in models]}: "
+                f"{estimate} states exceed budget"
             )
-            raise AssertionError("unreachable: union budget pre-check")
-        union = store.get("union", union_key, StateModel, memory_only=volatile_db)
+        union = store.get("union", union_key, StateModel, memory_only=volatile_members)
         if union is None:
             union = stages.run_union(
                 models, db, shared_devices,
                 materialize=chosen == "explicit", max_states=max_union_states,
             )
-            store.put("union", union_key, union, memory_only=volatile_db)
+            store.put("union", union_key, union, memory_only=volatile_members)
         timings["union"] = time.perf_counter() - start
 
         # kripke --------------------------------------------------------
@@ -296,16 +303,16 @@ class Pipeline:
             start = time.perf_counter()
             kripke_key = artifact_key("kripke", [union_key])
             kripke = store.get(
-                "kripke", kripke_key, KripkeStructure, memory_only=volatile_db
+                "kripke", kripke_key, KripkeStructure, memory_only=volatile_members
             )
             if kripke is None:
                 kripke = stages.run_kripke(union)
-                store.put("kripke", kripke_key, kripke, memory_only=volatile_db)
+                store.put("kripke", kripke_key, kripke, memory_only=volatile_members)
             timings["kripke"] = time.perf_counter() - start
 
         # check ---------------------------------------------------------
         start = time.perf_counter()
-        volatile = volatile_db or cat_tok != "default"
+        volatile = volatile_members or cat_tok != "default"
         check_key = artifact_key(
             "check",
             [union_key],

@@ -66,8 +66,8 @@ from pathlib import Path
 #: (IR, abstraction, model extraction, property catalog, result
 #: dataclasses) can alter an artifact, so stale results are never served
 #: across code changes.
-PIPELINE_VERSION = "4"   # 4: staged per-stage artifacts; AppAnalysis gained
-                         # skipped_properties/encoding/abstract_numeric
+PIPELINE_VERSION = "5"   # 5: AppAnalysis gained db_token (capability-db
+                         # provenance keyed into union artifacts)
 
 #: Environment variable consulted when no cache directory is passed
 #: explicitly (CLI ``--cache-dir`` and the ``cache_dir=`` parameters win).

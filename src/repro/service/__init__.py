@@ -10,6 +10,7 @@ durability; stage artifacts are shared through
 """
 
 from repro.service.app import (
+    MAX_BODY_BYTES,
     MAX_WAIT_SECONDS,
     SoteriaService,
     SubmissionError,
@@ -31,6 +32,7 @@ __all__ = [
     "Decision",
     "JobRecord",
     "JobStore",
+    "MAX_BODY_BYTES",
     "MAX_WAIT_SECONDS",
     "NEEDS_REVIEW",
     "STATUSES",

@@ -29,10 +29,15 @@ counters under ``/v1/stats`` prove it).  ``?wait=<seconds>`` blocks
 until the job finishes (or the budget runs out) before responding —
 handy for scripts and the CI smoke test.
 
-Workers default to a thread pool (``pool="process"`` upgrades to worker
-processes when the platform provides working multiprocessing, falling
-back to threads where it does not — the artifact store's disk layer is
-the cross-process channel).
+Workers default to a thread pool sharing the in-process pipeline.
+``pool="process"`` runs the analyses in worker processes instead: a
+worker receives only picklable job data — the named sources, the
+backend/encoding knobs, and the cache root — and returns a plain result
+dict that the *parent* records on the job store, so no service state
+ever crosses the process boundary (with a disk cache root the workers
+additionally share stage artifacts through the store's disk layer; the
+``/v1/stats`` stage counters always describe the parent's store).
+Platforms without working multiprocessing fall back to threads.
 """
 
 from __future__ import annotations
@@ -44,7 +49,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro import __version__
-from repro.pipeline.runner import Pipeline
+from repro.pipeline.runner import Pipeline, pipeline_for
 from repro.pipeline.stages import source_digest, validate_knobs
 from repro.pipeline.store import ArtifactStore, resolve_cache_dir
 from repro.service import policy
@@ -52,6 +57,11 @@ from repro.service.jobs import JobRecord, JobStore, job_id_for, submission_key, 
 
 #: Upper bound on ``?wait=`` to keep handler threads from parking forever.
 MAX_WAIT_SECONDS = 300.0
+
+#: Upper bound on a POST body.  The service is unauthenticated, so an
+#: attacker-controlled Content-Length must never buy a memory balloon;
+#: real SmartApp sources are a few KB each.
+MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 class SubmissionError(ValueError):
@@ -101,27 +111,39 @@ class SoteriaService:
         jobs: int = 2,
         pool: str = "thread",
     ):
-        self.pipeline = Pipeline(ArtifactStore(resolve_cache_dir(cache_dir)))
+        self._cache_root = resolve_cache_dir(cache_dir)
+        self.pipeline = Pipeline(ArtifactStore(self._cache_root))
         self.jobs = JobStore(state_dir)
         self._sources: dict[str, list[tuple[str | None, str]]] = {}
         self._futures: dict[str, concurrent.futures.Future] = {}
         self._lock = threading.Lock()
-        self._executor = self._make_executor(jobs, pool)
+        workers = max(1, jobs)
+        self._process_pool = (
+            self._make_process_pool(workers) if pool == "process" else None
+        )
+        #: The pool flavor actually running ("process" may fall back).
+        self.pool_kind = "process" if self._process_pool is not None else "thread"
+        # Job-runner threads: each runs one job to completion — inline
+        # on the shared pipeline, or parked on a process-pool worker and
+        # recording the fields it returns.  Either way the job's future
+        # resolves only after the record is updated, so waiters never
+        # observe a settled future with a stale record.
+        self._executor = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
 
     @staticmethod
-    def _make_executor(jobs: int, pool: str):
-        workers = max(1, jobs)
-        if pool == "process":
-            try:
-                executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
-                # Probe eagerly: broken multiprocessing (restricted
-                # sandboxes, missing semaphores) should fall back now,
-                # not on the first submission.
-                executor.submit(int, 0).result(timeout=30)
-                return executor
-            except Exception:
-                pass
-        return concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+    def _make_process_pool(workers: int):
+        executor = None
+        try:
+            executor = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+            # Probe eagerly: broken multiprocessing (restricted
+            # sandboxes, missing semaphores) should fall back now,
+            # not on the first submission.
+            executor.submit(int, 0).result(timeout=30)
+            return executor
+        except Exception:
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            return None
 
     # ------------------------------------------------------------------
     def submit(
@@ -150,11 +172,37 @@ class SoteriaService:
             encoding=encoding,
         )
         record, created = self.jobs.submit(record)
-        if created:
-            with self._lock:
+        with self._lock:
+            schedule = created
+            if not created:
+                record = self.jobs.get(record.id) or record
+                future = self._futures.get(record.id)
+                in_flight = future is not None and not future.done()
+                if record.status == "failed" and not in_flight:
+                    # A failed job — crash recovery after a restart, a
+                    # transient error — retries on identical
+                    # resubmission instead of serving the stale failure
+                    # forever.  Stale result fields are cleared so the
+                    # record never mixes two attempts.
+                    record = self.jobs.update(
+                        record.id,
+                        status="queued",
+                        error=None,
+                        verdict=None,
+                        flagged=False,
+                        reason=None,
+                        violations=[],
+                        checked_properties=[],
+                        skipped_properties=[],
+                        resolved_backend=None,
+                        resolved_encoding=None,
+                        state_estimate=0,
+                    )
+                    schedule = True
+            if schedule:
                 self._sources[record.id] = named
                 self._futures[record.id] = self._executor.submit(
-                    _execute_job, self, record.id
+                    self._run_job, record.id
                 )
         return record, created
 
@@ -168,7 +216,7 @@ class SoteriaService:
             except concurrent.futures.TimeoutError:
                 pass
             except Exception:
-                pass  # the failure is recorded on the job itself
+                pass  # _run_job recorded the failure before resolving
         return self.jobs.get(job_id)
 
     def stats(self) -> dict:
@@ -179,59 +227,115 @@ class SoteriaService:
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    def _run_job(self, job_id: str) -> None:
+        """Job-runner thread body: analyze one job, record the outcome.
+
+        With a process pool the analysis itself runs in a child that
+        receives only picklable data and returns a plain field dict;
+        everything touching the job store — including a worker failure,
+        a pickling error, or a broken pool — is recorded here, in the
+        parent, before this job's future resolves.
+        """
+        with self._lock:
+            named = self._sources.get(job_id)
+        record = self.jobs.get(job_id)
+        if record is None or named is None:
+            return
+        self.jobs.update(job_id, status="running")
+        try:
+            if self._process_pool is not None:
+                fields = self._process_pool.submit(
+                    _analyze_in_worker,
+                    named,
+                    record.kind,
+                    record.backend,
+                    record.encoding,
+                    None if self._cache_root is None else str(self._cache_root),
+                ).result()
+            else:
+                fields = _run_analysis(
+                    self.pipeline, named, record.kind, record.backend, record.encoding
+                )
+            self.jobs.update(job_id, **fields)
+        except Exception as exc:
+            self.jobs.update(
+                job_id, status="failed", error=f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            with self._lock:
+                self._sources.pop(job_id, None)
 
 
-def _execute_job(service: SoteriaService, job_id: str) -> None:
-    """Worker body: run the pipeline for one job and record the verdict.
-
-    Module-level so a process pool can ship it; with the default thread
-    pool it shares the service's store directly.
-    """
-    with service._lock:
-        named = service._sources.get(job_id)
-    record = service.jobs.get(job_id)
-    if record is None or named is None:
-        return
-    service.jobs.update(job_id, status="running")
-    try:
-        if record.kind == "app":
-            name, source = named[0]
-            analysis = service.pipeline.app_analysis(
-                source, name=name, backend=record.backend, encoding=record.encoding
-            )
-            violations = analysis.violations
-            skipped = list(analysis.skipped_properties)
-            resolved_encoding = analysis.encoding
-        else:
-            analysis = service.pipeline.environment_analysis(
-                [source for _name, source in named],
-                backend=record.backend,
-                encoding=record.encoding,
-            )
-            violations = analysis.violations
-            skipped = sorted(
-                {pid for member in analysis.analyses for pid in member.skipped_properties}
-            )
-            resolved_encoding = analysis.encoding
-        decision = policy.decide(violations)
-        service.jobs.update(
-            job_id,
-            status="done",
-            verdict=decision.verdict,
-            flagged=decision.flagged,
-            reason=decision.reason,
-            violations=[violation_dict(v) for v in violations],
-            checked_properties=list(analysis.checked_properties),
-            skipped_properties=skipped,
-            resolved_backend=analysis.backend,
-            resolved_encoding=resolved_encoding,
-            state_estimate=analysis.state_estimate,
+def _run_analysis(
+    pipeline: Pipeline,
+    named: list[tuple[str | None, str]],
+    kind: str,
+    backend: str,
+    encoding: str,
+) -> dict:
+    """Run the staged pipeline for one job; returns the
+    :class:`~repro.service.jobs.JobRecord` field updates as a plain
+    JSON-ready dict — the process-pool wire format."""
+    if kind == "app":
+        name, source = named[0]
+        analysis = pipeline.app_analysis(
+            source, name=name, backend=backend, encoding=encoding
         )
+        violations = analysis.violations
+        skipped = list(analysis.skipped_properties)
+    else:
+        analysis = pipeline.environment_analysis(
+            [source for _name, source in named],
+            backend=backend,
+            encoding=encoding,
+        )
+        violations = analysis.violations
+        skipped = sorted(
+            {pid for member in analysis.analyses for pid in member.skipped_properties}
+        )
+    decision = policy.decide(violations)
+    return {
+        "status": "done",
+        "verdict": decision.verdict,
+        "flagged": decision.flagged,
+        "reason": decision.reason,
+        "violations": [violation_dict(v) for v in violations],
+        "checked_properties": list(analysis.checked_properties),
+        "skipped_properties": skipped,
+        "resolved_backend": analysis.backend,
+        "resolved_encoding": analysis.encoding,
+        "state_estimate": analysis.state_estimate,
+    }
+
+
+def _analyze_in_worker(
+    named: list[tuple[str | None, str]],
+    kind: str,
+    backend: str,
+    encoding: str,
+    cache_root: str | None,
+) -> dict:
+    """Process-pool worker body: picklable data in, picklable dict out.
+
+    Receives the named sources, the job kind, the knobs, and the cache
+    root — never the service instance — and analyzes on the worker
+    process's shared pipeline over that root, so a worker reuses its own
+    artifacts across jobs and, with a disk root, shares them with every
+    other process through the store's disk layer.
+
+    Failures travel as plain data too: an exception that does not
+    survive the pickle round trip would kill the pool's result reader
+    and brick every job after it, so nothing raised here ever crosses
+    the process boundary as an exception object.
+    """
+    try:
+        return _run_analysis(pipeline_for(cache_root), named, kind, backend, encoding)
     except Exception as exc:
-        service.jobs.update(job_id, status="failed", error=f"{type(exc).__name__}: {exc}")
-    finally:
-        with service._lock:
-            service._sources.pop(job_id, None)
+        return {"status": "failed", "error": f"{type(exc).__name__}: {exc}"}
 
 
 # ======================================================================
@@ -324,7 +428,26 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(404, {"error": f"unknown path {path!r}"})
             return
         try:
-            length = int(self.headers.get("Content-Length", "0"))
+            raw_length = self.headers.get("Content-Length", "0")
+            try:
+                length = int(raw_length)
+            except ValueError:
+                self.close_connection = True  # body unread: drop the socket
+                raise SubmissionError(
+                    f"Content-Length must be an integer, got {raw_length!r}"
+                ) from None
+            if length < 0:
+                self.close_connection = True
+                raise SubmissionError("Content-Length must be non-negative")
+            if length > MAX_BODY_BYTES:
+                # Refuse before reading: an attacker-sized body must not
+                # be buffered just to be rejected.
+                self.close_connection = True
+                self._json(
+                    413,
+                    {"error": f"submission body exceeds {MAX_BODY_BYTES} bytes"},
+                )
+                return
             try:
                 body = json.loads(self.rfile.read(length) or b"{}")
             except json.JSONDecodeError as exc:

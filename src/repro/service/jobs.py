@@ -117,7 +117,9 @@ class JobStore:
         Returns ``(record, created)`` — ``created`` is False when the
         submission key matched an existing job (any status: a queued or
         running duplicate attaches to the in-flight job, a finished one
-        returns the stored verdict without re-running anything).
+        returns the stored verdict without re-running anything, and a
+        failed one is re-scheduled by the service layer —
+        :meth:`repro.service.app.SoteriaService.submit`).
         """
         with self._lock:
             existing_id = self._by_key.get(record.key)
@@ -202,11 +204,17 @@ class JobStore:
                 record = JobRecord(**data)
             except Exception:
                 continue  # torn/stale file: skip, do not crash startup
-            if record.status == "running":
-                # The process died mid-analysis; surface it as failed so
-                # a resubmission (new knobs => new key) can retry.
+            if record.status in ("queued", "running"):
+                # The process died before/while analyzing; no worker owns
+                # the record anymore, so surface it as failed —
+                # :meth:`repro.service.app.SoteriaService.submit`
+                # re-schedules failed jobs on identical resubmission.
+                record.error = (
+                    "service restarted during analysis"
+                    if record.status == "running"
+                    else "service restarted before analysis started"
+                )
                 record.status = "failed"
-                record.error = "service restarted during analysis"
             records.append(record)
         records.sort(key=lambda record: record.created_at)
         for record in records:

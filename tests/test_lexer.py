@@ -180,3 +180,16 @@ class TestNewlineHandling:
     def test_eof_word_terminates(self):
         # regression: "" in "_$" is True — EOF must not loop forever
         assert values("abc") == ["abc"]
+
+
+def test_lex_error_survives_pickling():
+    # A LexError raised in a batch/service worker process must
+    # reconstruct in the parent; a failed unpickle bricks the pool.
+    import pickle
+
+    with pytest.raises(LexError) as caught:
+        tokenize("'oops")
+    clone = pickle.loads(pickle.dumps(caught.value))
+    assert isinstance(clone, LexError)
+    assert str(clone) == str(caught.value)
+    assert (clone.line, clone.col) == (caught.value.line, caught.value.col)

@@ -266,3 +266,16 @@ class TestErrors:
     def test_missing_paren(self):
         with pytest.raises(ParseError):
             parse("def f() { g(1, }")
+
+
+def test_parse_error_survives_pickling():
+    # A ParseError raised in a batch/service worker process must
+    # reconstruct in the parent; a failed unpickle bricks the pool.
+    import pickle
+
+    with pytest.raises(ParseError) as caught:
+        parse("def f() { if (x) {")
+    clone = pickle.loads(pickle.dumps(caught.value))
+    assert isinstance(clone, ParseError)
+    assert str(clone) == str(caught.value)
+    assert clone.token == caught.value.token

@@ -202,6 +202,43 @@ class TestStageReuse:
         assert after["model"]["misses"] == before["model"]["misses"] + 1
         assert after["check"]["misses"] == before["check"]["misses"] + 1
 
+    def test_explicit_budget_raises_even_on_warm_union_cache(self):
+        # The union for these members is cached by the first call; a
+        # later explicit run under a tighter budget must still raise the
+        # cold path's StateExplosionError, never serve the cached union.
+        from repro.model.extractor import StateExplosionError
+
+        pipeline = Pipeline()
+        members = [load_app("App1"), load_app("App15")]
+        env = pipeline.environment_analysis(list(members))
+        assert env.backend == "explicit"
+        with pytest.raises(StateExplosionError):
+            pipeline.environment_analysis(
+                list(members), backend="explicit", max_union_states=1
+            )
+
+    def test_member_db_provenance_keys_union_artifacts(self, tmp_path):
+        # An analysis records the capability-db token it ran under, so a
+        # member precomputed with a custom database never aliases the
+        # default database's model/union keys — and union artifacts
+        # derived from it stay out of the disk layer.
+        import copy
+
+        from repro.platform.capabilities import default_database
+
+        store = ArtifactStore(tmp_path)
+        pipeline = Pipeline(store)
+        custom = copy.deepcopy(default_database())
+        member = pipeline.app_analysis(load_app("App1"), db=custom)
+        default_member = pipeline.app_analysis(load_app("App1"))
+        assert member.db_token != "default"
+        assert default_member.db_token == "default"
+        assert pipeline._model_key_for(member) != pipeline._model_key_for(
+            default_member
+        )
+        pipeline.environment_analysis([member, load_app("App15")])
+        assert store.entries("union") == []
+
     def test_custom_db_stays_out_of_the_disk_layer(self, tmp_path):
         # Keys derived from a process-local capability database mean
         # nothing to another process: they must never be persisted.

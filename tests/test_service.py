@@ -9,7 +9,9 @@ without re-running a single pipeline stage.
 """
 
 import concurrent.futures
+import http.client
 import json
+import pickle
 import threading
 import urllib.error
 import urllib.request
@@ -17,7 +19,13 @@ import urllib.request
 import pytest
 
 from repro.corpus.loader import load_source
-from repro.service.app import build_server
+from repro.pipeline.stages import source_digest
+from repro.service.app import (
+    MAX_BODY_BYTES,
+    SoteriaService,
+    _analyze_in_worker,
+    build_server,
+)
 from repro.service.jobs import JobRecord, JobStore, job_id_for, submission_key
 from repro.service.policy import APPROVED, NEEDS_REVIEW, decide
 from repro.properties.catalog import Violation
@@ -145,11 +153,16 @@ class TestJobStore:
         store.update(done.id, status="done", verdict=APPROVED)
         crashed, _ = store.submit(self._record(name="Crashed"))
         store.update(crashed.id, status="running")
+        # Persisted at submit time, never picked up by a worker: must
+        # not reload as an unrunnable 'queued' record.
+        stuck, _ = store.submit(self._record(name="Stuck"))
 
         reborn = JobStore(tmp_path)  # a service restart
         assert reborn.get(done.id).verdict == APPROVED
         assert reborn.get(crashed.id).status == "failed"
         assert "restarted" in reborn.get(crashed.id).error
+        assert reborn.get(stuck.id).status == "failed"
+        assert "restarted" in reborn.get(stuck.id).error
         # ... and still dedupes against pre-restart submissions.
         _record, created = reborn.submit(self._record(name="Done"))
         assert not created
@@ -163,6 +176,141 @@ class TestJobStore:
         assert [job["apps"] for job in page["jobs"]] == [["A4"], ["A3"]]
         last = store.list(page=3, per_page=2)
         assert [job["apps"] for job in last["jobs"]] == [["A0"]]
+
+
+# ----------------------------------------------------------------------
+# Service core: failed-job retry + worker pools
+# ----------------------------------------------------------------------
+def _total_misses(service):
+    return sum(c["misses"] for c in service.pipeline.store.counters().values())
+
+
+class TestServiceCore:
+    def test_failed_job_retries_on_identical_resubmission(self, tmp_path):
+        service = SoteriaService(state_dir=tmp_path / "state")
+        try:
+            entries = [("Broken", "this is not groovy {")]
+            record, created = service.submit(entries)
+            assert created
+            record = service.wait(record.id, timeout=120)
+            assert record.status == "failed"
+            misses_before = _total_misses(service)
+
+            again, created = service.submit(entries)
+            assert not created            # same job record ...
+            assert again.id == record.id
+            final = service.wait(record.id, timeout=120)
+            assert final.status == "failed"  # still broken — but it re-ran:
+            assert _total_misses(service) > misses_before
+        finally:
+            service.shutdown()
+
+    def test_done_job_is_never_retried(self, tmp_path):
+        service = SoteriaService(state_dir=tmp_path / "state")
+        try:
+            record, _created = service.submit([("Good", GOOD)])
+            assert service.wait(record.id, timeout=120).status == "done"
+            misses_before = _total_misses(service)
+            again, created = service.submit([("Good", GOOD)])
+            assert not created
+            final = service.wait(again.id, timeout=120)
+            assert final.verdict == APPROVED
+            assert _total_misses(service) == misses_before
+        finally:
+            service.shutdown()
+
+    def test_queued_job_from_a_previous_life_recovers_and_reruns(self, tmp_path):
+        state = tmp_path / "state"
+        digest = source_digest("Good", GOOD)
+        key = submission_key([("Good", digest)])
+        # A crashed service persisted this at submit time and died
+        # before any worker picked it up.
+        JobStore(state).submit(
+            JobRecord(
+                id=job_id_for(key), key=key, kind="app",
+                apps=["Good"], digests=[digest],
+            )
+        )
+        service = SoteriaService(state_dir=state)
+        try:
+            assert service.jobs.get(job_id_for(key)).status == "failed"
+            record, created = service.submit([("Good", GOOD)])
+            assert not created    # dedupes against the recovered record
+            final = service.wait(record.id, timeout=120)
+            assert final.status == "done"
+            assert final.verdict == APPROVED
+        finally:
+            service.shutdown()
+
+
+class TestProcessPool:
+    def test_worker_payload_and_result_are_picklable(self, tmp_path):
+        args = ([("Bad", BAD)], "app", "auto", "auto", str(tmp_path / "cache"))
+        pickle.dumps((_analyze_in_worker, args))  # what the pool ships
+        fields = _analyze_in_worker(*args)
+        pickle.dumps(fields)                      # what the worker returns
+        assert fields["status"] == "done"
+        assert fields["verdict"] == NEEDS_REVIEW
+        assert fields["violations"]
+
+    def test_environment_jobs_through_the_worker_body(self):
+        fields = _analyze_in_worker(
+            [("Good", GOOD), ("Bad", BAD)], "environment", "auto", "auto", None
+        )
+        assert fields["verdict"] == NEEDS_REVIEW
+        assert {v["property_id"] for v in fields["violations"]} >= {"P.30", "P.11"}
+
+    def test_process_pool_service_end_to_end(self, tmp_path):
+        # Falls back to threads where multiprocessing is unavailable —
+        # either way the verdicts and failure recording must hold.
+        service = SoteriaService(
+            cache_dir=tmp_path / "cache", state_dir=tmp_path / "state",
+            pool="process",
+        )
+        try:
+            assert service.pool_kind in ("process", "thread")
+            record, _ = service.submit([("Bad", BAD)])
+            final = service.wait(record.id, timeout=300)
+            assert final.status == "done", final.error
+            assert final.verdict == NEEDS_REVIEW
+            assert final.violations  # decoded payloads crossed the boundary
+
+            broken, _ = service.submit([("Broken", "not groovy {")])
+            final = service.wait(broken.id, timeout=300)
+            assert final.status == "failed"  # recorded by the parent
+            assert "ParseError" in final.error  # the real cause, not a
+            #                                     pool-infrastructure error
+
+            # A failed job must not poison the pool: the next one runs.
+            after, _ = service.submit([("Good", GOOD)])
+            final = service.wait(after.id, timeout=300)
+            assert final.status == "done", final.error
+            assert final.verdict == APPROVED
+        finally:
+            service.shutdown()
+
+    def test_worker_pool_failure_is_recorded_not_swallowed(self, tmp_path):
+        # A pool whose futures fail before the worker body runs (e.g. a
+        # pickling error in the executor feeder): the job must come back
+        # 'failed', never hang 'queued'/'running' forever.
+        class ExplodingPool:
+            def submit(self, *_args, **_kwargs):
+                future = concurrent.futures.Future()
+                future.set_exception(RuntimeError("feeder blew up"))
+                return future
+
+            def shutdown(self, **_kwargs):
+                pass
+
+        service = SoteriaService(state_dir=tmp_path / "state")
+        service._process_pool = ExplodingPool()
+        try:
+            record, _ = service.submit([("Good", GOOD)])
+            final = service.wait(record.id, timeout=60)
+            assert final.status == "failed"
+            assert "feeder blew up" in final.error
+        finally:
+            service.shutdown()
 
 
 # ----------------------------------------------------------------------
@@ -304,6 +452,39 @@ class TestServiceHttp:
         assert status == 400
         status, _body = _get(server, "/v1/unknown")
         assert status == 404
+
+    def test_oversized_submission_rejected_without_reading(self, server):
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.putrequest("POST", "/v1/submissions")
+            conn.putheader("Content-Type", "application/json")
+            conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+            conn.endheaders()
+            # No body sent: the server must answer from the header alone
+            # instead of buffering an attacker-sized payload.
+            response = conn.getresponse()
+            assert response.status == 413
+            assert b"exceeds" in response.read()
+        finally:
+            conn.close()
+        assert _get(server, "/v1/health")[0] == 200
+
+    def test_malformed_content_length_is_a_400(self, server):
+        host, port = server.server_address[:2]
+        for bogus in ("nope", "-5"):
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                conn.putrequest("POST", "/v1/submissions")
+                conn.putheader("Content-Type", "application/json")
+                conn.putheader("Content-Length", bogus)
+                conn.endheaders()
+                response = conn.getresponse()
+                assert response.status == 400, bogus
+                assert b"Content-Length" in response.read()
+            finally:
+                conn.close()
+        assert _get(server, "/v1/health")[0] == 200
 
     def test_unparseable_source_fails_the_job_not_the_server(self, server):
         status, job = _post(
