@@ -40,3 +40,41 @@ def thirdparty_analyses():
 @pytest.fixture(scope="session")
 def maliot_analyses():
     return analyze_corpus("maliot")
+
+
+# ----------------------------------------------------------------------
+# Machine-readable benchmark results: BENCH_bdd_kernel.json at the repo
+# root collects wall-clock + peak-node numbers so the perf trajectory of
+# the BDD kernels is tracked across PRs.
+# ----------------------------------------------------------------------
+import json
+import threading
+from pathlib import Path
+
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_bdd_kernel.json"
+_bench_lock = threading.Lock()
+
+
+def record_bench(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_bdd_kernel.json``.
+
+    Sections are replaced wholesale (last run wins); unrelated sections
+    written by other benchmark modules are preserved.
+    """
+    with _bench_lock:
+        data: dict = {}
+        if BENCH_JSON_PATH.is_file():
+            try:
+                data = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+            except ValueError:
+                data = {}
+        data[section] = payload
+        BENCH_JSON_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """The section writer for ``BENCH_bdd_kernel.json``."""
+    return record_bench

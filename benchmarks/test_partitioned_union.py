@@ -48,7 +48,7 @@ def corpus_models():
     return [analyses[app_id].model for app_id in ids]
 
 
-def test_all_corpus_union_checked_partitioned(benchmark, corpus_models):
+def test_all_corpus_union_checked_partitioned(benchmark, corpus_models, bench_json):
     analyses = analyze_corpus("all")
     ids = [a for ds in ("official", "thirdparty", "maliot") for a in app_ids(ds)]
     members = [analyses[app_id] for app_id in ids]
@@ -78,6 +78,16 @@ def test_all_corpus_union_checked_partitioned(benchmark, corpus_models):
     violated = environment.violated_ids()
     assert {"P.3", "P.14"} <= violated
     assert environment.multi_app_violations()
+    bench_json(
+        "all_corpus_partitioned_check",
+        {
+            "apps": 82,
+            "seconds": round(elapsed, 3),
+            "kernel": environment.kernel,
+            "peak_nodes": (environment.kernel_stats or {}).get("peak_nodes"),
+            "violated_property_ids": sorted(violated),
+        },
+    )
     print(
         f"\n82-app union (~2^{estimate.bit_length() - 1} states) checked "
         f"in {elapsed:.1f}s; {len(violated)} property ids violated"
@@ -95,7 +105,9 @@ def test_all_corpus_sweep_mode_has_no_failures(corpus_models):
 
 
 @pytest.mark.parametrize("size", [8, 16, 24, 40])
-def test_partitioned_vs_monolithic_crossover(benchmark, corpus_models, size):
+def test_partitioned_vs_monolithic_crossover(
+    benchmark, corpus_models, size, bench_json
+):
     """Encode the same corpus prefix both ways; record times and peak
     node counts.  Small unions favor the fused relation (images are one
     and_exists), wide unions are partition-only territory — the measured
@@ -138,6 +150,25 @@ def test_partitioned_vs_monolithic_crossover(benchmark, corpus_models, size):
         pass
 
     fragments = len(partitioned.fragments)
+    bench_json(
+        f"crossover_{size}_apps",
+        {
+            "apps": size,
+            "fragments": fragments,
+            "partitioned": {
+                "seconds": round(partitioned_s, 3),
+                "peak_nodes": partitioned_peak,
+            },
+            "monolithic": (
+                None
+                if monolithic_s is None
+                else {
+                    "seconds": round(monolithic_s, 3),
+                    "peak_nodes": monolithic_peak,
+                }
+            ),
+        },
+    )
     if monolithic_s is None:
         print(
             f"\n{size} apps / {fragments} fragments: partitioned "

@@ -3,12 +3,13 @@
 Subcommands::
 
     soteria analyze app.groovy [--dot out.dot] [--smv out.smv]
-    soteria env app1.groovy app2.groovy ... [--backend B] [--encoding E]
+    soteria env app1.groovy ... [--backend B] [--encoding E] [--kernel K]
     soteria corpus [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
     soteria sweep [official|thirdparty|maliot|all] [--jobs N] [--cache-dir D]
                   [--pairs] [--all-corpus] [--backend B] [--encoding E]
+                  [--kernel K]
     soteria fuzz [--seed S] [--count N] [--jobs N] [--out DIR]
-                 [--mix DATASET] [--encoding E] [--replay DIR]
+                 [--mix DATASET] [--encoding E] [--kernel K] [--replay DIR]
     soteria serve [--host H] [--port P] [--jobs N] [--cache-dir D]
                   [--state-dir D] [--pool thread|process]
     soteria cache [--cache-dir D] [--clear]
@@ -28,6 +29,16 @@ fragment-count threshold).  ``sweep --all-corpus`` runs the extreme case:
 one union environment containing *every* app of the dataset (the full
 82-app corpus for ``all``, ~2^115 product states), checked symbolically
 end to end.
+
+``--kernel`` selects the BDD kernel the symbolic checker runs on:
+``fast`` (the array-backed core — the default behind ``auto``),
+``reference`` (the dict-of-nodes manager, kept as the differential
+oracle), or ``dd`` where the optional ``dd``/CUDD package is installed.
+``fuzz --kernel both`` runs every symbolic pass on reference AND fast,
+turning each case into a cross-kernel differential.  Symbolic runs print
+a kernel-stats block (live/peak nodes, cache hit rate, reorders) after
+the report — the per-process aggregate of the same counters the service
+exposes under ``/v1/stats``.
 
 ``fuzz`` synthesizes scenario apps beyond the bundled corpus
 (:mod:`repro.gen`) and differentially cross-checks the two backends on
@@ -56,6 +67,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.mc.kernel import KERNEL_CHOICES, aggregate_kernel_stats
 from repro.model.encoder import ENCODINGS
 from repro.reporting.dot import to_dot
 from repro.reporting.report import render_report
@@ -63,10 +75,35 @@ from repro.reporting.smv import to_smv
 from repro.soteria import analyze_app, analyze_environment
 
 
+def _print_kernel_stats(aggregates: dict[str, dict] | None = None) -> None:
+    """Render the process-wide BDD-kernel counters, cache-table style.
+
+    Nothing is printed when no symbolic check ran (explicit-only runs
+    have no kernel to report on).
+    """
+    if aggregates is None:
+        aggregates = aggregate_kernel_stats()
+    for name in sorted(aggregates):
+        agg = aggregates[name]
+        hit_rate = agg.get("hit_rate")
+        print(f"\nBDD kernel {name}: {agg['runs']} symbolic check(s)")
+        for label, value in (
+            ("peak nodes", agg.get("peak_nodes")),
+            ("max live nodes", agg.get("max_live_nodes")),
+            ("cache lookups", agg.get("cache_lookups")),
+            ("cache hit rate", None if hit_rate is None else f"{hit_rate:.1%}"),
+            ("gc runs", agg.get("gc_runs")),
+            ("nodes collected", agg.get("nodes_collected")),
+            ("reorders", agg.get("reorders")),
+        ):
+            if value is not None:
+                print(f"  {label:16s} {value}")
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     with open(args.app, encoding="utf-8") as handle:
         source = handle.read()
-    analysis = analyze_app(source)
+    analysis = analyze_app(source, kernel=args.kernel)
     print(render_report(analysis))
     # The symbolic fallback (models past the extractor budget) has no
     # materialized transitions: exporting would silently write an empty
@@ -88,6 +125,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         with open(flag, "w", encoding="utf-8") as out:
             out.write(renderer(analysis.model))
         print(f"\n{label} written to {flag}")
+    _print_kernel_stats()
     return 1 if analysis.violations else 0
 
 
@@ -97,9 +135,13 @@ def _cmd_env(args: argparse.Namespace) -> int:
         with open(path, encoding="utf-8") as handle:
             sources.append(handle.read())
     environment = analyze_environment(
-        sources, backend=args.backend, encoding=args.encoding
+        sources,
+        backend=args.backend,
+        encoding=args.encoding,
+        kernel=args.kernel,
     )
     print(render_report(environment))
+    _print_kernel_stats()
     return 1 if environment.violations else 0
 
 
@@ -136,6 +178,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         pairwise=args.pairs,
         backend=args.backend,
         encoding=args.encoding,
+        kernel=args.kernel,
         all_corpus=args.all_corpus,
         **budget,
     )
@@ -162,6 +205,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             tag = f" [{environment.backend}"
             if environment.encoding is not None:
                 tag += f"/{environment.encoding}"
+            if environment.kernel is not None:
+                tag += f"/{environment.kernel}"
             tag += "]"
         estimate = environment.state_estimate
         shown = (
@@ -172,6 +217,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"    environment-only: {', '.join(env_only)}")
         failures += bool(ids)
     print(f"\n{failures} environment(s) with violations, {failed} failed")
+    _print_kernel_stats()
     if failures:
         return 1
     # Failed groups were never verified: "no violations found" is not
@@ -187,7 +233,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         print(message)
         return 1 if reproduced else 0
 
-    config = FuzzConfig(mix_dataset=args.mix, encoding=args.encoding)
+    config = FuzzConfig(
+        mix_dataset=args.mix, encoding=args.encoding, kernel=args.kernel
+    )
     report = run_fuzz(
         seed=args.seed,
         count=args.count,
@@ -294,6 +342,13 @@ def main(argv: list[str] | None = None) -> int:
     p_analyze.add_argument("app", help="path to a SmartThings .groovy file")
     p_analyze.add_argument("--dot", help="write the state model as GraphViz DOT")
     p_analyze.add_argument("--smv", help="write the state model as NuSMV input")
+    p_analyze.add_argument(
+        "--kernel",
+        choices=list(KERNEL_CHOICES),
+        default="auto",
+        help="BDD kernel if the app is too wide to check explicitly "
+        "(see `soteria env --help`)",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_env = sub.add_parser("env", help="analyze apps installed together")
@@ -314,6 +369,14 @@ def main(argv: list[str] | None = None) -> int:
         "quantification (partitioned; scales to arbitrarily wide "
         "unions), or auto (partitioned above a fragment-count "
         "threshold; default)",
+    )
+    p_env.add_argument(
+        "--kernel",
+        choices=list(KERNEL_CHOICES),
+        default="auto",
+        help="BDD kernel for the symbolic checker: the array-backed "
+        "fast core (the auto default), the reference dict-of-nodes "
+        "manager, or dd/CUDD where installed",
     )
     p_env.set_defaults(func=_cmd_env)
 
@@ -391,6 +454,13 @@ def main(argv: list[str] | None = None) -> int:
         help="symbolic relation encoding (see `soteria env --help`); "
         "auto partitions wide unions — required for --all-corpus scale",
     )
+    p_sweep.add_argument(
+        "--kernel",
+        choices=list(KERNEL_CHOICES),
+        default="auto",
+        help="BDD kernel for symbolic union checks (see `soteria env "
+        "--help`); sweep results are cached per kernel",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_fuzz = sub.add_parser(
@@ -429,6 +499,14 @@ def main(argv: list[str] | None = None) -> int:
         help="symbolic encoding(s) to differential-test against the "
         "explicit oracle; 'both' cross-checks monolithic AND "
         "partitioned on every case",
+    )
+    p_fuzz.add_argument(
+        "--kernel",
+        choices=[*KERNEL_CHOICES, "both"],
+        default="auto",
+        help="BDD kernel(s) for the symbolic passes; 'both' runs every "
+        "symbolic pass on the reference AND the fast kernel — a "
+        "cross-kernel differential on every case",
     )
     p_fuzz.add_argument(
         "--replay",

@@ -144,7 +144,7 @@ class SweepCache:
 
     Keyed on the *sorted* member source digests (group order is
     irrelevant: the union's violation set does not depend on it) plus the
-    pipeline version and the requested backend/encoding knobs, so a warm
+    pipeline version and the requested backend/encoding/kernel knobs, so a warm
     ``soteria sweep`` run serves finished
     :class:`~repro.soteria.EnvironmentAnalysis` objects without building,
     encoding, or checking any union model — while a forced
@@ -169,19 +169,29 @@ class SweepCache:
 
     @staticmethod
     def key_for(
-        digests: Sequence[str], backend: str = "auto", encoding: str = "auto"
+        digests: Sequence[str],
+        backend: str = "auto",
+        encoding: str = "auto",
+        kernel: str = "auto",
     ) -> str:
         """The group key: SHA-256 over the sorted member source digests
-        plus the backend/encoding knobs the sweep was asked to use (a
-        forced ``--encoding partitioned`` validation run must never be
-        served a result the ``auto`` path produced)."""
-        joined = "\n".join(sorted(digests)) + f"\n#{backend}/{encoding}"
+        plus the backend/encoding/kernel knobs the sweep was asked to use
+        (a forced ``--encoding partitioned`` or ``--kernel reference``
+        validation run must never be served a result the ``auto`` path
+        produced)."""
+        joined = "\n".join(sorted(digests)) + f"\n#{backend}/{encoding}/{kernel}"
         return hashlib.sha256(joined.encode("utf-8")).hexdigest()
 
     def path_for(
-        self, digests: Sequence[str], backend: str = "auto", encoding: str = "auto"
+        self,
+        digests: Sequence[str],
+        backend: str = "auto",
+        encoding: str = "auto",
+        kernel: str = "auto",
     ) -> Path:
-        return self.sweep_dir / f"{self.key_for(digests, backend, encoding)}.pkl"
+        return self.sweep_dir / (
+            f"{self.key_for(digests, backend, encoding, kernel)}.pkl"
+        )
 
     # ------------------------------------------------------------------
     def get(
@@ -189,10 +199,11 @@ class SweepCache:
         digests: Sequence[str],
         backend: str = "auto",
         encoding: str = "auto",
+        kernel: str = "auto",
     ) -> EnvironmentAnalysis | None:
         """The cached environment analysis for a member-digest set, or None."""
         environment = _read_pickle(
-            self.path_for(digests, backend, encoding), EnvironmentAnalysis
+            self.path_for(digests, backend, encoding, kernel), EnvironmentAnalysis
         )
         if environment is None:
             self.misses += 1
@@ -206,10 +217,13 @@ class SweepCache:
         environment: EnvironmentAnalysis,
         backend: str = "auto",
         encoding: str = "auto",
+        kernel: str = "auto",
     ) -> None:
         """Persist one environment analysis atomically."""
         _write_pickle(
-            self.path_for(digests, backend, encoding), environment, prefix="sweep"
+            self.path_for(digests, backend, encoding, kernel),
+            environment,
+            prefix="sweep",
         )
         self.writes += 1
 

@@ -75,6 +75,11 @@ class FuzzConfig:
     #: symbolic pass with that encoding; "both" cross-checks monolithic
     #: AND partitioned on every case (the three-way differential).
     encoding: str = "auto"
+    #: BDD kernel(s) the symbolic passes run on: "auto" | "reference" |
+    #: "fast" pick one kernel; "both" runs every symbolic pass on the
+    #: reference AND the fast kernel, turning each case into a
+    #: cross-kernel differential (explicit vs reference vs fast).
+    kernel: str = "auto"
     gen: GenConfig = field(default_factory=GenConfig)
 
 
@@ -219,24 +224,31 @@ def _violation_keys(environment) -> list[tuple[str, tuple[str, ...]]]:
 
 
 def _differential(
-    analyses: list[AppAnalysis], encoding: str = "auto"
+    analyses: list[AppAnalysis], encoding: str = "auto", kernel: str = "auto"
 ) -> tuple[int, str]:
-    """Every backend/encoding over one environment; "" = full agreement.
+    """Every backend/encoding/kernel over one environment; "" = agreement.
 
     The explicit checker is the oracle; each requested symbolic encoding
     (one of ``auto``/``monolithic``/``partitioned``, or both concrete
     encodings for ``"both"``) must match it on violation sets and on
-    every per-formula verdict.
+    every per-formula verdict.  ``kernel="both"`` additionally runs every
+    symbolic pass on the reference AND the fast BDD kernel, so each case
+    cross-checks the kernels against the explicit oracle *and* against
+    each other.
     """
     explicit = analyze_environment(list(analyses), backend="explicit")
     encodings = (
         ("monolithic", "partitioned") if encoding == "both" else (encoding,)
     )
-    for chosen in encodings:
+    kernels = ("reference", "fast") if kernel == "both" else (kernel,)
+    for chosen, chosen_kernel in (
+        (enc, ker) for enc in encodings for ker in kernels
+    ):
         symbolic = analyze_environment(
-            list(analyses), backend="symbolic", encoding=chosen
+            list(analyses), backend="symbolic", encoding=chosen,
+            kernel=chosen_kernel,
         )
-        tag = f"symbolic/{symbolic.encoding}"
+        tag = f"symbolic/{symbolic.encoding}/{symbolic.kernel}"
         if _violation_keys(explicit) != _violation_keys(symbolic):
             return explicit.state_estimate, (
                 "violation sets differ: explicit="
@@ -267,11 +279,13 @@ def _member_analyses(case: _Case) -> list[AppAnalysis]:
     return analyses
 
 
-def _sources_disagree(sources: list[str], encoding: str = "auto") -> bool:
+def _sources_disagree(
+    sources: list[str], encoding: str = "auto", kernel: str = "auto"
+) -> bool:
     """Shrink predicate for mismatch cases: do the backends still differ?"""
     try:
         analyses = [analyze_app(source) for source in sources]
-        _estimate, detail = _differential(analyses, encoding)
+        _estimate, detail = _differential(analyses, encoding, kernel)
         return bool(detail)
     except Exception:
         return False
@@ -324,7 +338,9 @@ def _check_case(index: int, config: FuzzConfig) -> CaseResult:
 
     # Differential oracle over the environment.
     try:
-        estimate, detail = _differential(analyses, config.encoding)
+        estimate, detail = _differential(
+            analyses, config.encoding, config.kernel
+        )
     except Exception as exc:
         result = CaseResult(
             **base, status="error",
@@ -355,7 +371,12 @@ def _check_case(index: int, config: FuzzConfig) -> CaseResult:
     return result
 
 
-def _same_error(error_type: str, corpus_sources: list[str], encoding: str = "auto"):
+def _same_error(
+    error_type: str,
+    corpus_sources: list[str],
+    encoding: str = "auto",
+    kernel: str = "auto",
+):
     """Shrink predicate factory for pipeline-error cases: does analyzing
     the candidate sources still raise the same exception type?"""
 
@@ -364,7 +385,7 @@ def _same_error(error_type: str, corpus_sources: list[str], encoding: str = "aut
             analyses = [
                 analyze_app(source) for source in corpus_sources + candidates
             ]
-            _differential(analyses, encoding)
+            _differential(analyses, encoding, kernel)
         except Exception as exc:
             return type(exc).__name__ == error_type
         return False
@@ -392,7 +413,9 @@ def _shrink_result(
     if result.status == "mismatch":
 
         def predicate(candidates: list[str]) -> bool:
-            return _sources_disagree(corpus_sources + candidates, config.encoding)
+            return _sources_disagree(
+                corpus_sources + candidates, config.encoding, config.kernel
+            )
 
         result.shrunk = tuple(
             shrink_cluster(list(result.sources), predicate, protected)
@@ -401,7 +424,9 @@ def _shrink_result(
         result.shrunk = tuple(
             shrink_cluster(
                 list(result.sources),
-                _same_error(error_type, corpus_sources, config.encoding),
+                _same_error(
+                    error_type, corpus_sources, config.encoding, config.kernel
+                ),
                 protected,
             )
         )
@@ -492,6 +517,7 @@ def write_reproducer(
             "cluster_rate": config.cluster_rate,
             "mix_dataset": config.mix_dataset,
             "encoding": config.encoding,
+            "kernel": config.kernel,
         },
         "app_ids": list(result.app_ids),
         "corpus_members": list(result.corpus_ids),
@@ -532,12 +558,13 @@ def replay(directory: str | os.PathLike) -> tuple[bool, str]:
         return False, f"no app*.groovy files under {directory}"
 
     encoding = meta.get("config", {}).get("encoding", "auto")
+    kernel = meta.get("config", {}).get("kernel", "auto")
     try:
         analyses = [analyze_app(source) for source in sources]
     except Exception as exc:
         return True, f"pipeline error reproduced: {type(exc).__name__}: {exc}"
     try:
-        _estimate, detail = _differential(analyses, encoding)
+        _estimate, detail = _differential(analyses, encoding, kernel)
     except Exception as exc:
         return True, f"union checking error reproduced: {type(exc).__name__}: {exc}"
     if detail:

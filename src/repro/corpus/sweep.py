@@ -260,6 +260,7 @@ def _union_outcome(
     max_union_states: int | None,
     backend: str = "auto",
     encoding: str = "auto",
+    kernel: str = "auto",
     cache_dir: str | None = None,
 ) -> SweepOutcome:
     """Build + check one union model from precomputed per-app analyses.
@@ -278,6 +279,7 @@ def _union_outcome(
             max_union_states=max_union_states,
             backend=backend,
             encoding=encoding,
+            kernel=kernel,
         )
     except StateExplosionError as exc:
         # Only reachable with backend="explicit": auto hands oversized
@@ -292,10 +294,11 @@ def _sweep_worker(
     max_union_states: int | None,
     backend: str,
     encoding: str,
+    kernel: str,
     cache_dir: str | None = None,
 ) -> tuple[tuple[str, ...], SweepOutcome]:
     return group, _union_outcome(
-        group, analyses, max_union_states, backend, encoding, cache_dir
+        group, analyses, max_union_states, backend, encoding, kernel, cache_dir
     )
 
 
@@ -306,6 +309,7 @@ def sweep_environments(
     max_union_states: int | None = DEFAULT_MAX_UNION_STATES,
     backend: str = "auto",
     encoding: str = "auto",
+    kernel: str = "auto",
 ) -> list[SweepOutcome]:
     """Union-model analysis over many app groups, in input order.
 
@@ -329,10 +333,10 @@ def sweep_environments(
 
     With a ``cache_dir``, finished environment analyses are also stored
     sweep-level, keyed on the sorted member source digests + pipeline
-    version + the backend/encoding knobs: a warm sweep run serves every
-    unchanged group from disk and skips union checking entirely, and a
-    forced ``--backend``/``--encoding`` validation run is never served a
-    result a differently-configured sweep produced.
+    version + the backend/encoding/kernel knobs: a warm sweep run serves
+    every unchanged group from disk and skips union checking entirely,
+    and a forced ``--backend``/``--encoding``/``--kernel`` validation run
+    is never served a result a differently-configured sweep produced.
 
     One outcome per input group, in input order — duplicate groups are
     analyzed once and each occurrence gets the shared result.
@@ -349,7 +353,7 @@ def sweep_environments(
     if sweeps is not None:
         for group in ordered:
             digests[group] = [_source_key(app_id)[1] for app_id in group]
-            cached = sweeps.get(digests[group], backend, encoding)
+            cached = sweeps.get(digests[group], backend, encoding, kernel)
             if cached is not None:
                 outcomes[group] = SweepOutcome(
                     group=group, environment=cached, cached=True
@@ -366,7 +370,10 @@ def sweep_environments(
     # _union_outcome stays as the backstop.
     worker_cache = None if disk_path is None else str(disk_path)
     payloads: list[
-        tuple[tuple[str, ...], list[AppAnalysis], int | None, str, str, str | None]
+        tuple[
+            tuple[str, ...], list[AppAnalysis], int | None, str, str, str,
+            str | None,
+        ]
     ] = []
     for group in pending_groups:
         group_analyses = [analyses[app_id] for app_id in group]
@@ -380,7 +387,8 @@ def sweep_environments(
                 )
                 continue
         payloads.append(
-            (group, group_analyses, max_union_states, backend, encoding, worker_cache)
+            (group, group_analyses, max_union_states, backend, encoding,
+             kernel, worker_cache)
         )
 
     # min_parallel=2: a sweep payload is a whole union-model check, so
@@ -388,10 +396,12 @@ def sweep_environments(
     worker_count = _resolve_jobs(jobs, len(payloads), min_parallel=2)
     if len(payloads) > 1 and worker_count > 1:
         outcomes.update(run_in_pool(_sweep_worker, payloads, worker_count))
-    for group, group_analyses, budget, chosen, chosen_encoding, group_cache in payloads:
+    for (group, group_analyses, budget, chosen, chosen_encoding,
+         chosen_kernel, group_cache) in payloads:
         if group not in outcomes:
             outcomes[group] = _union_outcome(
-                group, group_analyses, budget, chosen, chosen_encoding, group_cache
+                group, group_analyses, budget, chosen, chosen_encoding,
+                chosen_kernel, group_cache,
             )
 
     if sweeps is not None:
@@ -399,7 +409,10 @@ def sweep_environments(
             outcome = outcomes[group]
             if outcome.environment is not None:
                 try:
-                    sweeps.put(digests[group], outcome.environment, backend, encoding)
+                    sweeps.put(
+                        digests[group], outcome.environment, backend,
+                        encoding, kernel,
+                    )
                 except Exception:
                     # Best-effort, like the per-app store: an unwritable
                     # cache volume degrades to future misses.
@@ -415,6 +428,7 @@ def sweep_dataset(
     max_union_states: int | None = DEFAULT_MAX_UNION_STATES,
     backend: str = "auto",
     encoding: str = "auto",
+    kernel: str = "auto",
     all_corpus: bool = False,
 ) -> list[SweepOutcome]:
     """Sweep one dataset's candidate environments (or all of them).
@@ -444,4 +458,5 @@ def sweep_dataset(
         max_union_states=max_union_states,
         backend=backend,
         encoding=encoding,
+        kernel=kernel,
     )

@@ -34,7 +34,19 @@ from repro.mc.ctl import (
     parse_ctl,
 )
 from repro.mc.explicit import CheckResult, ExplicitChecker, check
-from repro.mc.bdd import BDD
+from repro.mc.bdd import BDD, ReferenceKernel
+from repro.mc.fastbdd import FastKernel
+from repro.mc.kernel import (
+    DEFAULT_KERNEL,
+    KERNEL_CHOICES,
+    BddKernel,
+    aggregate_kernel_stats,
+    available_kernels,
+    make_kernel,
+    record_kernel_stats,
+    reset_kernel_stats,
+    resolve_kernel,
+)
 from repro.mc.symbolic import SymbolicChecker, SymbolicModelChecker
 from repro.mc.sat import Solver, solve
 from repro.mc.bmc import BoundedChecker
@@ -61,6 +73,17 @@ __all__ = [
     "ExplicitChecker",
     "check",
     "BDD",
+    "ReferenceKernel",
+    "FastKernel",
+    "BddKernel",
+    "DEFAULT_KERNEL",
+    "KERNEL_CHOICES",
+    "available_kernels",
+    "resolve_kernel",
+    "make_kernel",
+    "record_kernel_stats",
+    "aggregate_kernel_stats",
+    "reset_kernel_stats",
     "SymbolicChecker",
     "SymbolicModelChecker",
     "Solver",

@@ -1,11 +1,14 @@
-"""A from-scratch ROBDD (reduced ordered binary decision diagram) package.
+"""The reference ROBDD kernel: a from-scratch dict-of-node manager.
 
 Implements the classic Bryant construction: a unique table guaranteeing
 canonicity, ``ite`` as the universal connective with memoisation,
 existential quantification, variable renaming, and satisfying-assignment
-counting.  This is the substrate for the symbolic CTL checker
-(:mod:`repro.mc.symbolic`) — the reproduction's analogue of NuSMV's
-BDD engine.
+counting.  This was the substrate for the symbolic CTL checker
+(:mod:`repro.mc.symbolic`) — the reproduction's analogue of NuSMV's BDD
+engine — and is now the *reference kernel* of the pluggable-kernel layer
+(:mod:`repro.mc.kernel`): the readable recursive implementation every
+other kernel is differentially tested against.  The production default
+is the array-backed :class:`repro.mc.fastbdd.FastKernel`.
 
 Nodes are integers: 0 (false terminal), 1 (true terminal), and >= 2 for
 internal nodes stored as (level, low, high) triples.  Variable order is the
@@ -17,11 +20,18 @@ callers (relations, reachable sets, frontier lists, formula caches) stay
 valid across reorders.  Long-lived ids must be registered with
 :meth:`protect` so the mark-and-sweep collector that runs around sifting
 (:meth:`collect`) knows the live roots.
+
+The variable bookkeeping, protect/collect policy, grouped sifting search,
+auto-reorder trigger, and the early-quantification schedule live in
+:class:`repro.mc.kernel.KernelBase`; this module implements only the
+node table and the recursive traversals.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.mc.kernel import TERMINAL_LEVEL, KernelBase
 
 
 @dataclass(frozen=True)
@@ -32,75 +42,22 @@ class _Node:
 
 
 #: Sentinel level of the two terminals — below every real variable.
-_TERMINAL_LEVEL = 1 << 30
+_TERMINAL_LEVEL = TERMINAL_LEVEL
 
 
-class BDD:
+class BDD(KernelBase):
     """A BDD manager: all nodes live in one shared, reduced graph."""
 
-    FALSE = 0
-    TRUE = 1
+    KERNEL_NAME = "reference"
 
     def __init__(self) -> None:
+        super().__init__()
         self._nodes: list[_Node | None] = [
             _Node(level=_TERMINAL_LEVEL, low=0, high=0),   # 0: false terminal
             _Node(level=_TERMINAL_LEVEL, low=1, high=1),   # 1: true terminal
         ]
         self._unique: dict[tuple[int, int, int], int] = {}
         self._ite_cache: dict[tuple[int, int, int], int] = {}
-        #: Memoized support sets (level frozensets per node id); dropped on
-        #: reorder (levels shift) and collection (ids die).
-        self._support_cache: dict[int, frozenset[int]] = {}
-        self._var_names: list[str] = []
-        self._var_ids: dict[str, int] = {}
-        #: Live nodes per level (maintained by _mk / collect / swaps).
-        self._level_nodes: dict[int, set[int]] = {}
-        #: Refcounted GC roots: node id -> protect count.
-        self._protected: dict[int, int] = {}
-        #: Dynamic-reordering configuration (see set_auto_reorder).
-        self._reorder_groups: list[list[str]] | None = None
-        self._reorder_threshold: int | None = None
-        #: Table size below which maybe_reorder won't even try a GC —
-        #: bumped to 2x the live size after every collection so a table
-        #: hovering at the threshold can't trigger a full mark-and-sweep
-        #: on each call (the sweep must free at least half the table to
-        #: pay for itself).
-        self._gc_watermark: int = 0
-        #: Number of completed sift passes (observability for tests/benchmarks).
-        self.reorder_count = 0
-
-    # ------------------------------------------------------------------
-    # Variables
-    # ------------------------------------------------------------------
-    def add_var(self, name: str) -> int:
-        """Register a variable (order = registration order); returns the
-        BDD node for the positive literal."""
-        if name in self._var_ids:
-            return self.var(name)
-        self._var_ids[name] = len(self._var_names)
-        self._var_names.append(name)
-        return self.var(name)
-
-    def var(self, name: str) -> int:
-        level = self._var_ids[name]
-        return self._mk(level, self.FALSE, self.TRUE)
-
-    def nvar(self, name: str) -> int:
-        level = self._var_ids[name]
-        return self._mk(level, self.TRUE, self.FALSE)
-
-    def var_count(self) -> int:
-        return len(self._var_names)
-
-    def level_of(self, name: str) -> int:
-        return self._var_ids[name]
-
-    def name_of(self, level: int) -> str:
-        return self._var_names[level]
-
-    def var_order(self) -> list[str]:
-        """Variable names from the top of the order to the bottom."""
-        return list(self._var_names)
 
     # ------------------------------------------------------------------
     # Core construction
@@ -119,6 +76,14 @@ class BDD:
 
     def node(self, node_id: int) -> _Node:
         return self._nodes[node_id]
+
+    def node_triple(self, node_id: int) -> tuple[int, int, int] | None:
+        """The (level, low, high) triple of a node, or None when the slot
+        was collected — the kernel-portable introspection hook."""
+        node = self._nodes[node_id]
+        if node is None:
+            return None
+        return (node.level, node.low, node.high)
 
     def ite(self, f: int, g: int, h: int) -> int:
         """if-then-else: f ? g : h — the universal boolean connective."""
@@ -162,34 +127,9 @@ class BDD:
     def not_(self, f: int) -> int:
         return self.ite(f, self.FALSE, self.TRUE)
 
-    def xor(self, f: int, g: int) -> int:
-        return self.ite(f, self.not_(g), g)
-
-    def implies(self, f: int, g: int) -> int:
-        return self.ite(f, g, self.TRUE)
-
-    def iff(self, f: int, g: int) -> int:
-        return self.ite(f, g, self.not_(g))
-
-    def conj(self, items: list[int]) -> int:
-        result = self.TRUE
-        for item in items:
-            result = self.and_(result, item)
-        return result
-
-    def disj(self, items: list[int]) -> int:
-        result = self.FALSE
-        for item in items:
-            result = self.or_(result, item)
-        return result
-
     # ------------------------------------------------------------------
     # Quantification and substitution
     # ------------------------------------------------------------------
-    def exists(self, names: list[str], f: int) -> int:
-        levels = sorted(self._var_ids[name] for name in names)
-        return self._exists(frozenset(levels), f, {})
-
     def _exists(self, levels: frozenset[int], f: int, cache: dict[int, int]) -> int:
         if f in (self.TRUE, self.FALSE):
             return f
@@ -205,20 +145,6 @@ class BDD:
             result = self._mk(node.level, low, high)
         cache[f] = result
         return result
-
-    def forall(self, names: list[str], f: int) -> int:
-        return self.not_(self.exists(names, self.not_(f)))
-
-    def and_exists(self, names: list[str], f: int, g: int) -> int:
-        """The relational product ``exists names . f & g`` in one pass.
-
-        The workhorse of symbolic image computation (``names`` is one
-        variable block, e.g. all next-state variables): fusing the
-        conjunction with the quantification never materializes ``f & g``,
-        whose BDD can be far larger than the quantified result.
-        """
-        levels = frozenset(self._var_ids[name] for name in names)
-        return self._and_exists(levels, f, g, {})
 
     def _and_exists(
         self,
@@ -252,64 +178,6 @@ class BDD:
             result = self._mk(level, low, high)
         cache[key] = result
         return result
-
-    def and_exists_list(self, names: list[str], conjuncts: list[int]) -> int:
-        """``exists names . conjunct_1 & ... & conjunct_k`` with an early
-        quantification schedule.
-
-        The partitioned-transition-relation workhorse: a fragment of the
-        relation is kept as a *list* of conjuncts (the frontier set, the
-        guard atoms, the write cube), and each quantified variable is
-        existentially eliminated as soon as no later conjunct mentions it —
-        so the intermediate products never carry variables that are about
-        to disappear.  Conjuncts are scheduled greedily: at every step the
-        one releasing the most quantified variables is merged next.
-        """
-        levels = frozenset(
-            self._var_ids[name] for name in names if name in self._var_ids
-        )
-        items = list(conjuncts)
-        if not items:
-            return self.TRUE
-        supports = [self._support_levels(f) for f in items]
-        remaining = list(range(len(items)))
-        acc = self.TRUE
-        live: set[int] = set()   # quantified levels already inside ``acc``
-        while remaining:
-            best = None
-            best_key: tuple[int, int, int] | None = None
-            for idx in remaining:
-                others: set[int] = set()
-                for j in remaining:
-                    if j != idx:
-                        others |= supports[j]
-                releasable = (live | (supports[idx] & levels)) - others
-                # Most released vars first; among ties prefer the smaller
-                # conjunct support, then input order (determinism).
-                key = (-len(releasable), len(supports[idx]), idx)
-                if best_key is None or key < best_key:
-                    best, best_key = idx, key
-            assert best is not None
-            others = set()
-            for j in remaining:
-                if j != best:
-                    others |= supports[j]
-            releasable = (live | (supports[best] & levels)) - others
-            if releasable:
-                acc = self._and_exists(frozenset(releasable), acc, items[best], {})
-            else:
-                acc = self.and_(acc, items[best])
-            live = (live | (supports[best] & levels)) - releasable
-            remaining.remove(best)
-            if acc == self.FALSE:
-                return self.FALSE
-        return acc
-
-    def support(self, f: int) -> frozenset[str]:
-        """The set of variables ``f`` depends on."""
-        return frozenset(
-            self._var_names[level] for level in self._support_levels(f)
-        )
 
     def _support_levels(self, f: int) -> frozenset[int]:
         if f in (self.TRUE, self.FALSE):
@@ -445,22 +313,6 @@ class BDD:
     # ------------------------------------------------------------------
     # Garbage collection (roots must be registered or passed explicitly)
     # ------------------------------------------------------------------
-    def protect(self, f: int) -> int:
-        """Register ``f`` as a GC root (refcounted); returns ``f``."""
-        self._protected[f] = self._protected.get(f, 0) + 1
-        return f
-
-    def unprotect(self, f: int) -> None:
-        count = self._protected.get(f, 0)
-        if count <= 1:
-            self._protected.pop(f, None)
-        else:
-            self._protected[f] = count - 1
-
-    def live_size(self) -> int:
-        """Number of non-terminal nodes currently in the node table."""
-        return sum(len(nodes) for nodes in self._level_nodes.values())
-
     def allocated_nodes(self) -> int:
         """Total nodes ever allocated (the peak table size: slots are
         never reused, so this is monotone — benchmarks report it as the
@@ -497,10 +349,12 @@ class BDD:
             collected += 1
         self._ite_cache.clear()
         self._support_cache.clear()
+        self._gc_runs += 1
+        self._nodes_collected += collected
         return collected
 
     # ------------------------------------------------------------------
-    # Dynamic variable reordering (Rudell-style sifting, in place)
+    # Reordering primitive (the search strategy lives in KernelBase)
     # ------------------------------------------------------------------
     def swap_adjacent(self, level: int) -> None:
         """Exchange the variables at ``level`` and ``level + 1`` in place.
@@ -578,149 +432,20 @@ class BDD:
         self._var_ids[name_a], self._var_ids[name_b] = lower_level, level
         self._support_cache.clear()
 
-    def _swap_blocks(self, start: int, size_a: int, size_b: int) -> None:
-        """Exchange the adjacent variable blocks [start, start+size_a) and
-        [start+size_a, start+size_a+size_b), preserving the internal order
-        of both blocks (a sequence of adjacent swaps)."""
-        for moved in range(size_a):
-            position = start + size_a - 1 - moved
-            for step in range(size_b):
-                self.swap_adjacent(position + step)
+    # ------------------------------------------------------------------
+    # Observability hooks
+    # ------------------------------------------------------------------
+    def _unique_entries(self) -> int:
+        return len(self._unique)
 
-    def sift(
-        self,
-        groups: list[list[str]] | None = None,
-        roots: tuple[int, ...] | list[int] = (),
-        max_groups: int | None = None,
-        max_growth: float = 2.0,
-    ) -> None:
-        """Sifting-based dynamic reordering over variable *groups*.
+    def _computed_entries(self) -> int:
+        return len(self._ite_cache)
 
-        Each group (default: every variable on its own) is moved as one
-        block through every position of the order; the position minimizing
-        the node table is kept.  Grouping is how the encoder preserves its
-        interleaved current/next pairing invariant: passing the (x, y)
-        pairs as groups keeps each pair adjacent and in x-before-y order
-        no matter where sifting parks it.
-
-        ``roots`` (plus every :meth:`protect`-ed id) feed the collector:
-        garbage is swept before sifting and between groups so the size
-        metric tracks live nodes.  A direction of travel is abandoned once
-        the table grows past ``max_growth`` times the best size seen.
-        """
-        if len(self._var_names) < 2:
-            return
-        if groups is None:
-            blocks = [[name] for name in self._var_names]
-        else:
-            blocks = [list(group) for group in groups]
-            covered = [name for block in blocks for name in block]
-            if sorted(covered) != sorted(self._var_names):
-                raise ValueError("groups must partition the variable set")
-            for block in blocks:
-                levels = sorted(self._var_ids[name] for name in block)
-                if levels != list(range(levels[0], levels[0] + len(block))):
-                    raise ValueError(f"group {block} is not contiguous in the order")
-        self.collect(roots)
-
-        def population(block: list[str]) -> int:
-            return sum(
-                len(self._level_nodes.get(self._var_ids[name], ()))
-                for name in block
-            )
-
-        by_population = sorted(blocks, key=population, reverse=True)
-        if max_groups is not None:
-            by_population = by_population[:max_groups]
-        for block in by_population:
-            self._sift_block(blocks, block, max_growth)
-            self.collect(roots)
+    def _drop_op_caches(self) -> None:
         self._ite_cache.clear()
-        self.reorder_count += 1
 
-    def _sift_block(
-        self, blocks: list[list[str]], block: list[str], max_growth: float
-    ) -> None:
-        """Move one block through every position; settle at the best."""
-        layout = sorted(blocks, key=lambda b: self._var_ids[b[0]])
-        position = layout.index(block)
 
-        def swap_with_next(index: int) -> None:
-            start = sum(len(layout[i]) for i in range(index))
-            self._swap_blocks(start, len(layout[index]), len(layout[index + 1]))
-            layout[index], layout[index + 1] = layout[index + 1], layout[index]
-
-        best_size = self.live_size()
-        best_position = position
-        limit = int(best_size * max_growth) + 1
-
-        current = position
-        while current < len(layout) - 1:    # travel down
-            swap_with_next(current)
-            current += 1
-            size = self.live_size()
-            if size < best_size:
-                best_size, best_position = size, current
-                limit = int(best_size * max_growth) + 1
-            if size > limit:
-                break
-        while current > 0:                  # travel back up, past the start
-            swap_with_next(current - 1)
-            current -= 1
-            size = self.live_size()
-            if size < best_size:
-                best_size, best_position = size, current
-                limit = int(best_size * max_growth) + 1
-            if size > limit and current <= best_position:
-                break
-        while current < best_position:      # settle on the best position
-            swap_with_next(current)
-            current += 1
-        while current > best_position:
-            swap_with_next(current - 1)
-            current -= 1
-
-    # ------------------------------------------------------------------
-    # Automatic reordering trigger
-    # ------------------------------------------------------------------
-    def set_auto_reorder(
-        self, groups: list[list[str]] | None, threshold: int
-    ) -> None:
-        """Arm :meth:`maybe_reorder`: once the live node table outgrows
-        ``threshold``, the next call sifts ``groups`` and doubles the
-        threshold (CUDD's classic growth policy)."""
-        self._reorder_groups = groups if groups is not None else None
-        self._reorder_threshold = threshold
-        self._gc_watermark = 0
-
-    def disable_auto_reorder(self) -> None:
-        """Disarm :meth:`maybe_reorder` (e.g. once the owner of the
-        manager can no longer enumerate every live root)."""
-        self._reorder_threshold = None
-
-    def maybe_reorder(self, extra_roots: tuple[int, ...] | list[int] = ()) -> bool:
-        """Sift if the node table outgrew the armed threshold.
-
-        Only call at *safe points*: no BDD operation may be mid-recursion,
-        and every live id must be protected or passed via ``extra_roots``.
-        Garbage is collected first — if dead intermediates alone explain
-        the growth, collection is the whole fix and the (far more
-        expensive) sift is skipped; sifting runs only when *live* nodes
-        outgrew the threshold, i.e. the order itself is the problem.
-        Returns True when a reorder ran.
-        """
-        if self._reorder_threshold is None:
-            return False
-        size = self.live_size()
-        if size <= self._reorder_threshold or size <= self._gc_watermark:
-            return False
-        self.collect(tuple(extra_roots))
-        live = self.live_size()
-        self._gc_watermark = 2 * live
-        if live <= self._reorder_threshold:
-            return False
-        self.sift(self._reorder_groups, roots=tuple(extra_roots))
-        live = self.live_size()
-        self._gc_watermark = 2 * live
-        self._reorder_threshold = max(self._reorder_threshold, 2 * live)
-        return True
+#: Registry alias: the dict-of-node manager is the *reference kernel* of
+#: the pluggable-kernel layer — unchanged semantics, the differential
+#: oracle every other kernel is proven against.
+ReferenceKernel = BDD

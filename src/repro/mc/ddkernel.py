@@ -1,0 +1,197 @@
+"""Optional ``dd``-backed kernel (adapter over ``dd.autoref`` / CUDD).
+
+Registered only when the ``dd`` package is importable (see
+:func:`repro.mc.kernel.available_kernels`); ``auto`` never resolves to
+it, so it is strictly opt-in via ``kernel=dd``.  The adapter maps this
+codebase's integer-id protocol onto ``dd``'s ``Function`` handles:
+
+* every distinct ``Function`` this kernel hands out gets a process-stable
+  small integer id (``FALSE == 0`` / ``TRUE == 1``), and the handle is
+  retained for the lifetime of the kernel — ids can therefore never
+  dangle, ``protect``/``collect`` are trivially safe no-ops, and memory
+  is reclaimed only when the whole kernel is dropped;
+* :meth:`sift` and :meth:`maybe_reorder` are no-ops: ``dd``/CUDD runs
+  its own dynamic reordering under the hood, and exposing it through the
+  grouped, id-stable sifting contract of :class:`KernelBase` would
+  require mirroring its level maps.  ``var_order`` reports the
+  *declaration* order, which is the order every other kernel starts
+  from;
+* :meth:`node_triple` returns ``None`` — ``dd`` uses complement edges,
+  so its structural triples are not comparable with the canonical
+  (level, low, high) form the native kernels expose.
+
+Semantics (truth tables, quantification, counting) are identical; the
+cross-kernel differential suite can therefore include ``dd`` wherever it
+is installed, but CI only vouches for ``reference`` and ``fast``.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised only where dd is installed
+    import dd.autoref as _dd_autoref
+except ImportError as exc:  # pragma: no cover
+    raise ImportError(
+        "repro.mc.ddkernel requires the optional 'dd' package; "
+        "install it or pick kernel='fast'/'reference'"
+    ) from exc
+
+from repro.mc.kernel import KernelBase
+
+__all__ = ["DdKernel"]
+
+
+class DdKernel(KernelBase):
+    """Integer-id facade over a ``dd.autoref.BDD`` manager."""
+
+    KERNEL_NAME = "dd"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._dd = _dd_autoref.BDD()
+        self._funcs = [self._dd.false, self._dd.true]
+        self._func_ids = {self._dd.false: 0, self._dd.true: 1}
+
+    # ------------------------------------------------------------------
+    # Handle table
+    # ------------------------------------------------------------------
+    def _register(self, func) -> int:
+        node_id = self._func_ids.get(func)
+        if node_id is None:
+            node_id = len(self._funcs)
+            self._funcs.append(func)
+            self._func_ids[func] = node_id
+        return node_id
+
+    def _func(self, node_id: int):
+        return self._funcs[node_id]
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: str) -> int:
+        if name not in self._var_ids:
+            self._dd.declare(name)
+        return super().add_var(name)
+
+    def var(self, name: str) -> int:
+        self._var_ids[name]  # raise KeyError for undeclared names
+        return self._register(self._dd.var(name))
+
+    def nvar(self, name: str) -> int:
+        self._var_ids[name]
+        return self._register(~self._dd.var(name))
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        return self.ite(self.var(self._var_names[level]), high, low)
+
+    # ------------------------------------------------------------------
+    # Connectives
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        return self._register(
+            self._dd.ite(self._func(f), self._func(g), self._func(h))
+        )
+
+    def and_(self, f: int, g: int) -> int:
+        return self._register(self._func(f) & self._func(g))
+
+    def or_(self, f: int, g: int) -> int:
+        return self._register(self._func(f) | self._func(g))
+
+    def not_(self, f: int) -> int:
+        return self._register(~self._func(f))
+
+    # ------------------------------------------------------------------
+    # Quantification / substitution
+    # ------------------------------------------------------------------
+    def _exists(self, levels: frozenset[int], f: int, cache: dict) -> int:
+        if not levels:
+            return f
+        names = [self._var_names[level] for level in levels]
+        return self._register(self._dd.exist(names, self._func(f)))
+
+    def _and_exists(
+        self, levels: frozenset[int], f: int, g: int, cache: dict
+    ) -> int:
+        # dd.autoref has no fused relational product; CUDD's (via
+        # dd.cudd.and_exists) is not exposed here to keep one adapter
+        # for both backends.  Semantics are identical either way.
+        return self._exists(levels, self.and_(f, g), cache)
+
+    def _support_levels(self, f: int) -> frozenset[int]:
+        return frozenset(
+            self._var_ids[name] for name in self._dd.support(self._func(f))
+        )
+
+    def rename(self, f: int, mapping: dict[str, str]) -> int:
+        if not mapping:
+            return f
+        return self._register(self._dd.let(dict(mapping), self._func(f)))
+
+    def restrict(self, f: int, assignment: dict[str, bool]) -> int:
+        if not assignment:
+            return f
+        values = {name: bool(value) for name, value in assignment.items()}
+        return self._register(self._dd.let(values, self._func(f)))
+
+    # ------------------------------------------------------------------
+    # Evaluation / enumeration
+    # ------------------------------------------------------------------
+    def evaluate(self, f: int, assignment: dict[str, bool]) -> bool:
+        return self.restrict(f, assignment) == self.TRUE
+
+    def count_sat(self, f: int, nvars: int | None = None) -> int:
+        if f == self.FALSE:
+            return 0
+        width = self.var_count() if nvars is None else nvars
+        return int(self._dd.count(self._func(f), nvars=width))
+
+    def any_sat(self, f: int) -> dict[str, bool] | None:
+        if f == self.FALSE:
+            return None
+        model = self._dd.pick(self._func(f))
+        return {name: bool(value) for name, value in (model or {}).items()}
+
+    def size(self, f: int) -> int:
+        if f in (self.FALSE, self.TRUE):
+            return 0
+        return len(self._func(f))
+
+    # ------------------------------------------------------------------
+    # Lifecycle / reordering (dd manages its own tables)
+    # ------------------------------------------------------------------
+    def collect(self, roots: tuple[int, ...] | list[int] = ()) -> int:
+        return 0
+
+    def live_size(self) -> int:
+        return len(self._dd)
+
+    def allocated_nodes(self) -> int:
+        return len(self._dd)
+
+    def node_triple(self, node_id: int) -> tuple[int, int, int] | None:
+        return None
+
+    def sift(
+        self,
+        groups: list[list[str]] | None = None,
+        roots: tuple[int, ...] | list[int] = (),
+        max_groups: int | None = None,
+        max_growth: float = 2.0,
+    ) -> None:
+        return None
+
+    def maybe_reorder(self, extra_roots: tuple[int, ...] | list[int] = ()) -> bool:
+        return False
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _unique_entries(self) -> int:
+        return len(self._dd)
+
+    def _computed_entries(self) -> int:
+        return 0
+
+    def _drop_op_caches(self) -> None:
+        return None

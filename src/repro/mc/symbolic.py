@@ -25,8 +25,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.mc import ctl
-from repro.mc.bdd import BDD
 from repro.mc.explicit import CheckResult
+from repro.mc.kernel import BddKernel, make_kernel
 from repro.model.kripke import KripkeState, KripkeStructure
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -36,9 +36,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class SymbolicChecker:
     """Symbolic CTL checker over an explicit Kripke structure."""
 
-    def __init__(self, kripke: KripkeStructure) -> None:
+    def __init__(
+        self, kripke: KripkeStructure, kernel: str | BddKernel = "auto"
+    ) -> None:
         self.kripke = kripke
-        self.bdd = BDD()
+        self.bdd: BddKernel = make_kernel(kernel)
+        self.kernel = getattr(self.bdd, "KERNEL_NAME", type(self.bdd).__name__)
         self.index: dict[KripkeState, int] = {
             state: i for i, state in enumerate(kripke.states)
         }
@@ -128,7 +131,7 @@ class SymbolicChecker:
         if isinstance(f, ctl.Prop):
             return self._prop(f.name)
         if isinstance(f, ctl.Not):
-            return bdd.and_(self._valid, bdd.not_(self.sat(f.operand)))
+            return bdd.and_not(self._valid, self.sat(f.operand))
         if isinstance(f, ctl.And):
             return bdd.and_(self.sat(f.left), self.sat(f.right))
         if isinstance(f, ctl.Or):
@@ -140,8 +143,8 @@ class SymbolicChecker:
         if isinstance(f, ctl.EX):
             return bdd.and_(self._valid, self._preimage(self.sat(f.operand)))
         if isinstance(f, ctl.AX):
-            inner = bdd.and_(self._valid, bdd.not_(self.sat(f.operand)))
-            return bdd.and_(self._valid, bdd.not_(self._preimage(inner)))
+            inner = bdd.and_not(self._valid, self.sat(f.operand))
+            return bdd.and_not(self._valid, self._preimage(inner))
         if isinstance(f, ctl.EF):
             return self._lfp(self._valid, self.sat(f.operand))
         if isinstance(f, ctl.EU):
@@ -149,17 +152,17 @@ class SymbolicChecker:
         if isinstance(f, ctl.EG):
             return self._gfp(self.sat(f.operand))
         if isinstance(f, ctl.AF):
-            inner = bdd.and_(self._valid, bdd.not_(self.sat(f.operand)))
-            return bdd.and_(self._valid, bdd.not_(self._gfp(inner)))
+            inner = bdd.and_not(self._valid, self.sat(f.operand))
+            return bdd.and_not(self._valid, self._gfp(inner))
         if isinstance(f, ctl.AG):
-            inner = bdd.and_(self._valid, bdd.not_(self.sat(f.operand)))
+            inner = bdd.and_not(self._valid, self.sat(f.operand))
             reach = self._lfp(self._valid, inner)
-            return bdd.and_(self._valid, bdd.not_(reach))
+            return bdd.and_not(self._valid, reach)
         if isinstance(f, ctl.AU):
-            not_b = bdd.and_(self._valid, bdd.not_(self.sat(f.right)))
-            not_a_not_b = bdd.and_(not_b, bdd.not_(self.sat(f.left)))
+            not_b = bdd.and_not(self._valid, self.sat(f.right))
+            not_a_not_b = bdd.and_not(not_b, self.sat(f.left))
             bad = bdd.or_(self._lfp(not_b, not_a_not_b), self._gfp(not_b))
-            return bdd.and_(self._valid, bdd.not_(bad))
+            return bdd.and_not(self._valid, bad)
         raise TypeError(f"unsupported formula {type(f).__name__}")
 
     def _lfp(self, context: int, target: int) -> int:
@@ -188,7 +191,7 @@ class SymbolicChecker:
             formula = ctl.parse_ctl(formula)
         satisfied = self.sat(formula)
         initial = self.bdd.disj([self._cube(s) for s in self.kripke.initial])
-        uncovered = self.bdd.and_(initial, self.bdd.not_(satisfied))
+        uncovered = self.bdd.and_not(initial, satisfied)
         return uncovered == self.bdd.FALSE
 
     def sat_states(self, formula: ctl.Formula | str) -> frozenset[KripkeState]:
@@ -251,7 +254,7 @@ class SymbolicModelChecker:
         frontier = target
         while frontier != self.bdd.FALSE:
             step = self.bdd.and_(context, self._preimage(frontier))
-            frontier = self.bdd.and_(step, self.bdd.not_(current))
+            frontier = self.bdd.and_not(step, current)
             current = self.bdd.or_(current, frontier)
         return current
 
@@ -271,7 +274,7 @@ class SymbolicModelChecker:
         if isinstance(f, ctl.Prop):
             return bdd.and_(self._universe, self.symbolic.prop(f.name))
         if isinstance(f, ctl.Not):
-            return bdd.and_(self._universe, bdd.not_(self.sat(f.operand)))
+            return bdd.and_not(self._universe, self.sat(f.operand))
         if isinstance(f, ctl.And):
             return bdd.and_(self.sat(f.left), self.sat(f.right))
         if isinstance(f, ctl.Or):
@@ -284,8 +287,8 @@ class SymbolicModelChecker:
         if isinstance(f, ctl.EX):
             return bdd.and_(self._universe, self._preimage(self.sat(f.operand)))
         if isinstance(f, ctl.AX):
-            inner = bdd.and_(self._universe, bdd.not_(self.sat(f.operand)))
-            return bdd.and_(self._universe, bdd.not_(self._preimage(inner)))
+            inner = bdd.and_not(self._universe, self.sat(f.operand))
+            return bdd.and_not(self._universe, self._preimage(inner))
         if isinstance(f, ctl.EF):
             return self._lfp(self._universe, self.sat(f.operand))
         if isinstance(f, ctl.EU):
@@ -293,17 +296,17 @@ class SymbolicModelChecker:
         if isinstance(f, ctl.EG):
             return self._gfp(self.sat(f.operand))
         if isinstance(f, ctl.AF):
-            inner = bdd.and_(self._universe, bdd.not_(self.sat(f.operand)))
-            return bdd.and_(self._universe, bdd.not_(self._gfp(inner)))
+            inner = bdd.and_not(self._universe, self.sat(f.operand))
+            return bdd.and_not(self._universe, self._gfp(inner))
         if isinstance(f, ctl.AG):
-            inner = bdd.and_(self._universe, bdd.not_(self.sat(f.operand)))
+            inner = bdd.and_not(self._universe, self.sat(f.operand))
             reach = self._lfp(self._universe, inner)
-            return bdd.and_(self._universe, bdd.not_(reach))
+            return bdd.and_not(self._universe, reach)
         if isinstance(f, ctl.AU):
-            not_b = bdd.and_(self._universe, bdd.not_(self.sat(f.right)))
-            not_a_not_b = bdd.and_(not_b, bdd.not_(self.sat(f.left)))
+            not_b = bdd.and_not(self._universe, self.sat(f.right))
+            not_a_not_b = bdd.and_not(not_b, self.sat(f.left))
             bad = bdd.or_(self._lfp(not_b, not_a_not_b), self._gfp(not_b))
-            return bdd.and_(self._universe, bdd.not_(bad))
+            return bdd.and_not(self._universe, bad)
         raise TypeError(f"unsupported formula {type(f).__name__}")
 
     # ------------------------------------------------------------------
@@ -321,7 +324,7 @@ class SymbolicModelChecker:
         if isinstance(formula, str):
             formula = ctl.parse_ctl(formula)
         satisfied = self.sat(formula)
-        failing = self.bdd.and_(self._initial, self.bdd.not_(satisfied))
+        failing = self.bdd.and_not(self._initial, satisfied)
         result = CheckResult(formula=formula, holds=failing == self.bdd.FALSE)
         if result.holds:
             return result
@@ -379,7 +382,7 @@ class SymbolicModelChecker:
         covered = sources
         hit = bdd.and_(sources, targets)
         while hit == bdd.FALSE:
-            nxt = bdd.and_(self.symbolic.post(frontiers[-1]), bdd.not_(covered))
+            nxt = bdd.and_not(self.symbolic.post(frontiers[-1]), covered)
             if nxt == bdd.FALSE:
                 return []
             frontiers.append(nxt)

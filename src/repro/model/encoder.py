@@ -71,7 +71,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from repro.mc.bdd import BDD
+from repro.mc.kernel import BddKernel, make_kernel
 from repro.model.extractor import (
     _decide_atom,
     _moved_attribute,
@@ -175,6 +175,7 @@ class SymbolicUnionModel:
         encoding: str = "auto",
         reorder_threshold: int | None = REORDER_NODE_THRESHOLD,
         written: frozenset[tuple[str, str, str]] | None = None,
+        kernel: str | BddKernel = "auto",
     ) -> None:
         # A materialized model works too (its states list is simply
         # ignored); the point is that a skeleton suffices.
@@ -184,8 +185,14 @@ class SymbolicUnionModel:
         # from the rules (multi-app cascade semantics, Sec. 4.4); the
         # single-app symbolic path passes ``frozenset()`` to match the
         # explicit single-app expansion, which never self-stimulates.
+        # ``kernel`` names a BDD implementation from the pluggable-kernel
+        # registry (``auto`` resolves to the fast array-backed one), or is
+        # a pre-built manager instance injected by the caller.  Everything
+        # below programs against the :class:`~repro.mc.kernel.BddKernel`
+        # protocol only.
         self.model = model
-        self.bdd = BDD()
+        self.bdd: BddKernel = make_kernel(kernel)
+        self.kernel = getattr(self.bdd, "KERNEL_NAME", type(self.bdd).__name__)
 
         from repro.model.union import union_written_values
 
@@ -730,6 +737,7 @@ def encode_union(
     models: list[StateModel],
     shared_devices: dict[tuple[str, str], str] | None = None,
     encoding: str = "auto",
+    kernel: str | BddKernel = "auto",
 ) -> SymbolicUnionModel:
     """Compile app state models into one symbolic union model.
 
@@ -737,11 +745,13 @@ def encode_union(
     skeleton (shared attribute variables for shared device handles) and
     encodes it.  ``shared_devices`` has :func:`build_union_model`'s
     meaning; ``encoding`` picks the relation representation (``auto``,
-    ``monolithic``, or ``partitioned`` — see the module docstring).
+    ``monolithic``, or ``partitioned`` — see the module docstring);
+    ``kernel`` picks the BDD kernel (``auto``, ``reference``, ``fast``).
     """
     from repro.model.union import build_union_skeleton
 
     return SymbolicUnionModel(
         build_union_skeleton(models, shared_devices=shared_devices),
         encoding=encoding,
+        kernel=kernel,
     )

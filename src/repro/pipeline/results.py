@@ -48,6 +48,10 @@ class AppAnalysis:
     skipped_properties: list[str] = field(default_factory=list)
     #: Relation encoding the symbolic backend used; None when explicit.
     encoding: str | None = None
+    #: Resolved BDD kernel the symbolic backend used; None when explicit.
+    kernel: str | None = None
+    #: The kernel's final stats() snapshot; None when explicit.
+    kernel_stats: dict | None = None
     #: The numeric-abstraction knob the model stage ran with.
     abstract_numeric: bool = True
     #: Token of the capability database the analysis ran under
@@ -85,6 +89,10 @@ class EnvironmentAnalysis:
     #: Relation encoding the symbolic backend used (``monolithic`` or
     #: ``partitioned``); None when the explicit backend ran.
     encoding: str | None = None
+    #: Resolved BDD kernel the symbolic backend used; None when explicit.
+    kernel: str | None = None
+    #: The kernel's final stats() snapshot; None when explicit.
+    kernel_stats: dict | None = None
 
     def multi_app_violations(self) -> list[Violation]:
         """Violations involving two or more apps (the Table 4 kind)."""

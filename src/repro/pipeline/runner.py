@@ -13,7 +13,7 @@ Key chains (every key also digests :data:`~repro.pipeline.store.PIPELINE_VERSION
     model   <- ir key, {abstract_numeric, form: materialized|skeleton}
     kripke  <- model key
     union   <- ordered member model keys, {form, shared-device map}
-    check   <- model/union key, {kind, catalog token, backend, encoding}
+    check   <- model/union key, {kind, catalog token, backend, encoding, kernel}
 
 Because input keys chain, invalidation is free: editing a source changes
 the parse key and therefore every downstream key, while re-checking with
@@ -109,9 +109,10 @@ class Pipeline:
         abstract_numeric: bool = True,
         backend: str = "auto",
         encoding: str = "auto",
+        kernel: str = "auto",
     ) -> AppAnalysis:
         """parse -> ir -> model -> kripke -> check for one app."""
-        validate_knobs(backend, encoding)
+        validate_knobs(backend, encoding, kernel)
         db = db or self._db or default_database()
         catalog = catalog or self._catalog or default_catalog()
         db_tok = db_token(db)
@@ -195,12 +196,14 @@ class Pipeline:
                 "catalog": cat_tok,
                 "backend": chosen,
                 "encoding": encoding if chosen == "symbolic" else "-",
+                "kernel": kernel if chosen == "symbolic" else "-",
             },
         )
         outcome = store.get("check", check_key, CheckOutcome, memory_only=volatile)
         if outcome is None:
             outcome = stages.run_app_check(
-                app.name, ir, model, kripke, db, catalog, chosen, encoding
+                app.name, ir, model, kripke, db, catalog, chosen, encoding,
+                kernel,
             )
             store.put("check", check_key, outcome, memory_only=volatile)
         timings["general"] = 0.0
@@ -219,6 +222,8 @@ class Pipeline:
             state_estimate=estimate_union_states([model]),
             skipped_properties=list(outcome.skipped_properties),
             encoding=outcome.encoding,
+            kernel=outcome.kernel,
+            kernel_stats=outcome.kernel_stats,
             abstract_numeric=abstract_numeric,
             db_token=db_tok,
         )
@@ -235,9 +240,10 @@ class Pipeline:
         max_union_states: int | None = None,
         backend: str = "auto",
         encoding: str = "auto",
+        kernel: str = "auto",
     ) -> EnvironmentAnalysis:
         """Per-app stages (or precomputed analyses) -> union -> check."""
-        validate_knobs(backend, encoding)
+        validate_knobs(backend, encoding, kernel)
         db = db or self._db or default_database()
         catalog = catalog or self._catalog or default_catalog()
         db_tok = db_token(db)
@@ -252,7 +258,8 @@ class Pipeline:
             source
             if isinstance(source, AppAnalysis)
             else self.app_analysis(
-                source, db=db, catalog=catalog, backend=backend, encoding=encoding
+                source, db=db, catalog=catalog, backend=backend,
+                encoding=encoding, kernel=kernel,
             )
             for source in sources
         ]
@@ -321,13 +328,14 @@ class Pipeline:
                 "catalog": cat_tok,
                 "backend": chosen,
                 "encoding": encoding if chosen == "symbolic" else "-",
+                "kernel": kernel if chosen == "symbolic" else "-",
             },
         )
         outcome = store.get("check", check_key, CheckOutcome, memory_only=volatile)
         if outcome is None:
             irs = [a.ir for a in analyses]
             outcome = stages.run_env_check(
-                union, irs, kripke, catalog, chosen, encoding
+                union, irs, kripke, catalog, chosen, encoding, kernel
             )
             store.put("check", check_key, outcome, memory_only=volatile)
         timings["general"] = 0.0
@@ -344,6 +352,8 @@ class Pipeline:
             state_estimate=estimate,
             check_results={k: list(v) for k, v in outcome.check_results.items()},
             encoding=outcome.encoding,
+            kernel=outcome.kernel,
+            kernel_stats=outcome.kernel_stats,
         )
 
 

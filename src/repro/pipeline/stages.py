@@ -35,6 +35,7 @@ from itertools import count as _count
 
 from repro.ir import AppIR, build_ir
 from repro.mc.explicit import CheckResult, ExplicitChecker
+from repro.mc.kernel import record_kernel_stats, resolve_kernel
 from repro.model import (
     StateModel,
     build_kripke,
@@ -63,10 +64,11 @@ AUTO_SYMBOLIC_THRESHOLD = 10_000
 BACKENDS = ("auto", "explicit", "symbolic")
 
 
-def validate_knobs(backend: str, encoding: str) -> None:
+def validate_knobs(backend: str, encoding: str, kernel: str = "auto") -> None:
     """Fail fast on a misspelled knob — even when the value would never
     be consulted on this particular input (e.g. a small model resolving
-    to the explicit backend must still reject a bogus encoding)."""
+    to the explicit backend must still reject a bogus encoding or an
+    unavailable BDD kernel)."""
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
@@ -75,6 +77,7 @@ def validate_knobs(backend: str, encoding: str) -> None:
         raise ValueError(
             f"unknown encoding {encoding!r}; expected one of {', '.join(ENCODINGS)}"
         )
+    resolve_kernel(kernel)
 
 
 def resolve_backend(
@@ -169,6 +172,11 @@ class CheckOutcome:
     skipped_properties: list[str] = field(default_factory=list)
     #: Resolved symbolic relation encoding; None for the explicit backend.
     encoding: str | None = None
+    #: Resolved BDD kernel name; None for the explicit backend.
+    kernel: str | None = None
+    #: The kernel's final stats() snapshot (observability; None on the
+    #: explicit backend).
+    kernel_stats: dict | None = None
 
 
 # ======================================================================
@@ -232,6 +240,7 @@ def run_app_check(
     catalog: PropertyCatalog,
     backend: str,
     encoding: str = "auto",
+    kernel: str = "auto",
 ) -> CheckOutcome:
     """check (single app): general properties + CTL on one model."""
     outcome = CheckOutcome()
@@ -250,15 +259,19 @@ def run_app_check(
         # single-app fire-on-change semantics (no self-stimulation).
         skeleton = build_union_skeleton([model], db=db)
         symbolic = SymbolicUnionModel(
-            skeleton, encoding=encoding, written=frozenset()
+            skeleton, encoding=encoding, written=frozenset(), kernel=kernel
         )
         checker = SymbolicModelChecker(symbolic)
         labels = checker.labels
         outcome.encoding = symbolic.encoding
+        outcome.kernel = symbolic.kernel
         # DET is defined on materialized transitions, which this backend
         # never builds — record the gap instead of silently omitting it.
         outcome.skipped_properties.append("DET")
     check_app_specific(outcome, [ir], model, checker, labels, catalog)
+    if outcome.kernel is not None:
+        outcome.kernel_stats = symbolic.bdd.stats()
+        record_kernel_stats(outcome.kernel_stats)
     return outcome
 
 
@@ -269,6 +282,7 @@ def run_env_check(
     catalog: PropertyCatalog,
     backend: str,
     encoding: str = "auto",
+    kernel: str = "auto",
 ) -> CheckOutcome:
     """check (environment): general properties + CTL on the union model."""
     outcome = CheckOutcome()
@@ -280,11 +294,15 @@ def run_env_check(
         from repro.mc.symbolic import SymbolicModelChecker
         from repro.model.encoder import SymbolicUnionModel
 
-        symbolic = SymbolicUnionModel(union, encoding=encoding)
+        symbolic = SymbolicUnionModel(union, encoding=encoding, kernel=kernel)
         checker = SymbolicModelChecker(symbolic)
         labels = checker.labels
         outcome.encoding = symbolic.encoding
+        outcome.kernel = symbolic.kernel
     check_app_specific(outcome, irs, union, checker, labels, catalog)
+    if outcome.kernel is not None:
+        outcome.kernel_stats = symbolic.bdd.stats()
+        record_kernel_stats(outcome.kernel_stats)
     return outcome
 
 

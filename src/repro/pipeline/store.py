@@ -66,8 +66,10 @@ from pathlib import Path
 #: (IR, abstraction, model extraction, property catalog, result
 #: dataclasses) can alter an artifact, so stale results are never served
 #: across code changes.
-PIPELINE_VERSION = "5"   # 5: AppAnalysis gained db_token (capability-db
-                         # provenance keyed into union artifacts)
+PIPELINE_VERSION = "6"   # 6: pluggable BDD kernels — check artifacts and
+                         # results carry the kernel knob, so artifacts
+                         # produced under one kernel are never served to
+                         # a run requesting another
 
 #: Environment variable consulted when no cache directory is passed
 #: explicitly (CLI ``--cache-dir`` and the ``cache_dir=`` parameters win).

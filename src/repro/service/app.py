@@ -19,7 +19,7 @@ Endpoints (all JSON)::
 
     {"source": "...groovy...", "name": "MyApp"}
     {"sources": [{"name": "A", "source": "..."}, ...],
-     "backend": "auto", "encoding": "auto"}
+     "backend": "auto", "encoding": "auto", "kernel": "auto"}
 
 and answers 201 for a new job, 200 for an identical resubmission — same
 sources + same knobs map to the same :func:`~repro.service.jobs.submission_key`,
@@ -32,7 +32,7 @@ handy for scripts and the CI smoke test.
 Workers default to a thread pool sharing the in-process pipeline.
 ``pool="process"`` runs the analyses in worker processes instead: a
 worker receives only picklable job data — the named sources, the
-backend/encoding knobs, and the cache root — and returns a plain result
+backend/encoding/kernel knobs, and the cache root — and returns a plain result
 dict that the *parent* records on the job store, so no service state
 ever crosses the process boundary (with a disk cache root the workers
 additionally share stage artifacts through the store's disk layer; the
@@ -52,6 +52,7 @@ from repro import __version__
 from repro.pipeline.runner import Pipeline, pipeline_for
 from repro.pipeline.stages import source_digest, validate_knobs
 from repro.pipeline.store import ArtifactStore, resolve_cache_dir
+from repro.mc.kernel import aggregate_kernel_stats, record_kernel_stats
 from repro.service import policy
 from repro.service.jobs import JobRecord, JobStore, job_id_for, submission_key, violation_dict
 
@@ -68,14 +69,18 @@ class SubmissionError(ValueError):
     """A malformed or invalid submission body (rendered as HTTP 400)."""
 
 
-def _parse_submission(body: dict) -> tuple[list[tuple[str | None, str]], str, str]:
-    """Normalize a submission body to ([(name, source), ...], backend, encoding)."""
+def _parse_submission(
+    body: dict,
+) -> tuple[list[tuple[str | None, str]], str, str, str]:
+    """Normalize a submission body to
+    ([(name, source), ...], backend, encoding, kernel)."""
     if not isinstance(body, dict):
         raise SubmissionError("submission body must be a JSON object")
     backend = body.get("backend", "auto")
     encoding = body.get("encoding", "auto")
+    kernel = body.get("kernel", "auto")
     try:
-        validate_knobs(backend, encoding)
+        validate_knobs(backend, encoding, kernel)
     except ValueError as exc:
         raise SubmissionError(str(exc)) from None
     if "sources" in body:
@@ -89,9 +94,9 @@ def _parse_submission(body: dict) -> tuple[list[tuple[str | None, str]], str, st
                     "each sources[] item must be {'source': str, 'name'?: str}"
                 )
             entries.append((item.get("name"), item["source"]))
-        return entries, backend, encoding
+        return entries, backend, encoding, kernel
     if isinstance(body.get("source"), str):
-        return [(body.get("name"), body["source"])], backend, encoding
+        return [(body.get("name"), body["source"])], backend, encoding, kernel
     raise SubmissionError("submission needs 'source' or 'sources'")
 
 
@@ -151,16 +156,20 @@ class SoteriaService:
         entries: list[tuple[str | None, str]],
         backend: str = "auto",
         encoding: str = "auto",
+        kernel: str = "auto",
     ) -> tuple[JobRecord, bool]:
         """Register one submission; identical ones attach to their job."""
-        validate_knobs(backend, encoding)
+        validate_knobs(backend, encoding, kernel)
         named = [
             (name if name else f"submission-{index + 1}", source)
             for index, (name, source) in enumerate(entries)
         ]
         digests = [source_digest(name, source) for name, source in named]
         key = submission_key(
-            list(zip((name for name, _ in named), digests)), backend, encoding
+            list(zip((name for name, _ in named), digests)),
+            backend,
+            encoding,
+            kernel,
         )
         record = JobRecord(
             id=job_id_for(key),
@@ -170,6 +179,7 @@ class SoteriaService:
             digests=digests,
             backend=backend,
             encoding=encoding,
+            kernel=kernel,
         )
         record, created = self.jobs.submit(record)
         with self._lock:
@@ -196,6 +206,8 @@ class SoteriaService:
                         skipped_properties=[],
                         resolved_backend=None,
                         resolved_encoding=None,
+                        resolved_kernel=None,
+                        kernel_stats=None,
                         state_estimate=0,
                     )
                     schedule = True
@@ -223,6 +235,11 @@ class SoteriaService:
         return {
             "jobs": self.jobs.counts(),
             "pipeline": self.pipeline.store.cache_info(),
+            # Process-wide BDD-kernel counters over every symbolic check
+            # this service process ran (process-pool workers report their
+            # kernels' snapshots back through the job fields, so the
+            # aggregate covers both pool flavors).
+            "kernels": aggregate_kernel_stats(),
         }
 
     def shutdown(self) -> None:
@@ -254,11 +271,23 @@ class SoteriaService:
                     record.kind,
                     record.backend,
                     record.encoding,
+                    record.kernel,
                     None if self._cache_root is None else str(self._cache_root),
                 ).result()
+                # The worker's kernel ran in another process: fold its
+                # stats snapshot into this process's aggregate so
+                # /v1/stats covers process-pool jobs too.  (Thread-pool
+                # jobs record themselves inside the check stage.)
+                if fields.get("kernel_stats"):
+                    record_kernel_stats(fields["kernel_stats"])
             else:
                 fields = _run_analysis(
-                    self.pipeline, named, record.kind, record.backend, record.encoding
+                    self.pipeline,
+                    named,
+                    record.kind,
+                    record.backend,
+                    record.encoding,
+                    record.kernel,
                 )
             self.jobs.update(job_id, **fields)
         except Exception as exc:
@@ -276,6 +305,7 @@ def _run_analysis(
     kind: str,
     backend: str,
     encoding: str,
+    kernel: str = "auto",
 ) -> dict:
     """Run the staged pipeline for one job; returns the
     :class:`~repro.service.jobs.JobRecord` field updates as a plain
@@ -283,7 +313,7 @@ def _run_analysis(
     if kind == "app":
         name, source = named[0]
         analysis = pipeline.app_analysis(
-            source, name=name, backend=backend, encoding=encoding
+            source, name=name, backend=backend, encoding=encoding, kernel=kernel
         )
         violations = analysis.violations
         skipped = list(analysis.skipped_properties)
@@ -292,6 +322,7 @@ def _run_analysis(
             [source for _name, source in named],
             backend=backend,
             encoding=encoding,
+            kernel=kernel,
         )
         violations = analysis.violations
         skipped = sorted(
@@ -308,6 +339,8 @@ def _run_analysis(
         "skipped_properties": skipped,
         "resolved_backend": analysis.backend,
         "resolved_encoding": analysis.encoding,
+        "resolved_kernel": analysis.kernel,
+        "kernel_stats": analysis.kernel_stats,
         "state_estimate": analysis.state_estimate,
     }
 
@@ -317,6 +350,7 @@ def _analyze_in_worker(
     kind: str,
     backend: str,
     encoding: str,
+    kernel: str,
     cache_root: str | None,
 ) -> dict:
     """Process-pool worker body: picklable data in, picklable dict out.
@@ -333,7 +367,9 @@ def _analyze_in_worker(
     the process boundary as an exception object.
     """
     try:
-        return _run_analysis(pipeline_for(cache_root), named, kind, backend, encoding)
+        return _run_analysis(
+            pipeline_for(cache_root), named, kind, backend, encoding, kernel
+        )
     except Exception as exc:
         return {"status": "failed", "error": f"{type(exc).__name__}: {exc}"}
 
@@ -452,8 +488,10 @@ class _Handler(BaseHTTPRequestHandler):
                 body = json.loads(self.rfile.read(length) or b"{}")
             except json.JSONDecodeError as exc:
                 raise SubmissionError(f"invalid JSON body: {exc}") from None
-            entries, backend, encoding = _parse_submission(body)
-            record, created = self.service.submit(entries, backend, encoding)
+            entries, backend, encoding, kernel = _parse_submission(body)
+            record, created = self.service.submit(
+                entries, backend, encoding, kernel
+            )
             wait = self._query().get("wait")
             if wait is not None:
                 try:

@@ -3,7 +3,7 @@
 A *job* is one screening request: a single SmartApp source or an
 environment of sources.  Its identity is the
 :func:`submission_key` — a SHA-256 over the ordered member (name,
-source-digest) pairs, the requested backend/encoding knobs, and
+source-digest) pairs, the requested backend/encoding/kernel knobs, and
 :data:`~repro.pipeline.store.PIPELINE_VERSION` — so resubmitting
 identical sources returns the *same* job record instead of scheduling
 duplicate work, exactly like the artifact store returning a cached
@@ -36,14 +36,20 @@ def submission_key(
     entries: list[tuple[str, str]],
     backend: str = "auto",
     encoding: str = "auto",
+    kernel: str = "auto",
     version: str = PIPELINE_VERSION,
 ) -> str:
     """Identity of one submission: ordered (name, source digest) pairs
     plus the analysis knobs and pipeline version.  Order is
     meaning-bearing for environments (it is for the union model's app
-    list), and a knob change is a different job — forcing a backend must
-    never be served the auto path's record."""
-    parts = [f"version={version}", f"backend={backend}", f"encoding={encoding}"]
+    list), and a knob change is a different job — forcing a backend (or
+    a BDD kernel) must never be served the auto path's record."""
+    parts = [
+        f"version={version}",
+        f"backend={backend}",
+        f"encoding={encoding}",
+        f"kernel={kernel}",
+    ]
     parts.extend(f"member={name}\0{digest}" for name, digest in entries)
     return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
@@ -72,6 +78,7 @@ class JobRecord:
     digests: list[str]             # member source digests, same order
     backend: str = "auto"
     encoding: str = "auto"
+    kernel: str = "auto"
     status: str = "queued"
     verdict: str | None = None     # policy.APPROVED | policy.NEEDS_REVIEW
     flagged: bool = False
@@ -81,6 +88,9 @@ class JobRecord:
     skipped_properties: list[str] = field(default_factory=list)
     resolved_backend: str | None = None
     resolved_encoding: str | None = None
+    resolved_kernel: str | None = None
+    #: The BDD kernel's final stats() snapshot (symbolic jobs only).
+    kernel_stats: dict | None = None
     state_estimate: int = 0
     error: str | None = None
     created_at: float = field(default_factory=time.time)

@@ -70,6 +70,7 @@ def analyze_app(
     abstract_numeric: bool = True,
     backend: str = "auto",
     encoding: str = "auto",
+    kernel: str = "auto",
 ) -> AppAnalysis:
     """Run the full Soteria pipeline on a single app.
 
@@ -81,7 +82,9 @@ def analyze_app(
     ``auto`` (the default) stays explicit while the model fits the budget
     and falls back to the symbolic checker when it does not — so no app
     is too wide to analyze.  ``encoding`` is the symbolic relation
-    encoding (see :mod:`repro.model.encoder`).  The symbolic path leaves
+    encoding (see :mod:`repro.model.encoder`) and ``kernel`` the BDD
+    kernel backing it (``reference`` | ``fast`` | ``auto`` — see
+    :mod:`repro.mc.kernel`).  The symbolic path leaves
     ``kripke`` as None and skips the determinism (DET) check, which is
     defined on materialized transitions — the skip is recorded in
     :attr:`AppAnalysis.skipped_properties`.
@@ -94,6 +97,7 @@ def analyze_app(
         abstract_numeric=abstract_numeric,
         backend=backend,
         encoding=encoding,
+        kernel=kernel,
     )
 
 
@@ -105,6 +109,7 @@ def analyze_environment(
     max_union_states: int | None = None,
     backend: str = "auto",
     encoding: str = "auto",
+    kernel: str = "auto",
 ) -> EnvironmentAnalysis:
     """Analyze a group of apps installed together.
 
@@ -113,7 +118,7 @@ def analyze_environment(
     analyses (e.g. from the corpus batch driver's caches) are reused
     as-is, so union construction skips the per-app pipeline entirely.
     Raw members are analyzed with the same ``backend``/``encoding``/
-    ``db``/``catalog`` as the environment itself.
+    ``kernel``/``db``/``catalog`` as the environment itself.
 
     ``backend`` selects the union checker: ``"explicit"``, ``"symbolic"``,
     or ``"auto"`` (the default — explicit under the state budget, symbolic
@@ -132,6 +137,13 @@ def analyze_environment(
     or ``auto`` (partitioned above
     :data:`repro.model.encoder.PARTITION_FRAGMENT_THRESHOLD` fragments).
     The resolved choice lands in :attr:`EnvironmentAnalysis.encoding`.
+
+    ``kernel`` picks the BDD engine behind the symbolic backend:
+    ``fast`` (the array-backed default), ``reference`` (the dict-of-node
+    oracle), or ``dd`` where the optional ``dd`` package is installed;
+    ``auto`` resolves to ``fast``.  All kernels produce identical
+    violation sets — the cross-kernel differential suite enforces it.
+    The resolved choice lands in :attr:`EnvironmentAnalysis.kernel`.
     """
     return default_pipeline().environment_analysis(
         sources,
@@ -141,4 +153,5 @@ def analyze_environment(
         max_union_states=max_union_states,
         backend=backend,
         encoding=encoding,
+        kernel=kernel,
     )

@@ -164,3 +164,70 @@ def test_failing_symbolic_traces_are_decodable():
     assert violation.counterexample  # rendered state labels
     assert all(step.startswith("[") for step in violation.counterexample)
     assert violation.apps  # trace-derived attribution found culprits
+
+
+# ----------------------------------------------------------------------
+# Cross-kernel differential: the reference dict-of-nodes manager is the
+# oracle for the array-backed fast kernel on every paper scenario.
+# ----------------------------------------------------------------------
+_CROSS_KERNEL_CACHE: dict = {}
+
+
+def _both_kernels(group):
+    """One symbolic run per kernel over the same members, cached."""
+    key = tuple(group)
+    if key in _CROSS_KERNEL_CACHE:
+        return _CROSS_KERNEL_CACHE[key]
+    analyses = analyze_batch(list(group), jobs=1)
+    members = [analyses[app_id] for app_id in group]
+    runs = {}
+    for kernel in ("reference", "fast"):
+        run = analyze_environment(
+            list(members), backend="symbolic", kernel=kernel
+        )
+        assert run.backend == "symbolic"
+        assert run.kernel == kernel           # forced, not auto-resolved
+        assert run.kernel_stats is not None
+        assert run.kernel_stats["kernel"] == kernel
+        runs[kernel] = run
+    _CROSS_KERNEL_CACHE[key] = runs
+    return runs
+
+
+@pytest.mark.parametrize("group", PAPER_GROUPS)
+def test_cross_kernel_identical_violation_sets(group):
+    runs = _both_kernels(group)
+    key = lambda v: (v.property_id, v.devices)  # noqa: E731
+    reference = sorted(key(v) for v in runs["reference"].violations)
+    fast = sorted(key(v) for v in runs["fast"].violations)
+    assert fast == reference
+
+
+@pytest.mark.parametrize("group", PAPER_GROUPS)
+def test_cross_kernel_per_formula_agreement(group):
+    runs = _both_kernels(group)
+    reference, fast = runs["reference"], runs["fast"]
+    assert reference.checked_properties == fast.checked_properties
+    assert reference.check_results.keys() == fast.check_results.keys()
+    for property_id, reference_results in reference.check_results.items():
+        fast_results = fast.check_results[property_id]
+        assert len(reference_results) == len(fast_results), property_id
+        for ref, fst in zip(reference_results, fast_results):
+            assert ref.formula == fst.formula, property_id
+            assert ref.holds == fst.holds, (property_id, str(ref.formula))
+
+
+def test_auto_kernel_matches_the_reference_oracle():
+    """The default (auto -> fast) path is covered by the oracle too."""
+    ids, _prop = groundtruth.MALIOT_ENVIRONMENTS[0]
+    analyses = analyze_batch(list(ids), jobs=1)
+    members = [analyses[a] for a in ids]
+    auto = analyze_environment(list(members), backend="symbolic")
+    reference = analyze_environment(
+        list(members), backend="symbolic", kernel="reference"
+    )
+    assert auto.kernel == "fast"
+    key = lambda v: (v.property_id, v.devices)  # noqa: E731
+    assert sorted(key(v) for v in auto.violations) == sorted(
+        key(v) for v in reference.violations
+    )

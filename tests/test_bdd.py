@@ -200,3 +200,158 @@ def test_exists_is_disjunction_of_cofactors(expr, var):
         manager.restrict(node, {var: False}), manager.restrict(node, {var: True})
     )
     assert quantified == expected
+
+
+# ----------------------------------------------------------------------
+# Every registered kernel: the protocol surface behaves identically.
+# ----------------------------------------------------------------------
+from repro.mc.kernel import (  # noqa: E402 (kernel section below the BDD suite)
+    DEFAULT_KERNEL,
+    available_kernels,
+    make_kernel,
+    resolve_kernel,
+)
+
+
+@pytest.fixture(params=available_kernels())
+def kernel(request):
+    """One instance of every concrete kernel registered in this process
+    (reference, fast, plus dd where the optional package is installed)."""
+    manager = make_kernel(request.param)
+    for name in ("a", "b", "c", "d"):
+        manager.add_var(name)
+    return manager
+
+
+class TestEveryKernel:
+    def test_terminals_and_canonicity(self, kernel):
+        a, b = kernel.var("a"), kernel.var("b")
+        assert kernel.TRUE == 1 and kernel.FALSE == 0
+        assert kernel.or_(a, b) == kernel.not_(
+            kernel.and_(kernel.not_(a), kernel.not_(b))
+        )
+        assert kernel.and_(a, kernel.not_(a)) == kernel.FALSE
+
+    # -- count_sat edge cases ------------------------------------------
+    def test_count_sat_terminals(self, kernel):
+        assert kernel.count_sat(kernel.TRUE) == 16
+        assert kernel.count_sat(kernel.FALSE) == 0
+        assert kernel.count_sat(kernel.TRUE, nvars=0) == 1
+
+    def test_count_sat_explicit_nvars(self, kernel):
+        a = kernel.var("a")
+        assert kernel.count_sat(a, nvars=1) == 1
+        assert kernel.count_sat(a, nvars=4) == 8
+
+    def test_count_sat_after_new_var(self, kernel):
+        f = kernel.and_(kernel.var("a"), kernel.var("b"))
+        assert kernel.count_sat(f) == 4
+        kernel.add_var("e")                      # widen the space
+        assert kernel.count_sat(f) == 8
+
+    # -- any_sat edge cases --------------------------------------------
+    def test_any_sat_terminals(self, kernel):
+        assert kernel.any_sat(kernel.FALSE) is None
+        witness = kernel.any_sat(kernel.TRUE)
+        assert witness is not None               # {} or any assignment
+        assert kernel.evaluate(kernel.TRUE, dict(witness))
+
+    def test_any_sat_witness_satisfies(self, kernel):
+        f = kernel.and_(
+            kernel.or_(kernel.var("a"), kernel.var("b")), kernel.nvar("c")
+        )
+        witness = kernel.any_sat(f)
+        full = {"a": False, "b": False, "c": False, "d": False, **witness}
+        assert kernel.evaluate(f, full)
+
+    def test_any_sat_single_model(self, kernel):
+        f = kernel.and_(
+            kernel.and_(kernel.var("a"), kernel.nvar("b")),
+            kernel.and_(kernel.var("c"), kernel.nvar("d")),
+        )
+        witness = kernel.any_sat(f)
+        full = {"a": False, "b": False, "c": False, "d": False, **witness}
+        assert full == {"a": True, "b": False, "c": True, "d": False}
+
+    # -- restrict edge cases -------------------------------------------
+    def test_restrict_empty_assignment_is_identity(self, kernel):
+        f = kernel.or_(kernel.var("a"), kernel.var("b"))
+        assert kernel.restrict(f, {}) == f
+
+    def test_restrict_irrelevant_variable(self, kernel):
+        a = kernel.var("a")
+        assert kernel.restrict(a, {"b": True}) == a
+        assert kernel.restrict(a, {"b": False, "c": True}) == a
+
+    def test_restrict_to_terminal(self, kernel):
+        f = kernel.and_(kernel.var("a"), kernel.var("b"))
+        assert kernel.restrict(f, {"a": True, "b": True}) == kernel.TRUE
+        assert kernel.restrict(f, {"a": False}) == kernel.FALSE
+
+    def test_restrict_is_cofactor(self, kernel):
+        f = kernel.ite(kernel.var("a"), kernel.var("b"), kernel.var("c"))
+        assert kernel.restrict(f, {"a": True}) == kernel.var("b")
+        assert kernel.restrict(f, {"a": False}) == kernel.var("c")
+
+    def test_restrict_then_quantify_consistency(self, kernel):
+        f = kernel.xor(kernel.var("a"), kernel.var("b"))
+        assert kernel.exists(["a"], f) == kernel.or_(
+            kernel.restrict(f, {"a": False}), kernel.restrict(f, {"a": True})
+        )
+
+    # -- and_not (fused set difference) --------------------------------
+    def test_and_not_matches_composition(self, kernel):
+        a, b = kernel.var("a"), kernel.var("b")
+        f = kernel.or_(a, b)
+        g = kernel.and_(a, b)
+        assert kernel.and_not(f, g) == kernel.and_(f, kernel.not_(g))
+        assert kernel.and_not(f, g) == kernel.xor(a, b)
+
+    def test_and_not_trivial_rules(self, kernel):
+        a = kernel.var("a")
+        assert kernel.and_not(kernel.FALSE, a) == kernel.FALSE
+        assert kernel.and_not(a, kernel.TRUE) == kernel.FALSE
+        assert kernel.and_not(a, a) == kernel.FALSE
+        assert kernel.and_not(a, kernel.FALSE) == a
+        assert kernel.and_not(kernel.TRUE, a) == kernel.not_(a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(boolean_exprs(), boolean_exprs())
+def test_and_not_matches_truth_table_on_every_kernel(left, right):
+    for name in available_kernels():
+        manager = make_kernel(name)
+        for var in _VARS:
+            manager.add_var(var)
+        diff = manager.and_not(
+            _build_bdd(manager, left), _build_bdd(manager, right)
+        )
+        for values in itertools.product([False, True], repeat=len(_VARS)):
+            env = dict(zip(_VARS, values))
+            expected = _eval_expr(left, env) and not _eval_expr(right, env)
+            assert manager.evaluate(diff, env) == expected
+
+
+class TestKernelRegistry:
+    def test_auto_resolves_to_fast(self):
+        assert DEFAULT_KERNEL == "fast"
+        assert resolve_kernel("auto") == "fast"
+        assert type(make_kernel("auto")).__name__ == "FastKernel"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            resolve_kernel("zdd")
+
+    def test_dd_gated_on_import(self):
+        # The optional dd/CUDD kernel is opt-in where installed and a
+        # clear error where not — and auto never resolves to it.
+        try:
+            import dd.autoref  # noqa: F401
+        except ImportError:
+            assert "dd" not in available_kernels()
+            with pytest.raises(ValueError, match="dd"):
+                resolve_kernel("dd")
+        else:
+            assert "dd" in available_kernels()
+            assert resolve_kernel("dd") == "dd"
+        assert resolve_kernel("auto") != "dd"

@@ -220,7 +220,7 @@ class TestAllCorpusSweep:
         assert code == 1                            # violations found
         assert "all-corpus union" in out
         assert "(17 apps)" in out
-        assert "[symbolic/partitioned]" in out
+        assert "[symbolic/partitioned/fast]" in out
         assert "0 failed" in out
 
 

@@ -242,3 +242,121 @@ class TestEncoderReordering:
         )
         assert symbolic.state_count() == reference.state_count()
         _assert_interleaved(symbolic)
+
+
+# ----------------------------------------------------------------------
+# Cache invalidation under reordering/collection, on BOTH kernels:
+# support and op-cache queries interleaved with sift/swap/collect must
+# never be served a stale (pre-reorder) answer.
+# ----------------------------------------------------------------------
+from repro.mc.kernel import make_kernel  # noqa: E402 (suite-local import)
+
+
+def _brute_support(kernel, f, names):
+    """Support by cofactor difference — no caches, no kernel internals."""
+    return frozenset(
+        name
+        for name in names
+        if kernel.restrict(f, {name: False}) != kernel.restrict(f, {name: True})
+    )
+
+
+@pytest.mark.parametrize("kernel_name", ["reference", "fast"])
+class TestCacheInvalidationAcrossKernels:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_support_survives_sift_swap_collect_interleaving(
+        self, kernel_name, seed
+    ):
+        rng = random.Random(seed)
+        kernel = make_kernel(kernel_name)
+        names = [f"v{i}" for i in range(8)]
+        for name in names:
+            kernel.add_var(name)
+        roots = [
+            kernel.protect(_random_formula(kernel, names, rng))
+            for _ in range(5)
+        ]
+        # Warm the support cache before any structural churn.
+        for root in roots:
+            assert kernel.support(root) == _brute_support(kernel, root, names)
+        for step in range(8):
+            action = rng.choice(["sift", "swap", "collect", "ops"])
+            if action == "sift":
+                kernel.sift(roots=roots)
+            elif action == "swap":
+                kernel.swap_adjacent(rng.randrange(len(names) - 1))
+            elif action == "collect":
+                kernel.collect()
+            else:  # churn the op caches between reorders
+                _random_formula(kernel, names, rng)
+            for root in roots:
+                assert kernel.support(root) == _brute_support(
+                    kernel, root, names
+                ), f"stale support after {action} (step {step})"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_quantification_caches_invalidated_by_swap(self, kernel_name, seed):
+        # The fast kernel memoizes exists/and_exists per quantifier-mask
+        # across calls; masks are level-based, so a swap that moves
+        # levels MUST invalidate them.  Pose the identical query before
+        # and after a swap and compare against an untouched twin kernel.
+        rng = random.Random(1000 + seed)
+        kernel = make_kernel(kernel_name)
+        twin = make_kernel(kernel_name)
+        names = [f"v{i}" for i in range(8)]
+        for name in names:
+            kernel.add_var(name)
+            twin.add_var(name)
+        quantified = rng.sample(names, 3)
+        seeds = [rng.random() for _ in range(40)]
+
+        def build(manager):
+            local = random.Random(2000 + seed)
+            f = _random_formula(manager, names, local)
+            g = _random_formula(manager, names, local)
+            return f, g
+
+        f, g = build(kernel)
+        tf, tg = build(twin)
+        assignments = [
+            {name: s > i / 40 for i, name in enumerate(names)} for s in seeds
+        ]
+
+        def snapshot(manager, left, right):
+            fused = manager.and_exists(quantified, left, right)
+            lone = manager.exists(quantified, manager.and_(left, right))
+            assert fused == lone
+            return [manager.evaluate(fused, a) for a in assignments]
+
+        before = snapshot(kernel, f, g)
+        assert before == snapshot(twin, tf, tg)
+        for index in (0, 3, 5, 1):
+            kernel.swap_adjacent(index)
+            # Same semantic query, new level layout: a stale level-mask
+            # cache entry would surface here as a wrong (pre-swap) BDD.
+            assert snapshot(kernel, f, g) == before
+        kernel.collect(roots=(f, g))
+        assert snapshot(kernel, f, g) == before
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cached_formulas_stable_across_maybe_reorder(
+        self, kernel_name, seed
+    ):
+        rng = random.Random(3000 + seed)
+        kernel = make_kernel(kernel_name)
+        names = [f"v{i}" for i in range(10)]
+        for name in names:
+            kernel.add_var(name)
+        keep = kernel.protect(_random_formula(kernel, names, rng))
+        assignments = [
+            {name: rng.random() < 0.5 for name in names} for _ in range(30)
+        ]
+        truth = [kernel.evaluate(keep, a) for a in assignments]
+        support = kernel.support(keep)
+        kernel.set_auto_reorder(None, threshold=4)
+        for _ in range(30):  # garbage + growth pressure
+            _random_formula(kernel, names, rng)
+            kernel.maybe_reorder()
+        assert [kernel.evaluate(keep, a) for a in assignments] == truth
+        assert kernel.support(keep) == support
+        assert kernel.support(keep) == _brute_support(kernel, keep, names)

@@ -245,7 +245,10 @@ class TestServiceCore:
 
 class TestProcessPool:
     def test_worker_payload_and_result_are_picklable(self, tmp_path):
-        args = ([("Bad", BAD)], "app", "auto", "auto", str(tmp_path / "cache"))
+        args = (
+            [("Bad", BAD)], "app", "auto", "auto", "auto",
+            str(tmp_path / "cache"),
+        )
         pickle.dumps((_analyze_in_worker, args))  # what the pool ships
         fields = _analyze_in_worker(*args)
         pickle.dumps(fields)                      # what the worker returns
@@ -255,7 +258,8 @@ class TestProcessPool:
 
     def test_environment_jobs_through_the_worker_body(self):
         fields = _analyze_in_worker(
-            [("Good", GOOD), ("Bad", BAD)], "environment", "auto", "auto", None
+            [("Good", GOOD), ("Bad", BAD)], "environment", "auto", "auto",
+            "auto", None,
         )
         assert fields["verdict"] == NEEDS_REVIEW
         assert {v["property_id"] for v in fields["violations"]} >= {"P.30", "P.11"}

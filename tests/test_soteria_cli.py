@@ -196,7 +196,7 @@ class TestSweepCli:
         # skipped for size; the auto backend now checks it symbolically.
         assert "skipped" not in out
         assert "0 failed" in out
-        assert "[symbolic/monolithic]" in out  # 13-app cluster, 70 fragments
+        assert "[symbolic/monolithic/fast]" in out  # 13-app cluster, 70 fragments
         assert "environment-only: P.14, P.3" in out
 
     def test_sweep_warm_cache_run_matches(self, tmp_path, capsys):
@@ -241,5 +241,5 @@ class TestSweepCli:
         )
         out = capsys.readouterr().out
         assert code == 1
-        assert "[symbolic/monolithic]" in out  # tiny pairs stay monolithic
+        assert "[symbolic/monolithic/fast]" in out  # tiny pairs stay monolithic
         assert "App16+App17" in out
