@@ -43,33 +43,37 @@ def maliot_analyses():
 
 
 # ----------------------------------------------------------------------
-# Machine-readable benchmark results: BENCH_bdd_kernel.json at the repo
-# root collects wall-clock + peak-node numbers so the perf trajectory of
-# the BDD kernels is tracked across PRs.
+# Machine-readable benchmark results: BENCH_<name>.json files at the repo
+# root collect wall-clock + throughput numbers so the perf trajectory is
+# tracked across PRs (BENCH_bdd_kernel.json for the kernel benchmarks,
+# BENCH_fleet.json for the fleet-screening gate).
 # ----------------------------------------------------------------------
 import json
 import threading
 from pathlib import Path
 
-BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_bdd_kernel.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON_PATH = _REPO_ROOT / "BENCH_bdd_kernel.json"
 _bench_lock = threading.Lock()
 
 
-def record_bench(section: str, payload: dict) -> None:
-    """Merge one benchmark's numbers into ``BENCH_bdd_kernel.json``.
+def record_bench(section: str, payload: dict, path: Path | None = None) -> None:
+    """Merge one benchmark's numbers into a ``BENCH_*.json`` file.
 
+    ``path`` defaults to :data:`BENCH_JSON_PATH` (the BDD-kernel file).
     Sections are replaced wholesale (last run wins); unrelated sections
     written by other benchmark modules are preserved.
     """
+    target = BENCH_JSON_PATH if path is None else path
     with _bench_lock:
         data: dict = {}
-        if BENCH_JSON_PATH.is_file():
+        if target.is_file():
             try:
-                data = json.loads(BENCH_JSON_PATH.read_text(encoding="utf-8"))
+                data = json.loads(target.read_text(encoding="utf-8"))
             except ValueError:
                 data = {}
         data[section] = payload
-        BENCH_JSON_PATH.write_text(
+        target.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
 
@@ -78,3 +82,13 @@ def record_bench(section: str, payload: dict) -> None:
 def bench_json():
     """The section writer for ``BENCH_bdd_kernel.json``."""
     return record_bench
+
+
+@pytest.fixture(scope="session")
+def fleet_bench_json():
+    """The section writer for ``BENCH_fleet.json``."""
+
+    def _record(section: str, payload: dict) -> None:
+        record_bench(section, payload, path=_REPO_ROOT / "BENCH_fleet.json")
+
+    return _record

@@ -1,0 +1,72 @@
+"""Fleet-scale screening gate: 100k households at >= 1,000 households/sec.
+
+The fleet driver's whole premise is that canonical-form dedup makes the
+screen cost a function of the *distinct* household population, not the
+sampled count: the default profile pool (150 templates x 4 rename skins)
+collapses 100,000 sampled households to 150 canonical checks, so the
+sampling/bookkeeping loop dominates and throughput is tens of thousands
+of households per second even on one core.  This benchmark gates both
+halves of that claim —
+
+* throughput: >= 1,000 households/sec over a 100k screen (the floor is
+  deliberately ~4x below the measured rate on a single CI core, and can
+  be tuned per runner via ``REPRO_FLEET_THROUGHPUT_FLOOR``);
+* dedup: cache hit rate >= 95% (fresh checks / households <= 5%).
+
+Numbers land in ``BENCH_fleet.json`` at the repo root so the screening
+throughput trajectory is tracked across PRs alongside the BDD-kernel
+numbers in ``BENCH_bdd_kernel.json``.
+"""
+
+import os
+import time
+
+from repro.fleet.driver import FleetOptions, run_fleet
+from repro.fleet.profiles import FleetProfile
+
+HOUSEHOLDS = 100_000
+THROUGHPUT_FLOOR = float(os.environ.get("REPRO_FLEET_THROUGHPUT_FLOOR", "1000"))
+HIT_RATE_FLOOR = 0.95
+
+
+def test_fleet_screen_100k_households(fleet_bench_json):
+    profile = FleetProfile(seed=0)
+    start = time.perf_counter()
+    result = run_fleet(profile, HOUSEHOLDS, FleetOptions(jobs=1))
+    elapsed = time.perf_counter() - start
+
+    telemetry = result.telemetry
+    assert telemetry.households == HOUSEHOLDS
+    throughput = HOUSEHOLDS / elapsed
+    payload = {
+        "households": HOUSEHOLDS,
+        "elapsed_seconds": round(elapsed, 3),
+        "households_per_second": round(throughput, 1),
+        "throughput_floor": THROUGHPUT_FLOOR,
+        "hit_rate": round(telemetry.hit_rate, 6),
+        "byte_distinct": telemetry.byte_distinct,
+        "canonical_distinct": telemetry.canonical_distinct,
+        "fresh_checks": telemetry.fresh_checks,
+        "violating_households": telemetry.violating_households,
+        "blocklist_entries": len(result.blocklist["entries"]),
+    }
+    fleet_bench_json("fleet_100k", payload)
+    print(
+        f"\n100k screen: {elapsed:.1f}s = {throughput:,.0f} households/sec; "
+        f"hit rate {telemetry.hit_rate:.2%} "
+        f"({telemetry.fresh_checks} fresh checks over "
+        f"{telemetry.canonical_distinct} canonical forms)"
+    )
+
+    assert throughput >= THROUGHPUT_FLOOR, (
+        f"screen ran at {throughput:,.0f} households/sec "
+        f"(floor {THROUGHPUT_FLOOR:,.0f})"
+    )
+    assert telemetry.hit_rate >= HIT_RATE_FLOOR, (
+        f"cache hit rate {telemetry.hit_rate:.2%} below "
+        f"{HIT_RATE_FLOOR:.0%}: dedup is not collapsing the fleet"
+    )
+    # Dedup sanity: the canonical tier must be no larger than the byte
+    # tier, and the blocklist must cover every violating canonical form.
+    assert telemetry.canonical_distinct <= telemetry.byte_distinct
+    assert len(result.blocklist["entries"]) == telemetry.violating_distinct

@@ -10,6 +10,9 @@ Subcommands::
                   [--kernel K]
     soteria fuzz [--seed S] [--count N] [--jobs N] [--out DIR]
                  [--mix DATASET] [--encoding E] [--kernel K] [--replay DIR]
+    soteria fleet [--households N] [--seed S] [--jobs N] [--cache-dir D]
+                  [--templates T] [--variants V] [--telemetry-out F]
+                  [--blocklist-out F]
     soteria serve [--host H] [--port P] [--jobs N] [--cache-dir D]
                   [--state-dir D] [--pool thread|process]
     soteria cache [--cache-dir D] [--clear]
@@ -54,12 +57,21 @@ are deduplicated against the durable job store.  ``cache`` inspects a
 staged artifact cache directory — per-stage entry/byte counts — and
 ``--clear`` empties it.
 
+``fleet`` screens a simulated fleet of households — seeded
+popularity-weighted installation profiles over the corpus +
+``repro.gen`` synthetics — through the canonical-form dedup engine
+(:mod:`repro.fleet`): isomorphic households (renamed devices/apps,
+permuted members) share one cached verdict, so a million households
+screen on one machine.  The run prints aggregate telemetry and the
+violation blocklist feed (app combinations known to violate), both
+exportable as JSON.
+
 Exit status is 1 when any analyzed app/environment violates a property
 (for ``fuzz``: when any case fails either oracle), 0 when everything is
-clean, and 2 on usage errors.  ``sweep`` exits 3 when nothing violated
-but some candidate group's analysis *failed* outright (e.g. a forced
-explicit backend hitting the state budget) — an incomplete sweep is not
-a clean one.
+clean, and 2 on usage errors.  ``sweep`` and ``fleet`` exit 3 when
+nothing violated but some candidate group's / household's analysis
+*failed* outright (e.g. a forced explicit backend hitting the state
+budget) — an incomplete screen is not a clean one.
 """
 
 from __future__ import annotations
@@ -265,6 +277,84 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     if report.failures() and args.out:
         print(f"shrunk reproducers written under {args.out}/")
     return 0 if report.ok else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet.blocklist import combo_label
+    from repro.fleet.driver import FleetOptions, run_fleet
+    from repro.fleet.profiles import FleetProfile
+
+    profile = FleetProfile(
+        seed=args.seed,
+        templates=args.templates,
+        variants=args.variants,
+        corpus_weight=args.corpus_weight,
+        inject_rate=args.inject_rate,
+    )
+    options = FleetOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        encoding=args.encoding,
+        kernel=args.kernel,
+        **({} if args.max_states is None else {"max_union_states": args.max_states}),
+    )
+    result = run_fleet(profile, args.households, options)
+    telemetry = result.telemetry
+    print(
+        f"== fleet: {telemetry.households} household(s) screened "
+        f"(seed {profile.seed}, {profile.templates} templates x "
+        f"{profile.variants} variants)"
+    )
+    print(
+        f"  byte-distinct {telemetry.byte_distinct}, canonical-distinct "
+        f"{telemetry.canonical_distinct}, fresh checks "
+        f"{telemetry.fresh_checks}, disk hits {telemetry.disk_hits}"
+    )
+    print(
+        f"  cache hit rate {telemetry.hit_rate:.2%}, "
+        f"{telemetry.households_per_second:,.0f} households/sec "
+        f"({telemetry.elapsed:.1f}s)"
+    )
+    print(
+        f"  violating: {telemetry.violating_households} household(s) "
+        f"({telemetry.violating_distinct} canonical), failed: "
+        f"{telemetry.failed_households} ({telemetry.failed_checks} canonical)"
+    )
+    if telemetry.by_property:
+        top = sorted(telemetry.by_property.items(), key=lambda kv: (-kv[1], kv[0]))
+        shown = ", ".join(f"{pid} x{count}" for pid, count in top[:8])
+        print(f"  properties: {shown}")
+    entries = result.blocklist["entries"]
+    print(f"\nblocklist: {len(entries)} violating combination(s)")
+    for entry in entries[:10]:
+        combo = combo_label(entry["combination"])
+        if len(entry["combination"]) > 6:
+            combo = (
+                combo_label(entry["combination"][:3])
+                + f"+...({len(entry['combination'])} apps)"
+            )
+        print(
+            f"  {entry['id']}  {combo}  "
+            f"{', '.join(entry['properties'])}  "
+            f"({entry['households']} household(s), {entry['share']:.1%})"
+        )
+    if len(entries) > 10:
+        print(f"  ... and {len(entries) - 10} more")
+    if args.telemetry_out:
+        with open(args.telemetry_out, "w", encoding="utf-8") as out:
+            json.dump(telemetry.to_json(), out, indent=2)
+            out.write("\n")
+        print(f"\ntelemetry written to {args.telemetry_out}")
+    if args.blocklist_out:
+        with open(args.blocklist_out, "w", encoding="utf-8") as out:
+            json.dump(result.blocklist, out, indent=2)
+            out.write("\n")
+        print(f"blocklist feed written to {args.blocklist_out}")
+    _print_kernel_stats()
+    return result.exit_code
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -514,6 +604,96 @@ def main(argv: list[str] | None = None) -> int:
         help="re-run a persisted reproducer directory instead of fuzzing",
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="screen a simulated fleet of households (canonical-form "
+        "dedup + blocklist feed)",
+    )
+    p_fleet.add_argument(
+        "--households",
+        type=int,
+        default=100_000,
+        help="households to sample and screen (default 100000; 1000000 "
+        "completes on one machine in bounded memory)",
+    )
+    p_fleet.add_argument(
+        "--seed", type=int, default=0, help="fleet seed (default 0)"
+    )
+    p_fleet.add_argument(
+        "--templates",
+        type=int,
+        default=150,
+        help="distinct household templates in the population (default 150)",
+    )
+    p_fleet.add_argument(
+        "--variants",
+        type=int,
+        default=4,
+        help="renamed skins per template — the byte-diversity the "
+        "canonical form must collapse (default 4)",
+    )
+    p_fleet.add_argument(
+        "--corpus-weight",
+        type=float,
+        default=0.25,
+        help="probability a template mixes corpus apps in (default 0.25)",
+    )
+    p_fleet.add_argument(
+        "--inject-rate",
+        type=float,
+        default=0.4,
+        help="violation-injection rate for synthetic members (default 0.4)",
+    )
+    p_fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="work-stealing worker processes (default 1 = serial)",
+    )
+    p_fleet.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist stage artifacts and fleet verdicts under this "
+        "directory (default: $REPRO_CACHE_DIR)",
+    )
+    p_fleet.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="explicit/symbolic crossover per household union (default: "
+        "the fleet engine's 512 — far below sweep's, because symbolic "
+        "checking is what makes fleet throughput possible)",
+    )
+    p_fleet.add_argument(
+        "--backend",
+        choices=["auto", "explicit", "symbolic"],
+        default="auto",
+        help="union checker (see `soteria env --help`)",
+    )
+    p_fleet.add_argument(
+        "--encoding",
+        choices=list(ENCODINGS),
+        default="auto",
+        help="symbolic relation encoding (see `soteria env --help`)",
+    )
+    p_fleet.add_argument(
+        "--kernel",
+        choices=list(KERNEL_CHOICES),
+        default="auto",
+        help="BDD kernel for symbolic checks (see `soteria env --help`)",
+    )
+    p_fleet.add_argument(
+        "--telemetry-out",
+        default=None,
+        help="write the run's telemetry counters as JSON to this file",
+    )
+    p_fleet.add_argument(
+        "--blocklist-out",
+        default=None,
+        help="write the violation blocklist feed as JSON to this file",
+    )
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_serve = sub.add_parser(
         "serve", help="run the analysis-as-a-service HTTP API"

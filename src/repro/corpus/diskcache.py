@@ -13,7 +13,12 @@ store finished results as the two *coarsest* stages of that layout:
 * :class:`SweepCache` — stage ``sweep``: one :class:`EnvironmentAnalysis`
   per analyzed app *group*, keyed on the sorted member source digests
   plus the requested backend/encoding knobs, so a warm ``soteria sweep``
-  skips union-model checking entirely.
+  skips union-model checking entirely;
+* :class:`FleetCache` — stage ``fleet``: one compact
+  :class:`~repro.fleet.telemetry.HouseholdVerdict` per *canonical*
+  household form (:mod:`repro.fleet.canon`) and knob set, so a warm
+  ``soteria fleet`` run — or a different fleet whose households are
+  isomorphic to an earlier one's — checks nothing at all.
 
 Keying and layout
 -----------------
@@ -52,6 +57,7 @@ import os
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro.fleet.telemetry import HouseholdVerdict
 from repro.pipeline.store import (
     CACHE_DIR_ENV,
     PIPELINE_VERSION,
@@ -66,6 +72,7 @@ __all__ = [
     "CACHE_DIR_ENV",
     "PIPELINE_VERSION",
     "DiskCache",
+    "FleetCache",
     "SweepCache",
     "resolve_cache_dir",
 ]
@@ -233,6 +240,118 @@ class SweepCache:
         if not self.sweep_dir.is_dir():
             return []
         return sorted(p for p in self.sweep_dir.iterdir() if p.suffix == ".pkl")
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self.entries()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+
+class FleetCache:
+    """Fleet-level verdict store: stage ``fleet`` of the artifact tree.
+
+    Keyed on the *canonical household form*
+    (:func:`repro.fleet.canon.household_key`) — not on member digests —
+    plus the pipeline version and the checker knobs the screen ran
+    under: isomorphic households (renamed devices/apps, permuted
+    members) share one entry by construction, and a forced
+    ``--backend``/``--encoding``/``--kernel`` run is never served a
+    verdict a differently-configured screen produced.  The stored value
+    is the compact :class:`~repro.fleet.telemetry.HouseholdVerdict`,
+    kept small on purpose: a million-household screen touches this tier
+    once per canonical household.
+    """
+
+    STAGE = "fleet"
+
+    def __init__(self, root: str | os.PathLike, version: str = PIPELINE_VERSION):
+        self.root = Path(root)
+        self.version = version
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def fleet_dir(self) -> Path:
+        return self.root / f"v{self.version}" / self.STAGE
+
+    @staticmethod
+    def key_for(
+        canonical_key: str,
+        backend: str = "auto",
+        encoding: str = "auto",
+        kernel: str = "auto",
+        max_union_states: int | None = None,
+    ) -> str:
+        """Entry key: SHA-256 over the canonical household key plus the
+        checker knobs (including the explicit/symbolic crossover, which
+        changes the resolved backend and therefore the verdict's
+        provenance)."""
+        joined = (
+            f"{canonical_key}\n#{backend}/{encoding}/{kernel}"
+            f"/{max_union_states}"
+        )
+        return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+    def path_for(
+        self,
+        canonical_key: str,
+        backend: str = "auto",
+        encoding: str = "auto",
+        kernel: str = "auto",
+        max_union_states: int | None = None,
+    ) -> Path:
+        return self.fleet_dir / (
+            f"{self.key_for(canonical_key, backend, encoding, kernel, max_union_states)}.pkl"
+        )
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        canonical_key: str,
+        backend: str = "auto",
+        encoding: str = "auto",
+        kernel: str = "auto",
+        max_union_states: int | None = None,
+    ) -> HouseholdVerdict | None:
+        """The cached verdict for one canonical household, or None."""
+        verdict = _read_pickle(
+            self.path_for(canonical_key, backend, encoding, kernel, max_union_states),
+            HouseholdVerdict,
+        )
+        if verdict is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return verdict
+
+    def put(
+        self,
+        canonical_key: str,
+        verdict: HouseholdVerdict,
+        backend: str = "auto",
+        encoding: str = "auto",
+        kernel: str = "auto",
+        max_union_states: int | None = None,
+    ) -> None:
+        """Persist one household verdict atomically."""
+        _write_pickle(
+            self.path_for(canonical_key, backend, encoding, kernel, max_union_states),
+            verdict,
+            prefix="fleet",
+        )
+        self.writes += 1
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Fleet entries of the current pipeline version, sorted by name."""
+        if not self.fleet_dir.is_dir():
+            return []
+        return sorted(p for p in self.fleet_dir.iterdir() if p.suffix == ".pkl")
 
     def stats(self) -> dict[str, int]:
         return {

@@ -42,7 +42,12 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.corpus.batch import _resolve_jobs, run_in_pool
-from repro.corpus.loader import app_ids, load_app, register_app
+from repro.corpus.loader import (
+    app_ids,
+    load_app,
+    register_app,
+    scoped_registration,
+)
 from repro.gen.generator import GenConfig, GeneratedApp, generate_app, generate_cluster
 from repro.gen.shrink import shrink_app, shrink_cluster
 from repro.gen.templates import BENIGN_PATTERNS
@@ -304,6 +309,14 @@ def _still_missed(property_id: str):
 
 
 def _check_case(index: int, config: FuzzConfig) -> CaseResult:
+    # The case's synthetic apps are registered only for the duration of
+    # the check: a long campaign (or a fleet run sharing the process)
+    # must not accumulate thousands of one-shot registry entries.
+    with scoped_registration():
+        return _check_case_registered(index, config)
+
+
+def _check_case_registered(index: int, config: FuzzConfig) -> CaseResult:
     case = _plan_case(index, config)
     ids = case.corpus_ids + tuple(app.app_id for app in case.apps)
     sources = tuple(app.source for app in case.apps)

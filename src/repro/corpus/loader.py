@@ -6,10 +6,20 @@ registered apps resolve through :func:`load_source`/:func:`load_app` like
 corpus apps, so they flow through the batch driver, the sweep engine's
 channel enumeration (``groups_sharing_devices`` over a mixed universe),
 and the disk caches without special cases.
+
+Registration is scoped, not append-only: :func:`unregister_app` releases
+an id (and its parsed app) again, and :func:`scoped_registration` wraps a
+whole campaign — the fleet driver screens a million households'
+synthetic apps, the fuzz driver thousands of generated cases, and the
+registry comes back exactly as it was.  Callers that *re*-register a
+freed id should derive ids from the source content (the fuzz and fleet
+drivers use digest-derived ids) so an id never silently changes meaning
+for code that cached per-id derivations while it was bound.
 """
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import re
 from importlib import resources
@@ -21,6 +31,11 @@ _DATASETS = {"official": "O", "thirdparty": "TP", "maliot": "App"}
 
 #: Synthetic sources registered at runtime: app id -> Groovy source.
 _REGISTERED: dict[str, str] = {}
+
+#: Parsed registered apps, evicted together with their registration
+#: (corpus apps live in the :func:`_load_corpus_app` lru instead, which
+#: never needs per-id eviction).
+_REGISTERED_APPS: dict[str, SmartApp] = {}
 
 #: id prefix -> dataset, for prefix-based dispatch in :func:`load_source`.
 _PREFIX_DATASET = {prefix: dataset for dataset, prefix in _DATASETS.items()}
@@ -106,6 +121,38 @@ def registered_ids() -> list[str]:
     return list(_REGISTERED)
 
 
+def unregister_app(app_id: str) -> bool:
+    """Release one registered synthetic app (id + cached parse).
+
+    Returns whether the id was registered; unknown ids are a no-op
+    (False), and corpus ids are never registered so they are untouchable
+    here.  After unregistering, the id is free again — re-binding it to a
+    *different* source is legal, which is why campaign drivers use
+    content-derived ids.
+    """
+    removed = _REGISTERED.pop(app_id, None) is not None
+    _REGISTERED_APPS.pop(app_id, None)
+    return removed
+
+
+@contextlib.contextmanager
+def scoped_registration():
+    """Restore the synthetic-app registry on exit.
+
+    Every id registered inside the ``with`` block is unregistered when it
+    closes (exception or not); ids registered before the block — and
+    re-registrations of them, which are no-ops — survive.  The fleet and
+    fuzz drivers wrap whole campaigns in this so per-household /
+    per-case synthetic apps never accumulate process-wide.
+    """
+    before = set(_REGISTERED)
+    try:
+        yield
+    finally:
+        for app_id in [i for i in _REGISTERED if i not in before]:
+            unregister_app(app_id)
+
+
 def load_source(app_id: str) -> str:
     """Raw Groovy source of one corpus (or registered synthetic) app.
 
@@ -126,13 +173,27 @@ def load_source(app_id: str) -> str:
 
 
 @functools.lru_cache(maxsize=None)
-def load_app(app_id: str) -> SmartApp:
-    """Parse one corpus app; the SmartApp name is the corpus id.
-
-    Cached: the same corpus app is parsed at most once per process (the
-    benchmarks and test fixtures previously re-parsed per fixture).
-    """
+def _load_corpus_app(app_id: str) -> SmartApp:
     return SmartApp.from_source(load_source(app_id), name=app_id)
+
+
+def load_app(app_id: str) -> SmartApp:
+    """Parse one corpus (or registered synthetic) app; the SmartApp name
+    is the app id.
+
+    Cached: the same app is parsed at most once per process (the
+    benchmarks and test fixtures previously re-parsed per fixture).
+    Corpus parses live in an lru for the process lifetime; registered
+    parses are evicted with :func:`unregister_app`, so scoped campaigns
+    do not leak parsed modules either.
+    """
+    if app_id in _REGISTERED:
+        app = _REGISTERED_APPS.get(app_id)
+        if app is None:
+            app = SmartApp.from_source(_REGISTERED[app_id], name=app_id)
+            _REGISTERED_APPS[app_id] = app
+        return app
+    return _load_corpus_app(app_id)
 
 
 def load_corpus(dataset: str) -> dict[str, SmartApp]:

@@ -254,7 +254,7 @@ def environment_only_ids(environment: EnvironmentAnalysis) -> set[str]:
     }
 
 
-def _union_outcome(
+def union_outcome(
     group: tuple[str, ...],
     analyses: list[AppAnalysis],
     max_union_states: int | None,
@@ -269,6 +269,11 @@ def _union_outcome(
     union/check artifacts persist per stage, so a re-sweep with different
     knobs (a new catalog, a forced encoding) replays the member models
     and the union skeleton from the store.
+
+    Public because it is the shared per-environment check unit: the
+    sweep workers below and the fleet screening driver
+    (:mod:`repro.fleet.driver`) both funnel through it, so a household
+    check and a sweep check can never drift apart semantically.
     """
     pipeline = (
         default_pipeline() if cache_dir is None else pipeline_for(cache_dir)
@@ -286,6 +291,12 @@ def _union_outcome(
         # unions to the symbolic checker, which has no state budget.
         return SweepOutcome(group=group, environment=None, error=str(exc))
     return SweepOutcome(group=group, environment=environment)
+
+
+#: Internal alias: the sweep paths below (and the failure-injection
+#: tests) reference the module global, so patching ``_union_outcome``
+#: still intercepts every sweep-side check.
+_union_outcome = union_outcome
 
 
 def _sweep_worker(

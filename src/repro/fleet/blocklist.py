@@ -1,0 +1,67 @@
+"""The violation blocklist feed: app combinations known to violate.
+
+Modeled on an app store's blocklist distribution (the addons-server
+``blocklist`` shape: a versioned feed of entries clients match against),
+but keyed on *combinations*: SOTERIA's multi-app violations are
+properties of a co-installation, not of any single app, so the unit a
+store must gate on is the household-shaped bundle.
+
+Each entry names one violating canonical household: the representative
+member ids, the violated property ids, and how much of the screened
+fleet it covers — the prevalence signal a store would use to prioritize
+enforcement.  The feed is plain JSON, ordered by affected households.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.fleet.telemetry import FleetTelemetry, HouseholdVerdict
+
+#: Feed schema version (bumped on any entry-shape change).
+BLOCKLIST_SCHEMA = 1
+
+
+def combo_label(members: Iterable[str]) -> str:
+    """The canonical display form of an app combination (sorted, ``+``)."""
+    return "+".join(sorted(members))
+
+
+def build_blocklist(
+    verdicts: Iterable[HouseholdVerdict],
+    key_counts: Mapping[str, int],
+    telemetry: FleetTelemetry,
+    profile_seed: int | None = None,
+) -> dict:
+    """Assemble the feed from a run's verdicts.
+
+    ``key_counts`` maps canonical keys to sampled-household counts, so
+    every entry carries its fleet share; failed verdicts never enter the
+    feed (an unverified combination is not a known-bad one).
+    """
+    total = max(1, telemetry.households)
+    entries = []
+    for verdict in verdicts:
+        if verdict.failed or not verdict.violations:
+            continue
+        affected = key_counts.get(verdict.canonical_key, 0)
+        entries.append(
+            {
+                "id": verdict.canonical_key[:16],
+                "canonical_key": verdict.canonical_key,
+                "combination": sorted(verdict.members),
+                "properties": sorted(verdict.violated_ids()),
+                "households": affected,
+                "share": affected / total,
+            }
+        )
+    entries.sort(key=lambda entry: (-entry["households"], entry["id"]))
+    feed = {
+        "schema": BLOCKLIST_SCHEMA,
+        "generator": "soteria fleet",
+        "households_screened": telemetry.households,
+        "entries": entries,
+    }
+    if profile_seed is not None:
+        feed["seed"] = profile_seed
+    return feed

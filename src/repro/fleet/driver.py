@@ -1,0 +1,432 @@
+"""The fleet screening driver: sample, canonicalize, dedup, check.
+
+The run is a three-layer funnel, and each layer is where the throughput
+comes from:
+
+1. **Sampling** (:mod:`repro.fleet.profiles`) streams households without
+   ever materializing the fleet: per sampled household the driver
+   touches only a cached canonical key and a counter.
+2. **Canonical dedup** (:mod:`repro.fleet.canon`) maps the byte-diverse
+   stream onto few canonical households; only the first sighting of a
+   key — after a probe of the fleet disk tier
+   (:class:`repro.corpus.diskcache.FleetCache`) — costs a model check.
+3. **Sharded checking**: the distinct representatives run through a
+   work-stealing process pool (:class:`StealingScheduler` — per-worker
+   deques, steal-half on exhaustion, batched submission to amortize
+   IPC), each worker reusing warm per-app pipeline stages through the
+   process-shared :func:`~repro.pipeline.runner.pipeline_for`.
+
+The check itself is the sweep engine's union outcome
+(:func:`repro.corpus.sweep.union_outcome`) under a *low*
+explicit/symbolic crossover (:data:`FLEET_MAX_UNION_STATES`): fleet
+unions of 3–15 apps routinely estimate in the thousands of states,
+where symbolic checking is ~100x cheaper than explicit enumeration —
+the budget is a throughput knob, not a soundness one (both paths check
+every property).
+
+Memory is bounded by the *pool*, never the fleet: the driver holds one
+verdict + one counter per canonical household and one source per
+(template, variant) — screening 1M households peaks at the same few
+hundred MB as screening 10k.
+
+Synthetic members are registered through the corpus loader under
+content-derived ids and the whole run is wrapped in
+:func:`~repro.corpus.loader.scoped_registration`, so a fleet screen
+leaves the process-wide registry exactly as it found it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+
+from repro.corpus.diskcache import FleetCache, resolve_cache_dir
+from repro.corpus.loader import load_app, register_app, scoped_registration
+from repro.corpus.sweep import union_outcome
+from repro.fleet.blocklist import build_blocklist, combo_label
+from repro.fleet.profiles import (
+    FleetProfile,
+    Household,
+    Member,
+    TemplatePool,
+    sample_stream,
+)
+from repro.fleet.telemetry import FleetTelemetry, HouseholdVerdict, ViolationRecord
+from repro.pipeline.runner import Pipeline, default_pipeline, pipeline_for
+
+#: The fleet explicit/symbolic crossover.  Far below the sweep default
+#: (10 000): at fleet scale the explicit checker's product enumeration
+#: is the bottleneck, and the symbolic checker handles the same 3–15-app
+#: unions in milliseconds.
+FLEET_MAX_UNION_STATES = 512
+
+
+@dataclass(frozen=True)
+class FleetOptions:
+    """Execution knobs of one screening run (picklable for workers)."""
+
+    jobs: int = 1
+    cache_dir: str | None = None
+    backend: str = "auto"
+    encoding: str = "auto"
+    kernel: str = "auto"
+    max_union_states: int = FLEET_MAX_UNION_STATES
+    #: Households per IPC submission (amortizes queue round trips).
+    batch_size: int = 16
+    #: Outstanding batches per worker before the parent stops feeding.
+    window: int = 2
+
+
+@dataclass
+class FleetResult:
+    """Everything a screening run produced."""
+
+    telemetry: FleetTelemetry
+    #: canonical key -> verdict, one per canonical household.
+    verdicts: dict[str, HouseholdVerdict] = field(default_factory=dict)
+    #: canonical key -> sampled household count.
+    key_counts: dict[str, int] = field(default_factory=dict)
+    blocklist: dict = field(default_factory=dict)
+
+    @property
+    def exit_code(self) -> int:
+        """Sweep-consistent process status: 1 when any household
+        violates, else 3 when any check failed (an incomplete screen is
+        not a clean one), else 0."""
+        if self.telemetry.violating_households:
+            return 1
+        return 3 if self.telemetry.failed_households else 0
+
+
+def check_household(
+    household: Household,
+    canonical_key: str,
+    options: FleetOptions,
+    pipeline: Pipeline | None = None,
+) -> HouseholdVerdict:
+    """Union-check one representative household.
+
+    Members are registered through the corpus loader (content-derived
+    ids, so re-binding is always identical) and parsed via
+    :func:`~repro.corpus.loader.load_app` — corpus members and repeated
+    synthetics share one parse per process.  Scoping the registration is
+    the *caller's* job: :func:`run_fleet` and the pool workers wrap
+    their whole lifetime, so per-household eviction never thrashes the
+    parse caches.
+    """
+    if pipeline is None:
+        pipeline = (
+            pipeline_for(options.cache_dir)
+            if options.cache_dir
+            else default_pipeline()
+        )
+    members = household.member_ids()
+    try:
+        apps = []
+        for member in household.members:
+            register_app(member.app_id, member.source)
+            apps.append(load_app(member.app_id))
+        analyses = [pipeline.app_analysis(app) for app in apps]
+        outcome = union_outcome(
+            members,
+            analyses,
+            options.max_union_states,
+            backend=options.backend,
+            encoding=options.encoding,
+            kernel=options.kernel,
+            cache_dir=options.cache_dir,
+        )
+    except Exception as exc:  # a broken household must not kill the fleet
+        return HouseholdVerdict(
+            canonical_key=canonical_key,
+            members=members,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    if outcome.failed:
+        return HouseholdVerdict(
+            canonical_key=canonical_key, members=members, error=outcome.error
+        )
+    environment = outcome.environment
+    violations = tuple(
+        ViolationRecord(
+            property_id=violation.property_id,
+            apps=tuple(violation.apps),
+            devices=tuple(violation.devices),
+            description=violation.description,
+        )
+        for violation in environment.violations
+    )
+    return HouseholdVerdict(
+        canonical_key=canonical_key,
+        members=members,
+        violations=violations,
+        backend=environment.backend,
+        state_estimate=environment.state_estimate,
+    )
+
+
+# ======================================================================
+# Work-stealing process pool
+# ======================================================================
+def _fleet_worker_main(worker_id, task_queue, result_queue, options_payload) -> None:
+    """Worker body: batches of (key, members) in, verdict lists out.
+
+    Each worker owns one process-shared pipeline (warm per-app stages
+    across every household it checks) and one registration scope for
+    its whole lifetime.  Nothing raised here may cross the queue as an
+    exception: per-household failures travel as error verdicts.
+    """
+    options = FleetOptions(**options_payload)
+    pipeline = (
+        pipeline_for(options.cache_dir) if options.cache_dir else default_pipeline()
+    )
+    with scoped_registration():
+        while True:
+            batch = task_queue.get()
+            if batch is None:
+                break
+            verdicts = []
+            for canonical_key, members in batch:
+                household = Household(
+                    template=-1,
+                    variant=-1,
+                    members=tuple(
+                        Member(app_id, source) for app_id, source in members
+                    ),
+                )
+                verdicts.append(
+                    check_household(household, canonical_key, options, pipeline)
+                )
+            result_queue.put((worker_id, verdicts))
+
+
+class StealingScheduler:
+    """Parent-coordinated work stealing over worker processes.
+
+    Tasks land on per-worker deques; the parent feeds each worker up to
+    ``window`` batches of ``batch_size`` households (batched submission
+    amortizes the IPC round trip), and when a worker's deque runs dry it
+    steals half of the longest deque's tail.  With one result queue the
+    parent is the only scheduler state holder — workers just loop
+    ``get -> check -> put``.
+
+    Best-effort like the batch driver's pool: any failure to spawn or a
+    wedged pool returns the verdicts collected so far and lets the
+    caller finish the remainder serially.
+    """
+
+    def __init__(self, options: FleetOptions):
+        self.options = options
+        self._deques: list[deque] = []
+        self._inflight: list[int] = []  # outstanding batches per worker
+        self._task_queues: list = []
+
+    # ------------------------------------------------------------------
+    def _feed(self, worker: int) -> None:
+        """Send batches until the worker's window is full (batched
+        submission: one queue put per ``batch_size`` households)."""
+        while self._inflight[worker] < self.options.window and self._deques[worker]:
+            size = min(self.options.batch_size, len(self._deques[worker]))
+            batch = [self._deques[worker].popleft() for _ in range(size)]
+            self._task_queues[worker].put(batch)
+            self._inflight[worker] += 1
+
+    def _steal(self, thief: int) -> None:
+        """Steal-half on exhaustion: take the back half of the longest
+        deque (the classic Chase–Lev split, parent-coordinated)."""
+        victim = max(
+            range(len(self._deques)), key=lambda w: len(self._deques[w])
+        )
+        if victim == thief or len(self._deques[victim]) < 2:
+            return
+        for _ in range(len(self._deques[victim]) // 2):
+            self._deques[thief].append(self._deques[victim].pop())
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: list[tuple[str, tuple]]) -> list[HouseholdVerdict]:
+        """Check every task; returns the verdicts that completed (the
+        caller reconciles anything missing serially)."""
+        workers = min(max(2, self.options.jobs), len(tasks))
+        context = multiprocessing.get_context()
+        collected: list[HouseholdVerdict] = []
+        processes = []
+        try:
+            self._task_queues = [context.Queue() for _ in range(workers)]
+            result_queue = context.Queue()
+            payload = asdict(self.options)
+            for worker in range(workers):
+                process = context.Process(
+                    target=_fleet_worker_main,
+                    args=(
+                        worker,
+                        self._task_queues[worker],
+                        result_queue,
+                        payload,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                processes.append(process)
+        except Exception:
+            for process in processes:
+                process.terminate()
+            return collected
+
+        self._deques = [deque() for _ in range(workers)]
+        self._inflight = [0] * workers
+        for index, task in enumerate(tasks):
+            self._deques[index % workers].append(task)
+        for worker in range(workers):
+            self._feed(worker)
+
+        stalls = 0
+        try:
+            while len(collected) < len(tasks):
+                try:
+                    worker, verdicts = result_queue.get(timeout=30.0)
+                except queue_module.Empty:
+                    if not any(process.is_alive() for process in processes):
+                        break  # pool died; caller finishes serially
+                    stalls += 1
+                    if stalls > 40:  # 20 minutes without progress
+                        break
+                    continue
+                stalls = 0
+                collected.extend(verdicts)
+                self._inflight[worker] -= 1
+                if not self._deques[worker]:
+                    self._steal(worker)
+                self._feed(worker)
+        finally:
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.put(None)
+                except Exception:
+                    pass
+            for process in processes:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+        return collected
+
+
+# ======================================================================
+# The screening run
+# ======================================================================
+def run_fleet(
+    profile: FleetProfile,
+    count: int,
+    options: FleetOptions | None = None,
+) -> FleetResult:
+    """Screen ``count`` sampled households; returns telemetry, one
+    verdict per canonical household, and the blocklist feed."""
+    options = options or FleetOptions()
+    started = time.perf_counter()
+    telemetry = FleetTelemetry()
+    disk_root = resolve_cache_dir(options.cache_dir)
+    fleet_cache = FleetCache(disk_root) if disk_root is not None else None
+    cache_args = (
+        options.backend,
+        options.encoding,
+        options.kernel,
+        options.max_union_states,
+    )
+
+    with scoped_registration():
+        pool = TemplatePool(profile)
+        key_counts: dict[str, int] = {}
+        byte_variants: set[tuple[int, int]] = set()
+        verdicts: dict[str, HouseholdVerdict] = {}
+        pending: dict[str, int] = {}  # canonical key -> representative template
+
+        # Layer 1+2: stream the fleet, counting per canonical key; only
+        # first sightings (after a disk probe) become check tasks.
+        for _index, template, variant in sample_stream(profile, count):
+            telemetry.households += 1
+            byte_variants.add((template, variant))
+            key = pool.canonical_key(template, variant)
+            seen = key_counts.get(key)
+            key_counts[key] = (seen or 0) + 1
+            if seen is not None:
+                continue
+            if fleet_cache is not None:
+                cached = fleet_cache.get(key, *cache_args)
+                if cached is not None:
+                    verdicts[key] = cached
+                    telemetry.disk_hits += 1
+                    continue
+            pending[key] = template
+
+        telemetry.byte_distinct = len(byte_variants)
+        telemetry.canonical_distinct = len(key_counts)
+        telemetry.fresh_checks = len(pending)
+
+        # Layer 3: check each pending key's canonical representative
+        # (variant 0 — isomorphic to whatever variant was sampled first,
+        # so the blocklist reports combinations in canonical ids).
+        tasks = [
+            (
+                key,
+                tuple(
+                    (member.app_id, member.source)
+                    for member in pool.blueprint(template).members
+                ),
+            )
+            for key, template in pending.items()
+        ]
+        fresh: list[HouseholdVerdict] = []
+        if options.jobs > 1 and len(tasks) > 1:
+            fresh = StealingScheduler(options).run(tasks)
+        done = {verdict.canonical_key for verdict in fresh}
+        if len(done) < len(tasks):
+            pipeline = (
+                pipeline_for(options.cache_dir)
+                if options.cache_dir
+                else default_pipeline()
+            )
+            for key, template in pending.items():
+                if key not in done:
+                    fresh.append(
+                        check_household(
+                            pool.blueprint(template), key, options, pipeline
+                        )
+                    )
+        for verdict in fresh:
+            verdicts[verdict.canonical_key] = verdict
+            if fleet_cache is not None and not verdict.failed:
+                try:
+                    fleet_cache.put(verdict.canonical_key, verdict, *cache_args)
+                except Exception:
+                    pass  # best-effort, like the sweep tier
+
+    # Aggregate telemetry + blocklist over the whole fleet.
+    for key, sampled in key_counts.items():
+        verdict = verdicts.get(key)
+        if verdict is None:
+            continue
+        if verdict.failed:
+            telemetry.failed_households += sampled
+            telemetry.failed_checks += 1
+            continue
+        if verdict.violations:
+            telemetry.violating_households += sampled
+            telemetry.violating_distinct += 1
+            label = combo_label(verdict.members)
+            telemetry.by_combo[label] = telemetry.by_combo.get(label, 0) + sampled
+            for property_id in sorted(verdict.violated_ids()):
+                telemetry.by_property[property_id] = (
+                    telemetry.by_property.get(property_id, 0) + sampled
+                )
+    telemetry.elapsed = time.perf_counter() - started
+    blocklist = build_blocklist(
+        verdicts.values(), key_counts, telemetry, profile_seed=profile.seed
+    )
+    return FleetResult(
+        telemetry=telemetry,
+        verdicts=verdicts,
+        key_counts=key_counts,
+        blocklist=blocklist,
+    )

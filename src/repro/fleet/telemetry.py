@@ -1,0 +1,137 @@
+"""Fleet verdict records and aggregate screening telemetry.
+
+:class:`HouseholdVerdict` is the compact, picklable unit the fleet tier
+caches and the worker processes ship back: the canonical key, the
+representative member ids, and the violation records — not the full
+:class:`~repro.soteria.EnvironmentAnalysis` (a fleet run holds one
+verdict per *canonical* household, so verdicts must stay small enough
+to keep a million-household screen in bounded memory).
+
+:class:`FleetTelemetry` aggregates the run: household counts at each
+dedup layer (sampled / byte-distinct / canonical-distinct), cache hits
+by tier, violation counters per property and per app combination, and
+the throughput numbers the benchmark gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One violation, flattened to plain data for caching/JSON."""
+
+    property_id: str
+    apps: tuple[str, ...]
+    devices: tuple[str, ...] = ()
+    description: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "property_id": self.property_id,
+            "apps": list(self.apps),
+            "devices": list(self.devices),
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class HouseholdVerdict:
+    """The screening outcome of one *canonical* household.
+
+    ``members`` are the representative household's app ids (canonical
+    variant 0 of the template that first produced the key); renamed
+    isomorphic households share this verdict, so the blocklist reports
+    combinations in representative terms.
+    """
+
+    canonical_key: str
+    members: tuple[str, ...]
+    violations: tuple[ViolationRecord, ...] = ()
+    backend: str | None = None
+    state_estimate: int = 0
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    def violated_ids(self) -> set[str]:
+        return {violation.property_id for violation in self.violations}
+
+    def to_json(self) -> dict:
+        return {
+            "canonical_key": self.canonical_key,
+            "members": list(self.members),
+            "violations": [violation.to_json() for violation in self.violations],
+            "backend": self.backend,
+            "state_estimate": self.state_estimate,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FleetTelemetry:
+    """Aggregate counters of one fleet screening run."""
+
+    #: Sampled households (the fleet size of the run).
+    households: int = 0
+    #: Distinct concrete households sampled (template x rename variant):
+    #: what a byte-level dedup would have to check.
+    byte_distinct: int = 0
+    #: Distinct canonical keys: what was actually checked.
+    canonical_distinct: int = 0
+    #: Households that needed a fresh union-model check (first sighting
+    #: of their canonical key, nothing on disk).
+    fresh_checks: int = 0
+    #: Canonical keys served from the fleet disk tier.
+    disk_hits: int = 0
+    #: Sampled households with at least one violation (via their verdict).
+    violating_households: int = 0
+    #: Canonical households with at least one violation.
+    violating_distinct: int = 0
+    #: Sampled households whose check failed outright.
+    failed_households: int = 0
+    #: Canonical households whose check failed outright.
+    failed_checks: int = 0
+    #: Wall-clock seconds of the whole screen (sampling + checking).
+    elapsed: float = 0.0
+    #: property id -> sampled households violating it.
+    by_property: dict[str, int] = field(default_factory=dict)
+    #: sorted app combination ("A+B+C") -> sampled households violating.
+    by_combo: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of sampled households that cost no model check —
+        the canonical-dedup cache hit rate the benchmark gates."""
+        if not self.households:
+            return 1.0
+        return 1.0 - self.fresh_checks / self.households
+
+    @property
+    def households_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.households / self.elapsed
+
+    def to_json(self) -> dict:
+        return {
+            "households": self.households,
+            "byte_distinct": self.byte_distinct,
+            "canonical_distinct": self.canonical_distinct,
+            "fresh_checks": self.fresh_checks,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hit_rate,
+            "violating_households": self.violating_households,
+            "violating_distinct": self.violating_distinct,
+            "failed_households": self.failed_households,
+            "failed_checks": self.failed_checks,
+            "elapsed_seconds": self.elapsed,
+            "households_per_second": self.households_per_second,
+            "by_property": dict(sorted(self.by_property.items())),
+            "by_combo": dict(
+                sorted(self.by_combo.items(), key=lambda kv: (-kv[1], kv[0]))
+            ),
+        }

@@ -141,29 +141,32 @@ def _compose(
     if forced_share is not None:
         # The shared device must land in this app: pick a carrier fragment
         # first so it participates in the budget like everything else.
+        # Always a BENIGN carrier, even when the injected template holds
+        # a slot of the shared capability: violation templates rely on
+        # role-loaded handle names (portable_heater, desk_lamp) that the
+        # matching property reads, so re-binding one of *their* slots to
+        # the neutral shared handle would silently erase the injected
+        # violation (the missed-injection shape a 100-case fuzz campaign
+        # reproduces at indices 26 and 45).
         capability = forced_share[0]
-        inject_carries = inject is not None and any(
-            slot.capability == capability for slot in inject.slots
-        )
-        if not inject_carries:
-            carriers = [
-                fragment
-                for fragment in pool
-                if any(s.capability == capability for s in fragment.slots)
-                and admissible(fragment)
-            ]
-            if carriers:
-                fitting = [c for c in carriers if weight * c.weight <= budget]
-                if fitting:
-                    carrier = rng.choice(fitting)
-                else:
-                    # Sharing is mandatory: take the lightest carrier even
-                    # when the injected template already fills the budget.
-                    carrier = min(carriers, key=lambda c: c.weight)
-                pool.remove(carrier)
-                chosen.append(carrier)
-                weight *= carrier.weight
-                mode_read_taken = mode_read_taken or carrier.reads_mode
+        carriers = [
+            fragment
+            for fragment in pool
+            if any(s.capability == capability for s in fragment.slots)
+            and admissible(fragment)
+        ]
+        if carriers:
+            fitting = [c for c in carriers if weight * c.weight <= budget]
+            if fitting:
+                carrier = rng.choice(fitting)
+            else:
+                # Sharing is mandatory: take the lightest carrier even
+                # when the injected template already fills the budget.
+                carrier = min(carriers, key=lambda c: c.weight)
+            pool.remove(carrier)
+            chosen.append(carrier)
+            weight *= carrier.weight
+            mode_read_taken = mode_read_taken or carrier.reads_mode
 
     count = rng.randint(1, config.max_fragments)
     while pool and len(chosen) < count:
@@ -202,9 +205,18 @@ def _assemble(
         # their origin by placement.
         lineup.insert(rng.randrange(len(lineup) + 1), (inject, True))
 
+    # Prefer a benign fragment as the shared-handle carrier: only when
+    # NO benign fragment holds the capability may the injected template
+    # carry it (its slot names are role-loaded, see _compose).
+    benign_can_carry = forced_share is not None and any(
+        slot.capability == forced_share[0]
+        for fragment, is_injected in lineup
+        if not is_injected
+        for slot in fragment.slots
+    )
     for index, (fragment, is_injected) in enumerate(lineup):
         forced: dict[str, str] = {}
-        if forced_share is not None:
+        if forced_share is not None and not (is_injected and benign_can_carry):
             capability, handle, _kind = forced_share
             if handle not in used:
                 for slot in fragment.slots:

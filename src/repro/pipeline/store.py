@@ -76,8 +76,11 @@ PIPELINE_VERSION = "6"   # 6: pluggable BDD kernels — check artifacts and
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Stage names in pipeline order (display order for ``soteria cache``).
+#: ``fleet`` is the coarsest tier: one household verdict per canonical
+#: household form (:class:`repro.corpus.diskcache.FleetCache`).
 STAGE_ORDER = (
-    "parse", "ir", "model", "kripke", "union", "check", "analysis", "sweep"
+    "parse", "ir", "model", "kripke", "union", "check", "analysis", "sweep",
+    "fleet",
 )
 
 #: Default bound on live objects held by the memory layer.  Analyses of

@@ -14,6 +14,9 @@ Endpoints (all JSON)::
     GET  /v1/jobs/<id>                   one job's full status
     GET  /v1/jobs/<id>/violations        decoded witnesses, paginated
     GET  /v1/stats                       job counts + per-stage cache counters
+    POST /v1/fleet                       run a fleet screen -> telemetry
+    GET  /v1/fleet                       latest fleet screening telemetry
+    GET  /v1/blocklist                   latest violation blocklist feed
 
 ``POST /v1/submissions`` accepts either shape::
 
@@ -63,6 +66,13 @@ MAX_WAIT_SECONDS = 300.0
 #: attacker-controlled Content-Length must never buy a memory balloon;
 #: real SmartApp sources are a few KB each.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Upper bound on ``POST /v1/fleet`` household counts.  The screen runs
+#: synchronously in the handler thread; dedup makes the cost a function
+#: of the *profile pool*, not the count, but the sampling loop itself is
+#: O(count) and an unauthenticated request must stay bounded.  Bigger
+#: fleets belong on the CLI (``soteria fleet --households 1000000``).
+MAX_FLEET_HOUSEHOLDS = 50_000
 
 
 class SubmissionError(ValueError):
@@ -134,6 +144,11 @@ class SoteriaService:
         # resolves only after the record is updated, so waiters never
         # observe a settled future with a stale record.
         self._executor = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        # Latest fleet screening, published by fleet_screen() for the
+        # GET /v1/fleet and GET /v1/blocklist views.  One slot on
+        # purpose: the feed is the *current* blocklist, not a history.
+        self._fleet_lock = threading.Lock()
+        self._fleet_latest: dict | None = None
 
     @staticmethod
     def _make_process_pool(workers: int):
@@ -241,6 +256,83 @@ class SoteriaService:
             # aggregate covers both pool flavors).
             "kernels": aggregate_kernel_stats(),
         }
+
+    # ------------------------------------------------------------------
+    def fleet_screen(self, body: dict) -> dict:
+        """Run one fleet screening synchronously; publish + return it.
+
+        The body mirrors the ``soteria fleet`` knobs (all optional)::
+
+            {"households": 10000, "seed": 0, "templates": 50,
+             "variants": 3, "corpus_weight": 0.25, "inject_rate": 0.4,
+             "jobs": 1, "backend": "auto", "encoding": "auto",
+             "kernel": "auto"}
+
+        Runs in the calling (handler) thread — the screen is bounded by
+        :data:`MAX_FLEET_HOUSEHOLDS` and canonical dedup keeps the
+        checked set small — and stores the telemetry + blocklist for the
+        GET views.  Screens share this service's artifact store, so a
+        repeat request over a disk root is served almost entirely from
+        the fleet cache tier.
+        """
+        from repro.fleet.driver import FleetOptions, run_fleet
+        from repro.fleet.profiles import FleetProfile
+
+        if not isinstance(body, dict):
+            raise SubmissionError("fleet body must be a JSON object")
+
+        def _int(name: str, default: int, low: int, high: int) -> int:
+            value = body.get(name, default)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise SubmissionError(f"{name!r} must be an integer")
+            if not low <= value <= high:
+                raise SubmissionError(f"{name!r} must be in [{low}, {high}]")
+            return value
+
+        def _rate(name: str, default: float) -> float:
+            value = body.get(name, default)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise SubmissionError(f"{name!r} must be a number")
+            if not 0.0 <= value <= 1.0:
+                raise SubmissionError(f"{name!r} must be in [0.0, 1.0]")
+            return float(value)
+
+        backend = body.get("backend", "auto")
+        encoding = body.get("encoding", "auto")
+        kernel = body.get("kernel", "auto")
+        try:
+            validate_knobs(backend, encoding, kernel)
+        except ValueError as exc:
+            raise SubmissionError(str(exc)) from None
+        households = _int("households", 10_000, 1, MAX_FLEET_HOUSEHOLDS)
+        profile = FleetProfile(
+            seed=_int("seed", 0, 0, 2**32),
+            templates=_int("templates", 50, 1, 500),
+            variants=_int("variants", 3, 1, 26),
+            corpus_weight=_rate("corpus_weight", 0.25),
+            inject_rate=_rate("inject_rate", 0.4),
+        )
+        options = FleetOptions(
+            jobs=_int("jobs", 1, 1, 4),
+            cache_dir=None if self._cache_root is None else str(self._cache_root),
+            backend=backend,
+            encoding=encoding,
+            kernel=kernel,
+        )
+        result = run_fleet(profile, households, options)
+        payload = {
+            "telemetry": result.telemetry.to_json(),
+            "blocklist": result.blocklist,
+            "exit_code": result.exit_code,
+        }
+        with self._fleet_lock:
+            self._fleet_latest = payload
+        return payload
+
+    def fleet_latest(self) -> dict | None:
+        """The latest published screening payload, or None before any."""
+        with self._fleet_lock:
+            return self._fleet_latest
 
     def shutdown(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
@@ -425,6 +517,24 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(200, self.service.jobs.list(page, per_page))
             elif path.startswith("/v1/jobs/"):
                 self._get_job(path[len("/v1/jobs/"):], query)
+            elif path == "/v1/fleet":
+                latest = self.service.fleet_latest()
+                if latest is None:
+                    self._json(404, {"error": "no fleet screening has run yet"})
+                else:
+                    self._json(
+                        200,
+                        {
+                            "telemetry": latest["telemetry"],
+                            "exit_code": latest["exit_code"],
+                        },
+                    )
+            elif path == "/v1/blocklist":
+                latest = self.service.fleet_latest()
+                if latest is None:
+                    self._json(404, {"error": "no fleet screening has run yet"})
+                else:
+                    self._json(200, latest["blocklist"])
             else:
                 self._json(404, {"error": f"unknown path {path!r}"})
         except SubmissionError as exc:
@@ -460,34 +570,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
         path = urlparse(self.path).path.rstrip("/")
-        if path != "/v1/submissions":
+        if path not in ("/v1/submissions", "/v1/fleet"):
             self._json(404, {"error": f"unknown path {path!r}"})
             return
         try:
-            raw_length = self.headers.get("Content-Length", "0")
-            try:
-                length = int(raw_length)
-            except ValueError:
-                self.close_connection = True  # body unread: drop the socket
-                raise SubmissionError(
-                    f"Content-Length must be an integer, got {raw_length!r}"
-                ) from None
-            if length < 0:
-                self.close_connection = True
-                raise SubmissionError("Content-Length must be non-negative")
-            if length > MAX_BODY_BYTES:
-                # Refuse before reading: an attacker-sized body must not
-                # be buffered just to be rejected.
-                self.close_connection = True
-                self._json(
-                    413,
-                    {"error": f"submission body exceeds {MAX_BODY_BYTES} bytes"},
-                )
+            body = self._read_body()
+            if body is None:  # oversized: _read_body already answered 413
                 return
-            try:
-                body = json.loads(self.rfile.read(length) or b"{}")
-            except json.JSONDecodeError as exc:
-                raise SubmissionError(f"invalid JSON body: {exc}") from None
+            if path == "/v1/fleet":
+                payload = self.service.fleet_screen(body)
+                self._json(200, payload)
+                return
             entries, backend, encoding, kernel = _parse_submission(body)
             record, created = self.service.submit(
                 entries, backend, encoding, kernel
@@ -506,6 +599,34 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(400, {"error": str(exc)})
         except Exception as exc:
             self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _read_body(self) -> dict | None:
+        """Read and decode a bounded JSON POST body; None if refused."""
+        raw_length = self.headers.get("Content-Length", "0")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            self.close_connection = True  # body unread: drop the socket
+            raise SubmissionError(
+                f"Content-Length must be an integer, got {raw_length!r}"
+            ) from None
+        if length < 0:
+            self.close_connection = True
+            raise SubmissionError("Content-Length must be non-negative")
+        if length > MAX_BODY_BYTES:
+            # Refuse before reading: an attacker-sized body must not
+            # be buffered just to be rejected.
+            self.close_connection = True
+            self._json(
+                413,
+                {"error": f"submission body exceeds {MAX_BODY_BYTES} bytes"},
+            )
+            return None
+        try:
+            body = json.loads(self.rfile.read(length) or b"{}")
+        except json.JSONDecodeError as exc:
+            raise SubmissionError(f"invalid JSON body: {exc}") from None
+        return body
 
 
 def build_server(

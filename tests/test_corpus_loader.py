@@ -11,6 +11,8 @@ from repro.corpus.loader import (
     load_source,
     register_app,
     registered_ids,
+    scoped_registration,
+    unregister_app,
 )
 
 
@@ -86,6 +88,29 @@ class TestRegisteredSyntheticApps:
         # Registering a corpus id with its own exact source is harmless.
         register_app("O1", load_source("O1"))
         assert "O1" not in registered_ids()
+
+    def test_unregister_frees_the_id(self):
+        register_app("GenLoaderT4", self.SOURCE)
+        load_app("GenLoaderT4")  # populate the parse cache too
+        assert unregister_app("GenLoaderT4") is True
+        assert "GenLoaderT4" not in registered_ids()
+        assert unregister_app("GenLoaderT4") is False  # idempotent
+        # The freed id may legally re-bind to a *different* source.
+        register_app("GenLoaderT4", self.SOURCE + "\n// v2\n")
+        assert load_source("GenLoaderT4").endswith("// v2\n")
+
+    def test_scoped_registration_restores_registry(self):
+        register_app("GenLoaderT5", self.SOURCE)
+        before = registered_ids()
+        with pytest.raises(RuntimeError, match="boom"):
+            with scoped_registration():
+                register_app("GenLoaderScoped1", self.SOURCE)
+                register_app("GenLoaderT5", self.SOURCE)  # pre-existing: no-op
+                assert "GenLoaderScoped1" in registered_ids()
+                raise RuntimeError("boom")
+        # Inner ids are gone (even on exception); outer ones survive.
+        assert registered_ids() == before
+        assert "GenLoaderT5" in registered_ids()
 
 
 class TestStrayFilesSkipped:

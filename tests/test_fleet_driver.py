@@ -1,0 +1,177 @@
+"""Fleet screening driver: sampling, dedup, telemetry, and exit codes."""
+
+import pytest
+
+from repro.corpus.diskcache import FleetCache
+from repro.corpus.loader import registered_ids
+from repro.fleet.driver import (
+    FLEET_MAX_UNION_STATES,
+    FleetOptions,
+    FleetResult,
+    run_fleet,
+)
+from repro.fleet.profiles import FleetProfile, TemplatePool, sample_stream
+from repro.fleet.telemetry import FleetTelemetry, HouseholdVerdict
+
+#: Small profile: a handful of canonical forms, so a serial run stays
+#: in the hundreds of milliseconds.
+SMALL = FleetProfile(seed=7, templates=4, variants=2)
+COUNT = 300
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_fleet(SMALL, COUNT, FleetOptions(jobs=1))
+
+
+class TestSampling:
+    def test_stream_is_deterministic(self):
+        first = list(sample_stream(SMALL, 50))
+        second = list(sample_stream(SMALL, 50))
+        assert first == second
+
+    def test_stream_respects_pool_bounds(self):
+        for _index, template, variant in sample_stream(SMALL, 200):
+            assert 0 <= template < SMALL.templates
+            assert 0 <= variant < SMALL.variants
+
+    def test_different_seed_different_stream(self):
+        other = FleetProfile(seed=8, templates=4, variants=2)
+        assert list(sample_stream(SMALL, 50)) != list(sample_stream(other, 50))
+
+
+class TestTelemetry:
+    def test_counts_are_consistent(self, small_run):
+        telemetry = small_run.telemetry
+        assert telemetry.households == COUNT
+        assert telemetry.canonical_distinct <= telemetry.byte_distinct
+        assert telemetry.byte_distinct <= SMALL.templates * SMALL.variants
+        assert telemetry.fresh_checks <= telemetry.canonical_distinct
+        assert sum(small_run.key_counts.values()) == COUNT
+        assert len(small_run.verdicts) == telemetry.canonical_distinct
+        assert 0.0 <= telemetry.hit_rate <= 1.0
+        # Violating + failed + clean partitions the fleet.
+        clean = (
+            telemetry.households
+            - telemetry.violating_households
+            - telemetry.failed_households
+        )
+        assert clean >= 0
+
+    def test_rename_variants_collapse(self, small_run):
+        # Every variant of a template is isomorphic by construction, so
+        # the canonical tier is at most one entry per *template*.
+        assert small_run.telemetry.canonical_distinct <= SMALL.templates
+
+    def test_property_counters_cover_violating_households(self, small_run):
+        telemetry = small_run.telemetry
+        if telemetry.violating_households:
+            assert telemetry.by_property
+            assert max(telemetry.by_property.values()) <= (
+                telemetry.violating_households
+            )
+            assert sum(telemetry.by_combo.values()) == (
+                telemetry.violating_households
+            )
+
+    def test_blocklist_covers_violating_forms(self, small_run):
+        entries = small_run.blocklist["entries"]
+        assert len(entries) == small_run.telemetry.violating_distinct
+        assert sum(e["households"] for e in entries) == (
+            small_run.telemetry.violating_households
+        )
+        for entry in entries:
+            assert entry["properties"]
+            assert entry["combination"] == sorted(entry["combination"])
+
+    def test_registry_restored_after_run(self, small_run):
+        # The loader-scoping regression: a fleet screen registers one
+        # synthetic app per pool member, and every registration must be
+        # rolled back when the run finishes.
+        assert [i for i in registered_ids() if i.startswith("Flt")] == []
+
+
+class TestDiskTier:
+    def test_warm_run_checks_nothing(self, tmp_path):
+        options = FleetOptions(jobs=1, cache_dir=str(tmp_path))
+        cold = run_fleet(SMALL, COUNT, options)
+        assert cold.telemetry.fresh_checks > 0
+        assert cold.telemetry.disk_hits == 0
+        warm = run_fleet(SMALL, COUNT, options)
+        assert warm.telemetry.fresh_checks == 0
+        assert warm.telemetry.disk_hits == warm.telemetry.canonical_distinct
+        assert warm.telemetry.hit_rate == 1.0
+        # Same fleet, same verdicts — the cache changes cost, not truth.
+        assert (
+            warm.telemetry.violating_households
+            == cold.telemetry.violating_households
+        )
+        assert set(warm.verdicts) == set(cold.verdicts)
+
+    def test_knobs_partition_the_tier(self, tmp_path):
+        cache = FleetCache(tmp_path)
+        verdict = HouseholdVerdict(canonical_key="k" * 64, members=("A", "B"))
+        cache.put("k" * 64, verdict, "auto", "auto", "auto", 512)
+        assert cache.get("k" * 64, "auto", "auto", "auto", 512) is not None
+        # A forced-knob run never sees the auto entry.
+        assert cache.get("k" * 64, "bdd", "auto", "auto", 512) is None
+        assert cache.get("k" * 64, "auto", "auto", "auto", 10_000) is None
+
+
+class TestPooledExecution:
+    def test_pooled_matches_serial(self, small_run):
+        pooled = run_fleet(SMALL, COUNT, FleetOptions(jobs=2, batch_size=2))
+        assert set(pooled.verdicts) == set(small_run.verdicts)
+        for key, verdict in pooled.verdicts.items():
+            assert verdict.violated_ids() == small_run.verdicts[key].violated_ids()
+        assert (
+            pooled.telemetry.violating_households
+            == small_run.telemetry.violating_households
+        )
+
+
+class TestExitCodes:
+    def _result(self, violating: int, failed: int) -> FleetResult:
+        telemetry = FleetTelemetry(
+            households=10,
+            violating_households=violating,
+            failed_households=failed,
+        )
+        return FleetResult(telemetry=telemetry)
+
+    def test_violations_win(self):
+        assert self._result(violating=3, failed=2).exit_code == 1
+
+    def test_failures_without_violations(self):
+        assert self._result(violating=0, failed=2).exit_code == 3
+
+    def test_clean(self):
+        assert self._result(violating=0, failed=0).exit_code == 0
+
+    def test_real_run_reports_violations(self, small_run):
+        # The generator's benign fragments still race in unions (S.2 /
+        # S.4), so any real profile screens dirty — exit 1.
+        assert small_run.exit_code == 1
+
+
+class TestProfileKnobs:
+    def test_default_crossover_is_fleet_tuned(self):
+        assert FleetOptions().max_union_states == FLEET_MAX_UNION_STATES
+
+    def test_pool_is_deterministic(self):
+        first = TemplatePool(SMALL)
+        second = TemplatePool(SMALL)
+        for template in range(SMALL.templates):
+            assert [m.source for m in first.blueprint(template).members] == [
+                m.source for m in second.blueprint(template).members
+            ]
+            for variant in range(SMALL.variants):
+                assert first.canonical_key(template, variant) == (
+                    second.canonical_key(template, variant)
+                )
+
+    def test_household_sizes_in_bounds(self):
+        pool = TemplatePool(SMALL)
+        for template in range(SMALL.templates):
+            size = len(pool.blueprint(template).members)
+            assert SMALL.min_size <= size <= SMALL.max_size

@@ -127,6 +127,22 @@ class TestClusters:
                 shared &= set(other.devices)
             assert shared, [a.devices for a in apps]
 
+    def test_shared_carrier_never_eats_injected_slots(self):
+        # Regression: the shared-channel carrier used to re-bind a slot
+        # of the *injected* template to the neutral shared handle when
+        # that template held the shared capability — erasing the
+        # role-loaded handle name (portable_heater, desk_lamp) the
+        # matching property reads, so the injected violation went
+        # undetected (fuzz seed 0, cases 26 and 45: P.24 and P.12
+        # missed).  Those exact cases must now detect.
+        from repro.corpus.fuzz import FuzzConfig, _check_case
+
+        for index in (26, 45):
+            result = _check_case(index, FuzzConfig(seed=0, count=100))
+            assert result.status == "ok", (index, result.detail)
+            assert result.injected
+            assert set(result.injected) <= set(result.detected)
+
     def test_cluster_recovered_by_sweep_enumeration(self):
         # Registered synthetic apps join the sweep engine's channel
         # enumeration like corpus apps: the generated cluster comes back

@@ -508,3 +508,43 @@ class TestServiceHttp:
         assert stats["jobs"]["done"] == 1
         assert "stages" in stats["pipeline"]
         assert _stage_misses(stats) > 0  # the cold run actually ran stages
+
+
+# ----------------------------------------------------------------------
+# Fleet screening views
+# ----------------------------------------------------------------------
+class TestFleetViews:
+    def test_views_404_before_any_screen(self, server):
+        assert _get(server, "/v1/fleet")[0] == 404
+        assert _get(server, "/v1/blocklist")[0] == 404
+
+    def test_post_validates_body(self, server):
+        assert _post(server, "/v1/fleet", {"households": "many"})[0] == 400
+        assert _post(server, "/v1/fleet", {"households": 10**9})[0] == 400
+        assert _post(server, "/v1/fleet", {"corpus_weight": 1.5})[0] == 400
+        assert _post(server, "/v1/fleet", {"backend": "quantum"})[0] == 400
+        # Bad requests publish nothing.
+        assert _get(server, "/v1/fleet")[0] == 404
+
+    def test_screen_publishes_telemetry_and_blocklist(self, server):
+        status, payload = _post(
+            server,
+            "/v1/fleet",
+            {"households": 300, "templates": 3, "variants": 2, "seed": 5},
+        )
+        assert status == 200
+        assert payload["telemetry"]["households"] == 300
+        assert payload["exit_code"] in (0, 1, 3)
+
+        status, fleet = _get(server, "/v1/fleet")
+        assert status == 200
+        assert fleet["telemetry"]["households"] == 300
+        assert 0.0 <= fleet["telemetry"]["hit_rate"] <= 1.0
+
+        status, blocklist = _get(server, "/v1/blocklist")
+        assert status == 200
+        assert blocklist["schema"] == 1
+        assert blocklist["generator"] == "soteria fleet"
+        assert blocklist["households_screened"] == 300
+        # The service is still healthy and job routes unaffected.
+        assert _get(server, "/v1/health")[0] == 200

@@ -243,3 +243,63 @@ class TestSweepCli:
         assert code == 1
         assert "[symbolic/monolithic/fast]" in out  # tiny pairs stay monolithic
         assert "App16+App17" in out
+
+
+class TestFleetCli:
+    def test_fleet_screen_reports_and_writes_feeds(self, tmp_path, capsys):
+        telemetry_path = tmp_path / "telemetry.json"
+        blocklist_path = tmp_path / "blocklist.json"
+        code = main(
+            ["fleet", "--households", "200", "--templates", "3",
+             "--variants", "2", "--seed", "5", "--jobs", "1",
+             "--telemetry-out", str(telemetry_path),
+             "--blocklist-out", str(blocklist_path)]
+        )
+        out = capsys.readouterr().out
+        # The generator's benign fragments still race in unions, so a
+        # real profile always screens dirty.
+        assert code == 1
+        assert "200 household(s) screened" in out
+        assert "cache hit rate" in out
+        assert "blocklist:" in out
+        import json
+
+        telemetry = json.loads(telemetry_path.read_text())
+        assert telemetry["households"] == 200
+        assert 0.0 <= telemetry["hit_rate"] <= 1.0
+        feed = json.loads(blocklist_path.read_text())
+        assert feed["schema"] == 1
+        assert feed["entries"]
+
+    def _patched_exit(self, monkeypatch, violating: int, failed: int) -> int:
+        import repro.fleet.driver as driver_mod
+        from repro.fleet.driver import FleetResult
+        from repro.fleet.telemetry import FleetTelemetry
+
+        def fake_run_fleet(profile, count, options=None):
+            telemetry = FleetTelemetry(
+                households=count,
+                violating_households=violating,
+                failed_households=failed,
+            )
+            return FleetResult(
+                telemetry=telemetry,
+                blocklist={"schema": 1, "entries": []},
+            )
+
+        monkeypatch.setattr(driver_mod, "run_fleet", fake_run_fleet)
+        return main(["fleet", "--households", "10"])
+
+    def test_clean_fleet_exits_zero(self, monkeypatch, capsys):
+        assert self._patched_exit(monkeypatch, violating=0, failed=0) == 0
+        assert "0 violating" not in capsys.readouterr().err
+
+    def test_failed_only_fleet_exits_three(self, monkeypatch, capsys):
+        # An incomplete screen must not look clean to a CI gate —
+        # same convention as ``soteria sweep``.
+        assert self._patched_exit(monkeypatch, violating=0, failed=4) == 3
+        capsys.readouterr()
+
+    def test_violations_trump_failures(self, monkeypatch, capsys):
+        assert self._patched_exit(monkeypatch, violating=2, failed=4) == 1
+        capsys.readouterr()
