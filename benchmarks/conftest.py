@@ -92,3 +92,15 @@ def fleet_bench_json():
         record_bench(section, payload, path=_REPO_ROOT / "BENCH_fleet.json")
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def portfolio_bench_json():
+    """The section writer for ``BENCH_portfolio.json``."""
+
+    def _record(section: str, payload: dict) -> None:
+        record_bench(
+            section, payload, path=_REPO_ROOT / "BENCH_portfolio.json"
+        )
+
+    return _record

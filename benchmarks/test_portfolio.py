@@ -1,0 +1,78 @@
+"""Portfolio-backend gate: BMC answers shallow violations first.
+
+The portfolio backend exists because a SAT query for a depth-k
+counterexample does not pay the BDD backend's fixed costs — compiling
+the full relation and iterating the reachability fixpoint — before it
+can say *violated*.  This gate pins that claim on a known-violating
+single app: end-to-end (engine construction + check), the incremental
+BMC engine must answer ``AG !attr:valve_device.valve=closed`` on the
+water-leak detector (O11, where the valve *does* close) faster than the
+symbolic fixpoint does.
+
+Numbers land in ``BENCH_portfolio.json`` at the repo root so the
+SAT-vs-BDD latency trajectory is tracked across PRs alongside the
+kernel and fleet benchmark files.
+"""
+
+import time
+
+from repro.mc import parse_ctl
+from repro.mc.portfolio import PortfolioChecker
+from repro.mc.symbolic import SymbolicModelChecker
+from repro.model.encoder import SymbolicUnionModel
+from repro.model.union import build_union_skeleton
+
+#: O11's valve closes on a wet sensor: this invariant is shallowly false.
+FORMULA = "AG !attr:valve_device.valve=closed"
+ROUNDS = 5
+
+
+def _time(fn):
+    best = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_bmc_answers_shallow_violation_faster_than_symbolic(
+    official_analyses, portfolio_bench_json
+):
+    skeleton = build_union_skeleton([official_analyses["O11"].model])
+    formula = parse_ctl(FORMULA)
+
+    def run_bmc():
+        checker = PortfolioChecker(skeleton, mode="bmc")
+        result = checker.check(formula)
+        assert checker.stats["bmc_violations"] == 1  # BMC, not fallback
+        return result
+
+    def run_symbolic():
+        checker = SymbolicModelChecker(SymbolicUnionModel(skeleton))
+        return checker.check(formula)
+
+    bmc_seconds, bmc_result = _time(run_bmc)
+    symbolic_seconds, symbolic_result = _time(run_symbolic)
+
+    assert not bmc_result.holds and bmc_result.counterexample
+    assert bmc_result.holds == symbolic_result.holds
+
+    payload = {
+        "app": "O11",
+        "formula": FORMULA,
+        "rounds": ROUNDS,
+        "bmc_seconds": round(bmc_seconds, 6),
+        "symbolic_seconds": round(symbolic_seconds, 6),
+        "speedup": round(symbolic_seconds / bmc_seconds, 2),
+        "counterexample_length": len(bmc_result.counterexample),
+    }
+    portfolio_bench_json("shallow_violation_latency", payload)
+    print(
+        f"\nO11 shallow violation: bmc {bmc_seconds * 1000:.2f} ms, "
+        f"symbolic {symbolic_seconds * 1000:.2f} ms "
+        f"({payload['speedup']}x)"
+    )
+    # The gate: the SAT path must win on a shallow counterexample.
+    assert bmc_seconds < symbolic_seconds

@@ -44,10 +44,10 @@ def test_bounded_model_checking(benchmark, official_analyses):
     def run():
         return checker.check_invariant(formula, bound=4)
 
-    holds, trace = benchmark.pedantic(run, rounds=3, iterations=1)
-    print(f"\nSAT BMC on O11: holds={holds} (counterexample length "
+    verdict, trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    print(f"\nSAT BMC on O11: verdict={verdict.name} (counterexample length "
           f"{len(trace)})")
-    assert not holds  # the valve *does* close — good
+    assert not verdict  # the valve *does* close — good
     assert trace
 
 

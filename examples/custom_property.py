@@ -66,11 +66,12 @@ def main() -> None:
         'AG !("attr:presence_sensor.presence=not present" & '
         '"act:garage_door.door=open")'
     )
-    holds, trace = BoundedChecker(kripke).check_invariant(invariant, bound=6)
-    print(f"SAT-bounded invariant: {'HOLDS' if holds else 'FAILS'}")
-    if not holds:
-        for state in trace:
-            print(f"    {state}")
+    verdict, trace = BoundedChecker(kripke).check_invariant(invariant, bound=6)
+    # Tri-state: HOLDS is a proof, VIOLATED carries a trace, UNKNOWN
+    # means the bound ran out before the completeness bound.
+    print(f"SAT-bounded invariant: {verdict.name}")
+    for state in trace:
+        print(f"    {state}")
 
     print("\nNuSMV export of the model (first lines):")
     for line in to_smv(analysis.model, specs=[no_lockout]).splitlines()[:12]:

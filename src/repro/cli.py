@@ -9,7 +9,8 @@ Subcommands::
                   [--pairs] [--all-corpus] [--backend B] [--encoding E]
                   [--kernel K]
     soteria fuzz [--seed S] [--count N] [--jobs N] [--out DIR]
-                 [--mix DATASET] [--encoding E] [--kernel K] [--replay DIR]
+                 [--mix DATASET] [--encoding E] [--kernel K]
+                 [--backend auto|both] [--replay DIR]
     soteria fleet [--households N] [--seed S] [--jobs N] [--cache-dir D]
                   [--templates T] [--variants V] [--telemetry-out F]
                   [--blocklist-out F]
@@ -20,9 +21,12 @@ Subcommands::
 
 ``--backend`` selects the union-model checker: ``explicit`` (materialize
 the product Kripke structure), ``symbolic`` (BDD-compiled relation, no
-product enumeration), or the default ``auto`` (explicit under the state
-budget, symbolic above it) — so oversized interaction clusters are
-*checked*, not skipped.
+product enumeration), ``bmc`` (SAT engines — incremental bounded model
+checking, then an IC3/PDR proof attempt, BDD fallback only when both are
+inconclusive), ``portfolio`` (shallow BMC raced against the BDD checker
+per formula; first conclusive verdict wins), or the default ``auto``
+(explicit under the state budget, symbolic above it) — so oversized
+interaction clusters are *checked*, not skipped.
 
 ``--encoding`` selects the symbolic relation encoding: ``monolithic``
 (one fused relation BDD — fine for paper-scale clusters), ``partitioned``
@@ -46,8 +50,10 @@ exposes under ``/v1/stats``.
 ``fuzz`` synthesizes scenario apps beyond the bundled corpus
 (:mod:`repro.gen`) and differentially cross-checks the two backends on
 every generated environment; injected violations must be flagged by the
-matching property.  Failing cases are shrunk to minimal reproducers
-under ``--out`` and can be re-run with ``--replay``.
+matching property.  ``fuzz --backend both`` adds a SAT (``bmc``) pass,
+turning each case into a three-way explicit/symbolic/BMC differential.
+Failing cases are shrunk to minimal reproducers under ``--out`` and can
+be re-run with ``--replay``.
 
 ``serve`` runs the analysis-as-a-service HTTP API
 (:mod:`repro.service`): POST SmartApp sources to ``/v1/submissions``,
@@ -81,6 +87,7 @@ import sys
 
 from repro.mc.kernel import KERNEL_CHOICES, aggregate_kernel_stats
 from repro.model.encoder import ENCODINGS
+from repro.pipeline.stages import BACKENDS
 from repro.reporting.dot import to_dot
 from repro.reporting.report import render_report
 from repro.reporting.smv import to_smv
@@ -246,7 +253,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         return 1 if reproduced else 0
 
     config = FuzzConfig(
-        mix_dataset=args.mix, encoding=args.encoding, kernel=args.kernel
+        mix_dataset=args.mix, encoding=args.encoding, kernel=args.kernel,
+        backend=args.backend,
     )
     report = run_fuzz(
         seed=args.seed,
@@ -445,10 +453,12 @@ def main(argv: list[str] | None = None) -> int:
     p_env.add_argument("apps", nargs="+", help="paths to .groovy files")
     p_env.add_argument(
         "--backend",
-        choices=["auto", "explicit", "symbolic"],
+        choices=list(BACKENDS),
         default="auto",
-        help="union checker: explicit Kripke, symbolic BDDs, or auto "
-        "(explicit under the state budget, symbolic above; default)",
+        help="union checker: explicit Kripke, symbolic BDDs, bmc (SAT "
+        "engines with BDD fallback), portfolio (BMC raced against the "
+        "BDD checker), or auto (explicit under the state budget, "
+        "symbolic above; default)",
     )
     p_env.add_argument(
         "--encoding",
@@ -532,10 +542,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_sweep.add_argument(
         "--backend",
-        choices=["auto", "explicit", "symbolic"],
+        choices=list(BACKENDS),
         default="auto",
-        help="union checker: explicit Kripke, symbolic BDDs, or auto "
-        "(explicit under the state budget, symbolic above; default)",
+        help="union checker (see `soteria env --help`)",
     )
     p_sweep.add_argument(
         "--encoding",
@@ -597,6 +606,15 @@ def main(argv: list[str] | None = None) -> int:
         help="BDD kernel(s) for the symbolic passes; 'both' runs every "
         "symbolic pass on the reference AND the fast kernel — a "
         "cross-kernel differential on every case",
+    )
+    p_fuzz.add_argument(
+        "--backend",
+        choices=["auto", "both"],
+        default="auto",
+        help="checker backends to differential-test: auto keeps the "
+        "classic explicit-vs-symbolic pair; 'both' adds a SAT (bmc) "
+        "pass — a three-way explicit/symbolic/BMC differential on "
+        "every case",
     )
     p_fuzz.add_argument(
         "--replay",
@@ -667,7 +685,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_fleet.add_argument(
         "--backend",
-        choices=["auto", "explicit", "symbolic"],
+        choices=list(BACKENDS),
         default="auto",
         help="union checker (see `soteria env --help`)",
     )

@@ -85,6 +85,11 @@ class FuzzConfig:
     #: reference AND the fast kernel, turning each case into a
     #: cross-kernel differential (explicit vs reference vs fast).
     kernel: str = "auto"
+    #: Checker backends differential-tested: "auto" keeps the classic
+    #: explicit-vs-symbolic pair; "both" adds a SAT (``bmc``) pass per
+    #: case, making each case a three-way explicit/symbolic/BMC
+    #: differential over violation sets and per-formula verdicts.
+    backend: str = "auto"
     gen: GenConfig = field(default_factory=GenConfig)
 
 
@@ -228,8 +233,34 @@ def _violation_keys(environment) -> list[tuple[str, tuple[str, ...]]]:
     return sorted((v.property_id, v.devices) for v in environment.violations)
 
 
+def _compare_runs(explicit, other, tag: str) -> str:
+    """Disagreement description between the explicit oracle and one other
+    backend run; "" = full agreement."""
+    if _violation_keys(explicit) != _violation_keys(other):
+        return (
+            "violation sets differ: explicit="
+            f"{_violation_keys(explicit)} {tag}={_violation_keys(other)}"
+        )
+    if explicit.checked_properties != other.checked_properties:
+        return f"checked property lists differ ({tag})"
+    for property_id, explicit_results in explicit.check_results.items():
+        other_results = other.check_results.get(property_id, [])
+        if len(explicit_results) != len(other_results):
+            return f"{property_id}: formula counts differ ({tag})"
+        for exp, got in zip(explicit_results, other_results):
+            if exp.holds != got.holds:
+                return (
+                    f"{property_id}: verdicts differ on {exp.formula} "
+                    f"(explicit={exp.holds}, {tag}={got.holds})"
+                )
+    return ""
+
+
 def _differential(
-    analyses: list[AppAnalysis], encoding: str = "auto", kernel: str = "auto"
+    analyses: list[AppAnalysis],
+    encoding: str = "auto",
+    kernel: str = "auto",
+    backend: str = "auto",
 ) -> tuple[int, str]:
     """Every backend/encoding/kernel over one environment; "" = agreement.
 
@@ -239,7 +270,8 @@ def _differential(
     every per-formula verdict.  ``kernel="both"`` additionally runs every
     symbolic pass on the reference AND the fast BDD kernel, so each case
     cross-checks the kernels against the explicit oracle *and* against
-    each other.
+    each other.  ``backend="both"`` adds a SAT (``bmc``) pass, making the
+    case a three-way explicit/symbolic/BMC differential.
     """
     explicit = analyze_environment(list(analyses), backend="explicit")
     encodings = (
@@ -253,26 +285,21 @@ def _differential(
             list(analyses), backend="symbolic", encoding=chosen,
             kernel=chosen_kernel,
         )
-        tag = f"symbolic/{symbolic.encoding}/{symbolic.kernel}"
-        if _violation_keys(explicit) != _violation_keys(symbolic):
-            return explicit.state_estimate, (
-                "violation sets differ: explicit="
-                f"{_violation_keys(explicit)} {tag}={_violation_keys(symbolic)}"
-            )
-        if explicit.checked_properties != symbolic.checked_properties:
-            return explicit.state_estimate, f"checked property lists differ ({tag})"
-        for property_id, explicit_results in explicit.check_results.items():
-            symbolic_results = symbolic.check_results.get(property_id, [])
-            if len(explicit_results) != len(symbolic_results):
-                return explicit.state_estimate, (
-                    f"{property_id}: formula counts differ ({tag})"
-                )
-            for exp, sym in zip(explicit_results, symbolic_results):
-                if exp.holds != sym.holds:
-                    return explicit.state_estimate, (
-                        f"{property_id}: verdicts differ on {exp.formula} "
-                        f"(explicit={exp.holds}, {tag}={sym.holds})"
-                    )
+        detail = _compare_runs(
+            explicit, symbolic, f"symbolic/{symbolic.encoding}/{symbolic.kernel}"
+        )
+        if detail:
+            return explicit.state_estimate, detail
+    if backend == "both":
+        bmc = analyze_environment(
+            list(analyses),
+            backend="bmc",
+            encoding=encoding if encoding != "both" else "auto",
+            kernel=kernel if kernel != "both" else "auto",
+        )
+        detail = _compare_runs(explicit, bmc, "bmc")
+        if detail:
+            return explicit.state_estimate, detail
     return explicit.state_estimate, ""
 
 
@@ -285,12 +312,15 @@ def _member_analyses(case: _Case) -> list[AppAnalysis]:
 
 
 def _sources_disagree(
-    sources: list[str], encoding: str = "auto", kernel: str = "auto"
+    sources: list[str],
+    encoding: str = "auto",
+    kernel: str = "auto",
+    backend: str = "auto",
 ) -> bool:
     """Shrink predicate for mismatch cases: do the backends still differ?"""
     try:
         analyses = [analyze_app(source) for source in sources]
-        _estimate, detail = _differential(analyses, encoding, kernel)
+        _estimate, detail = _differential(analyses, encoding, kernel, backend)
         return bool(detail)
     except Exception:
         return False
@@ -352,7 +382,7 @@ def _check_case_registered(index: int, config: FuzzConfig) -> CaseResult:
     # Differential oracle over the environment.
     try:
         estimate, detail = _differential(
-            analyses, config.encoding, config.kernel
+            analyses, config.encoding, config.kernel, config.backend
         )
     except Exception as exc:
         result = CaseResult(
@@ -389,6 +419,7 @@ def _same_error(
     corpus_sources: list[str],
     encoding: str = "auto",
     kernel: str = "auto",
+    backend: str = "auto",
 ):
     """Shrink predicate factory for pipeline-error cases: does analyzing
     the candidate sources still raise the same exception type?"""
@@ -398,7 +429,7 @@ def _same_error(
             analyses = [
                 analyze_app(source) for source in corpus_sources + candidates
             ]
-            _differential(analyses, encoding, kernel)
+            _differential(analyses, encoding, kernel, backend)
         except Exception as exc:
             return type(exc).__name__ == error_type
         return False
@@ -427,7 +458,10 @@ def _shrink_result(
 
         def predicate(candidates: list[str]) -> bool:
             return _sources_disagree(
-                corpus_sources + candidates, config.encoding, config.kernel
+                corpus_sources + candidates,
+                config.encoding,
+                config.kernel,
+                config.backend,
             )
 
         result.shrunk = tuple(
@@ -438,7 +472,11 @@ def _shrink_result(
             shrink_cluster(
                 list(result.sources),
                 _same_error(
-                    error_type, corpus_sources, config.encoding, config.kernel
+                    error_type,
+                    corpus_sources,
+                    config.encoding,
+                    config.kernel,
+                    config.backend,
                 ),
                 protected,
             )
@@ -531,6 +569,7 @@ def write_reproducer(
             "mix_dataset": config.mix_dataset,
             "encoding": config.encoding,
             "kernel": config.kernel,
+            "backend": config.backend,
         },
         "app_ids": list(result.app_ids),
         "corpus_members": list(result.corpus_ids),
@@ -572,12 +611,13 @@ def replay(directory: str | os.PathLike) -> tuple[bool, str]:
 
     encoding = meta.get("config", {}).get("encoding", "auto")
     kernel = meta.get("config", {}).get("kernel", "auto")
+    backend = meta.get("config", {}).get("backend", "auto")
     try:
         analyses = [analyze_app(source) for source in sources]
     except Exception as exc:
         return True, f"pipeline error reproduced: {type(exc).__name__}: {exc}"
     try:
-        _estimate, detail = _differential(analyses, encoding, kernel)
+        _estimate, detail = _differential(analyses, encoding, kernel, backend)
     except Exception as exc:
         return True, f"union checking error reproduced: {type(exc).__name__}: {exc}"
     if detail:

@@ -9,7 +9,10 @@ Three engines over the same :class:`repro.model.kripke.KripkeStructure`:
   symbolic union model that never enumerates the product
   (:class:`~repro.mc.symbolic.SymbolicModelChecker`),
 * :mod:`.bmc` — SAT-based bounded model checking of invariants (on
-  :mod:`.sat`, a from-scratch DPLL solver),
+  :mod:`.sat`, a from-scratch CDCL solver), plus :mod:`.cnf` (the union
+  transition relation compiled to clauses, checked without materializing
+  states), :mod:`.ic3` (IC3/PDR unbounded proofs over that encoding),
+  and :mod:`.portfolio` (the raced SAT/BDD backend),
 
 mirroring NuSMV's combined BDD/SAT modes that the paper relies on (Sec. 5).
 """
@@ -48,8 +51,11 @@ from repro.mc.kernel import (
     resolve_kernel,
 )
 from repro.mc.symbolic import SymbolicChecker, SymbolicModelChecker
-from repro.mc.sat import Solver, solve
-from repro.mc.bmc import BoundedChecker
+from repro.mc.sat import ReferenceSolver, Solver, solve
+from repro.mc.bmc import BoundedChecker, Verdict
+from repro.mc.cnf import BmcUnroller, CnfUnionSystem, invariant_shape
+from repro.mc.ic3 import IC3Prover
+from repro.mc.portfolio import PortfolioChecker
 
 __all__ = [
     "AG",
@@ -87,6 +93,13 @@ __all__ = [
     "SymbolicChecker",
     "SymbolicModelChecker",
     "Solver",
+    "ReferenceSolver",
     "solve",
     "BoundedChecker",
+    "Verdict",
+    "BmcUnroller",
+    "CnfUnionSystem",
+    "invariant_shape",
+    "IC3Prover",
+    "PortfolioChecker",
 ]

@@ -3,19 +3,57 @@
 Checks ``AG p`` up to a bound k: the Kripke structure is unrolled as a CNF
 formula over binary state codes (Tseitin encoding with one auxiliary
 variable per edge per step), and the solver looks for a path of length
-<= k from an initial state to a ``!p`` state.  A returned trace is a real
-counterexample; UNSAT up to the recurrence diameter proves the invariant
-(the bound defaults to |S|, which is complete for these app-scale models).
+<= k from an initial state to a ``!p`` state.
+
+The verdict is tri-state (:class:`Verdict`):
+
+* ``VIOLATED`` — a real counterexample path was found (always sound);
+* ``HOLDS`` — UNSAT up to the completeness bound ``|S| - 1`` (any
+  reachable state is reachable by a simple path, so exhausting that
+  depth *is* a proof);
+* ``UNKNOWN`` — the caller-supplied ``bound`` was exhausted short of
+  the completeness bound.  Earlier revisions returned ``(True, [])``
+  here, indistinguishable from a proof — the unsoundness this module's
+  regression test (``tests/test_bmc_verdict.py``) pins down.
+
+Unrolling is incremental: one solver instance per checker, transition
+steps are encoded once and shared by every query (and every formula),
+and per-depth constraints ride on activation literals passed through
+``Solver.solve(assumptions=...)`` — clause counts grow linearly in the
+depth instead of the old fresh-CNF-per-k quadratic rebuild.
 
 This mirrors NuSMV's BMC mode the paper enables alongside BDDs (Sec. 5).
 """
 
 from __future__ import annotations
 
+import enum
+
 from repro.mc import ctl
 from repro.mc.explicit import ExplicitChecker
 from repro.mc.sat import Solver
 from repro.model.kripke import KripkeState, KripkeStructure
+
+
+class Verdict(enum.Enum):
+    """Outcome of a bounded-model-checking query.
+
+    Truthiness is deliberately conservative: only ``HOLDS`` is truthy,
+    so legacy ``if verdict:`` call sites treat an exhausted bound as
+    *not proven* rather than as a proof.
+    """
+
+    HOLDS = "holds"
+    VIOLATED = "violated"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        return self is Verdict.HOLDS
+
+
+HOLDS = Verdict.HOLDS
+VIOLATED = Verdict.VIOLATED
+UNKNOWN = Verdict.UNKNOWN
 
 
 class BoundedChecker:
@@ -25,15 +63,22 @@ class BoundedChecker:
         self.kripke = kripke
         self.index = {state: i for i, state in enumerate(kripke.states)}
         self.nbits = max(1, (len(kripke.states) - 1).bit_length())
+        self.solver = Solver()
+        self._steps: list[list[int]] = []
+        self._progress: list[int] = []  # per-step "a transition happens"
+        self._new_step()
+        self._assert_onehot(0, list(self.kripke.initial), activation=None)
 
     # ------------------------------------------------------------------
     def check_invariant(
         self, formula: ctl.Formula | str, bound: int | None = None
-    ) -> tuple[bool, list[KripkeState]]:
+    ) -> tuple[Verdict, list[KripkeState]]:
         """Check ``AG operand`` (formula must be AG p).
 
-        Returns (holds, counterexample-path).  ``bound`` defaults to |S|
-        (complete for reachability).
+        Returns ``(verdict, counterexample-path)``.  ``bound`` defaults
+        to the completeness bound ``|S| - 1`` (every reachable state is
+        reachable along a simple path), at which exhaustion is a proof;
+        a smaller bound that comes up empty yields ``UNKNOWN``.
         """
         if isinstance(formula, str):
             formula = ctl.parse_ctl(formula)
@@ -45,70 +90,90 @@ class BoundedChecker:
         good = checker.sat(formula.operand)
         bad = [s for s in self.kripke.states if s not in good]
         if not bad:
-            return True, []
-        limit = bound if bound is not None else len(self.kripke.states)
+            return HOLDS, []
+        complete_bound = max(0, len(self.kripke.states) - 1)
+        limit = bound if bound is not None else complete_bound
         for k in range(limit + 1):
             trace = self._reach_at(bad, k)
             if trace is not None:
-                return False, trace
-        return True, []
+                return VIOLATED, trace
+        if limit >= complete_bound:
+            return HOLDS, []
+        return UNKNOWN, []
 
     # ------------------------------------------------------------------
-    def _code_clauses(
-        self, solver: Solver, step_vars: list[int], state: KripkeState
-    ) -> list[int]:
-        """Literals asserting ``step_vars`` encode ``state``."""
+    @property
+    def clause_count(self) -> int:
+        """Number of clauses in the shared incremental encoding."""
+        return len(self.solver.clauses)
+
+    def _code_literals(self, step: int, state: KripkeState) -> list[int]:
+        """Literals asserting step ``step``'s variables encode ``state``."""
         code = self.index[state]
-        literals = []
-        for bit, var in enumerate(step_vars):
-            literals.append(var if (code >> bit) & 1 else -var)
-        return literals
+        step_vars = self._steps[step]
+        return [
+            var if (code >> bit) & 1 else -var
+            for bit, var in enumerate(step_vars)
+        ]
+
+    def _new_step(self) -> None:
+        self._steps.append([self.solver.new_var() for _ in range(self.nbits)])
+
+    def _assert_onehot(
+        self, step: int, states: list[KripkeState], activation: int | None
+    ) -> None:
+        """Step-vars must encode one of ``states`` (via selector vars)."""
+        selectors = []
+        for state in states:
+            sel = self.solver.new_var()
+            selectors.append(sel)
+            for literal in self._code_literals(step, state):
+                self.solver.add_clause([-sel, literal])
+        if activation is not None:
+            selectors = [-activation, *selectors]
+        self.solver.add_clause(selectors)
+
+    def _ensure_depth(self, depth: int) -> None:
+        """Unroll transition steps up to ``depth`` (encoded exactly once).
+
+        Each step's "some edge is taken" clause is guarded by a progress
+        literal so a depth-j query leaves deeper, already-encoded steps
+        unconstrained (the relation need not be total past the query).
+        """
+        while len(self._steps) <= depth:
+            t = len(self._steps) - 1
+            self._new_step()
+            progress = self.solver.new_var()
+            self._progress.append(progress)
+            selectors = [-progress]
+            for src, dsts in self.kripke.succ.items():
+                src_literals = self._code_literals(t, src)
+                for dst in dsts:
+                    sel = self.solver.new_var()
+                    selectors.append(sel)
+                    for literal in src_literals:
+                        self.solver.add_clause([-sel, literal])
+                    for literal in self._code_literals(t + 1, dst):
+                        self.solver.add_clause([-sel, literal])
+            self.solver.add_clause(selectors)
 
     def _reach_at(
         self, bad: list[KripkeState], k: int
     ) -> list[KripkeState] | None:
         """SAT query: is some bad state reachable in exactly k steps?"""
-        solver = Solver()
-        steps: list[list[int]] = [
-            [solver.new_var() for _ in range(self.nbits)] for _ in range(k + 1)
-        ]
-
-        def onehot_member(step: int, states: list[KripkeState]) -> None:
-            """step-vars must encode one of ``states`` (via selector vars)."""
-            selectors = []
-            for state in states:
-                sel = solver.new_var()
-                selectors.append(sel)
-                for literal in self._code_clauses(solver, steps[step], state):
-                    solver.add_clause([-sel, literal])
-            solver.add_clause(selectors)
-
-        # Initial constraint.
-        onehot_member(0, list(self.kripke.initial))
-        # Transition constraints: selector per edge per step.
-        for t in range(k):
-            selectors = []
-            for src, dsts in self.kripke.succ.items():
-                src_literals = self._code_clauses(solver, steps[t], src)
-                for dst in dsts:
-                    sel = solver.new_var()
-                    selectors.append(sel)
-                    for literal in src_literals:
-                        solver.add_clause([-sel, literal])
-                    for literal in self._code_clauses(solver, steps[t + 1], dst):
-                        solver.add_clause([-sel, literal])
-            solver.add_clause(selectors)
-        # Bad at step k.
-        onehot_member(k, bad)
-
-        model = solver.solve()
+        self._ensure_depth(k)
+        activation = self.solver.new_var()
+        self._assert_onehot(k, bad, activation=activation)
+        model = self.solver.solve(
+            assumptions=[*self._progress[:k], activation]
+        )
         if model is None:
             return None
         trace = []
         by_code = {self.index[s]: s for s in self.kripke.states}
         for t in range(k + 1):
             code = 0
-            for bit, var in enumerate(steps[t]):
+            for bit, var in enumerate(self._steps[t]):
                 if model.get(var, False):
                     code |= 1 << bit
             state = by_code.get(code)

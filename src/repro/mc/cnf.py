@@ -1,0 +1,530 @@
+"""CNF encoding of the symbolic union transition relation (for BMC/IC3).
+
+The SAT backend's analogue of :class:`repro.model.encoder.SymbolicUnionModel`:
+the same fragment descriptors and firing tables (shared via
+:func:`repro.model.encoder.enumerate_fragments` /
+:func:`~repro.model.encoder.fire_requirements`) are compiled to clauses
+over the encoder's attribute-block bit variables instead of BDDs — the
+Kripke product is never materialized, and the transition relations of
+the two symbolic backends are identical by construction.
+
+Layout per unrolled step: one block of ``ceil(log2 |domain|)`` boolean
+variables per union attribute (the value's binary code) plus one block
+encoding the *incoming fragment* (which symbolic transition produced the
+state; 0 = initial).  A transition step adds, per fragment, a selector
+variable implying the fragment's firing requirements over step ``t``,
+its writes and fragment id over step ``t+1``, and bit-equality frames
+for untouched blocks.  A *stall* selector adds the totalising identity
+self-loop, gated on "no fragment enabled" so it exists exactly where the
+BDD encodings add their deadlock self-loops.  Each step's "some selector
+fires" clause hides behind a progress literal, so one growing solver
+serves every depth (and every formula) through
+``Solver.solve(assumptions=...)`` — clause counts grow linearly in the
+unrolled depth.
+
+:func:`invariant_shape` classifies the catalog's ``AG`` properties into
+the bad-state shapes the unroller can query: purely propositional bad
+states, or one positive ``EX`` conjunct (the ``AG !(gate & EX act)``
+family) — anything else falls back to the BDD checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mc import ctl
+from repro.mc.sat import Solver
+from repro.model.encoder import Fragment, enumerate_fragments, fire_requirements
+from repro.model.kripke import KripkeState, attr_prop
+from repro.model.statemodel import StateModel
+
+
+@dataclass(frozen=True)
+class _Rule:
+    """One fragment that can fire, with its compiled firing table."""
+
+    fragment: Fragment
+    requirements: tuple
+
+
+class CnfUnionSystem:
+    """The state-independent compilation: fragments, firing tables,
+    variable-block shapes, and the proposition map.  Shared by every
+    unroller over the same union model."""
+
+    def __init__(
+        self,
+        model: StateModel,
+        written: frozenset[tuple[str, str, str]] | None = None,
+    ) -> None:
+        # ``written`` has SymbolicUnionModel's meaning: the app-written
+        # value set exempt from the fire-on-change rule (None derives the
+        # multi-app cascade set; the single-app path passes frozenset()).
+        self.model = model
+        from repro.model.union import union_written_values
+
+        self.written = (
+            union_written_values(model.rule_origins) if written is None else written
+        )
+        descriptors = enumerate_fragments(model)
+        self.fragments: dict[int, Fragment] = {f.fid: f for f, _s in descriptors}
+        self.rules: list[_Rule] = []
+        for fragment, summary in descriptors:
+            requirements = fire_requirements(model, self.written, fragment, summary)
+            if requirements is not None:
+                self.rules.append(_Rule(fragment, tuple(requirements)))
+        self.frag_bits = max(1, len(self.fragments).bit_length())
+        self.block_bits = [
+            max(1, (len(attr.domain) - 1).bit_length()) for attr in model.attributes
+        ]
+        self.domain_code = [
+            {value: code for code, value in enumerate(attr.domain)}
+            for attr in model.attributes
+        ]
+        # Proposition -> disjunction of cubes, mirroring the encoder's
+        # prop map: attribute-value codes and incoming-fragment ids.
+        self.prop_cubes: dict[str, list[tuple[str, int, int]]] = {}
+        for index, attr in enumerate(model.attributes):
+            for code, value in enumerate(attr.domain):
+                name = attr_prop(attr.device, attr.attribute, value)
+                self.prop_cubes.setdefault(name, []).append(("attr", index, code))
+        for fragment in self.fragments.values():
+            for prop in fragment.props:
+                self.prop_cubes.setdefault(prop, []).append(
+                    ("frag", fragment.fid, 0)
+                )
+
+
+class BmcUnroller:
+    """Incremental unrolling of a :class:`CnfUnionSystem` into one solver.
+
+    With ``guard_initial=False`` (BMC) the initial-state constraint
+    (fragment block = 0) is asserted outright; with ``True`` (IC3) it
+    rides on :attr:`init_act` so frame queries can range over arbitrary
+    valid states.  Domain-validity clauses are asserted at every step in
+    both modes (all reachable states are valid, and the constraint is
+    independently satisfiable at unqueried depths).
+    """
+
+    def __init__(
+        self,
+        system: CnfUnionSystem,
+        solver: Solver | None = None,
+        guard_initial: bool = False,
+    ) -> None:
+        self.system = system
+        self.solver = solver or Solver()
+        #: Per step: (attribute-block bit vars, fragment-block bit vars).
+        self.steps: list[tuple[list[list[int]], list[int]]] = []
+        #: Per transition step, the "some selector fires" activation.
+        self.progress: list[int] = []
+        self._false: int | None = None
+        self._cache: dict[tuple, int] = {}
+        self._add_step()
+        self.init_act: int | None = None
+        frag0 = self.steps[0][1]
+        if guard_initial:
+            self.init_act = self.solver.new_var()
+            for bit in frag0:
+                self.solver.add_clause([-self.init_act, -bit])
+        else:
+            for bit in frag0:
+                self.solver.add_clause([-bit])
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self.steps) - 1
+
+    @property
+    def clause_count(self) -> int:
+        return len(self.solver.clauses)
+
+    def _add_step(self) -> None:
+        blocks = [
+            [self.solver.new_var() for _ in range(bits)]
+            for bits in self.system.block_bits
+        ]
+        frag = [self.solver.new_var() for _ in range(self.system.frag_bits)]
+        self.steps.append((blocks, frag))
+        self._assert_validity(len(self.steps) - 1)
+
+    def _assert_validity(self, step: int) -> None:
+        blocks = self.steps[step][0]
+        for index, bits in enumerate(blocks):
+            size = max(1, len(self.system.model.attributes[index].domain))
+            for code in range(size, 1 << len(bits)):
+                self.solver.add_clause(
+                    [
+                        (-bit if (code >> i) & 1 else bit)
+                        for i, bit in enumerate(bits)
+                    ]
+                )
+
+    # -- Tseitin primitives --------------------------------------------
+    def false_lit(self) -> int:
+        if self._false is None:
+            self._false = self.solver.new_var()
+            self.solver.add_clause([-self._false])
+        return self._false
+
+    def true_lit(self) -> int:
+        return -self.false_lit()
+
+    def and_lit(self, lits: list[int]) -> int:
+        if not lits:
+            return self.true_lit()
+        if len(lits) == 1:
+            return lits[0]
+        key = ("and", tuple(sorted(lits)))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        aux = self.solver.new_var()
+        for lit in lits:
+            self.solver.add_clause([-aux, lit])
+        self.solver.add_clause([aux, *(-lit for lit in lits)])
+        self._cache[key] = aux
+        return aux
+
+    def or_lit(self, lits: list[int]) -> int:
+        if not lits:
+            return self.false_lit()
+        if len(lits) == 1:
+            return lits[0]
+        key = ("or", tuple(sorted(lits)))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        aux = self.solver.new_var()
+        for lit in lits:
+            self.solver.add_clause([aux, -lit])
+        self.solver.add_clause([-aux, *lits])
+        self._cache[key] = aux
+        return aux
+
+    def block_eq(self, step: int, index: int, code: int) -> int:
+        """Literal for "attribute block ``index`` at ``step`` == code"."""
+        key = ("beq", step, index, code)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        bits = self.steps[step][0][index]
+        lit = self.and_lit(
+            [bit if (code >> i) & 1 else -bit for i, bit in enumerate(bits)]
+        )
+        self._cache[key] = lit
+        return lit
+
+    def frag_eq(self, step: int, fid: int) -> int:
+        key = ("feq", step, fid)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        bits = self.steps[step][1]
+        lit = self.and_lit(
+            [bit if (fid >> i) & 1 else -bit for i, bit in enumerate(bits)]
+        )
+        self._cache[key] = lit
+        return lit
+
+    # -- transition unrolling ------------------------------------------
+    def ensure_depth(self, depth: int) -> None:
+        while self.depth < depth:
+            self._add_transition()
+
+    def _add_transition(self) -> None:
+        t = self.depth
+        self._add_step()
+        solver = self.solver
+        system = self.system
+        nattrs = len(system.block_bits)
+        selectors: list[int] = []
+        enabled: list[int] = []
+        for rule in system.rules:
+            req_lits: list[int] = []
+            for requirement in rule.requirements:
+                if requirement[0] == "change":
+                    _, index, label = requirement
+                    req_lits.append(
+                        -self.block_eq(t, index, system.domain_code[index][label])
+                    )
+                else:
+                    _, refs, combos = requirement
+                    req_lits.append(
+                        self.or_lit(
+                            [
+                                self.and_lit(
+                                    [
+                                        self.block_eq(
+                                            t, index, system.domain_code[index][value]
+                                        )
+                                        for index, value in zip(refs, combo)
+                                    ]
+                                )
+                                for combo in combos
+                            ]
+                        )
+                    )
+            fire = self.and_lit(req_lits)
+            enabled.append(fire)
+            sel = solver.new_var()
+            selectors.append(sel)
+            solver.add_clause([-sel, fire])
+            written = dict(rule.fragment.writes)
+            for index, label in rule.fragment.writes:
+                code = system.domain_code[index][label]
+                for i, bit in enumerate(self.steps[t + 1][0][index]):
+                    solver.add_clause([-sel, bit if (code >> i) & 1 else -bit])
+            for i, bit in enumerate(self.steps[t + 1][1]):
+                solver.add_clause(
+                    [-sel, bit if (rule.fragment.fid >> i) & 1 else -bit]
+                )
+            for index in range(nattrs):
+                if index in written:
+                    continue
+                for xbit, ybit in zip(
+                    self.steps[t][0][index], self.steps[t + 1][0][index]
+                ):
+                    solver.add_clause([-sel, -xbit, ybit])
+                    solver.add_clause([-sel, xbit, -ybit])
+        # Totalising stall: identity self-loop (incoming label kept),
+        # allowed exactly where no fragment is enabled — the deadlock
+        # self-loops of the BDD encodings.
+        stall = solver.new_var()
+        selectors.append(stall)
+        for fire in enabled:
+            solver.add_clause([-stall, -fire])
+        for index in range(nattrs):
+            for xbit, ybit in zip(
+                self.steps[t][0][index], self.steps[t + 1][0][index]
+            ):
+                solver.add_clause([-stall, -xbit, ybit])
+                solver.add_clause([-stall, xbit, -ybit])
+        for xbit, ybit in zip(self.steps[t][1], self.steps[t + 1][1]):
+            solver.add_clause([-stall, -xbit, ybit])
+            solver.add_clause([-stall, xbit, -ybit])
+        progress = solver.new_var()
+        self.progress.append(progress)
+        solver.add_clause([-progress, *selectors])
+
+    # -- propositions and propositional formulas -----------------------
+    def prop_lit(self, step: int, name: str) -> int:
+        key = ("prop", step, name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        cubes = self.system.prop_cubes.get(name)
+        if not cubes:
+            lit = self.false_lit()  # unknown props never hold
+        else:
+            lit = self.or_lit(
+                [
+                    self.block_eq(step, a, b)
+                    if kind == "attr"
+                    else self.frag_eq(step, a)
+                    for kind, a, b in cubes
+                ]
+            )
+        self._cache[key] = lit
+        return lit
+
+    def formula_lit(self, step: int, formula: ctl.Formula) -> int:
+        """Tseitin literal of a propositional formula at ``step``."""
+        key = ("formula", step, formula)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(formula, ctl.Bool):
+            lit = self.true_lit() if formula.value else self.false_lit()
+        elif isinstance(formula, ctl.Prop):
+            lit = self.prop_lit(step, formula.name)
+        elif isinstance(formula, ctl.Not):
+            lit = -self.formula_lit(step, formula.operand)
+        elif isinstance(formula, ctl.And):
+            lit = self.and_lit(
+                [
+                    self.formula_lit(step, formula.left),
+                    self.formula_lit(step, formula.right),
+                ]
+            )
+        elif isinstance(formula, ctl.Or):
+            lit = self.or_lit(
+                [
+                    self.formula_lit(step, formula.left),
+                    self.formula_lit(step, formula.right),
+                ]
+            )
+        elif isinstance(formula, ctl.Implies):
+            lit = self.or_lit(
+                [
+                    -self.formula_lit(step, formula.left),
+                    self.formula_lit(step, formula.right),
+                ]
+            )
+        else:
+            raise TypeError(f"not propositional: {type(formula).__name__}")
+        self._cache[key] = lit
+        return lit
+
+    # -- queries -------------------------------------------------------
+    def bad_assumptions(self, shape: InvariantShape, depth: int) -> list[int]:
+        """Assumption literals for "a bad state is reached at ``depth``".
+
+        Ensures the unrolling is deep enough; progress literals force a
+        real (or deadlock-stall) transition at every step up to the bad
+        state — and one step beyond it for the ``EX`` shape, whose
+        witness constrains the successor.
+        """
+        if shape.ex_target is None:
+            self.ensure_depth(depth)
+            lits = [-self.formula_lit(depth, shape.formula.operand)]
+            steps = depth
+        else:
+            self.ensure_depth(depth + 1)
+            lits = [
+                self.formula_lit(depth, shape.context),
+                self.formula_lit(depth + 1, shape.ex_target),
+            ]
+            steps = depth + 1
+        assumptions = [*self.progress[:steps], *lits]
+        if self.init_act is not None:
+            assumptions.append(self.init_act)
+        return assumptions
+
+    # -- decoding ------------------------------------------------------
+    def state_at(
+        self, model: dict[int, bool], step: int
+    ) -> tuple[KripkeState, frozenset[str]]:
+        """Decode one step of a satisfying assignment into the explicit
+        Kripke node it denotes, plus that node's label set (mirrors
+        :meth:`SymbolicUnionModel.decode`)."""
+        blocks, fragbits = self.steps[step]
+        attrs = self.system.model.attributes
+        values = []
+        for index, attr in enumerate(attrs):
+            code = 0
+            for i, bit in enumerate(blocks[index]):
+                if model.get(bit, False):
+                    code |= 1 << i
+            domain = attr.domain or ("?",)
+            values.append(domain[min(code, len(domain) - 1)])
+        fid = 0
+        for i, bit in enumerate(fragbits):
+            if model.get(bit, False):
+                fid |= 1 << i
+        fragment = self.system.fragments.get(fid)
+        incoming = fragment.props if fragment is not None else ()
+        labels = {
+            attr_prop(attr.device, attr.attribute, value)
+            for attr, value in zip(attrs, values)
+        } | set(incoming)
+        return KripkeState(state=tuple(values), incoming=incoming), frozenset(labels)
+
+    def decode_trace(
+        self, model: dict[int, bool], depth: int
+    ) -> list[tuple[KripkeState, frozenset[str]]]:
+        return [self.state_at(model, t) for t in range(depth + 1)]
+
+    def state_literals(self, model: dict[int, bool], step: int = 0) -> list[int]:
+        """The full state cube of ``model`` at ``step``, as literals."""
+        blocks, fragbits = self.steps[step]
+        lits = []
+        for block in blocks:
+            for bit in block:
+                lits.append(bit if model.get(bit, False) else -bit)
+        for bit in fragbits:
+            lits.append(bit if model.get(bit, False) else -bit)
+        return lits
+
+    def prime_literal(self, lit: int) -> int:
+        """Map a step-0 state literal to its step-1 twin (for IC3)."""
+        mapping = self._cache.get(("prime-map",))
+        if mapping is None:
+            self.ensure_depth(1)
+            mapping = {}
+            for b0, b1 in zip(self.steps[0][0], self.steps[1][0]):
+                mapping.update(zip(b0, b1))
+            mapping.update(zip(self.steps[0][1], self.steps[1][1]))
+            self._cache[("prime-map",)] = mapping
+        var = mapping[abs(lit)]
+        return var if lit > 0 else -var
+
+
+# ======================================================================
+# Invariant-shape classification
+# ======================================================================
+@dataclass(frozen=True)
+class InvariantShape:
+    """A BMC-checkable ``AG`` property.
+
+    ``context``/``ex_target`` are None for the plain shape (bad state =
+    ``!operand``); for the EX shape the bad states are
+    ``context & EX ex_target`` (both propositional).
+    """
+
+    formula: ctl.AG
+    context: ctl.Formula | None
+    ex_target: ctl.Formula | None
+
+
+def propositional(formula: ctl.Formula) -> bool:
+    if isinstance(formula, (ctl.Bool, ctl.Prop)):
+        return True
+    if isinstance(formula, ctl.Not):
+        return propositional(formula.operand)
+    if isinstance(formula, (ctl.And, ctl.Or, ctl.Implies)):
+        return propositional(formula.left) and propositional(formula.right)
+    return False
+
+
+def _bad_conjuncts(formula: ctl.Formula) -> list[ctl.Formula] | None:
+    """Decompose a bad-state formula into conjuncts, pushing negation
+    through the temporal skeleton only (propositional parts stay whole);
+    None when the shape is not a conjunction of propositional parts and
+    ``EX`` of propositional parts."""
+    if propositional(formula):
+        return [formula]
+    if isinstance(formula, ctl.EX):
+        return [formula] if propositional(formula.operand) else None
+    if isinstance(formula, ctl.And):
+        left = _bad_conjuncts(formula.left)
+        right = _bad_conjuncts(formula.right)
+        return None if left is None or right is None else left + right
+    if isinstance(formula, ctl.Not):
+        inner = formula.operand
+        if isinstance(inner, ctl.Not):
+            return _bad_conjuncts(inner.operand)
+        if isinstance(inner, ctl.Or):
+            left = _bad_conjuncts(ctl.Not(inner.left))
+            right = _bad_conjuncts(ctl.Not(inner.right))
+            return None if left is None or right is None else left + right
+        if isinstance(inner, ctl.Implies):
+            left = _bad_conjuncts(inner.left)
+            right = _bad_conjuncts(ctl.Not(inner.right))
+            return None if left is None or right is None else left + right
+        if isinstance(inner, ctl.AX):
+            return _bad_conjuncts(ctl.EX(ctl.Not(inner.operand)))
+    return None
+
+
+def invariant_shape(formula: ctl.Formula | str) -> InvariantShape | None:
+    """Classify ``formula`` as a BMC-checkable invariant, or None."""
+    if isinstance(formula, str):
+        formula = ctl.parse_ctl(formula)
+    if not isinstance(formula, ctl.AG):
+        return None
+    operand = formula.operand
+    if propositional(operand):
+        return InvariantShape(formula, None, None)
+    parts = _bad_conjuncts(ctl.Not(operand))
+    if parts is None:
+        return None
+    ex_parts = [p for p in parts if isinstance(p, ctl.EX)]
+    rest = [p for p in parts if not isinstance(p, ctl.EX)]
+    if len(ex_parts) != 1:
+        return None
+    context: ctl.Formula = ctl.Bool(True)
+    for part in rest:
+        context = ctl.And(context, part)
+    return InvariantShape(formula, context, ex_parts[0].operand)

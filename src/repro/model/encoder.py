@@ -132,6 +132,181 @@ class Fragment:
     via_reflection: bool = False
 
 
+# ----------------------------------------------------------------------
+# Fragment enumeration and firing semantics, shared by every symbolic
+# backend: the BDD encodings below and the CNF unroller (repro.mc.cnf)
+# compile the *same* fragment descriptors and guard tables, which is what
+# makes their transition relations identical by construction.
+# ----------------------------------------------------------------------
+def enumerate_fragments(model: StateModel):
+    """All fragments of ``model``'s union rules, with their summaries.
+
+    Mirrors ``extractor._expand_summary`` minus the per-state loop:
+    everything here is state-independent.
+    """
+    descriptors = []
+    fid = 0
+    for app, summary in model.rule_origins:
+        entry = summary.entry
+        event = entry.event
+        moved = _moved_attribute(model, event)
+        if moved is None:
+            if not summary.actions:
+                continue  # no-op timer path, skipped by the expansion
+            candidates: list[tuple[int | None, str | None]] = [(None, None)]
+        else:
+            index, attr = moved
+            if event.value is not None:
+                candidates = [(index, event.value)]
+            else:
+                candidates = [(index, value) for value in attr.domain]
+        for index, new_value in candidates:
+            if index is not None and new_value is not None:
+                if new_value not in model.attributes[index].domain:
+                    # The explicit path would carry this transition to a
+                    # state outside the domain product; no corpus app
+                    # subscribes to an out-of-domain value (asserted by
+                    # the differential suite), so the fragment is moot.
+                    continue
+            fid += 1
+            descriptors.append(
+                (_make_fragment(model, fid, app, summary, index, new_value), summary)
+            )
+    return descriptors
+
+
+def _make_fragment(model: StateModel, fid, app, summary, index, new_value):
+    event = summary.entry.event
+    concrete_event = (
+        Event(event.kind, event.device, event.attribute, new_value)
+        if index is not None
+        else event
+    )
+    writes: dict[int, str] = {}
+    if index is not None and new_value is not None:
+        writes[index] = new_value
+    for action in summary.actions:
+        if action.attribute is None:
+            continue
+        target = model.attribute_index(action.device, action.attribute)
+        if target is None:
+            continue
+        attr = model.attributes[target]
+        if attr.is_numeric:
+            label = _numeric_write_label(model, attr, action.value)
+            if label is not None:
+                writes[target] = label
+        elif isinstance(action.value, str) and action.value in attr.domain:
+            writes[target] = action.value
+    witness = Transition(
+        source=(),
+        target=(),
+        event=concrete_event,
+        condition=(),   # residual guards are state-dependent; their
+                        # src: labels are the documented omission
+        actions=summary.actions,
+        app=app,
+        via_reflection=summary.uses_reflection,
+        sends=summary.sends,
+    )
+    props = tuple(
+        p for p in transition_props(witness) if not p.startswith("src:")
+    )
+    return Fragment(
+        fid=fid,
+        app=app,
+        event=concrete_event,
+        moved_index=index,
+        new_value=new_value,
+        writes=tuple(sorted(writes.items())),
+        props=props,
+        via_reflection=summary.uses_reflection,
+    )
+
+
+def atom_guard_table(model: StateModel, atom, moved_index, new_value, event):
+    """The value combinations under which ``atom`` is not definitely
+    false — the state-independent analogue of the expansion's per-state
+    guard decision.  Undecidable combinations stay permitted (they are
+    residual labels, not restrictions), exactly like
+    :func:`extractor._decide_condition`.
+
+    Returns ``True`` (no referenced attributes, atom not definitely
+    false), ``False`` (atom definitely false), or a ``(refs, combos)``
+    pair: the referenced attribute indices and the allowed value-label
+    tuples over them, in domain-product order.
+    """
+    from repro.analysis.values import DeviceRead
+
+    refs: list[int] = []
+    for operand in (atom.lhs, atom.rhs):
+        if isinstance(operand, DeviceRead):
+            index = model.attribute_index(operand.device, operand.attribute)
+            if index is None:
+                continue
+            if index == moved_index and new_value is not None:
+                continue  # reads of the event device see the new value
+            if index not in refs:
+                refs.append(index)
+    template = [attr.domain[0] if attr.domain else "" for attr in model.attributes]
+    if not refs:
+        state = tuple(template)
+        lhs = _resolve_operand(model, atom.lhs, state, moved_index, new_value, event)
+        rhs = _resolve_operand(model, atom.rhs, state, moved_index, new_value, event)
+        return _decide_atom(lhs, atom.op, rhs) is not False
+    allowed: list[tuple[str, ...]] = []
+    domains = [model.attributes[index].domain for index in refs]
+    for combo in itertools.product(*domains):
+        for index, value in zip(refs, combo):
+            template[index] = value
+        state = tuple(template)
+        lhs = _resolve_operand(model, atom.lhs, state, moved_index, new_value, event)
+        rhs = _resolve_operand(model, atom.rhs, state, moved_index, new_value, event)
+        if _decide_atom(lhs, atom.op, rhs) is False:
+            continue
+        allowed.append(combo)
+    return tuple(refs), allowed
+
+
+def fire_requirements(model: StateModel, written, fragment: Fragment, summary):
+    """The state-side firing requirements of one fragment, or ``None``
+    when it can never fire.
+
+    The single definition of the firing semantics shared by every
+    encoding (BDD monolithic/partitioned and CNF):
+
+    * the fire-on-change condition — device events fire on attribute
+      *changes*, except that app-written values re-stimulate
+      co-installed subscribers (multi-app cascades, Sec. 4.4);
+    * every guard atom's not-definitely-false region.
+
+    Each requirement is ``("change", index, label)`` (attribute ``index``
+    must *not* currently hold ``label``) or ``("atom", refs, combos)``
+    (the referenced attributes must jointly hold one of the allowed
+    label combinations).
+    """
+    index, new_value = fragment.moved_index, fragment.new_value
+    requirements: list[tuple] = []
+    if index is not None and new_value is not None:
+        attr = model.attributes[index]
+        if (
+            not attr.is_numeric
+            and (attr.device, attr.attribute, new_value) not in written
+        ):
+            requirements.append(("change", index, new_value))
+    for atom in summary.condition:
+        table = atom_guard_table(model, atom, index, new_value, summary.entry.event)
+        if table is False:
+            return None
+        if table is True:
+            continue
+        refs, combos = table
+        if not combos:
+            return None
+        requirements.append(("atom", refs, combos))
+    return requirements
+
+
 @dataclass(frozen=True)
 class _Partition:
     """One cluster of the disjunctive transition partition.
@@ -199,7 +374,7 @@ class SymbolicUnionModel:
         self._written = (
             union_written_values(model.rule_origins) if written is None else written
         )
-        descriptors = self._enumerate_fragments()
+        descriptors = enumerate_fragments(model)
         self.fragments: dict[int, Fragment] = {f.fid: f for f, _s in descriptors}
         self.requested_encoding = encoding
         self.encoding = resolve_encoding(encoding, len(self.fragments))
@@ -298,93 +473,6 @@ class SymbolicUnionModel:
         return groups
 
     # ------------------------------------------------------------------
-    # Fragment enumeration (mirrors extractor._expand_summary, minus the
-    # per-state loop: everything here is state-independent).
-    # ------------------------------------------------------------------
-    def _enumerate_fragments(self):
-        model = self.model
-        descriptors = []
-        fid = 0
-        for app, summary in model.rule_origins:
-            entry = summary.entry
-            event = entry.event
-            moved = _moved_attribute(model, event)
-            if moved is None:
-                if not summary.actions:
-                    continue  # no-op timer path, skipped by the expansion
-                candidates: list[tuple[int | None, str | None]] = [(None, None)]
-            else:
-                index, attr = moved
-                if event.value is not None:
-                    candidates = [(index, event.value)]
-                else:
-                    candidates = [(index, value) for value in attr.domain]
-            for index, new_value in candidates:
-                if index is not None and new_value is not None:
-                    if new_value not in model.attributes[index].domain:
-                        # The explicit path would carry this transition to a
-                        # state outside the domain product; no corpus app
-                        # subscribes to an out-of-domain value (asserted by
-                        # the differential suite), so the fragment is moot.
-                        continue
-                fid += 1
-                fragment, summary_ref = self._make_fragment(
-                    fid, app, summary, index, new_value
-                )
-                descriptors.append((fragment, summary_ref))
-        return descriptors
-
-    def _make_fragment(self, fid, app, summary, index, new_value):
-        model = self.model
-        event = summary.entry.event
-        concrete_event = (
-            Event(event.kind, event.device, event.attribute, new_value)
-            if index is not None
-            else event
-        )
-        writes: dict[int, str] = {}
-        if index is not None and new_value is not None:
-            writes[index] = new_value
-        for action in summary.actions:
-            if action.attribute is None:
-                continue
-            target = model.attribute_index(action.device, action.attribute)
-            if target is None:
-                continue
-            attr = model.attributes[target]
-            if attr.is_numeric:
-                label = _numeric_write_label(model, attr, action.value)
-                if label is not None:
-                    writes[target] = label
-            elif isinstance(action.value, str) and action.value in attr.domain:
-                writes[target] = action.value
-        witness = Transition(
-            source=(),
-            target=(),
-            event=concrete_event,
-            condition=(),   # residual guards are state-dependent; their
-                            # src: labels are the documented omission
-            actions=summary.actions,
-            app=app,
-            via_reflection=summary.uses_reflection,
-            sends=summary.sends,
-        )
-        props = tuple(
-            p for p in transition_props(witness) if not p.startswith("src:")
-        )
-        fragment = Fragment(
-            fid=fid,
-            app=app,
-            event=concrete_event,
-            moved_index=index,
-            new_value=new_value,
-            writes=tuple(sorted(writes.items())),
-            props=props,
-            via_reflection=summary.uses_reflection,
-        )
-        return fragment, summary
-
-    # ------------------------------------------------------------------
     # Encoding primitives
     # ------------------------------------------------------------------
     def _code_cube(self, names: list[str], code: int) -> int:
@@ -429,86 +517,37 @@ class SymbolicUnionModel:
         return self.bdd.conj(terms)
 
     # ------------------------------------------------------------------
-    # Guards
-    # ------------------------------------------------------------------
-    def _atom_bdd(self, atom, moved_index, new_value, event) -> int:
-        """States where ``atom`` is not definitely false — the symbolic
-        analogue of the expansion's per-state guard decision.  Undecidable
-        combinations stay permitted (they are residual labels, not
-        restrictions), exactly like :func:`extractor._decide_condition`.
-        """
-        from repro.analysis.values import DeviceRead
-
-        model = self.model
-        refs: list[int] = []
-        for operand in (atom.lhs, atom.rhs):
-            if isinstance(operand, DeviceRead):
-                index = model.attribute_index(operand.device, operand.attribute)
-                if index is None:
-                    continue
-                if index == moved_index and new_value is not None:
-                    continue  # reads of the event device see the new value
-                if index not in refs:
-                    refs.append(index)
-        template = [attr.domain[0] if attr.domain else "" for attr in model.attributes]
-        if not refs:
-            state = tuple(template)
-            lhs = _resolve_operand(model, atom.lhs, state, moved_index, new_value, event)
-            rhs = _resolve_operand(model, atom.rhs, state, moved_index, new_value, event)
-            verdict = _decide_atom(lhs, atom.op, rhs)
-            return self.bdd.FALSE if verdict is False else self.bdd.TRUE
-        allowed = []
-        domains = [self.model.attributes[index].domain for index in refs]
-        for combo in itertools.product(*domains):
-            for index, value in zip(refs, combo):
-                template[index] = value
-            state = tuple(template)
-            lhs = _resolve_operand(model, atom.lhs, state, moved_index, new_value, event)
-            rhs = _resolve_operand(model, atom.rhs, state, moved_index, new_value, event)
-            if _decide_atom(lhs, atom.op, rhs) is False:
-                continue
-            allowed.append(
-                self.bdd.conj(
-                    [
-                        self.value_cube(index, value)
-                        for index, value in zip(refs, combo)
-                    ]
-                )
-            )
-        return self.bdd.disj(allowed)
-
-    # ------------------------------------------------------------------
     # Relation
     # ------------------------------------------------------------------
     def _fire_conjuncts(self, fragment: Fragment, summary) -> list[int] | None:
         """The x-side firing conjuncts of one fragment, or None when it
-        can never fire.
-
-        The single definition of the firing semantics shared by both
-        encodings (the monolithic relation conjoins the list, the
-        partition keeps it for the early-quantification schedule):
-
-        * the fire-on-change condition — device events fire on attribute
-          *changes*, except that app-written values re-stimulate
-          co-installed subscribers (multi-app cascades, Sec. 4.4);
-        * every guard atom's not-definitely-false region.
-        """
+        can never fire: the shared :func:`fire_requirements` semantics
+        rendered as BDDs (the monolithic relation conjoins the list, the
+        partition keeps it for the early-quantification schedule)."""
         bdd = self.bdd
-        index, new_value = fragment.moved_index, fragment.new_value
+        requirements = fire_requirements(self.model, self._written, fragment, summary)
+        if requirements is None:
+            return None
         conjuncts: list[int] = []
-        if index is not None and new_value is not None:
-            attr = self.model.attributes[index]
-            if (
-                not attr.is_numeric
-                and (attr.device, attr.attribute, new_value) not in self._written
-            ):
-                conjuncts.append(bdd.not_(self.value_cube(index, new_value)))
-        for atom in summary.condition:
-            term = self._atom_bdd(atom, index, new_value, summary.entry.event)
-            if term == bdd.FALSE:
-                return None
-            if term != bdd.TRUE:
-                conjuncts.append(term)
+        for requirement in requirements:
+            if requirement[0] == "change":
+                _, index, label = requirement
+                conjuncts.append(bdd.not_(self.value_cube(index, label)))
+            else:
+                _, refs, combos = requirement
+                conjuncts.append(
+                    bdd.disj(
+                        [
+                            bdd.conj(
+                                [
+                                    self.value_cube(index, value)
+                                    for index, value in zip(refs, combo)
+                                ]
+                            )
+                            for combo in combos
+                        ]
+                    )
+                )
         return conjuncts
 
     def _build_relation(self, descriptors) -> int:

@@ -52,6 +52,9 @@ class AppAnalysis:
     kernel: str | None = None
     #: The kernel's final stats() snapshot; None when explicit.
     kernel_stats: dict | None = None
+    #: Engine-usage counters of the SAT/BDD portfolio (``bmc`` and
+    #: ``portfolio`` backends only; None elsewhere).
+    portfolio: dict | None = None
     #: The numeric-abstraction knob the model stage ran with.
     abstract_numeric: bool = True
     #: Token of the capability database the analysis ran under
@@ -93,6 +96,9 @@ class EnvironmentAnalysis:
     kernel: str | None = None
     #: The kernel's final stats() snapshot; None when explicit.
     kernel_stats: dict | None = None
+    #: Engine-usage counters of the SAT/BDD portfolio (``bmc`` and
+    #: ``portfolio`` backends only; None elsewhere).
+    portfolio: dict | None = None
 
     def multi_app_violations(self) -> list[Violation]:
         """Violations involving two or more apps (the Table 4 kind)."""

@@ -195,8 +195,10 @@ class Pipeline:
                 "kind": "app",
                 "catalog": cat_tok,
                 "backend": chosen,
-                "encoding": encoding if chosen == "symbolic" else "-",
-                "kernel": kernel if chosen == "symbolic" else "-",
+                # Every non-explicit backend can consult the BDD knobs
+                # (the portfolio backends via their symbolic fallback).
+                "encoding": encoding if chosen != "explicit" else "-",
+                "kernel": kernel if chosen != "explicit" else "-",
             },
         )
         outcome = store.get("check", check_key, CheckOutcome, memory_only=volatile)
@@ -224,6 +226,7 @@ class Pipeline:
             encoding=outcome.encoding,
             kernel=outcome.kernel,
             kernel_stats=outcome.kernel_stats,
+            portfolio=outcome.portfolio,
             abstract_numeric=abstract_numeric,
             db_token=db_tok,
         )
@@ -327,8 +330,8 @@ class Pipeline:
                 "kind": "env",
                 "catalog": cat_tok,
                 "backend": chosen,
-                "encoding": encoding if chosen == "symbolic" else "-",
-                "kernel": kernel if chosen == "symbolic" else "-",
+                "encoding": encoding if chosen != "explicit" else "-",
+                "kernel": kernel if chosen != "explicit" else "-",
             },
         )
         outcome = store.get("check", check_key, CheckOutcome, memory_only=volatile)
@@ -354,6 +357,7 @@ class Pipeline:
             encoding=outcome.encoding,
             kernel=outcome.kernel,
             kernel_stats=outcome.kernel_stats,
+            portfolio=outcome.portfolio,
         )
 
 

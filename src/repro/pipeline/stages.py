@@ -60,8 +60,10 @@ from repro.properties.roles import device_roles, merge_roles
 #: the old budget used to reject.
 AUTO_SYMBOLIC_THRESHOLD = 10_000
 
-#: Recognized checker backends.
-BACKENDS = ("auto", "explicit", "symbolic")
+#: Recognized checker backends.  ``bmc`` answers with the SAT engines
+#: (bounded refutation, then IC3 proof) before falling back to BDDs;
+#: ``portfolio`` races a shallow BMC pass against the BDD checker.
+BACKENDS = ("auto", "explicit", "symbolic", "bmc", "portfolio")
 
 
 def validate_knobs(backend: str, encoding: str, kernel: str = "auto") -> None:
@@ -177,6 +179,9 @@ class CheckOutcome:
     #: The kernel's final stats() snapshot (observability; None on the
     #: explicit backend).
     kernel_stats: dict | None = None
+    #: Engine-usage counters of the SAT/BDD portfolio (``bmc`` and
+    #: ``portfolio`` backends only; None elsewhere).
+    portfolio: dict | None = None
 
 
 # ======================================================================
@@ -250,6 +255,20 @@ def run_app_check(
         outcome.violations.extend(determinism_violations(model))
         checker = ExplicitChecker(kripke)
         labels = kripke.labels
+    elif backend in ("bmc", "portfolio"):
+        from repro.mc.portfolio import PortfolioChecker
+
+        # Same skeleton/written semantics as the symbolic branch below.
+        skeleton = build_union_skeleton([model], db=db)
+        checker = PortfolioChecker(
+            skeleton,
+            mode=backend,
+            written=frozenset(),
+            encoding=encoding,
+            kernel=kernel,
+        )
+        labels = checker.labels
+        outcome.skipped_properties.append("DET")
     else:
         from repro.mc.symbolic import SymbolicModelChecker
         from repro.model.encoder import SymbolicUnionModel
@@ -269,9 +288,7 @@ def run_app_check(
         # never builds — record the gap instead of silently omitting it.
         outcome.skipped_properties.append("DET")
     check_app_specific(outcome, [ir], model, checker, labels, catalog)
-    if outcome.kernel is not None:
-        outcome.kernel_stats = symbolic.bdd.stats()
-        record_kernel_stats(outcome.kernel_stats)
+    _finish_check(outcome, checker, backend)
     return outcome
 
 
@@ -290,6 +307,13 @@ def run_env_check(
     if backend == "explicit":
         checker = ExplicitChecker(kripke)
         labels = kripke.labels
+    elif backend in ("bmc", "portfolio"):
+        from repro.mc.portfolio import PortfolioChecker
+
+        checker = PortfolioChecker(
+            union, mode=backend, encoding=encoding, kernel=kernel
+        )
+        labels = checker.labels
     else:
         from repro.mc.symbolic import SymbolicModelChecker
         from repro.model.encoder import SymbolicUnionModel
@@ -300,10 +324,29 @@ def run_env_check(
         outcome.encoding = symbolic.encoding
         outcome.kernel = symbolic.kernel
     check_app_specific(outcome, irs, union, checker, labels, catalog)
-    if outcome.kernel is not None:
-        outcome.kernel_stats = symbolic.bdd.stats()
-        record_kernel_stats(outcome.kernel_stats)
+    _finish_check(outcome, checker, backend)
     return outcome
+
+
+def _finish_check(outcome: CheckOutcome, checker, backend: str) -> None:
+    """Harvest backend observability after the property pass.
+
+    The portfolio backends resolve their BDD knobs only if some formula
+    actually fell back, so their encoding/kernel fields stay None on an
+    all-SAT run — the stats dict records which engines answered.
+    """
+    if backend in ("bmc", "portfolio"):
+        outcome.portfolio = dict(checker.stats)
+        model = checker.symbolic_model
+        if model is not None:
+            outcome.encoding = model.encoding
+            outcome.kernel = model.kernel
+    if outcome.kernel is not None:
+        bdd = getattr(checker, "bdd", None)
+        if bdd is None:
+            bdd = checker.symbolic_model.bdd
+        outcome.kernel_stats = bdd.stats()
+        record_kernel_stats(outcome.kernel_stats)
 
 
 # ======================================================================

@@ -66,10 +66,10 @@ from pathlib import Path
 #: (IR, abstraction, model extraction, property catalog, result
 #: dataclasses) can alter an artifact, so stale results are never served
 #: across code changes.
-PIPELINE_VERSION = "6"   # 6: pluggable BDD kernels — check artifacts and
-                         # results carry the kernel knob, so artifacts
-                         # produced under one kernel are never served to
-                         # a run requesting another
+PIPELINE_VERSION = "7"   # 7: SAT/BDD portfolio backends — check outcomes
+                         # and results carry portfolio engine stats, and
+                         # check keys include the BDD knobs for every
+                         # non-explicit backend
 
 #: Environment variable consulted when no cache directory is passed
 #: explicitly (CLI ``--cache-dir`` and the ``cache_dir=`` parameters win).

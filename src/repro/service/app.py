@@ -24,6 +24,9 @@ Endpoints (all JSON)::
     {"sources": [{"name": "A", "source": "..."}, ...],
      "backend": "auto", "encoding": "auto", "kernel": "auto"}
 
+``backend`` accepts every pipeline backend, including the SAT/BDD
+portfolio pair ``bmc``/``portfolio`` (see ``soteria env --help``).
+
 and answers 201 for a new job, 200 for an identical resubmission — same
 sources + same knobs map to the same :func:`~repro.service.jobs.submission_key`,
 so duplicates attach to the existing record (finished ones return their

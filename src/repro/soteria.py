@@ -6,7 +6,7 @@ applicable app-specific properties.
 
 :func:`analyze_environment` — multi-app analysis: per-app models, the
 Algorithm-2 union model, general checks over the combined rule set, and
-model checking on the union through one of two interchangeable backends:
+model checking on the union through interchangeable backends:
 
 * ``explicit`` — materialize the union product, build the Kripke
   structure, check with :class:`repro.mc.explicit.ExplicitChecker`;
@@ -14,6 +14,14 @@ model checking on the union through one of two interchangeable backends:
   variables (:mod:`repro.model.encoder`) and check with
   :class:`repro.mc.symbolic.SymbolicModelChecker`, never enumerating the
   product;
+* ``bmc`` — answer with the SAT engines first: incremental bounded model
+  checking over the same fragment semantics compiled to clauses
+  (:mod:`repro.mc.cnf`), an IC3/PDR proof attempt for properties BMC
+  cannot refute (:mod:`repro.mc.ic3`), and the BDD checker only when
+  both are inconclusive;
+* ``portfolio`` — race a shallow BMC pass against the BDD checker per
+  formula; the first conclusive verdict wins
+  (:class:`repro.mc.portfolio.PortfolioChecker`);
 * ``auto`` (default) — explicit while the domain-product estimate fits
   the budget (small models check faster explicitly and keep the Kripke
   structure around for callers), symbolic beyond it.
@@ -121,8 +129,9 @@ def analyze_environment(
     ``kernel``/``db``/``catalog`` as the environment itself.
 
     ``backend`` selects the union checker: ``"explicit"``, ``"symbolic"``,
-    or ``"auto"`` (the default — explicit under the state budget, symbolic
-    above it; see :func:`resolve_backend`).  ``max_union_states`` caps the
+    ``"bmc"``/``"portfolio"`` (the SAT/BDD portfolio — see the module
+    docstring), or ``"auto"`` (the default — explicit under the state
+    budget, symbolic above it; see :func:`resolve_backend`).  ``max_union_states`` caps the
     *explicit* union's state count (default: the
     :func:`repro.model.build_union_model` budget); crossing it with
     ``backend="explicit"`` raises

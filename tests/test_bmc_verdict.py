@@ -1,0 +1,143 @@
+"""BMC verdict soundness + incremental unrolling.
+
+The regression of record: the original ``BoundedChecker.check_invariant``
+returned *holds* whenever no counterexample existed within the bound —
+so a violation three steps deep "held" under ``bound=2``.  The tri-state
+contract makes bound exhaustion :data:`Verdict.UNKNOWN`; a proof
+(:data:`Verdict.HOLDS`) is claimed only when the explored depth reaches
+the completeness bound ``|S| - 1``, past which every state has been
+visited by some simple path.
+
+The incremental side: one growing solver serves every depth and every
+formula.  Raising the depth appends exactly one transition step's worth
+of clauses (linear growth, no re-encoding), and re-querying already
+explored depths appends no transition steps at all — depth selection
+happens through assumptions.
+"""
+
+import pytest
+
+from repro.mc.bmc import BoundedChecker, Verdict
+from repro.model.kripke import KripkeState, KripkeStructure
+
+
+def chain_kripke(length, bad_at=None, orphan_bad=False):
+    """0 -> 1 -> ... -> length-1 (self-loop at the end); "bad" holds at
+    index ``bad_at``, "p" everywhere else.  With ``orphan_bad`` an extra
+    unreachable self-looping "bad" state is appended, making ``AG !bad``
+    hold — but only provably so at the completeness bound.
+    """
+    nodes = [KripkeState(state=(str(i),), incoming=()) for i in range(length)]
+    kripke = KripkeStructure()
+    kripke.states = list(nodes)
+    kripke.initial = [nodes[0]]
+    for i, node in enumerate(nodes):
+        kripke.succ[node] = [nodes[min(i + 1, length - 1)]]
+        kripke.labels[node] = frozenset({"bad"} if i == bad_at else {"p"})
+    if orphan_bad:
+        orphan = KripkeState(state=("orphan",), incoming=())
+        kripke.states.append(orphan)
+        kripke.succ[orphan] = [orphan]
+        kripke.labels[orphan] = frozenset({"bad"})
+    return kripke
+
+
+class TestVerdictSoundness:
+    def test_depth3_violation_is_not_holds_under_bound2(self):
+        """THE regression: under the old bool contract this returned
+        "holds" — a violation just past the bound was reported as a
+        proof.  Bound exhaustion must be UNKNOWN."""
+        kripke = chain_kripke(5, bad_at=3)
+        checker = BoundedChecker(kripke)
+        verdict, trace = checker.check_invariant("AG !bad", bound=2)
+        assert verdict is Verdict.UNKNOWN
+        assert not verdict          # UNKNOWN is falsy: no proof claimed
+        assert trace == []
+
+    def test_same_formula_violated_at_sufficient_bound(self):
+        kripke = chain_kripke(5, bad_at=3)
+        checker = BoundedChecker(kripke)
+        verdict, trace = checker.check_invariant("AG !bad", bound=3)
+        assert verdict is Verdict.VIOLATED
+        assert bool(verdict) is False
+        assert len(trace) == 4      # states 0..3
+        assert "bad" in kripke.labels[trace[-1]]
+
+    def test_holds_claimed_exactly_at_completeness_bound(self):
+        # Chain of 5 plus an unreachable bad orphan: 6 states, so the
+        # completeness bound is 5.  One step short is UNKNOWN; reaching
+        # the bound turns exhaustion into a proof.
+        kripke = chain_kripke(5, orphan_bad=True)
+        checker = BoundedChecker(kripke)
+        verdict, _ = checker.check_invariant("AG !bad", bound=4)
+        assert verdict is Verdict.UNKNOWN
+        verdict, _ = checker.check_invariant("AG !bad", bound=5)
+        assert verdict is Verdict.HOLDS
+        assert verdict              # HOLDS is the only truthy verdict
+
+    def test_default_bound_is_complete(self):
+        kripke = chain_kripke(4, orphan_bad=True)
+        verdict, _ = BoundedChecker(kripke).check_invariant("AG !bad")
+        assert verdict is Verdict.HOLDS
+
+    def test_empty_bad_set_holds_at_any_bound(self):
+        kripke = chain_kripke(4)
+        verdict, _ = BoundedChecker(kripke).check_invariant("AG p", bound=0)
+        assert verdict is Verdict.HOLDS
+
+    def test_violation_at_initial_state(self):
+        kripke = chain_kripke(3, bad_at=0)
+        verdict, trace = BoundedChecker(kripke).check_invariant(
+            "AG !bad", bound=0
+        )
+        assert verdict is Verdict.VIOLATED
+        assert len(trace) == 1
+
+    def test_non_ag_formula_rejected(self):
+        kripke = chain_kripke(3)
+        with pytest.raises(ValueError):
+            BoundedChecker(kripke).check_invariant("EF bad")
+
+
+class TestIncrementalUnrolling:
+    def test_clause_counts_grow_linearly_with_depth(self):
+        kripke = chain_kripke(8, orphan_bad=True)
+        checker = BoundedChecker(kripke)
+        counts = []
+        for depth in range(1, 6):
+            checker._ensure_depth(depth)
+            counts.append(checker.clause_count)
+        deltas = [b - a for a, b in zip(counts, counts[1:])]
+        assert all(d > 0 for d in deltas)
+        # One transition step's worth of clauses per extra depth — the
+        # same delta every time, i.e. linear growth, no re-encoding.
+        assert len(set(deltas)) == 1
+
+    def test_re_querying_adds_no_transition_steps(self):
+        kripke = chain_kripke(6, bad_at=5)
+        checker = BoundedChecker(kripke)
+        checker.check_invariant("AG !bad", bound=4)   # UNKNOWN: bad at 5
+        solver = checker.solver
+        steps = len(checker._steps)
+        before = checker.clause_count
+        checker.check_invariant("AG !bad", bound=4)
+        checker.check_invariant("AG !bad", bound=2)
+        # Same solver object and no new unrolling: the transition
+        # relation was reused via assumptions; only per-query bad-state
+        # activation clauses were appended.
+        assert checker.solver is solver
+        assert len(checker._steps) == steps
+        per_query = checker.nbits + 1  # one-bad-state activation overhead
+        assert checker.clause_count - before <= 8 * per_query
+
+    def test_unrolling_is_shared_across_formulas(self):
+        kripke = chain_kripke(6, bad_at=4)
+        checker = BoundedChecker(kripke)
+        verdict, trace = checker.check_invariant("AG !bad", bound=4)
+        assert verdict is Verdict.VIOLATED
+        assert len(trace) == 5
+        steps = len(checker._steps)
+        # A second formula rides the existing unrolling.
+        verdict, trace = checker.check_invariant("AG !p", bound=4)
+        assert verdict is Verdict.VIOLATED   # p holds in the initial state
+        assert len(checker._steps) == steps

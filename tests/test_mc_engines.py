@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.mc import check, parse_ctl
-from repro.mc.bmc import BoundedChecker
+from repro.mc.bmc import BoundedChecker, Verdict
 from repro.mc.explicit import ExplicitChecker
 from repro.mc.symbolic import SymbolicChecker
 from repro.model.kripke import KripkeState, KripkeStructure
@@ -183,9 +183,11 @@ def test_bmc_agrees_with_explicit_on_invariants(seed):
     bounded = BoundedChecker(kripke)
     formula = parse_ctl("AG p")
     expected = explicit.check(formula).holds
-    holds, trace = bounded.check_invariant(formula, bound=len(kripke.states))
-    assert holds == expected
-    if not holds:
+    verdict, trace = bounded.check_invariant(formula, bound=len(kripke.states))
+    # The bound covers the completeness bound |S|-1: never inconclusive.
+    assert verdict is not Verdict.UNKNOWN
+    assert bool(verdict) == expected
+    if verdict is Verdict.VIOLATED:
         assert trace[0] in kripke.initial
         for a, b in zip(trace, trace[1:]):
             assert b in kripke.succ[a]

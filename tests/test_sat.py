@@ -1,11 +1,12 @@
-"""DPLL SAT solver: unit tests + brute-force cross-checks."""
+"""CDCL SAT solver: unit tests, brute-force cross-checks, and the
+snapshot-DPLL :class:`ReferenceSolver` as a differential oracle."""
 
 import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.mc.sat import Solver, solve
+from repro.mc.sat import ReferenceSolver, Solver, solve
 
 
 def _check(clauses, assignment):
@@ -108,3 +109,52 @@ def test_returned_model_satisfies(instance):
     model = solve(clauses)
     if model is not None:
         assert _check(clauses, model)
+
+
+# ----------------------------------------------------------------------
+# CDCL vs the retired snapshot-DPLL solver (kept as differential oracle)
+# ----------------------------------------------------------------------
+def _solve_reference(clauses):
+    reference = ReferenceSolver()
+    for clause in clauses:
+        reference.add_clause(clause)
+    return reference.solve()
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnf_instances())
+def test_cdcl_agrees_with_reference_dpll(instance):
+    """Identical SAT/UNSAT verdicts on random CNFs, and every model
+    returned by either solver satisfies the formula."""
+    _nvars, clauses = instance
+    cdcl = Solver()
+    for clause in clauses:
+        cdcl.add_clause(clause)
+    model = cdcl.solve()
+    reference_model = _solve_reference(clauses)
+    assert (model is None) == (reference_model is None)
+    if model is not None:
+        assert _check(clauses, model)
+        assert _check(clauses, reference_model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cnf_instances(), st.lists(st.integers(min_value=1, max_value=6), max_size=3))
+def test_cdcl_assumptions_agree_with_reference(instance, assumed_vars):
+    """Assumption-based queries equal the reference solver run on the
+    formula with the assumptions added as unit clauses."""
+    _nvars, clauses = instance
+    assumptions = sorted({v for v in assumed_vars})  # positive phase
+    cdcl = Solver()
+    for clause in clauses:
+        cdcl.add_clause(clause)
+    model = cdcl.solve(assumptions=assumptions)
+    reference_model = _solve_reference(clauses + [[a] for a in assumptions])
+    assert (model is None) == (reference_model is None)
+    if model is not None:
+        assert _check(clauses, model)
+        assert all(model[a] for a in assumptions)
+    # The assumption query must not poison later plain queries (the
+    # incremental contract BMC relies on).
+    plain = cdcl.solve()
+    assert (plain is None) == (_solve_reference(clauses) is None)
