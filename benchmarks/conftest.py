@@ -104,3 +104,13 @@ def portfolio_bench_json():
         )
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def service_bench_json():
+    """The section writer for ``BENCH_service.json``."""
+
+    def _record(section: str, payload: dict) -> None:
+        record_bench(section, payload, path=_REPO_ROOT / "BENCH_service.json")
+
+    return _record

@@ -1,0 +1,126 @@
+"""Service burst gate: 64 concurrent waiters on a 2-worker service.
+
+The hardened service tier's acceptance scenario as a tracked number: 64
+clients each POST a distinct SmartApp with ``?wait=`` against a
+2-worker pool and a 16-slot waiter pool.  The run must complete under a
+wall-clock ceiling with handler threads bounded — at most 16 waiters
+ever parked at once (the rest degrade to polling) — and with the
+runner-future registry empty afterwards (the PR 10 leak regression, at
+benchmark scale).
+
+Numbers land in ``BENCH_service.json`` at the repo root so the service
+throughput trajectory is tracked across PRs alongside the fleet and
+kernel numbers.  The ceiling can be tuned per runner via
+``REPRO_SERVICE_BURST_CEILING`` (seconds).
+"""
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+from repro.service.app import build_server
+
+BURST = 64
+WORKERS = 2
+WAITER_SLOTS = 16
+CEILING_SECONDS = float(os.environ.get("REPRO_SERVICE_BURST_CEILING", "120"))
+
+APP_TEMPLATE = '''
+definition(name: "Burst{index}")
+preferences {{ section("s") {{
+    input "ws", "capability.waterSensor"
+    input "vd", "capability.valve"
+}} }}
+def installed() {{ subscribe(ws, "water.wet", h) }}
+def h(evt) {{ vd.close() }}
+'''
+
+
+def test_service_64_waiter_burst(tmp_path, service_bench_json):
+    server = build_server(
+        host="127.0.0.1", port=0, pool="thread", jobs=WORKERS,
+        max_pending=BURST, tenant_quota=BURST, max_waiters=WAITER_SLOTS,
+        state_dir=tmp_path / "state", cache_dir=tmp_path / "cache",
+    )
+    service = server.service
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    def post_and_settle(index: int) -> dict:
+        body = json.dumps(
+            {"source": APP_TEMPLATE.format(index=index),
+             "name": f"Burst{index}"}
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            f"http://{host}:{port}/v1/submissions?wait=60",
+            data=body,
+            headers={
+                "Content-Type": "application/json",
+                "X-Soteria-Tenant": "alpha" if index % 2 == 0 else "beta",
+            },
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=CEILING_SECONDS) as r:
+            job = json.loads(r.read())
+        deadline = time.time() + CEILING_SECONDS
+        while job["status"] not in ("done", "failed"):  # degraded waiters poll
+            assert time.time() < deadline, job
+            time.sleep(0.1)
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/v1/jobs/{job['id']}", timeout=60
+            ) as r:
+                job = json.loads(r.read())
+        return job
+
+    results: list = [None] * BURST
+    try:
+        start = time.perf_counter()
+        clients = [
+            threading.Thread(
+                target=lambda i=i: results.__setitem__(i, post_and_settle(i))
+            )
+            for i in range(BURST)
+        ]
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join(timeout=CEILING_SECONDS)
+            assert not client.is_alive(), "burst client never finished"
+        elapsed = time.perf_counter() - start
+
+        assert all(job is not None and job["status"] == "done" for job in results)
+        stats = dict(service._wait_stats)
+        payload = {
+            "burst": BURST,
+            "workers": WORKERS,
+            "waiter_slots": WAITER_SLOTS,
+            "elapsed_seconds": round(elapsed, 3),
+            "jobs_per_second": round(BURST / elapsed, 2),
+            "ceiling_seconds": CEILING_SECONDS,
+            "waiters_peak": stats["peak"],
+            "waits_parked": stats["waits"],
+            "waits_degraded": stats["degraded"],
+        }
+        service_bench_json("waiter_burst_64x2", payload)
+        print(
+            f"\n64-waiter burst: {elapsed:.1f}s = {BURST / elapsed:,.1f} jobs/sec; "
+            f"waiters peak {stats['peak']}/{WAITER_SLOTS}, "
+            f"{stats['degraded']} degraded"
+        )
+
+        assert elapsed <= CEILING_SECONDS, (
+            f"burst took {elapsed:.1f}s (ceiling {CEILING_SECONDS:.0f}s)"
+        )
+        # Bounded handler parking: never one parked thread per waiter.
+        assert stats["peak"] <= WAITER_SLOTS
+        # Settle-time pruning held at burst scale.
+        assert service._futures == {}
+        assert service._events == {}
+    finally:
+        service.shutdown()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

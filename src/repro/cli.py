@@ -15,7 +15,8 @@ Subcommands::
                   [--templates T] [--variants V] [--telemetry-out F]
                   [--blocklist-out F]
     soteria serve [--host H] [--port P] [--jobs N] [--cache-dir D]
-                  [--state-dir D] [--pool thread|process]
+                  [--state-dir D] [--pool process|thread]
+                  [--max-pending N] [--tenant-quota N] [--job-ttl S]
     soteria cache [--cache-dir D] [--clear]
     soteria list-properties
 
@@ -56,12 +57,18 @@ Failing cases are shrunk to minimal reproducers under ``--out`` and can
 be re-run with ``--replay``.
 
 ``serve`` runs the analysis-as-a-service HTTP API
-(:mod:`repro.service`): POST SmartApp sources to ``/v1/submissions``,
-poll job status and decoded violation witnesses, and read per-stage
-artifact-cache counters from ``/v1/stats``.  Identical resubmissions
-are deduplicated against the durable job store.  ``cache`` inspects a
-staged artifact cache directory — per-stage entry/byte counts — and
-``--clear`` empties it.
+(:mod:`repro.service`): POST SmartApp sources to ``/v1/submissions``
+(namespaced per tenant via the ``X-Soteria-Tenant`` header), poll job
+status and decoded violation witnesses, and read per-stage
+artifact-cache counters plus per-tenant job counts from ``/v1/stats``.
+Identical resubmissions are deduplicated against the durable job store.
+Admission is bounded — at ``--max-pending`` unsettled jobs (or
+``--tenant-quota`` for one tenant) new submissions get 429 +
+``Retry-After`` — and ``--job-ttl`` garbage-collects settled records
+(memory + disk) after that many seconds.  Workers default to a process
+pool (``--pool thread`` forces the in-process pool).  ``cache``
+inspects a staged artifact cache directory — per-stage entry/byte
+counts — and ``--clear`` empties it.
 
 ``fleet`` screens a simulated fleet of households — seeded
 popularity-weighted installation profiles over the corpus +
@@ -88,6 +95,10 @@ import sys
 from repro.mc.kernel import KERNEL_CHOICES, aggregate_kernel_stats
 from repro.model.encoder import ENCODINGS
 from repro.pipeline.stages import BACKENDS
+from repro.service.app import (
+    DEFAULT_TENANT_QUOTA as TENANT_QUOTA_DEFAULT,
+    MAX_PENDING_JOBS as MAX_PENDING_JOBS_DEFAULT,
+)
 from repro.reporting.dot import to_dot
 from repro.reporting.report import render_report
 from repro.reporting.smv import to_smv
@@ -375,6 +386,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         state_dir=args.state_dir,
         jobs=args.jobs,
         pool=args.pool,
+        max_pending=args.max_pending,
+        tenant_quota=args.tenant_quota,
+        job_ttl=args.job_ttl,
     )
     return 0
 
@@ -736,10 +750,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_serve.add_argument(
         "--pool",
-        choices=["thread", "process"],
-        default="thread",
-        help="worker pool flavor; 'process' falls back to threads when "
-        "multiprocessing is unavailable",
+        choices=["process", "thread"],
+        default="process",
+        help="worker pool flavor (default: process, falling back to "
+        "threads when multiprocessing is unavailable; 'thread' forces "
+        "the in-process pool)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=MAX_PENDING_JOBS_DEFAULT,
+        help="admission bound on unsettled jobs; past it submissions "
+        f"get 429 + Retry-After (default {MAX_PENDING_JOBS_DEFAULT})",
+    )
+    p_serve.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=TENANT_QUOTA_DEFAULT,
+        help="per-tenant bound on unsettled jobs, keyed on the "
+        f"X-Soteria-Tenant header (default {TENANT_QUOTA_DEFAULT})",
+    )
+    p_serve.add_argument(
+        "--job-ttl",
+        type=float,
+        default=None,
+        help="garbage-collect settled job records (memory + disk "
+        "mirror) after this many seconds (default: keep forever)",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

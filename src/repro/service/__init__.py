@@ -10,14 +10,23 @@ durability; stage artifacts are shared through
 """
 
 from repro.service.app import (
+    DEFAULT_TENANT_QUOTA,
+    FleetBusyError,
+    HANDLER_TIMEOUT_SECONDS,
     MAX_BODY_BYTES,
+    MAX_CONCURRENT_WAITERS,
+    MAX_PENDING_JOBS,
     MAX_WAIT_SECONDS,
+    QueueFullError,
     SoteriaService,
     SubmissionError,
     build_server,
     serve,
+    validate_tenant,
 )
 from repro.service.jobs import (
+    DEFAULT_TENANT,
+    SETTLED,
     STATUSES,
     JobRecord,
     JobStore,
@@ -29,12 +38,20 @@ from repro.service.policy import APPROVED, NEEDS_REVIEW, Decision, decide
 
 __all__ = [
     "APPROVED",
+    "DEFAULT_TENANT",
+    "DEFAULT_TENANT_QUOTA",
     "Decision",
+    "FleetBusyError",
+    "HANDLER_TIMEOUT_SECONDS",
     "JobRecord",
     "JobStore",
     "MAX_BODY_BYTES",
+    "MAX_CONCURRENT_WAITERS",
+    "MAX_PENDING_JOBS",
     "MAX_WAIT_SECONDS",
     "NEEDS_REVIEW",
+    "QueueFullError",
+    "SETTLED",
     "STATUSES",
     "SoteriaService",
     "SubmissionError",
@@ -43,5 +60,6 @@ __all__ = [
     "job_id_for",
     "serve",
     "submission_key",
+    "validate_tenant",
     "violation_dict",
 ]

@@ -28,28 +28,62 @@ Endpoints (all JSON)::
 portfolio pair ``bmc``/``portfolio`` (see ``soteria env --help``).
 
 and answers 201 for a new job, 200 for an identical resubmission — same
-sources + same knobs map to the same :func:`~repro.service.jobs.submission_key`,
-so duplicates attach to the existing record (finished ones return their
-verdict without re-running a single pipeline stage; the stage hit/miss
-counters under ``/v1/stats`` prove it).  ``?wait=<seconds>`` blocks
-until the job finishes (or the budget runs out) before responding —
-handy for scripts and the CI smoke test.
+tenant + same sources + same knobs map to the same
+:func:`~repro.service.jobs.submission_key`, so duplicates attach to the
+existing record (finished ones return their verdict without re-running
+a single pipeline stage; the stage hit/miss counters under
+``/v1/stats`` prove it).  ``?wait=<seconds>`` blocks until the job
+finishes (or the budget runs out) before responding — handy for
+scripts and the CI smoke test.
 
-Workers default to a thread pool sharing the in-process pipeline.
-``pool="process"`` runs the analyses in worker processes instead: a
-worker receives only picklable job data — the named sources, the
-backend/encoding/kernel knobs, and the cache root — and returns a plain result
-dict that the *parent* records on the job store, so no service state
-ever crosses the process boundary (with a disk cache root the workers
-additionally share stage artifacts through the store's disk layer; the
-``/v1/stats`` stage counters always describe the parent's store).
-Platforms without working multiprocessing fall back to threads.
+Hardening for real traffic:
+
+- **Event-driven waits.**  ``?wait=`` parks on a per-job
+  :class:`threading.Event` signalled when the record settles — it
+  holds no executor state, and a settled job answers without touching
+  the runner-future registry (which is pruned at settle time, so a
+  long-running service retains nothing per finished job).  Parked
+  waiters are bounded by a slot pool (:data:`MAX_CONCURRENT_WAITERS`);
+  past it, ``?wait=`` degrades to an immediate status snapshot instead
+  of parking another handler thread.
+- **Backpressure.**  Admission is bounded: once the unsettled-job
+  count reaches ``max_pending``, new work is refused with HTTP 429 and
+  a ``Retry-After`` hint (resubmissions of already-settled jobs are
+  still served — they schedule nothing).
+- **Per-tenant quotas.**  Submissions are namespaced by the
+  ``X-Soteria-Tenant`` header; each tenant owns at most
+  ``tenant_quota`` unsettled jobs (a greedy tenant saturates its own
+  quota, not the service), and ``/v1/stats`` breaks job counts down
+  per tenant.
+- **Socket timeouts.**  Handler sockets carry a read/write timeout
+  (:data:`HANDLER_TIMEOUT_SECONDS`), so a slow-loris client that
+  under-sends its declared ``Content-Length`` is dropped (408) instead
+  of parking a handler thread forever.
+- **Job TTL/GC.**  A ``job_ttl`` reaps settled records — memory and
+  disk mirror — lazily and at startup; resubmission after GC re-runs
+  cleanly.
+- **Single-flight fleet screens.**  ``POST /v1/fleet`` runs under a
+  gate: a second concurrent screen is answered 409 (with
+  ``Retry-After``) instead of interleaving with the running one.
+
+Workers default to a **process pool** (``soteria serve`` and
+:func:`build_server`): a worker receives only picklable job data — the
+named sources, the backend/encoding/kernel knobs, and the cache root —
+and returns a plain result dict that the *parent* records on the job
+store, so no service state ever crosses the process boundary (with a
+disk cache root the workers additionally share stage artifacts through
+the store's disk layer; the ``/v1/stats`` stage counters always
+describe the parent's store).  Platforms without working
+multiprocessing fall back to threads, and ``pool="thread"`` forces the
+in-process pool (shared pipeline, fastest for tests).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import json
+import math
+import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -60,10 +94,42 @@ from repro.pipeline.stages import source_digest, validate_knobs
 from repro.pipeline.store import ArtifactStore, resolve_cache_dir
 from repro.mc.kernel import aggregate_kernel_stats, record_kernel_stats
 from repro.service import policy
-from repro.service.jobs import JobRecord, JobStore, job_id_for, submission_key, violation_dict
+from repro.service.jobs import (
+    DEFAULT_TENANT,
+    JobRecord,
+    JobStore,
+    job_id_for,
+    submission_key,
+    violation_dict,
+)
 
 #: Upper bound on ``?wait=`` to keep handler threads from parking forever.
 MAX_WAIT_SECONDS = 300.0
+
+#: Handler-socket read/write timeout (seconds).  A client that stalls
+#: mid-body (slow-loris: declares ``Content-Length: N``, sends N-1
+#: bytes) or stops reading its response is dropped after this long
+#: instead of parking a handler thread indefinitely.
+HANDLER_TIMEOUT_SECONDS = 30.0
+
+#: Waiter-slot pool size: at most this many handler threads may park in
+#: an event wait at once.  Past it, ``?wait=`` answers immediately with
+#: the job's current status (a degraded wait) — N polite clients must
+#: never cost N parked OS threads.
+MAX_CONCURRENT_WAITERS = 32
+
+#: Admission bound: unsettled jobs (queued + running) across all
+#: tenants.  At the bound, new work is answered 429 + ``Retry-After``.
+MAX_PENDING_JOBS = 64
+
+#: Per-tenant admission bound (unsettled jobs owned by one tenant).
+DEFAULT_TENANT_QUOTA = 16
+
+#: ``Retry-After`` hint for a rejected concurrent fleet screen (409).
+FLEET_RETRY_AFTER_SECONDS = 30
+
+#: Tenant names: short, path/log-safe tokens.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 #: Upper bound on a POST body.  The service is unauthenticated, so an
 #: attacker-controlled Content-Length must never buy a memory balloon;
@@ -80,6 +146,37 @@ MAX_FLEET_HOUSEHOLDS = 50_000
 
 class SubmissionError(ValueError):
     """A malformed or invalid submission body (rendered as HTTP 400)."""
+
+
+class QueueFullError(RuntimeError):
+    """Admission refused — the service (or the tenant's quota) is
+    saturated.  Rendered as HTTP 429 with a ``Retry-After`` hint."""
+
+    def __init__(self, scope: str, retry_after: int):
+        self.scope = scope            # "service" | "tenant:<name>"
+        self.retry_after = retry_after
+        super().__init__(
+            f"{scope} queue is full; retry in ~{retry_after}s"
+        )
+
+
+class FleetBusyError(RuntimeError):
+    """A fleet screen is already running (single-flight gate).
+    Rendered as HTTP 409 with a ``Retry-After`` hint."""
+
+    def __init__(self):
+        self.retry_after = FLEET_RETRY_AFTER_SECONDS
+        super().__init__("a fleet screen is already running")
+
+
+def validate_tenant(tenant: str) -> str:
+    """Check a tenant name (header value); returns it unchanged."""
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise SubmissionError(
+            "tenant must be 1-64 chars of [A-Za-z0-9._-] "
+            "(X-Soteria-Tenant header)"
+        )
+    return tenant
 
 
 def _parse_submission(
@@ -128,14 +225,32 @@ class SoteriaService:
         state_dir=None,
         jobs: int = 2,
         pool: str = "thread",
+        max_pending: int = MAX_PENDING_JOBS,
+        tenant_quota: int = DEFAULT_TENANT_QUOTA,
+        max_waiters: int = MAX_CONCURRENT_WAITERS,
+        job_ttl: float | None = None,
     ):
         self._cache_root = resolve_cache_dir(cache_dir)
         self.pipeline = Pipeline(ArtifactStore(self._cache_root))
-        self.jobs = JobStore(state_dir)
+        self.jobs = JobStore(state_dir, ttl=job_ttl)
         self._sources: dict[str, list[tuple[str | None, str]]] = {}
         self._futures: dict[str, concurrent.futures.Future] = {}
+        # In-flight registry for the event-driven wait path: one Event
+        # per unsettled job, signalled (then pruned) at record-settle
+        # time.  Doubles as the admission count — len(_events) is the
+        # queued+running population.
+        self._events: dict[str, threading.Event] = {}
+        self._tenant_inflight: dict[str, int] = {}
         self._lock = threading.Lock()
-        workers = max(1, jobs)
+        self.max_pending = max(1, max_pending)
+        self.tenant_quota = max(1, tenant_quota)
+        # Waiter slots: parked ?wait= handler threads, bounded.
+        self._waiter_slots = threading.BoundedSemaphore(max(1, max_waiters))
+        self.max_waiters = max(1, max_waiters)
+        self._wait_stats = {"waits": 0, "active": 0, "peak": 0, "degraded": 0}
+        self._rejected = {"service": 0, "tenant": 0}
+        self.workers = max(1, jobs)
+        workers = self.workers
         self._process_pool = (
             self._make_process_pool(workers) if pool == "process" else None
         )
@@ -143,14 +258,17 @@ class SoteriaService:
         self.pool_kind = "process" if self._process_pool is not None else "thread"
         # Job-runner threads: each runs one job to completion — inline
         # on the shared pipeline, or parked on a process-pool worker and
-        # recording the fields it returns.  Either way the job's future
-        # resolves only after the record is updated, so waiters never
-        # observe a settled future with a stale record.
+        # recording the fields it returns.  Either way the job's event
+        # fires only after the record is updated, so waiters never
+        # observe a signalled event with a stale record.
         self._executor = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
         # Latest fleet screening, published by fleet_screen() for the
         # GET /v1/fleet and GET /v1/blocklist views.  One slot on
         # purpose: the feed is the *current* blocklist, not a history.
+        # _fleet_gate is the single-flight lock: concurrent screens
+        # never interleave — the second one is refused (409).
         self._fleet_lock = threading.Lock()
+        self._fleet_gate = threading.Lock()
         self._fleet_latest: dict | None = None
 
     @staticmethod
@@ -169,15 +287,36 @@ class SoteriaService:
             return None
 
     # ------------------------------------------------------------------
+    def _admit(self, tenant: str) -> None:
+        """Admission control, caller holds ``_lock``.  Raises
+        :class:`QueueFullError` when the service or the tenant is at
+        its unsettled-job bound."""
+        pending = len(self._events)
+        retry_after = min(60, max(1, math.ceil((pending + 1) / self.workers)))
+        if pending >= self.max_pending:
+            self._rejected["service"] += 1
+            raise QueueFullError("service", retry_after)
+        if self._tenant_inflight.get(tenant, 0) >= self.tenant_quota:
+            self._rejected["tenant"] += 1
+            raise QueueFullError(f"tenant:{tenant}", retry_after)
+
     def submit(
         self,
         entries: list[tuple[str | None, str]],
         backend: str = "auto",
         encoding: str = "auto",
         kernel: str = "auto",
+        tenant: str = DEFAULT_TENANT,
     ) -> tuple[JobRecord, bool]:
-        """Register one submission; identical ones attach to their job."""
+        """Register one submission; identical ones attach to their job.
+
+        Raises :class:`QueueFullError` when scheduling NEW work would
+        exceed the service's ``max_pending`` bound or the tenant's
+        quota — resubmissions that attach to an existing (unsettled or
+        finished) job schedule nothing and are always served.
+        """
         validate_knobs(backend, encoding, kernel)
+        validate_tenant(tenant)
         named = [
             (name if name else f"submission-{index + 1}", source)
             for index, (name, source) in enumerate(entries)
@@ -188,70 +327,115 @@ class SoteriaService:
             backend,
             encoding,
             kernel,
+            tenant=tenant,
         )
-        record = JobRecord(
-            id=job_id_for(key),
-            key=key,
-            kind="app" if len(named) == 1 else "environment",
-            apps=[name for name, _ in named],
-            digests=digests,
-            backend=backend,
-            encoding=encoding,
-            kernel=kernel,
-        )
-        record, created = self.jobs.submit(record)
         with self._lock:
+            self.jobs.sweep()  # lazy TTL/GC on the submission path
+            record = self.jobs.find(key)
+            created = record is None
             schedule = created
-            if not created:
-                record = self.jobs.get(record.id) or record
-                future = self._futures.get(record.id)
-                in_flight = future is not None and not future.done()
+            if record is not None:
+                in_flight = record.id in self._events
                 if record.status == "failed" and not in_flight:
                     # A failed job — crash recovery after a restart, a
                     # transient error — retries on identical
                     # resubmission instead of serving the stale failure
-                    # forever.  Stale result fields are cleared so the
-                    # record never mixes two attempts.
-                    record = self.jobs.update(
-                        record.id,
-                        status="queued",
-                        error=None,
-                        verdict=None,
-                        flagged=False,
-                        reason=None,
-                        violations=[],
-                        checked_properties=[],
-                        skipped_properties=[],
-                        resolved_backend=None,
-                        resolved_encoding=None,
-                        resolved_kernel=None,
-                        kernel_stats=None,
-                        state_estimate=0,
-                    )
+                    # forever.  The retry is new work, so it passes
+                    # admission; stale result fields are cleared below
+                    # so the record never mixes two attempts.
                     schedule = True
             if schedule:
+                self._admit(tenant)
+            if created:
+                record = JobRecord(
+                    id=job_id_for(key),
+                    key=key,
+                    kind="app" if len(named) == 1 else "environment",
+                    apps=[name for name, _ in named],
+                    digests=digests,
+                    tenant=tenant,
+                    backend=backend,
+                    encoding=encoding,
+                    kernel=kernel,
+                )
+                record, _ = self.jobs.submit(record)
+            elif schedule:
+                record = self.jobs.update(
+                    record.id,
+                    status="queued",
+                    error=None,
+                    verdict=None,
+                    flagged=False,
+                    reason=None,
+                    violations=[],
+                    checked_properties=[],
+                    skipped_properties=[],
+                    resolved_backend=None,
+                    resolved_encoding=None,
+                    resolved_kernel=None,
+                    kernel_stats=None,
+                    state_estimate=0,
+                )
+            if schedule:
                 self._sources[record.id] = named
+                self._events[record.id] = threading.Event()
+                self._tenant_inflight[tenant] = (
+                    self._tenant_inflight.get(tenant, 0) + 1
+                )
                 self._futures[record.id] = self._executor.submit(
                     self._run_job, record.id
                 )
         return record, created
 
     def wait(self, job_id: str, timeout: float | None = None) -> JobRecord | None:
-        """Block until a job settles (bounded by ``timeout``); job or None."""
+        """Block until a job settles (bounded by ``timeout``); job or None.
+
+        Event-driven: a settled job answers straight from the store —
+        no executor state is consulted, let alone retained — and an
+        unsettled one parks on its settle event.  Parked waiters are
+        bounded by the waiter-slot pool; with every slot taken the wait
+        degrades to an immediate snapshot of the record (callers poll),
+        so a burst of polite clients can never park a thread each.
+        """
         with self._lock:
-            future = self._futures.get(job_id)
-        if future is not None:
-            try:
-                future.result(timeout=timeout)
-            except concurrent.futures.TimeoutError:
-                pass
-            except Exception:
-                pass  # _run_job recorded the failure before resolving
+            event = self._events.get(job_id)
+        if event is None:
+            # Settled (or never scheduled): the record is the answer.
+            return self.jobs.get(job_id)
+        if not self._waiter_slots.acquire(blocking=False):
+            with self._lock:
+                self._wait_stats["degraded"] += 1
+            return self.jobs.get(job_id)
+        try:
+            with self._lock:
+                self._wait_stats["waits"] += 1
+                self._wait_stats["active"] += 1
+                self._wait_stats["peak"] = max(
+                    self._wait_stats["peak"], self._wait_stats["active"]
+                )
+            event.wait(timeout)
+        finally:
+            with self._lock:
+                self._wait_stats["active"] -= 1
+            self._waiter_slots.release()
         return self.jobs.get(job_id)
 
     def stats(self) -> dict:
+        self.jobs.sweep()  # lazy TTL/GC on the stats path too
+        with self._lock:
+            service = {
+                "pool": self.pool_kind,
+                "workers": self.workers,
+                "pending": len(self._events),
+                "max_pending": self.max_pending,
+                "tenant_quota": self.tenant_quota,
+                "rejected": dict(self._rejected),
+                "waiters": dict(self._wait_stats) | {"slots": self.max_waiters},
+                "job_ttl": self.jobs.ttl,
+            }
         return {
             "jobs": self.jobs.counts(),
+            "service": service,
             "pipeline": self.pipeline.store.cache_info(),
             # Process-wide BDD-kernel counters over every symbolic check
             # this service process ran (process-pool workers report their
@@ -277,12 +461,29 @@ class SoteriaService:
         GET views.  Screens share this service's artifact store, so a
         repeat request over a disk root is served almost entirely from
         the fleet cache tier.
+
+        Screens are **single-flight**: while one runs, a second
+        concurrent ``POST /v1/fleet`` raises :class:`FleetBusyError`
+        (HTTP 409 + ``Retry-After``) instead of interleaving — two
+        screens must never race their writes to the published
+        telemetry slot (or thrash the shared store).
         """
         from repro.fleet.driver import FleetOptions, run_fleet
         from repro.fleet.profiles import FleetProfile
 
         if not isinstance(body, dict):
             raise SubmissionError("fleet body must be a JSON object")
+        if not self._fleet_gate.acquire(blocking=False):
+            raise FleetBusyError()
+        try:
+            return self._fleet_screen_locked(body)
+        finally:
+            self._fleet_gate.release()
+
+    def _fleet_screen_locked(self, body: dict) -> dict:
+        """The screen body; caller holds the single-flight gate."""
+        from repro.fleet.driver import FleetOptions, run_fleet
+        from repro.fleet.profiles import FleetProfile
 
         def _int(name: str, default: int, low: int, high: int) -> int:
             value = body.get(name, default)
@@ -341,6 +542,17 @@ class SoteriaService:
         self._executor.shutdown(wait=False, cancel_futures=True)
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=False, cancel_futures=True)
+        # Wake every parked waiter (their jobs will never settle now)
+        # and drop the in-flight registries, so shutdown never strands
+        # a handler thread in an event wait.
+        with self._lock:
+            events = list(self._events.values())
+            self._events.clear()
+            self._futures.clear()
+            self._sources.clear()
+            self._tenant_inflight.clear()
+        for event in events:
+            event.set()
 
     # ------------------------------------------------------------------
     def _run_job(self, job_id: str) -> None:
@@ -355,10 +567,10 @@ class SoteriaService:
         with self._lock:
             named = self._sources.get(job_id)
         record = self.jobs.get(job_id)
-        if record is None or named is None:
-            return
-        self.jobs.update(job_id, status="running")
         try:
+            if record is None or named is None:
+                return
+            self.jobs.update(job_id, status="running")
             if self._process_pool is not None:
                 fields = self._process_pool.submit(
                     _analyze_in_worker,
@@ -390,8 +602,24 @@ class SoteriaService:
                 job_id, status="failed", error=f"{type(exc).__name__}: {exc}"
             )
         finally:
+            # Settle-time pruning: the record already carries the
+            # outcome, so nothing per-job may outlive this block — not
+            # the sources, not the runner future, not the event.  The
+            # event is signalled AFTER the registries shrink; waiters
+            # hold their own reference and re-read the settled record.
             with self._lock:
                 self._sources.pop(job_id, None)
+                self._futures.pop(job_id, None)
+                event = self._events.pop(job_id, None)
+                if record is not None:
+                    tenant = record.tenant
+                    remaining = self._tenant_inflight.get(tenant, 1) - 1
+                    if remaining <= 0:
+                        self._tenant_inflight.pop(tenant, None)
+                    else:
+                        self._tenant_inflight[tenant] = remaining
+            if event is not None:
+                event.set()
 
 
 def _run_analysis(
@@ -475,6 +703,18 @@ def _analyze_in_worker(
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
+    def setup(self) -> None:
+        # Socket read/write timeout: a stalled body read (slow-loris) or
+        # a client that stops reading its response drops the connection
+        # after this long instead of parking the handler thread forever.
+        # (StreamRequestHandler.setup applies self.timeout to the
+        # connection; BaseHTTPRequestHandler additionally reaps idle
+        # keep-alive connections with it.)
+        self.timeout = getattr(
+            self.server, "handler_timeout", HANDLER_TIMEOUT_SECONDS
+        )
+        super().setup()
+
     @property
     def service(self) -> SoteriaService:
         return self.server.service  # type: ignore[attr-defined]
@@ -483,13 +723,32 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     # -- helpers -------------------------------------------------------
-    def _json(self, status: int, payload: dict) -> None:
+    def _json(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _json_safe(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
+        """Best-effort error response: the socket may already be gone
+        (timed out, client hung up) — never let the write raise."""
+        try:
+            self._json(status, payload, headers)
+        except OSError:
+            self.close_connection = True
+
+    def _tenant(self) -> str:
+        return validate_tenant(
+            self.headers.get("X-Soteria-Tenant", DEFAULT_TENANT)
+        )
 
     def _query(self) -> dict[str, str]:
         return {
@@ -541,9 +800,9 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._json(404, {"error": f"unknown path {path!r}"})
         except SubmissionError as exc:
-            self._json(400, {"error": str(exc)})
+            self._json_safe(400, {"error": str(exc)})
         except Exception as exc:  # a handler bug must not kill the server
-            self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._json_safe(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _get_job(self, rest: str, query: dict[str, str]) -> None:
         job_id, _, sub = rest.partition("/")
@@ -577,8 +836,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(404, {"error": f"unknown path {path!r}"})
             return
         try:
+            tenant = self._tenant()
             body = self._read_body()
-            if body is None:  # oversized: _read_body already answered 413
+            if body is None:  # refused: _read_body already answered
                 return
             if path == "/v1/fleet":
                 payload = self.service.fleet_screen(body)
@@ -586,7 +846,7 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             entries, backend, encoding, kernel = _parse_submission(body)
             record, created = self.service.submit(
-                entries, backend, encoding, kernel
+                entries, backend, encoding, kernel, tenant=tenant
             )
             wait = self._query().get("wait")
             if wait is not None:
@@ -598,10 +858,26 @@ class _Handler(BaseHTTPRequestHandler):
             payload = record.summary()
             payload["created"] = created
             self._json(201 if created else 200, payload)
+        except QueueFullError as exc:
+            # Backpressure: bounded admission answers 429 with a
+            # Retry-After hint instead of queueing without limit.
+            self._json_safe(
+                429,
+                {"error": str(exc), "scope": exc.scope,
+                 "retry_after": exc.retry_after},
+                headers={"Retry-After": str(exc.retry_after)},
+            )
+        except FleetBusyError as exc:
+            # Single-flight: a concurrent screen never interleaves.
+            self._json_safe(
+                409,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": str(exc.retry_after)},
+            )
         except SubmissionError as exc:
-            self._json(400, {"error": str(exc)})
+            self._json_safe(400, {"error": str(exc)})
         except Exception as exc:
-            self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._json_safe(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     def _read_body(self) -> dict | None:
         """Read and decode a bounded JSON POST body; None if refused."""
@@ -626,10 +902,30 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return None
         try:
-            body = json.loads(self.rfile.read(length) or b"{}")
+            raw = self.rfile.read(length)
+        except TimeoutError:
+            # Slow-loris: the client declared Content-Length but
+            # stalled mid-body.  The socket timeout (setup()) fired —
+            # drop the connection; a 408 is attempted best-effort, and
+            # the handler thread is free either way.
+            self.close_connection = True
+            self._json_safe(
+                408,
+                {"error": "timed out reading the request body"},
+            )
+            return None
+        try:
+            body = json.loads(raw or b"{}")
         except json.JSONDecodeError as exc:
             raise SubmissionError(f"invalid JSON body: {exc}") from None
         return body
+
+
+class _Server(ThreadingHTTPServer):
+    # A submission burst opens many connections at once; the stock
+    # listen backlog (5) would refuse some of them at the TCP layer
+    # before admission control ever saw them.
+    request_queue_size = 128
 
 
 def build_server(
@@ -638,16 +934,31 @@ def build_server(
     cache_dir=None,
     state_dir=None,
     jobs: int = 2,
-    pool: str = "thread",
+    pool: str = "process",
+    max_pending: int = MAX_PENDING_JOBS,
+    tenant_quota: int = DEFAULT_TENANT_QUOTA,
+    max_waiters: int = MAX_CONCURRENT_WAITERS,
+    job_ttl: float | None = None,
+    handler_timeout: float = HANDLER_TIMEOUT_SECONDS,
 ) -> ThreadingHTTPServer:
     """A ready-to-serve HTTP server with its :class:`SoteriaService` attached.
 
     ``port=0`` binds an ephemeral port (see ``server.server_address``) —
-    the tests' way to avoid collisions.
+    the tests' way to avoid collisions.  The worker pool defaults to
+    ``"process"`` (falling back to threads where multiprocessing is
+    unavailable); pass ``pool="thread"`` for the in-process pool.
     """
-    server = ThreadingHTTPServer((host, port), _Handler)
+    server = _Server((host, port), _Handler)
+    server.handler_timeout = handler_timeout  # type: ignore[attr-defined]
     server.service = SoteriaService(  # type: ignore[attr-defined]
-        cache_dir=cache_dir, state_dir=state_dir, jobs=jobs, pool=pool
+        cache_dir=cache_dir,
+        state_dir=state_dir,
+        jobs=jobs,
+        pool=pool,
+        max_pending=max_pending,
+        tenant_quota=tenant_quota,
+        max_waiters=max_waiters,
+        job_ttl=job_ttl,
     )
     return server
 
@@ -658,17 +969,35 @@ def serve(
     cache_dir=None,
     state_dir=None,
     jobs: int = 2,
-    pool: str = "thread",
+    pool: str = "process",
+    max_pending: int = MAX_PENDING_JOBS,
+    tenant_quota: int = DEFAULT_TENANT_QUOTA,
+    job_ttl: float | None = None,
 ) -> None:
     """Run the service until interrupted (the ``soteria serve`` body)."""
-    server = build_server(host, port, cache_dir, state_dir, jobs, pool)
+    server = build_server(
+        host,
+        port,
+        cache_dir,
+        state_dir,
+        jobs,
+        pool,
+        max_pending=max_pending,
+        tenant_quota=tenant_quota,
+        job_ttl=job_ttl,
+    )
     bound_host, bound_port = server.server_address[:2]
+    service: SoteriaService = server.service  # type: ignore[attr-defined]
     print(f"soteria service listening on http://{bound_host}:{bound_port}")
+    print(f"  worker pool: {service.pool_kind} x{service.workers}, "
+          f"max pending {service.max_pending}, "
+          f"tenant quota {service.tenant_quota}, "
+          f"job ttl {service.jobs.ttl or 'none'}")
     print("  POST /v1/submissions   GET /v1/jobs   GET /v1/stats")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.service.shutdown()  # type: ignore[attr-defined]
+        service.shutdown()
         server.server_close()

@@ -13,6 +13,19 @@ stage result.
 a ``state_dir``, mirrors every update to ``<state_dir>/jobs/<id>.json``
 and reloads them on startup — a service restart keeps finished verdicts
 and dedupes against jobs submitted before the restart.
+
+Submissions are namespaced by *tenant* (the ``X-Soteria-Tenant``
+header): the tenant is part of the :func:`submission_key`, so two
+tenants submitting identical sources own separate job records, and the
+per-tenant breakdown in :meth:`JobStore.counts` feeds the service's
+quota enforcement and ``/v1/stats`` view.
+
+A ``ttl`` (seconds) bounds the store's growth: settled records older
+than the TTL are garbage-collected by :meth:`JobStore.sweep` — the
+service calls it lazily on submission and stats traffic — and expired
+mirror files are pruned (and deleted) at startup instead of being
+reloaded.  In-flight records never expire; a resubmission after GC
+creates a fresh job and re-runs cleanly.
 """
 
 from __future__ import annotations
@@ -31,6 +44,13 @@ from repro.properties.catalog import Violation
 #: Job lifecycle states, in order.
 STATUSES = ("queued", "running", "done", "failed")
 
+#: Statuses of settled jobs — the only ones TTL/GC may reap.
+SETTLED = ("done", "failed")
+
+#: The tenant submissions belong to when no ``X-Soteria-Tenant``
+#: header names one.
+DEFAULT_TENANT = "default"
+
 
 def submission_key(
     entries: list[tuple[str, str]],
@@ -38,14 +58,18 @@ def submission_key(
     encoding: str = "auto",
     kernel: str = "auto",
     version: str = PIPELINE_VERSION,
+    tenant: str = DEFAULT_TENANT,
 ) -> str:
-    """Identity of one submission: ordered (name, source digest) pairs
-    plus the analysis knobs and pipeline version.  Order is
-    meaning-bearing for environments (it is for the union model's app
-    list), and a knob change is a different job — forcing a backend (or
-    a BDD kernel) must never be served the auto path's record."""
+    """Identity of one submission: the owning tenant, ordered
+    (name, source digest) pairs, the analysis knobs, and the pipeline
+    version.  Order is meaning-bearing for environments (it is for the
+    union model's app list), a knob change is a different job — forcing
+    a backend (or a BDD kernel) must never be served the auto path's
+    record — and the tenant namespaces the job space, so one tenant
+    never reads (or retries) another tenant's record."""
     parts = [
         f"version={version}",
+        f"tenant={tenant}",
         f"backend={backend}",
         f"encoding={encoding}",
         f"kernel={kernel}",
@@ -76,6 +100,7 @@ class JobRecord:
     kind: str                      # "app" | "environment"
     apps: list[str]                # member names, submission order
     digests: list[str]             # member source digests, same order
+    tenant: str = DEFAULT_TENANT   # owning namespace (quota + stats unit)
     backend: str = "auto"
     encoding: str = "auto"
     kernel: str = "auto"
@@ -109,13 +134,28 @@ def job_id_for(key: str) -> str:
 
 
 class JobStore:
-    """Thread-safe job registry, optionally mirrored to JSON on disk."""
+    """Thread-safe job registry, optionally mirrored to JSON on disk.
 
-    def __init__(self, state_dir: str | os.PathLike | None = None):
+    ``ttl`` (seconds, ``None`` = keep forever) bounds growth: settled
+    records whose last update is older than the TTL are reaped by
+    :meth:`sweep` (memory *and* disk mirror), and expired mirror files
+    are deleted — not reloaded — at startup.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | os.PathLike | None = None,
+        ttl: float | None = None,
+    ):
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive seconds, got {ttl!r}")
         self._lock = threading.RLock()
         self._by_id: dict[str, JobRecord] = {}
         self._by_key: dict[str, str] = {}
         self._order: list[str] = []
+        self.ttl = ttl
+        #: Total records reaped by TTL/GC (startup prune + lazy sweeps).
+        self.expired_total = 0
         self.state_dir = Path(state_dir) if state_dir is not None else None
         if self.state_dir is not None:
             self._load()
@@ -145,6 +185,12 @@ class JobStore:
         with self._lock:
             return self._by_id.get(job_id)
 
+    def find(self, key: str) -> JobRecord | None:
+        """The record owning one submission key, or None."""
+        with self._lock:
+            job_id = self._by_key.get(key)
+            return None if job_id is None else self._by_id.get(job_id)
+
     def update(self, job_id: str, **fields) -> JobRecord:
         """Apply field updates to one job and persist the new state."""
         with self._lock:
@@ -171,14 +217,70 @@ class JobStore:
             "total": total,
         }
 
-    def counts(self) -> dict[str, int]:
+    def counts(self) -> dict:
+        """Job totals by status, plus a per-tenant breakdown under
+        ``"tenants"`` (the ``/v1/stats`` quota view)."""
         with self._lock:
             records = list(self._by_id.values())
-        by_status = {status: 0 for status in STATUSES}
+        by_status: dict = {status: 0 for status in STATUSES}
+        tenants: dict[str, dict[str, int]] = {}
         for record in records:
             by_status[record.status] = by_status.get(record.status, 0) + 1
+            per = tenants.setdefault(
+                record.tenant, {status: 0 for status in STATUSES} | {"total": 0}
+            )
+            per[record.status] = per.get(record.status, 0) + 1
+            per["total"] += 1
         by_status["total"] = len(records)
+        by_status["expired"] = self.expired_total
+        by_status["tenants"] = {name: tenants[name] for name in sorted(tenants)}
         return by_status
+
+    # ------------------------------------------------------------------
+    # TTL / garbage collection
+    # ------------------------------------------------------------------
+    def remove(self, job_id: str) -> bool:
+        """Forget one record — memory and disk mirror; True if it existed."""
+        with self._lock:
+            record = self._by_id.pop(job_id, None)
+            if record is None:
+                return False
+            if self._by_key.get(record.key) == job_id:
+                del self._by_key[record.key]
+            try:
+                self._order.remove(job_id)
+            except ValueError:
+                pass
+            directory = self._jobs_dir
+            if directory is not None:
+                try:
+                    (directory / f"{job_id}.json").unlink(missing_ok=True)
+                except OSError:
+                    pass  # the mirror is best-effort, like _persist
+            return True
+
+    def sweep(self, now: float | None = None) -> list[str]:
+        """Reap settled records older than the TTL; the reaped job ids.
+
+        In-flight records (``queued``/``running``) are never reaped — a
+        live worker owns them.  A no-op without a TTL, so callers can
+        invoke it unconditionally on hot paths (lazy GC).
+        """
+        if self.ttl is None:
+            return []
+        if now is None:
+            now = time.time()
+        cutoff = now - self.ttl
+        with self._lock:
+            expired = [
+                record.id
+                for record in self._by_id.values()
+                if record.status in SETTLED and record.updated_at < cutoff
+            ]
+            for job_id in expired:
+                self.remove(job_id)
+            self.expired_total += len(expired)
+        return expired
 
     # ------------------------------------------------------------------
     # Durability
@@ -208,12 +310,24 @@ class JobStore:
         if directory is None or not directory.is_dir():
             return
         records = []
+        cutoff = None if self.ttl is None else time.time() - self.ttl
         for path in sorted(directory.glob("*.json")):
             try:
                 data = json.loads(path.read_text())
                 record = JobRecord(**data)
             except Exception:
                 continue  # torn/stale file: skip, do not crash startup
+            if cutoff is not None and record.updated_at < cutoff:
+                # Startup prune: an expired mirror file is deleted, not
+                # reloaded — the durable store shrinks on disk.  (Stale
+                # queued/running records from the dead process expire
+                # too; no worker owns them anymore.)
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                self.expired_total += 1
+                continue
             if record.status in ("queued", "running"):
                 # The process died before/while analyzing; no worker owns
                 # the record anymore, so surface it as failed —

@@ -48,7 +48,12 @@ BAD = GOOD.replace("close()", "open()").replace('"Good"', '"Bad"')
 # ----------------------------------------------------------------------
 @pytest.fixture()
 def server(tmp_path):
-    srv = build_server(host="127.0.0.1", port=0, state_dir=tmp_path / "state")
+    # pool="thread": the in-process pool keeps the e2e tests fast and
+    # lets them read the parent's stage counters; the process-pool
+    # default is exercised by TestProcessPool and the hardening suite.
+    srv = build_server(
+        host="127.0.0.1", port=0, state_dir=tmp_path / "state", pool="thread"
+    )
     thread = threading.Thread(target=srv.serve_forever, daemon=True)
     thread.start()
     yield srv

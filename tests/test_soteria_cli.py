@@ -174,13 +174,28 @@ class TestServeCli:
         code = cli_mod.main(
             ["serve", "--host", "0.0.0.0", "--port", "0", "--jobs", "3",
              "--cache-dir", "/tmp/c", "--state-dir", "/tmp/s",
-             "--pool", "process"]
+             "--pool", "thread", "--max-pending", "8",
+             "--tenant-quota", "4", "--job-ttl", "3600"]
         )
         assert code == 0
         assert captured == {
             "host": "0.0.0.0", "port": 0, "jobs": 3,
-            "cache_dir": "/tmp/c", "state_dir": "/tmp/s", "pool": "process",
+            "cache_dir": "/tmp/c", "state_dir": "/tmp/s", "pool": "thread",
+            "max_pending": 8, "tenant_quota": 4, "job_ttl": 3600.0,
         }
+
+    def test_serve_defaults_to_the_process_pool(self, monkeypatch):
+        import repro.cli as cli_mod
+
+        captured = {}
+
+        def fake_serve(**kwargs):
+            captured.update(kwargs)
+
+        monkeypatch.setattr("repro.service.app.serve", fake_serve)
+        assert cli_mod.main(["serve", "--port", "0"]) == 0
+        assert captured["pool"] == "process"
+        assert captured["job_ttl"] is None
 
 
 class TestSweepCli:
